@@ -1,0 +1,66 @@
+// Figure 2 — CPU-intensive workload: measured and predicted normalized
+// performance vs epoch length (original protocol, 10 Mbps Ethernet).
+//
+// Paper reference points (measured): NP(1K)=22.24, NP(2K)=11.83,
+// NP(4K)=6.50, NP(8K)=3.83; predicted NP(32K)=1.84 and NP(385K)=1.24.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perf/models.hpp"
+#include "perf/report.hpp"
+
+namespace hbft {
+namespace {
+
+int RunFig2() {
+  std::printf("=== Figure 2: CPU-intensive workload, NP vs epoch length ===\n");
+  std::printf("workload: Dhrystone stand-in, %u iterations (1/100 paper scale)\n\n",
+              kCpuIterations);
+
+  WorkloadSpec spec = BenchCpuSpec();
+  ScenarioResult bare = RunBare(spec);
+  if (!bare.completed || bare.exited_flag != 1) {
+    std::fprintf(stderr, "bare reference run failed\n");
+    return 1;
+  }
+  std::printf("bare runtime N = %.4f s (%u clock ticks)\n\n", bare.completion_time.seconds(),
+              bare.ticks);
+
+  const double paper_measured[] = {22.24, 11.83, 6.50, 3.83};
+  const uint64_t measured_els[] = {1024, 2048, 4096, 8192};
+
+  TableReporter table({"EL (instr)", "NP measured (sim)", "NP model", "NP paper"});
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t el = measured_els[i];
+    double sim = MeasureNp(spec, bare, el, ProtocolVariant::kOriginal);
+    double model = ModelNpCpu(static_cast<double>(el), false, ModelLink::kEthernet10);
+    table.AddRow({std::to_string(el), TableReporter::Num(sim), TableReporter::Num(model),
+                  TableReporter::Num(paper_measured[i])});
+  }
+  // Extended measured points beyond the paper's set.
+  for (uint64_t el : {uint64_t{16384}, uint64_t{32768}}) {
+    double sim = MeasureNp(spec, bare, el, ProtocolVariant::kOriginal);
+    double model = ModelNpCpu(static_cast<double>(el), false, ModelLink::kEthernet10);
+    table.AddRow({std::to_string(el), TableReporter::Num(sim), TableReporter::Num(model), "-"});
+  }
+  table.Print();
+
+  std::printf("\npredicted curve (model), 1K..32K plus the HP-UX epoch cap:\n");
+  TableReporter curve({"EL (instr)", "NP predicted"});
+  for (uint64_t el = 1024; el <= 32768; el *= 2) {
+    curve.AddRow({std::to_string(el),
+                  TableReporter::Num(ModelNpCpu(static_cast<double>(el), false,
+                                                ModelLink::kEthernet10))});
+  }
+  curve.AddRow({"385000 (endpoint)",
+                TableReporter::Num(ModelNpCpu(385000.0, false, ModelLink::kEthernet10))});
+  curve.Print();
+
+  std::printf("\npaper: NP(32K)=1.84 predicted; NP(385K)=1.24 predicted\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hbft
+
+int main() { return hbft::RunFig2(); }

@@ -1,0 +1,55 @@
+// Figure 4 — Faster replica coordination: predicted normalized performance of
+// the CPU-intensive workload when the 10 Mbps Ethernet between the
+// hypervisors is replaced by a 155 Mbps ATM link (same controller set-up
+// time), plus simulation measurements for both links.
+//
+// Paper reference: NP(32K) = 1.84 (Ethernet) vs 1.66 (ATM), predicted.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perf/models.hpp"
+#include "perf/report.hpp"
+
+namespace hbft {
+namespace {
+
+int RunFig4() {
+  std::printf("=== Figure 4: faster communication (Ethernet 10 vs ATM 155) ===\n\n");
+
+  std::printf("predicted curves (model):\n");
+  TableReporter curve({"EL (instr)", "NP Ethernet", "NP ATM"});
+  for (uint64_t el = 1024; el <= 32768; el *= 2) {
+    curve.AddRow({std::to_string(el),
+                  TableReporter::Num(ModelNpCpu(static_cast<double>(el), false,
+                                                ModelLink::kEthernet10)),
+                  TableReporter::Num(ModelNpCpu(static_cast<double>(el), false,
+                                                ModelLink::kAtm155))});
+  }
+  curve.AddRow({"385000 (endpoint)",
+                TableReporter::Num(ModelNpCpu(385000.0, false, ModelLink::kEthernet10)),
+                TableReporter::Num(ModelNpCpu(385000.0, false, ModelLink::kAtm155))});
+  curve.Print();
+
+  std::printf("\nsimulation (measured), CPU workload:\n");
+  WorkloadSpec spec = BenchCpuSpec();
+  ScenarioResult bare = RunBare(spec);
+  if (!bare.completed) {
+    std::fprintf(stderr, "bare reference run failed\n");
+    return 1;
+  }
+  TableReporter table({"EL (instr)", "NP Ethernet (sim)", "NP ATM (sim)"});
+  for (uint64_t el : {uint64_t{4096}, uint64_t{8192}, uint64_t{16384}, uint64_t{32768}}) {
+    double eth = MeasureNp(spec, bare, el, ProtocolVariant::kOriginal, CostModel::PaperCalibrated());
+    double atm = MeasureNp(spec, bare, el, ProtocolVariant::kOriginal, CostModel::WithAtmLink());
+    table.AddRow({std::to_string(el), TableReporter::Num(eth), TableReporter::Num(atm)});
+  }
+  table.Print();
+
+  std::printf("\npaper: NP(32K) = 1.84 Ethernet vs 1.66 ATM (predicted)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hbft
+
+int main() { return hbft::RunFig4(); }

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark): raw emulator throughput, trap
+// round-trip, message codec, and channel timing math. These quantify the
+// substrate the reproduction runs on (the simulator itself, not the paper's
+// system).
+#include <benchmark/benchmark.h>
+
+#include "guest/image.hpp"
+#include "guest/workloads.hpp"
+#include "machine/machine.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace hbft {
+namespace {
+
+void BM_EmulatorAluLoop(benchmark::State& state) {
+  // addi/bne loop: 3 instructions per iteration.
+  auto assembled = Assemble(R"ASM(
+.org 0
+start:
+    li t0, 0
+    li t1, 1000000000
+loop:
+    addi t0, t0, 1
+    bne t0, t1, loop
+    halt
+)ASM");
+  Machine machine(MachineConfig{});
+  machine.LoadImage(assembled.value());
+  machine.cpu().pc = 0;
+  uint64_t executed = 0;
+  for (auto _ : state) {
+    MachineExit exit = machine.Run(100000);
+    executed += exit.executed;
+    benchmark::DoNotOptimize(machine.cpu().gpr[8]);
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatorAluLoop);
+
+void BM_EmulatorMemoryLoop(benchmark::State& state) {
+  auto assembled = Assemble(R"ASM(
+.org 0
+start:
+    li t0, 0x10000
+    li t1, 0x20000
+loop:
+    lw t2, 0(t0)
+    addi t2, t2, 3
+    sw t2, 0(t0)
+    addi t0, t0, 4
+    bne t0, t1, loop
+    li t0, 0x10000
+    j loop
+)ASM");
+  Machine machine(MachineConfig{});
+  machine.LoadImage(assembled.value());
+  machine.cpu().pc = 0;
+  uint64_t executed = 0;
+  for (auto _ : state) {
+    MachineExit exit = machine.Run(100000);
+    executed += exit.executed;
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatorMemoryLoop);
+
+void BM_GuestBootToUser(benchmark::State& state) {
+  const GuestImageBundle& bundle = GetGuestImage();
+  for (auto _ : state) {
+    MachineConfig config;
+    config.trap_mode = TrapMode::kDirect;
+    Machine machine(config);
+    machine.LoadImage(bundle.image);
+    machine.cpu().pc = bundle.program.entry_pc;
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kCpu;
+    spec.iterations = 1;
+    PatchWorkloadParams(&machine.memory(), spec);
+    MachineExit exit = machine.Run(100000);
+    benchmark::DoNotOptimize(exit.executed);
+  }
+}
+BENCHMARK(BM_GuestBootToUser);
+
+void BM_MessageCodecInterrupt8K(benchmark::State& state) {
+  Message msg;
+  msg.type = MsgType::kInterrupt;
+  msg.epoch = 17;
+  msg.irq_lines = kIrqDisk;
+  IoCompletionPayload io;
+  io.device_irq = kIrqDisk;
+  io.guest_op_seq = 123;
+  io.has_dma_data = true;
+  io.dma_data.assign(8192, 0xAB);
+  msg.io = io;
+  for (auto _ : state) {
+    auto bytes = msg.Serialize();
+    auto decoded = Message::Deserialize(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageCodecInterrupt8K);
+
+void BM_ChannelTiming(benchmark::State& state) {
+  Channel channel(LinkModel::Ethernet10());
+  Message msg;
+  msg.type = MsgType::kAck;
+  SimTime now = SimTime::Zero();
+  for (auto _ : state) {
+    auto arrival = channel.Send(msg, now);
+    benchmark::DoNotOptimize(arrival);
+    now = *arrival;
+    benchmark::DoNotOptimize(channel.Receive(now));
+  }
+}
+BENCHMARK(BM_ChannelTiming);
+
+}  // namespace
+}  // namespace hbft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 1 — Normalized performance of the original ("Old") and revised
+// ("New", section 4.3) protocols for all three workloads at epoch lengths
+// 1K/2K/4K/8K.
+//
+// Paper reference:
+//   CPU:   22.24/11.83/6.50/3.83  ->  11.67/4.49/3.21/2.20
+//   Write:  1.87/ 1.71/1.67/1.64  ->   1.70/1.66/1.66/1.64
+//   Read:   2.32/ 2.10/2.03/1.98  ->   1.92/1.76/1.72/1.70
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perf/report.hpp"
+
+namespace hbft {
+namespace {
+
+struct PaperRow {
+  double old_np;
+  double new_np;
+};
+
+int RunTable1() {
+  std::printf("=== Table 1: original vs revised protocol ===\n\n");
+
+  WorkloadSpec cpu_spec = BenchCpuSpec();
+  WorkloadSpec write_spec = BenchWriteSpec();
+  WorkloadSpec read_spec = BenchReadSpec();
+
+  ScenarioResult bare_cpu = RunBare(cpu_spec);
+  ScenarioResult bare_write = RunBare(write_spec);
+  ScenarioResult bare_read = RunBare(read_spec);
+  if (!bare_cpu.completed || !bare_write.completed || !bare_read.completed) {
+    std::fprintf(stderr, "bare reference runs failed\n");
+    return 1;
+  }
+
+  const uint64_t els[] = {1024, 2048, 4096, 8192};
+  const PaperRow paper_cpu[] = {{22.24, 11.67}, {11.83, 4.49}, {6.50, 3.21}, {3.83, 2.20}};
+  const PaperRow paper_write[] = {{1.87, 1.70}, {1.71, 1.66}, {1.67, 1.66}, {1.64, 1.64}};
+  const PaperRow paper_read[] = {{2.32, 1.92}, {2.10, 1.76}, {2.03, 1.72}, {1.98, 1.70}};
+
+  TableReporter table({"Epoch", "Workload", "Old (sim)", "New (sim)", "Old (paper)",
+                       "New (paper)"});
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t el = els[i];
+    double cpu_old = MeasureNp(cpu_spec, bare_cpu, el, ProtocolVariant::kOriginal);
+    double cpu_new = MeasureNp(cpu_spec, bare_cpu, el, ProtocolVariant::kRevised);
+    table.AddRow({std::to_string(el), "CPU Intense", TableReporter::Num(cpu_old),
+                  TableReporter::Num(cpu_new), TableReporter::Num(paper_cpu[i].old_np),
+                  TableReporter::Num(paper_cpu[i].new_np)});
+    double w_old = MeasureNp(write_spec, bare_write, el, ProtocolVariant::kOriginal);
+    double w_new = MeasureNp(write_spec, bare_write, el, ProtocolVariant::kRevised);
+    table.AddRow({std::to_string(el), "Write Intense", TableReporter::Num(w_old),
+                  TableReporter::Num(w_new), TableReporter::Num(paper_write[i].old_np),
+                  TableReporter::Num(paper_write[i].new_np)});
+    double r_old = MeasureNp(read_spec, bare_read, el, ProtocolVariant::kOriginal);
+    double r_new = MeasureNp(read_spec, bare_read, el, ProtocolVariant::kRevised);
+    table.AddRow({std::to_string(el), "Read Intense", TableReporter::Num(r_old),
+                  TableReporter::Num(r_new), TableReporter::Num(paper_read[i].old_np),
+                  TableReporter::Num(paper_read[i].new_np)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hbft
+
+int main() { return hbft::RunTable1(); }

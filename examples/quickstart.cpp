@@ -1,0 +1,63 @@
+// Quickstart: boot a 1-fault-tolerant virtual machine pair, run a guest
+// program that prints to the console and exercises the disk, then kill the
+// primary mid-run and watch the backup take over — without the guest or the
+// environment noticing anything beyond a (possibly) repeated I/O operation.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "guest/workloads.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace hbft;
+
+  std::printf("== hypervisor-based fault tolerance: quickstart ==\n\n");
+
+  // The guest workload: MiniOS boots, the app prints a banner, writes a disk
+  // block, reads it back, and verifies the contents.
+  WorkloadSpec workload;
+  workload.kind = WorkloadKind::kHello;
+
+  // 1. Reference run on a bare machine (no hypervisor, no replication).
+  ScenarioResult bare = RunBare(workload);
+  std::printf("--- bare machine ---\n");
+  std::printf("console: %s", bare.console_output.c_str());
+  std::printf("completed in %.3f ms virtual time\n\n", bare.completion_time.seconds() * 1e3);
+
+  // 2. The same binary on the replicated pair: a primary and backup joined
+  //    by a simulated 10 Mbps Ethernet, epochs of 4K instructions (the
+  //    paper's configuration), shared dual-ported disk.
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.replication.variant = ProtocolVariant::kOriginal;
+  ScenarioResult ft = RunReplicated(workload, options);
+  std::printf("--- fault-tolerant pair (no failures) ---\n");
+  std::printf("console: %s", ft.console_output.c_str());
+  std::printf("completed in %.3f ms; epochs=%llu, messages=%llu, NP=%.2f\n\n",
+              ft.completion_time.seconds() * 1e3,
+              static_cast<unsigned long long>(ft.primary_stats.epochs),
+              static_cast<unsigned long long>(ft.primary_stats.messages_sent),
+              NormalizedPerformance(ft, bare));
+
+  // 3. Kill the primary while a disk operation is in flight. The backup
+  //    detects the failure, promotes itself (protocol rule P6), and re-drives
+  //    outstanding I/O via synthesised uncertain interrupts (P7).
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterIoIssue;
+  options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;  // Op lost with the primary.
+  ScenarioResult failover = RunReplicated(workload, options);
+  std::printf("--- fault-tolerant pair (primary killed mid-I/O) ---\n");
+  std::printf("console: %s", failover.console_output.c_str());
+  std::printf("crash at %.3f ms; backup promoted at %.3f ms; uncertain interrupts: %llu\n",
+              failover.crash_time.seconds() * 1e3, failover.promotion_time.seconds() * 1e3,
+              static_cast<unsigned long long>(failover.backup_stats.uncertain_synthesised));
+  std::printf("guest exit code %u, checksum 0x%X (bare: 0x%X)\n", failover.exit_code,
+              failover.guest_checksum, bare.guest_checksum);
+  std::printf("\nresult: %s\n",
+              failover.completed && failover.exit_code == bare.exit_code &&
+                      failover.guest_checksum == bare.guest_checksum
+                  ? "failover was transparent to the application"
+                  : "MISMATCH (this should not happen)");
+  return 0;
+}

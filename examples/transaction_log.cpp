@@ -1,0 +1,76 @@
+// Transaction log example: a guest application appends numbered records to a
+// disk-backed journal while the primary is killed mid-commit. Demonstrates
+// the paper's environment model end to end:
+//   * every committed record survives the failover (no lost transactions);
+//   * the crash window may re-drive an in-flight commit (at-least-once — the
+//     repetition that IO1/IO2 explicitly license and block writes make
+//     idempotent);
+//   * the console progress stream is continued by the promoted backup.
+//
+// Build & run:  ./build/examples/transaction_log
+#include <cstdio>
+
+#include "guest/workloads.hpp"
+#include "sim/environment_observer.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace hbft;
+
+  std::printf("== transaction log with mid-commit failover ==\n\n");
+
+  WorkloadSpec workload;
+  workload.kind = WorkloadKind::kTxnLog;
+  workload.iterations = 12;   // 12 numbered records...
+  workload.num_blocks = 16;   // ...one block each.
+
+  ScenarioResult bare = RunBare(workload);
+  std::printf("reference run: console \"%s\"\n", bare.console_output.c_str());
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterIoIssue;
+  options.failure.io_seq = 0;  // First I/O op whose issue the plan observes.
+  options.failure.phase_epoch = 0;
+  options.failure.crash_io = FailurePlan::CrashIo::kPerformed;  // Commit hit the platter...
+  ScenarioResult ft = RunReplicated(workload, options);         // ...but the ack died with the
+                                                                // primary: classic two-generals.
+  std::printf("failover run:  console \"%s\"\n", ft.console_output.c_str());
+  std::printf("crash at %.2f ms, promotion at %.2f ms\n\n", ft.crash_time.seconds() * 1e3,
+              ft.promotion_time.seconds() * 1e3);
+
+  // Count how many times each record reached the disk.
+  std::printf("record commit counts (re-driven ops show as 2):\n  ");
+  size_t duplicates = 0;
+  for (uint32_t record = 0; record < workload.iterations; ++record) {
+    int count = 0;
+    for (const auto& entry : ft.disk_trace) {
+      if (entry.is_write && entry.performed && entry.block == record % workload.num_blocks) {
+        ++count;
+      }
+    }
+    if (count > 1) {
+      ++duplicates;
+    }
+    std::printf("#%u:%d ", record, count);
+  }
+  std::printf("\n  -> %zu record(s) legitimately duplicated by the failover window\n\n",
+              duplicates);
+
+  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id,
+                                                ft.backup_id);
+  ConsistencyResult console = CheckConsoleConsistency(bare.console_trace, ft.console_trace,
+                                                      ft.primary_id, ft.backup_id);
+  std::printf("environment consistency: disk %s, console %s\n", disk.ok ? "OK" : "VIOLATED",
+              console.ok ? "OK" : "VIOLATED");
+  if (!disk.ok) {
+    std::printf("  disk: %s\n", disk.detail.c_str());
+  }
+  if (!console.ok) {
+    std::printf("  console: %s\n", console.detail.c_str());
+  }
+  std::printf("guest finished with exit code %u after %u/%u records\n", ft.exit_code,
+              ft.guest_checksum, workload.iterations);
+  return disk.ok && console.ok && ft.exit_code == 0 ? 0 : 1;
+}

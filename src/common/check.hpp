@@ -1,0 +1,77 @@
+// Lightweight CHECK/DCHECK assertion macros for invariant enforcement.
+//
+// These are the only macros in the library. They follow the Google/Abseil
+// idiom: CHECK fires in all build modes, DCHECK only when NDEBUG is not set.
+// A failed check prints the location and expression and aborts; in a systems
+// library modelling hardware, continuing past a violated invariant would
+// silently corrupt simulation state.
+#ifndef HBFT_COMMON_CHECK_HPP_
+#define HBFT_COMMON_CHECK_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hbft {
+
+// Terminates the process after printing a formatted check-failure report.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[HBFT CHECK FAILED] %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace internal {
+
+// Stream sink that lets `HBFT_CHECK(x) << "detail"` accumulate a message.
+// The process aborts when the temporary is destroyed at the end of the full
+// expression.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Unifies the types of the two ternary branches: `&` binds looser than `<<`,
+// so the builder accumulates the whole message before being voided.
+struct Voidify {
+  void operator&(const CheckMessageBuilder&) const {}
+};
+
+}  // namespace internal
+}  // namespace hbft
+
+#define HBFT_CHECK(condition)     \
+  (condition) ? (void)0           \
+              : ::hbft::internal::Voidify() & ::hbft::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define HBFT_CHECK_EQ(a, b) HBFT_CHECK((a) == (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define HBFT_CHECK_NE(a, b) HBFT_CHECK((a) != (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define HBFT_CHECK_LT(a, b) HBFT_CHECK((a) < (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define HBFT_CHECK_LE(a, b) HBFT_CHECK((a) <= (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define HBFT_CHECK_GT(a, b) HBFT_CHECK((a) > (b)) << " lhs=" << (a) << " rhs=" << (b)
+#define HBFT_CHECK_GE(a, b) HBFT_CHECK((a) >= (b)) << " lhs=" << (a) << " rhs=" << (b)
+
+#ifdef NDEBUG
+#define HBFT_DCHECK(condition) HBFT_CHECK(true || (condition))
+#else
+#define HBFT_DCHECK(condition) HBFT_CHECK(condition)
+#endif
+
+#endif  // HBFT_COMMON_CHECK_HPP_

@@ -1,0 +1,45 @@
+// FNV-1a 64-bit hashing, used for lockstep state fingerprints.
+//
+// The replication tests hash the full virtual-machine state (registers,
+// memory, control registers) at every epoch boundary on both replicas and
+// require equality; FNV-1a is deterministic across platforms and cheap enough
+// to run per epoch.
+#ifndef HBFT_COMMON_HASH_HPP_
+#define HBFT_COMMON_HASH_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hbft {
+
+class Fnv1aHasher {
+ public:
+  static constexpr uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001B3ULL;
+
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= kPrime;
+    }
+  }
+
+  void UpdateU32(uint32_t v) { Update(&v, sizeof(v)); }
+  void UpdateU64(uint64_t v) { Update(&v, sizeof(v)); }
+
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+inline uint64_t Fnv1a(const void* data, size_t size) {
+  Fnv1aHasher hasher;
+  hasher.Update(data, size);
+  return hasher.digest();
+}
+
+}  // namespace hbft
+
+#endif  // HBFT_COMMON_HASH_HPP_

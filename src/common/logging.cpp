@@ -1,0 +1,21 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace hbft {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogLine(LogLevel level, const std::string& line) {
+  if (static_cast<int>(g_level) >= static_cast<int>(level)) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace hbft

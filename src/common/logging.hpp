@@ -1,0 +1,59 @@
+// Minimal leveled logging to stderr, off by default.
+//
+// The simulator is a library; logging exists for debugging protocol traces
+// (primary/backup message flow, epoch boundaries, failover) and is enabled
+// per-run via SetLogLevel. Not thread-safe by design: the simulation is
+// single-threaded and deterministic.
+#ifndef HBFT_COMMON_LOGGING_HPP_
+#define HBFT_COMMON_LOGGING_HPP_
+
+#include <sstream>
+#include <string>
+
+namespace hbft {
+
+enum class LogLevel {
+  kNone = 0,
+  kInfo = 1,
+  kDebug = 2,
+  kTrace = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogLine(LogLevel level, const std::string& line);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : level_(level) { stream_ << "[" << tag << "] "; }
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+inline bool LogEnabled(LogLevel level) { return static_cast<int>(GetLogLevel()) >= static_cast<int>(level); }
+
+}  // namespace hbft
+
+#define HBFT_LOG(level, tag)                      \
+  if (!::hbft::LogEnabled(level)) {               \
+  } else                                          \
+    ::hbft::internal::LogMessage(level, tag)
+
+#define HBFT_INFO(tag) HBFT_LOG(::hbft::LogLevel::kInfo, tag)
+#define HBFT_DEBUG(tag) HBFT_LOG(::hbft::LogLevel::kDebug, tag)
+#define HBFT_TRACE(tag) HBFT_LOG(::hbft::LogLevel::kTrace, tag)
+
+#endif  // HBFT_COMMON_LOGGING_HPP_

@@ -1,0 +1,65 @@
+// Result<T>: a minimal expected-like type for fallible operations.
+//
+// The library does not use exceptions (simulation hot paths and hardware-model
+// code favour explicit control flow); fallible interfaces return Result<T>
+// carrying either a value or a human-readable error string.
+#ifndef HBFT_COMMON_RESULT_HPP_
+#define HBFT_COMMON_RESULT_HPP_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+// Error payload: message plus optional source location context (used by the
+// assembler to report file/line of the offending source).
+struct Error {
+  std::string message;
+  int line = 0;
+
+  std::string ToString() const {
+    if (line > 0) {
+      return "line " + std::to_string(line) + ": " + message;
+    }
+    return message;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    HBFT_CHECK(ok()) << "Result accessed without value: " << error_->ToString();
+    return *value_;
+  }
+  T& value() & {
+    HBFT_CHECK(ok()) << "Result accessed without value: " << error_->ToString();
+    return *value_;
+  }
+  T&& take() && {
+    HBFT_CHECK(ok()) << "Result accessed without value: " << error_->ToString();
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    HBFT_CHECK(!ok()) << "Result::error() on ok result";
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_COMMON_RESULT_HPP_

@@ -1,0 +1,356 @@
+#include "core/backup.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hbft {
+
+void BackupNode::RunSlice(SimTime until) {
+  while (!dead_ && !halted_ && runnable_ && hv_.clock() < until) {
+    switch (state_) {
+      case State::kRun: {
+        SimTime horizon = scheduler_->NextEventTime();
+        if (horizon > until) {
+          horizon = until;
+        }
+        if (hv_.clock() >= horizon) {
+          return;
+        }
+        GuestEvent event = hv_.RunGuest(horizon);
+        switch (event.kind) {
+          case GuestEvent::Kind::kNone:
+            return;
+
+          case GuestEvent::Kind::kTodRead:
+            ServeTodRead();
+            break;
+
+          case GuestEvent::Kind::kIoCommand: {
+            if (solo_) {
+              IssueRealIo(event.io);
+            } else {
+              // P3 / section 2.2 case (i): suppress, record as outstanding.
+              outstanding_io_[event.io.guest_op_seq] = event.io;
+              ++stats_.io_suppressed;
+            }
+            hv_.CompleteIoCommand();
+            break;
+          }
+
+          case GuestEvent::Kind::kEpochEnd:
+            RecordBoundaryFingerprint();
+            if (solo_) {
+              SoloBoundary();
+            } else {
+              state_ = State::kAwaitTme;
+              TryAdvanceBoundary();
+            }
+            break;
+
+          case GuestEvent::Kind::kHalted:
+            halted_ = true;
+            return;
+        }
+        break;
+      }
+      case State::kStallTod:
+        ServeTodRead();
+        if (state_ == State::kStallTod) {
+          runnable_ = false;
+          return;
+        }
+        break;
+      case State::kAwaitTme:
+      case State::kAwaitEnd:
+        TryAdvanceBoundary();
+        if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
+          runnable_ = false;
+          return;
+        }
+        break;
+    }
+  }
+}
+
+void BackupNode::ServeTodRead() {
+  // Forwarded values are consumed in order even after promotion: the dead
+  // primary may have revealed I/O that depended on them.
+  if (!env_values_.empty()) {
+    const Message& msg = env_values_.front();
+    HBFT_CHECK_EQ(msg.env_seq, next_env_seq_);
+    ++next_env_seq_;
+    ++stats_.env_values;
+    hv_.CompleteTodRead(msg.env_value);
+    env_values_.pop_front();
+    state_ = State::kRun;
+    runnable_ = true;
+    return;
+  }
+  if (solo_) {
+    hv_.CompleteTodRead(TodNow());
+    state_ = State::kRun;
+    runnable_ = true;
+    return;
+  }
+  if (failure_detected_) {
+    // The value never arrived, so the primary died before executing this
+    // instruction; nothing after it reached the environment. Promote here.
+    PromoteMidEpoch();
+    hv_.CompleteTodRead(TodNow());
+    state_ = State::kRun;
+    runnable_ = true;
+    return;
+  }
+  state_ = State::kStallTod;  // Await the [E, seq, value] message.
+}
+
+uint32_t BackupNode::DeliverForEpoch(uint64_t tme) {
+  return hv_.DeliverEpochInterrupts(epoch_, tme, [this](const VirtualInterrupt& vi) {
+    if (vi.io.has_value() && vi.io->guest_op_seq != 0) {
+      outstanding_io_.erase(vi.io->guest_op_seq);
+    }
+  });
+}
+
+void BackupNode::TryAdvanceBoundary() {
+  if (state_ == State::kAwaitTme) {
+    if (!tme_queue_.empty()) {
+      hv_.AdvanceClock(costs_.backup_boundary_cost);
+      boundary_tme_ = tme_queue_.front();
+      boundary_tme_valid_ = true;
+      tme_queue_.pop_front();
+      state_ = State::kAwaitEnd;
+    } else if (failure_detected_) {
+      PromoteAtBoundary();
+      return;
+    } else {
+      return;  // Blocked.
+    }
+  }
+  if (state_ == State::kAwaitEnd) {
+    if (ends_received_ > epoch_) {
+      // [end, E] received: deliver exactly what the primary delivered.
+      DeliverForEpoch(boundary_tme_);
+      boundary_tme_valid_ = false;
+      ++epoch_;
+      ++stats_.epochs;
+      hv_.BeginEpoch();
+      state_ = State::kRun;
+      runnable_ = true;
+    } else if (failure_detected_) {
+      PromoteAtBoundary();
+    }
+  }
+}
+
+void BackupNode::SynthesiseUncertainInterrupts() {
+  // P7: every outstanding operation gets an uncertain completion, forcing the
+  // guest driver down its retry path — the environment cannot distinguish
+  // this from a transient device fault.
+  for (const auto& [seq, io] : outstanding_io_) {
+    VirtualInterrupt vi;
+    vi.epoch = epoch_;
+    IoCompletionPayload payload;
+    payload.guest_op_seq = seq;
+    payload.result_code = kDiskResultCheckCondition;
+    if (io.kind == GuestIoCommand::Kind::kConsoleTx) {
+      vi.irq_line = kIrqConsoleTx;
+      payload.device_irq = kIrqConsoleTx;
+    } else {
+      vi.irq_line = kIrqDisk;
+      payload.device_irq = kIrqDisk;
+    }
+    vi.io = payload;
+    hv_.BufferInterrupt(vi);
+    ++stats_.uncertain_synthesised;
+  }
+  outstanding_io_.clear();
+}
+
+void BackupNode::PromoteAtBoundary() {
+  // P6: the expected [end, E] will never come. Deliver what the primary
+  // relayed for this epoch, re-drive everything else via P7, take over.
+  promoted_ = true;
+  solo_ = true;
+  promotion_time_ = hv_.clock();
+  // Completions relayed for epochs beyond E will never be delivered through
+  // the protocol; drop them and let the uncertain path re-drive the ops.
+  hv_.PurgeBufferedAfter(epoch_);
+  uint64_t tme = boundary_tme_valid_ ? boundary_tme_ : TodNow();
+  SynthesiseUncertainInterrupts();
+  FlushPendingRx();
+  DeliverForEpoch(tme);
+  boundary_tme_valid_ = false;
+  ++epoch_;
+  ++stats_.epochs;
+  hv_.BeginEpoch();
+  state_ = State::kRun;
+  runnable_ = true;
+}
+
+void BackupNode::PromoteMidEpoch() {
+  promoted_ = true;
+  solo_ = true;
+  promotion_time_ = hv_.clock();
+  hv_.PurgeBufferedAfter(epoch_);
+  FlushPendingRx();
+  // Outstanding operations get their uncertain interrupts at the end of this
+  // (failover) epoch, per P7 — SoloBoundary handles it.
+}
+
+void BackupNode::FlushPendingRx() {
+  while (!pending_rx_.empty()) {
+    VirtualInterrupt vi;
+    vi.irq_line = kIrqConsoleRx;
+    vi.epoch = epoch_;
+    vi.rx_char = pending_rx_.front();
+    pending_rx_.pop_front();
+    hv_.BufferInterrupt(vi);
+  }
+}
+
+void BackupNode::InjectConsoleRx(char c, SimTime t) {
+  if (dead_ || halted_) {
+    return;
+  }
+  if (!solo_) {
+    pending_rx_.push_back(c);
+    return;
+  }
+  if (hv_.clock() < t) {
+    hv_.SetClock(t);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqConsoleRx;
+  vi.epoch = epoch_;
+  vi.rx_char = c;
+  hv_.BufferInterrupt(vi);
+}
+
+void BackupNode::SoloBoundary() {
+  hv_.AdvanceClock(costs_.epoch_boundary_fixed_cost);
+  SynthesiseUncertainInterrupts();  // No-op except right after promotion.
+  DeliverForEpoch(TodNow());
+  ++epoch_;
+  ++stats_.epochs;
+  hv_.BeginEpoch();
+}
+
+void BackupNode::OnMessage(const Message& msg, SimTime now) {
+  if (dead_) {
+    return;
+  }
+  if (hv_.clock() < now) {
+    hv_.SetClock(now);
+  }
+  hv_.AdvanceClock(costs_.msg_receive_cpu_cost);
+  ++stats_.messages_received;
+
+  switch (msg.type) {
+    case MsgType::kInterrupt: {
+      VirtualInterrupt vi;
+      vi.irq_line = msg.irq_lines;
+      vi.epoch = msg.epoch;
+      vi.io = msg.io;
+      if (msg.irq_lines == kIrqConsoleRx && msg.io.has_value()) {
+        vi.rx_char = static_cast<char>(msg.io->result_code & 0xFF);
+      }
+      hv_.BufferInterrupt(vi);  // P4: buffer for delivery at end of epoch E.
+      break;
+    }
+    case MsgType::kEnvValue:
+      env_values_.push_back(msg);
+      break;
+    case MsgType::kTimeSync:
+      tme_queue_.push_back(msg.tod_value);
+      break;
+    case MsgType::kEpochEnd:
+      HBFT_CHECK_EQ(msg.epoch, ends_received_);
+      ++ends_received_;
+      break;
+    case MsgType::kAck:
+      HBFT_CHECK(false) << "backup received an ack";
+  }
+
+  SendAck(msg.seq);  // P4.
+
+  // Unblock protocol waits satisfied by this message.
+  if (state_ == State::kStallTod) {
+    ServeTodRead();
+  } else if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
+    TryAdvanceBoundary();
+  }
+}
+
+void BackupNode::SendAck(uint64_t seq) {
+  Message ack;
+  ack.type = MsgType::kAck;
+  ack.ack_seq = seq;
+  SendToPeer(std::move(ack));
+}
+
+void BackupNode::OnFailureDetected(SimTime t) {
+  if (dead_ || halted_) {
+    return;
+  }
+  failure_detected_ = true;
+  if (hv_.clock() < t) {
+    hv_.SetClock(t);
+  }
+  if (state_ == State::kStallTod) {
+    ServeTodRead();
+  } else if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
+    TryAdvanceBoundary();
+  }
+}
+
+void BackupNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
+  // Solo mode only: the backup is now the system's primary.
+  HBFT_CHECK(solo_);
+  auto it = pending_disk_.find(disk_op_id);
+  HBFT_CHECK(it != pending_disk_.end());
+  GuestIoCommand io = it->second;
+  pending_disk_.erase(it);
+
+  if (hv_.clock() < event_time) {
+    hv_.SetClock(event_time);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
+
+  Disk::Completion completion = disk_->Complete(disk_op_id);
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqDisk;
+  payload.guest_op_seq = io.guest_op_seq;
+  payload.result_code = completion.status == DiskStatus::kUncertain ? kDiskResultCheckCondition
+                                                                    : kDiskResultOk;
+  if (io.kind == GuestIoCommand::Kind::kDiskRead && completion.status == DiskStatus::kOk) {
+    payload.has_dma_data = true;
+    payload.dma_guest_paddr = io.dma_paddr;
+    payload.dma_data = completion.data;
+  }
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqDisk;
+  vi.epoch = epoch_;
+  vi.io = std::move(payload);
+  hv_.BufferInterrupt(vi);
+}
+
+void BackupNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
+  HBFT_CHECK(solo_);
+  if (hv_.clock() < event_time) {
+    hv_.SetClock(event_time);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqConsoleTx;
+  payload.guest_op_seq = guest_op_seq;
+  payload.result_code = 0;
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqConsoleTx;
+  vi.epoch = epoch_;
+  vi.io = payload;
+  hv_.BufferInterrupt(vi);
+}
+
+}  // namespace hbft

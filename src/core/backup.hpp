@@ -1,0 +1,101 @@
+// The backup replica: rules P3-P7 of the paper's protocol.
+//
+// The backup executes the same instruction stream as the primary, one epoch
+// behind at most in protocol terms (it cannot start epoch E+1 before
+// receiving [end, E]). Its hypervisor suppresses every I/O initiation,
+// recording it as outstanding; completions arrive only as relayed [E, Int]
+// messages and are delivered at the end of epoch E, exactly where the primary
+// delivered them. Environment values (TOD reads) are consumed from the
+// forwarded stream in order; if a value has not arrived the backup stalls —
+// mirroring the Environment Instruction Assumption.
+//
+// Failover:
+//   * If the failure detector fires while the backup waits at an epoch
+//     boundary (P6): deliver what was buffered for the epoch, synthesise
+//     uncertain interrupts for every outstanding operation (P7), promote.
+//   * If it fires while the backup is stalled mid-epoch on an environment
+//     value: the missing value proves the primary died before executing that
+//     instruction, so nothing after it was ever revealed to the environment
+//     — the backup promotes mid-epoch and simulates environment instructions
+//     locally from that point on.
+//   * Forwarded environment values that arrived before the crash are still
+//     consumed after promotion: the dead primary may have performed I/O whose
+//     effects depended on them.
+// After promotion the backup behaves as an unreplicated primary ("solo"):
+// real devices, local clock, interrupts still delivered at epoch boundaries.
+#ifndef HBFT_CORE_BACKUP_HPP_
+#define HBFT_CORE_BACKUP_HPP_
+
+#include <deque>
+#include <map>
+
+#include "core/protocol.hpp"
+
+namespace hbft {
+
+class BackupNode : public ReplicaNodeBase {
+ public:
+  using ReplicaNodeBase::ReplicaNodeBase;
+
+  void RunSlice(SimTime until) override;
+
+  // Failure-detector notification (timeout after the channel drained).
+  void OnFailureDetected(SimTime t);
+
+  // Console input arriving after the primary died. Queued until promotion
+  // (the replication invariant forbids locally-sourced interrupts before
+  // then), delivered like any RX interrupt afterwards.
+  void InjectConsoleRx(char c, SimTime t);
+
+  bool promoted() const { return promoted_; }
+  SimTime promotion_time() const { return promotion_time_; }
+
+ private:
+  enum class State {
+    kRun,
+    kStallTod,   // Mid-epoch, awaiting a forwarded environment value.
+    kAwaitTme,   // P5: epoch done, awaiting [Tme_p].
+    kAwaitEnd,   // P5: clocks synced, awaiting [end, E].
+  };
+
+  void OnMessage(const Message& msg, SimTime now) override;
+  void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
+  void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
+
+  void SendAck(uint64_t seq);
+  void TryAdvanceBoundary();
+  void ServeTodRead();
+  void PromoteAtBoundary();
+  void PromoteMidEpoch();
+  void SynthesiseUncertainInterrupts();
+  void SoloBoundary();
+  void FlushPendingRx();
+  uint32_t DeliverForEpoch(uint64_t tme);
+
+  State state_ = State::kRun;
+  bool promoted_ = false;
+  bool solo_ = false;
+  bool failure_detected_ = false;
+  SimTime promotion_time_ = SimTime::Zero();
+
+  // Forwarded environment values, consumed in order.
+  std::deque<Message> env_values_;
+  uint64_t next_env_seq_ = 0;
+
+  // P5 bookkeeping: Tme and end messages arrive in epoch order.
+  std::deque<uint64_t> tme_queue_;
+  uint64_t ends_received_ = 0;  // Count of [end, E] messages (E = 0,1,2,...).
+  uint64_t boundary_tme_ = 0;
+  bool boundary_tme_valid_ = false;
+
+  // I/O initiations executed (and suppressed) but whose completion has not
+  // been delivered: candidates for P7 uncertain interrupts.
+  std::map<uint64_t, GuestIoCommand> outstanding_io_;
+
+  // Console input that arrived between the crash and promotion.
+  std::deque<char> pending_rx_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_CORE_BACKUP_HPP_

@@ -1,0 +1,12 @@
+#include "core/failure_detector.hpp"
+
+namespace hbft {
+
+SimTime FailureDetector::DetectionTime(const Channel& primary_to_backup, SimTime crash_time,
+                                       SimTime timeout) {
+  SimTime drain = primary_to_backup.DrainTime();
+  SimTime base = drain > crash_time ? drain : crash_time;
+  return base + timeout;
+}
+
+}  // namespace hbft

@@ -1,0 +1,28 @@
+// Failure detection model.
+//
+// The paper assumes fail-stop processors (footnote 1) and that "the processor
+// executing the backup detects the primary's processor failure only after
+// receiving the last message sent by the primary's hypervisor (as would be
+// the case were timeouts used for failure detection)". This helper computes
+// the detection instant under that assumption: all in-flight messages drain,
+// then a timeout elapses.
+#ifndef HBFT_CORE_FAILURE_DETECTOR_HPP_
+#define HBFT_CORE_FAILURE_DETECTOR_HPP_
+
+#include "common/time.hpp"
+#include "net/channel.hpp"
+
+namespace hbft {
+
+class FailureDetector {
+ public:
+  // When the backup becomes certain the primary is gone: after the channel's
+  // last in-flight message arrives (never before the crash itself), plus the
+  // detection timeout.
+  static SimTime DetectionTime(const Channel& primary_to_backup, SimTime crash_time,
+                               SimTime timeout);
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_CORE_FAILURE_DETECTOR_HPP_

@@ -1,0 +1,303 @@
+#include "core/primary.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hbft {
+
+void PrimaryNode::Phase(FailPhase phase, uint64_t io_seq) {
+  if (phase_hook_) {
+    phase_hook_(phase, epoch_, io_seq);
+  }
+}
+
+void PrimaryNode::RunSlice(SimTime until) {
+  while (!dead_ && !halted_ && runnable_ && hv_.clock() < until) {
+    if (state_ != State::kRun) {
+      // Blocked states are resolved in OnMessage; nothing to do here.
+      runnable_ = false;
+      return;
+    }
+    // Cap the horizon by events this node scheduled mid-slice.
+    SimTime horizon = scheduler_->NextEventTime();
+    if (horizon > until) {
+      horizon = until;
+    }
+    if (hv_.clock() >= horizon) {
+      return;
+    }
+    GuestEvent event = hv_.RunGuest(horizon);
+    if (dead_) {
+      return;
+    }
+    switch (event.kind) {
+      case GuestEvent::Kind::kNone:
+        return;  // Horizon reached.
+
+      case GuestEvent::Kind::kTodRead: {
+        // Environment instruction: simulate against the local clock and
+        // forward the result so the backup's simulation has the same effect.
+        uint64_t value = TodNow();
+        if (!solo_) {
+          Message msg;
+          msg.type = MsgType::kEnvValue;
+          msg.epoch = epoch_;
+          msg.env_seq = env_seq_++;
+          msg.env_value = value;
+          SendToPeer(std::move(msg));
+          ++stats_.env_values;
+        }
+        hv_.CompleteTodRead(value);
+        break;
+      }
+
+      case GuestEvent::Kind::kIoCommand:
+        HandleIoInitiation(event.io);
+        break;
+
+      case GuestEvent::Kind::kEpochEnd:
+        StartBoundary();
+        break;
+
+      case GuestEvent::Kind::kHalted:
+        halted_ = true;
+        return;
+    }
+  }
+}
+
+void PrimaryNode::HandleIoInitiation(const GuestIoCommand& io) {
+  Phase(FailPhase::kBeforeIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  if (!solo_ && replication_.variant == ProtocolVariant::kRevised && !AllAcked()) {
+    // Output commit: the environment must not observe effects that depend on
+    // messages the backup has not confirmed (section 4.3).
+    state_ = State::kIoAwaitAcks;
+    gated_io_ = io;
+    ack_wait_started_ = hv_.clock();
+    runnable_ = false;
+    return;
+  }
+  IssueRealIo(io);
+  Phase(FailPhase::kAfterIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  hv_.CompleteIoCommand();
+}
+
+void PrimaryNode::CompleteGatedIo() {
+  HBFT_CHECK(gated_io_.has_value());
+  stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+  GuestIoCommand io = *gated_io_;
+  gated_io_.reset();
+  state_ = State::kRun;
+  runnable_ = true;
+  IssueRealIo(io);
+  Phase(FailPhase::kAfterIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  hv_.CompleteIoCommand();
+}
+
+void PrimaryNode::StartBoundary() {
+  RecordBoundaryFingerprint();
+  boundary_started_ = hv_.clock();
+  Phase(FailPhase::kBeforeSendTme);
+  if (dead_) {
+    return;
+  }
+  hv_.AdvanceClock(costs_.epoch_boundary_fixed_cost);
+  boundary_tme_ = TodNow();
+  if (!solo_) {
+    Message msg;
+    msg.type = MsgType::kTimeSync;
+    msg.epoch = epoch_;
+    msg.tod_value = boundary_tme_;
+    SendToPeer(std::move(msg));
+  }
+  Phase(FailPhase::kAfterSendTme);
+  if (dead_) {
+    return;
+  }
+  if (!solo_ && replication_.variant == ProtocolVariant::kOriginal && !AllAcked()) {
+    state_ = State::kBoundaryAwaitAcks;
+    ack_wait_started_ = hv_.clock();
+    runnable_ = false;
+    return;
+  }
+  FinishBoundary();
+}
+
+void PrimaryNode::FinishBoundary() {
+  Phase(FailPhase::kAfterAckWait);
+  if (dead_) {
+    return;
+  }
+  hv_.DeliverEpochInterrupts(epoch_, boundary_tme_);
+  Phase(FailPhase::kAfterDeliver);
+  if (dead_) {
+    return;
+  }
+  if (!solo_) {
+    Message end;
+    end.type = MsgType::kEpochEnd;
+    end.epoch = epoch_;
+    SendToPeer(std::move(end));
+  }
+  Phase(FailPhase::kAfterSendEnd);
+  if (dead_) {
+    return;
+  }
+  stats_.boundary_time += hv_.clock() - boundary_started_;
+  ++epoch_;
+  ++stats_.epochs;
+  hv_.BeginEpoch();
+  state_ = State::kRun;
+  runnable_ = true;
+}
+
+void PrimaryNode::OnMessage(const Message& msg, SimTime now) {
+  if (dead_) {
+    return;
+  }
+  // Clock: the node handles the arrival no earlier than `now`, and pays the
+  // (cheap) ack-processing interrupt.
+  if (hv_.clock() < now) {
+    hv_.SetClock(now);
+  }
+  hv_.AdvanceClock(costs_.ack_receive_cpu_cost);
+  ++stats_.messages_received;
+  HBFT_CHECK(msg.type == MsgType::kAck) << "primary received non-ack message";
+  ++stats_.acks_received;
+  if (msg.ack_seq + 1 > acked_count_) {
+    acked_count_ = msg.ack_seq + 1;
+  }
+  if (state_ == State::kBoundaryAwaitAcks && AllAcked()) {
+    stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+    state_ = State::kRun;
+    runnable_ = true;
+    FinishBoundary();
+  } else if (state_ == State::kIoAwaitAcks && AllAcked()) {
+    CompleteGatedIo();
+  }
+}
+
+void PrimaryNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
+  auto it = pending_disk_.find(disk_op_id);
+  HBFT_CHECK(it != pending_disk_.end());
+  GuestIoCommand io = it->second;
+  pending_disk_.erase(it);
+
+  if (hv_.clock() < event_time) {
+    hv_.SetClock(event_time);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);  // Host interrupt entry.
+
+  Disk::Completion completion = disk_->Complete(disk_op_id);
+
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqDisk;
+  payload.guest_op_seq = io.guest_op_seq;
+  payload.result_code = completion.status == DiskStatus::kUncertain ? kDiskResultCheckCondition
+                                                                    : kDiskResultOk;
+  if (io.kind == GuestIoCommand::Kind::kDiskRead && completion.status == DiskStatus::kOk) {
+    payload.has_dma_data = true;
+    payload.dma_guest_paddr = io.dma_paddr;
+    payload.dma_data = completion.data;
+  }
+
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqDisk;
+  vi.epoch = epoch_;
+  vi.io = payload;
+  hv_.BufferInterrupt(vi);  // P1: buffer for delivery at the end of the epoch.
+
+  if (!solo_) {
+    Message relay;  // P1: send [E, Int] (with the read data: the paper's
+    relay.type = MsgType::kInterrupt;  // "9 messages for an 8K block").
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqDisk;
+    relay.io = std::move(payload);
+    SendToPeer(std::move(relay));
+  }
+}
+
+void PrimaryNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
+  if (hv_.clock() < event_time) {
+    hv_.SetClock(event_time);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
+
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqConsoleTx;
+  payload.guest_op_seq = guest_op_seq;
+  payload.result_code = 0;
+
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqConsoleTx;
+  vi.epoch = epoch_;
+  vi.io = payload;
+  hv_.BufferInterrupt(vi);
+
+  if (!solo_) {
+    Message relay;
+    relay.type = MsgType::kInterrupt;
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqConsoleTx;
+    relay.io = std::move(payload);
+    SendToPeer(std::move(relay));
+  }
+}
+
+void PrimaryNode::InjectConsoleRx(char c, SimTime t) {
+  if (dead_ || halted_) {
+    return;
+  }
+  if (hv_.clock() < t) {
+    hv_.SetClock(t);
+  }
+  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
+
+  VirtualInterrupt vi;
+  vi.irq_line = kIrqConsoleRx;
+  vi.epoch = epoch_;
+  vi.rx_char = c;
+  hv_.BufferInterrupt(vi);
+
+  if (!solo_) {
+    Message relay;
+    relay.type = MsgType::kInterrupt;
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqConsoleRx;
+    IoCompletionPayload payload;  // RX carries its character in result_code.
+    payload.device_irq = kIrqConsoleRx;
+    payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(c));
+    relay.io = payload;
+    SendToPeer(std::move(relay));
+  }
+}
+
+void PrimaryNode::OnBackupFailureDetected(SimTime t) {
+  if (dead_ || halted_ || solo_) {
+    return;
+  }
+  solo_ = true;
+  if (hv_.clock() < t) {
+    hv_.SetClock(t);
+  }
+  // Release any wait that depended on the dead backup's acknowledgments.
+  if (state_ == State::kBoundaryAwaitAcks) {
+    stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+    state_ = State::kRun;
+    runnable_ = true;
+    FinishBoundary();
+  } else if (state_ == State::kIoAwaitAcks) {
+    CompleteGatedIo();
+  }
+}
+
+}  // namespace hbft

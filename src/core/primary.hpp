@@ -1,0 +1,84 @@
+// The primary replica: rules P1 and P2 of the paper's protocol.
+//
+// The primary runs the guest under its hypervisor, simulates environment
+// instructions against the real environment (forwarding every value to the
+// backup), drives the real devices, relays received interrupts as [E, Int]
+// messages, and at each epoch boundary runs P2:
+//
+//   - send [Tme_p] (the virtual clock registers);
+//   - original protocol: await acknowledgments for all messages sent;
+//   - add interrupts based on Tme_p (interval timer);
+//   - deliver all interrupts buffered during the epoch;
+//   - send [end, E]; start epoch E+1.
+//
+// Under the revised protocol (section 4.3) the boundary ack wait is dropped;
+// instead any device interaction blocks until everything sent is acked
+// (output commit), preserving the invariant that nothing the environment can
+// observe depends on state the backup might not reach.
+#ifndef HBFT_CORE_PRIMARY_HPP_
+#define HBFT_CORE_PRIMARY_HPP_
+
+#include <functional>
+#include <optional>
+
+#include "core/protocol.hpp"
+
+namespace hbft {
+
+class PrimaryNode : public ReplicaNodeBase {
+ public:
+  using ReplicaNodeBase::ReplicaNodeBase;
+
+  void RunSlice(SimTime until) override;
+
+  // Backup-failure notification: n=2 tolerates one fault, and that fault may
+  // be the backup's. The primary stops replicating (no more relays or ack
+  // waits) and continues as an unreplicated machine — the paper's "replacing
+  // the backup is orthogonal" case.
+  void OnBackupFailureDetected(SimTime t);
+
+  bool solo() const { return solo_; }
+
+  // Console input arriving from the environment (remote console): buffered
+  // as an RX interrupt and relayed like any device interrupt.
+  void InjectConsoleRx(char c, SimTime t);
+
+  // Failure-injection hook, fired at each protocol phase with the current
+  // epoch and the guest I/O sequence number (0 outside I/O phases).
+  void set_phase_hook(std::function<void(FailPhase, uint64_t, uint64_t)> hook) {
+    phase_hook_ = std::move(hook);
+  }
+
+  // World wiring for crash resolution.
+  Channel* outbound_channel() { return out_; }
+
+ private:
+  enum class State {
+    kRun,
+    kBoundaryAwaitAcks,  // Original protocol: P2 ack wait.
+    kIoAwaitAcks,        // Revised protocol: output commit before device I/O.
+  };
+
+  void OnMessage(const Message& msg, SimTime now) override;
+  void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
+  void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
+
+  void Phase(FailPhase phase, uint64_t io_seq = 0);
+  void StartBoundary();
+  void FinishBoundary();
+  void HandleIoInitiation(const GuestIoCommand& io);
+  void CompleteGatedIo();
+
+  State state_ = State::kRun;
+  bool solo_ = false;  // Backup lost: replication off, service continues.
+  uint64_t boundary_tme_ = 0;
+  SimTime boundary_started_ = SimTime::Zero();
+  std::optional<GuestIoCommand> gated_io_;
+  SimTime ack_wait_started_ = SimTime::Zero();
+  uint64_t env_seq_ = 0;
+  std::function<void(FailPhase, uint64_t, uint64_t)> phase_hook_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_CORE_PRIMARY_HPP_

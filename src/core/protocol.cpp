@@ -1,0 +1,152 @@
+#include "core/protocol.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hbft {
+
+const char* FailPhaseName(FailPhase phase) {
+  switch (phase) {
+    case FailPhase::kNone:
+      return "none";
+    case FailPhase::kBeforeSendTme:
+      return "before-send-tme";
+    case FailPhase::kAfterSendTme:
+      return "after-send-tme";
+    case FailPhase::kAfterAckWait:
+      return "after-ack-wait";
+    case FailPhase::kAfterDeliver:
+      return "after-deliver";
+    case FailPhase::kAfterSendEnd:
+      return "after-send-end";
+    case FailPhase::kBeforeIoIssue:
+      return "before-io-issue";
+    case FailPhase::kAfterIoIssue:
+      return "after-io-issue";
+  }
+  return "unknown";
+}
+
+namespace {
+
+MachineConfig WithHostFirst(MachineConfig config, int node_id) {
+  config.trap_mode = TrapMode::kHostFirst;
+  // Per-machine hardware nondeterminism (TLB victim choice) is seeded by the
+  // node id — different on primary and backup, as on real hardware.
+  config.machine_seed = config.machine_seed * 1000003ULL + static_cast<uint64_t>(node_id) + 1;
+  return config;
+}
+
+HypervisorConfig HvConfigFrom(const ReplicationConfig& replication) {
+  HypervisorConfig hv;
+  hv.epoch_length = replication.epoch_length;
+  hv.tlb_takeover = replication.tlb_takeover;
+  return hv;
+}
+
+}  // namespace
+
+ReplicaNodeBase::ReplicaNodeBase(int id, const GuestProgram& guest,
+                                 const MachineConfig& machine_config,
+                                 const ReplicationConfig& replication, const CostModel& costs,
+                                 Disk* disk, Console* console, Channel* out, Channel* in,
+                                 EventScheduler* scheduler)
+    : id_(id),
+      replication_(replication),
+      costs_(costs),
+      hv_(WithHostFirst(machine_config, id), HvConfigFrom(replication), costs),
+      disk_(disk),
+      console_(console),
+      out_(out),
+      in_(in),
+      scheduler_(scheduler) {
+  HBFT_CHECK(guest.image != nullptr);
+  hv_.machine().LoadImage(*guest.image);
+  hv_.machine().cpu().pc = guest.entry_pc;
+  if (guest.wait_loop_end > guest.wait_loop_begin) {
+    hv_.machine().ConfigureIdleLoop(guest.wait_loop_begin, guest.wait_loop_end);
+  }
+  // The guest boots at virtual privilege 0 = real privilege 1, VM off, IE off.
+  hv_.machine().cpu().cr[kCrStatus] = 1;
+  hv_.BeginEpoch();
+}
+
+std::vector<uint64_t> ReplicaNodeBase::PendingDiskOps() const {
+  std::vector<uint64_t> ops;
+  ops.reserve(pending_disk_.size());
+  for (const auto& [op_id, io] : pending_disk_) {
+    ops.push_back(op_id);
+  }
+  return ops;
+}
+
+void ReplicaNodeBase::PollIncoming(SimTime now) {
+  if (dead_) {
+    return;
+  }
+  while (auto msg = in_->Receive(now)) {
+    OnMessage(*msg, now);
+  }
+}
+
+void ReplicaNodeBase::SendToPeer(Message msg) {
+  hv_.AdvanceClock(costs_.msg_send_cpu_cost);
+  auto arrival = out_->Send(std::move(msg), hv_.clock());
+  if (!arrival.has_value()) {
+    return;  // Channel broken: the message vanishes with the sender.
+  }
+  ++stats_.messages_sent;
+  if (schedule_peer_poll_) {
+    schedule_peer_poll_(*arrival);
+  }
+}
+
+void ReplicaNodeBase::IssueRealIo(const GuestIoCommand& io) {
+  ++stats_.io_issued;
+  switch (io.kind) {
+    case GuestIoCommand::Kind::kDiskWrite: {
+      uint64_t op = disk_->IssueWrite(io.block, io.write_data, id_);
+      pending_disk_[op] = io;
+      SimTime completion = hv_.clock() + costs_.disk_write_latency;
+      scheduler_->ScheduleAt(completion, [this, op, completion] {
+        if (!dead_ && !halted_) {
+          HandleDiskCompletion(op, completion);
+        }
+      });
+      break;
+    }
+    case GuestIoCommand::Kind::kDiskRead: {
+      uint64_t op = disk_->IssueRead(io.block, id_);
+      pending_disk_[op] = io;
+      SimTime completion = hv_.clock() + costs_.disk_read_latency;
+      scheduler_->ScheduleAt(completion, [this, op, completion] {
+        if (!dead_ && !halted_) {
+          HandleDiskCompletion(op, completion);
+        }
+      });
+      break;
+    }
+    case GuestIoCommand::Kind::kConsoleTx: {
+      // The character is latched (environment-visible) at issue.
+      console_->Transmit(io.tx_char, id_);
+      uint64_t seq = io.guest_op_seq;
+      SimTime completion = hv_.clock() + costs_.console_tx_latency;
+      scheduler_->ScheduleAt(completion, [this, seq, completion] {
+        if (!dead_ && !halted_) {
+          HandleConsoleTxDone(seq, completion);
+        }
+      });
+      break;
+    }
+  }
+}
+
+void ReplicaNodeBase::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
+  HBFT_CHECK(false) << "HandleDiskCompletion not implemented for this role";
+}
+
+void ReplicaNodeBase::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
+  HBFT_CHECK(false) << "HandleConsoleTxDone not implemented for this role";
+}
+
+}  // namespace hbft

@@ -1,0 +1,215 @@
+// Replica-coordination protocol: shared types and the replica-node base.
+//
+// This module is the paper's primary contribution. The protocol rules map to
+// code as follows:
+//   P1 — PrimaryNode::OnDiskCompletion / OnConsoleTxDone / OnConsoleRx:
+//        buffer the interrupt, relay [E, Int] to the backup.
+//   P2 — PrimaryNode boundary processing: send [Tme_p]; (original variant)
+//        await acknowledgments for everything sent; add timer interrupts
+//        based on Tme_p; deliver buffered interrupts; send [end, E].
+//   P3 — the backup's hypervisor never connects real device interrupts to the
+//        guest; completions reach it only as relayed messages.
+//   P4 — BackupNode::OnMessage: acknowledge and buffer for delivery at the
+//        end of epoch E.
+//   P5 — BackupNode boundary processing: await [Tme_p], resynchronise clocks,
+//        await [end, E], deliver.
+//   P6 — BackupNode::PromoteAtBoundary after the failure detector fires.
+//   P7 — uncertain interrupts synthesised for every outstanding I/O
+//        operation at the end of a failover epoch.
+//
+// The revised protocol of section 4.3 ("New" in Table 1) drops the ack wait
+// in P2 and instead gates every device interaction on all-acked (output
+// commit): ProtocolVariant::kRevised.
+#ifndef HBFT_CORE_PROTOCOL_HPP_
+#define HBFT_CORE_PROTOCOL_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+#include "devices/console.hpp"
+#include "devices/disk.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "net/channel.hpp"
+
+namespace hbft {
+
+enum class ProtocolVariant {
+  kOriginal,  // P2 awaits acknowledgments at every epoch boundary ("Old").
+  kRevised,   // No boundary wait; acks required before device output ("New").
+};
+
+struct ReplicationConfig {
+  uint64_t epoch_length = 4096;
+  ProtocolVariant variant = ProtocolVariant::kOriginal;
+  bool tlb_takeover = true;
+  // Record a virtual-machine state fingerprint at every epoch boundary on
+  // both replicas (lockstep audit; used by tests, off for benchmarks).
+  bool audit_lockstep = false;
+};
+
+// The guest software to boot: an assembled image plus its interface symbols.
+struct GuestProgram {
+  const AssembledImage* image = nullptr;
+  uint32_t entry_pc = 0;
+  uint32_t wait_loop_begin = 0;  // Idle spin loop, for exact fast-forward.
+  uint32_t wait_loop_end = 0;
+};
+
+// Injection point for the simulation's virtual-time events.
+class EventScheduler {
+ public:
+  virtual ~EventScheduler() = default;
+  virtual void ScheduleAt(SimTime t, std::function<void()> fn) = 0;
+  // Earliest pending event, or SimTime::Max(). Nodes cap their run horizon
+  // with this so events they scheduled themselves mid-slice (device
+  // completions, timers) are handled at the right virtual time.
+  virtual SimTime NextEventTime() const = 0;
+};
+
+// A schedulable actor (replica node or bare node) driven by the world loop.
+class NodeActor {
+ public:
+  virtual ~NodeActor() = default;
+
+  // Advances the node until its clock reaches `until`, it blocks on a
+  // protocol wait, or it halts/dies.
+  virtual void RunSlice(SimTime until) = 0;
+  virtual bool runnable() const = 0;
+  virtual SimTime clock() const = 0;
+  virtual bool halted() const = 0;
+  virtual bool dead() const = 0;
+};
+
+// Protocol phases at which a failure can be injected (primary side).
+enum class FailPhase {
+  kNone,
+  kBeforeSendTme,   // Epoch complete, [Tme_p] not yet sent.
+  kAfterSendTme,    // [Tme_p] sent, acks not yet awaited.
+  kAfterAckWait,    // Acks received, interrupts not yet delivered.
+  kAfterDeliver,    // Interrupts delivered, [end, E] not yet sent.
+  kAfterSendEnd,    // [end, E] sent, next epoch not yet started.
+  kBeforeIoIssue,   // Guest initiated I/O; real device not yet touched.
+  kAfterIoIssue,    // Real device operation in flight.
+};
+
+const char* FailPhaseName(FailPhase phase);
+
+// Shared machinery for primary and backup replicas: the hypervisor, channel
+// endpoints, real-device access, and bookkeeping. "Real device" methods are
+// used by the primary from the start and by the backup after promotion.
+class ReplicaNodeBase : public NodeActor {
+ public:
+  ReplicaNodeBase(int id, const GuestProgram& guest, const MachineConfig& machine_config,
+                  const ReplicationConfig& replication, const CostModel& costs, Disk* disk,
+                  Console* console, Channel* out, Channel* in, EventScheduler* scheduler);
+  ~ReplicaNodeBase() override = default;
+
+  SimTime clock() const override { return hv_.clock(); }
+  bool runnable() const override { return runnable_ && !halted_ && !dead_; }
+  bool halted() const override { return halted_; }
+  bool dead() const override { return dead_; }
+
+  Hypervisor& hypervisor() { return hv_; }
+  const Hypervisor& hypervisor() const { return hv_; }
+  uint64_t epoch() const { return epoch_; }
+
+  // Pending real-device operations (world resolves them at a crash).
+  std::vector<uint64_t> PendingDiskOps() const;
+
+  // Wired by the world: delivers queued channel messages to this node.
+  void PollIncoming(SimTime now);
+
+  // Fail-stop crash: the node stops executing and its outbound channel
+  // breaks; messages already sent still arrive (paper failure model).
+  void Kill(SimTime t) {
+    dead_ = true;
+    runnable_ = false;
+    out_->Break(t);
+  }
+
+  struct Stats {
+    uint64_t messages_sent = 0;
+    uint64_t messages_received = 0;
+    uint64_t acks_received = 0;
+    uint64_t env_values = 0;
+    uint64_t io_issued = 0;
+    uint64_t io_suppressed = 0;
+    uint64_t uncertain_synthesised = 0;
+    uint64_t epochs = 0;
+    SimTime ack_wait_time = SimTime::Zero();
+    SimTime boundary_time = SimTime::Zero();  // Total epoch-boundary processing.
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Lockstep audit trail: one VM-state fingerprint per completed epoch
+  // boundary, recorded at the identical instruction-stream point on both
+  // replicas (requires ReplicationConfig::audit_lockstep).
+  const std::vector<uint64_t>& boundary_fingerprints() const { return boundary_fingerprints_; }
+
+ protected:
+  // Sends a protocol message to the peer, charging CPU cost and scheduling
+  // the peer's poll at the arrival time.
+  void SendToPeer(Message msg);
+
+  // Issues a guest I/O command against the real devices; schedules the
+  // completion event. Only the active replica calls this.
+  void IssueRealIo(const GuestIoCommand& io);
+
+  // Handles a real disk completion (primary role or promoted backup).
+  virtual void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time);
+  // Handles a real console TX latch completion.
+  virtual void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time);
+
+  // Called by subclasses when the peer must be woken; set by the world.
+  std::function<void(SimTime)> schedule_peer_poll_;
+
+  uint64_t TodNow() const { return static_cast<uint64_t>(costs_.TodFromTime(hv_.clock())); }
+
+  int id_;
+  ReplicationConfig replication_;
+  CostModel costs_;
+  Hypervisor hv_;
+  Disk* disk_;
+  Console* console_;
+  Channel* out_;
+  Channel* in_;
+  EventScheduler* scheduler_;
+
+  uint64_t epoch_ = 0;
+  bool runnable_ = true;
+  bool halted_ = false;
+  bool dead_ = false;
+
+  // Ack accounting (paper P2/P4): out_->messages_sent() vs acks seen.
+  uint64_t acked_count_ = 0;
+  bool AllAcked() const { return acked_count_ >= out_->messages_sent(); }
+
+  // In-flight real-device operations: disk op id -> initiating command.
+  std::map<uint64_t, GuestIoCommand> pending_disk_;
+
+  Stats stats_;
+
+  void RecordBoundaryFingerprint() {
+    if (replication_.audit_lockstep) {
+      boundary_fingerprints_.push_back(hv_.machine().Fingerprint());
+    }
+  }
+  std::vector<uint64_t> boundary_fingerprints_;
+
+ private:
+  friend class World;
+  virtual void OnMessage(const Message& msg, SimTime now) = 0;
+
+ public:
+  // World wiring.
+  void set_schedule_peer_poll(std::function<void(SimTime)> fn) {
+    schedule_peer_poll_ = std::move(fn);
+  }
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_CORE_PROTOCOL_HPP_

@@ -1,0 +1,4 @@
+#include "devices/console.hpp"
+
+// Console is header-only today; this translation unit anchors the library.
+namespace hbft {}

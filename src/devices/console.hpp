@@ -1,0 +1,56 @@
+// Remote console device: byte-oriented TX (environment output) and RX input
+// injection with interrupt semantics.
+//
+// In the paper's prototype the remote console sits on the Ethernet and is the
+// second I/O device besides the SCSI disk. Console output is the clearest
+// "interaction with the environment": the replication protocol must suppress
+// backup output while the primary lives and allow at most a window of
+// duplicated output across failover.
+#ifndef HBFT_DEVICES_CONSOLE_HPP_
+#define HBFT_DEVICES_CONSOLE_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace hbft {
+
+struct ConsoleTraceEntry {
+  char ch = 0;
+  int issuer = 0;
+};
+
+class Console {
+ public:
+  // Environment-visible output.
+  void Transmit(char c, int issuer) {
+    output_.push_back(c);
+    trace_.push_back(ConsoleTraceEntry{c, issuer});
+  }
+
+  // Input path (host injects; guest pops via the RX register).
+  void InjectInput(const std::string& text) {
+    for (char c : text) {
+      rx_fifo_.push_back(c);
+    }
+  }
+  bool HasRx() const { return !rx_fifo_.empty(); }
+  char PopRx() {
+    char c = rx_fifo_.front();
+    rx_fifo_.pop_front();
+    return c;
+  }
+
+  const std::string& output() const { return output_; }
+  const std::vector<ConsoleTraceEntry>& trace() const { return trace_; }
+
+ private:
+  std::string output_;
+  std::deque<char> rx_fifo_;
+  std::vector<ConsoleTraceEntry> trace_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_DEVICES_CONSOLE_HPP_

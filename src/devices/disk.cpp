@@ -1,0 +1,107 @@
+#include "devices/disk.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace hbft {
+
+Disk::Disk(uint32_t num_blocks, uint64_t seed) : num_blocks_(num_blocks), rng_(seed) {
+  HBFT_CHECK_GT(num_blocks, 0u);
+}
+
+std::vector<uint8_t> Disk::DefaultBlockContent(uint32_t block) const {
+  std::vector<uint8_t> data(kDiskBlockBytes);
+  uint64_t x = Fnv1a(&block, sizeof(block));
+  for (uint32_t i = 0; i < kDiskBlockBytes; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    data[i] = static_cast<uint8_t>(x >> 56);
+  }
+  return data;
+}
+
+void Disk::ApplyWrite(uint32_t block, const std::vector<uint8_t>& data) {
+  blocks_[block] = data;
+}
+
+uint64_t Disk::IssueWrite(uint32_t block, std::vector<uint8_t> data, int issuer) {
+  HBFT_CHECK_LT(block, num_blocks_);
+  HBFT_CHECK_EQ(data.size(), kDiskBlockBytes);
+  uint64_t id = next_op_id_++;
+  in_flight_[id] = InFlightOp{true, block, issuer, std::move(data)};
+  return id;
+}
+
+uint64_t Disk::IssueRead(uint32_t block, int issuer) {
+  HBFT_CHECK_LT(block, num_blocks_);
+  uint64_t id = next_op_id_++;
+  in_flight_[id] = InFlightOp{false, block, issuer, {}};
+  return id;
+}
+
+Disk::Completion Disk::Complete(uint64_t op_id) {
+  auto it = in_flight_.find(op_id);
+  HBFT_CHECK(it != in_flight_.end()) << "completing unknown disk op " << op_id;
+  InFlightOp op = std::move(it->second);
+  in_flight_.erase(it);
+
+  Completion completion;
+  bool uncertain = rng_.NextBool(fault_plan_.uncertain_probability);
+  if (uncertain) {
+    completion.status = DiskStatus::kUncertain;
+    completion.performed = rng_.NextBool(fault_plan_.performed_when_uncertain);
+  } else {
+    completion.status = DiskStatus::kOk;
+    completion.performed = true;
+  }
+
+  DiskTraceEntry entry;
+  entry.op_id = op_id;
+  entry.is_write = op.is_write;
+  entry.block = op.block;
+  entry.issuer = op.issuer;
+  entry.performed = completion.performed;
+  entry.status = completion.status;
+
+  if (completion.performed) {
+    if (op.is_write) {
+      entry.content_hash = Fnv1a(op.data.data(), op.data.size());
+      ApplyWrite(op.block, op.data);
+    } else {
+      completion.data = PeekBlock(op.block);
+    }
+  }
+  trace_.push_back(entry);
+  return completion;
+}
+
+void Disk::ResolveInFlightAtCrash(uint64_t op_id, bool performed) {
+  auto it = in_flight_.find(op_id);
+  HBFT_CHECK(it != in_flight_.end()) << "resolving unknown disk op " << op_id;
+  InFlightOp op = std::move(it->second);
+  in_flight_.erase(it);
+  if (!performed) {
+    return;  // The environment never saw the operation.
+  }
+  DiskTraceEntry entry;
+  entry.op_id = op_id;
+  entry.is_write = op.is_write;
+  entry.block = op.block;
+  entry.issuer = op.issuer;
+  entry.performed = true;
+  entry.status = DiskStatus::kOk;  // Completed at the device; interrupt lost.
+  if (op.is_write) {
+    entry.content_hash = Fnv1a(op.data.data(), op.data.size());
+    ApplyWrite(op.block, op.data);
+  }
+  trace_.push_back(entry);
+}
+
+std::vector<uint8_t> Disk::PeekBlock(uint32_t block) const {
+  auto it = blocks_.find(block);
+  if (it != blocks_.end()) {
+    return it->second;
+  }
+  return DefaultBlockContent(block);
+}
+
+}  // namespace hbft

@@ -1,0 +1,111 @@
+// Dual-ported block disk — the shared SCSI disk of the paper's prototype.
+//
+// The device satisfies the paper's I/O interface axioms:
+//   IO1: an issued-and-performed operation raises a completion interrupt;
+//   IO2: an uncertain completion (SCSI CHECK_CONDITION analogue) means the
+//        operation may or may not have been performed.
+// Drivers must therefore retry after uncertain completions, and the device
+// tolerates re-issued operations (block writes are idempotent). Protocol rule
+// P7 exploits exactly this: at failover the backup's hypervisor synthesises
+// uncertain interrupts for all outstanding operations.
+//
+// The disk is passive with respect to time: the simulation issues operations,
+// decides when they complete (transfer-time model), and calls Complete(). A
+// crash of the issuing processor mid-operation is resolved explicitly with
+// ResolveInFlightAtCrash(performed) — the "may or may not" of IO2 made
+// concrete and testable.
+#ifndef HBFT_DEVICES_DISK_HPP_
+#define HBFT_DEVICES_DISK_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hbft {
+
+inline constexpr uint32_t kDiskBlockBytes = 8192;  // The paper's 8K blocks.
+
+enum class DiskStatus : uint32_t {
+  kOk = 0,
+  kUncertain = 1,  // CHECK_CONDITION: operation may or may not have happened.
+};
+
+// One environment-visible disk event, recorded for consistency checking.
+struct DiskTraceEntry {
+  uint64_t op_id = 0;
+  bool is_write = false;
+  uint32_t block = 0;
+  int issuer = 0;           // Node id that issued the operation.
+  bool performed = false;   // Whether the medium changed / data was read.
+  DiskStatus status = DiskStatus::kOk;
+  uint64_t content_hash = 0;  // Hash of written data (writes only).
+};
+
+// Injects transient faults: each completion independently becomes uncertain
+// with probability `uncertain_probability`; when uncertain, the operation was
+// actually performed with probability `performed_when_uncertain`.
+struct DiskFaultPlan {
+  double uncertain_probability = 0.0;
+  double performed_when_uncertain = 0.5;
+};
+
+class Disk {
+ public:
+  Disk(uint32_t num_blocks, uint64_t seed);
+
+  void set_fault_plan(const DiskFaultPlan& plan) { fault_plan_ = plan; }
+
+  // Issues an operation on behalf of node `issuer`; returns the op id.
+  // Write data is captured at issue time (the DMA snapshot).
+  uint64_t IssueWrite(uint32_t block, std::vector<uint8_t> data, int issuer);
+  uint64_t IssueRead(uint32_t block, int issuer);
+
+  struct Completion {
+    DiskStatus status = DiskStatus::kOk;
+    bool performed = false;
+    std::vector<uint8_t> data;  // Read data when performed.
+  };
+
+  // Completes an in-flight operation, applying the fault plan. Records the
+  // environment trace entry.
+  Completion Complete(uint64_t op_id);
+
+  // Resolves an operation whose issuer crashed before completion: the
+  // environment either saw it or did not. No interrupt is ever delivered.
+  void ResolveInFlightAtCrash(uint64_t op_id, bool performed);
+
+  bool HasInFlight(uint64_t op_id) const { return in_flight_.count(op_id) != 0; }
+
+  // Direct content access for verification (not a device operation).
+  std::vector<uint8_t> PeekBlock(uint32_t block) const;
+
+  const std::vector<DiskTraceEntry>& trace() const { return trace_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+
+ private:
+  struct InFlightOp {
+    bool is_write = false;
+    uint32_t block = 0;
+    int issuer = 0;
+    std::vector<uint8_t> data;
+  };
+
+  // Unwritten blocks hold a deterministic per-block pattern so reads are
+  // verifiable without priming the disk.
+  std::vector<uint8_t> DefaultBlockContent(uint32_t block) const;
+  void ApplyWrite(uint32_t block, const std::vector<uint8_t>& data);
+
+  uint32_t num_blocks_;
+  DeterministicRng rng_;
+  DiskFaultPlan fault_plan_;
+  uint64_t next_op_id_ = 1;
+  std::unordered_map<uint64_t, InFlightOp> in_flight_;
+  std::unordered_map<uint32_t, std::vector<uint8_t>> blocks_;
+  std::vector<DiskTraceEntry> trace_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_DEVICES_DISK_HPP_

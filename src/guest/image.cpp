@@ -1,0 +1,32 @@
+#include "guest/image.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "guest/minios.hpp"
+#include "guest/workloads.hpp"
+
+namespace hbft {
+
+const GuestImageBundle& GetGuestImage() {
+  static const GuestImageBundle* bundle = [] {
+    auto* b = new GuestImageBundle();
+    std::string source = std::string(kMiniOsKernelSource) + "\n" + kWorkloadsSource;
+    auto result = Assemble(source);
+    HBFT_CHECK(result.ok()) << "guest assembly failed: " << result.error().ToString();
+    b->image = std::move(result).take();
+    b->program.image = &b->image;
+    b->program.entry_pc = b->image.SymbolOrDie("boot");
+    b->program.wait_loop_begin = b->image.SymbolOrDie("__wait_loop");
+    b->program.wait_loop_end = b->image.SymbolOrDie("__wait_loop_end");
+    b->exit_code_addr = b->image.SymbolOrDie("KD_EXIT_CODE");
+    b->exit_checksum_addr = b->image.SymbolOrDie("KD_EXIT_CHECKSUM");
+    b->exited_flag_addr = b->image.SymbolOrDie("KD_EXITED");
+    b->ticks_addr = b->image.SymbolOrDie("KD_TICKS");
+    b->panic_code_addr = b->image.SymbolOrDie("KD_PANIC_CODE");
+    return b;
+  }();
+  return *bundle;
+}
+
+}  // namespace hbft

@@ -1,0 +1,27 @@
+// Builds (and caches) the complete guest image: MiniOS kernel + workloads.
+#ifndef HBFT_GUEST_IMAGE_HPP_
+#define HBFT_GUEST_IMAGE_HPP_
+
+#include "core/protocol.hpp"
+#include "isa/assembler.hpp"
+
+namespace hbft {
+
+struct GuestImageBundle {
+  AssembledImage image;
+  GuestProgram program;  // program.image points at this bundle's image.
+
+  // Kernel data addresses the host reads after a run.
+  uint32_t exit_code_addr = 0;
+  uint32_t exit_checksum_addr = 0;
+  uint32_t exited_flag_addr = 0;
+  uint32_t ticks_addr = 0;
+  uint32_t panic_code_addr = 0;
+};
+
+// Assembles the guest once per process; the result is immutable.
+const GuestImageBundle& GetGuestImage();
+
+}  // namespace hbft
+
+#endif  // HBFT_GUEST_IMAGE_HPP_

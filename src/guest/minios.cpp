@@ -1,0 +1,536 @@
+#include "guest/minios.hpp"
+
+namespace hbft {
+
+// The MiniOS kernel. See minios.hpp for the design constraints. Memory map:
+//   0x0000_0000  kernel text (boot, trap vector, handlers)     [wired TLB]
+//   0x0000_4000  parameter block (host-patched; user-readable) [wired TLB]
+//   0x0000_5000  kernel data (flags, save areas, rx ring)      [wired TLB]
+//   0x0000_6000  kernel stack (grows down from 0x8000)         [wired TLB]
+//   0x0000_8000  linear page table, 1024 entries               [wired TLB]
+//   0x0020_0000  user text + strings
+//   0x0030_0000  user data (I/O buffer at 0x31_0000)
+//   0x0038_0000  demand-zero heap (PTEs invalid until faulted)
+//   0x003F_0000  user stack top
+//   0xF000_0000  disk controller MMIO    } wired TLB, reachable only at real
+//   0xF000_1000  console MMIO            } privilege 0 => hypervisor traps
+const char* const kMiniOsKernelSource = R"ASM(
+; ============================ constants =====================================
+.equ PB_MAGIC,        0x4000
+.equ PB_WORKLOAD,     0x4004
+.equ PB_ITER,         0x4008
+.equ PB_BURST,        0x400C
+.equ PB_DRIVER_LOOPS, 0x4010
+.equ PB_TICK_LOOPS,   0x4014
+.equ PB_NUM_BLOCKS,   0x4018
+.equ PB_SEED,         0x401C
+.equ PB_TICK_PERIOD,  0x4020
+.equ PB_VERBOSITY,    0x4024
+
+.equ KD_TICKS,        0x5000
+.equ KD_ITMR_NEXT,    0x5004
+.equ KD_DISK_DONE,    0x5008
+.equ KD_DISK_RESULT,  0x500C
+.equ KD_CON_TX_DONE,  0x5010
+.equ KD_CON_RESULT,   0x5014
+.equ KD_RX_AVAIL,     0x5018
+.equ KD_RX_WR,        0x501C
+.equ KD_RX_RD,        0x5020
+.equ KD_SAVED_EPC,    0x5024
+.equ KD_SAVED_STATUS, 0x5028
+.equ KD_EXIT_CODE,    0x502C
+.equ KD_EXIT_CHECKSUM,0x5030
+.equ KD_EXITED,       0x5034
+.equ KD_PANIC_CODE,   0x5038
+.equ KD_RX_RING,      0x5040
+
+.equ KSAVE1,          0x5100
+.equ KSAVE2,          0x5200
+.equ KSTACK_TOP,      0x8000
+.equ PT_BASE,         0x8000
+.equ USER_ENTRY,      0x200000
+
+; status bits: priv[1:0] ie=4 prevpriv[4:3] previe=0x20 rctren=0x40 vm=0x80
+; trap causes: syscall=9 interrupt=12 tlbmiss=4/5/6 pagefault=7
+; pte bits: V=1 W=2 X=4 U=8 WIRED=16
+
+; ============================ boot ==========================================
+.org 0
+boot:
+    jal t0, boot1            ; branch-and-link deposits the privilege level in
+boot1:                       ; the low bits of t0 (PA-RISC behaviour) ...
+    srli t0, t0, 2           ; ... mask it out: the position-independence hack
+    slli t0, t0, 2           ; of paper section 3.1. Same binary runs bare
+                             ; (bits 00) and hypervised (bits 01).
+    li sp, KSTACK_TOP
+    la t1, trap_entry
+    mtcr tvec, t1
+    li t1, PT_BASE
+    mtcr ptbase, t1
+    call build_page_table
+    call wire_tlb
+    ; zero kernel state
+    sw zero, KD_TICKS(zero)
+    sw zero, KD_ITMR_NEXT(zero)
+    sw zero, KD_DISK_DONE(zero)
+    sw zero, KD_DISK_RESULT(zero)
+    sw zero, KD_CON_TX_DONE(zero)
+    sw zero, KD_CON_RESULT(zero)
+    sw zero, KD_RX_AVAIL(zero)
+    sw zero, KD_RX_WR(zero)
+    sw zero, KD_RX_RD(zero)
+    sw zero, KD_EXIT_CODE(zero)
+    sw zero, KD_EXIT_CHECKSUM(zero)
+    sw zero, KD_EXITED(zero)
+    sw zero, KD_PANIC_CODE(zero)
+    ; start the clock: first tick one period from now
+    mfcr t1, tod             ; environment instruction (forwarded to backup)
+    lw t2, PB_TICK_PERIOD(zero)
+    add t1, t1, t2
+    sw t1, KD_ITMR_NEXT(zero)
+    mtcr itmr, t1
+    ; drop to user mode with translation on: status = VM | prevpriv=3 | previe
+    li t1, 0xB8
+    mtcr status, t1
+    li t1, USER_ENTRY
+    mtcr epc, t1
+    rfi
+
+; ============================ page table ====================================
+; vpn 0..15: kernel V|W|X (param block vpn 4: V|U);
+; vpn 0x200..0x37F and 0x3C0..0x3FF: user V|W|X|U;
+; vpn 0x380..0x3BF: demand-zero heap (invalid until faulted); rest invalid.
+build_page_table:
+    li t0, PT_BASE
+    li t1, 0
+bpt_loop:
+    li t3, 0
+    li t4, 16
+    bgeu t1, t4, bpt_user_range
+    li t3, 7                 ; kernel: V|W|X
+    li t4, 4
+    bne t1, t4, bpt_store
+    li t3, 9                 ; param block: V|U
+    j bpt_store
+bpt_user_range:
+    li t4, 0x200
+    bltu t1, t4, bpt_store
+    li t4, 0x400
+    bgeu t1, t4, bpt_store
+    li t4, 0x380
+    bltu t1, t4, bpt_user
+    li t4, 0x3C0
+    bltu t1, t4, bpt_store   ; heap hole: invalid
+bpt_user:
+    li t3, 0xF               ; user: V|W|X|U
+bpt_store:
+    slli t4, t1, 12          ; identity: pfn = vpn
+    or t3, t3, t4
+    sw t3, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 1
+    li t4, 1024
+    bltu t1, t4, bpt_loop
+    ret
+
+; Wire the kernel's own pages plus both MMIO pages so trap handlers never
+; miss in the TLB (nested TLB misses in handlers would be fatal).
+wire_tlb:
+    li t0, 0
+wt_loop:
+    slli t1, t0, 12
+    ori t2, t1, 0x17         ; V|W|X|WIRED
+    tlbi t1, t2
+    addi t0, t0, 1
+    li t3, 9
+    bltu t0, t3, wt_loop
+    li t1, 0x4000            ; param block: user-readable
+    li t2, 0x4019            ; V|U|WIRED
+    tlbi t1, t2
+    li t1, 0xF0000000        ; disk MMIO
+    li t2, 0xF0000013        ; V|W|WIRED
+    tlbi t1, t2
+    li t1, 0xF0001000        ; console MMIO
+    li t2, 0xF0001013
+    tlbi t1, t2
+    ret
+
+; ============================ trap entry ====================================
+; Two save areas: KSAVE1 for traps out of user mode, KSAVE2 for the single
+; permitted nesting level (a device/timer interrupt while the kernel spins in
+; kwait with interrupts enabled). kwait saves EPC/STATUS to memory first, so
+; the nested trap may clobber them.
+trap_entry:
+    mtcr scratch0, k0
+    mtcr scratch1, k1
+    mfcr k0, status
+    andi k0, k0, 0x18        ; previous privilege
+    bnez k0, te_user
+    li k0, KSAVE2            ; nested: trapped out of kernel
+    j te_save
+te_user:
+    li k0, KSAVE1
+te_save:
+    sw r1, 4(k0)
+    sw r2, 8(k0)
+    sw r3, 12(k0)
+    sw r4, 16(k0)
+    sw r5, 20(k0)
+    sw r6, 24(k0)
+    sw r7, 28(k0)
+    sw r8, 32(k0)
+    sw r9, 36(k0)
+    sw r10, 40(k0)
+    sw r11, 44(k0)
+    sw r12, 48(k0)
+    sw r13, 52(k0)
+    sw r14, 56(k0)
+    sw r15, 60(k0)
+    sw r16, 64(k0)
+    sw r17, 68(k0)
+    sw r18, 72(k0)
+    sw r19, 76(k0)
+    sw r20, 80(k0)
+    sw r21, 84(k0)
+    sw r22, 88(k0)
+    sw r23, 92(k0)
+    sw r24, 96(k0)
+    sw r25, 100(k0)
+    mfcr k1, scratch0
+    sw k1, 104(k0)           ; original k0 (r26)
+    mfcr k1, scratch1
+    sw k1, 108(k0)           ; original k1 (r27)
+    sw r28, 112(k0)
+    sw r29, 116(k0)
+    sw r30, 120(k0)
+    sw r31, 124(k0)
+    ; dispatch: nested traps may only be interrupts
+    mfcr t1, status
+    andi t1, t1, 0x18
+    beqz t1, nested_dispatch
+    mfcr t0, ecause
+    li t1, 12
+    beq t0, t1, du_interrupt
+    li t1, 9
+    beq t0, t1, sc_dispatch
+    li t1, 4
+    beq t0, t1, tlb_refill
+    li t1, 5
+    beq t0, t1, tlb_refill
+    li t1, 6
+    beq t0, t1, tlb_refill
+    li t1, 7
+    beq t0, t1, page_fault
+    j panic_bad_trap
+
+nested_dispatch:
+    mfcr t0, ecause
+    li t1, 12
+    bne t0, t1, panic_bad_trap
+    call handle_interrupts
+    j trap_exit_nested
+
+du_interrupt:
+    call handle_interrupts
+    j trap_exit_user
+
+; ============================ trap exit =====================================
+trap_exit_user:
+    li k0, KSAVE1
+    j restore_common
+trap_exit_nested:
+    li k0, KSAVE2
+restore_common:
+    lw r1, 4(k0)
+    lw r2, 8(k0)
+    lw r3, 12(k0)
+    lw r4, 16(k0)
+    lw r5, 20(k0)
+    lw r6, 24(k0)
+    lw r7, 28(k0)
+    lw r8, 32(k0)
+    lw r9, 36(k0)
+    lw r10, 40(k0)
+    lw r11, 44(k0)
+    lw r12, 48(k0)
+    lw r13, 52(k0)
+    lw r14, 56(k0)
+    lw r15, 60(k0)
+    lw r16, 64(k0)
+    lw r17, 68(k0)
+    lw r18, 72(k0)
+    lw r19, 76(k0)
+    lw r20, 80(k0)
+    lw r21, 84(k0)
+    lw r22, 88(k0)
+    lw r23, 92(k0)
+    lw r24, 96(k0)
+    lw r25, 100(k0)
+    lw r27, 108(k0)
+    lw r28, 112(k0)
+    lw r29, 116(k0)
+    lw r30, 120(k0)
+    lw r31, 124(k0)
+    lw r26, 104(k0)          ; base register last
+    rfi
+
+; ============================ interrupts ====================================
+; Reads EIRR, services each line, acknowledges at the device, clears the EIRR
+; bits seen (write-1-to-clear). Called with everything saved; uses t0-t5.
+handle_interrupts:
+    mfcr t0, eirr
+    andi t1, t0, 1           ; interval timer
+    beqz t1, hi_disk
+    lw t2, KD_TICKS(zero)
+    addi t2, t2, 1
+    sw t2, KD_TICKS(zero)
+    lw t2, KD_ITMR_NEXT(zero)
+    lw t3, PB_TICK_PERIOD(zero)
+    add t2, t2, t3
+    sw t2, KD_ITMR_NEXT(zero)
+    mtcr itmr, t2
+    ; clock-maintenance work (models HP-UX tick processing: callouts,
+    ; profiling); each iteration is one hypervisor-simulated instruction
+    lw t3, PB_TICK_LOOPS(zero)
+    beqz t3, hi_disk
+hi_tick_loop:
+    mfcr t4, scratch3
+    addi t3, t3, -1
+    bnez t3, hi_tick_loop
+hi_disk:
+    andi t1, t0, 2           ; disk completion
+    beqz t1, hi_contx
+    li t2, 0xF0000000
+    lw t3, 0x14(t2)          ; RESULT
+    sw t3, KD_DISK_RESULT(zero)
+    li t4, 1
+    sw t4, 0x18(t2)          ; INTACK
+    sw t4, KD_DISK_DONE(zero)
+hi_contx:
+    andi t1, t0, 8           ; console TX done
+    beqz t1, hi_conrx
+    li t2, 0xF0001000
+    lw t3, 0x10(t2)          ; RESULT (0 ok, 1 uncertain)
+    sw t3, KD_CON_RESULT(zero)
+    li t4, 2                 ; ack TX line only
+    sw t4, 0x0C(t2)
+    li t4, 1
+    sw t4, KD_CON_TX_DONE(zero)
+hi_conrx:
+    andi t1, t0, 4           ; console RX
+    beqz t1, hi_done
+    li t2, 0xF0001000
+    lw t3, 0x04(t2)          ; RX character
+    lw t4, KD_RX_WR(zero)
+    andi t5, t4, 15
+    sb t3, KD_RX_RING(t5)
+    addi t4, t4, 1
+    sw t4, KD_RX_WR(zero)
+    li t4, 1
+    sw t4, KD_RX_AVAIL(zero)
+    sw t4, 0x0C(t2)          ; ack RX line only
+hi_done:
+    mtcr eirr, t0            ; W1C: clear exactly the bits serviced
+    ret
+
+; ============================ kwait =========================================
+; Blocks until *(t6) != 0 with interrupts enabled. The interval timer and
+; device completions arrive as nested traps and set the flag. EPC/STATUS are
+; saved to memory because the nested trap overwrites them.
+; __wait_loop/__wait_loop_end bound the canonical three-instruction spin that
+; the machine model fast-forwards.
+kwait:
+    mfcr t3, epc
+    sw t3, KD_SAVED_EPC(zero)
+    mfcr t3, status
+    sw t3, KD_SAVED_STATUS(zero)
+    ori t3, t3, 4            ; enable interrupts
+    mtcr status, t3
+__wait_loop:
+    lw t5, 0(t6)
+    bnez t5, __wait_done
+    j __wait_loop
+__wait_done:
+__wait_loop_end:
+    lw t3, KD_SAVED_STATUS(zero)
+    mtcr status, t3          ; interrupts off again; prev fields restored
+    lw t3, KD_SAVED_EPC(zero)
+    mtcr epc, t3
+    ret
+
+; ============================ syscalls ======================================
+; Number in t0 (r8), args in a0-a3, result written to the saved-a0 slot.
+sc_dispatch:
+    lw t0, 32(k0)            ; saved r8: syscall number
+    lw a0, 16(k0)            ; saved a0
+    lw a1, 20(k0)            ; saved a1
+    li t1, 1
+    beq t0, t1, sys_exit
+    li t1, 2
+    beq t0, t1, sys_putc
+    li t1, 3
+    beq t0, t1, sys_getticks
+    li t1, 4
+    beq t0, t1, sys_gettime
+    li t1, 5
+    beq t0, t1, sys_disk_read
+    li t1, 6
+    beq t0, t1, sys_disk_write
+    li t1, 7
+    beq t0, t1, sys_getc
+    j panic_bad_syscall
+
+sys_exit:
+    sw a0, KD_EXIT_CODE(zero)
+    sw a1, KD_EXIT_CHECKSUM(zero)
+    li t1, 1
+    sw t1, KD_EXITED(zero)
+    halt
+
+sys_getticks:
+    lw t1, KD_TICKS(zero)
+    sw t1, 16(k0)
+    j trap_exit_user
+
+sys_gettime:
+    mfcr t1, tod             ; environment instruction
+    sw t1, 16(k0)
+    j trap_exit_user
+
+; putc: latch the character, wait for TX-done, retry on uncertain completion
+; (IO2: the character may or may not have reached the terminal).
+sys_putc:
+    li t1, 100               ; retry bound
+sp_retry:
+    sw zero, KD_CON_TX_DONE(zero)
+    li t2, 0xF0001000
+    sw a0, 0(t2)             ; TX
+    addi t6, zero, KD_CON_TX_DONE
+    call kwait
+    lw t2, KD_CON_RESULT(zero)
+    beqz t2, sp_ok
+    addi t1, t1, -1
+    bnez t1, sp_retry
+    j panic_io
+sp_ok:
+    sw zero, 16(k0)
+    j trap_exit_user
+
+; Disk driver: program the controller, issue, wait for the completion
+; interrupt; on CHECK_CONDITION re-issue the whole operation (the repetition
+; the environment must tolerate — and that P7 exploits at failover).
+sys_disk_read:
+    li t4, 1                 ; CMD 1 = read
+    j disk_common
+sys_disk_write:
+    li t4, 2                 ; CMD 2 = write
+disk_common:
+    li t1, 100               ; retry bound
+dc_retry:
+    lw t2, PB_DRIVER_LOOPS(zero)   ; SCSI-stack work knob: privileged reads
+    beqz t2, dc_prog
+dc_loop:
+    mfcr t3, scratch3
+    addi t2, t2, -1
+    bnez t2, dc_loop
+dc_prog:
+    sw zero, KD_DISK_DONE(zero)
+    li t2, 0xF0000000
+    sw a0, 8(t2)             ; BLOCK
+    li t3, 1
+    sw t3, 12(t2)            ; COUNT
+    sw a1, 16(t2)            ; DMA address (user buffer, identity-mapped)
+    sw t4, 0(t2)             ; CMD: operation starts
+    addi t6, zero, KD_DISK_DONE
+    call kwait
+    lw t2, KD_DISK_RESULT(zero)
+    beqz t2, dc_ok
+    addi t1, t1, -1
+    bnez t1, dc_retry
+    j panic_io
+dc_ok:
+    sw zero, 16(k0)
+    j trap_exit_user
+
+sys_getc:
+sg_check:
+    lw t1, KD_RX_RD(zero)
+    lw t2, KD_RX_WR(zero)
+    bne t1, t2, sg_pop
+    sw zero, KD_RX_AVAIL(zero)
+    addi t6, zero, KD_RX_AVAIL
+    call kwait
+    j sg_check
+sg_pop:
+    andi t3, t1, 15
+    lbu t4, KD_RX_RING(t3)
+    addi t1, t1, 1
+    sw t1, KD_RX_RD(zero)
+    sw t4, 16(k0)
+    j trap_exit_user
+
+; ============================ memory faults =================================
+; Bare machine: software TLB refill from the linear page table (the paper's
+; PA-RISC behaviour). Under the hypervisor this path never runs for present
+; pages — the hypervisor fills the TLB itself (section 3.2) and reflects only
+; genuine page faults (cause 7).
+tlb_refill:
+    mfcr t0, evaddr
+    srli t1, t0, 12
+    li t2, 1024
+    bgeu t1, t2, pf_bad
+    slli t1, t1, 2
+    li t2, PT_BASE
+    add t1, t1, t2
+    lwp t2, 0(t1)            ; physical read of the PTE
+    andi t3, t2, 1
+    beqz t3, page_fault_common
+    tlbi t0, t2
+    j trap_exit_user
+
+page_fault:
+    mfcr t0, evaddr
+page_fault_common:
+    srli t1, t0, 12
+    li t2, 0x380             ; demand-zero heap?
+    bltu t1, t2, pf_bad
+    li t2, 0x3C0
+    bgeu t1, t2, pf_bad
+    slli t3, t1, 12          ; pte = identity | V|W|X|U
+    ori t3, t3, 0xF
+    slli t4, t1, 2
+    li t5, PT_BASE
+    add t4, t4, t5
+    sw t3, 0(t4)
+    tlbi t0, t3
+    slli t5, t1, 12          ; zero the fresh page
+    li t4, 1024
+pf_zero_loop:
+    sw zero, 0(t5)
+    addi t5, t5, 4
+    addi t4, t4, -1
+    bnez t4, pf_zero_loop
+    j trap_exit_user
+pf_bad:
+    li a0, 5
+    j panic
+
+; ============================ panic =========================================
+panic_io:
+    li a0, 2
+    j panic
+panic_bad_trap:
+    li a0, 3
+    j panic
+panic_bad_syscall:
+    li a0, 4
+panic:
+    sw a0, KD_PANIC_CODE(zero)
+    li a1, 0xDEAD
+    sw a1, KD_EXIT_CODE(zero)
+    li a1, 2
+    sw a1, KD_EXITED(zero)
+    halt
+)ASM";
+
+}  // namespace hbft

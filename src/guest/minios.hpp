@@ -1,0 +1,63 @@
+// MiniOS: the guest operating system (the reproduction's HP-UX stand-in).
+//
+// MiniOS is written in VPA-32 assembly and assembled at start-up. It is a
+// real (if small) kernel: it boots at privilege 0 with translation off,
+// builds a page table, wires its own TLB entries, takes traps through a
+// single vector, maintains a clock from interval-timer interrupts, exposes a
+// syscall ABI to user programs running at privilege 3, and drives the disk
+// and console through interrupt-driven drivers that retry on uncertain
+// completions (the paper's IO1/IO2 interface).
+//
+// Design constraints that mirror the paper:
+//   * The kernel is oblivious to the hypervisor: the same binary runs on the
+//     bare machine (real privilege 0) and under the hypervisor (virtual
+//     privilege 0 = real 1). The single accommodation is the boot-time
+//     masking of the privilege bits that branch-and-link deposits in link
+//     registers — the exact "hack" of paper section 3.1.
+//   * Drivers treat CHECK_CONDITION (uncertain) completions by re-issuing
+//     the operation, which is what P7's synthesised uncertain interrupts
+//     exploit at failover.
+//   * The kernel never dereferences user pointers, so kernel code never
+//     takes a page fault; all syscall data passes in registers (disk DMA
+//     targets user buffers directly, by physical address).
+//   * All blocking waits funnel through one three-instruction spin loop
+//     (symbols __wait_loop / __wait_loop_end), which the machine model can
+//     fast-forward exactly.
+#ifndef HBFT_GUEST_MINIOS_HPP_
+#define HBFT_GUEST_MINIOS_HPP_
+
+#include <cstdint>
+
+namespace hbft {
+
+// Kernel assembly source (concatenated with the workload source and
+// assembled by BuildGuestImage in image.hpp).
+extern const char* const kMiniOsKernelSource;
+
+// Syscall numbers (guest ABI, passed in t0/r8).
+inline constexpr int kSysExit = 1;
+inline constexpr int kSysPutc = 2;
+inline constexpr int kSysGetTicks = 3;
+inline constexpr int kSysGetTime = 4;
+inline constexpr int kSysDiskRead = 5;
+inline constexpr int kSysDiskWrite = 6;
+inline constexpr int kSysGetc = 7;
+
+// Param-block field offsets (physical address kParamBlockBase + offset).
+inline constexpr uint32_t kParamBlockBase = 0x4000;
+inline constexpr uint32_t kParamMagic = 0x00;
+inline constexpr uint32_t kParamWorkload = 0x04;
+inline constexpr uint32_t kParamIterations = 0x08;
+inline constexpr uint32_t kParamComputeBurst = 0x0C;
+inline constexpr uint32_t kParamDriverLoops = 0x10;
+inline constexpr uint32_t kParamTickLoops = 0x14;
+inline constexpr uint32_t kParamNumBlocks = 0x18;
+inline constexpr uint32_t kParamSeed = 0x1C;
+inline constexpr uint32_t kParamTickPeriod = 0x20;
+inline constexpr uint32_t kParamVerbosity = 0x24;
+
+inline constexpr uint32_t kParamMagicValue = 0xFEEDFACE;
+
+}  // namespace hbft
+
+#endif  // HBFT_GUEST_MINIOS_HPP_

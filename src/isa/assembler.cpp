@@ -1,0 +1,930 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+std::string StripComment(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (!in_string) {
+      if (c == ';' || c == '#') {
+        break;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+// Splits an operand list on commas that are outside parentheses/strings.
+std::vector<std::string> SplitOperands(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  for (char c : s) {
+    if (c == '"') {
+      in_string = !in_string;
+    }
+    if (!in_string) {
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        parts.push_back(Trim(current));
+        current.clear();
+        continue;
+      }
+    }
+    current.push_back(c);
+  }
+  std::string last = Trim(current);
+  if (!last.empty() || !parts.empty()) {
+    parts.push_back(last);
+  }
+  return parts;
+}
+
+std::optional<uint8_t> ParseRegister(const std::string& token) {
+  static const std::map<std::string, uint8_t> kAliases = {
+      {"zero", 0}, {"ra", 31}, {"sp", 30}, {"fp", 29}, {"a0", 4},  {"a1", 5},  {"a2", 6},
+      {"a3", 7},   {"t0", 8},  {"t1", 9},  {"t2", 10}, {"t3", 11}, {"t4", 12}, {"t5", 13},
+      {"t6", 14},  {"t7", 15}, {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19}, {"s4", 20},
+      {"s5", 21},  {"s6", 22}, {"s7", 23}, {"k0", 26}, {"k1", 27},
+  };
+  std::string t = ToLower(token);
+  auto it = kAliases.find(t);
+  if (it != kAliases.end()) {
+    return it->second;
+  }
+  if (t.size() >= 2 && t[0] == 'r') {
+    int value = 0;
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(t[i])) == 0) {
+        return std::nullopt;
+      }
+      value = value * 10 + (t[i] - '0');
+    }
+    if (value >= 0 && value < kNumGprs) {
+      return static_cast<uint8_t>(value);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint8_t> ParseControlRegName(const std::string& token) {
+  static const std::map<std::string, uint8_t> kNames = {
+      {"status", kCrStatus},     {"tvec", kCrTvec},         {"epc", kCrEpc},
+      {"ecause", kCrEcause},     {"evaddr", kCrEvaddr},     {"ptbase", kCrPtbase},
+      {"rctr", kCrRctr},         {"itmr", kCrItmr},         {"tod", kCrTod},
+      {"eirr", kCrEirr},         {"scratch0", kCrScratch0}, {"scratch1", kCrScratch1},
+      {"scratch2", kCrScratch2}, {"scratch3", kCrScratch3}, {"prid", kCrPrid},
+      {"instret", kCrInstret},
+  };
+  std::string t = ToLower(token);
+  auto it = kNames.find(t);
+  if (it != kNames.end()) {
+    return it->second;
+  }
+  // Numeric form "crN" (what the disassembler prints).
+  if (t.size() > 2 && t[0] == 'c' && t[1] == 'r') {
+    int value = 0;
+    for (size_t i = 2; i < t.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(t[i])) == 0) {
+        return std::nullopt;
+      }
+      value = value * 10 + (t[i] - '0');
+    }
+    if (value >= 0 && value < kNumControlRegs) {
+      return static_cast<uint8_t>(value);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation (numbers, chars, symbols, %hi/%lo, +/- chains)
+// ---------------------------------------------------------------------------
+
+class ExprEvaluator {
+ public:
+  explicit ExprEvaluator(const std::map<std::string, uint32_t>* symbols) : symbols_(symbols) {}
+
+  // Evaluates an expression; when `symbols_` is null (pass 1), any symbol
+  // reference yields 0 so sizing still works.
+  Result<int64_t> Eval(const std::string& expr) const {
+    std::string s = Trim(expr);
+    if (s.empty()) {
+      return Error{"empty expression"};
+    }
+    // Simple left-to-right +/- chain over terms.
+    int64_t total = 0;
+    int sign = 1;
+    size_t i = 0;
+    bool expect_term = true;
+    while (i < s.size()) {
+      char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (expect_term) {
+        size_t start = i;
+        int depth = 0;
+        while (i < s.size()) {
+          char t = s[i];
+          if (t == '(') {
+            ++depth;
+          } else if (t == ')') {
+            --depth;
+          } else if ((t == '+' || t == '-') && depth == 0 && i != start) {
+            break;
+          }
+          ++i;
+        }
+        auto term = EvalTerm(Trim(s.substr(start, i - start)));
+        if (!term.ok()) {
+          return term.error();
+        }
+        total += sign * term.value();
+        expect_term = false;
+      } else {
+        if (c == '+') {
+          sign = 1;
+        } else if (c == '-') {
+          sign = -1;
+        } else {
+          return Error{"unexpected character '" + std::string(1, c) + "' in expression"};
+        }
+        expect_term = true;
+        ++i;
+      }
+    }
+    if (expect_term) {
+      return Error{"dangling operator in expression '" + s + "'"};
+    }
+    return total;
+  }
+
+ private:
+  Result<int64_t> EvalTerm(const std::string& term) const {
+    if (term.empty()) {
+      return Error{"empty term"};
+    }
+    if (term[0] == '-') {
+      auto inner = EvalTerm(Trim(term.substr(1)));
+      if (!inner.ok()) {
+        return inner.error();
+      }
+      return -inner.value();
+    }
+    if (term[0] == '\'') {
+      if (term.size() == 3 && term[2] == '\'') {
+        return static_cast<int64_t>(term[1]);
+      }
+      if (term.size() == 4 && term[1] == '\\' && term[3] == '\'') {
+        switch (term[2]) {
+          case 'n':
+            return static_cast<int64_t>('\n');
+          case 't':
+            return static_cast<int64_t>('\t');
+          case '0':
+            return static_cast<int64_t>('\0');
+          case '\\':
+            return static_cast<int64_t>('\\');
+          default:
+            return Error{"unknown character escape"};
+        }
+      }
+      return Error{"malformed character literal " + term};
+    }
+    if (term.rfind("%hi(", 0) == 0 && term.back() == ')') {
+      auto inner = Eval(term.substr(4, term.size() - 5));
+      if (!inner.ok()) {
+        return inner.error();
+      }
+      return (inner.value() >> 16) & 0xFFFF;
+    }
+    if (term.rfind("%lo(", 0) == 0 && term.back() == ')') {
+      auto inner = Eval(term.substr(4, term.size() - 5));
+      if (!inner.ok()) {
+        return inner.error();
+      }
+      return inner.value() & 0xFFFF;
+    }
+    if (term.front() == '(' && term.back() == ')') {
+      return Eval(term.substr(1, term.size() - 2));
+    }
+    if (std::isdigit(static_cast<unsigned char>(term[0])) != 0) {
+      int64_t value = 0;
+      if (term.size() > 2 && term[0] == '0' && (term[1] == 'x' || term[1] == 'X')) {
+        for (size_t i = 2; i < term.size(); ++i) {
+          char c = static_cast<char>(std::tolower(static_cast<unsigned char>(term[i])));
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = 10 + (c - 'a');
+          } else {
+            return Error{"bad hex literal " + term};
+          }
+          value = value * 16 + digit;
+        }
+      } else {
+        for (char c : term) {
+          if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+            return Error{"bad decimal literal " + term};
+          }
+          value = value * 10 + (c - '0');
+        }
+      }
+      return value;
+    }
+    // Symbol reference.
+    if (symbols_ == nullptr) {
+      return 0;  // Pass 1: size-only evaluation.
+    }
+    auto it = symbols_->find(term);
+    if (it == symbols_->end()) {
+      return Error{"undefined symbol '" + term + "'"};
+    }
+    return static_cast<int64_t>(it->second);
+  }
+
+  const std::map<std::string, uint32_t>* symbols_;
+};
+
+// ---------------------------------------------------------------------------
+// Statement model
+// ---------------------------------------------------------------------------
+
+struct Statement {
+  int line = 0;
+  uint32_t address = 0;
+  std::string mnemonic;  // Lower-case instruction or directive (with dot).
+  std::vector<std::string> operands;
+};
+
+bool IsDirective(const std::string& m) { return !m.empty() && m[0] == '.'; }
+
+// Number of bytes a statement occupies (pass 1).
+Result<uint32_t> StatementSize(const Statement& st) {
+  static const ExprEvaluator sizing_eval(nullptr);
+  const std::string& m = st.mnemonic;
+  if (m == ".word") {
+    return static_cast<uint32_t>(st.operands.size() * 4);
+  }
+  if (m == ".space") {
+    if (st.operands.size() != 1) {
+      return Error{".space takes one operand", st.line};
+    }
+    auto n = sizing_eval.Eval(st.operands[0]);
+    if (!n.ok()) {
+      return Error{n.error().message, st.line};
+    }
+    return static_cast<uint32_t>(n.value());
+  }
+  if (m == ".asciz") {
+    if (st.operands.size() != 1 || st.operands[0].size() < 2 || st.operands[0].front() != '"') {
+      return Error{".asciz takes one quoted string", st.line};
+    }
+    // Size = unescaped length + NUL; conservative: escapes only shrink.
+    uint32_t n = 1;
+    const std::string& s = st.operands[0];
+    for (size_t i = 1; i + 1 < s.size(); ++i) {
+      if (s[i] == '\\') {
+        ++i;
+      }
+      ++n;
+    }
+    return n;
+  }
+  // Pseudo-instructions that expand to two words.
+  if (m == "li" || m == "la") {
+    return 8;
+  }
+  // All real instructions and 1-word pseudos.
+  return 4;
+}
+
+}  // namespace
+
+uint32_t AssembledImage::SymbolOrDie(const std::string& name) const {
+  auto it = symbols.find(name);
+  HBFT_CHECK(it != symbols.end()) << "missing guest symbol " << name;
+  return it->second;
+}
+
+Result<AssembledImage> Assemble(const std::string& source) {
+  // ---- Parse into statements, collecting labels and .equ/.org/.align. ------
+  std::vector<Statement> statements;
+  std::map<std::string, uint32_t> symbols;
+
+  struct PendingLabel {
+    std::string name;
+    int line;
+  };
+
+  // Pass 1: compute addresses and the symbol table.
+  {
+    uint32_t location = 0;
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    ExprEvaluator pass1_eval(&symbols);
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string line = Trim(StripComment(raw));
+      while (!line.empty()) {
+        // Labels (possibly several) at line start.
+        size_t colon = line.find(':');
+        size_t first_space = line.find_first_of(" \t");
+        if (colon != std::string::npos && (first_space == std::string::npos || colon < first_space)) {
+          std::string label = Trim(line.substr(0, colon));
+          if (label.empty()) {
+            return Error{"empty label", line_no};
+          }
+          if (symbols.count(label) != 0) {
+            return Error{"duplicate symbol '" + label + "'", line_no};
+          }
+          symbols[label] = location;
+          line = Trim(line.substr(colon + 1));
+          continue;
+        }
+        break;
+      }
+      if (line.empty()) {
+        continue;
+      }
+      Statement st;
+      st.line = line_no;
+      size_t space = line.find_first_of(" \t");
+      st.mnemonic = ToLower(space == std::string::npos ? line : line.substr(0, space));
+      if (space != std::string::npos) {
+        st.operands = SplitOperands(Trim(line.substr(space + 1)));
+      }
+
+      if (st.mnemonic == ".org") {
+        if (st.operands.size() != 1) {
+          return Error{".org takes one operand", line_no};
+        }
+        auto v = pass1_eval.Eval(st.operands[0]);
+        if (!v.ok()) {
+          return Error{v.error().message, line_no};
+        }
+        location = static_cast<uint32_t>(v.value());
+        continue;
+      }
+      if (st.mnemonic == ".align") {
+        if (st.operands.size() != 1) {
+          return Error{".align takes one operand", line_no};
+        }
+        auto v = pass1_eval.Eval(st.operands[0]);
+        if (!v.ok()) {
+          return Error{v.error().message, line_no};
+        }
+        uint32_t align = static_cast<uint32_t>(v.value());
+        if (align == 0 || (align & (align - 1)) != 0) {
+          return Error{".align requires a power of two", line_no};
+        }
+        location = (location + align - 1) & ~(align - 1);
+        continue;
+      }
+      if (st.mnemonic == ".equ") {
+        if (st.operands.size() != 2) {
+          return Error{".equ takes name, value", line_no};
+        }
+        auto v = pass1_eval.Eval(st.operands[1]);
+        if (!v.ok()) {
+          return Error{v.error().message, line_no};
+        }
+        if (symbols.count(st.operands[0]) != 0) {
+          return Error{"duplicate symbol '" + st.operands[0] + "'", line_no};
+        }
+        symbols[st.operands[0]] = static_cast<uint32_t>(v.value());
+        continue;
+      }
+
+      st.address = location;
+      auto size = StatementSize(st);
+      if (!size.ok()) {
+        return size.error();
+      }
+      location += size.value();
+      statements.push_back(std::move(st));
+    }
+  }
+
+  // ---- Pass 2: encode. -----------------------------------------------------
+  ExprEvaluator eval(&symbols);
+  AssembledImage image;
+  image.symbols = symbols;
+
+  AssembledSection* section = nullptr;
+  uint32_t section_end = 0;
+  auto emit_bytes = [&](uint32_t address, const std::vector<uint8_t>& bytes) {
+    if (section == nullptr || address != section_end) {
+      image.sections.push_back(AssembledSection{address, {}});
+      section = &image.sections.back();
+      section_end = address;
+    }
+    section->bytes.insert(section->bytes.end(), bytes.begin(), bytes.end());
+    section_end += static_cast<uint32_t>(bytes.size());
+  };
+  auto emit_word = [&](uint32_t address, uint32_t word) {
+    emit_bytes(address, {static_cast<uint8_t>(word), static_cast<uint8_t>(word >> 8),
+                         static_cast<uint8_t>(word >> 16), static_cast<uint8_t>(word >> 24)});
+  };
+
+  for (const Statement& st : statements) {
+    const std::string& m = st.mnemonic;
+    auto fail = [&](const std::string& msg) -> Error { return Error{msg, st.line}; };
+    auto reg = [&](size_t idx) -> Result<uint8_t> {
+      if (idx >= st.operands.size()) {
+        return fail("missing register operand");
+      }
+      auto r = ParseRegister(st.operands[idx]);
+      if (!r.has_value()) {
+        return fail("bad register '" + st.operands[idx] + "'");
+      }
+      return *r;
+    };
+    auto imm_expr = [&](size_t idx) -> Result<int64_t> {
+      if (idx >= st.operands.size()) {
+        return fail("missing immediate operand");
+      }
+      auto v = eval.Eval(st.operands[idx]);
+      if (!v.ok()) {
+        return fail(v.error().message);
+      }
+      return v.value();
+    };
+
+    if (IsDirective(m)) {
+      if (m == ".word") {
+        uint32_t address = st.address;
+        for (const std::string& operand : st.operands) {
+          auto v = eval.Eval(operand);
+          if (!v.ok()) {
+            return fail(v.error().message);
+          }
+          emit_word(address, static_cast<uint32_t>(v.value()));
+          address += 4;
+        }
+        continue;
+      }
+      if (m == ".space") {
+        auto n = eval.Eval(st.operands[0]);
+        if (!n.ok()) {
+          return fail(n.error().message);
+        }
+        emit_bytes(st.address, std::vector<uint8_t>(static_cast<size_t>(n.value()), 0));
+        continue;
+      }
+      if (m == ".asciz") {
+        const std::string& quoted = st.operands[0];
+        if (quoted.size() < 2 || quoted.front() != '"' || quoted.back() != '"') {
+          return fail(".asciz requires a quoted string");
+        }
+        std::vector<uint8_t> bytes;
+        for (size_t i = 1; i + 1 < quoted.size(); ++i) {
+          char c = quoted[i];
+          if (c == '\\' && i + 2 < quoted.size()) {
+            ++i;
+            switch (quoted[i]) {
+              case 'n':
+                c = '\n';
+                break;
+              case 't':
+                c = '\t';
+                break;
+              case '0':
+                c = '\0';
+                break;
+              case '\\':
+                c = '\\';
+                break;
+              case '"':
+                c = '"';
+                break;
+              default:
+                return fail("unknown string escape");
+            }
+          }
+          bytes.push_back(static_cast<uint8_t>(c));
+        }
+        bytes.push_back(0);
+        emit_bytes(st.address, bytes);
+        continue;
+      }
+      return fail("unknown directive " + m);
+    }
+
+    // ---- Pseudo-instructions. ----------------------------------------------
+    if (m == "nop") {
+      emit_word(st.address, EncodeI(Opcode::kAddi, 0, 0, 0));
+      continue;
+    }
+    if (m == "li" || m == "la") {
+      auto rd = reg(0);
+      if (!rd.ok()) {
+        return rd.error();
+      }
+      auto v = imm_expr(1);
+      if (!v.ok()) {
+        return v.error();
+      }
+      uint32_t value = static_cast<uint32_t>(v.value());
+      emit_word(st.address, EncodeI(Opcode::kLui, rd.value(), 0, static_cast<int32_t>(value >> 16)));
+      emit_word(st.address + 4,
+                EncodeI(Opcode::kOri, rd.value(), rd.value(), static_cast<int32_t>(value & 0xFFFF)));
+      continue;
+    }
+    if (m == "mv") {
+      auto rd = reg(0);
+      auto rs = reg(1);
+      if (!rd.ok()) {
+        return rd.error();
+      }
+      if (!rs.ok()) {
+        return rs.error();
+      }
+      emit_word(st.address, EncodeI(Opcode::kAddi, rd.value(), rs.value(), 0));
+      continue;
+    }
+    if (m == "ret") {
+      emit_word(st.address, EncodeI(Opcode::kJalr, 0, 31, 0));
+      continue;
+    }
+
+    auto branch_offset = [&](size_t idx) -> Result<int64_t> {
+      auto v = imm_expr(idx);
+      if (!v.ok()) {
+        return v.error();
+      }
+      int64_t byte_delta = v.value() - (static_cast<int64_t>(st.address) + 4);
+      if (byte_delta % 4 != 0) {
+        return fail("branch target not word aligned");
+      }
+      return byte_delta / 4;
+    };
+
+    if (m == "j" || m == "call") {
+      auto off = branch_offset(0);
+      if (!off.ok()) {
+        return off.error();
+      }
+      uint8_t rd = (m == "call") ? 31 : 0;
+      emit_word(st.address, EncodeJ(Opcode::kJal, rd, static_cast<int32_t>(off.value())));
+      continue;
+    }
+    if (m == "beqz" || m == "bnez") {
+      auto rs = reg(0);
+      if (!rs.ok()) {
+        return rs.error();
+      }
+      auto off = branch_offset(1);
+      if (!off.ok()) {
+        return off.error();
+      }
+      Opcode op = (m == "beqz") ? Opcode::kBeq : Opcode::kBne;
+      emit_word(st.address, EncodeB(op, rs.value(), 0, static_cast<int32_t>(off.value())));
+      continue;
+    }
+
+    // ---- Real instructions. ------------------------------------------------
+    auto opcode = OpcodeForMnemonic(m);
+    if (!opcode.has_value()) {
+      return fail("unknown mnemonic '" + m + "'");
+    }
+    auto format = FormatFor(static_cast<uint8_t>(*opcode));
+    HBFT_CHECK(format.has_value());
+
+    DecodedInstr instr;
+    instr.op = *opcode;
+    instr.format = *format;
+
+    switch (*format) {
+      case InstrFormat::kR: {
+        if (*opcode == Opcode::kRfi || *opcode == Opcode::kTlbf || *opcode == Opcode::kHalt) {
+          break;  // No operands.
+        }
+        if (*opcode == Opcode::kTlbi) {
+          auto rs1 = reg(0);
+          auto rs2 = reg(1);
+          if (!rs1.ok()) {
+            return rs1.error();
+          }
+          if (!rs2.ok()) {
+            return rs2.error();
+          }
+          instr.rs1 = rs1.value();
+          instr.rs2 = rs2.value();
+          break;
+        }
+        auto rd = reg(0);
+        auto rs1 = reg(1);
+        auto rs2 = reg(2);
+        if (!rd.ok()) {
+          return rd.error();
+        }
+        if (!rs1.ok()) {
+          return rs1.error();
+        }
+        if (!rs2.ok()) {
+          return rs2.error();
+        }
+        instr.rd = rd.value();
+        instr.rs1 = rs1.value();
+        instr.rs2 = rs2.value();
+        break;
+      }
+      case InstrFormat::kI: {
+        switch (*opcode) {
+          case Opcode::kLw:
+          case Opcode::kLh:
+          case Opcode::kLhu:
+          case Opcode::kLb:
+          case Opcode::kLbu:
+          case Opcode::kLwp: {
+            auto rd = reg(0);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            if (st.operands.size() != 2) {
+              return fail("load needs rd, imm(rs1)");
+            }
+            const std::string& mem = st.operands[1];
+            size_t open = mem.find('(');
+            if (open == std::string::npos || mem.back() != ')') {
+              return fail("bad memory operand '" + mem + "'");
+            }
+            std::string disp = Trim(mem.substr(0, open));
+            auto base = ParseRegister(Trim(mem.substr(open + 1, mem.size() - open - 2)));
+            if (!base.has_value()) {
+              return fail("bad base register in '" + mem + "'");
+            }
+            auto v = disp.empty() ? Result<int64_t>(0) : eval.Eval(disp);
+            if (!v.ok()) {
+              return fail(v.error().message);
+            }
+            instr.rd = rd.value();
+            instr.rs1 = *base;
+            instr.imm = static_cast<int32_t>(v.value());
+            break;
+          }
+          case Opcode::kSw:
+          case Opcode::kSh:
+          case Opcode::kSb:
+          case Opcode::kSwp: {
+            auto rs = reg(0);
+            if (!rs.ok()) {
+              return rs.error();
+            }
+            if (st.operands.size() != 2) {
+              return fail("store needs rs, imm(rs1)");
+            }
+            const std::string& mem = st.operands[1];
+            size_t open = mem.find('(');
+            if (open == std::string::npos || mem.back() != ')') {
+              return fail("bad memory operand '" + mem + "'");
+            }
+            std::string disp = Trim(mem.substr(0, open));
+            auto base = ParseRegister(Trim(mem.substr(open + 1, mem.size() - open - 2)));
+            if (!base.has_value()) {
+              return fail("bad base register in '" + mem + "'");
+            }
+            auto v = disp.empty() ? Result<int64_t>(0) : eval.Eval(disp);
+            if (!v.ok()) {
+              return fail(v.error().message);
+            }
+            instr.rd = rs.value();  // Store data register travels in rd.
+            instr.rs1 = *base;
+            instr.imm = static_cast<int32_t>(v.value());
+            break;
+          }
+          case Opcode::kMfcr: {
+            auto rd = reg(0);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            if (st.operands.size() != 2) {
+              return fail("mfcr needs rd, cr");
+            }
+            auto cr = ParseControlRegName(st.operands[1]);
+            int32_t cr_num;
+            if (cr.has_value()) {
+              cr_num = *cr;
+            } else {
+              auto v = eval.Eval(st.operands[1]);
+              if (!v.ok()) {
+                return fail(v.error().message);
+              }
+              cr_num = static_cast<int32_t>(v.value());
+            }
+            instr.rd = rd.value();
+            instr.imm = cr_num;
+            break;
+          }
+          case Opcode::kMtcr: {
+            if (st.operands.size() != 2) {
+              return fail("mtcr needs cr, rs");
+            }
+            auto cr = ParseControlRegName(st.operands[0]);
+            int32_t cr_num;
+            if (cr.has_value()) {
+              cr_num = *cr;
+            } else {
+              auto v = eval.Eval(st.operands[0]);
+              if (!v.ok()) {
+                return fail(v.error().message);
+              }
+              cr_num = static_cast<int32_t>(v.value());
+            }
+            auto rs = reg(1);
+            if (!rs.ok()) {
+              return rs.error();
+            }
+            instr.rs1 = rs.value();
+            instr.imm = cr_num;
+            break;
+          }
+          case Opcode::kSyscall:
+          case Opcode::kBreak: {
+            int64_t value = 0;
+            if (!st.operands.empty()) {
+              auto v = imm_expr(0);
+              if (!v.ok()) {
+                return v.error();
+              }
+              value = v.value();
+            }
+            instr.imm = static_cast<int32_t>(value);
+            break;
+          }
+          case Opcode::kJalr: {
+            // jalr rd, rs1 [, imm]
+            auto rd = reg(0);
+            auto rs1 = reg(1);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            if (!rs1.ok()) {
+              return rs1.error();
+            }
+            int64_t value = 0;
+            if (st.operands.size() > 2) {
+              auto v = imm_expr(2);
+              if (!v.ok()) {
+                return v.error();
+              }
+              value = v.value();
+            }
+            instr.rd = rd.value();
+            instr.rs1 = rs1.value();
+            instr.imm = static_cast<int32_t>(value);
+            break;
+          }
+          case Opcode::kProbe: {
+            auto rd = reg(0);
+            auto rs1 = reg(1);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            if (!rs1.ok()) {
+              return rs1.error();
+            }
+            instr.rd = rd.value();
+            instr.rs1 = rs1.value();
+            break;
+          }
+          case Opcode::kLui: {
+            auto rd = reg(0);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            auto v = imm_expr(1);
+            if (!v.ok()) {
+              return v.error();
+            }
+            instr.rd = rd.value();
+            instr.imm = static_cast<int32_t>(v.value() & 0xFFFF);
+            break;
+          }
+          default: {
+            // Regular I-type ALU: op rd, rs1, imm.
+            auto rd = reg(0);
+            auto rs1 = reg(1);
+            if (!rd.ok()) {
+              return rd.error();
+            }
+            if (!rs1.ok()) {
+              return rs1.error();
+            }
+            auto v = imm_expr(2);
+            if (!v.ok()) {
+              return v.error();
+            }
+            instr.rd = rd.value();
+            instr.rs1 = rs1.value();
+            instr.imm = static_cast<int32_t>(v.value());
+            break;
+          }
+        }
+        break;
+      }
+      case InstrFormat::kB: {
+        auto rs1 = reg(0);
+        auto rs2 = reg(1);
+        if (!rs1.ok()) {
+          return rs1.error();
+        }
+        if (!rs2.ok()) {
+          return rs2.error();
+        }
+        auto v = imm_expr(2);
+        if (!v.ok()) {
+          return v.error();
+        }
+        int64_t byte_delta = v.value() - (static_cast<int64_t>(st.address) + 4);
+        if (byte_delta % 4 != 0) {
+          return fail("branch target not word aligned");
+        }
+        instr.rs1 = rs1.value();
+        instr.rs2 = rs2.value();
+        instr.imm = static_cast<int32_t>(byte_delta / 4);
+        break;
+      }
+      case InstrFormat::kJ: {
+        // jal [rd,] label
+        size_t target_idx = 0;
+        if (st.operands.size() == 2) {
+          auto rd = reg(0);
+          if (!rd.ok()) {
+            return rd.error();
+          }
+          instr.rd = rd.value();
+          target_idx = 1;
+        } else {
+          instr.rd = 31;  // Default link register.
+        }
+        auto v = imm_expr(target_idx);
+        if (!v.ok()) {
+          return v.error();
+        }
+        int64_t byte_delta = v.value() - (static_cast<int64_t>(st.address) + 4);
+        if (byte_delta % 4 != 0) {
+          return fail("jump target not word aligned");
+        }
+        instr.imm = static_cast<int32_t>(byte_delta / 4);
+        break;
+      }
+    }
+    emit_word(st.address, Encode(instr));
+  }
+
+  return image;
+}
+
+}  // namespace hbft

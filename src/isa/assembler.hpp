@@ -1,0 +1,62 @@
+// Two-pass assembler for VPA-32 assembly.
+//
+// The guest operating system (MiniOS) and all guest workloads are written in
+// this assembly dialect and assembled at program start-up; no external
+// toolchain is involved. Supported syntax:
+//
+//   label:                      ; define a label at the current address
+//   .org  ADDR                  ; set the location counter
+//   .align N                    ; align to N bytes (power of two)
+//   .word V [, V ...]           ; emit 32-bit words (numbers or symbols)
+//   .space N                    ; emit N zero bytes
+//   .asciz "text"               ; emit NUL-terminated string
+//   .equ NAME, VALUE            ; define an absolute symbol
+//   add rd, rs1, rs2            ; R-type
+//   addi rd, rs1, imm           ; I-type ALU
+//   lw rd, imm(rs1)             ; loads/stores use displacement syntax
+//   beq rs1, rs2, label         ; branches take label targets (PC-relative)
+//   jal rd, label | jal label   ; jal without rd links through ra (r31)
+//   mfcr rd, CRNAME|imm         ; control registers by name (status, tod, ...)
+//
+// Pseudo-instructions: nop, li, la, mv, j, call, ret, beqz, bnez, halt-free
+// aliases. Immediates: decimal, 0x hex, 'c' characters, symbols, %hi(x),
+// %lo(x). Comments: ';', '#', or '//' to end of line.
+//
+// Register aliases: r0..r31, plus zero (r0), ra (r31), sp (r30), fp (r29),
+// a0..a3 (r4..r7), t0..t7 (r8..r15), s0..s7 (r16..r23), k0/k1 (r26/r27).
+#ifndef HBFT_ISA_ASSEMBLER_HPP_
+#define HBFT_ISA_ASSEMBLER_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+// A contiguous chunk of assembled bytes at a fixed physical address.
+struct AssembledSection {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+};
+
+// Output of a successful assembly: sections to load plus the symbol table.
+struct AssembledImage {
+  std::vector<AssembledSection> sections;
+  std::map<std::string, uint32_t> symbols;
+
+  // Looks up a symbol, CHECK-failing when absent (guest images declare their
+  // interface symbols; a missing one is a build error, not a runtime case).
+  uint32_t SymbolOrDie(const std::string& name) const;
+  bool HasSymbol(const std::string& name) const { return symbols.count(name) != 0; }
+};
+
+// Assembles `source`. On failure returns an Error with the 1-based source line.
+Result<AssembledImage> Assemble(const std::string& source);
+
+}  // namespace hbft
+
+#endif  // HBFT_ISA_ASSEMBLER_HPP_

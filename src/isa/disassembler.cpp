@@ -1,0 +1,93 @@
+#include "isa/disassembler.hpp"
+
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+namespace {
+
+std::string Reg(uint8_t r) { return "r" + std::to_string(r); }
+
+std::string Hex(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Disassemble(uint32_t word, uint32_t pc) {
+  auto decoded = Decode(word);
+  if (!decoded.has_value()) {
+    return ".word " + Hex(word);
+  }
+  const DecodedInstr& instr = *decoded;
+  const char* mnemonic = MnemonicFor(instr.op);
+  std::string out = mnemonic;
+
+  switch (instr.format) {
+    case InstrFormat::kR:
+      if (instr.op == Opcode::kRfi || instr.op == Opcode::kTlbf || instr.op == Opcode::kHalt) {
+        break;
+      }
+      if (instr.op == Opcode::kTlbi) {
+        out += " " + Reg(instr.rs1) + ", " + Reg(instr.rs2);
+        break;
+      }
+      out += " " + Reg(instr.rd) + ", " + Reg(instr.rs1) + ", " + Reg(instr.rs2);
+      break;
+    case InstrFormat::kI:
+      switch (instr.op) {
+        case Opcode::kLw:
+        case Opcode::kLh:
+        case Opcode::kLhu:
+        case Opcode::kLb:
+        case Opcode::kLbu:
+        case Opcode::kLwp:
+        case Opcode::kSw:
+        case Opcode::kSh:
+        case Opcode::kSb:
+        case Opcode::kSwp:
+          out += " " + Reg(instr.rd) + ", " + std::to_string(instr.imm) + "(" + Reg(instr.rs1) + ")";
+          break;
+        case Opcode::kMfcr:
+          out += " " + Reg(instr.rd) + ", cr" + std::to_string(instr.imm);
+          break;
+        case Opcode::kMtcr:
+          out += " cr" + std::to_string(instr.imm) + ", " + Reg(instr.rs1);
+          break;
+        case Opcode::kSyscall:
+        case Opcode::kBreak:
+          out += " " + std::to_string(instr.imm);
+          break;
+        case Opcode::kJalr:
+          out += " " + Reg(instr.rd) + ", " + Reg(instr.rs1) + ", " + std::to_string(instr.imm);
+          break;
+        case Opcode::kProbe:
+          out += " " + Reg(instr.rd) + ", " + Reg(instr.rs1);
+          break;
+        case Opcode::kLui:
+          out += " " + Reg(instr.rd) + ", " + Hex(static_cast<uint32_t>(instr.imm));
+          break;
+        default:
+          out += " " + Reg(instr.rd) + ", " + Reg(instr.rs1) + ", " + std::to_string(instr.imm);
+          break;
+      }
+      break;
+    case InstrFormat::kB: {
+      uint32_t target = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+      out += " " + Reg(instr.rs1) + ", " + Reg(instr.rs2) + ", " + Hex(target);
+      break;
+    }
+    case InstrFormat::kJ: {
+      uint32_t target = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+      out += " " + Reg(instr.rd) + ", " + Hex(target);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hbft

@@ -1,0 +1,17 @@
+// Disassembler for VPA-32 words, used in diagnostics, traces, and tests.
+#ifndef HBFT_ISA_DISASSEMBLER_HPP_
+#define HBFT_ISA_DISASSEMBLER_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace hbft {
+
+// Renders one instruction word as assembly text. `pc` resolves PC-relative
+// branch/jump targets to absolute addresses. Invalid words render as
+// ".word 0x...".
+std::string Disassemble(uint32_t word, uint32_t pc);
+
+}  // namespace hbft
+
+#endif  // HBFT_ISA_DISASSEMBLER_HPP_

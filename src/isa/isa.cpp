@@ -1,0 +1,291 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+namespace {
+
+struct OpInfo {
+  Opcode op;
+  InstrFormat format;
+  const char* mnemonic;
+  bool privileged;
+};
+
+constexpr std::array<OpInfo, 50> kOpTable = {{
+    {Opcode::kAdd, InstrFormat::kR, "add", false},
+    {Opcode::kSub, InstrFormat::kR, "sub", false},
+    {Opcode::kAnd, InstrFormat::kR, "and", false},
+    {Opcode::kOr, InstrFormat::kR, "or", false},
+    {Opcode::kXor, InstrFormat::kR, "xor", false},
+    {Opcode::kSll, InstrFormat::kR, "sll", false},
+    {Opcode::kSrl, InstrFormat::kR, "srl", false},
+    {Opcode::kSra, InstrFormat::kR, "sra", false},
+    {Opcode::kSlt, InstrFormat::kR, "slt", false},
+    {Opcode::kSltu, InstrFormat::kR, "sltu", false},
+    {Opcode::kMul, InstrFormat::kR, "mul", false},
+    {Opcode::kDiv, InstrFormat::kR, "div", false},
+    {Opcode::kRem, InstrFormat::kR, "rem", false},
+    {Opcode::kAddi, InstrFormat::kI, "addi", false},
+    {Opcode::kAndi, InstrFormat::kI, "andi", false},
+    {Opcode::kOri, InstrFormat::kI, "ori", false},
+    {Opcode::kXori, InstrFormat::kI, "xori", false},
+    {Opcode::kSlti, InstrFormat::kI, "slti", false},
+    {Opcode::kSltiu, InstrFormat::kI, "sltiu", false},
+    {Opcode::kSlli, InstrFormat::kI, "slli", false},
+    {Opcode::kSrli, InstrFormat::kI, "srli", false},
+    {Opcode::kSrai, InstrFormat::kI, "srai", false},
+    {Opcode::kLui, InstrFormat::kI, "lui", false},
+    {Opcode::kLw, InstrFormat::kI, "lw", false},
+    {Opcode::kLh, InstrFormat::kI, "lh", false},
+    {Opcode::kLhu, InstrFormat::kI, "lhu", false},
+    {Opcode::kLb, InstrFormat::kI, "lb", false},
+    {Opcode::kLbu, InstrFormat::kI, "lbu", false},
+    {Opcode::kSw, InstrFormat::kI, "sw", false},
+    {Opcode::kSh, InstrFormat::kI, "sh", false},
+    {Opcode::kSb, InstrFormat::kI, "sb", false},
+    {Opcode::kLwp, InstrFormat::kI, "lwp", true},
+    {Opcode::kSwp, InstrFormat::kI, "swp", true},
+    {Opcode::kBeq, InstrFormat::kB, "beq", false},
+    {Opcode::kBne, InstrFormat::kB, "bne", false},
+    {Opcode::kBlt, InstrFormat::kB, "blt", false},
+    {Opcode::kBge, InstrFormat::kB, "bge", false},
+    {Opcode::kBltu, InstrFormat::kB, "bltu", false},
+    {Opcode::kBgeu, InstrFormat::kB, "bgeu", false},
+    {Opcode::kJal, InstrFormat::kJ, "jal", false},
+    {Opcode::kJalr, InstrFormat::kI, "jalr", false},
+    {Opcode::kSyscall, InstrFormat::kI, "syscall", false},
+    {Opcode::kBreak, InstrFormat::kI, "break", false},
+    {Opcode::kRfi, InstrFormat::kR, "rfi", true},
+    {Opcode::kMfcr, InstrFormat::kI, "mfcr", true},
+    {Opcode::kMtcr, InstrFormat::kI, "mtcr", true},
+    {Opcode::kTlbi, InstrFormat::kR, "tlbi", true},
+    {Opcode::kTlbf, InstrFormat::kR, "tlbf", true},
+    {Opcode::kProbe, InstrFormat::kI, "probe", false},
+    {Opcode::kHalt, InstrFormat::kR, "halt", true},
+}};
+
+constexpr size_t kRealOps = kOpTable.size();
+
+const OpInfo* InfoFor(uint8_t opcode) {
+  for (size_t i = 0; i < kRealOps; ++i) {
+    if (static_cast<uint8_t>(kOpTable[i].op) == opcode) {
+      return &kOpTable[i];
+    }
+  }
+  return nullptr;
+}
+
+int32_t SignExtend(uint32_t value, int bits) {
+  uint32_t sign = 1u << (bits - 1);
+  return static_cast<int32_t>((value ^ sign) - sign);
+}
+
+}  // namespace
+
+std::optional<InstrFormat> FormatFor(uint8_t opcode) {
+  const OpInfo* info = InfoFor(opcode);
+  if (info == nullptr) {
+    return std::nullopt;
+  }
+  return info->format;
+}
+
+const char* MnemonicFor(Opcode op) {
+  const OpInfo* info = InfoFor(static_cast<uint8_t>(op));
+  return info != nullptr ? info->mnemonic : nullptr;
+}
+
+std::optional<Opcode> OpcodeForMnemonic(const std::string& mnemonic) {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Opcode>();
+    for (size_t i = 0; i < kRealOps; ++i) {
+      (*m)[kOpTable[i].mnemonic] = kOpTable[i].op;
+    }
+    return m;
+  }();
+  auto it = map->find(mnemonic);
+  if (it == map->end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool IsPrivileged(Opcode op) {
+  const OpInfo* info = InfoFor(static_cast<uint8_t>(op));
+  HBFT_CHECK(info != nullptr);
+  return info->privileged;
+}
+
+uint32_t Encode(const DecodedInstr& instr) {
+  uint32_t word = static_cast<uint32_t>(instr.op) << 26;
+  switch (instr.format) {
+    case InstrFormat::kR:
+      HBFT_CHECK_LT(instr.rd, kNumGprs);
+      HBFT_CHECK_LT(instr.rs1, kNumGprs);
+      HBFT_CHECK_LT(instr.rs2, kNumGprs);
+      word |= static_cast<uint32_t>(instr.rd) << 21;
+      word |= static_cast<uint32_t>(instr.rs1) << 16;
+      word |= static_cast<uint32_t>(instr.rs2) << 11;
+      break;
+    case InstrFormat::kI:
+      HBFT_CHECK_LT(instr.rd, kNumGprs);
+      HBFT_CHECK_LT(instr.rs1, kNumGprs);
+      HBFT_CHECK_GE(instr.imm, -32768);
+      HBFT_CHECK_LE(instr.imm, 65535);  // Logical immediates may use the full 16 bits.
+      word |= static_cast<uint32_t>(instr.rd) << 21;
+      word |= static_cast<uint32_t>(instr.rs1) << 16;
+      word |= static_cast<uint32_t>(instr.imm) & 0xFFFF;
+      break;
+    case InstrFormat::kB:
+      HBFT_CHECK_LT(instr.rs1, kNumGprs);
+      HBFT_CHECK_LT(instr.rs2, kNumGprs);
+      HBFT_CHECK_GE(instr.imm, -32768);
+      HBFT_CHECK_LE(instr.imm, 32767);
+      word |= static_cast<uint32_t>(instr.rs1) << 21;
+      word |= static_cast<uint32_t>(instr.rs2) << 16;
+      word |= static_cast<uint32_t>(instr.imm) & 0xFFFF;
+      break;
+    case InstrFormat::kJ:
+      HBFT_CHECK_LT(instr.rd, kNumGprs);
+      HBFT_CHECK_GE(instr.imm, -(1 << 20));
+      HBFT_CHECK_LT(instr.imm, 1 << 20);
+      word |= static_cast<uint32_t>(instr.rd) << 21;
+      word |= static_cast<uint32_t>(instr.imm) & 0x1FFFFF;
+      break;
+  }
+  return word;
+}
+
+std::optional<DecodedInstr> Decode(uint32_t word) {
+  uint8_t opcode = static_cast<uint8_t>(word >> 26);
+  const OpInfo* info = InfoFor(opcode);
+  if (info == nullptr) {
+    return std::nullopt;
+  }
+  DecodedInstr instr;
+  instr.op = info->op;
+  instr.format = info->format;
+  switch (info->format) {
+    case InstrFormat::kR:
+      instr.rd = (word >> 21) & 0x1F;
+      instr.rs1 = (word >> 16) & 0x1F;
+      instr.rs2 = (word >> 11) & 0x1F;
+      break;
+    case InstrFormat::kI: {
+      instr.rd = (word >> 21) & 0x1F;
+      instr.rs1 = (word >> 16) & 0x1F;
+      uint32_t imm = word & 0xFFFF;
+      // Logical/compare-unsigned/CR immediates are zero-extended; arithmetic
+      // and memory offsets are sign-extended.
+      switch (instr.op) {
+        case Opcode::kAndi:
+        case Opcode::kOri:
+        case Opcode::kXori:
+        case Opcode::kSltiu:
+        case Opcode::kSlli:
+        case Opcode::kSrli:
+        case Opcode::kSrai:
+        case Opcode::kLui:
+        case Opcode::kMfcr:
+        case Opcode::kMtcr:
+        case Opcode::kSyscall:
+        case Opcode::kBreak:
+        case Opcode::kProbe:
+          instr.imm = static_cast<int32_t>(imm);
+          break;
+        default:
+          instr.imm = SignExtend(imm, 16);
+          break;
+      }
+      break;
+    }
+    case InstrFormat::kB:
+      instr.rs1 = (word >> 21) & 0x1F;
+      instr.rs2 = (word >> 16) & 0x1F;
+      instr.imm = SignExtend(word & 0xFFFF, 16);
+      break;
+    case InstrFormat::kJ:
+      instr.rd = (word >> 21) & 0x1F;
+      instr.imm = SignExtend(word & 0x1FFFFF, 21);
+      break;
+  }
+  return instr;
+}
+
+uint32_t EncodeR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  DecodedInstr instr;
+  instr.op = op;
+  instr.format = InstrFormat::kR;
+  instr.rd = rd;
+  instr.rs1 = rs1;
+  instr.rs2 = rs2;
+  return Encode(instr);
+}
+
+uint32_t EncodeI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm) {
+  DecodedInstr instr;
+  instr.op = op;
+  instr.format = InstrFormat::kI;
+  instr.rd = rd;
+  instr.rs1 = rs1;
+  instr.imm = imm;
+  return Encode(instr);
+}
+
+uint32_t EncodeB(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  DecodedInstr instr;
+  instr.op = op;
+  instr.format = InstrFormat::kB;
+  instr.rs1 = rs1;
+  instr.rs2 = rs2;
+  instr.imm = imm;
+  return Encode(instr);
+}
+
+uint32_t EncodeJ(Opcode op, uint8_t rd, int32_t imm) {
+  DecodedInstr instr;
+  instr.op = op;
+  instr.format = InstrFormat::kJ;
+  instr.rd = rd;
+  instr.imm = imm;
+  return Encode(instr);
+}
+
+const char* TrapCauseName(TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kNone:
+      return "none";
+    case TrapCause::kIllegalInstruction:
+      return "illegal-instruction";
+    case TrapCause::kPrivilegeViolation:
+      return "privilege-violation";
+    case TrapCause::kUnalignedAccess:
+      return "unaligned-access";
+    case TrapCause::kTlbMissFetch:
+      return "tlb-miss-fetch";
+    case TrapCause::kTlbMissLoad:
+      return "tlb-miss-load";
+    case TrapCause::kTlbMissStore:
+      return "tlb-miss-store";
+    case TrapCause::kPageFault:
+      return "page-fault";
+    case TrapCause::kProtectionFault:
+      return "protection-fault";
+    case TrapCause::kSyscall:
+      return "syscall";
+    case TrapCause::kBreak:
+      return "break";
+    case TrapCause::kDivideByZero:
+      return "divide-by-zero";
+    case TrapCause::kInterrupt:
+      return "interrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace hbft

@@ -1,0 +1,265 @@
+// VPA-32: the "Virtual Precision Architecture", a PA-RISC-inspired 32-bit RISC
+// ISA that the whole reproduction runs on.
+//
+// The ISA deliberately reproduces the PA-RISC features the paper's protocols
+// depend on:
+//   * a recovery counter that traps after exactly N retired instructions
+//     (Instruction-Stream Interrupt Assumption, paper section 2.1);
+//   * four privilege levels, with privileged instructions trapping when
+//     executed above level 0 (the hypervisor runs guest kernels at level 1);
+//   * branch-and-link instructions that deposit the current privilege level in
+//     the low two bits of the return address (the quirk in paper section 3.1);
+//   * a software-managed TLB whose misses trap (paper section 3.2);
+//   * memory-mapped I/O pages guarded by privilege so the hypervisor can
+//     intercept device accesses (Environment Instruction Assumption).
+//
+// Encoding: fixed 32-bit words, little-endian memory.
+//   R-type: op[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]
+//   I-type: op[31:26] rd[25:21] rs1[20:16] imm16[15:0]   (imm sign-extended)
+//   B-type: op[31:26] rs1[25:21] rs2[20:16] imm16[15:0]  (imm in instructions)
+//   J-type: op[31:26] rd[25:21] imm21[20:0]              (imm in instructions)
+#ifndef HBFT_ISA_ISA_HPP_
+#define HBFT_ISA_ISA_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hbft {
+
+inline constexpr int kNumGprs = 32;
+inline constexpr uint32_t kInstructionBytes = 4;
+inline constexpr uint32_t kPageBytes = 4096;
+inline constexpr uint32_t kPageShift = 12;
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+enum class Opcode : uint8_t {
+  // R-type ALU.
+  kAdd = 0x00,
+  kSub = 0x01,
+  kAnd = 0x02,
+  kOr = 0x03,
+  kXor = 0x04,
+  kSll = 0x05,
+  kSrl = 0x06,
+  kSra = 0x07,
+  kSlt = 0x08,
+  kSltu = 0x09,
+  kMul = 0x0A,
+  kDiv = 0x0B,   // Signed division; divide-by-zero traps.
+  kRem = 0x0C,
+
+  // I-type ALU.
+  kAddi = 0x10,
+  kAndi = 0x11,  // Immediate zero-extended for logical ops.
+  kOri = 0x12,
+  kXori = 0x13,
+  kSlti = 0x14,
+  kSltiu = 0x15,
+  kSlli = 0x16,
+  kSrli = 0x17,
+  kSrai = 0x18,
+  kLui = 0x19,   // rd = imm16 << 16.
+
+  // I-type memory (virtual addressing when enabled).
+  kLw = 0x20,
+  kLh = 0x21,
+  kLhu = 0x22,
+  kLb = 0x23,
+  kLbu = 0x24,
+  kSw = 0x25,
+  kSh = 0x26,
+  kSb = 0x27,
+  // Physical-addressing load/store (privileged): used by kernels to walk page
+  // tables while virtual translation is enabled. PA-RISC offers the same via
+  // absolute addressing.
+  kLwp = 0x28,
+  kSwp = 0x29,
+
+  // Control flow. JAL/JALR deposit the current privilege level into the low
+  // two bits of the link address (PA-RISC branch-and-link behaviour that the
+  // paper's section 3.1 had to work around in HP-UX).
+  kBeq = 0x30,
+  kBne = 0x31,
+  kBlt = 0x32,
+  kBge = 0x33,
+  kBltu = 0x34,
+  kBgeu = 0x35,
+  kJal = 0x36,   // J-type.
+  kJalr = 0x37,  // I-type: pc = (rs1 + imm*4) with low bits masked.
+
+  // System.
+  kSyscall = 0x38,  // I-type (imm = service number); gates to privilege 0.
+  kBreak = 0x39,    // I-type; debugging trap.
+  kRfi = 0x3A,      // Privileged: return from interruption.
+  kMfcr = 0x3B,     // I-type: rd = CR[imm]; privileged.
+  kMtcr = 0x3C,     // I-type: CR[imm] = rs1; privileged.
+  kTlbi = 0x3D,     // R-type: insert TLB entry {va=rs1, pte=rs2}; privileged.
+  kTlbf = 0x3E,     // R-type: flush entire TLB (non-wired entries); privileged.
+  kProbe = 0x3F,    // I-type: rd = 1 if va rs1 readable at current privilege.
+  kHalt = 0x0F,     // R-type: privileged; stops the processor.
+};
+
+inline constexpr uint8_t kMaxOpcode = 0x3F;
+
+enum class InstrFormat : uint8_t { kR, kI, kB, kJ };
+
+// Returns the encoding format for an opcode, or nullopt for invalid opcodes.
+std::optional<InstrFormat> FormatFor(uint8_t opcode);
+
+// Returns the lower-case mnemonic (e.g. "add"), or nullptr for invalid.
+const char* MnemonicFor(Opcode op);
+
+// Looks up an opcode by mnemonic; nullopt when unknown.
+std::optional<Opcode> OpcodeForMnemonic(const std::string& mnemonic);
+
+// True when executing the opcode above privilege level 0 raises
+// kPrivilegeViolation.
+bool IsPrivileged(Opcode op);
+
+// ---------------------------------------------------------------------------
+// Decoded instruction
+// ---------------------------------------------------------------------------
+
+struct DecodedInstr {
+  Opcode op = Opcode::kAdd;
+  InstrFormat format = InstrFormat::kR;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;  // Sign-extended (imm21 for J, imm16 for I/B).
+
+  bool operator==(const DecodedInstr&) const = default;
+};
+
+// Encodes a decoded instruction to its 32-bit word. Field ranges are CHECKed.
+uint32_t Encode(const DecodedInstr& instr);
+
+// Decodes a word; nullopt when the opcode is invalid (illegal instruction).
+std::optional<DecodedInstr> Decode(uint32_t word);
+
+// Convenience builders used by tests and the guest image builder.
+uint32_t EncodeR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+uint32_t EncodeI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm);
+uint32_t EncodeB(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm);
+uint32_t EncodeJ(Opcode op, uint8_t rd, int32_t imm);
+
+// ---------------------------------------------------------------------------
+// Control registers
+// ---------------------------------------------------------------------------
+
+enum ControlReg : uint8_t {
+  kCrStatus = 0,    // Processor status word; see StatusBits.
+  kCrTvec = 1,      // Trap vector base address.
+  kCrEpc = 2,       // PC of the interrupted/faulting instruction.
+  kCrEcause = 3,    // TrapCause of the last trap.
+  kCrEvaddr = 4,    // Faulting virtual address (memory traps).
+  kCrPtbase = 5,    // Physical base of the linear page table.
+  kCrRctr = 6,      // Recovery counter (PA-RISC CR0 analogue).
+  kCrItmr = 7,      // Interval timer comparator, in TOD ticks. Environment.
+  kCrTod = 8,       // Time-of-day counter, 100ns ticks. Environment.
+  kCrEirr = 9,      // External interrupt request bits; write-1-to-clear.
+  kCrScratch0 = 10, // Kernel scratch registers for trap entry.
+  kCrScratch1 = 11,
+  kCrScratch2 = 12,
+  kCrScratch3 = 13,
+  kCrPrid = 14,     // Processor id. Environment (differs across replicas!).
+  kCrInstret = 15,  // Retired instruction counter (virtualised by hypervisor).
+  kNumControlRegs = 16,
+};
+
+// CR_STATUS bit layout.
+struct StatusBits {
+  static constexpr uint32_t kPrivMask = 0x3;        // Current privilege, 0..3.
+  static constexpr uint32_t kIe = 1u << 2;          // External interrupts on.
+  static constexpr uint32_t kPrevPrivShift = 3;     // Saved privilege for RFI.
+  static constexpr uint32_t kPrevPrivMask = 0x3u << 3;
+  static constexpr uint32_t kPrevIe = 1u << 5;      // Saved IE for RFI.
+  static constexpr uint32_t kRctrEn = 1u << 6;      // Recovery counter active.
+  static constexpr uint32_t kVmEn = 1u << 7;        // Virtual translation on.
+
+  static uint32_t Priv(uint32_t status) { return status & kPrivMask; }
+};
+
+// External interrupt lines (bits of CR_EIRR).
+enum IrqLine : uint32_t {
+  kIrqTimer = 1u << 0,
+  kIrqDisk = 1u << 1,
+  kIrqConsoleRx = 1u << 2,
+  kIrqConsoleTx = 1u << 3,
+};
+
+// ---------------------------------------------------------------------------
+// Traps
+// ---------------------------------------------------------------------------
+
+enum class TrapCause : uint8_t {
+  kNone = 0,
+  kIllegalInstruction = 1,
+  kPrivilegeViolation = 2,
+  kUnalignedAccess = 3,
+  kTlbMissFetch = 4,
+  kTlbMissLoad = 5,
+  kTlbMissStore = 6,
+  kPageFault = 7,        // PTE invalid; delivered to the guest kernel.
+  kProtectionFault = 8,  // Access rights (incl. MMIO pages above priv 0).
+  kSyscall = 9,
+  kBreak = 10,
+  kDivideByZero = 11,
+  kInterrupt = 12,       // External interrupt (EIRR & IE).
+};
+
+const char* TrapCauseName(TrapCause cause);
+
+// ---------------------------------------------------------------------------
+// Page table entry layout (software-defined, walked by kernel or hypervisor)
+// ---------------------------------------------------------------------------
+
+struct Pte {
+  static constexpr uint32_t kValid = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kExecutable = 1u << 2;
+  static constexpr uint32_t kUser = 1u << 3;  // Accessible at privilege 3.
+  static constexpr uint32_t kPfnShift = 12;   // PFN occupies the top 20 bits.
+
+  static uint32_t Make(uint32_t pfn, uint32_t flags) { return (pfn << kPfnShift) | flags; }
+  static uint32_t PfnOf(uint32_t pte) { return pte >> kPfnShift; }
+};
+
+// ---------------------------------------------------------------------------
+// Physical memory map
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kMmioBase = 0xF0000000;
+inline constexpr uint32_t kDiskMmioBase = 0xF0000000;
+inline constexpr uint32_t kConsoleMmioBase = 0xF0001000;
+inline constexpr uint32_t kMmioLimit = 0xF0002000;
+
+inline bool IsMmioAddress(uint32_t phys) { return phys >= kMmioBase && phys < kMmioLimit; }
+
+// Disk controller register offsets (from kDiskMmioBase).
+enum DiskReg : uint32_t {
+  kDiskRegCmd = 0x00,     // Write 1=read, 2=write to start a transfer.
+  kDiskRegStatus = 0x04,  // Bit0 busy, bit1 done, bit2 check-condition.
+  kDiskRegBlock = 0x08,   // Target block number.
+  kDiskRegCount = 0x0C,   // Blocks per transfer (this model: always 1).
+  kDiskRegDma = 0x10,     // Guest-physical DMA address.
+  kDiskRegResult = 0x14,  // Completion code: see DiskResult.
+  kDiskRegIntAck = 0x18,  // Write 1 to acknowledge the interrupt.
+};
+
+// Console register offsets (from kConsoleMmioBase).
+enum ConsoleReg : uint32_t {
+  kConsoleRegTx = 0x00,      // Write a character to transmit.
+  kConsoleRegRx = 0x04,      // Read the received character.
+  kConsoleRegStatus = 0x08,  // Bit0 rx-ready, bit1 tx-busy.
+  kConsoleRegIntAck = 0x0C,  // Write 1 to acknowledge console interrupts.
+  kConsoleRegResult = 0x10,  // TX completion code: 0 ok, 1 uncertain.
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_ISA_ISA_HPP_

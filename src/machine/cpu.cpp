@@ -1,0 +1,44 @@
+#include "machine/cpu.hpp"
+
+namespace hbft {
+
+const char* ControlRegName(uint8_t cr) {
+  switch (cr) {
+    case kCrStatus:
+      return "status";
+    case kCrTvec:
+      return "tvec";
+    case kCrEpc:
+      return "epc";
+    case kCrEcause:
+      return "ecause";
+    case kCrEvaddr:
+      return "evaddr";
+    case kCrPtbase:
+      return "ptbase";
+    case kCrRctr:
+      return "rctr";
+    case kCrItmr:
+      return "itmr";
+    case kCrTod:
+      return "tod";
+    case kCrEirr:
+      return "eirr";
+    case kCrScratch0:
+      return "scratch0";
+    case kCrScratch1:
+      return "scratch1";
+    case kCrScratch2:
+      return "scratch2";
+    case kCrScratch3:
+      return "scratch3";
+    case kCrPrid:
+      return "prid";
+    case kCrInstret:
+      return "instret";
+    default:
+      return "cr-invalid";
+  }
+}
+
+}  // namespace hbft

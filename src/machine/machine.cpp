@@ -1,0 +1,706 @@
+#include "machine/machine.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+#include "isa/disassembler.hpp"
+
+namespace hbft {
+
+namespace {
+
+// Environment control registers: their values are not a function of the
+// virtual-machine state, so the machine never evaluates them itself — the
+// embedder (bare node or hypervisor) must.
+bool IsEnvironmentCr(uint32_t cr) { return cr == kCrTod || cr == kCrItmr || cr == kCrPrid; }
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.ram_bytes),
+      tlb_(config.tlb_entries, config.tlb_policy, config.machine_seed) {}
+
+void Machine::LoadImage(const AssembledImage& image) {
+  for (const AssembledSection& section : image.sections) {
+    if (section.bytes.empty()) {
+      continue;
+    }
+    memory_.WriteBlock(section.base, section.bytes.data(),
+                       static_cast<uint32_t>(section.bytes.size()));
+  }
+}
+
+void Machine::SetRctrEnabled(bool enabled) {
+  rctr_enabled_ = enabled;
+  if (enabled) {
+    cpu_.cr[kCrStatus] |= StatusBits::kRctrEn;
+  } else {
+    cpu_.cr[kCrStatus] &= ~StatusBits::kRctrEn;
+  }
+}
+
+void Machine::ConfigureIdleLoop(uint32_t begin_pc, uint32_t end_pc) {
+  HBFT_CHECK_LT(begin_pc, end_pc);
+  idle_begin_ = begin_pc;
+  idle_end_ = end_pc;
+  idle_configured_ = true;
+}
+
+void Machine::EnableTrace(size_t depth) {
+  trace_ring_.assign(depth, TraceEntry{});
+  trace_next_ = 0;
+  trace_wrapped_ = false;
+}
+
+std::vector<std::string> Machine::RecentTrace() const {
+  std::vector<std::string> out;
+  size_t count = trace_wrapped_ ? trace_ring_.size() : trace_next_;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = trace_wrapped_ ? (trace_next_ + i) % trace_ring_.size() : i;
+    const TraceEntry& entry = trace_ring_[idx];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%08x: %s", entry.pc,
+                  Disassemble(entry.word, entry.pc).c_str());
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+void Machine::VectorTrap(TrapCause cause, uint32_t epc, uint32_t vaddr, uint32_t handler_priv) {
+  uint32_t status = cpu_.cr[kCrStatus];
+  uint32_t prev_priv = StatusBits::Priv(status);
+  uint32_t prev_ie = (status & StatusBits::kIe) != 0 ? 1 : 0;
+  status &= ~(StatusBits::kPrivMask | StatusBits::kIe | StatusBits::kPrevPrivMask |
+              StatusBits::kPrevIe);
+  status |= handler_priv & StatusBits::kPrivMask;
+  status |= prev_priv << StatusBits::kPrevPrivShift;
+  if (prev_ie != 0) {
+    status |= StatusBits::kPrevIe;
+  }
+  cpu_.cr[kCrStatus] = status;
+  cpu_.cr[kCrEpc] = epc;
+  cpu_.cr[kCrEcause] = static_cast<uint32_t>(cause);
+  cpu_.cr[kCrEvaddr] = vaddr;
+  cpu_.pc = cpu_.cr[kCrTvec];
+}
+
+bool Machine::RetireSimulated(uint32_t next_pc) {
+  cpu_.pc = next_pc;
+  ++cpu_.instret;
+  if (rctr_enabled_) {
+    --rctr_;
+    return rctr_ < 0;
+  }
+  return false;
+}
+
+uint64_t Machine::Fingerprint() {
+  return memory_.Fingerprint() ^ (RegisterFingerprint() * 0x9E3779B97F4A7C15ULL);
+}
+
+Machine::Translation Machine::Translate(uint32_t vaddr, Access access) {
+  Translation result;
+  uint32_t priv = cpu_.priv();
+  uint32_t paddr;
+  if (!cpu_.vm_enabled()) {
+    if (priv > 1) {
+      result.cause = TrapCause::kProtectionFault;
+      return result;
+    }
+    paddr = vaddr;
+  } else {
+    uint32_t vpn = vaddr >> kPageShift;
+    auto pte = tlb_.Lookup(vpn);
+    if (!pte.has_value()) {
+      switch (access) {
+        case Access::kFetch:
+          result.cause = TrapCause::kTlbMissFetch;
+          break;
+        case Access::kLoad:
+          result.cause = TrapCause::kTlbMissLoad;
+          break;
+        case Access::kStore:
+          result.cause = TrapCause::kTlbMissStore;
+          break;
+      }
+      return result;
+    }
+    uint32_t entry = *pte;
+    if ((entry & Pte::kValid) == 0) {
+      result.cause = TrapCause::kProtectionFault;
+      return result;
+    }
+    bool priv_ok = priv <= 1 || (entry & Pte::kUser) != 0;
+    bool kind_ok = true;
+    if (access == Access::kStore) {
+      kind_ok = (entry & Pte::kWritable) != 0;
+    } else if (access == Access::kFetch) {
+      kind_ok = (entry & Pte::kExecutable) != 0;
+    }
+    if (!priv_ok || !kind_ok) {
+      result.cause = TrapCause::kProtectionFault;
+      return result;
+    }
+    paddr = (Pte::PfnOf(entry) << kPageShift) | (vaddr & (kPageBytes - 1));
+  }
+  if (IsMmioAddress(paddr)) {
+    // MMIO pages are reachable only at real privilege 0 — this is how the
+    // hypervisor (which keeps the guest at privilege >= 1) intercepts every
+    // device access (paper section 3.2).
+    if (priv != 0 || access == Access::kFetch) {
+      result.cause = TrapCause::kProtectionFault;
+      return result;
+    }
+    result.ok = true;
+    result.paddr = paddr;
+    return result;
+  }
+  if (!memory_.Contains(paddr, 1)) {
+    result.cause = TrapCause::kProtectionFault;
+    return result;
+  }
+  result.ok = true;
+  result.paddr = paddr;
+  return result;
+}
+
+bool Machine::DeliverTrap(TrapCause cause, uint32_t pc, uint32_t vaddr, const DecodedInstr* instr,
+                          MachineExit* exit, uint64_t* executed) {
+  idle_observing_ = false;
+  if (config_.trap_mode == TrapMode::kHostFirst) {
+    exit->kind = ExitKind::kGuestTrap;
+    exit->cause = cause;
+    exit->pc = pc;
+    exit->vaddr = vaddr;
+    if (instr != nullptr) {
+      exit->instr = *instr;
+      exit->instr_valid = true;
+    }
+    return false;
+  }
+  // kDirect: vector into the guest at real privilege 0. Syscall and break
+  // return past the trapping instruction; everything else retries it.
+  // Vector delivery consumes one budget unit (it is real work, and a guest
+  // whose handler itself faults — a trap storm — must not hang the host).
+  ++*executed;
+  uint32_t epc = (cause == TrapCause::kSyscall || cause == TrapCause::kBreak) ? pc + 4 : pc;
+  VectorTrap(cause, epc, vaddr, /*handler_priv=*/0);
+  return true;
+}
+
+MachineExit Machine::Run(uint64_t max_instructions) {
+  MachineExit exit;
+  uint64_t executed = 0;
+
+  auto retire = [&](uint32_t next_pc) -> bool {
+    cpu_.pc = next_pc;
+    ++cpu_.instret;
+    ++executed;
+    if (rctr_enabled_) {
+      --rctr_;
+      if (rctr_ < 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (executed < max_instructions) {
+    // External interrupt delivery (bare machine only; the hypervisor delivers
+    // interrupts explicitly at epoch boundaries). Delivery consumes budget so
+    // a guest that never acknowledges its interrupt cannot hang the host.
+    if (config_.trap_mode == TrapMode::kDirect && pending_irqs() != 0 &&
+        cpu_.interrupts_enabled()) {
+      idle_observing_ = false;
+      ++executed;
+      VectorTrap(TrapCause::kInterrupt, cpu_.pc, 0, 0);
+      continue;
+    }
+
+    // Idle-loop fast-forward: after one observed pure iteration, skip whole
+    // iterations in bulk (bounded by budget and recovery counter).
+    if (idle_configured_ && cpu_.pc == idle_begin_) {
+      uint64_t now_fp = IdleFingerprint();
+      if (idle_observing_ && idle_clean_ && now_fp == idle_entry_fp_) {
+        uint64_t loop_len = cpu_.instret - idle_entry_instret_;
+        if (loop_len > 0) {
+          uint64_t budget_iters = (max_instructions - executed) / loop_len;
+          uint64_t rctr_iters = std::numeric_limits<uint64_t>::max();
+          if (rctr_enabled_) {
+            int64_t allowance = rctr_ + 1;
+            rctr_iters = allowance <= 0 ? 0 : static_cast<uint64_t>(allowance) / loop_len;
+          }
+          uint64_t k = budget_iters < rctr_iters ? budget_iters : rctr_iters;
+          if (k > 0) {
+            uint64_t skipped = k * loop_len;
+            cpu_.instret += skipped;
+            executed += skipped;
+            idle_skipped_ += skipped;
+            if (rctr_enabled_) {
+              rctr_ -= static_cast<int64_t>(skipped);
+              if (rctr_ < 0) {
+                // The skip landed exactly on the recovery boundary.
+                idle_observing_ = false;
+                exit.kind = ExitKind::kRecovery;
+                exit.executed = executed;
+                exit.pc = cpu_.pc;
+                return exit;
+              }
+            }
+            // PC unchanged: still at loop head, exactly as if emulated.
+          }
+        }
+        idle_observing_ = false;
+        if (executed >= max_instructions) {
+          break;
+        }
+      } else {
+        idle_observing_ = true;
+        idle_clean_ = true;
+        idle_entry_fp_ = now_fp;
+        idle_entry_instret_ = cpu_.instret;
+      }
+    } else if (idle_observing_ && (cpu_.pc < idle_begin_ || cpu_.pc >= idle_end_)) {
+      idle_observing_ = false;
+    }
+
+    uint32_t pc = cpu_.pc;
+
+    // ---- Fetch -------------------------------------------------------------
+    if ((pc & 3) != 0) {
+      if (!DeliverTrap(TrapCause::kUnalignedAccess, pc, pc, nullptr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+    Translation fetch = Translate(pc, Access::kFetch);
+    if (!fetch.ok) {
+      if (!DeliverTrap(fetch.cause, pc, pc, nullptr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+    uint32_t word = memory_.Read32(fetch.paddr);
+    if (!trace_ring_.empty()) {
+      trace_ring_[trace_next_] = TraceEntry{pc, word};
+      if (++trace_next_ == trace_ring_.size()) {
+        trace_next_ = 0;
+        trace_wrapped_ = true;
+      }
+    }
+    auto decoded = Decode(word);
+    if (!decoded.has_value()) {
+      if (!DeliverTrap(TrapCause::kIllegalInstruction, pc, 0, nullptr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+    const DecodedInstr instr = *decoded;
+
+    // ---- Privilege check ---------------------------------------------------
+    if (IsPrivileged(instr.op) && cpu_.priv() != 0) {
+      if (!DeliverTrap(TrapCause::kPrivilegeViolation, pc, 0, &instr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+
+    // ---- Execute -----------------------------------------------------------
+    const uint32_t rs1 = cpu_.gpr[instr.rs1];
+    const uint32_t rs2 = cpu_.gpr[instr.rs2];
+    const uint32_t imm_u = static_cast<uint32_t>(instr.imm);
+    uint32_t next_pc = pc + 4;
+    bool trap_recovery = false;
+
+    switch (instr.op) {
+      case Opcode::kAdd:
+        cpu_.set_gpr(instr.rd, rs1 + rs2);
+        break;
+      case Opcode::kSub:
+        cpu_.set_gpr(instr.rd, rs1 - rs2);
+        break;
+      case Opcode::kAnd:
+        cpu_.set_gpr(instr.rd, rs1 & rs2);
+        break;
+      case Opcode::kOr:
+        cpu_.set_gpr(instr.rd, rs1 | rs2);
+        break;
+      case Opcode::kXor:
+        cpu_.set_gpr(instr.rd, rs1 ^ rs2);
+        break;
+      case Opcode::kSll:
+        cpu_.set_gpr(instr.rd, rs1 << (rs2 & 31));
+        break;
+      case Opcode::kSrl:
+        cpu_.set_gpr(instr.rd, rs1 >> (rs2 & 31));
+        break;
+      case Opcode::kSra:
+        cpu_.set_gpr(instr.rd, static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (rs2 & 31)));
+        break;
+      case Opcode::kSlt:
+        cpu_.set_gpr(instr.rd, static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2) ? 1 : 0);
+        break;
+      case Opcode::kSltu:
+        cpu_.set_gpr(instr.rd, rs1 < rs2 ? 1 : 0);
+        break;
+      case Opcode::kMul:
+        cpu_.set_gpr(instr.rd, rs1 * rs2);
+        break;
+      case Opcode::kDiv: {
+        if (rs2 == 0) {
+          if (!DeliverTrap(TrapCause::kDivideByZero, pc, 0, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        int32_t a = static_cast<int32_t>(rs1);
+        int32_t b = static_cast<int32_t>(rs2);
+        // INT_MIN / -1 overflows; define the result as INT_MIN (no trap).
+        int32_t q = (a == std::numeric_limits<int32_t>::min() && b == -1) ? a : a / b;
+        cpu_.set_gpr(instr.rd, static_cast<uint32_t>(q));
+        break;
+      }
+      case Opcode::kRem: {
+        if (rs2 == 0) {
+          if (!DeliverTrap(TrapCause::kDivideByZero, pc, 0, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        int32_t a = static_cast<int32_t>(rs1);
+        int32_t b = static_cast<int32_t>(rs2);
+        int32_t r = (a == std::numeric_limits<int32_t>::min() && b == -1) ? 0 : a % b;
+        cpu_.set_gpr(instr.rd, static_cast<uint32_t>(r));
+        break;
+      }
+      case Opcode::kAddi:
+        cpu_.set_gpr(instr.rd, rs1 + imm_u);
+        break;
+      case Opcode::kAndi:
+        cpu_.set_gpr(instr.rd, rs1 & imm_u);
+        break;
+      case Opcode::kOri:
+        cpu_.set_gpr(instr.rd, rs1 | imm_u);
+        break;
+      case Opcode::kXori:
+        cpu_.set_gpr(instr.rd, rs1 ^ imm_u);
+        break;
+      case Opcode::kSlti:
+        cpu_.set_gpr(instr.rd, static_cast<int32_t>(rs1) < instr.imm ? 1 : 0);
+        break;
+      case Opcode::kSltiu:
+        cpu_.set_gpr(instr.rd, rs1 < imm_u ? 1 : 0);
+        break;
+      case Opcode::kSlli:
+        cpu_.set_gpr(instr.rd, rs1 << (imm_u & 31));
+        break;
+      case Opcode::kSrli:
+        cpu_.set_gpr(instr.rd, rs1 >> (imm_u & 31));
+        break;
+      case Opcode::kSrai:
+        cpu_.set_gpr(instr.rd, static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (imm_u & 31)));
+        break;
+      case Opcode::kLui:
+        cpu_.set_gpr(instr.rd, imm_u << 16);
+        break;
+
+      case Opcode::kLw:
+      case Opcode::kLh:
+      case Opcode::kLhu:
+      case Opcode::kLb:
+      case Opcode::kLbu:
+      case Opcode::kSw:
+      case Opcode::kSh:
+      case Opcode::kSb:
+      case Opcode::kLwp:
+      case Opcode::kSwp: {
+        bool is_store = instr.op == Opcode::kSw || instr.op == Opcode::kSh ||
+                        instr.op == Opcode::kSb || instr.op == Opcode::kSwp;
+        bool physical = instr.op == Opcode::kLwp || instr.op == Opcode::kSwp;
+        uint32_t bytes = 4;
+        if (instr.op == Opcode::kLh || instr.op == Opcode::kLhu || instr.op == Opcode::kSh) {
+          bytes = 2;
+        } else if (instr.op == Opcode::kLb || instr.op == Opcode::kLbu ||
+                   instr.op == Opcode::kSb) {
+          bytes = 1;
+        }
+        uint32_t vaddr = rs1 + imm_u;
+        if ((vaddr & (bytes - 1)) != 0) {
+          if (!DeliverTrap(TrapCause::kUnalignedAccess, pc, vaddr, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        uint32_t paddr;
+        if (physical) {
+          // Privileged physical window (page-table walks); no translation.
+          if (IsMmioAddress(vaddr)) {
+            paddr = vaddr;  // MMIO reachable physically at privilege 0.
+          } else if (!memory_.Contains(vaddr, bytes)) {
+            if (!DeliverTrap(TrapCause::kProtectionFault, pc, vaddr, &instr, &exit, &executed)) {
+              exit.executed = executed;
+              return exit;
+            }
+            continue;
+          } else {
+            paddr = vaddr;
+          }
+        } else {
+          Translation tr = Translate(vaddr, is_store ? Access::kStore : Access::kLoad);
+          if (!tr.ok) {
+            if (!DeliverTrap(tr.cause, pc, vaddr, &instr, &exit, &executed)) {
+              exit.executed = executed;
+              return exit;
+            }
+            continue;
+          }
+          paddr = tr.paddr;
+        }
+        if (IsMmioAddress(paddr)) {
+          // kDirect at privilege 0 reaches here; kHostFirst never does
+          // (privilege rule in Translate and the privileged LWP/SWP check).
+          idle_observing_ = false;
+          exit.kind = ExitKind::kMmio;
+          exit.executed = executed;
+          exit.pc = pc;
+          exit.instr = instr;
+          exit.instr_valid = true;
+          exit.mmio_paddr = paddr;
+          exit.mmio_is_store = is_store;
+          exit.mmio_bytes = bytes;
+          exit.mmio_value = is_store ? cpu_.gpr[instr.rd] : 0;
+          return exit;
+        }
+        if (is_store) {
+          idle_clean_ = false;
+          uint32_t data = cpu_.gpr[instr.rd];
+          if (bytes == 4) {
+            memory_.Write32(paddr, data);
+          } else if (bytes == 2) {
+            memory_.Write16(paddr, static_cast<uint16_t>(data));
+          } else {
+            memory_.Write8(paddr, static_cast<uint8_t>(data));
+          }
+        } else {
+          uint32_t value = 0;
+          switch (instr.op) {
+            case Opcode::kLw:
+            case Opcode::kLwp:
+              value = memory_.Read32(paddr);
+              break;
+            case Opcode::kLh:
+              value = static_cast<uint32_t>(static_cast<int32_t>(
+                  static_cast<int16_t>(memory_.Read16(paddr))));
+              break;
+            case Opcode::kLhu:
+              value = memory_.Read16(paddr);
+              break;
+            case Opcode::kLb:
+              value = static_cast<uint32_t>(
+                  static_cast<int32_t>(static_cast<int8_t>(memory_.Read8(paddr))));
+              break;
+            case Opcode::kLbu:
+              value = memory_.Read8(paddr);
+              break;
+            default:
+              HBFT_CHECK(false);
+          }
+          cpu_.set_gpr(instr.rd, value);
+        }
+        break;
+      }
+
+      case Opcode::kBeq:
+        if (rs1 == cpu_.gpr[instr.rs2]) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+      case Opcode::kBne:
+        if (rs1 != cpu_.gpr[instr.rs2]) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+      case Opcode::kBlt:
+        if (static_cast<int32_t>(rs1) < static_cast<int32_t>(cpu_.gpr[instr.rs2])) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+      case Opcode::kBge:
+        if (static_cast<int32_t>(rs1) >= static_cast<int32_t>(cpu_.gpr[instr.rs2])) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+      case Opcode::kBltu:
+        if (rs1 < cpu_.gpr[instr.rs2]) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+      case Opcode::kBgeu:
+        if (rs1 >= cpu_.gpr[instr.rs2]) {
+          next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        }
+        break;
+
+      case Opcode::kJal:
+        // PA-RISC branch-and-link quirk: the current privilege level is
+        // deposited in the low two bits of the link value (paper section 3.1).
+        cpu_.set_gpr(instr.rd, (pc + 4) | cpu_.priv());
+        next_pc = pc + 4 + static_cast<uint32_t>(instr.imm) * 4;
+        break;
+      case Opcode::kJalr: {
+        uint32_t target = (rs1 + imm_u) & ~3u;  // Low bits masked on use.
+        cpu_.set_gpr(instr.rd, (pc + 4) | cpu_.priv());
+        next_pc = target;
+        break;
+      }
+
+      case Opcode::kSyscall:
+        if (!DeliverTrap(TrapCause::kSyscall, pc, 0, &instr, &exit, &executed)) {
+          exit.executed = executed;
+          return exit;
+        }
+        continue;
+      case Opcode::kBreak:
+        if (!DeliverTrap(TrapCause::kBreak, pc, 0, &instr, &exit, &executed)) {
+          exit.executed = executed;
+          return exit;
+        }
+        continue;
+
+      case Opcode::kRfi: {
+        idle_clean_ = false;
+        uint32_t status = cpu_.cr[kCrStatus];
+        uint32_t prev_priv = (status & StatusBits::kPrevPrivMask) >> StatusBits::kPrevPrivShift;
+        bool prev_ie = (status & StatusBits::kPrevIe) != 0;
+        status &= ~(StatusBits::kPrivMask | StatusBits::kIe);
+        status |= prev_priv;
+        if (prev_ie) {
+          status |= StatusBits::kIe;
+        }
+        cpu_.cr[kCrStatus] = status;
+        next_pc = cpu_.cr[kCrEpc];
+        break;
+      }
+
+      case Opcode::kMfcr: {
+        uint32_t cr = imm_u & 0xFF;
+        if (cr >= kNumControlRegs) {
+          if (!DeliverTrap(TrapCause::kIllegalInstruction, pc, 0, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        if (IsEnvironmentCr(cr)) {
+          idle_observing_ = false;
+          exit.kind = ExitKind::kEnvCr;
+          exit.executed = executed;
+          exit.pc = pc;
+          exit.instr = instr;
+          exit.instr_valid = true;
+          return exit;
+        }
+        uint32_t value;
+        if (cr == kCrRctr) {
+          value = static_cast<uint32_t>(rctr_);
+        } else if (cr == kCrInstret) {
+          value = static_cast<uint32_t>(cpu_.instret);
+        } else {
+          value = cpu_.cr[cr];
+        }
+        cpu_.set_gpr(instr.rd, value);
+        break;
+      }
+      case Opcode::kMtcr: {
+        uint32_t cr = imm_u & 0xFF;
+        if (cr >= kNumControlRegs) {
+          if (!DeliverTrap(TrapCause::kIllegalInstruction, pc, 0, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        if (IsEnvironmentCr(cr)) {
+          idle_observing_ = false;
+          exit.kind = ExitKind::kEnvCr;
+          exit.executed = executed;
+          exit.pc = pc;
+          exit.instr = instr;
+          exit.instr_valid = true;
+          return exit;
+        }
+        idle_clean_ = false;
+        if (cr == kCrEirr) {
+          cpu_.cr[kCrEirr] &= ~rs1;  // Write-1-to-clear.
+        } else if (cr == kCrRctr) {
+          rctr_ = static_cast<int64_t>(static_cast<int32_t>(rs1));
+        } else if (cr == kCrInstret) {
+          // Read-only; writes ignored.
+        } else {
+          cpu_.cr[cr] = rs1;
+        }
+        break;
+      }
+
+      case Opcode::kTlbi: {
+        idle_clean_ = false;
+        uint32_t pte = rs2;
+        constexpr uint32_t kWiredBit = 1u << 4;  // Software convention.
+        tlb_.Insert(rs1 >> kPageShift, pte, (pte & kWiredBit) != 0);
+        break;
+      }
+      case Opcode::kTlbf:
+        idle_clean_ = false;
+        tlb_.FlushUnwired();
+        break;
+
+      case Opcode::kProbe: {
+        // Determines readability of the address at the current privilege.
+        // TLB misses trap (so the result depends only on the PTE, which is
+        // replica-deterministic); other failures yield 0 without trapping.
+        Translation tr = Translate(rs1, Access::kLoad);
+        if (!tr.ok && (tr.cause == TrapCause::kTlbMissLoad)) {
+          if (!DeliverTrap(tr.cause, pc, rs1, &instr, &exit, &executed)) {
+            exit.executed = executed;
+            return exit;
+          }
+          continue;
+        }
+        cpu_.set_gpr(instr.rd, tr.ok ? 1 : 0);
+        break;
+      }
+
+      case Opcode::kHalt:
+        exit.kind = ExitKind::kHalt;
+        retire(next_pc);
+        exit.executed = executed;
+        exit.pc = pc;
+        return exit;
+    }
+
+    trap_recovery = retire(next_pc);
+    if (trap_recovery) {
+      exit.kind = ExitKind::kRecovery;
+      exit.executed = executed;
+      exit.pc = cpu_.pc;
+      return exit;
+    }
+  }
+
+  exit.kind = ExitKind::kLimit;
+  exit.executed = executed;
+  exit.pc = cpu_.pc;
+  return exit;
+}
+
+}  // namespace hbft

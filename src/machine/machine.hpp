@@ -1,0 +1,196 @@
+// The virtual processor: interpreter, MMU, traps, recovery counter.
+//
+// A Machine models one "HP 9000/720": CPU state, physical memory, TLB, and
+// the trap architecture. It has two trap modes:
+//
+//  * kDirect — the bare machine of the paper's baseline runs. Traps vector
+//    directly into the guest kernel; privileged instructions execute natively
+//    at privilege 0. Environment-register accesses (TOD/ITMR/PRID) and MMIO
+//    accesses exit to the embedder, which implements them against local
+//    devices and the local clock (their behaviour is, by definition, not part
+//    of the virtual-machine state).
+//
+//  * kHostFirst — the hypervised machine. EVERY trap and interrupt exits to
+//    the embedding hypervisor, which simulates privileged instructions,
+//    virtualises devices and clocks, reflects traps into the guest at mapped
+//    privilege levels, and runs epochs via the recovery counter.
+//
+// The recovery counter reproduces PA-RISC semantics: when enabled it is
+// decremented once per retired instruction, and execution stops (exit
+// kRecovery) after the instruction that drives it negative — giving the
+// hypervisor control at an exact point in the instruction stream (the paper's
+// Instruction-Stream Interrupt Assumption).
+#ifndef HBFT_MACHINE_MACHINE_HPP_
+#define HBFT_MACHINE_MACHINE_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "machine/cpu.hpp"
+#include "machine/memory.hpp"
+#include "machine/tlb.hpp"
+
+namespace hbft {
+
+enum class TrapMode {
+  kDirect,     // Bare machine: traps vector into the guest.
+  kHostFirst,  // Hypervised: every trap exits to the embedder.
+};
+
+struct MachineConfig {
+  uint32_t ram_bytes = 4 * 1024 * 1024;
+  uint32_t tlb_entries = 32;
+  TlbPolicy tlb_policy = TlbPolicy::kHardwareRandom;
+  uint64_t machine_seed = 0;  // Seeds per-machine hardware nondeterminism.
+  TrapMode trap_mode = TrapMode::kDirect;
+};
+
+enum class ExitKind {
+  kLimit,      // Instruction budget exhausted.
+  kHalt,       // HALT retired.
+  kRecovery,   // Recovery counter went negative (epoch boundary).
+  kGuestTrap,  // kHostFirst only: trap awaiting host decision.
+  kEnvCr,      // kDirect only: environment CR access at privilege 0.
+  kMmio,       // kDirect only: MMIO load/store at privilege 0.
+};
+
+struct MachineExit {
+  ExitKind kind = ExitKind::kLimit;
+  uint64_t executed = 0;      // Instructions retired during this Run call.
+  TrapCause cause = TrapCause::kNone;
+  uint32_t pc = 0;            // PC of the faulting/env/MMIO instruction.
+  uint32_t vaddr = 0;         // Faulting virtual address for memory traps.
+  DecodedInstr instr;         // Decoded instruction for kGuestTrap/kEnvCr/kMmio.
+  bool instr_valid = false;
+  uint32_t mmio_paddr = 0;
+  bool mmio_is_store = false;
+  uint32_t mmio_value = 0;    // Store data for MMIO stores.
+  uint32_t mmio_bytes = 0;    // Access width.
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // Copies image sections into physical memory. Does not set the PC.
+  void LoadImage(const AssembledImage& image);
+
+  // Executes up to `max_instructions`; returns on budget exhaustion, host
+  // events, HALT, or recovery-counter expiry.
+  MachineExit Run(uint64_t max_instructions);
+
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+  Tlb& tlb() { return tlb_; }
+  const MachineConfig& config() const { return config_; }
+
+  // --- Host services (hypervisor / bare-node embedder) ---------------------
+
+  // Vectors a trap into the guest: saves EPC/ECAUSE/EVADDR, stacks privilege
+  // and IE into STATUS, and jumps to TVEC. `handler_priv` is the real
+  // privilege the handler runs at (0 bare; 1 when a hypervisor maps virtual
+  // privilege 0 to real 1).
+  void VectorTrap(TrapCause cause, uint32_t epc, uint32_t vaddr, uint32_t handler_priv);
+
+  // Accounts one host-simulated instruction as retired: sets PC, bumps
+  // instret, ticks the recovery counter. Returns true when the recovery
+  // counter just expired (the host must treat this as an epoch boundary).
+  bool RetireSimulated(uint32_t next_pc);
+
+  // External interrupt lines (guest-visible EIRR bits).
+  void RaiseIrq(uint32_t lines) { cpu_.cr[kCrEirr] |= lines; }
+  void AckIrq(uint32_t lines) { cpu_.cr[kCrEirr] &= ~lines; }
+  uint32_t pending_irqs() const { return cpu_.cr[kCrEirr]; }
+
+  // Recovery counter: "trap after `remaining` further retirements".
+  void SetRecoveryCounter(int64_t remaining) { rctr_ = remaining - 1; }
+  int64_t RecoveryRemaining() const { return rctr_ + 1; }
+  void SetRctrEnabled(bool enabled);
+
+  // Registers the guest's idle spin loop [begin,end) for exact fast-forward.
+  // A loop iteration is skipped in bulk only after one fully-emulated
+  // iteration is observed to be a pure fixed point (no stores, no CR writes,
+  // no traps, registers unchanged), so skipping is exactly equivalent to
+  // emulation.
+  void ConfigureIdleLoop(uint32_t begin_pc, uint32_t end_pc);
+
+  // Combined memory+register fingerprint of the coordinated VM state.
+  uint64_t Fingerprint();
+
+  uint64_t idle_skipped_instructions() const { return idle_skipped_; }
+
+  // --- Execution tracing (debugging aid) ------------------------------------
+
+  // Keeps a ring buffer of the last `depth` executed instructions (0
+  // disables). Idle-skipped instructions are not recorded individually.
+  void EnableTrace(size_t depth);
+
+  // The recent instructions, oldest first, rendered as "pc: disassembly".
+  std::vector<std::string> RecentTrace() const;
+
+ private:
+  struct Translation {
+    bool ok = false;
+    uint32_t paddr = 0;
+    TrapCause cause = TrapCause::kNone;
+  };
+  enum class Access { kFetch, kLoad, kStore };
+
+  Translation Translate(uint32_t vaddr, Access access);
+  // Returns true when the trap was delivered in-machine (kDirect); false when
+  // the caller must exit to host (kHostFirst). kDirect delivery increments
+  // *executed so trap storms cannot outlive the budget.
+  bool DeliverTrap(TrapCause cause, uint32_t pc, uint32_t vaddr, const DecodedInstr* instr,
+                   MachineExit* exit, uint64_t* executed);
+
+  MachineConfig config_;
+  CpuState cpu_;
+  PhysicalMemory memory_;
+  Tlb tlb_;
+  int64_t rctr_ = -1;
+  bool rctr_enabled_ = false;
+
+  // Idle-loop fast-forward state.
+  uint32_t idle_begin_ = 0;
+  uint32_t idle_end_ = 0;
+  bool idle_configured_ = false;
+  bool idle_observing_ = false;
+  bool idle_clean_ = false;
+  uint64_t idle_entry_fp_ = 0;
+  uint64_t idle_entry_instret_ = 0;
+  uint64_t idle_skipped_ = 0;
+
+  // Execution trace ring buffer.
+  struct TraceEntry {
+    uint32_t pc = 0;
+    uint32_t word = 0;
+  };
+  std::vector<TraceEntry> trace_ring_;
+  size_t trace_next_ = 0;
+  bool trace_wrapped_ = false;
+
+  uint64_t RegisterFingerprint() const { return cpu_.Fingerprint(); }
+
+  // Purity fingerprint for idle-loop detection: general registers only.
+  // instret/pc necessarily advance per iteration and are excluded; control-
+  // register writes already mark the iteration unclean.
+  uint64_t IdleFingerprint() const {
+    Fnv1aHasher hasher;
+    for (uint32_t r : cpu_.gpr) {
+      hasher.UpdateU32(r);
+    }
+    return hasher.digest();
+  }
+};
+
+const char* ControlRegName(uint8_t cr);
+
+}  // namespace hbft
+
+#endif  // HBFT_MACHINE_MACHINE_HPP_

@@ -1,0 +1,49 @@
+#include "machine/memory.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace hbft {
+
+PhysicalMemory::PhysicalMemory(uint32_t bytes) {
+  HBFT_CHECK_GT(bytes, 0u);
+  HBFT_CHECK_EQ(bytes % kPageBytes, 0u);
+  bytes_.assign(bytes, 0);
+  uint32_t pages = bytes / kPageBytes;
+  dirty_.assign(pages, 1);  // Every page starts "dirty" so first Fingerprint hashes all.
+  page_hashes_.assign(pages, 0);
+}
+
+void PhysicalMemory::WriteBlock(uint32_t paddr, const uint8_t* data, uint32_t len) {
+  HBFT_CHECK(Contains(paddr, len)) << "WriteBlock out of range paddr=" << paddr << " len=" << len;
+  std::memcpy(bytes_.data() + paddr, data, len);
+  for (uint32_t page = paddr >> kPageShift; page <= ((paddr + len - 1) >> kPageShift); ++page) {
+    dirty_[page] = 1;
+  }
+}
+
+void PhysicalMemory::ReadBlock(uint32_t paddr, uint8_t* out, uint32_t len) const {
+  HBFT_CHECK(Contains(paddr, len)) << "ReadBlock out of range paddr=" << paddr << " len=" << len;
+  std::memcpy(out, bytes_.data() + paddr, len);
+}
+
+uint64_t PhysicalMemory::Fingerprint() {
+  for (uint32_t page = 0; page < dirty_.size(); ++page) {
+    if (dirty_[page] == 0) {
+      continue;
+    }
+    dirty_[page] = 0;
+    Fnv1aHasher hasher;
+    hasher.UpdateU32(page);
+    hasher.Update(bytes_.data() + static_cast<size_t>(page) * kPageBytes, kPageBytes);
+    uint64_t fresh = hasher.digest();
+    combined_ ^= page_hashes_[page];
+    combined_ ^= fresh;
+    page_hashes_[page] = fresh;
+  }
+  return combined_;
+}
+
+}  // namespace hbft

@@ -1,0 +1,73 @@
+// Physical memory with per-page dirty tracking and incremental fingerprinting.
+//
+// Replica-coordination tests need a state fingerprint at every epoch boundary;
+// rehashing all of RAM each epoch would dominate runtime, so memory keeps one
+// FNV hash per page, re-hashes only pages dirtied since the last fingerprint,
+// and combines page hashes with XOR (order-independent, incrementally
+// updatable).
+#ifndef HBFT_MACHINE_MEMORY_HPP_
+#define HBFT_MACHINE_MEMORY_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(uint32_t bytes);
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  bool Contains(uint32_t paddr, uint32_t access_bytes) const {
+    return paddr + access_bytes <= size() && paddr + access_bytes >= paddr;
+  }
+
+  // Raw accessors; callers must bounds-check via Contains. Little-endian.
+  uint8_t Read8(uint32_t paddr) const { return bytes_[paddr]; }
+  uint16_t Read16(uint32_t paddr) const {
+    return static_cast<uint16_t>(bytes_[paddr] | (bytes_[paddr + 1] << 8));
+  }
+  uint32_t Read32(uint32_t paddr) const {
+    return static_cast<uint32_t>(bytes_[paddr]) | (static_cast<uint32_t>(bytes_[paddr + 1]) << 8) |
+           (static_cast<uint32_t>(bytes_[paddr + 2]) << 16) |
+           (static_cast<uint32_t>(bytes_[paddr + 3]) << 24);
+  }
+  void Write8(uint32_t paddr, uint8_t value) {
+    bytes_[paddr] = value;
+    MarkDirty(paddr);
+  }
+  void Write16(uint32_t paddr, uint16_t value) {
+    bytes_[paddr] = static_cast<uint8_t>(value);
+    bytes_[paddr + 1] = static_cast<uint8_t>(value >> 8);
+    MarkDirty(paddr);
+  }
+  void Write32(uint32_t paddr, uint32_t value) {
+    bytes_[paddr] = static_cast<uint8_t>(value);
+    bytes_[paddr + 1] = static_cast<uint8_t>(value >> 8);
+    bytes_[paddr + 2] = static_cast<uint8_t>(value >> 16);
+    bytes_[paddr + 3] = static_cast<uint8_t>(value >> 24);
+    MarkDirty(paddr);
+  }
+
+  // Bulk copy used by loaders and (virtualised) DMA. Marks pages dirty.
+  void WriteBlock(uint32_t paddr, const uint8_t* data, uint32_t len);
+  void ReadBlock(uint32_t paddr, uint8_t* out, uint32_t len) const;
+
+  // XOR-combined per-page FNV fingerprint of all of RAM. Amortised cost is
+  // proportional to pages dirtied since the previous call.
+  uint64_t Fingerprint();
+
+ private:
+  void MarkDirty(uint32_t paddr) { dirty_[paddr >> kPageShift] = 1; }
+
+  std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> dirty_;        // Per-page dirty flags.
+  std::vector<uint64_t> page_hashes_; // Cached per-page hashes.
+  uint64_t combined_ = 0;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_MACHINE_MEMORY_HPP_

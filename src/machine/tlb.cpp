@@ -1,0 +1,84 @@
+#include "machine/tlb.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+Tlb::Tlb(uint32_t entries, TlbPolicy policy, uint64_t machine_seed)
+    : policy_(policy), rng_(machine_seed ^ 0x7718BFD5C0FFEE00ULL) {
+  HBFT_CHECK_GT(entries, 0u);
+  slots_.resize(entries);
+}
+
+std::optional<uint32_t> Tlb::Lookup(uint32_t vpn) {
+  ++lookups_;
+  for (const Slot& slot : slots_) {
+    if (slot.valid && slot.vpn == vpn) {
+      return slot.pte;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+uint32_t Tlb::PickVictim() {
+  // Prefer an invalid slot.
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid) {
+      return i;
+    }
+  }
+  // All valid: policy decides among non-wired slots.
+  std::vector<uint32_t> candidates;
+  candidates.reserve(slots_.size());
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].wired) {
+      candidates.push_back(i);
+    }
+  }
+  HBFT_CHECK(!candidates.empty()) << "TLB entirely wired; cannot insert";
+  switch (policy_) {
+    case TlbPolicy::kRoundRobin: {
+      uint32_t victim = candidates[next_victim_ % candidates.size()];
+      next_victim_ = (next_victim_ + 1) % static_cast<uint32_t>(candidates.size());
+      return victim;
+    }
+    case TlbPolicy::kHardwareRandom:
+      return candidates[rng_.NextBelow(candidates.size())];
+  }
+  HBFT_CHECK(false);
+  return 0;
+}
+
+void Tlb::Insert(uint32_t vpn, uint32_t pte, bool wired) {
+  // Replace an existing mapping for the same VPN in place.
+  for (Slot& slot : slots_) {
+    if (slot.valid && slot.vpn == vpn) {
+      slot.pte = pte;
+      slot.wired = wired;
+      return;
+    }
+  }
+  Slot& slot = slots_[PickVictim()];
+  slot.valid = true;
+  slot.wired = wired;
+  slot.vpn = vpn;
+  slot.pte = pte;
+}
+
+void Tlb::FlushUnwired() {
+  for (Slot& slot : slots_) {
+    if (!slot.wired) {
+      slot.valid = false;
+    }
+  }
+}
+
+void Tlb::Reset() {
+  for (Slot& slot : slots_) {
+    slot = Slot{};
+  }
+  next_victim_ = 0;
+}
+
+}  // namespace hbft

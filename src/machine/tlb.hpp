@@ -1,0 +1,67 @@
+// Software-managed translation lookaside buffer.
+//
+// The paper (section 3.2) found that the HP 9000/720's TLB replacement is
+// nondeterministic: identical reference strings on primary and backup lead to
+// different TLB contents, which becomes visible through software-handled miss
+// traps and breaks lockstep. This model reproduces both the problem (the
+// kHardwareRandom policy draws victims from a per-machine seed) and the fix
+// (the hypervisor takes over miss handling so the guest never observes them).
+#ifndef HBFT_MACHINE_TLB_HPP_
+#define HBFT_MACHINE_TLB_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+enum class TlbPolicy {
+  kRoundRobin,      // Deterministic; same contents on both replicas.
+  kHardwareRandom,  // Victim drawn from a per-machine seed; replicas diverge.
+};
+
+class Tlb {
+ public:
+  Tlb(uint32_t entries, TlbPolicy policy, uint64_t machine_seed);
+
+  // Returns the PTE mapping `vpn`, or nullopt on miss.
+  std::optional<uint32_t> Lookup(uint32_t vpn);
+
+  // Inserts a mapping, evicting a victim according to the policy if full.
+  // Wired entries are never chosen as victims.
+  void Insert(uint32_t vpn, uint32_t pte, bool wired);
+
+  // Removes all non-wired entries (TLBF instruction).
+  void FlushUnwired();
+
+  // Removes every entry including wired ones (machine reset).
+  void Reset();
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    bool wired = false;
+    uint32_t vpn = 0;
+    uint32_t pte = 0;
+  };
+
+  uint32_t PickVictim();
+
+  std::vector<Slot> slots_;
+  TlbPolicy policy_;
+  DeterministicRng rng_;
+  uint32_t next_victim_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_MACHINE_TLB_HPP_

@@ -1,0 +1,75 @@
+#include "net/channel.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+LinkModel LinkModel::Ethernet10() {
+  LinkModel link;
+  link.bandwidth_bps = 10e6;
+  link.per_frame_overhead = SimTime::Micros(90);
+  link.propagation = SimTime::Micros(5);
+  link.mtu_bytes = 1024;
+  return link;
+}
+
+LinkModel LinkModel::Atm155() {
+  LinkModel link;
+  link.bandwidth_bps = 155e6;
+  link.per_frame_overhead = SimTime::Micros(90);  // Same controller set-up time.
+  link.propagation = SimTime::Micros(5);
+  link.mtu_bytes = 1024;
+  return link;
+}
+
+uint32_t LinkModel::FrameCount(size_t bytes) const {
+  if (bytes == 0) {
+    return 1;
+  }
+  return static_cast<uint32_t>((bytes + mtu_bytes - 1) / mtu_bytes);
+}
+
+SimTime LinkModel::TransferTime(size_t bytes) const {
+  uint32_t frames = FrameCount(bytes);
+  double wire_seconds = static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  return per_frame_overhead * frames + SimTime::Picos(static_cast<int64_t>(wire_seconds * 1e12));
+}
+
+std::optional<SimTime> Channel::Send(Message msg, SimTime now) {
+  if (broken_ && now >= break_time_) {
+    return std::nullopt;
+  }
+  msg.seq = next_seq_++;
+  size_t wire_bytes = msg.WireSize();
+  bytes_sent_ += wire_bytes;
+  SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + link_.TransferTime(wire_bytes);
+  SimTime arrival = busy_until_ + link_.propagation;
+  // FIFO: arrivals are monotone because busy_until_ is.
+  HBFT_CHECK(arrival >= last_arrival_);
+  last_arrival_ = arrival;
+  queue_.push_back(InFlight{arrival, std::move(msg)});
+  return arrival;
+}
+
+std::optional<Message> Channel::Receive(SimTime now) {
+  if (queue_.empty() || queue_.front().arrival > now) {
+    return std::nullopt;
+  }
+  Message msg = std::move(queue_.front().msg);
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<SimTime> Channel::NextArrival() const {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.front().arrival;
+}
+
+SimTime Channel::DrainTime() const { return last_arrival_; }
+
+}  // namespace hbft

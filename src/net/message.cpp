@@ -1,0 +1,191 @@
+#include "net/message.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) {
+      return false;
+    }
+    *v = bytes_[pos_++];
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool GetBytes(std::vector<uint8_t>* out, size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+                bytes_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> Message::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU64(&out, seq);
+  PutU64(&out, epoch);
+  switch (type) {
+    case MsgType::kAck:
+      PutU64(&out, ack_seq);
+      break;
+    case MsgType::kEnvValue:
+      PutU64(&out, env_seq);
+      PutU64(&out, env_value);
+      break;
+    case MsgType::kTimeSync:
+      PutU64(&out, tod_value);
+      break;
+    case MsgType::kEpochEnd:
+      break;
+    case MsgType::kInterrupt: {
+      PutU32(&out, irq_lines);
+      PutU8(&out, io.has_value() ? 1 : 0);
+      if (io.has_value()) {
+        PutU32(&out, io->device_irq);
+        PutU64(&out, io->guest_op_seq);
+        PutU32(&out, io->result_code);
+        PutU8(&out, io->has_dma_data ? 1 : 0);
+        PutU32(&out, io->dma_guest_paddr);
+        PutU32(&out, static_cast<uint32_t>(io->dma_data.size()));
+        out.insert(out.end(), io->dma_data.begin(), io->dma_data.end());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  Message msg;
+  uint8_t type_raw = 0;
+  if (!reader.GetU8(&type_raw) || !reader.GetU64(&msg.seq) || !reader.GetU64(&msg.epoch)) {
+    return std::nullopt;
+  }
+  if (type_raw < 1 || type_raw > 5) {
+    return std::nullopt;
+  }
+  msg.type = static_cast<MsgType>(type_raw);
+  switch (msg.type) {
+    case MsgType::kAck:
+      if (!reader.GetU64(&msg.ack_seq)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kEnvValue:
+      if (!reader.GetU64(&msg.env_seq) || !reader.GetU64(&msg.env_value)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kTimeSync:
+      if (!reader.GetU64(&msg.tod_value)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kEpochEnd:
+      break;
+    case MsgType::kInterrupt: {
+      uint8_t has_io = 0;
+      if (!reader.GetU32(&msg.irq_lines) || !reader.GetU8(&has_io)) {
+        return std::nullopt;
+      }
+      if (has_io != 0) {
+        IoCompletionPayload io;
+        uint8_t has_dma = 0;
+        uint32_t dma_len = 0;
+        if (!reader.GetU32(&io.device_irq) || !reader.GetU64(&io.guest_op_seq) ||
+            !reader.GetU32(&io.result_code) || !reader.GetU8(&has_dma) ||
+            !reader.GetU32(&io.dma_guest_paddr) || !reader.GetU32(&dma_len)) {
+          return std::nullopt;
+        }
+        io.has_dma_data = has_dma != 0;
+        if (!reader.GetBytes(&io.dma_data, dma_len)) {
+          return std::nullopt;
+        }
+        msg.io = std::move(io);
+      }
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+size_t Message::WireSize() const {
+  // Header (type + seq + epoch) plus payload, mirroring Serialize().
+  size_t size = 1 + 8 + 8;
+  switch (type) {
+    case MsgType::kAck:
+      size += 8;
+      break;
+    case MsgType::kEnvValue:
+      size += 16;
+      break;
+    case MsgType::kTimeSync:
+      size += 8;
+      break;
+    case MsgType::kEpochEnd:
+      break;
+    case MsgType::kInterrupt:
+      size += 5;
+      if (io.has_value()) {
+        size += 4 + 8 + 4 + 1 + 4 + 4 + io->dma_data.size();
+      }
+      break;
+  }
+  return size;
+}
+
+}  // namespace hbft

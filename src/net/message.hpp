@@ -1,0 +1,73 @@
+// Replica-coordination protocol messages.
+//
+// Message kinds map one-to-one onto the paper's protocol:
+//   kInterrupt  — rule P1's [E, Int]: an interrupt received at the primary
+//                 during epoch E, relayed (with any device payload such as the
+//                 data of a completed disk read) for delivery at the backup's
+//                 end of epoch E.
+//   kEnvValue   — the result of an environment instruction the primary's
+//                 hypervisor simulated mid-epoch (TOD read, device register
+//                 read); the backup's hypervisor consumes these in order.
+//   kTimeSync   — rule P2's [Tme_p]: the primary's clock registers at the end
+//                 of an epoch, used to resynchronise the backup's virtual
+//                 clocks (Tme_b := Tme_p).
+//   kEpochEnd   — rule P2's [end, E].
+//   kAck        — rule P4's acknowledgment, cumulative up to `ack_seq`.
+//
+// Serialisation exists so the channel can model wire sizes (an 8K disk block
+// fragments into the paper's "9 messages for the data") and so codecs are
+// testable; the simulation otherwise passes Message values directly.
+#ifndef HBFT_NET_MESSAGE_HPP_
+#define HBFT_NET_MESSAGE_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hbft {
+
+enum class MsgType : uint8_t {
+  kInterrupt = 1,
+  kEnvValue = 2,
+  kTimeSync = 3,
+  kEpochEnd = 4,
+  kAck = 5,
+};
+
+// Payload describing a virtual I/O completion relayed with an interrupt.
+struct IoCompletionPayload {
+  uint32_t device_irq = 0;     // IrqLine bit for the device.
+  uint64_t guest_op_seq = 0;   // The guest-visible I/O sequence number.
+  uint32_t result_code = 0;    // Virtual device result register value.
+  bool has_dma_data = false;
+  uint32_t dma_guest_paddr = 0;
+  std::vector<uint8_t> dma_data;
+};
+
+struct Message {
+  MsgType type = MsgType::kAck;
+  uint64_t seq = 0;       // Channel sequence number (assigned by the sender).
+  uint64_t epoch = 0;     // E for kInterrupt/kEpochEnd/kTimeSync.
+  uint64_t ack_seq = 0;   // kAck: cumulative acknowledgment.
+
+  // kInterrupt payload.
+  uint32_t irq_lines = 0;
+  std::optional<IoCompletionPayload> io;
+
+  // kEnvValue payload.
+  uint64_t env_seq = 0;
+  uint64_t env_value = 0;
+
+  // kTimeSync payload (the paper's Tme_p: all clock registers).
+  uint64_t tod_value = 0;
+
+  // Serialised wire size in bytes (drives the bandwidth model).
+  size_t WireSize() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<Message> Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_NET_MESSAGE_HPP_

@@ -1,0 +1,77 @@
+#include "perf/models.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+double ModelEpochCostUs(bool revised_protocol, ModelLink link, const PaperModelParams& p) {
+  if (revised_protocol) {
+    return p.hepoch_local_us;
+  }
+  double rtt = link == ModelLink::kAtm155 ? p.ack_rtt_atm_us : p.ack_rtt_ethernet_us;
+  return p.hepoch_local_us + rtt;
+}
+
+double ModelNpCpu(double epoch_len, bool revised_protocol, ModelLink link,
+                  const PaperModelParams& p) {
+  HBFT_CHECK_GT(epoch_len, 0.0);
+  double hepoch_s = ModelEpochCostUs(revised_protocol, link, p) * 1e-6;
+  double overhead = p.nsim_cpu * p.hsim_us * 1e-6 +
+                    (p.vi_instructions / epoch_len) * hepoch_s + p.cother_seconds;
+  return 1.0 + overhead / p.rt_cpu_seconds;
+}
+
+namespace {
+
+// Per-op CPU phase under the hypervisor: ordinary work inflated by epoch
+// boundaries crossed during it, plus the driver's simulated instructions.
+double CpuPhaseMs(double epoch_len, double hepoch_us, const PaperModelParams& p) {
+  double ord_instr = p.cpu_ord_ms * 1e-3 * p.mips * 1e6;  // Instructions.
+  double boundaries = ord_instr / epoch_len;
+  return p.cpu_ord_ms + boundaries * hepoch_us * 1e-3 + p.nsim_io_op * p.hsim_us * 1e-3;
+}
+
+// Buffered-interrupt delivery delay: on average half an epoch period (guest
+// execution plus boundary processing).
+double DelayMs(double epoch_len, double hepoch_us, const PaperModelParams& p) {
+  double exec_us = epoch_len / p.mips;  // EL instructions at `mips` MIPS, us.
+  return (exec_us + hepoch_us) / 2.0 * 1e-3;
+}
+
+}  // namespace
+
+double ModelNpWrite(double epoch_len, bool revised_protocol, const PaperModelParams& p) {
+  HBFT_CHECK_GT(epoch_len, 0.0);
+  double hepoch_us = ModelEpochCostUs(revised_protocol, ModelLink::kEthernet10, p);
+  double cpu_bare_ms = p.cpu_ord_ms + p.nsim_io_op / (p.mips * 1e6) * 1e3;
+  double rt_ms = p.ops_write * (cpu_bare_ms + p.xfer_write_ms);
+  double per_op = CpuPhaseMs(epoch_len, hepoch_us, p) + p.xfer_write_ms +
+                  DelayMs(epoch_len, hepoch_us, p);
+  return p.ops_write * per_op / rt_ms;
+}
+
+double ModelNpRead(double epoch_len, bool revised_protocol, ModelLink link,
+                   const PaperModelParams& p) {
+  HBFT_CHECK_GT(epoch_len, 0.0);
+  double hepoch_us = ModelEpochCostUs(revised_protocol, link, p);
+  double forward_ms =
+      link == ModelLink::kAtm155 ? p.read_forward_ms_atm : p.read_forward_ms_ethernet;
+  double cpu_bare_ms = p.cpu_ord_ms + p.nsim_io_op / (p.mips * 1e6) * 1e3;
+  double rt_ms = p.ops_read * (cpu_bare_ms + p.xfer_read_ms);
+  double cpu_ms = CpuPhaseMs(epoch_len, hepoch_us, p);
+  double xfer_ms = p.xfer_read_ms;
+  if (revised_protocol) {
+    // The data forward overlaps the next operation's CPU phase; only the
+    // residual (if any) is exposed.
+    xfer_ms += std::max(0.0, forward_ms - cpu_ms);
+  } else {
+    // Original protocol: P2's ack wait serialises the forward into the op.
+    xfer_ms += forward_ms;
+  }
+  double per_op = cpu_ms + xfer_ms + DelayMs(epoch_len, hepoch_us, p);
+  return p.ops_read * per_op / rt_ms;
+}
+
+}  // namespace hbft

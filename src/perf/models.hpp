@@ -1,0 +1,61 @@
+// The paper's closed-form normalized-performance models (section 4).
+//
+//   NP_C(EL) = 1 + (1/RT)(n_sim*h_sim + (VI/EL)*h_epoch + C_other)
+//   NP_W(EL) = n_W (cpu(EL) + xfer_W + delay_W(EL)) / RT
+//   NP_R(EL) = n_R (cpu(EL) + xfer_R + delay_R(EL)) / RT
+//
+// Parameters are the paper's measured constants; n_sim for the CPU workload
+// is back-derived from the measured NP(4K) = 6.50 the same way the authors
+// validated the model. These models generate the "Predicted" curves of
+// Figures 2-4; the discrete-event simulation provides the "Measured" points.
+#ifndef HBFT_PERF_MODELS_HPP_
+#define HBFT_PERF_MODELS_HPP_
+
+namespace hbft {
+
+struct PaperModelParams {
+  // Processor.
+  double mips = 50.0;
+
+  // CPU-intensive workload (section 4.1).
+  double rt_cpu_seconds = 8.8;       // Bare runtime.
+  double vi_instructions = 4.2e8;    // Instructions in the workload.
+  double nsim_cpu = 104500;          // Hypervisor-simulated instructions.
+  double hsim_us = 15.12;            // Per-simulated-instruction cost.
+  double hepoch_old_us = 443.59;     // Boundary cost, original protocol.
+  double hepoch_local_us = 161.6;    // Boundary cost net of the ack wait
+                                     // (derived from Table 1's revised rows).
+  double ack_rtt_ethernet_us = 282.0;  // 443.59 - 161.6.
+  double ack_rtt_atm_us = 158.4;       // Derived from Figure 4's 32K points.
+  double cother_seconds = 0.041;
+
+  // I/O workloads (section 4.2).
+  double ops_write = 2048;
+  double ops_read = 1729;            // Effective reads (buffer-pool misses).
+  double cpu_ord_ms = 0.37;          // Ordinary block-selection work per op.
+  double nsim_io_op = 1000;          // Simulated instructions per op (driver).
+  double xfer_write_ms = 26.0;
+  double xfer_read_ms = 24.2;
+  double read_forward_ms_ethernet = 9.2;  // 33.4 - 24.2: 8K in 9 messages.
+  double read_forward_ms_atm = 2.2;       // Same framing at 155 Mbps.
+};
+
+enum class ModelLink { kEthernet10, kAtm155 };
+
+// Boundary cost h_epoch for a protocol/link combination.
+double ModelEpochCostUs(bool revised_protocol, ModelLink link, const PaperModelParams& p = {});
+
+// Normalized performance of the CPU-intensive workload at epoch length EL.
+double ModelNpCpu(double epoch_len, bool revised_protocol, ModelLink link,
+                  const PaperModelParams& p = {});
+
+// Normalized performance of the write benchmark.
+double ModelNpWrite(double epoch_len, bool revised_protocol, const PaperModelParams& p = {});
+
+// Normalized performance of the read benchmark.
+double ModelNpRead(double epoch_len, bool revised_protocol, ModelLink link,
+                   const PaperModelParams& p = {});
+
+}  // namespace hbft
+
+#endif  // HBFT_PERF_MODELS_HPP_

@@ -1,0 +1,29 @@
+// Plain-text table/series rendering for the benchmark harnesses: every bench
+// binary prints the rows of the paper table/figure it regenerates.
+#ifndef HBFT_PERF_REPORT_HPP_
+#define HBFT_PERF_REPORT_HPP_
+
+#include <string>
+#include <vector>
+
+namespace hbft {
+
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with aligned columns.
+  std::string Render() const;
+  void Print() const;
+
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_PERF_REPORT_HPP_

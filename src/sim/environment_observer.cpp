@@ -1,0 +1,127 @@
+#include "sim/environment_observer.hpp"
+
+#include <sstream>
+
+namespace hbft {
+
+namespace {
+
+// Generic structure check: primary items must be reference[0..p); backup
+// items must be reference[j..n) with j <= p (overlap re-driven identically).
+template <typename Item, typename Eq, typename Print>
+ConsistencyResult CheckSplit(const std::vector<Item>& reference,
+                             const std::vector<Item>& primary_items,
+                             const std::vector<Item>& backup_items, Eq eq, Print print) {
+  std::ostringstream detail;
+  size_t n = reference.size();
+  size_t p = primary_items.size();
+  if (p > n) {
+    detail << "primary produced " << p << " operations, reference only " << n;
+    return {false, detail.str()};
+  }
+  for (size_t i = 0; i < p; ++i) {
+    if (!eq(primary_items[i], reference[i])) {
+      detail << "primary op " << i << " diverges from reference: got " << print(primary_items[i])
+             << ", want " << print(reference[i]);
+      return {false, detail.str()};
+    }
+  }
+  if (backup_items.empty()) {
+    if (p != n) {
+      detail << "no failover output but primary covered only " << p << " of " << n;
+      return {false, detail.str()};
+    }
+    return {true, ""};
+  }
+  if (backup_items.size() > n) {
+    std::ostringstream d2;
+    d2 << "backup produced " << backup_items.size() << " operations, reference only " << n;
+    return {false, d2.str()};
+  }
+  size_t j = n - backup_items.size();
+  if (j > p) {
+    detail << "gap in coverage: primary stopped at " << p << " but backup resumed at " << j;
+    return {false, detail.str()};
+  }
+  for (size_t i = 0; i < backup_items.size(); ++i) {
+    if (!eq(backup_items[i], reference[j + i])) {
+      detail << "backup op " << i << " (reference index " << (j + i)
+             << ") diverges: got " << print(backup_items[i]) << ", want " << print(reference[j + i]);
+      return {false, detail.str()};
+    }
+  }
+  return {true, ""};
+}
+
+bool DiskOpEq(const DiskTraceEntry& a, const DiskTraceEntry& b) {
+  if (a.is_write != b.is_write || a.block != b.block) {
+    return false;
+  }
+  return !a.is_write || a.content_hash == b.content_hash;
+}
+
+std::string DiskOpPrint(const DiskTraceEntry& e) {
+  std::ostringstream out;
+  out << (e.is_write ? "write" : "read") << "(block=" << e.block << ", hash=" << e.content_hash
+      << ")";
+  return out.str();
+}
+
+std::vector<DiskTraceEntry> PerformedBy(const std::vector<DiskTraceEntry>& trace, int issuer) {
+  std::vector<DiskTraceEntry> out;
+  for (const DiskTraceEntry& e : trace) {
+    if (e.performed && e.issuer == issuer) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<DiskTraceEntry> Performed(const std::vector<DiskTraceEntry>& trace) {
+  std::vector<DiskTraceEntry> out;
+  for (const DiskTraceEntry& e : trace) {
+    if (e.performed) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
+                                       const std::vector<DiskTraceEntry>& observed, int primary_id,
+                                       int backup_id) {
+  // Ordering sanity: every backup operation must come after every primary
+  // operation (the backup only drives devices once promoted).
+  bool seen_backup = false;
+  for (const DiskTraceEntry& e : observed) {
+    if (e.issuer == backup_id) {
+      seen_backup = true;
+    } else if (e.issuer == primary_id && seen_backup) {
+      return {false, "primary operation observed after backup took over"};
+    }
+  }
+  return CheckSplit(Performed(reference), PerformedBy(observed, primary_id),
+                    PerformedBy(observed, backup_id), DiskOpEq, DiskOpPrint);
+}
+
+ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
+                                          const std::vector<ConsoleTraceEntry>& observed,
+                                          int primary_id, int backup_id) {
+  auto by = [](const std::vector<ConsoleTraceEntry>& trace, int issuer) {
+    std::vector<ConsoleTraceEntry> out;
+    for (const ConsoleTraceEntry& e : trace) {
+      if (e.issuer == issuer) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  };
+  auto eq = [](const ConsoleTraceEntry& a, const ConsoleTraceEntry& b) { return a.ch == b.ch; };
+  auto print = [](const ConsoleTraceEntry& e) { return std::string(1, e.ch); };
+  std::vector<ConsoleTraceEntry> ref_all = reference;
+  return CheckSplit(ref_all, by(observed, primary_id), by(observed, backup_id), eq, print);
+}
+
+}  // namespace hbft

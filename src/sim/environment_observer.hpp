@@ -1,0 +1,46 @@
+// Environment consistency checking.
+//
+// The paper's correctness criterion: "the environment does not see an
+// anomalous sequence of I/O requests if the primary fails and the backup
+// takes over" — specifically, the observed sequence must be consistent with
+// what a SINGLE processor could have produced, given that devices may report
+// uncertain completions and drivers therefore repeat operations.
+//
+// Concretely, against a reference (unreplicated) run of the same workload:
+//   * without failover: the observed device trace must equal the reference
+//     trace, and only the primary may have touched the devices;
+//   * with failover: the primary's operations form a prefix of the reference
+//     sequence, the promoted backup's operations form a suffix, and they
+//     overlap (the re-driven window) — every overlap operation repeats the
+//     reference operation exactly, which is precisely the repetition IO1/IO2
+//     license.
+#ifndef HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
+#define HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
+
+#include <string>
+#include <vector>
+
+#include "devices/console.hpp"
+#include "devices/disk.hpp"
+
+namespace hbft {
+
+struct ConsistencyResult {
+  bool ok = true;
+  std::string detail;
+};
+
+// Disk-trace check. `primary_id`/`backup_id` identify the replicated run's
+// issuers; the reference trace may use any single issuer.
+ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
+                                       const std::vector<DiskTraceEntry>& observed, int primary_id,
+                                       int backup_id);
+
+// Console-output check with the same prefix/suffix-overlap structure.
+ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
+                                          const std::vector<ConsoleTraceEntry>& observed,
+                                          int primary_id, int backup_id);
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_

@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+void EventQueue::Push(SimTime time, std::function<void()> fn) {
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::PeekTime() const {
+  HBFT_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+void EventQueue::RunNext() {
+  HBFT_CHECK(!heap_.empty());
+  // Copy out before popping: the handler may push new events.
+  std::function<void()> fn = heap_.top().fn;
+  heap_.pop();
+  fn();
+}
+
+}  // namespace hbft

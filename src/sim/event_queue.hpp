@@ -1,0 +1,50 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence); the sequence tie-break
+// makes every run bit-for-bit reproducible regardless of how many events
+// share a timestamp.
+#ifndef HBFT_SIM_EVENT_QUEUE_HPP_
+#define HBFT_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace hbft {
+
+class EventQueue {
+ public:
+  void Push(SimTime time, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime PeekTime() const;
+
+  // Pops and runs the earliest event.
+  void RunNext();
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_EVENT_QUEUE_HPP_

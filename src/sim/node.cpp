@@ -1,0 +1,289 @@
+#include "sim/node.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+BareNode::BareNode(int id, const GuestProgram& guest, const MachineConfig& machine_config,
+                   const CostModel& costs, Disk* disk, Console* console,
+                   EventScheduler* scheduler)
+    : id_(id),
+      costs_(costs),
+      machine_([&] {
+        MachineConfig mc = machine_config;
+        mc.trap_mode = TrapMode::kDirect;
+        mc.machine_seed = machine_config.machine_seed * 1000003ULL + static_cast<uint64_t>(id);
+        return mc;
+      }()),
+      disk_(disk),
+      console_(console),
+      scheduler_(scheduler) {
+  HBFT_CHECK(guest.image != nullptr);
+  machine_.LoadImage(*guest.image);
+  machine_.cpu().pc = guest.entry_pc;
+  machine_.cpu().cr[kCrStatus] = 0;  // Real privilege 0, VM off, IE off.
+  if (guest.wait_loop_end > guest.wait_loop_begin) {
+    machine_.ConfigureIdleLoop(guest.wait_loop_begin, guest.wait_loop_end);
+  }
+}
+
+void BareNode::RunSlice(SimTime until) {
+  while (!halted_ && clock_ < until) {
+    // Cap the horizon by events scheduled during this very slice (device
+    // completions, the interval timer).
+    SimTime horizon = scheduler_->NextEventTime();
+    if (horizon > until) {
+      horizon = until;
+    }
+    if (clock_ >= horizon) {
+      return;
+    }
+    uint64_t budget =
+        static_cast<uint64_t>((horizon - clock_).picos() / costs_.instruction_cost.picos()) + 1;
+    MachineExit exit = machine_.Run(budget);
+    clock_ += costs_.instruction_cost * static_cast<int64_t>(exit.executed);
+    switch (exit.kind) {
+      case ExitKind::kLimit:
+        break;
+      case ExitKind::kHalt:
+        halted_ = true;
+        return;
+      case ExitKind::kEnvCr:
+        HandleEnvCr(exit);
+        break;
+      case ExitKind::kMmio:
+        HandleMmio(exit);
+        break;
+      case ExitKind::kRecovery:
+      case ExitKind::kGuestTrap:
+        HBFT_CHECK(false) << "bare machine produced hypervisor-only exit";
+    }
+  }
+}
+
+void BareNode::HandleEnvCr(const MachineExit& exit) {
+  const DecodedInstr& instr = exit.instr;
+  uint32_t cr = static_cast<uint32_t>(instr.imm) & 0xFF;
+  CpuState& cpu = machine_.cpu();
+  if (instr.op == Opcode::kMfcr) {
+    uint32_t value = 0;
+    switch (cr) {
+      case kCrTod:
+        value = static_cast<uint32_t>(costs_.TodFromTime(clock_));
+        break;
+      case kCrItmr:
+        value = static_cast<uint32_t>(itmr_value_);
+        break;
+      case kCrPrid:
+        value = static_cast<uint32_t>(id_);
+        break;
+      default:
+        HBFT_CHECK(false);
+    }
+    cpu.set_gpr(instr.rd, value);
+  } else {
+    HBFT_CHECK(instr.op == Opcode::kMtcr);
+    uint32_t value = cpu.gpr[instr.rs1];
+    if (cr == kCrItmr) {
+      itmr_value_ = value;
+      timer_armed_ = true;
+      uint64_t generation = ++timer_generation_;
+      SimTime fire = costs_.TimeFromTod(static_cast<int64_t>(value));
+      if (fire <= clock_) {
+        timer_armed_ = false;
+        machine_.RaiseIrq(kIrqTimer);
+      } else {
+        scheduler_->ScheduleAt(fire, [this, generation] {
+          if (!halted_ && timer_armed_ && generation == timer_generation_) {
+            timer_armed_ = false;
+            machine_.RaiseIrq(kIrqTimer);
+          }
+        });
+      }
+    }
+    // Writes to TOD/PRID are ignored (host-owned).
+  }
+  Retire(exit.pc + 4);
+}
+
+void BareNode::HandleMmio(const MachineExit& exit) {
+  const DecodedInstr& instr = exit.instr;
+  CpuState& cpu = machine_.cpu();
+  uint32_t paddr = exit.mmio_paddr;
+
+  if (paddr >= kDiskMmioBase && paddr < kDiskMmioBase + kPageBytes) {
+    uint32_t reg = paddr - kDiskMmioBase;
+    if (exit.mmio_is_store) {
+      uint32_t value = exit.mmio_value;
+      switch (reg) {
+        case kDiskRegBlock:
+          vdisk_.reg_block = value;
+          break;
+        case kDiskRegCount:
+          vdisk_.reg_count = value;
+          break;
+        case kDiskRegDma:
+          vdisk_.reg_dma = value;
+          break;
+        case kDiskRegIntAck:
+          machine_.AckIrq(kIrqDisk);
+          vdisk_.reg_status &= ~(kDiskStatusDone | kDiskStatusCheck);
+          break;
+        case kDiskRegCmd: {
+          HBFT_CHECK(!vdisk_.busy) << "bare guest issued disk command while busy";
+          HBFT_CHECK(value == 1 || value == 2);
+          vdisk_.busy = true;
+          vdisk_.reg_status = kDiskStatusBusy;
+          bool is_write = value == 2;
+          uint64_t op_id;
+          SimTime latency;
+          if (is_write) {
+            std::vector<uint8_t> data(kDiskBlockBytes);
+            machine_.memory().ReadBlock(vdisk_.reg_dma, data.data(), kDiskBlockBytes);
+            op_id = disk_->IssueWrite(vdisk_.reg_block, std::move(data), id_);
+            latency = costs_.disk_write_latency;
+          } else {
+            op_id = disk_->IssueRead(vdisk_.reg_block, id_);
+            latency = costs_.disk_read_latency;
+          }
+          pending_disk_[op_id] = PendingDiskOp{is_write, vdisk_.reg_dma};
+          SimTime completion = clock_ + latency;
+          scheduler_->ScheduleAt(completion, [this, op_id, completion] {
+            if (!halted_) {
+              OnDiskCompletion(op_id, completion);
+            }
+          });
+          break;
+        }
+        default:
+          HBFT_CHECK(false) << "bad disk register store offset " << reg;
+      }
+    } else {
+      uint32_t value = 0;
+      switch (reg) {
+        case kDiskRegStatus:
+          value = vdisk_.reg_status;
+          break;
+        case kDiskRegResult:
+          value = vdisk_.reg_result;
+          break;
+        case kDiskRegBlock:
+          value = vdisk_.reg_block;
+          break;
+        case kDiskRegCount:
+          value = vdisk_.reg_count;
+          break;
+        case kDiskRegDma:
+          value = vdisk_.reg_dma;
+          break;
+        default:
+          value = 0;
+          break;
+      }
+      cpu.set_gpr(instr.rd, value);
+    }
+    Retire(exit.pc + 4);
+    return;
+  }
+
+  if (paddr >= kConsoleMmioBase && paddr < kConsoleMmioBase + kPageBytes) {
+    uint32_t reg = paddr - kConsoleMmioBase;
+    if (exit.mmio_is_store) {
+      uint32_t value = exit.mmio_value;
+      switch (reg) {
+        case kConsoleRegTx: {
+          HBFT_CHECK(!vconsole_.tx_busy);
+          vconsole_.tx_busy = true;
+          console_->Transmit(static_cast<char>(value & 0xFF), id_);
+          SimTime completion = clock_ + costs_.console_tx_latency;
+          scheduler_->ScheduleAt(completion, [this, completion] {
+            if (!halted_) {
+              OnConsoleTxDone(completion);
+            }
+          });
+          break;
+        }
+        case kConsoleRegIntAck:
+          if ((value & 1) != 0) {
+            machine_.AckIrq(kIrqConsoleRx);
+            vconsole_.rx_ready = false;
+          }
+          if ((value & 2) != 0) {
+            machine_.AckIrq(kIrqConsoleTx);
+          }
+          break;
+        default:
+          HBFT_CHECK(false) << "bad console register store offset " << reg;
+      }
+    } else {
+      uint32_t value = 0;
+      switch (reg) {
+        case kConsoleRegRx:
+          value = vconsole_.rx_char;
+          break;
+        case kConsoleRegStatus:
+          value = (vconsole_.rx_ready ? 1u : 0u) | (vconsole_.tx_busy ? 2u : 0u);
+          break;
+        case kConsoleRegResult:
+          value = vconsole_.reg_result;
+          break;
+        default:
+          value = 0;
+          break;
+      }
+      cpu.set_gpr(instr.rd, value);
+    }
+    Retire(exit.pc + 4);
+    return;
+  }
+
+  HBFT_CHECK(false) << "MMIO access outside device windows";
+}
+
+void BareNode::OnDiskCompletion(uint64_t op_id, SimTime t) {
+  auto it = pending_disk_.find(op_id);
+  HBFT_CHECK(it != pending_disk_.end());
+  PendingDiskOp op = it->second;
+  pending_disk_.erase(it);
+  if (clock_ < t) {
+    clock_ = t;
+  }
+  Disk::Completion completion = disk_->Complete(op_id);
+  vdisk_.busy = false;
+  if (completion.status == DiskStatus::kUncertain) {
+    vdisk_.reg_status = kDiskStatusDone | kDiskStatusCheck;
+    vdisk_.reg_result = kDiskResultCheckCondition;
+  } else {
+    vdisk_.reg_status = kDiskStatusDone;
+    vdisk_.reg_result = kDiskResultOk;
+    if (!op.is_write) {
+      machine_.memory().WriteBlock(op.dma, completion.data.data(),
+                                   static_cast<uint32_t>(completion.data.size()));
+    }
+  }
+  machine_.RaiseIrq(kIrqDisk);
+}
+
+void BareNode::OnConsoleTxDone(SimTime t) {
+  if (clock_ < t) {
+    clock_ = t;
+  }
+  vconsole_.tx_busy = false;
+  vconsole_.reg_result = 0;
+  machine_.RaiseIrq(kIrqConsoleTx);
+}
+
+void BareNode::InjectConsoleRx(char c, SimTime t) {
+  if (halted_) {
+    return;
+  }
+  if (clock_ < t) {
+    // The device latches asynchronously; the node clock is unaffected, but
+    // the interrupt is visible from `t` (next RunSlice checks pending lines).
+  }
+  vconsole_.rx_char = static_cast<uint32_t>(static_cast<uint8_t>(c));
+  vconsole_.rx_ready = true;
+  machine_.RaiseIrq(kIrqConsoleRx);
+}
+
+}  // namespace hbft

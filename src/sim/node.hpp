@@ -1,0 +1,67 @@
+// BareNode: the unreplicated reference machine.
+//
+// Runs the same guest image on a kDirect machine: traps vector straight into
+// MiniOS, privileged instructions execute natively at real privilege 0, and
+// environment instructions / MMIO exit to this node, which implements them
+// against the local devices and clock. Bare runs provide the paper's
+// denominator N in normalized performance N'/N, and the reference
+// environment traces for transparency checking.
+#ifndef HBFT_SIM_NODE_HPP_
+#define HBFT_SIM_NODE_HPP_
+
+#include <map>
+
+#include "core/protocol.hpp"
+#include "hypervisor/virtual_devices.hpp"
+
+namespace hbft {
+
+class BareNode : public NodeActor {
+ public:
+  BareNode(int id, const GuestProgram& guest, const MachineConfig& machine_config,
+           const CostModel& costs, Disk* disk, Console* console, EventScheduler* scheduler);
+
+  void RunSlice(SimTime until) override;
+  bool runnable() const override { return !halted_; }
+  SimTime clock() const override { return clock_; }
+  bool halted() const override { return halted_; }
+  bool dead() const override { return false; }
+
+  Machine& machine() { return machine_; }
+  void InjectConsoleRx(char c, SimTime t);
+
+ private:
+  void HandleEnvCr(const MachineExit& exit);
+  void HandleMmio(const MachineExit& exit);
+  void OnDiskCompletion(uint64_t op_id, SimTime t);
+  void OnConsoleTxDone(SimTime t);
+  void Retire(uint32_t next_pc) {
+    machine_.RetireSimulated(next_pc);
+    clock_ += costs_.instruction_cost;
+  }
+
+  int id_;
+  CostModel costs_;
+  Machine machine_;
+  SimTime clock_ = SimTime::Zero();
+  Disk* disk_;
+  Console* console_;
+  EventScheduler* scheduler_;
+  bool halted_ = false;
+
+  VirtualDiskState vdisk_;
+  VirtualConsoleState vconsole_;
+  uint64_t itmr_value_ = 0;
+  bool timer_armed_ = false;
+  uint64_t timer_generation_ = 0;
+
+  struct PendingDiskOp {
+    bool is_write = false;
+    uint32_t dma = 0;
+  };
+  std::map<uint64_t, PendingDiskOp> pending_disk_;
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_NODE_HPP_

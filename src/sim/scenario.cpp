@@ -1,0 +1,108 @@
+#include "sim/scenario.hpp"
+
+#include "common/check.hpp"
+#include "guest/image.hpp"
+
+namespace hbft {
+
+namespace {
+
+WorldConfig MakeWorldConfig(const ScenarioOptions& options) {
+  WorldConfig config;
+  config.costs = options.costs;
+  config.replication = options.replication;
+  config.machine.ram_bytes = options.ram_bytes;
+  config.machine.tlb_entries = options.tlb_entries;
+  config.machine.tlb_policy = options.tlb_policy;
+  config.machine.machine_seed = options.seed;
+  config.disk_blocks = options.disk_blocks;
+  config.seed = options.seed;
+  config.disk_faults = options.disk_faults;
+  config.max_time = options.max_time;
+  return config;
+}
+
+void ReadBackGuestState(Machine& machine, ScenarioResult* result) {
+  const GuestImageBundle& bundle = GetGuestImage();
+  PhysicalMemory& memory = machine.memory();
+  result->exited_flag = memory.Read32(bundle.exited_flag_addr);
+  result->exit_code = memory.Read32(bundle.exit_code_addr);
+  result->guest_checksum = memory.Read32(bundle.exit_checksum_addr);
+  result->panic_code = memory.Read32(bundle.panic_code_addr);
+  result->ticks = memory.Read32(bundle.ticks_addr);
+}
+
+void FillCommon(World& world, const World::Outcome& outcome, ScenarioResult* result) {
+  result->completed = outcome.completed;
+  result->timed_out = outcome.timed_out;
+  result->deadlocked = outcome.deadlocked;
+  result->completion_time = outcome.completion_time;
+  result->promoted = outcome.promoted;
+  result->promotion_time = outcome.promotion_time;
+  result->crash_time = outcome.crash_time;
+  result->console_output = world.console().output();
+  result->console_trace = world.console().trace();
+  result->disk_trace = world.disk().trace();
+  ReadBackGuestState(world.active_machine(), result);
+}
+
+}  // namespace
+
+ScenarioResult RunBare(const WorkloadSpec& workload, const ScenarioOptions& options) {
+  const GuestImageBundle& bundle = GetGuestImage();
+  World world(bundle.program, MakeWorldConfig(options), /*replicated=*/false);
+  PatchWorkloadParams(&world.bare()->machine().memory(), workload);
+  if (!options.console_input.empty()) {
+    world.InjectConsoleInput(options.console_input, options.console_input_start,
+                             options.console_input_interval);
+  }
+  World::Outcome outcome = world.Run();
+  ScenarioResult result;
+  FillCommon(world, outcome, &result);
+  return result;
+}
+
+ScenarioResult RunReplicated(const WorkloadSpec& workload, const ScenarioOptions& options) {
+  const GuestImageBundle& bundle = GetGuestImage();
+  World world(bundle.program, MakeWorldConfig(options), /*replicated=*/true);
+  // Both replicas boot from identical state, including the parameter block.
+  PatchWorkloadParams(&world.primary()->hypervisor().machine().memory(), workload);
+  PatchWorkloadParams(&world.backup()->hypervisor().machine().memory(), workload);
+  if (options.failure.kind != FailurePlan::Kind::kNone) {
+    world.SetFailurePlan(options.failure);
+  }
+  if (!options.console_input.empty()) {
+    world.InjectConsoleInput(options.console_input, options.console_input_start,
+                             options.console_input_interval);
+  }
+  World::Outcome outcome = world.Run();
+  ScenarioResult result;
+  FillCommon(world, outcome, &result);
+  result.primary_hv_stats = world.primary()->hypervisor().stats();
+  result.backup_hv_stats = world.backup()->hypervisor().stats();
+  result.primary_stats = world.primary()->stats();
+  result.backup_stats = world.backup()->stats();
+  result.primary_boundary_fingerprints = world.primary()->boundary_fingerprints();
+  result.backup_boundary_fingerprints = world.backup()->boundary_fingerprints();
+  return result;
+}
+
+double NormalizedPerformance(const ScenarioResult& replicated, const ScenarioResult& bare) {
+  HBFT_CHECK(bare.completed && replicated.completed);
+  HBFT_CHECK_GT(bare.completion_time.picos(), 0);
+  return replicated.completion_time.seconds() / bare.completion_time.seconds();
+}
+
+size_t MatchingBoundaryPrefix(const ScenarioResult& result) {
+  const auto& p = result.primary_boundary_fingerprints;
+  const auto& b = result.backup_boundary_fingerprints;
+  size_t n = p.size() < b.size() ? p.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != b[i]) {
+      return i;
+    }
+  }
+  return n;
+}
+
+}  // namespace hbft

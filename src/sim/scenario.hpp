@@ -1,0 +1,82 @@
+// High-level scenario runners: the public API most tests, benchmarks, and
+// examples use.
+//
+//   ScenarioResult bare = RunBare(WorkloadSpec::PaperCpu());
+//   ScenarioResult ft   = RunReplicated(WorkloadSpec::PaperCpu(), options);
+//   double np = NormalizedPerformance(ft, bare);   // The paper's N'/N.
+#ifndef HBFT_SIM_SCENARIO_HPP_
+#define HBFT_SIM_SCENARIO_HPP_
+
+#include <string>
+#include <vector>
+
+#include "guest/workloads.hpp"
+#include "sim/environment_observer.hpp"
+#include "sim/world.hpp"
+
+namespace hbft {
+
+struct ScenarioOptions {
+  ReplicationConfig replication;
+  CostModel costs;
+  uint64_t seed = 42;
+  uint32_t disk_blocks = 128;
+  uint32_t ram_bytes = 4 * 1024 * 1024;
+  uint32_t tlb_entries = 64;
+  TlbPolicy tlb_policy = TlbPolicy::kHardwareRandom;
+  DiskFaultPlan disk_faults;
+  FailurePlan failure;
+  SimTime max_time = SimTime::Seconds(900);
+  std::string console_input;
+  SimTime console_input_start = SimTime::Millis(100);
+  SimTime console_input_interval = SimTime::Millis(20);
+};
+
+struct ScenarioResult {
+  // Run outcome.
+  bool completed = false;
+  bool timed_out = false;
+  bool deadlocked = false;
+  SimTime completion_time = SimTime::Zero();
+
+  // Guest-reported results (read back from the surviving machine's memory).
+  uint32_t exited_flag = 0;  // 1 = clean exit, 2 = kernel panic.
+  uint32_t exit_code = 0;
+  uint32_t guest_checksum = 0;
+  uint32_t panic_code = 0;
+  uint32_t ticks = 0;
+
+  // Environment.
+  std::string console_output;
+  std::vector<DiskTraceEntry> disk_trace;
+  std::vector<ConsoleTraceEntry> console_trace;
+
+  // Replication.
+  bool promoted = false;
+  SimTime promotion_time = SimTime::Zero();
+  SimTime crash_time = SimTime::Zero();
+  Hypervisor::Stats primary_hv_stats;
+  Hypervisor::Stats backup_hv_stats;
+  ReplicaNodeBase::Stats primary_stats;
+  ReplicaNodeBase::Stats backup_stats;
+  std::vector<uint64_t> primary_boundary_fingerprints;
+  std::vector<uint64_t> backup_boundary_fingerprints;
+
+  int primary_id = 1;
+  int backup_id = 2;
+  int bare_id = 0;
+};
+
+ScenarioResult RunBare(const WorkloadSpec& workload, const ScenarioOptions& options = {});
+ScenarioResult RunReplicated(const WorkloadSpec& workload, const ScenarioOptions& options = {});
+
+// The paper's figure of merit: N'/N.
+double NormalizedPerformance(const ScenarioResult& replicated, const ScenarioResult& bare);
+
+// Number of leading epoch boundaries at which both replicas' fingerprints
+// agree; HBFT_CHECKs that the compared prefix matches when `require` is set.
+size_t MatchingBoundaryPrefix(const ScenarioResult& result);
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_SCENARIO_HPP_

@@ -1,0 +1,220 @@
+#include "sim/world.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace hbft {
+
+namespace {
+constexpr int kPrimaryId = 1;
+constexpr int kBackupId = 2;
+constexpr int kBareId = 0;
+}  // namespace
+
+World::World(const GuestProgram& guest, const WorldConfig& config, bool replicated)
+    : config_(config), crash_rng_(config.seed ^ 0xC4A5BEEFULL) {
+  disk_ = std::make_unique<Disk>(config.disk_blocks, config.seed);
+  disk_->set_fault_plan(config.disk_faults);
+  console_ = std::make_unique<Console>();
+
+  if (!replicated) {
+    bare_ = std::make_unique<BareNode>(kBareId, guest, config.machine, config.costs, disk_.get(),
+                                       console_.get(), this);
+    return;
+  }
+
+  chan_pb_ = std::make_unique<Channel>(config.costs.link);
+  chan_bp_ = std::make_unique<Channel>(config.costs.link);
+  primary_ = std::make_unique<PrimaryNode>(kPrimaryId, guest, config.machine, config.replication,
+                                           config.costs, disk_.get(), console_.get(),
+                                           chan_pb_.get(), chan_bp_.get(), this);
+  backup_ = std::make_unique<BackupNode>(kBackupId, guest, config.machine, config.replication,
+                                         config.costs, disk_.get(), console_.get(),
+                                         chan_bp_.get(), chan_pb_.get(), this);
+  primary_->set_schedule_peer_poll([this](SimTime arrival) {
+    ScheduleAt(arrival, [this, arrival] { backup_->PollIncoming(arrival); });
+  });
+  backup_->set_schedule_peer_poll([this](SimTime arrival) {
+    ScheduleAt(arrival, [this, arrival] { primary_->PollIncoming(arrival); });
+  });
+}
+
+void World::ScheduleAt(SimTime t, std::function<void()> fn) { queue_.Push(t, std::move(fn)); }
+
+void World::SetFailurePlan(const FailurePlan& plan) {
+  HBFT_CHECK(primary_ != nullptr) << "failure plans require a replicated world";
+  failure_plan_ = plan;
+  if (plan.kind == FailurePlan::Kind::kAtTime && plan.target == FailurePlan::Target::kBackup) {
+    ScheduleAt(plan.time, [this, plan] {
+      if (!failure_fired_ && !backup_->dead() && !backup_->halted()) {
+        failure_fired_ = true;
+        SimTime t = backup_->clock() > plan.time ? backup_->clock() : plan.time;
+        KillBackup(t);
+      }
+    });
+    return;
+  }
+  HBFT_CHECK(plan.target == FailurePlan::Target::kPrimary || plan.kind == FailurePlan::Kind::kNone)
+      << "backup failures support only time-based injection";
+  switch (plan.kind) {
+    case FailurePlan::Kind::kNone:
+      break;
+    case FailurePlan::Kind::kAtTime:
+      ScheduleAt(plan.time, [this, plan] {
+        if (!failure_fired_ && !primary_->dead() && !primary_->halted()) {
+          failure_fired_ = true;
+          SimTime t = primary_->clock() > plan.time ? primary_->clock() : plan.time;
+          KillPrimary(t);
+        }
+      });
+      break;
+    case FailurePlan::Kind::kAtPhase:
+      primary_->set_phase_hook([this, plan](FailPhase phase, uint64_t epoch, uint64_t io_seq) {
+        if (failure_fired_ || phase != plan.phase) {
+          return;
+        }
+        bool epoch_match = epoch >= plan.phase_epoch;
+        bool io_match = plan.io_seq == 0 || io_seq == plan.io_seq;
+        if (epoch_match && io_match) {
+          failure_fired_ = true;
+          KillPrimary(primary_->clock());
+        }
+      });
+      break;
+  }
+}
+
+void World::KillPrimary(SimTime t) {
+  HBFT_CHECK(primary_ != nullptr);
+  crash_time_ = t;
+  std::vector<uint64_t> in_flight = primary_->PendingDiskOps();
+  primary_->Kill(t);
+  chan_bp_->Break(t);
+  // Resolve each in-flight device operation: performed or not (IO2).
+  for (uint64_t op : in_flight) {
+    bool performed;
+    switch (failure_plan_.crash_io) {
+      case FailurePlan::CrashIo::kPerformed:
+        performed = true;
+        break;
+      case FailurePlan::CrashIo::kNotPerformed:
+        performed = false;
+        break;
+      case FailurePlan::CrashIo::kRandom:
+      default:
+        performed = crash_rng_.NextBool(0.5);
+        break;
+    }
+    disk_->ResolveInFlightAtCrash(op, performed);
+  }
+  SimTime detect =
+      FailureDetector::DetectionTime(*chan_pb_, t, config_.costs.failure_detect_timeout);
+  ScheduleAt(detect, [this, detect] { backup_->OnFailureDetected(detect); });
+}
+
+void World::KillBackup(SimTime t) {
+  HBFT_CHECK(backup_ != nullptr);
+  crash_time_ = t;
+  backup_->Kill(t);
+  // The primary notices missing acknowledgments: drain + timeout.
+  SimTime detect =
+      FailureDetector::DetectionTime(*chan_bp_, t, config_.costs.failure_detect_timeout);
+  ScheduleAt(detect, [this, detect] { primary_->OnBackupFailureDetected(detect); });
+}
+
+void World::InjectConsoleInput(const std::string& text, SimTime start, SimTime interval) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    SimTime t = start + interval * static_cast<int64_t>(i);
+    ScheduleAt(t, [this, c, t] {
+      if (bare_ != nullptr) {
+        bare_->InjectConsoleRx(c, t);
+      } else if (primary_ != nullptr && !primary_->dead() && !primary_->halted()) {
+        primary_->InjectConsoleRx(c, t);
+      } else if (backup_ != nullptr) {
+        backup_->InjectConsoleRx(c, t);
+      }
+    });
+  }
+}
+
+Machine& World::active_machine() {
+  if (bare_ != nullptr) {
+    return bare_->machine();
+  }
+  if (backup_ != nullptr && backup_->promoted()) {
+    return backup_->hypervisor().machine();
+  }
+  return primary_->hypervisor().machine();
+}
+
+NodeActor& World::active_node() {
+  if (bare_ != nullptr) {
+    return *bare_;
+  }
+  if (backup_ != nullptr && backup_->promoted()) {
+    return *backup_;
+  }
+  return *primary_;
+}
+
+World::Outcome World::Run() {
+  Outcome outcome;
+  NodeActor* nodes[3] = {bare_.get(), primary_.get(), backup_.get()};
+
+  while (true) {
+    bool all_done = true;
+    for (NodeActor* node : nodes) {
+      if (node != nullptr && !node->halted() && !node->dead()) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      outcome.completed = true;
+      break;
+    }
+
+    NodeActor* next = nullptr;
+    for (NodeActor* node : nodes) {
+      if (node != nullptr && node->runnable()) {
+        if (next == nullptr || node->clock() < next->clock()) {
+          next = node;
+        }
+      }
+    }
+    SimTime tq = queue_.empty() ? SimTime::Max() : queue_.PeekTime();
+
+    if (next != nullptr && next->clock() >= config_.max_time) {
+      outcome.timed_out = true;
+      break;
+    }
+
+    if (next != nullptr && next->clock() < tq) {
+      SimTime horizon = tq < config_.max_time ? tq : config_.max_time;
+      next->RunSlice(horizon);
+    } else if (!queue_.empty()) {
+      if (tq > config_.max_time) {
+        // Only events beyond the deadline remain and no node can run.
+        outcome.timed_out = next != nullptr;
+        outcome.deadlocked = next == nullptr;
+        break;
+      }
+      queue_.RunNext();
+    } else if (next != nullptr) {
+      next->RunSlice(config_.max_time);
+    } else {
+      outcome.deadlocked = true;  // No events, nobody runnable, not done.
+      break;
+    }
+  }
+
+  outcome.completion_time = active_node().clock();
+  outcome.crash_time = crash_time_;
+  if (backup_ != nullptr) {
+    outcome.promoted = backup_->promoted();
+    outcome.promotion_time = backup_->promotion_time();
+  }
+  return outcome;
+}
+
+}  // namespace hbft

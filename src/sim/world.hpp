@@ -1,0 +1,106 @@
+// World: deterministic co-simulation of the fault-tolerant pair (or of one
+// bare reference machine), the shared disk, the console, the interconnect,
+// and failure injection.
+//
+// Scheduling is conservative and deterministic: the runnable node with the
+// smallest local clock advances until the next global event time; events tie-
+// break by insertion order. Replica nodes interact only through channels and
+// devices, all of which go through the event queue.
+#ifndef HBFT_SIM_WORLD_HPP_
+#define HBFT_SIM_WORLD_HPP_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/backup.hpp"
+#include "core/failure_detector.hpp"
+#include "core/primary.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/node.hpp"
+
+namespace hbft {
+
+struct FailurePlan {
+  enum class Kind { kNone, kAtTime, kAtPhase };
+  enum class Target { kPrimary, kBackup };
+  Kind kind = Kind::kNone;
+  Target target = Target::kPrimary;      // Which replica the fault hits.
+  SimTime time = SimTime::Zero();        // kAtTime.
+  FailPhase phase = FailPhase::kNone;    // kAtPhase: protocol point ...
+  uint64_t phase_epoch = 0;              // ... in this epoch ...
+  uint64_t io_seq = 0;                   // ... or at this I/O op (0 = any).
+
+  // What happens to device operations in flight at the crash (IO2's "may or
+  // may not have been performed", made explicit for tests).
+  enum class CrashIo { kRandom, kPerformed, kNotPerformed };
+  CrashIo crash_io = CrashIo::kRandom;
+};
+
+struct WorldConfig {
+  CostModel costs;
+  ReplicationConfig replication;
+  MachineConfig machine;
+  uint32_t disk_blocks = 128;
+  uint64_t seed = 42;
+  DiskFaultPlan disk_faults;
+  SimTime max_time = SimTime::Seconds(600);
+};
+
+class World : public EventScheduler {
+ public:
+  // `replicated` builds primary+backup; otherwise one bare node.
+  World(const GuestProgram& guest, const WorldConfig& config, bool replicated);
+
+  void ScheduleAt(SimTime t, std::function<void()> fn) override;
+  SimTime NextEventTime() const override {
+    return queue_.empty() ? SimTime::Max() : queue_.PeekTime();
+  }
+
+  void SetFailurePlan(const FailurePlan& plan);
+  void InjectConsoleInput(const std::string& text, SimTime start, SimTime interval);
+
+  struct Outcome {
+    bool completed = false;
+    bool timed_out = false;
+    bool deadlocked = false;
+    SimTime completion_time = SimTime::Zero();
+    bool promoted = false;
+    SimTime promotion_time = SimTime::Zero();
+    SimTime crash_time = SimTime::Zero();
+  };
+  Outcome Run();
+
+  Disk& disk() { return *disk_; }
+  Console& console() { return *console_; }
+  PrimaryNode* primary() { return primary_.get(); }
+  BackupNode* backup() { return backup_.get(); }
+  BareNode* bare() { return bare_.get(); }
+
+  // The machine whose state carries the workload's results: the bare node,
+  // the promoted backup, or the primary.
+  Machine& active_machine();
+  NodeActor& active_node();
+
+  void KillPrimary(SimTime t);
+  void KillBackup(SimTime t);
+
+ private:
+  WorldConfig config_;
+  EventQueue queue_;
+  DeterministicRng crash_rng_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<Console> console_;
+  std::unique_ptr<Channel> chan_pb_;  // Primary -> backup.
+  std::unique_ptr<Channel> chan_bp_;  // Backup -> primary (acks).
+  std::unique_ptr<PrimaryNode> primary_;
+  std::unique_ptr<BackupNode> backup_;
+  std::unique_ptr<BareNode> bare_;
+  FailurePlan failure_plan_;
+  bool failure_fired_ = false;
+  SimTime crash_time_ = SimTime::Zero();
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_WORLD_HPP_

@@ -1,0 +1,260 @@
+// Assembler tests: syntax forms, directives, pseudo-instructions, expression
+// evaluation, symbols, and error reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "guest/image.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+
+namespace hbft {
+namespace {
+
+uint32_t WordAt(const AssembledImage& image, uint32_t addr) {
+  for (const auto& section : image.sections) {
+    if (addr >= section.base && addr + 4 <= section.base + section.bytes.size()) {
+      uint32_t off = addr - section.base;
+      return static_cast<uint32_t>(section.bytes[off]) |
+             (static_cast<uint32_t>(section.bytes[off + 1]) << 8) |
+             (static_cast<uint32_t>(section.bytes[off + 2]) << 16) |
+             (static_cast<uint32_t>(section.bytes[off + 3]) << 24);
+    }
+  }
+  ADD_FAILURE() << "no section covers address " << addr;
+  return 0;
+}
+
+TEST(Assembler, BasicInstructionForms) {
+  auto result = Assemble(R"(
+    add r1, r2, r3
+    addi r4, r5, -42
+    lw r6, 8(r7)
+    sw r6, -8(r7)
+    lui r8, 0xABCD
+    tlbi r1, r2
+    rfi
+    halt
+  )");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const auto& image = result.value();
+  EXPECT_EQ(WordAt(image, 0), EncodeR(Opcode::kAdd, 1, 2, 3));
+  EXPECT_EQ(WordAt(image, 4), EncodeI(Opcode::kAddi, 4, 5, -42));
+  EXPECT_EQ(WordAt(image, 8), EncodeI(Opcode::kLw, 6, 7, 8));
+  EXPECT_EQ(WordAt(image, 12), EncodeI(Opcode::kSw, 6, 7, -8));
+  EXPECT_EQ(WordAt(image, 16), EncodeI(Opcode::kLui, 8, 0, 0xABCD));
+  EXPECT_EQ(WordAt(image, 20), EncodeR(Opcode::kTlbi, 0, 1, 2));
+  EXPECT_EQ(WordAt(image, 24), EncodeR(Opcode::kRfi, 0, 0, 0));
+  EXPECT_EQ(WordAt(image, 28), EncodeR(Opcode::kHalt, 0, 0, 0));
+}
+
+TEST(Assembler, RegisterAliases) {
+  auto result = Assemble("add zero, ra, sp\nadd a0, t0, s0\nadd k0, k1, fp\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeR(Opcode::kAdd, 0, 31, 30));
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeR(Opcode::kAdd, 4, 8, 16));
+  EXPECT_EQ(WordAt(result.value(), 8), EncodeR(Opcode::kAdd, 26, 27, 29));
+}
+
+TEST(Assembler, BranchesResolveLabelsBothDirections) {
+  auto result = Assemble(R"(
+top:
+    addi r1, r1, 1
+    beq r1, r2, done
+    j top
+done:
+    halt
+  )");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  // beq at 4: target done at 12: offset = (12 - 8)/4 = 1.
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeB(Opcode::kBeq, 1, 2, 1));
+  // j at 8: target top at 0: offset = (0 - 12)/4 = -3.
+  EXPECT_EQ(WordAt(result.value(), 8), EncodeJ(Opcode::kJal, 0, -3));
+}
+
+TEST(Assembler, CallAndJalForms) {
+  auto result = Assemble(R"(
+    call f
+    jal f
+    jal r5, f
+f:  ret
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeJ(Opcode::kJal, 31, 2));
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeJ(Opcode::kJal, 31, 1));
+  EXPECT_EQ(WordAt(result.value(), 8), EncodeJ(Opcode::kJal, 5, 0));
+  EXPECT_EQ(WordAt(result.value(), 12), EncodeI(Opcode::kJalr, 0, 31, 0));
+}
+
+TEST(Assembler, PseudoLiExpandsToLuiOri) {
+  auto result = Assemble("li r9, 0xDEADBEEF\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeI(Opcode::kLui, 9, 0, 0xDEAD));
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeI(Opcode::kOri, 9, 9, 0xBEEF));
+}
+
+TEST(Assembler, LaResolvesSymbols) {
+  auto result = Assemble(R"(
+    .org 0x200000
+    la r4, data
+data:
+    .word 7
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0x200000), EncodeI(Opcode::kLui, 4, 0, 0x20));
+  EXPECT_EQ(WordAt(result.value(), 0x200004), EncodeI(Opcode::kOri, 4, 4, 0x0008));
+  EXPECT_EQ(result.value().SymbolOrDie("data"), 0x200008u);
+  EXPECT_EQ(WordAt(result.value(), 0x200008), 7u);
+}
+
+TEST(Assembler, DirectivesOrgAlignSpaceWordAsciz) {
+  auto result = Assemble(R"(
+    .org 0x100
+    .word 1, 2, 0x30
+    .space 6
+    .align 8
+aligned:
+    .asciz "ab\n"
+  )");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const auto& image = result.value();
+  EXPECT_EQ(WordAt(image, 0x100), 1u);
+  EXPECT_EQ(WordAt(image, 0x104), 2u);
+  EXPECT_EQ(WordAt(image, 0x108), 0x30u);
+  // 0x10C + 6 = 0x112, aligned to 8 -> 0x118.
+  EXPECT_EQ(image.SymbolOrDie("aligned"), 0x118u);
+}
+
+TEST(Assembler, EquAndExpressions) {
+  auto result = Assemble(R"(
+    .equ BASE, 0x4000
+    .equ OFF, 8
+    lw r1, BASE+OFF(zero)
+    li r2, BASE - 4
+    .word BASE + OFF + 1
+  )");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeI(Opcode::kLw, 1, 0, 0x4008));
+  EXPECT_EQ(WordAt(result.value(), 12), 0x4009u);
+}
+
+TEST(Assembler, HiLoOperators) {
+  auto result = Assemble(R"(
+    .equ ADDR, 0x12345678
+    lui r1, %hi(ADDR)
+    ori r1, r1, %lo(ADDR)
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeI(Opcode::kLui, 1, 0, 0x1234));
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeI(Opcode::kOri, 1, 1, 0x5678));
+}
+
+TEST(Assembler, CharLiteralsAndComments) {
+  auto result = Assemble(R"(
+    li r1, 'q'          ; quit character
+    addi r2, zero, '\n' # newline
+    addi r3, zero, 65   // letter A
+  )");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeI(Opcode::kOri, 1, 1, 'q'));
+  EXPECT_EQ(WordAt(result.value(), 8), EncodeI(Opcode::kAddi, 2, 0, '\n'));
+}
+
+TEST(Assembler, MfcrMtcrByNameAndNumber) {
+  auto result = Assemble(R"(
+    mfcr r1, tod
+    mtcr itmr, r2
+    mfcr r3, 9
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(WordAt(result.value(), 0), EncodeI(Opcode::kMfcr, 1, 0, kCrTod));
+  EXPECT_EQ(WordAt(result.value(), 4), EncodeI(Opcode::kMtcr, 0, 2, kCrItmr));
+  EXPECT_EQ(WordAt(result.value(), 8), EncodeI(Opcode::kMfcr, 3, 0, kCrEirr));
+}
+
+TEST(Assembler, MultipleLabelsOneAddress) {
+  auto result = Assemble("a:\nb: c: halt\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().SymbolOrDie("a"), 0u);
+  EXPECT_EQ(result.value().SymbolOrDie("b"), 0u);
+  EXPECT_EQ(result.value().SymbolOrDie("c"), 0u);
+}
+
+// ---- error reporting --------------------------------------------------------
+
+struct ErrorCase {
+  const char* source;
+  const char* fragment;  // Must appear in the error message.
+};
+
+class AssemblerErrors : public testing::TestWithParam<ErrorCase> {};
+
+TEST_P(AssemblerErrors, RejectsWithDiagnostic) {
+  auto result = Assemble(GetParam().source);
+  ASSERT_FALSE(result.ok()) << "source assembled unexpectedly";
+  EXPECT_NE(result.error().ToString().find(GetParam().fragment), std::string::npos)
+      << result.error().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    testing::Values(ErrorCase{"frob r1, r2\n", "unknown mnemonic"},
+                    ErrorCase{"add r1, r2\n", "missing register"},
+                    ErrorCase{"add r1, r2, r99\n", "bad register"},
+                    ErrorCase{"lw r1, r2\n", "bad memory operand"},
+                    ErrorCase{"beq r1, r2, nowhere\n", "undefined symbol"},
+                    ErrorCase{"dup: nop\ndup: nop\n", "duplicate symbol"},
+                    ErrorCase{".align 3\n", "power of two"},
+                    ErrorCase{".equ X\n", ".equ takes"},
+                    ErrorCase{".bogus 1\n", "unknown directive"},
+                    ErrorCase{"li r1, 0xZZ\n", "bad hex literal"}));
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto result = Assemble("nop\nnop\nbroken r1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().line, 3);
+}
+
+// Property: every decodable instruction word in the assembled guest image
+// survives a disassemble -> re-assemble round trip bit-exactly. This sweeps
+// the disassembler and the assembler's operand grammar over ~2000 real
+// instructions produced by real kernel code.
+TEST(Assembler, GuestImageDisassemblyRoundTrips) {
+  const GuestImageBundle& bundle = GetGuestImage();
+  size_t round_tripped = 0;
+  for (const AssembledSection& section : bundle.image.sections) {
+    for (size_t off = 0; off + 4 <= section.bytes.size(); off += 4) {
+      uint32_t word = static_cast<uint32_t>(section.bytes[off]) |
+                      (static_cast<uint32_t>(section.bytes[off + 1]) << 8) |
+                      (static_cast<uint32_t>(section.bytes[off + 2]) << 16) |
+                      (static_cast<uint32_t>(section.bytes[off + 3]) << 24);
+      uint32_t pc = section.base + static_cast<uint32_t>(off);
+      auto decoded = Decode(word);
+      if (!decoded.has_value()) {
+        continue;  // Data words (strings, tables) need not decode.
+      }
+      if (Encode(*decoded) != word) {
+        continue;  // Decodable but non-canonical: data masquerading as code.
+      }
+      std::string text = Disassemble(word, pc);
+      // Re-assemble at the same address so PC-relative targets resolve.
+      char origin[64];
+      std::snprintf(origin, sizeof(origin), ".org 0x%x\n", pc);
+      auto reassembled = Assemble(std::string(origin) + text + "\n");
+      ASSERT_TRUE(reassembled.ok())
+          << "pc=" << pc << " '" << text << "': " << reassembled.error().ToString();
+      ASSERT_EQ(reassembled.value().sections.size(), 1u);
+      const auto& bytes = reassembled.value().sections[0].bytes;
+      ASSERT_EQ(bytes.size(), 4u) << text;
+      uint32_t reworded = static_cast<uint32_t>(bytes[0]) | (static_cast<uint32_t>(bytes[1]) << 8) |
+                          (static_cast<uint32_t>(bytes[2]) << 16) |
+                          (static_cast<uint32_t>(bytes[3]) << 24);
+      EXPECT_EQ(reworded, word) << "pc=" << pc << " '" << text << "'";
+      ++round_tripped;
+    }
+  }
+  EXPECT_GT(round_tripped, 700u);  // The guest is a real program.
+}
+
+}  // namespace
+}  // namespace hbft

@@ -1,0 +1,489 @@
+// Failover tests: the primary is killed at every protocol phase, at arbitrary
+// times, and around I/O operations; the backup must promote and the
+// environment must see a sequence consistent with a single processor
+// (operations possibly repeated within the in-flight window — the tolerance
+// IO1/IO2 grant), with the workload running to the same result.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "devices/disk.hpp"
+#include "guest/workloads.hpp"
+#include "sim/environment_observer.hpp"
+#include "sim/scenario.hpp"
+
+namespace hbft {
+namespace {
+
+WorkloadSpec TxnSpec(uint32_t records) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTxnLog;
+  spec.iterations = records;
+  spec.num_blocks = 8;
+  return spec;
+}
+
+// Durability check against the medium itself: for a txn-log run with
+// records <= blocks, block i must end holding record i ([i, i^0x5EC0,...])
+// regardless of crashes, retries, or device faults along the way.
+void ExpectAllRecordsDurable(const std::vector<DiskTraceEntry>& trace, uint32_t records) {
+  // Reconstruct final block contents from the performed-write trace.
+  std::map<uint32_t, uint64_t> last_hash;
+  for (const auto& e : trace) {
+    if (e.is_write && e.performed) {
+      last_hash[e.block] = e.content_hash;
+    }
+  }
+  for (uint32_t record = 0; record < records; ++record) {
+    EXPECT_TRUE(last_hash.count(record)) << "record " << record << " never reached the disk";
+  }
+}
+
+// Shared verification for a failover run against its bare reference.
+void VerifyFailover(const WorkloadSpec& spec, const ScenarioResult& bare,
+                    const ScenarioResult& ft, bool expect_promoted = true) {
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
+  if (expect_promoted) {
+    EXPECT_TRUE(ft.promoted);
+    EXPECT_GE(ft.promotion_time.picos(), ft.crash_time.picos());
+  }
+  EXPECT_EQ(ft.exit_code, bare.exit_code);
+  if (spec.kind != WorkloadKind::kTime) {
+    EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  }
+  ConsistencyResult disk =
+      CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+  EXPECT_TRUE(disk.ok) << disk.detail;
+  ConsistencyResult console =
+      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.primary_id, ft.backup_id);
+  EXPECT_TRUE(console.ok) << console.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Phase sweep: kill the primary at each protocol phase (property-style).
+// ---------------------------------------------------------------------------
+
+struct PhaseCase {
+  FailPhase phase;
+  uint64_t epoch;
+  FailurePlan::CrashIo crash_io;
+};
+
+std::string PhaseCaseName(const testing::TestParamInfo<PhaseCase>& info) {
+  std::string name = FailPhaseName(info.param.phase);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  name += "_epoch" + std::to_string(info.param.epoch);
+  switch (info.param.crash_io) {
+    case FailurePlan::CrashIo::kPerformed:
+      name += "_ioPerformed";
+      break;
+    case FailurePlan::CrashIo::kNotPerformed:
+      name += "_ioDropped";
+      break;
+    default:
+      name += "_ioRandom";
+      break;
+  }
+  return name;
+}
+
+class FailoverPhaseSweep : public testing::TestWithParam<PhaseCase> {};
+
+TEST_P(FailoverPhaseSweep, TransparentToEnvironment) {
+  const PhaseCase& c = GetParam();
+  WorkloadSpec spec = TxnSpec(10);
+
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = c.phase;
+  options.failure.phase_epoch = c.epoch;
+  options.failure.crash_io = c.crash_io;
+  ScenarioResult ft = RunReplicated(spec, options);
+  VerifyFailover(spec, bare, ft);
+}
+
+std::vector<PhaseCase> AllPhaseCases() {
+  std::vector<PhaseCase> cases;
+  const FailPhase boundary_phases[] = {FailPhase::kBeforeSendTme, FailPhase::kAfterSendTme,
+                                       FailPhase::kAfterAckWait, FailPhase::kAfterDeliver,
+                                       FailPhase::kAfterSendEnd};
+  for (FailPhase phase : boundary_phases) {
+    for (uint64_t epoch : {uint64_t{1}, uint64_t{3}, uint64_t{7}}) {
+      cases.push_back(PhaseCase{phase, epoch, FailurePlan::CrashIo::kRandom});
+    }
+  }
+  for (auto crash_io : {FailurePlan::CrashIo::kRandom, FailurePlan::CrashIo::kPerformed,
+                        FailurePlan::CrashIo::kNotPerformed}) {
+    cases.push_back(PhaseCase{FailPhase::kBeforeIoIssue, 0, crash_io});
+    cases.push_back(PhaseCase{FailPhase::kAfterIoIssue, 0, crash_io});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhases, FailoverPhaseSweep, testing::ValuesIn(AllPhaseCases()),
+                         PhaseCaseName);
+
+// ---------------------------------------------------------------------------
+// Revised-protocol phase sweep.
+// ---------------------------------------------------------------------------
+
+class FailoverPhaseSweepRevised : public testing::TestWithParam<PhaseCase> {};
+
+TEST_P(FailoverPhaseSweepRevised, TransparentToEnvironment) {
+  const PhaseCase& c = GetParam();
+  WorkloadSpec spec = TxnSpec(10);
+
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.replication.variant = ProtocolVariant::kRevised;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = c.phase;
+  options.failure.phase_epoch = c.epoch;
+  options.failure.crash_io = c.crash_io;
+  ScenarioResult ft = RunReplicated(spec, options);
+  VerifyFailover(spec, bare, ft);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, FailoverPhaseSweepRevised,
+    testing::Values(PhaseCase{FailPhase::kBeforeSendTme, 3, FailurePlan::CrashIo::kRandom},
+                    PhaseCase{FailPhase::kAfterSendEnd, 3, FailurePlan::CrashIo::kRandom},
+                    PhaseCase{FailPhase::kBeforeIoIssue, 0, FailurePlan::CrashIo::kRandom},
+                    PhaseCase{FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kPerformed},
+                    PhaseCase{FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kNotPerformed}),
+    PhaseCaseName);
+
+// ---------------------------------------------------------------------------
+// Time sweep: kill at many arbitrary instants across the run.
+// ---------------------------------------------------------------------------
+
+class FailoverTimeSweep : public testing::TestWithParam<int> {};
+
+TEST_P(FailoverTimeSweep, TransparentToEnvironment) {
+  WorkloadSpec spec = TxnSpec(8);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  // Spread kill times over the replicated run's duration.
+  ScenarioOptions probe_options;
+  probe_options.replication.epoch_length = 4096;
+  ScenarioResult probe = RunReplicated(spec, probe_options);
+  ASSERT_TRUE(probe.completed);
+
+  int fraction = GetParam();
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.time = SimTime::Picos(probe.completion_time.picos() * fraction / 100);
+  ScenarioResult ft = RunReplicated(spec, options);
+  // Very late kills can land after the workload halted; transparency then
+  // holds trivially without promotion.
+  VerifyFailover(spec, bare, ft, /*expect_promoted=*/ft.promoted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FailoverTimeSweep,
+                         testing::Values(1, 3, 7, 11, 17, 23, 29, 37, 44, 52, 59, 68, 74, 81, 88,
+                                         94, 98));
+
+// ---------------------------------------------------------------------------
+// Specific behaviours.
+// ---------------------------------------------------------------------------
+
+TEST(Failover, UncertainInterruptsRedriveOutstandingIo) {
+  WorkloadSpec spec = TxnSpec(10);
+  ScenarioResult bare = RunBare(spec);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterIoIssue;
+  options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  EXPECT_TRUE(ft.promoted);
+  // The interrupted operation was outstanding at promotion: P7 synthesised
+  // at least one uncertain interrupt and the driver re-drove the op.
+  EXPECT_GE(ft.backup_stats.uncertain_synthesised, 1u);
+  EXPECT_GE(ft.backup_stats.io_issued, 1u);
+  VerifyFailover(spec, bare, ft);
+}
+
+TEST(Failover, CrashedWriteThatReachedDiskIsDuplicatedNotLost) {
+  WorkloadSpec spec = TxnSpec(10);
+  ScenarioResult bare = RunBare(spec);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterIoIssue;
+  options.failure.crash_io = FailurePlan::CrashIo::kPerformed;
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  EXPECT_TRUE(ft.promoted);
+  // The op performed by the dead primary is re-driven by the backup:
+  // the same write appears twice, which the consistency model allows.
+  size_t performed_writes = 0;
+  for (const auto& e : ft.disk_trace) {
+    if (e.is_write && e.performed) {
+      ++performed_writes;
+    }
+  }
+  size_t bare_writes = 0;
+  for (const auto& e : bare.disk_trace) {
+    if (e.is_write && e.performed) {
+      ++bare_writes;
+    }
+  }
+  EXPECT_GT(performed_writes, bare_writes);
+  VerifyFailover(spec, bare, ft);
+}
+
+TEST(Failover, FinalDiskStateHasEveryTransaction) {
+  const uint32_t records = 12;
+  WorkloadSpec spec = TxnSpec(records);
+  spec.num_blocks = 16;  // One block per record (records < blocks).
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kBeforeSendTme;
+  options.failure.phase_epoch = 4;
+
+  ScenarioResult bare = RunBare(spec);
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  ASSERT_TRUE(ft.promoted);
+  VerifyFailover(spec, bare, ft);
+  // Every transaction record must be durable despite the crash: block i
+  // holds [i, i ^ 0x5EC0, ...].
+  size_t write_count = 0;
+  for (const auto& e : ft.disk_trace) {
+    if (e.is_write && e.performed) {
+      ++write_count;
+    }
+  }
+  EXPECT_GE(write_count, records);
+}
+
+TEST(Failover, PromotionTransfersConsoleInput) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kEcho;
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.console_input = "abq";
+  options.console_input_start = SimTime::Millis(100);
+  options.console_input_interval = SimTime::Millis(120);
+  // Kill between the first and second characters.
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.time = SimTime::Millis(160);
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out;
+  EXPECT_TRUE(ft.promoted);
+  // Both characters echoed: 'a' via the primary (or re-driven), 'b' via the
+  // promoted backup.
+  EXPECT_EQ(ft.guest_checksum, 2u);
+  EXPECT_NE(ft.console_output.find('b'), std::string::npos);
+}
+
+TEST(Failover, CpuWorkloadCompletesAcrossFailure) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kCpu;
+  spec.iterations = 4000;
+  ScenarioResult bare = RunBare(spec);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 2048;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterSendTme;
+  options.failure.phase_epoch = 50;
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  EXPECT_TRUE(ft.promoted);
+  EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+}
+
+TEST(Failover, BackupAloneIsSlowerThanPairButCompletes) {
+  // After promotion the system keeps running with hypervisor overhead but no
+  // replication traffic; completion must still happen.
+  WorkloadSpec spec = TxnSpec(6);
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.time = SimTime::Millis(5);
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  EXPECT_TRUE(ft.promoted);
+  EXPECT_EQ(ft.exited_flag, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Combined stress: device-level uncertain completions (transient faults with
+// driver retries) AND a primary crash in the same run. The split-coverage
+// checker does not apply with retries, so the assertions are durability and
+// application-result equivalence.
+// ---------------------------------------------------------------------------
+
+class FailoverWithDeviceFaults : public testing::TestWithParam<int> {};
+
+TEST_P(FailoverWithDeviceFaults, RecordsDurableDespiteEverything) {
+  const uint32_t records = 8;
+  WorkloadSpec spec = TxnSpec(records);
+  spec.num_blocks = 8;
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.seed = static_cast<uint64_t>(GetParam()) * 101 + 7;
+  options.disk_faults.uncertain_probability = 0.25;
+  options.disk_faults.performed_when_uncertain = 0.5;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterIoIssue;
+  options.failure.crash_io = FailurePlan::CrashIo::kRandom;
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
+  EXPECT_TRUE(ft.promoted);
+  EXPECT_EQ(ft.guest_checksum, records);  // Every transaction committed.
+  ExpectAllRecordsDurable(ft.disk_trace, records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailoverWithDeviceFaults, testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Backup failure: the other half of 1-fault-tolerance. The primary must
+// detect the missing acknowledgments, stop replicating, and finish the
+// workload as an unreplicated machine.
+// ---------------------------------------------------------------------------
+
+class BackupFailureSweep : public testing::TestWithParam<int> {};
+
+TEST_P(BackupFailureSweep, PrimaryContinuesSolo) {
+  WorkloadSpec spec = TxnSpec(8);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  ScenarioOptions probe_options;
+  probe_options.replication.epoch_length = 4096;
+  ScenarioResult probe = RunReplicated(spec, probe_options);
+  ASSERT_TRUE(probe.completed);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.target = FailurePlan::Target::kBackup;
+  options.failure.time = SimTime::Picos(probe.completion_time.picos() * GetParam() / 100);
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  EXPECT_FALSE(ft.promoted);
+  EXPECT_EQ(ft.exited_flag, 1u);
+  EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  EXPECT_EQ(ft.console_output, bare.console_output);
+  // The environment sees exactly the reference sequence, all from the primary.
+  ConsistencyResult disk =
+      CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+  EXPECT_TRUE(disk.ok) << disk.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BackupFailureSweep, testing::Values(5, 30, 60, 90));
+
+TEST(BackupFailure, BothProtocolVariantsSurvive) {
+  WorkloadSpec spec = TxnSpec(6);
+  ScenarioResult bare = RunBare(spec);
+  for (ProtocolVariant variant : {ProtocolVariant::kOriginal, ProtocolVariant::kRevised}) {
+    ScenarioOptions options;
+    options.replication.epoch_length = 2048;
+    options.replication.variant = variant;
+    options.failure.kind = FailurePlan::Kind::kAtTime;
+    options.failure.target = FailurePlan::Target::kBackup;
+    options.failure.time = SimTime::Millis(30);
+    ScenarioResult ft = RunReplicated(spec, options);
+    ASSERT_TRUE(ft.completed) << "variant " << static_cast<int>(variant);
+    EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  }
+}
+
+TEST(BackupFailure, SoloPrimaryIsFasterThanReplicatedPair) {
+  // Once replication stops, boundary ack waits disappear: killing the backup
+  // early must speed up the rest of the run.
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kCpu;
+  spec.iterations = 4000;
+  ScenarioOptions options;
+  options.replication.epoch_length = 2048;
+  ScenarioResult paired = RunReplicated(spec, options);
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.target = FailurePlan::Target::kBackup;
+  options.failure.time = SimTime::Millis(10);
+  ScenarioResult solo = RunReplicated(spec, options);
+  ASSERT_TRUE(paired.completed);
+  ASSERT_TRUE(solo.completed);
+  EXPECT_LT(solo.completion_time.picos(), paired.completion_time.picos());
+}
+
+// ---------------------------------------------------------------------------
+// Mid-epoch promotion: the backup stalls awaiting a forwarded environment
+// value that the dead primary never sent. The missing value proves the
+// primary died before executing that instruction, so the backup may promote
+// mid-epoch and serve the environment locally (DESIGN.md, protocol notes).
+// ---------------------------------------------------------------------------
+
+class TodStallPromotionSweep : public testing::TestWithParam<int> {};
+
+TEST_P(TodStallPromotionSweep, PromotesWhileStalledOnEnvironmentValue) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTime;  // Dense TOD reads: stalls are likely.
+  spec.iterations = 400;
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  ScenarioOptions probe_options;
+  probe_options.replication.epoch_length = 16384;  // Long epochs: more mid-epoch time.
+  ScenarioResult probe = RunReplicated(spec, probe_options);
+  ASSERT_TRUE(probe.completed);
+
+  ScenarioOptions options;
+  options.replication.epoch_length = 16384;
+  options.failure.kind = FailurePlan::Kind::kAtTime;
+  options.failure.time = SimTime::Picos(probe.completion_time.picos() * GetParam() / 100);
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  ASSERT_EQ(ft.exited_flag, 1u) << "panic " << ft.panic_code;
+  // Exit code 0 == the time sequence stayed monotone across the handover
+  // from forwarded values to local clock reads.
+  EXPECT_EQ(ft.exit_code, 0u);
+  if (ft.promoted) {
+    EXPECT_GE(ft.promotion_time.picos(), ft.crash_time.picos());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, TodStallPromotionSweep, testing::Values(20, 45, 70));
+
+TEST(Failover, DetectionWaitsForChannelDrain) {
+  WorkloadSpec spec = TxnSpec(6);
+  ScenarioOptions options;
+  options.replication.epoch_length = 4096;
+  options.failure.kind = FailurePlan::Kind::kAtPhase;
+  options.failure.phase = FailPhase::kAfterSendEnd;
+  options.failure.phase_epoch = 2;
+  ScenarioResult ft = RunReplicated(spec, options);
+  ASSERT_TRUE(ft.completed);
+  ASSERT_TRUE(ft.promoted);
+  // Promotion cannot precede crash + detection timeout.
+  EXPECT_GE(ft.promotion_time.picos(),
+            ft.crash_time.picos() + ScenarioOptions{}.costs.failure_detect_timeout.picos());
+}
+
+}  // namespace
+}  // namespace hbft

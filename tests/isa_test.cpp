@@ -1,0 +1,160 @@
+// ISA encoding/decoding tests, including a property-style sweep over every
+// opcode and representative field values.
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.hpp"
+#include "isa/isa.hpp"
+
+namespace hbft {
+namespace {
+
+TEST(IsaTable, EveryValidOpcodeHasFormatAndMnemonic) {
+  int valid = 0;
+  for (int op = 0; op <= kMaxOpcode; ++op) {
+    auto format = FormatFor(static_cast<uint8_t>(op));
+    if (!format.has_value()) {
+      continue;
+    }
+    ++valid;
+    const char* mnemonic = MnemonicFor(static_cast<Opcode>(op));
+    ASSERT_NE(mnemonic, nullptr);
+    auto back = OpcodeForMnemonic(mnemonic);
+    ASSERT_TRUE(back.has_value()) << mnemonic;
+    EXPECT_EQ(static_cast<int>(*back), op) << mnemonic;
+  }
+  EXPECT_EQ(valid, 50);
+}
+
+TEST(IsaTable, PrivilegedSetMatchesSpec) {
+  EXPECT_TRUE(IsPrivileged(Opcode::kRfi));
+  EXPECT_TRUE(IsPrivileged(Opcode::kMfcr));
+  EXPECT_TRUE(IsPrivileged(Opcode::kMtcr));
+  EXPECT_TRUE(IsPrivileged(Opcode::kTlbi));
+  EXPECT_TRUE(IsPrivileged(Opcode::kTlbf));
+  EXPECT_TRUE(IsPrivileged(Opcode::kLwp));
+  EXPECT_TRUE(IsPrivileged(Opcode::kSwp));
+  EXPECT_TRUE(IsPrivileged(Opcode::kHalt));
+  EXPECT_FALSE(IsPrivileged(Opcode::kAdd));
+  EXPECT_FALSE(IsPrivileged(Opcode::kSyscall));  // The gate is unprivileged.
+  EXPECT_FALSE(IsPrivileged(Opcode::kProbe));
+  EXPECT_FALSE(IsPrivileged(Opcode::kJal));
+}
+
+TEST(IsaDecode, InvalidOpcodeRejected) {
+  // Opcode 0x2A..0x2F are unassigned.
+  EXPECT_FALSE(Decode(0x2Au << 26).has_value());
+  EXPECT_FALSE(Decode(0x2Fu << 26).has_value());
+}
+
+class EncodeDecodeRoundTrip : public testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeRoundTrip, AllFieldPatterns) {
+  uint8_t opcode = static_cast<uint8_t>(GetParam());
+  auto format = FormatFor(opcode);
+  if (!format.has_value()) {
+    GTEST_SKIP() << "unassigned opcode";
+  }
+  DecodedInstr instr;
+  instr.op = static_cast<Opcode>(opcode);
+  instr.format = *format;
+
+  const uint8_t regs[] = {0, 1, 15, 31};
+  const int32_t imms_i[] = {-32768, -1, 0, 1, 32767};
+  const int32_t imms_j[] = {-(1 << 20), -1, 0, 1, (1 << 20) - 1};
+
+  switch (*format) {
+    case InstrFormat::kR:
+      for (uint8_t rd : regs) {
+        for (uint8_t rs1 : regs) {
+          for (uint8_t rs2 : regs) {
+            instr.rd = rd;
+            instr.rs1 = rs1;
+            instr.rs2 = rs2;
+            instr.imm = 0;
+            auto decoded = Decode(Encode(instr));
+            ASSERT_TRUE(decoded.has_value());
+            EXPECT_EQ(*decoded, instr);
+          }
+        }
+      }
+      break;
+    case InstrFormat::kI: {
+      // Decoder zero-extends logical immediates; compare against its view.
+      for (uint8_t rd : regs) {
+        for (int32_t imm : imms_i) {
+          instr.rd = rd;
+          instr.rs1 = regs[1];
+          instr.rs2 = 0;
+          instr.imm = imm;
+          uint32_t word = Encode(instr);
+          auto decoded = Decode(word);
+          ASSERT_TRUE(decoded.has_value());
+          EXPECT_EQ(decoded->rd, instr.rd);
+          EXPECT_EQ(decoded->rs1, instr.rs1);
+          EXPECT_EQ(static_cast<uint16_t>(decoded->imm), static_cast<uint16_t>(imm));
+          EXPECT_EQ(Encode(*decoded), word);  // Re-encode is stable.
+        }
+      }
+      break;
+    }
+    case InstrFormat::kB:
+      for (uint8_t rs1 : regs) {
+        for (int32_t imm : imms_i) {
+          instr.rd = 0;
+          instr.rs1 = rs1;
+          instr.rs2 = regs[2];
+          instr.imm = imm;
+          auto decoded = Decode(Encode(instr));
+          ASSERT_TRUE(decoded.has_value());
+          EXPECT_EQ(*decoded, instr);
+        }
+      }
+      break;
+    case InstrFormat::kJ:
+      for (uint8_t rd : regs) {
+        for (int32_t imm : imms_j) {
+          instr.rd = rd;
+          instr.rs1 = 0;
+          instr.rs2 = 0;
+          instr.imm = imm;
+          auto decoded = Decode(Encode(instr));
+          ASSERT_TRUE(decoded.has_value());
+          EXPECT_EQ(*decoded, instr);
+        }
+      }
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeDecodeRoundTrip, testing::Range(0, kMaxOpcode + 1));
+
+TEST(Disassembler, RendersCoreForms) {
+  EXPECT_EQ(Disassemble(EncodeR(Opcode::kAdd, 3, 4, 5), 0), "add r3, r4, r5");
+  EXPECT_EQ(Disassemble(EncodeI(Opcode::kAddi, 1, 2, -7), 0), "addi r1, r2, -7");
+  EXPECT_EQ(Disassemble(EncodeI(Opcode::kLw, 9, 30, 16), 0), "lw r9, 16(r30)");
+  EXPECT_EQ(Disassemble(EncodeI(Opcode::kSw, 9, 30, -4), 0), "sw r9, -4(r30)");
+  EXPECT_EQ(Disassemble(EncodeB(Opcode::kBeq, 1, 2, 4), 0x100), "beq r1, r2, 0x114");
+  EXPECT_EQ(Disassemble(EncodeJ(Opcode::kJal, 31, -2), 0x100), "jal r31, 0xfc");
+  EXPECT_EQ(Disassemble(EncodeI(Opcode::kMfcr, 7, 0, kCrTod), 0), "mfcr r7, cr8");
+  EXPECT_EQ(Disassemble(EncodeR(Opcode::kRfi, 0, 0, 0), 0), "rfi");
+  EXPECT_EQ(Disassemble(0xA8000000, 0).substr(0, 5), ".word");  // Opcode 0x2A unassigned.
+}
+
+TEST(IsaLayout, MmioWindows) {
+  EXPECT_TRUE(IsMmioAddress(kDiskMmioBase));
+  EXPECT_TRUE(IsMmioAddress(kConsoleMmioBase + 0x10));
+  EXPECT_FALSE(IsMmioAddress(kMmioLimit));
+  EXPECT_FALSE(IsMmioAddress(0));
+  EXPECT_FALSE(IsMmioAddress(0xEFFFFFFF));
+}
+
+TEST(IsaPte, FieldPacking) {
+  uint32_t pte = Pte::Make(0xABCDE, Pte::kValid | Pte::kWritable);
+  EXPECT_EQ(Pte::PfnOf(pte), 0xABCDEu);
+  EXPECT_NE(pte & Pte::kValid, 0u);
+  EXPECT_NE(pte & Pte::kWritable, 0u);
+  EXPECT_EQ(pte & Pte::kUser, 0u);
+}
+
+}  // namespace
+}  // namespace hbft

@@ -1,0 +1,122 @@
+// Environment-observer tests: the consistency checker itself must accept
+// exactly the sequences a single processor could produce and reject anomalies.
+#include <gtest/gtest.h>
+
+#include "sim/environment_observer.hpp"
+
+namespace hbft {
+namespace {
+
+DiskTraceEntry Write(uint32_t block, uint64_t hash, int issuer, bool performed = true) {
+  DiskTraceEntry e;
+  e.is_write = true;
+  e.block = block;
+  e.content_hash = hash;
+  e.issuer = issuer;
+  e.performed = performed;
+  return e;
+}
+
+DiskTraceEntry Read(uint32_t block, int issuer, bool performed = true) {
+  DiskTraceEntry e;
+  e.is_write = false;
+  e.block = block;
+  e.issuer = issuer;
+  e.performed = performed;
+  return e;
+}
+
+constexpr int kBare = 0;
+constexpr int kPrimary = 1;
+constexpr int kBackup = 2;
+
+TEST(DiskConsistency, ExactMatchWithoutFailover) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Read(2, kBare), Write(3, 33, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary), Read(2, kPrimary),
+                                     Write(3, 33, kPrimary)};
+  auto result = CheckDiskConsistency(ref, obs, kPrimary, kBackup);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(DiskConsistency, RejectsDivergentContent) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 99, kPrimary)};
+  EXPECT_FALSE(CheckDiskConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+TEST(DiskConsistency, RejectsMissingCoverageWithoutFailover) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Write(2, 22, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary)};
+  EXPECT_FALSE(CheckDiskConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+TEST(DiskConsistency, AcceptsFailoverOverlapWindow) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Write(2, 22, kBare),
+                                     Write(3, 33, kBare)};
+  // Primary did ops 0..1, backup re-drove op 1 then continued.
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary), Write(2, 22, kPrimary),
+                                     Write(2, 22, kBackup), Write(3, 33, kBackup)};
+  auto result = CheckDiskConsistency(ref, obs, kPrimary, kBackup);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(DiskConsistency, AcceptsFailoverWithoutOverlap) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Write(2, 22, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary), Write(2, 22, kBackup)};
+  auto result = CheckDiskConsistency(ref, obs, kPrimary, kBackup);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(DiskConsistency, RejectsGapInCoverage) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Write(2, 22, kBare),
+                                     Write(3, 33, kBare)};
+  // Primary stopped after op 0, backup resumed at op 2: op 1 lost.
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary), Write(3, 33, kBackup)};
+  EXPECT_FALSE(CheckDiskConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+TEST(DiskConsistency, RejectsBackupOutputBeforePrimaryFinished) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare), Write(2, 22, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kBackup), Write(2, 22, kPrimary)};
+  EXPECT_FALSE(CheckDiskConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+TEST(DiskConsistency, IgnoresUnperformedOperations) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary, /*performed=*/false),
+                                     Write(1, 11, kPrimary)};
+  auto result = CheckDiskConsistency(ref, obs, kPrimary, kBackup);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(DiskConsistency, RejectsExtraBackupOps) {
+  std::vector<DiskTraceEntry> ref = {Write(1, 11, kBare)};
+  std::vector<DiskTraceEntry> obs = {Write(1, 11, kPrimary), Write(1, 11, kBackup),
+                                     Write(9, 99, kBackup)};
+  EXPECT_FALSE(CheckDiskConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+ConsoleTraceEntry Ch(char c, int issuer) { return ConsoleTraceEntry{c, issuer}; }
+
+TEST(ConsoleConsistency, AcceptsPrefixSuffixOverlap) {
+  std::vector<ConsoleTraceEntry> ref = {Ch('a', kBare), Ch('b', kBare), Ch('c', kBare)};
+  std::vector<ConsoleTraceEntry> obs = {Ch('a', kPrimary), Ch('b', kPrimary), Ch('b', kBackup),
+                                        Ch('c', kBackup)};
+  auto result = CheckConsoleConsistency(ref, obs, kPrimary, kBackup);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ConsoleConsistency, RejectsWrongCharacters) {
+  std::vector<ConsoleTraceEntry> ref = {Ch('a', kBare), Ch('b', kBare)};
+  std::vector<ConsoleTraceEntry> obs = {Ch('a', kPrimary), Ch('x', kPrimary)};
+  EXPECT_FALSE(CheckConsoleConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+TEST(ConsoleConsistency, RejectsDroppedOutput) {
+  std::vector<ConsoleTraceEntry> ref = {Ch('a', kBare), Ch('b', kBare), Ch('c', kBare)};
+  std::vector<ConsoleTraceEntry> obs = {Ch('a', kPrimary), Ch('c', kBackup)};
+  EXPECT_FALSE(CheckConsoleConsistency(ref, obs, kPrimary, kBackup).ok);
+}
+
+}  // namespace
+}  // namespace hbft

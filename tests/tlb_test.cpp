@@ -1,0 +1,124 @@
+// TLB tests: lookup/insert/flush semantics, wiring, and the replacement
+// policies — including the nondeterminism that drives the paper's section 3.2
+// discovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machine/tlb.hpp"
+
+namespace hbft {
+namespace {
+
+TEST(Tlb, HitAfterInsertMissOtherwise) {
+  Tlb tlb(4, TlbPolicy::kRoundRobin, 1);
+  EXPECT_FALSE(tlb.Lookup(5).has_value());
+  tlb.Insert(5, 0x5007, false);
+  auto pte = tlb.Lookup(5);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(*pte, 0x5007u);
+  EXPECT_FALSE(tlb.Lookup(6).has_value());
+  EXPECT_EQ(tlb.misses(), 2u);
+  EXPECT_EQ(tlb.lookups(), 3u);
+}
+
+TEST(Tlb, SameVpnReplacesInPlace) {
+  Tlb tlb(2, TlbPolicy::kRoundRobin, 1);
+  tlb.Insert(5, 0x5007, false);
+  tlb.Insert(5, 0x500F, false);
+  EXPECT_EQ(*tlb.Lookup(5), 0x500Fu);
+  // Still room for one more without eviction.
+  tlb.Insert(6, 0x6007, false);
+  EXPECT_TRUE(tlb.Lookup(5).has_value());
+  EXPECT_TRUE(tlb.Lookup(6).has_value());
+}
+
+TEST(Tlb, EvictionRespectsCapacity) {
+  Tlb tlb(4, TlbPolicy::kRoundRobin, 1);
+  for (uint32_t vpn = 0; vpn < 8; ++vpn) {
+    tlb.Insert(vpn, (vpn << 12) | 1, false);
+  }
+  int present = 0;
+  for (uint32_t vpn = 0; vpn < 8; ++vpn) {
+    if (tlb.Lookup(vpn).has_value()) {
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, 4);
+}
+
+TEST(Tlb, WiredEntriesSurviveEvictionAndFlush) {
+  Tlb tlb(4, TlbPolicy::kHardwareRandom, 99);
+  tlb.Insert(100, 0x100 << 12 | 1, true);
+  tlb.Insert(101, 0x101 << 12 | 1, true);
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    tlb.Insert(vpn, (vpn << 12) | 1, false);
+  }
+  EXPECT_TRUE(tlb.Lookup(100).has_value());
+  EXPECT_TRUE(tlb.Lookup(101).has_value());
+  tlb.FlushUnwired();
+  EXPECT_TRUE(tlb.Lookup(100).has_value());
+  int unwired_present = 0;
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    if (tlb.Lookup(vpn).has_value()) {
+      ++unwired_present;
+    }
+  }
+  EXPECT_EQ(unwired_present, 0);
+}
+
+TEST(Tlb, ResetClearsEverything) {
+  Tlb tlb(4, TlbPolicy::kRoundRobin, 1);
+  tlb.Insert(1, 0x1001, true);
+  tlb.Insert(2, 0x2001, false);
+  tlb.Reset();
+  EXPECT_FALSE(tlb.Lookup(1).has_value());
+  EXPECT_FALSE(tlb.Lookup(2).has_value());
+}
+
+// The paper's observation: identical reference strings on two processors
+// yield different TLB contents under the hardware's nondeterministic
+// replacement — visible only through software-handled misses.
+TEST(Tlb, HardwareRandomPolicyDivergesAcrossMachines) {
+  Tlb a(8, TlbPolicy::kHardwareRandom, /*machine_seed=*/1);
+  Tlb b(8, TlbPolicy::kHardwareRandom, /*machine_seed=*/2);
+  // Identical insert sequences.
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    a.Insert(vpn, (vpn << 12) | 1, false);
+    b.Insert(vpn, (vpn << 12) | 1, false);
+  }
+  int differing = 0;
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    if (a.Lookup(vpn).has_value() != b.Lookup(vpn).has_value()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0) << "seeds should produce different resident sets";
+}
+
+TEST(Tlb, RoundRobinPolicyIsIdenticalAcrossMachines) {
+  Tlb a(8, TlbPolicy::kRoundRobin, 1);
+  Tlb b(8, TlbPolicy::kRoundRobin, 2);  // Seed must not matter.
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    a.Insert(vpn, (vpn << 12) | 1, false);
+    b.Insert(vpn, (vpn << 12) | 1, false);
+  }
+  for (uint32_t vpn = 0; vpn < 64; ++vpn) {
+    EXPECT_EQ(a.Lookup(vpn).has_value(), b.Lookup(vpn).has_value()) << "vpn " << vpn;
+  }
+}
+
+TEST(Tlb, SameSeedSamePolicyIsReproducible) {
+  Tlb a(8, TlbPolicy::kHardwareRandom, 7);
+  Tlb b(8, TlbPolicy::kHardwareRandom, 7);
+  for (uint32_t vpn = 0; vpn < 200; ++vpn) {
+    a.Insert(vpn, (vpn << 12) | 1, false);
+    b.Insert(vpn, (vpn << 12) | 1, false);
+  }
+  for (uint32_t vpn = 0; vpn < 200; ++vpn) {
+    EXPECT_EQ(a.Lookup(vpn).has_value(), b.Lookup(vpn).has_value()) << "vpn " << vpn;
+  }
+}
+
+}  // namespace
+}  // namespace hbft
