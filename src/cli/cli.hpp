@@ -1,0 +1,20 @@
+// Entry point and argument parsing for the `hbft_cli` scenario driver.
+//
+// Subcommands:
+//   run    — execute one workload bare and/or replicated, print a report.
+//   drill  — kill the primary mid-run, report the failover and promotion
+//            latency breakdown.
+//   bench  — regenerate the paper's Table 1 / Fig 2-4 numbers and write
+//            them as JSON time-series artifacts under bench/.
+#ifndef HBFT_CLI_CLI_HPP_
+#define HBFT_CLI_CLI_HPP_
+
+namespace hbft {
+namespace cli {
+
+int Main(int argc, char** argv);
+
+}  // namespace cli
+}  // namespace hbft
+
+#endif  // HBFT_CLI_CLI_HPP_

@@ -1,0 +1,245 @@
+#include "cli/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hbft {
+namespace cli {
+
+bool FlagSet::Parse(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      std::fprintf(stderr, "hbft_cli: unexpected argument '%s' (flags are --key=value)\n",
+                   arg.c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    std::string key = body.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : body.substr(eq + 1);
+    if (values_.count(key)) {
+      std::fprintf(stderr, "hbft_cli: flag --%s given twice\n", key.c_str());
+      return false;
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool FlagSet::Has(const std::string& key) {
+  consumed_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string FlagSet::GetString(const std::string& key, const std::string& default_value) {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::optional<uint64_t> FlagSet::GetU64(const std::string& key) {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "hbft_cli: --%s expects an integer, got '%s'\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+std::optional<double> FlagSet::GetDouble(const std::string& key) {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    std::fprintf(stderr, "hbft_cli: --%s expects a number, got '%s'\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+bool FlagSet::Finish() {
+  bool ok = true;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.count(key)) {
+      std::fprintf(stderr, "hbft_cli: unknown flag --%s\n", key.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+std::optional<WorkloadKind> ParseWorkloadKind(const std::string& name) {
+  if (name == "cpu") return WorkloadKind::kCpu;
+  if (name == "diskread" || name == "disk-read" || name == "read") return WorkloadKind::kDiskRead;
+  if (name == "diskwrite" || name == "disk-write" || name == "write") {
+    return WorkloadKind::kDiskWrite;
+  }
+  if (name == "hello") return WorkloadKind::kHello;
+  if (name == "txnlog" || name == "txn-log") return WorkloadKind::kTxnLog;
+  if (name == "echo") return WorkloadKind::kEcho;
+  if (name == "heap") return WorkloadKind::kHeap;
+  if (name == "time") return WorkloadKind::kTime;
+  return std::nullopt;
+}
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kCpu:
+      return "cpu";
+    case WorkloadKind::kDiskRead:
+      return "diskread";
+    case WorkloadKind::kDiskWrite:
+      return "diskwrite";
+    case WorkloadKind::kHello:
+      return "hello";
+    case WorkloadKind::kTxnLog:
+      return "txnlog";
+    case WorkloadKind::kEcho:
+      return "echo";
+    case WorkloadKind::kHeap:
+      return "heap";
+    case WorkloadKind::kTime:
+      return "time";
+  }
+  return "unknown";
+}
+
+std::optional<ProtocolVariant> ParseVariant(const std::string& name) {
+  if (name == "old" || name == "original") return ProtocolVariant::kOriginal;
+  if (name == "new" || name == "revised") return ProtocolVariant::kRevised;
+  return std::nullopt;
+}
+
+const char* VariantName(ProtocolVariant variant) {
+  return variant == ProtocolVariant::kOriginal ? "old" : "new";
+}
+
+std::optional<FailPhase> ParseFailPhase(const std::string& name) {
+  static const FailPhase kAll[] = {
+      FailPhase::kBeforeSendTme, FailPhase::kAfterSendTme, FailPhase::kAfterAckWait,
+      FailPhase::kAfterDeliver,  FailPhase::kAfterSendEnd, FailPhase::kBeforeIoIssue,
+      FailPhase::kAfterIoIssue,
+  };
+  for (FailPhase phase : kAll) {
+    if (name == FailPhaseName(phase)) {
+      return phase;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
+  std::string workload_name = flags.GetString("workload", "txnlog");
+  auto kind = ParseWorkloadKind(workload_name);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "hbft_cli: unknown workload '%s' (cpu, diskread, diskwrite, hello, txnlog, "
+                 "echo, heap, time)\n",
+                 workload_name.c_str());
+    return false;
+  }
+  out->workload.kind = *kind;
+  if (auto v = flags.GetU64("iterations")) {
+    out->workload.iterations = static_cast<uint32_t>(*v);
+  } else if (*kind == WorkloadKind::kTxnLog) {
+    out->workload.iterations = 10;
+  }
+  if (auto v = flags.GetU64("num-blocks")) {
+    out->workload.num_blocks = static_cast<uint32_t>(*v);
+  } else if (*kind == WorkloadKind::kTxnLog) {
+    out->workload.num_blocks = 16;
+  }
+
+  if (auto v = flags.GetU64("epoch-length")) {
+    out->options.replication.epoch_length = *v;
+  }
+  std::string variant_name = flags.GetString("variant", "old");
+  auto variant = ParseVariant(variant_name);
+  if (!variant) {
+    std::fprintf(stderr, "hbft_cli: unknown variant '%s' (old, new)\n", variant_name.c_str());
+    return false;
+  }
+  out->options.replication.variant = *variant;
+  if (auto v = flags.GetU64("seed")) {
+    out->options.seed = *v;
+  }
+
+  // Failure injection: --fail-at=<phase> (with --fail-epoch) or
+  // --fail-time-ms=<ms>; --fail-target picks the victim.
+  std::string fail_at = flags.GetString("fail-at", "none");
+  auto fail_time_ms = flags.GetDouble("fail-time-ms");
+  if (fail_at != "none" && fail_time_ms) {
+    std::fprintf(stderr, "hbft_cli: --fail-at and --fail-time-ms are mutually exclusive\n");
+    return false;
+  }
+  if (fail_at != "none") {
+    auto phase = ParseFailPhase(fail_at);
+    if (!phase) {
+      std::fprintf(stderr,
+                   "hbft_cli: unknown --fail-at phase '%s' (before-send-tme, after-send-tme, "
+                   "after-ack-wait, after-deliver, after-send-end, before-io-issue, "
+                   "after-io-issue)\n",
+                   fail_at.c_str());
+      return false;
+    }
+    out->options.failure.kind = FailurePlan::Kind::kAtPhase;
+    out->options.failure.phase = *phase;
+    out->options.failure.phase_epoch = flags.GetU64("fail-epoch").value_or(0);
+    out->has_failure = true;
+    out->failure_description =
+        "at-phase " + fail_at + " epoch " + std::to_string(out->options.failure.phase_epoch);
+  } else if (fail_time_ms) {
+    out->options.failure.kind = FailurePlan::Kind::kAtTime;
+    out->options.failure.time = SimTime::Picos(static_cast<int64_t>(*fail_time_ms * 1e9));
+    out->has_failure = true;
+    out->failure_description = "at-time " + std::to_string(*fail_time_ms) + " ms";
+  } else {
+    flags.GetU64("fail-epoch");  // Consume so a stray flag reports cleanly below.
+  }
+
+  std::string target = flags.GetString("fail-target", "primary");
+  if (target == "backup") {
+    if (out->options.failure.kind == FailurePlan::Kind::kAtPhase) {
+      std::fprintf(stderr,
+                   "hbft_cli: --fail-target=backup supports only --fail-time-ms (the phase "
+                   "hooks are primary-side protocol points)\n");
+      return false;
+    }
+    out->options.failure.target = FailurePlan::Target::kBackup;
+  } else if (target != "primary") {
+    std::fprintf(stderr, "hbft_cli: unknown --fail-target '%s' (primary, backup)\n",
+                 target.c_str());
+    return false;
+  }
+  if (out->has_failure) {
+    out->failure_description += std::string(", target ") + target;
+  }
+
+  std::string crash_io = flags.GetString("crash-io", "random");
+  if (crash_io == "performed") {
+    out->options.failure.crash_io = FailurePlan::CrashIo::kPerformed;
+  } else if (crash_io == "not-performed") {
+    out->options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;
+  } else if (crash_io != "random") {
+    std::fprintf(stderr, "hbft_cli: unknown --crash-io '%s' (random, performed, not-performed)\n",
+                 crash_io.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cli
+}  // namespace hbft

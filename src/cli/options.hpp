@@ -1,0 +1,63 @@
+// Flag parsing for the hbft_cli subcommands.
+//
+// Flags are --key=value (or bare --key for booleans). Every flag a command
+// reads is tracked; Finish() rejects anything left over, so typos fail loudly
+// instead of silently running a default scenario.
+#ifndef HBFT_CLI_OPTIONS_HPP_
+#define HBFT_CLI_OPTIONS_HPP_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "guest/workloads.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace hbft {
+namespace cli {
+
+class FlagSet {
+ public:
+  // Returns false (with a message on stderr) on malformed arguments.
+  bool Parse(int argc, char** argv, int first);
+
+  bool Has(const std::string& key);
+  std::string GetString(const std::string& key, const std::string& default_value);
+  std::optional<uint64_t> GetU64(const std::string& key);
+  std::optional<double> GetDouble(const std::string& key);
+
+  // True when every provided flag was consumed; otherwise prints the
+  // unrecognised ones to stderr.
+  bool Finish();
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+// Name <-> enum maps shared by run/drill/bench.
+std::optional<WorkloadKind> ParseWorkloadKind(const std::string& name);
+const char* WorkloadKindName(WorkloadKind kind);
+std::optional<ProtocolVariant> ParseVariant(const std::string& name);
+const char* VariantName(ProtocolVariant variant);
+std::optional<FailPhase> ParseFailPhase(const std::string& name);
+
+// Scenario knobs shared by `run` and `drill`: workload selection plus
+// replication and failure-injection settings. Returns false after printing
+// the offending flag.
+struct ScenarioFlags {
+  WorkloadSpec workload;
+  ScenarioOptions options;
+  bool has_failure = false;
+  std::string failure_description = "none";
+};
+
+bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out);
+
+}  // namespace cli
+}  // namespace hbft
+
+#endif  // HBFT_CLI_OPTIONS_HPP_

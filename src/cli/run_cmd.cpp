@@ -1,0 +1,114 @@
+// `hbft_cli run` — execute one workload bare, replicated, or both, and print
+// a comparison report (the paper's N'/N figure of merit when both ran).
+#include <cstdio>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+#include "sim/environment_observer.hpp"
+#include "sim/scenario.hpp"
+
+namespace hbft {
+namespace cli {
+
+namespace {
+
+void ReportOutcome(const char* label, const ScenarioResult& r) {
+  std::printf("-- %s --\n", label);
+  ReportYesNo("completed", r.completed);
+  if (r.timed_out) {
+    ReportYesNo("timed_out", true);
+  }
+  if (r.deadlocked) {
+    ReportYesNo("deadlocked", true);
+  }
+  ReportF("runtime_s", r.completion_time.seconds());
+  ReportLine("exited_flag", r.exited_flag == 1 ? "clean" : std::to_string(r.exited_flag));
+  ReportLine("exit_code", std::to_string(r.exit_code));
+  ReportLine("guest_checksum", std::to_string(r.guest_checksum));
+  ReportLine("clock_ticks", std::to_string(r.ticks));
+  if (!r.console_output.empty()) {
+    std::string preview = r.console_output.substr(0, 60);
+    for (char& c : preview) {
+      if (c == '\n') {
+        c = ' ';
+      }
+    }
+    ReportLine("console_bytes", std::to_string(r.console_output.size()) + " (\"" + preview + "\")");
+  }
+}
+
+void ReportReplicationStats(const ScenarioResult& r) {
+  ReportLine("epochs", std::to_string(r.primary_stats.epochs));
+  ReportLine("messages_sent", std::to_string(r.primary_stats.messages_sent));
+  ReportLine("acks_received", std::to_string(r.primary_stats.acks_received));
+  ReportF("ack_wait_ms", r.primary_stats.ack_wait_time.seconds() * 1e3);
+  ReportF("boundary_ms", r.primary_stats.boundary_time.seconds() * 1e3);
+  ReportYesNo("promoted", r.promoted);
+  if (r.promoted) {
+    ReportF("crash_time_ms", r.crash_time.seconds() * 1e3);
+    ReportF("promotion_time_ms", r.promotion_time.seconds() * 1e3);
+    ReportLine("backup_io_redriven", std::to_string(r.backup_stats.io_issued));
+  }
+}
+
+}  // namespace
+
+int RunCommand(FlagSet& flags) {
+  ScenarioFlags scenario;
+  std::string mode = flags.GetString("mode", "both");
+  if (!ParseScenarioFlags(flags, &scenario) || !flags.Finish()) {
+    return 2;
+  }
+  if (mode != "both" && mode != "bare" && mode != "replicated") {
+    std::fprintf(stderr, "hbft_cli: unknown --mode '%s' (both, bare, replicated)\n", mode.c_str());
+    return 2;
+  }
+  const bool want_bare = mode != "replicated";
+  const bool want_replicated = mode != "bare";
+
+  std::printf("== hbft run report ==\n");
+  ReportLine("workload", WorkloadKindName(scenario.workload.kind));
+  ReportLine("iterations", std::to_string(scenario.workload.iterations));
+  ReportLine("mode", mode);
+  if (want_replicated) {
+    ReportLine("variant", VariantName(scenario.options.replication.variant));
+    ReportLine("epoch_length", std::to_string(scenario.options.replication.epoch_length));
+    ReportLine("failure", scenario.failure_description);
+  }
+
+  int rc = 0;
+  ScenarioResult bare;
+  if (want_bare) {
+    bare = RunBare(scenario.workload, scenario.options);
+    ReportOutcome("bare reference", bare);
+    if (!bare.completed || bare.exited_flag != 1) {
+      rc = 1;
+    }
+  }
+  if (want_replicated) {
+    ScenarioResult ft = RunReplicated(scenario.workload, scenario.options);
+    ReportOutcome("replicated", ft);
+    ReportReplicationStats(ft);
+    if (!ft.completed || ft.exited_flag != 1) {
+      rc = 1;
+    }
+    if (want_bare && bare.completed && ft.completed) {
+      std::printf("-- comparison --\n");
+      ReportF("normalized_performance", NormalizedPerformance(ft, bare), " (N'/N)");
+      ConsistencyResult disk =
+          CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+      ReportLine("disk_consistency", disk.ok ? "ok" : "FAIL: " + disk.detail);
+      ConsistencyResult console = CheckConsoleConsistency(bare.console_trace, ft.console_trace,
+                                                          ft.primary_id, ft.backup_id);
+      ReportLine("console_consistency", console.ok ? "ok" : "FAIL: " + console.detail);
+      if (!disk.ok || !console.ok) {
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace cli
+}  // namespace hbft

@@ -141,12 +141,4 @@ void ReplicaNodeBase::IssueRealIo(const GuestIoCommand& io) {
   }
 }
 
-void ReplicaNodeBase::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
-  HBFT_CHECK(false) << "HandleDiskCompletion not implemented for this role";
-}
-
-void ReplicaNodeBase::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
-  HBFT_CHECK(false) << "HandleConsoleTxDone not implemented for this role";
-}
-
 }  // namespace hbft

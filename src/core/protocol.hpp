@@ -158,10 +158,12 @@ class ReplicaNodeBase : public NodeActor {
   // completion event. Only the active replica calls this.
   void IssueRealIo(const GuestIoCommand& io);
 
-  // Handles a real disk completion (primary role or promoted backup).
-  virtual void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time);
-  // Handles a real console TX latch completion.
-  virtual void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time);
+  // Handles a real disk completion (primary role or promoted backup). Pure:
+  // every concrete role must say what a completion means for it, so a
+  // completion can never land on a role that has no handler.
+  virtual void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) = 0;
+  // Handles a real console TX latch completion. Pure, as above.
+  virtual void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) = 0;
 
   // Called by subclasses when the peer must be woken; set by the world.
   std::function<void(SimTime)> schedule_peer_poll_;

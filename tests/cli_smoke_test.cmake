@@ -1,0 +1,60 @@
+# Smoke test for the hbft_cli scenario driver, run via `cmake -P`.
+# Checks that `run`, `drill`, and `bench --quick` exit 0 and that their
+# reports contain the expected fields / artifacts.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_cli out_var)
+  execute_process(COMMAND ${HBFT_CLI} ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  OUTPUT_VARIABLE output
+                  ERROR_VARIABLE output
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hbft_cli ${ARGN} exited ${rc}:\n${output}")
+  endif()
+  set(${out_var} "${output}" PARENT_SCOPE)
+endfunction()
+
+function(expect_field output field)
+  if(NOT output MATCHES "${field}")
+    message(FATAL_ERROR "expected field '${field}' missing from report:\n${output}")
+  endif()
+endfunction()
+
+# --- run: bare vs replicated comparison report ------------------------------
+run_cli(run_out run --workload=txnlog --iterations=6 --epoch-length=4096 --variant=new)
+expect_field("${run_out}" "workload")
+expect_field("${run_out}" "completed")
+expect_field("${run_out}" "normalized_performance")
+expect_field("${run_out}" "guest_checksum")
+
+# --- run --mode=bare: no replication ----------------------------------------
+run_cli(bare_out run --workload=cpu --iterations=2000 --mode=bare)
+expect_field("${bare_out}" "completed[ =:]+yes")
+
+# --- run --fail-at: failure injection through the run subcommand ------------
+run_cli(fail_out run --workload=txnlog --iterations=6 --fail-at=after-send-tme --fail-epoch=2)
+expect_field("${fail_out}" "promoted[ =:]+yes")
+
+# --- drill: primary-kill failover with promotion-latency report -------------
+run_cli(drill_out drill --variant=new)
+expect_field("${drill_out}" "promoted[ =:]+yes")
+expect_field("${drill_out}" "promotion_latency")
+expect_field("${drill_out}" "crash_time")
+expect_field("${drill_out}" "detection")
+run_cli(drill_old_out drill --variant=old --epoch-length=2048)
+expect_field("${drill_old_out}" "promoted[ =:]+yes")
+
+# --- bench: JSON artifacts under bench/ -------------------------------------
+run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
+foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json)
+  if(NOT EXISTS ${WORK_DIR}/bench/${artifact})
+    message(FATAL_ERROR "bench artifact missing: ${WORK_DIR}/bench/${artifact}\n${bench_out}")
+  endif()
+endforeach()
+file(READ ${WORK_DIR}/bench/table1.json table1)
+if(NOT table1 MATCHES "\"workload\"" OR NOT table1 MATCHES "\"np\"")
+  message(FATAL_ERROR "table1.json missing expected keys:\n${table1}")
+endif()
+
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,5 @@
+#include <cstdio>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return hbft::cli::Main(argc, argv); }
