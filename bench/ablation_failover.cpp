@@ -34,13 +34,14 @@ int RunAblation() {
                        "uncertain ints", "dup ops", "completed"});
   for (uint64_t el : {uint64_t{1024}, uint64_t{4096}, uint64_t{16384}, uint64_t{65536}}) {
     for (int timeout_ms : {1, 5, 20}) {
-      ScenarioOptions options;
-      options.replication.epoch_length = el;
-      options.costs.failure_detect_timeout = SimTime::Millis(timeout_ms);
-      options.failure.kind = FailurePlan::Kind::kAtPhase;
-      options.failure.phase = FailPhase::kAfterIoIssue;
-      options.failure.crash_io = FailurePlan::CrashIo::kPerformed;
-      ScenarioResult ft = RunReplicated(spec, options);
+      CostModel costs;
+      costs.failure_detect_timeout = SimTime::Millis(timeout_ms);
+      ScenarioResult ft =
+          Scenario::Replicated(spec)
+              .Epoch(el)
+              .Costs(costs)
+              .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kPerformed)
+              .Run();
       size_t ft_writes = 0;
       for (const auto& e : ft.disk_trace) {
         if (e.is_write && e.performed) {
@@ -51,7 +52,7 @@ int RunAblation() {
           ft.promoted ? (ft.promotion_time - ft.crash_time).seconds() * 1e3 : -1.0;
       table.AddRow({std::to_string(el), std::to_string(timeout_ms),
                     TableReporter::Num(promote_ms),
-                    std::to_string(ft.backup_stats.uncertain_synthesised),
+                    std::to_string(ft.backup_stats().uncertain_synthesised),
                     std::to_string(ft_writes - bare_writes),
                     ft.completed && ft.exited_flag == 1 ? "yes" : "NO"});
     }

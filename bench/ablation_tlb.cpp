@@ -39,16 +39,15 @@ int RunAblation() {
                                Config{TlbPolicy::kHardwareRandom, true},
                                Config{TlbPolicy::kRoundRobin, false},
                                Config{TlbPolicy::kRoundRobin, true}}) {
-    ScenarioOptions options;
-    options.replication.epoch_length = 1024;
-    options.replication.tlb_takeover = config.takeover;
-    options.replication.audit_lockstep = true;
-    options.tlb_policy = config.policy;
-    options.tlb_entries = 16;  // Small TLB: pressure + evictions.
-    options.max_time = SimTime::Seconds(30);
-    ScenarioResult ft = RunReplicated(spec, options);
-    size_t compared = std::min(ft.primary_boundary_fingerprints.size(),
-                               ft.backup_boundary_fingerprints.size());
+    ScenarioResult ft = Scenario::Replicated(spec)
+                            .Epoch(1024)
+                            .TlbTakeover(config.takeover)
+                            .AuditLockstep()
+                            .Tlb(16, config.policy)  // Small TLB: pressure + evictions.
+                            .MaxTime(SimTime::Seconds(30))
+                            .Run();
+    size_t compared = std::min(ft.primary_boundary_fingerprints().size(),
+                               ft.backup_boundary_fingerprints().size());
     size_t prefix = MatchingBoundaryPrefix(ft);
     bool lockstep = compared > 0 && prefix == compared;
     table.AddRow({config.policy == TlbPolicy::kHardwareRandom ? "hardware-random" : "round-robin",
@@ -63,12 +62,11 @@ int RunAblation() {
   ScenarioResult bare = RunBare(spec);
   TableReporter cost({"config", "NP"});
   for (bool takeover : {false, true}) {
-    ScenarioOptions options;
-    options.replication.epoch_length = 4096;
-    options.replication.tlb_takeover = takeover;
-    options.tlb_policy = TlbPolicy::kRoundRobin;
-    options.tlb_entries = 16;
-    ScenarioResult ft = RunReplicated(spec, options);
+    ScenarioResult ft = Scenario::Replicated(spec)
+                            .Epoch(4096)
+                            .TlbTakeover(takeover)
+                            .Tlb(16, TlbPolicy::kRoundRobin)
+                            .Run();
     double np = ft.completed && bare.completed ? NormalizedPerformance(ft, bare) : -1.0;
     cost.AddRow({takeover ? "hypervisor fills TLB" : "guest fills TLB", TableReporter::Num(np)});
   }

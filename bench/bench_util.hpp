@@ -36,11 +36,8 @@ struct NpPoint {
 // Runs the workload replicated at `epoch_len` and returns N'/N vs `bare`.
 inline double MeasureNp(const WorkloadSpec& spec, const ScenarioResult& bare, uint64_t epoch_len,
                         ProtocolVariant variant, const CostModel& costs = {}) {
-  ScenarioOptions options;
-  options.replication.epoch_length = epoch_len;
-  options.replication.variant = variant;
-  options.costs = costs;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec).Epoch(epoch_len).Variant(variant).Costs(costs).Run();
   if (!ft.completed || ft.exited_flag != 1) {
     std::fprintf(stderr, "measurement failed at EL=%llu (completed=%d exited=%u)\n",
                  static_cast<unsigned long long>(epoch_len), ft.completed, ft.exited_flag);

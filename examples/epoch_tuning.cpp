@@ -32,22 +32,20 @@ int main() {
                        "epochs", "old-protocol ack wait (ms total)"});
   for (uint64_t el : {uint64_t{512}, uint64_t{1024}, uint64_t{2048}, uint64_t{4096},
                       uint64_t{8192}, uint64_t{16384}, uint64_t{32768}, uint64_t{65536}}) {
-    ScenarioOptions options;
-    options.replication.epoch_length = el;
-    ScenarioResult ft = RunReplicated(workload, options);
+    ScenarioResult ft = Scenario::Replicated(workload).Epoch(el).Run();
     if (!ft.completed) {
       std::fprintf(stderr, "run at EL=%llu failed\n", static_cast<unsigned long long>(el));
       continue;
     }
     double np = NormalizedPerformance(ft, bare);
-    double boundary_us = ft.primary_stats.epochs > 0
-                             ? ft.primary_stats.boundary_time.micros_f() /
-                                   static_cast<double>(ft.primary_stats.epochs)
+    double boundary_us = ft.primary_stats().epochs > 0
+                             ? ft.primary_stats().boundary_time.micros_f() /
+                                   static_cast<double>(ft.primary_stats().epochs)
                              : 0.0;
     table.AddRow({std::to_string(el), TableReporter::Num(static_cast<double>(el) / 50.0, 1),
                   TableReporter::Num(np), TableReporter::Num(boundary_us, 1),
-                  std::to_string(ft.primary_stats.epochs),
-                  TableReporter::Num(ft.primary_stats.ack_wait_time.seconds() * 1e3, 1)});
+                  std::to_string(ft.primary_stats().epochs),
+                  TableReporter::Num(ft.primary_stats().ack_wait_time.seconds() * 1e3, 1)});
   }
   table.Print();
 

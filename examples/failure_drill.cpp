@@ -23,9 +23,7 @@ int main() {
   workload.num_blocks = 8;
 
   ScenarioResult bare = RunBare(workload);
-  ScenarioOptions probe_options;
-  probe_options.replication.epoch_length = 4096;
-  ScenarioResult probe = RunReplicated(workload, probe_options);
+  ScenarioResult probe = Scenario::Replicated(workload).Epoch(4096).Run();
   if (!bare.completed || !probe.completed) {
     std::fprintf(stderr, "reference runs failed\n");
     return 1;
@@ -36,11 +34,8 @@ int main() {
   int failures = 0;
   for (int i = 1; i <= 20; ++i) {
     SimTime kill_time = SimTime::Picos(probe.completion_time.picos() * i / 21);
-    ScenarioOptions options;
-    options.replication.epoch_length = 4096;
-    options.failure.kind = FailurePlan::Kind::kAtTime;
-    options.failure.time = kill_time;
-    ScenarioResult ft = RunReplicated(workload, options);
+    ScenarioResult ft =
+        Scenario::Replicated(workload).Epoch(4096).FailAtTime(kill_time).Run();
 
     size_t ft_writes = 0;
     for (const auto& e : ft.disk_trace) {
@@ -64,7 +59,7 @@ int main() {
       ++failures;
     }
     table.AddRow({TableReporter::Num(kill_time.seconds() * 1e3, 1), ft.promoted ? "yes" : "no",
-                  std::to_string(ft.backup_stats.uncertain_synthesised),
+                  std::to_string(ft.backup_stats().uncertain_synthesised),
                   std::to_string(ft_writes - bare_writes),
                   ft.guest_checksum == bare.guest_checksum ? "match" : "MISMATCH",
                   ok ? "yes" : "NO"});

@@ -28,30 +28,27 @@ int main() {
   // 2. The same binary on the replicated pair: a primary and backup joined
   //    by a simulated 10 Mbps Ethernet, epochs of 4K instructions (the
   //    paper's configuration), shared dual-ported disk.
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.replication.variant = ProtocolVariant::kOriginal;
-  ScenarioResult ft = RunReplicated(workload, options);
+  Scenario pair = Scenario::Replicated(workload).Epoch(4096).Variant(ProtocolVariant::kOriginal);
+  ScenarioResult ft = pair.Run();
   std::printf("--- fault-tolerant pair (no failures) ---\n");
   std::printf("console: %s", ft.console_output.c_str());
   std::printf("completed in %.3f ms; epochs=%llu, messages=%llu, NP=%.2f\n\n",
               ft.completion_time.seconds() * 1e3,
-              static_cast<unsigned long long>(ft.primary_stats.epochs),
-              static_cast<unsigned long long>(ft.primary_stats.messages_sent),
+              static_cast<unsigned long long>(ft.primary_stats().epochs),
+              static_cast<unsigned long long>(ft.primary_stats().messages_sent),
               NormalizedPerformance(ft, bare));
 
-  // 3. Kill the primary while a disk operation is in flight. The backup
-  //    detects the failure, promotes itself (protocol rule P6), and re-drives
-  //    outstanding I/O via synthesised uncertain interrupts (P7).
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;  // Op lost with the primary.
-  ScenarioResult failover = RunReplicated(workload, options);
+  // 3. Kill the primary while a disk operation is in flight (the op is lost
+  //    with the primary). The backup detects the failure, promotes itself
+  //    (protocol rule P6), and re-drives outstanding I/O via synthesised
+  //    uncertain interrupts (P7).
+  ScenarioResult failover =
+      pair.FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kNotPerformed).Run();
   std::printf("--- fault-tolerant pair (primary killed mid-I/O) ---\n");
   std::printf("console: %s", failover.console_output.c_str());
   std::printf("crash at %.3f ms; backup promoted at %.3f ms; uncertain interrupts: %llu\n",
               failover.crash_time.seconds() * 1e3, failover.promotion_time.seconds() * 1e3,
-              static_cast<unsigned long long>(failover.backup_stats.uncertain_synthesised));
+              static_cast<unsigned long long>(failover.backup_stats().uncertain_synthesised));
   std::printf("guest exit code %u, checksum 0x%X (bare: 0x%X)\n", failover.exit_code,
               failover.guest_checksum, bare.guest_checksum);
   std::printf("\nresult: %s\n",

@@ -27,15 +27,13 @@ int main() {
   ScenarioResult bare = RunBare(workload);
   std::printf("reference run: console \"%s\"\n", bare.console_output.c_str());
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.io_seq = 0;  // First I/O op whose issue the plan observes.
-  options.failure.phase_epoch = 0;
-  options.failure.crash_io = FailurePlan::CrashIo::kPerformed;  // Commit hit the platter...
-  ScenarioResult ft = RunReplicated(workload, options);         // ...but the ack died with the
-                                                                // primary: classic two-generals.
+  // Kill at the first I/O issue the plan observes: the commit hit the
+  // platter, but the ack died with the primary — classic two-generals.
+  ScenarioResult ft =
+      Scenario::Replicated(workload)
+          .Epoch(4096)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kPerformed)
+          .Run();
   std::printf("failover run:  console \"%s\"\n", ft.console_output.c_str());
   std::printf("crash at %.2f ms, promotion at %.2f ms\n\n", ft.crash_time.seconds() * 1e3,
               ft.promotion_time.seconds() * 1e3);

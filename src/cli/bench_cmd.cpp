@@ -27,6 +27,7 @@ struct BenchConfig {
   std::string out_dir = "bench";
   uint32_t cpu_iterations = 26000;  // ~1/100 of the paper's CPU workload.
   uint32_t io_operations = 64;      // vs the paper's 2048.
+  int backups = 1;                  // Chain length; 1 = the paper's pair.
   std::vector<uint64_t> table_els = {1024, 2048, 4096, 8192};
   std::vector<uint64_t> sweep_els = {1024, 2048, 4096, 8192, 16384, 32768};
 };
@@ -41,8 +42,8 @@ enum class Link { kEthernet10, kAtm155 };
 // non-zero so CI cannot stay green on a corrupt perf trajectory.
 class Measurer {
  public:
-  Measurer(const WorkloadSpec* specs, const ScenarioResult* bares)
-      : specs_(specs), bares_(bares) {}
+  Measurer(const WorkloadSpec* specs, const ScenarioResult* bares, int backups)
+      : specs_(specs), bares_(bares), backups_(backups) {}
 
   // `workload` indexes the shared specs/bares arrays (0 cpu, 1 write, 2 read).
   double Np(int workload, uint64_t epoch_len, ProtocolVariant variant,
@@ -53,12 +54,13 @@ class Measurer {
     if (it != cache_.end()) {
       return it->second;
     }
-    ScenarioOptions options;
-    options.replication.epoch_length = epoch_len;
-    options.replication.variant = variant;
-    options.costs =
-        link == Link::kAtm155 ? CostModel::WithAtmLink() : CostModel::PaperCalibrated();
-    ScenarioResult ft = RunReplicated(specs_[workload], options);
+    ScenarioResult ft =
+        Scenario::Replicated(specs_[workload])
+            .Backups(backups_)
+            .Epoch(epoch_len)
+            .Variant(variant)
+            .Costs(link == Link::kAtm155 ? CostModel::WithAtmLink() : CostModel::PaperCalibrated())
+            .Run();
     double np = -1.0;
     if (!ft.completed || ft.exited_flag != 1) {
       std::fprintf(stderr, "hbft_cli: bench measurement failed (%s, EL=%llu)\n",
@@ -77,6 +79,7 @@ class Measurer {
  private:
   const WorkloadSpec* specs_;
   const ScenarioResult* bares_;
+  int backups_;
   std::map<std::tuple<int, uint64_t, int, int>, double> cache_;
   int failures_ = 0;
 };
@@ -227,6 +230,13 @@ int BenchCommand(FlagSet& flags) {
   if (auto v = flags.GetU64("io-operations")) {
     cfg.io_operations = static_cast<uint32_t>(*v);
   }
+  if (auto v = flags.GetU64("backups")) {
+    if (*v < 1) {
+      std::fprintf(stderr, "hbft_cli: --backups must be >= 1\n");
+      return 2;
+    }
+    cfg.backups = static_cast<int>(*v);
+  }
   if (!flags.Finish()) {
     return 2;
   }
@@ -257,7 +267,7 @@ int BenchCommand(FlagSet& flags) {
     }
   }
 
-  Measurer measurer(specs, bares);
+  Measurer measurer(specs, bares, cfg.backups);
   bool ok = EmitTable1(cfg, specs, measurer) && EmitFig2(cfg, bares[0], measurer) &&
             EmitFig3(cfg, measurer) && EmitFig4(cfg, measurer);
   if (ok && measurer.failures() > 0) {

@@ -16,7 +16,8 @@ void PrintUsage(std::FILE* out) {
   std::fputs(
       "hbft_cli — hypervisor-based fault-tolerance scenario driver\n"
       "\n"
-      "usage: hbft_cli <run|drill|bench> [flags]\n"
+      "usage: hbft_cli <run|drill|bench|help> [flags]\n"
+      "       hbft_cli --list-workloads | --list-phases\n"
       "\n"
       "run    Execute one workload and report the outcome.\n"
       "  --workload=KIND       cpu|diskread|diskwrite|hello|txnlog|echo|heap|time (txnlog)\n"
@@ -24,30 +25,68 @@ void PrintUsage(std::FILE* out) {
       "  --mode=M              both|bare|replicated (both: prints N'/N and consistency)\n"
       "  --epoch-length=N      instructions per epoch (4096)\n"
       "  --variant=V           old (P2 ack wait) | new (output commit, section 4.3)\n"
-      "  --fail-at=PHASE       inject a crash: before-send-tme, after-send-tme,\n"
-      "                        after-ack-wait, after-deliver, after-send-end,\n"
-      "                        before-io-issue, after-io-issue\n"
-      "  --fail-epoch=N        epoch for --fail-at boundary phases\n"
-      "  --fail-time-ms=X      crash at a wall-clock instant instead of a phase\n"
-      "  --fail-target=T       primary|backup (primary)\n"
-      "  --crash-io=C          in-flight I/O at the crash: random|performed|not-performed\n"
+      "  --backups=N           replica chain length: 1 primary + N backups (1)\n"
+      "  --fail=SPEC           append a failure event to the ordered schedule;\n"
+      "                        repeatable. SPEC is comma-separated key=value:\n"
+      "                          time-ms=X | phase=P[,epoch=N][,io-seq=N]\n"
+      "                          target=active|backup:K   crash-io=random|performed|\n"
+      "                          not-performed\n"
+      "                        e.g. --fail=time-ms=40 --fail=phase=after-io-issue\n"
+      "  --fail-at=PHASE       legacy single-failure flags (see --list-phases);\n"
+      "  --fail-epoch=N        they form the first schedule entry\n"
+      "  --fail-time-ms=X --fail-target=T --crash-io=C\n"
       "  --num-blocks=N --seed=N\n"
       "\n"
-      "drill  Primary-kill failover drill with a promotion-latency report.\n"
-      "  Takes the run flags; defaults to txnlog with a kill at\n"
-      "  after-send-tme epoch 3. Exits 0 iff the environment saw a sequence\n"
-      "  consistent with a single machine and the workload result matches bare.\n"
+      "drill  Failover drill with a per-takeover promotion-latency report.\n"
+      "  Takes the run flags; defaults to txnlog with a kill at after-send-tme\n"
+      "  epoch 3, plus — cascading mode — one further active-replica kill per\n"
+      "  extra backup. Exits 0 iff the environment saw a sequence consistent\n"
+      "  with a single machine and the workload result matches bare.\n"
       "\n"
       "bench  Regenerate the paper's Table 1 / Fig 2-4 numbers as JSON.\n"
       "  --out-dir=DIR         artifact directory (bench)\n"
       "  --quick               small workloads + short sweep (same artifact shape)\n"
-      "  --cpu-iterations=N --io-operations=N\n"
+      "  --cpu-iterations=N --io-operations=N --backups=N\n"
+      "\n"
+      "help   Print this text. With --list-workloads or --list-phases, print\n"
+      "       the valid enum names one per line (machine-readable).\n"
       "\n"
       "examples:\n"
       "  hbft_cli run --workload=txnlog --iterations=8 --variant=new\n"
       "  hbft_cli drill --variant=new --epoch-length=4096\n"
+      "  hbft_cli drill --backups=2 --fail=time-ms=6 --fail=phase=after-io-issue\n"
       "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n",
       out);
+}
+
+// Returns true when `arg` asked for a list that was printed.
+bool HandleListFlag(const std::string& arg) {
+  if (arg == "--list-workloads") {
+    PrintWorkloadNames(stdout);
+    return true;
+  }
+  if (arg == "--list-phases") {
+    PrintFailPhaseNames(stdout);
+    return true;
+  }
+  return false;
+}
+
+int HelpCommand(int argc, char** argv) {
+  bool listed = false;
+  for (int i = 2; i < argc; ++i) {
+    if (HandleListFlag(argv[i])) {
+      listed = true;
+    } else {
+      std::fprintf(stderr, "hbft_cli: help takes --list-workloads or --list-phases, got '%s'\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (!listed) {
+    PrintUsage(stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -59,7 +98,9 @@ int Main(int argc, char** argv) {
   }
   std::string command = argv[1];
   if (command == "help" || command == "--help" || command == "-h") {
-    PrintUsage(stdout);
+    return HelpCommand(argc, argv);
+  }
+  if (HandleListFlag(command)) {
     return 0;
   }
 

@@ -4,6 +4,7 @@
 #define HBFT_CLI_COMMANDS_HPP_
 
 #include <cstdio>
+#include <string>
 
 #include "cli/options.hpp"
 
@@ -16,11 +17,13 @@ int BenchCommand(FlagSet& flags);
 
 // Report line helpers: aligned "key : value" rows, greppable by the smoke
 // test and stable for transcripts in README.md.
-inline void ReportLine(const char* key, const std::string& value) {
-  std::printf("%-24s: %s\n", key, value.c_str());
+inline void ReportLine(const std::string& key, const std::string& value) {
+  std::printf("%-24s: %s\n", key.c_str(), value.c_str());
 }
-inline void ReportYesNo(const char* key, bool value) { ReportLine(key, value ? "yes" : "no"); }
-inline void ReportF(const char* key, double value, const char* unit = "") {
+inline void ReportYesNo(const std::string& key, bool value) {
+  ReportLine(key, value ? "yes" : "no");
+}
+inline void ReportF(const std::string& key, double value, const char* unit = "") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f%s", value, unit);
   ReportLine(key, buf);

@@ -1,6 +1,12 @@
 // `hbft_cli drill` — the end-to-end failover drill: run the workload bare for
-// reference, run it replicated, kill the primary mid-run, and report the
-// promotion-latency breakdown plus the environment-transparency verdict.
+// reference, run it replicated, kill the active replica mid-run (repeatedly,
+// in cascading mode), and report the promotion-latency breakdown per stage
+// plus the environment-transparency verdict.
+//
+// Cascading mode: with --backups=N and no explicit schedule, the drill kills
+// the active replica N times — primary first, then each promoted backup —
+// so a chain of N backups is driven through every takeover it can survive.
+// Explicit schedules come from repeatable --fail= flags.
 #include <cstdio>
 #include <string>
 
@@ -18,35 +24,52 @@ int DrillCommand(FlagSet& flags) {
     return 2;
   }
   if (!scenario.has_failure) {
-    // The drill's whole point is a primary kill; default to a boundary-phase
-    // crash a few epochs in.
-    scenario.options.failure.kind = FailurePlan::Kind::kAtPhase;
-    scenario.options.failure.phase = FailPhase::kAfterSendTme;
-    scenario.options.failure.phase_epoch = 3;
-    scenario.failure_description = "at-phase after-send-tme epoch 3, target primary";
+    // The drill's whole point is killing the serving replica; default to a
+    // boundary-phase crash a few epochs in, then (cascading mode) one more
+    // kill per extra backup, each at an I/O phase of the promoted node.
+    FailurePlan first;
+    first.kind = FailurePlan::Kind::kAtPhase;
+    first.phase = FailPhase::kAfterSendTme;
+    first.phase_epoch = 3;
+    scenario.failures.push_back(first);
+    scenario.failure_description = "at-phase after-send-tme epoch 3";
+    for (int i = 1; i < scenario.backups; ++i) {
+      FailurePlan next;
+      next.kind = FailurePlan::Kind::kAtPhase;
+      next.phase = FailPhase::kAfterIoIssue;
+      scenario.failures.push_back(next);
+      scenario.failure_description += "; then at-phase after-io-issue";
+    }
+    scenario.has_failure = true;
   }
-  if (scenario.options.failure.target != FailurePlan::Target::kPrimary) {
-    std::fprintf(stderr, "hbft_cli: drill kills the primary; use run for backup failures\n");
-    return 2;
+  for (const FailurePlan& plan : scenario.failures) {
+    if (plan.target != FailurePlan::Target::kActive) {
+      std::fprintf(stderr,
+                   "hbft_cli: drill kills the serving replica; use run for standing-backup "
+                   "failures\n");
+      return 2;
+    }
   }
 
   std::printf("== hbft failover drill ==\n");
   ReportLine("workload", WorkloadKindName(scenario.workload.kind));
-  ReportLine("variant", VariantName(scenario.options.replication.variant));
-  ReportLine("epoch_length", std::to_string(scenario.options.replication.epoch_length));
+  ReportLine("variant", VariantName(scenario.variant));
+  ReportLine("epoch_length", std::to_string(scenario.epoch_length));
+  ReportLine("backups", std::to_string(scenario.backups));
   ReportLine("kill", scenario.failure_description);
 
-  ScenarioResult bare = RunBare(scenario.workload, scenario.options);
+  ScenarioResult bare = scenario.Bare().Run();
   if (!bare.completed || bare.exited_flag != 1) {
     std::fprintf(stderr, "hbft_cli: bare reference run failed\n");
     return 1;
   }
-  ScenarioResult ft = RunReplicated(scenario.workload, scenario.options);
+  ScenarioResult ft = scenario.Replicated().Run();
 
   ReportYesNo("completed", ft.completed);
   if (!ft.completed) {
     ReportYesNo("timed_out", ft.timed_out);
     ReportYesNo("deadlocked", ft.deadlocked);
+    ReportYesNo("service_lost", ft.service_lost);
     return 1;
   }
   ReportYesNo("promoted", ft.promoted);
@@ -57,23 +80,35 @@ int DrillCommand(FlagSet& flags) {
     return 1;
   }
 
-  // Promotion-latency breakdown. Detection is the channel-drain timeout the
-  // failure detector waits after the last message from the dead primary; the
-  // takeover remainder is P6/P7 processing (deliver buffered interrupts,
-  // synthesise uncertain interrupts, switch to real devices).
-  const double crash_ms = ft.crash_time.seconds() * 1e3;
-  const double promo_ms = ft.promotion_time.seconds() * 1e3;
-  const double latency_ms = promo_ms - crash_ms;
-  const double detect_ms = scenario.options.costs.failure_detect_timeout.seconds() * 1e3;
+  // Promotion-latency breakdown, one stage per takeover. Detection is the
+  // channel-drain timeout the failure detector waits after the last message
+  // from the dead replica; the takeover remainder is P6/P7 processing
+  // (deliver buffered interrupts, synthesise uncertain interrupts, switch to
+  // real devices).
+  const double detect_ms = CostModel{}.failure_detect_timeout.seconds() * 1e3;
   std::printf("-- promotion latency --\n");
-  ReportF("crash_time_ms", crash_ms);
-  ReportF("promotion_time_ms", promo_ms);
-  ReportF("promotion_latency_ms", latency_ms);
-  ReportF("  detection_timeout_ms", detect_ms);
-  ReportF("  takeover_ms", latency_ms - detect_ms);
-  ReportLine("uncertain_interrupts", std::to_string(ft.backup_stats.uncertain_synthesised));
-  ReportLine("backup_io_redriven", std::to_string(ft.backup_stats.io_issued));
-  ReportLine("backup_epochs", std::to_string(ft.backup_stats.epochs));
+  size_t stage = 0;
+  for (size_t i = 1; i < ft.nodes.size(); ++i) {
+    if (!ft.nodes[i].promoted || stage >= ft.crash_times.size()) {
+      break;
+    }
+    const double crash_ms = ft.crash_times[stage].seconds() * 1e3;
+    const double promo_ms = ft.nodes[i].promotion_time.seconds() * 1e3;
+    const double latency_ms = promo_ms - crash_ms;
+    const std::string suffix = stage == 0 ? std::string() : "_stage" + std::to_string(stage + 1);
+    ReportF(("crash_time_ms" + suffix).c_str(), crash_ms);
+    ReportF(("promotion_time_ms" + suffix).c_str(), promo_ms);
+    ReportF(("promotion_latency_ms" + suffix).c_str(), latency_ms);
+    ReportF(("  detection_timeout_ms" + suffix).c_str(), detect_ms);
+    ReportF(("  takeover_ms" + suffix).c_str(), latency_ms - detect_ms);
+    ReportLine(("uncertain_interrupts" + suffix).c_str(),
+               std::to_string(ft.backup_stats(i - 1).uncertain_synthesised));
+    ReportLine(("backup_io_redriven" + suffix).c_str(),
+               std::to_string(ft.backup_stats(i - 1).io_issued));
+    ReportLine(("backup_epochs" + suffix).c_str(), std::to_string(ft.backup_stats(i - 1).epochs));
+    ++stage;
+  }
+  ReportLine("takeovers", std::to_string(stage));
 
   std::printf("-- transparency --\n");
   bool ok = ft.exited_flag == 1;
@@ -84,11 +119,10 @@ int DrillCommand(FlagSet& flags) {
   ReportLine("guest_checksum", std::to_string(ft.guest_checksum) + " (bare " +
                                    std::to_string(bare.guest_checksum) +
                                    (checksum_ok ? ", match)" : ", MISMATCH)"));
-  ConsistencyResult disk =
-      CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
   ReportLine("disk_consistency", disk.ok ? "ok" : "FAIL: " + disk.detail);
   ConsistencyResult console =
-      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.primary_id, ft.backup_id);
+      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
   ReportLine("console_consistency", console.ok ? "ok" : "FAIL: " + console.detail);
   ok = ok && disk.ok && console.ok;
   ReportLine("verdict", ok ? "PASS" : "FAIL");

@@ -6,6 +6,26 @@
 namespace hbft {
 namespace cli {
 
+namespace {
+
+bool IsRepeatable(const std::string& key) { return key == "fail"; }
+
+// Canonical enum lists: the single place a new workload or phase must be
+// registered for both name lookup and --list-* discoverability.
+constexpr WorkloadKind kAllWorkloadKinds[] = {
+    WorkloadKind::kCpu,   WorkloadKind::kDiskRead, WorkloadKind::kDiskWrite,
+    WorkloadKind::kHello, WorkloadKind::kTxnLog,   WorkloadKind::kEcho,
+    WorkloadKind::kHeap,  WorkloadKind::kTime,
+};
+
+constexpr FailPhase kAllFailPhases[] = {
+    FailPhase::kBeforeSendTme, FailPhase::kAfterSendTme, FailPhase::kAfterAckWait,
+    FailPhase::kAfterDeliver,  FailPhase::kAfterSendEnd, FailPhase::kBeforeIoIssue,
+    FailPhase::kAfterIoIssue,
+};
+
+}  // namespace
+
 bool FlagSet::Parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -18,11 +38,11 @@ bool FlagSet::Parse(int argc, char** argv, int first) {
     auto eq = body.find('=');
     std::string key = body.substr(0, eq);
     std::string value = eq == std::string::npos ? "" : body.substr(eq + 1);
-    if (values_.count(key)) {
+    if (values_.count(key) && !IsRepeatable(key)) {
       std::fprintf(stderr, "hbft_cli: flag --%s given twice\n", key.c_str());
       return false;
     }
-    values_[key] = value;
+    values_[key].push_back(value);
   }
   return true;
 }
@@ -35,7 +55,7 @@ bool FlagSet::Has(const std::string& key) {
 std::string FlagSet::GetString(const std::string& key, const std::string& default_value) {
   consumed_.insert(key);
   auto it = values_.find(key);
-  return it == values_.end() ? default_value : it->second;
+  return it == values_.end() ? default_value : it->second.back();
 }
 
 std::optional<uint64_t> FlagSet::GetU64(const std::string& key) {
@@ -44,11 +64,12 @@ std::optional<uint64_t> FlagSet::GetU64(const std::string& key) {
   if (it == values_.end()) {
     return std::nullopt;
   }
+  const std::string& raw = it->second.back();
   char* end = nullptr;
-  uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') {
+  uint64_t value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
     std::fprintf(stderr, "hbft_cli: --%s expects an integer, got '%s'\n", key.c_str(),
-                 it->second.c_str());
+                 raw.c_str());
     std::exit(2);
   }
   return value;
@@ -60,14 +81,20 @@ std::optional<double> FlagSet::GetDouble(const std::string& key) {
   if (it == values_.end()) {
     return std::nullopt;
   }
+  const std::string& raw = it->second.back();
   char* end = nullptr;
-  double value = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') {
-    std::fprintf(stderr, "hbft_cli: --%s expects a number, got '%s'\n", key.c_str(),
-                 it->second.c_str());
+  double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    std::fprintf(stderr, "hbft_cli: --%s expects a number, got '%s'\n", key.c_str(), raw.c_str());
     std::exit(2);
   }
   return value;
+}
+
+std::vector<std::string> FlagSet::GetList(const std::string& key) {
+  consumed_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 bool FlagSet::Finish() {
@@ -82,16 +109,15 @@ bool FlagSet::Finish() {
 }
 
 std::optional<WorkloadKind> ParseWorkloadKind(const std::string& name) {
-  if (name == "cpu") return WorkloadKind::kCpu;
-  if (name == "diskread" || name == "disk-read" || name == "read") return WorkloadKind::kDiskRead;
-  if (name == "diskwrite" || name == "disk-write" || name == "write") {
-    return WorkloadKind::kDiskWrite;
+  for (WorkloadKind kind : kAllWorkloadKinds) {
+    if (name == WorkloadKindName(kind)) {
+      return kind;
+    }
   }
-  if (name == "hello") return WorkloadKind::kHello;
-  if (name == "txnlog" || name == "txn-log") return WorkloadKind::kTxnLog;
-  if (name == "echo") return WorkloadKind::kEcho;
-  if (name == "heap") return WorkloadKind::kHeap;
-  if (name == "time") return WorkloadKind::kTime;
+  // Aliases.
+  if (name == "disk-read" || name == "read") return WorkloadKind::kDiskRead;
+  if (name == "disk-write" || name == "write") return WorkloadKind::kDiskWrite;
+  if (name == "txn-log") return WorkloadKind::kTxnLog;
   return std::nullopt;
 }
 
@@ -117,6 +143,18 @@ const char* WorkloadKindName(WorkloadKind kind) {
   return "unknown";
 }
 
+void PrintWorkloadNames(std::FILE* out) {
+  for (WorkloadKind kind : kAllWorkloadKinds) {
+    std::fprintf(out, "%s\n", WorkloadKindName(kind));
+  }
+}
+
+void PrintFailPhaseNames(std::FILE* out) {
+  for (FailPhase phase : kAllFailPhases) {
+    std::fprintf(out, "%s\n", FailPhaseName(phase));
+  }
+}
+
 std::optional<ProtocolVariant> ParseVariant(const std::string& name) {
   if (name == "old" || name == "original") return ProtocolVariant::kOriginal;
   if (name == "new" || name == "revised") return ProtocolVariant::kRevised;
@@ -128,12 +166,7 @@ const char* VariantName(ProtocolVariant variant) {
 }
 
 std::optional<FailPhase> ParseFailPhase(const std::string& name) {
-  static const FailPhase kAll[] = {
-      FailPhase::kBeforeSendTme, FailPhase::kAfterSendTme, FailPhase::kAfterAckWait,
-      FailPhase::kAfterDeliver,  FailPhase::kAfterSendEnd, FailPhase::kBeforeIoIssue,
-      FailPhase::kAfterIoIssue,
-  };
-  for (FailPhase phase : kAll) {
+  for (FailPhase phase : kAllFailPhases) {
     if (name == FailPhaseName(phase)) {
       return phase;
     }
@@ -141,13 +174,179 @@ std::optional<FailPhase> ParseFailPhase(const std::string& name) {
   return std::nullopt;
 }
 
+namespace {
+
+bool ParseCrashIo(const std::string& value, FailurePlan::CrashIo* out) {
+  if (value == "random") {
+    *out = FailurePlan::CrashIo::kRandom;
+  } else if (value == "performed") {
+    *out = FailurePlan::CrashIo::kPerformed;
+  } else if (value == "not-performed") {
+    *out = FailurePlan::CrashIo::kNotPerformed;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseFailTarget(const std::string& value, FailurePlan* plan) {
+  if (value == "active" || value == "primary") {
+    plan->target = FailurePlan::Target::kActive;
+    return true;
+  }
+  if (value.rfind("backup", 0) == 0) {
+    plan->target = FailurePlan::Target::kBackup;
+    plan->backup_index = 0;
+    if (value.size() > 6) {
+      if (value[6] != ':') {
+        return false;
+      }
+      std::string idx = value.substr(7);
+      char* end = nullptr;
+      long parsed = std::strtol(idx.c_str(), &end, 10);
+      if (end == idx.c_str() || *end != '\0' || parsed < 0) {
+        return false;
+      }
+      plan->backup_index = static_cast<int>(parsed);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* description) {
+  FailurePlan plan;
+  bool has_time = false;
+  bool has_phase = false;
+  bool has_phase_only_key = false;  // epoch= / io-seq= constrain phase kills.
+  std::string desc;
+
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string part = spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                   : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (part.empty()) {
+      continue;
+    }
+    auto eq = part.find('=');
+    std::string key = part.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : part.substr(eq + 1);
+
+    if (key == "time-ms") {
+      char* end = nullptr;
+      double ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "hbft_cli: --fail time-ms expects a number, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      plan.kind = FailurePlan::Kind::kAtTime;
+      plan.time = SimTime::Picos(static_cast<int64_t>(ms * 1e9));
+      has_time = true;
+      desc = "at-time " + value + " ms" + desc;
+    } else if (key == "phase") {
+      auto phase = ParseFailPhase(value);
+      if (!phase) {
+        std::fprintf(stderr,
+                     "hbft_cli: unknown --fail phase '%s' (see hbft_cli --list-phases)\n",
+                     value.c_str());
+        return false;
+      }
+      plan.kind = FailurePlan::Kind::kAtPhase;
+      plan.phase = *phase;
+      has_phase = true;
+      desc = "at-phase " + value + desc;
+    } else if (key == "epoch") {
+      char* end = nullptr;
+      plan.phase_epoch = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "hbft_cli: --fail epoch expects an integer, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      has_phase_only_key = true;
+      desc += " epoch " + value;
+    } else if (key == "io-seq") {
+      char* end = nullptr;
+      plan.io_seq = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "hbft_cli: --fail io-seq expects an integer, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      has_phase_only_key = true;
+      desc += " io-seq " + value;
+    } else if (key == "target") {
+      if (!ParseFailTarget(value, &plan)) {
+        std::fprintf(stderr,
+                     "hbft_cli: unknown --fail target '%s' (active, backup, backup:K)\n",
+                     value.c_str());
+        return false;
+      }
+      desc += ", target " + value;
+    } else if (key == "crash-io") {
+      if (!ParseCrashIo(value, &plan.crash_io)) {
+        std::fprintf(stderr,
+                     "hbft_cli: unknown --fail crash-io '%s' (random, performed, "
+                     "not-performed)\n",
+                     value.c_str());
+        return false;
+      }
+      desc += ", crash-io " + value;
+    } else {
+      std::fprintf(stderr,
+                   "hbft_cli: unknown --fail key '%s' (time-ms, phase, epoch, io-seq, target, "
+                   "crash-io)\n",
+                   key.c_str());
+      return false;
+    }
+  }
+
+  if (has_time == has_phase) {  // Neither or both.
+    std::fprintf(stderr, "hbft_cli: --fail needs exactly one of time-ms=... or phase=...\n");
+    return false;
+  }
+  if (has_time && has_phase_only_key) {
+    std::fprintf(stderr,
+                 "hbft_cli: --fail epoch=/io-seq= only constrain phase=... kills, not "
+                 "time-ms=...\n");
+    return false;
+  }
+  if (has_phase && plan.target != FailurePlan::Target::kActive) {
+    std::fprintf(stderr,
+                 "hbft_cli: --fail target=backup supports only time-ms (standing backups run "
+                 "no device phases)\n");
+    return false;
+  }
+  *out = plan;
+  *description = desc;
+  return true;
+}
+
+Scenario ScenarioFlags::Replicated() const {
+  Scenario scenario = Scenario::Replicated(workload)
+                          .Backups(backups)
+                          .Epoch(epoch_length)
+                          .Variant(variant)
+                          .Seed(seed);
+  for (const FailurePlan& plan : failures) {
+    scenario.FailAt(plan);
+  }
+  return scenario;
+}
+
+Scenario ScenarioFlags::Bare() const { return Scenario::Bare(workload).Seed(seed); }
+
 bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
   std::string workload_name = flags.GetString("workload", "txnlog");
   auto kind = ParseWorkloadKind(workload_name);
   if (!kind) {
     std::fprintf(stderr,
-                 "hbft_cli: unknown workload '%s' (cpu, diskread, diskwrite, hello, txnlog, "
-                 "echo, heap, time)\n",
+                 "hbft_cli: unknown workload '%s' (see hbft_cli --list-workloads)\n",
                  workload_name.c_str());
     return false;
   }
@@ -164,7 +363,7 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
   }
 
   if (auto v = flags.GetU64("epoch-length")) {
-    out->options.replication.epoch_length = *v;
+    out->epoch_length = *v;
   }
   std::string variant_name = flags.GetString("variant", "old");
   auto variant = ParseVariant(variant_name);
@@ -172,39 +371,44 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
     std::fprintf(stderr, "hbft_cli: unknown variant '%s' (old, new)\n", variant_name.c_str());
     return false;
   }
-  out->options.replication.variant = *variant;
+  out->variant = *variant;
   if (auto v = flags.GetU64("seed")) {
-    out->options.seed = *v;
+    out->seed = *v;
+  }
+  if (auto v = flags.GetU64("backups")) {
+    if (*v < 1) {
+      std::fprintf(stderr, "hbft_cli: --backups must be >= 1\n");
+      return false;
+    }
+    out->backups = static_cast<int>(*v);
   }
 
-  // Failure injection: --fail-at=<phase> (with --fail-epoch) or
-  // --fail-time-ms=<ms>; --fail-target picks the victim.
+  // Legacy single-failure flags: --fail-at=<phase> (with --fail-epoch) or
+  // --fail-time-ms=<ms>; --fail-target picks the victim. They produce the
+  // first schedule entry; repeatable --fail=SPEC entries append after it.
   std::string fail_at = flags.GetString("fail-at", "none");
   auto fail_time_ms = flags.GetDouble("fail-time-ms");
   if (fail_at != "none" && fail_time_ms) {
     std::fprintf(stderr, "hbft_cli: --fail-at and --fail-time-ms are mutually exclusive\n");
     return false;
   }
+  FailurePlan legacy;
   if (fail_at != "none") {
     auto phase = ParseFailPhase(fail_at);
     if (!phase) {
       std::fprintf(stderr,
-                   "hbft_cli: unknown --fail-at phase '%s' (before-send-tme, after-send-tme, "
-                   "after-ack-wait, after-deliver, after-send-end, before-io-issue, "
-                   "after-io-issue)\n",
+                   "hbft_cli: unknown --fail-at phase '%s' (see hbft_cli --list-phases)\n",
                    fail_at.c_str());
       return false;
     }
-    out->options.failure.kind = FailurePlan::Kind::kAtPhase;
-    out->options.failure.phase = *phase;
-    out->options.failure.phase_epoch = flags.GetU64("fail-epoch").value_or(0);
-    out->has_failure = true;
+    legacy.kind = FailurePlan::Kind::kAtPhase;
+    legacy.phase = *phase;
+    legacy.phase_epoch = flags.GetU64("fail-epoch").value_or(0);
     out->failure_description =
-        "at-phase " + fail_at + " epoch " + std::to_string(out->options.failure.phase_epoch);
+        "at-phase " + fail_at + " epoch " + std::to_string(legacy.phase_epoch);
   } else if (fail_time_ms) {
-    out->options.failure.kind = FailurePlan::Kind::kAtTime;
-    out->options.failure.time = SimTime::Picos(static_cast<int64_t>(*fail_time_ms * 1e9));
-    out->has_failure = true;
+    legacy.kind = FailurePlan::Kind::kAtTime;
+    legacy.time = SimTime::Picos(static_cast<int64_t>(*fail_time_ms * 1e9));
     out->failure_description = "at-time " + std::to_string(*fail_time_ms) + " ms";
   } else {
     flags.GetU64("fail-epoch");  // Consume so a stray flag reports cleanly below.
@@ -212,31 +416,56 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
 
   std::string target = flags.GetString("fail-target", "primary");
   if (target == "backup") {
-    if (out->options.failure.kind == FailurePlan::Kind::kAtPhase) {
+    if (legacy.kind == FailurePlan::Kind::kAtPhase) {
       std::fprintf(stderr,
-                   "hbft_cli: --fail-target=backup supports only --fail-time-ms (the phase "
-                   "hooks are primary-side protocol points)\n");
+                   "hbft_cli: --fail-target=backup supports only --fail-time-ms (standing "
+                   "backups run no device phases)\n");
       return false;
     }
-    out->options.failure.target = FailurePlan::Target::kBackup;
-  } else if (target != "primary") {
-    std::fprintf(stderr, "hbft_cli: unknown --fail-target '%s' (primary, backup)\n",
+    legacy.target = FailurePlan::Target::kBackup;
+    legacy.backup_index = 0;
+  } else if (target != "primary" && target != "active") {
+    std::fprintf(stderr, "hbft_cli: unknown --fail-target '%s' (primary/active, backup)\n",
                  target.c_str());
     return false;
   }
-  if (out->has_failure) {
-    out->failure_description += std::string(", target ") + target;
-  }
 
   std::string crash_io = flags.GetString("crash-io", "random");
-  if (crash_io == "performed") {
-    out->options.failure.crash_io = FailurePlan::CrashIo::kPerformed;
-  } else if (crash_io == "not-performed") {
-    out->options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;
-  } else if (crash_io != "random") {
+  if (!ParseCrashIo(crash_io, &legacy.crash_io)) {
     std::fprintf(stderr, "hbft_cli: unknown --crash-io '%s' (random, performed, not-performed)\n",
                  crash_io.c_str());
     return false;
+  }
+
+  if (legacy.kind != FailurePlan::Kind::kNone) {
+    out->failure_description += std::string(", target ") + target;
+    out->failures.push_back(legacy);
+    out->has_failure = true;
+  }
+
+  for (const std::string& spec : flags.GetList("fail")) {
+    FailurePlan plan;
+    std::string desc;
+    if (!ParseFailSpec(spec, &plan, &desc)) {
+      return false;
+    }
+    if (out->has_failure) {
+      out->failure_description += "; then " + desc;
+    } else {
+      out->failure_description = desc;
+    }
+    out->failures.push_back(plan);
+    out->has_failure = true;
+  }
+
+  for (const FailurePlan& plan : out->failures) {
+    if (plan.target == FailurePlan::Target::kBackup && plan.backup_index >= out->backups) {
+      std::fprintf(stderr,
+                   "hbft_cli: failure targets backup %d but the chain has only %d backup(s) "
+                   "(see --backups)\n",
+                   plan.backup_index, out->backups);
+      return false;
+    }
   }
   return true;
 }

@@ -22,6 +22,9 @@ void ReportOutcome(const char* label, const ScenarioResult& r) {
   if (r.deadlocked) {
     ReportYesNo("deadlocked", true);
   }
+  if (r.service_lost) {
+    ReportYesNo("service_lost", true);
+  }
   ReportF("runtime_s", r.completion_time.seconds());
   ReportLine("exited_flag", r.exited_flag == 1 ? "clean" : std::to_string(r.exited_flag));
   ReportLine("exit_code", std::to_string(r.exit_code));
@@ -39,16 +42,32 @@ void ReportOutcome(const char* label, const ScenarioResult& r) {
 }
 
 void ReportReplicationStats(const ScenarioResult& r) {
-  ReportLine("epochs", std::to_string(r.primary_stats.epochs));
-  ReportLine("messages_sent", std::to_string(r.primary_stats.messages_sent));
-  ReportLine("acks_received", std::to_string(r.primary_stats.acks_received));
-  ReportF("ack_wait_ms", r.primary_stats.ack_wait_time.seconds() * 1e3);
-  ReportF("boundary_ms", r.primary_stats.boundary_time.seconds() * 1e3);
+  ReportLine("replicas", std::to_string(r.nodes.size()));
+  ReportLine("epochs", std::to_string(r.primary_stats().epochs));
+  ReportLine("messages_sent", std::to_string(r.primary_stats().messages_sent));
+  ReportLine("acks_received", std::to_string(r.primary_stats().acks_received));
+  ReportF("ack_wait_ms", r.primary_stats().ack_wait_time.seconds() * 1e3);
+  ReportF("boundary_ms", r.primary_stats().boundary_time.seconds() * 1e3);
   ReportYesNo("promoted", r.promoted);
+  for (size_t i = 0; i + 1 < r.nodes.size(); ++i) {
+    if (r.backup_stats(i).relays_forwarded > 0) {
+      ReportLine("backup" + std::to_string(i) + "_relays",
+                 std::to_string(r.backup_stats(i).relays_forwarded));
+    }
+  }
   if (r.promoted) {
-    ReportF("crash_time_ms", r.crash_time.seconds() * 1e3);
+    for (size_t c = 0; c < r.crash_times.size(); ++c) {
+      ReportF("crash_time_ms" + (c == 0 ? std::string() : "_" + std::to_string(c + 1)),
+              r.crash_times[c].seconds() * 1e3);
+    }
+    for (size_t i = 1; i < r.nodes.size(); ++i) {
+      if (r.nodes[i].promoted) {
+        ReportF("promotion_time_ms_node" + std::to_string(r.nodes[i].id),
+                r.nodes[i].promotion_time.seconds() * 1e3);
+      }
+    }
     ReportF("promotion_time_ms", r.promotion_time.seconds() * 1e3);
-    ReportLine("backup_io_redriven", std::to_string(r.backup_stats.io_issued));
+    ReportLine("backup_io_redriven", std::to_string(r.backup_stats().io_issued));
   }
 }
 
@@ -72,22 +91,23 @@ int RunCommand(FlagSet& flags) {
   ReportLine("iterations", std::to_string(scenario.workload.iterations));
   ReportLine("mode", mode);
   if (want_replicated) {
-    ReportLine("variant", VariantName(scenario.options.replication.variant));
-    ReportLine("epoch_length", std::to_string(scenario.options.replication.epoch_length));
+    ReportLine("variant", VariantName(scenario.variant));
+    ReportLine("epoch_length", std::to_string(scenario.epoch_length));
+    ReportLine("backups", std::to_string(scenario.backups));
     ReportLine("failure", scenario.failure_description);
   }
 
   int rc = 0;
   ScenarioResult bare;
   if (want_bare) {
-    bare = RunBare(scenario.workload, scenario.options);
+    bare = scenario.Bare().Run();
     ReportOutcome("bare reference", bare);
     if (!bare.completed || bare.exited_flag != 1) {
       rc = 1;
     }
   }
   if (want_replicated) {
-    ScenarioResult ft = RunReplicated(scenario.workload, scenario.options);
+    ScenarioResult ft = scenario.Replicated().Run();
     ReportOutcome("replicated", ft);
     ReportReplicationStats(ft);
     if (!ft.completed || ft.exited_flag != 1) {
@@ -97,10 +117,10 @@ int RunCommand(FlagSet& flags) {
       std::printf("-- comparison --\n");
       ReportF("normalized_performance", NormalizedPerformance(ft, bare), " (N'/N)");
       ConsistencyResult disk =
-          CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+          CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
       ReportLine("disk_consistency", disk.ok ? "ok" : "FAIL: " + disk.detail);
-      ConsistencyResult console = CheckConsoleConsistency(bare.console_trace, ft.console_trace,
-                                                          ft.primary_id, ft.backup_id);
+      ConsistencyResult console =
+          CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
       ReportLine("console_consistency", console.ok ? "ok" : "FAIL: " + console.detail);
       if (!disk.ok || !console.ok) {
         rc = 1;

@@ -17,6 +17,9 @@ void BackupNode::RunSlice(SimTime until) {
           return;
         }
         GuestEvent event = hv_.RunGuest(horizon);
+        if (dead_) {
+          return;
+        }
         switch (event.kind) {
           case GuestEvent::Kind::kNone:
             return;
@@ -26,21 +29,21 @@ void BackupNode::RunSlice(SimTime until) {
             break;
 
           case GuestEvent::Kind::kIoCommand: {
-            if (solo_) {
-              IssueRealIo(event.io);
+            if (active_) {
+              HandleIoInitiation(event.io);
             } else {
               // P3 / section 2.2 case (i): suppress, record as outstanding.
               outstanding_io_[event.io.guest_op_seq] = event.io;
               ++stats_.io_suppressed;
+              hv_.CompleteIoCommand();
             }
-            hv_.CompleteIoCommand();
             break;
           }
 
           case GuestEvent::Kind::kEpochEnd:
             RecordBoundaryFingerprint();
-            if (solo_) {
-              SoloBoundary();
+            if (active_) {
+              ActiveBoundary();
             } else {
               state_ = State::kAwaitTme;
               TryAdvanceBoundary();
@@ -68,6 +71,11 @@ void BackupNode::RunSlice(SimTime until) {
           return;
         }
         break;
+      case State::kAwaitDownAcks:
+      case State::kIoAwaitDownAcks:
+        // Blocked states are resolved in OnMessage; nothing to do here.
+        runnable_ = false;
+        return;
     }
   }
 }
@@ -86,22 +94,36 @@ void BackupNode::ServeTodRead() {
     runnable_ = true;
     return;
   }
-  if (solo_) {
-    hv_.CompleteTodRead(TodNow());
-    state_ = State::kRun;
-    runnable_ = true;
+  if (active_) {
+    ServeTodLocally();
     return;
   }
   if (failure_detected_) {
     // The value never arrived, so the primary died before executing this
     // instruction; nothing after it reached the environment. Promote here.
     PromoteMidEpoch();
-    hv_.CompleteTodRead(TodNow());
-    state_ = State::kRun;
-    runnable_ = true;
+    ServeTodLocally();
     return;
   }
   state_ = State::kStallTod;  // Await the [E, seq, value] message.
+}
+
+void BackupNode::ServeTodLocally() {
+  uint64_t value = TodNow();
+  if (replicating_down()) {
+    // Primary role: forward the environment value, continuing the dead
+    // primary's numbering (all earlier values were relayed on receipt).
+    Message msg;
+    msg.type = MsgType::kEnvValue;
+    msg.epoch = epoch_;
+    msg.env_seq = down_env_seq_++;
+    msg.env_value = value;
+    SendDown(std::move(msg));
+    ++stats_.env_values;
+  }
+  hv_.CompleteTodRead(value);
+  state_ = State::kRun;
+  runnable_ = true;
 }
 
 uint32_t BackupNode::DeliverForEpoch(uint64_t tme) {
@@ -163,6 +185,16 @@ void BackupNode::SynthesiseUncertainInterrupts() {
     vi.io = payload;
     hv_.BufferInterrupt(vi);
     ++stats_.uncertain_synthesised;
+    if (replicating_down()) {
+      // P1 in the primary role: the downstream backup must see the same
+      // uncertain completions so it retires the same outstanding set.
+      Message relay;
+      relay.type = MsgType::kInterrupt;
+      relay.epoch = epoch_;
+      relay.irq_lines = vi.irq_line;
+      relay.io = std::move(*vi.io);
+      SendDown(std::move(relay));
+    }
   }
   outstanding_io_.clear();
 }
@@ -171,16 +203,35 @@ void BackupNode::PromoteAtBoundary() {
   // P6: the expected [end, E] will never come. Deliver what the primary
   // relayed for this epoch, re-drive everything else via P7, take over.
   promoted_ = true;
-  solo_ = true;
+  active_ = true;
   promotion_time_ = hv_.clock();
   // Completions relayed for epochs beyond E will never be delivered through
   // the protocol; drop them and let the uncertain path re-drive the ops.
+  // (Channel FIFO order makes this vacuous — nothing sent after the missing
+  // [end, E] can have arrived — but it is cheap insurance.)
   hv_.PurgeBufferedAfter(epoch_);
+  deferred_up_acks_.clear();  // The upstream that expected them is dead.
   uint64_t tme = boundary_tme_valid_ ? boundary_tme_ : TodNow();
+  if (replicating_down() && !boundary_tme_valid_) {
+    // The dead primary never prescribed this boundary: prescribe it for the
+    // downstream backup ourselves. (If [Tme_p] did arrive, its relay already
+    // went downstream.)
+    Message msg;
+    msg.type = MsgType::kTimeSync;
+    msg.epoch = epoch_;
+    msg.tod_value = tme;
+    SendDown(std::move(msg));
+  }
   SynthesiseUncertainInterrupts();
   FlushPendingRx();
   DeliverForEpoch(tme);
   boundary_tme_valid_ = false;
+  if (replicating_down()) {
+    Message end;
+    end.type = MsgType::kEpochEnd;
+    end.epoch = epoch_;
+    SendDown(std::move(end));
+  }
   ++epoch_;
   ++stats_.epochs;
   hv_.BeginEpoch();
@@ -190,12 +241,13 @@ void BackupNode::PromoteAtBoundary() {
 
 void BackupNode::PromoteMidEpoch() {
   promoted_ = true;
-  solo_ = true;
+  active_ = true;
   promotion_time_ = hv_.clock();
   hv_.PurgeBufferedAfter(epoch_);
+  deferred_up_acks_.clear();
   FlushPendingRx();
   // Outstanding operations get their uncertain interrupts at the end of this
-  // (failover) epoch, per P7 — SoloBoundary handles it.
+  // (failover) epoch, per P7 — ActiveBoundary handles it.
 }
 
 void BackupNode::FlushPendingRx() {
@@ -206,6 +258,17 @@ void BackupNode::FlushPendingRx() {
     vi.rx_char = pending_rx_.front();
     pending_rx_.pop_front();
     hv_.BufferInterrupt(vi);
+    if (replicating_down()) {
+      Message relay;
+      relay.type = MsgType::kInterrupt;
+      relay.epoch = epoch_;
+      relay.irq_lines = kIrqConsoleRx;
+      IoCompletionPayload payload;  // RX carries its character in result_code.
+      payload.device_irq = kIrqConsoleRx;
+      payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(vi.rx_char));
+      relay.io = payload;
+      SendDown(std::move(relay));
+    }
   }
 }
 
@@ -213,37 +276,169 @@ void BackupNode::InjectConsoleRx(char c, SimTime t) {
   if (dead_ || halted_) {
     return;
   }
-  if (!solo_) {
+  if (!active_) {
     pending_rx_.push_back(c);
     return;
   }
-  if (hv_.clock() < t) {
-    hv_.SetClock(t);
-  }
+  CatchUpClock(t);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
   VirtualInterrupt vi;
   vi.irq_line = kIrqConsoleRx;
   vi.epoch = epoch_;
   vi.rx_char = c;
   hv_.BufferInterrupt(vi);
+  if (replicating_down()) {
+    Message relay;
+    relay.type = MsgType::kInterrupt;
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqConsoleRx;
+    IoCompletionPayload payload;
+    payload.device_irq = kIrqConsoleRx;
+    payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(c));
+    relay.io = payload;
+    SendDown(std::move(relay));
+  }
 }
 
-void BackupNode::SoloBoundary() {
+void BackupNode::ActiveBoundary() {
+  boundary_started_ = hv_.clock();
+  Phase(FailPhase::kBeforeSendTme);
+  if (dead_) {
+    return;
+  }
   hv_.AdvanceClock(costs_.epoch_boundary_fixed_cost);
+  active_tme_ = TodNow();
+  if (replicating_down()) {
+    Message msg;
+    msg.type = MsgType::kTimeSync;
+    msg.epoch = epoch_;
+    msg.tod_value = active_tme_;
+    SendDown(std::move(msg));
+  }
+  Phase(FailPhase::kAfterSendTme);
+  if (dead_) {
+    return;
+  }
+  if (replicating_down() && replication_.variant == ProtocolVariant::kOriginal &&
+      !AllDownAcked()) {
+    state_ = State::kAwaitDownAcks;
+    ack_wait_started_ = hv_.clock();
+    runnable_ = false;
+    return;
+  }
+  FinishActiveBoundary();
+}
+
+void BackupNode::FinishActiveBoundary() {
+  Phase(FailPhase::kAfterAckWait);
+  if (dead_) {
+    return;
+  }
   SynthesiseUncertainInterrupts();  // No-op except right after promotion.
-  DeliverForEpoch(TodNow());
+  DeliverForEpoch(active_tme_);
+  Phase(FailPhase::kAfterDeliver);
+  if (dead_) {
+    return;
+  }
+  if (replicating_down()) {
+    Message end;
+    end.type = MsgType::kEpochEnd;
+    end.epoch = epoch_;
+    SendDown(std::move(end));
+  }
+  Phase(FailPhase::kAfterSendEnd);
+  if (dead_) {
+    return;
+  }
+  stats_.boundary_time += hv_.clock() - boundary_started_;
   ++epoch_;
   ++stats_.epochs;
   hv_.BeginEpoch();
+  state_ = State::kRun;
+  runnable_ = true;
+}
+
+void BackupNode::HandleIoInitiation(const GuestIoCommand& io) {
+  Phase(FailPhase::kBeforeIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  if (replicating_down() && replication_.variant == ProtocolVariant::kRevised &&
+      !AllDownAcked()) {
+    // Output commit, primary role (section 4.3).
+    state_ = State::kIoAwaitDownAcks;
+    gated_io_ = io;
+    ack_wait_started_ = hv_.clock();
+    runnable_ = false;
+    return;
+  }
+  IssueRealIo(io);
+  Phase(FailPhase::kAfterIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  hv_.CompleteIoCommand();
+}
+
+void BackupNode::CompleteGatedIo() {
+  HBFT_CHECK(gated_io_.has_value());
+  stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+  GuestIoCommand io = *gated_io_;
+  gated_io_.reset();
+  state_ = State::kRun;
+  runnable_ = true;
+  IssueRealIo(io);
+  Phase(FailPhase::kAfterIoIssue, io.guest_op_seq);
+  if (dead_) {
+    return;
+  }
+  hv_.CompleteIoCommand();
+}
+
+void BackupNode::RelayDownstream(const Message& msg) {
+  Message copy = msg;  // The channel re-assigns the sequence number.
+  SendDown(std::move(copy));
+  ++stats_.relays_forwarded;
+}
+
+void BackupNode::ReleaseDeferredAcks() {
+  // The i-th relay sent downstream releases the i-th deferred upstream ack
+  // (both channels are FIFO, and while this node is passive every downstream
+  // send is a relay).
+  while (!deferred_up_acks_.empty() && deferred_released_ < down_acked_count_) {
+    uint64_t seq = deferred_up_acks_.front();
+    deferred_up_acks_.pop_front();
+    ++deferred_released_;
+    SendAckUp(seq);
+  }
 }
 
 void BackupNode::OnMessage(const Message& msg, SimTime now) {
   if (dead_) {
     return;
   }
-  if (hv_.clock() < now) {
-    hv_.SetClock(now);
+  CatchUpClock(now);
+
+  if (msg.type == MsgType::kAck) {
+    // Acknowledgment from this node's own downstream backup.
+    hv_.AdvanceClock(costs_.ack_receive_cpu_cost);
+    ++stats_.messages_received;
+    ++stats_.acks_received;
+    if (msg.ack_seq + 1 > down_acked_count_) {
+      down_acked_count_ = msg.ack_seq + 1;
+    }
+    ReleaseDeferredAcks();
+    if (state_ == State::kAwaitDownAcks && AllDownAcked()) {
+      stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+      state_ = State::kRun;
+      runnable_ = true;
+      FinishActiveBoundary();
+    } else if (state_ == State::kIoAwaitDownAcks && AllDownAcked()) {
+      CompleteGatedIo();
+    }
+    return;
   }
+
   hv_.AdvanceClock(costs_.msg_receive_cpu_cost);
   ++stats_.messages_received;
 
@@ -270,10 +465,22 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
       ++ends_received_;
       break;
     case MsgType::kAck:
-      HBFT_CHECK(false) << "backup received an ack";
+      break;  // Handled above.
   }
 
-  SendAck(msg.seq);  // P4.
+  if (replicating_down()) {
+    // Chain: pass the protocol stream on, and ack upstream only once the
+    // downstream backup has acknowledged the relay (cascaded acks), so the
+    // primary's output-commit wait covers every surviving replica.
+    RelayDownstream(msg);
+    if (msg.type == MsgType::kEnvValue) {
+      HBFT_CHECK_EQ(msg.env_seq, down_env_seq_);
+      ++down_env_seq_;
+    }
+    deferred_up_acks_.push_back(msg.seq);
+  } else {
+    SendAckUp(msg.seq);  // P4.
+  }
 
   // Unblock protocol waits satisfied by this message.
   if (state_ == State::kStallTod) {
@@ -283,11 +490,11 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
   }
 }
 
-void BackupNode::SendAck(uint64_t seq) {
+void BackupNode::SendAckUp(uint64_t seq) {
   Message ack;
   ack.type = MsgType::kAck;
   ack.ack_seq = seq;
-  SendToPeer(std::move(ack));
+  SendUp(std::move(ack));
 }
 
 void BackupNode::OnFailureDetected(SimTime t) {
@@ -295,9 +502,7 @@ void BackupNode::OnFailureDetected(SimTime t) {
     return;
   }
   failure_detected_ = true;
-  if (hv_.clock() < t) {
-    hv_.SetClock(t);
-  }
+  CatchUpClock(t);
   if (state_ == State::kStallTod) {
     ServeTodRead();
   } else if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
@@ -305,17 +510,39 @@ void BackupNode::OnFailureDetected(SimTime t) {
   }
 }
 
+void BackupNode::OnDownstreamFailureDetected(SimTime t) {
+  if (dead_ || halted_ || down_lost_) {
+    return;
+  }
+  down_lost_ = true;
+  CatchUpClock(t);
+  // Upstream acknowledgments deferred on the dead node's acks must go out
+  // now or the primary stalls forever; one cumulative ack suffices.
+  if (!deferred_up_acks_.empty()) {
+    uint64_t last = deferred_up_acks_.back();
+    deferred_up_acks_.clear();
+    SendAckUp(last);
+  }
+  // Release any active-role wait on the dead node's acknowledgments.
+  if (state_ == State::kAwaitDownAcks) {
+    stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
+    state_ = State::kRun;
+    runnable_ = true;
+    FinishActiveBoundary();
+  } else if (state_ == State::kIoAwaitDownAcks) {
+    CompleteGatedIo();
+  }
+}
+
 void BackupNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
-  // Solo mode only: the backup is now the system's primary.
-  HBFT_CHECK(solo_);
+  // Active (promoted) role only: this node now drives the real devices.
+  HBFT_CHECK(active_);
   auto it = pending_disk_.find(disk_op_id);
   HBFT_CHECK(it != pending_disk_.end());
   GuestIoCommand io = it->second;
   pending_disk_.erase(it);
 
-  if (hv_.clock() < event_time) {
-    hv_.SetClock(event_time);
-  }
+  CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
 
   Disk::Completion completion = disk_->Complete(disk_op_id);
@@ -332,15 +559,22 @@ void BackupNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
   VirtualInterrupt vi;
   vi.irq_line = kIrqDisk;
   vi.epoch = epoch_;
-  vi.io = std::move(payload);
+  vi.io = payload;
   hv_.BufferInterrupt(vi);
+
+  if (replicating_down()) {
+    Message relay;  // P1, primary role.
+    relay.type = MsgType::kInterrupt;
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqDisk;
+    relay.io = std::move(payload);
+    SendDown(std::move(relay));
+  }
 }
 
 void BackupNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
-  HBFT_CHECK(solo_);
-  if (hv_.clock() < event_time) {
-    hv_.SetClock(event_time);
-  }
+  HBFT_CHECK(active_);
+  CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
   IoCompletionPayload payload;
   payload.device_irq = kIrqConsoleTx;
@@ -351,6 +585,15 @@ void BackupNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) 
   vi.epoch = epoch_;
   vi.io = payload;
   hv_.BufferInterrupt(vi);
+
+  if (replicating_down()) {
+    Message relay;
+    relay.type = MsgType::kInterrupt;
+    relay.epoch = epoch_;
+    relay.irq_lines = kIrqConsoleTx;
+    relay.io = std::move(payload);
+    SendDown(std::move(relay));
+  }
 }
 
 }  // namespace hbft

@@ -9,6 +9,11 @@
 // forwarded stream in order; if a value has not arrived the backup stalls —
 // mirroring the Environment Instruction Assumption.
 //
+// Chain role: a backup that itself has a backup relays every protocol
+// message it receives downstream verbatim, and defers its upstream
+// acknowledgment until the relay is acknowledged below (cascaded acks), so
+// the primary's output-commit wait covers the whole chain.
+//
 // Failover:
 //   * If the failure detector fires while the backup waits at an epoch
 //     boundary (P6): deliver what was buffered for the epoch, synthesise
@@ -21,13 +26,19 @@
 //   * Forwarded environment values that arrived before the crash are still
 //     consumed after promotion: the dead primary may have performed I/O whose
 //     effects depended on them.
-// After promotion the backup behaves as an unreplicated primary ("solo"):
-// real devices, local clock, interrupts still delivered at epoch boundaries.
+// After promotion the backup is the system's active replica: real devices,
+// local clock, interrupts still delivered at epoch boundaries. If it has a
+// backup of its own it re-protects itself by running the primary's rules
+// P1/P2 against it — channel FIFO order guarantees the downstream node's
+// buffered state holds nothing beyond the failover epoch, so the promoted
+// node's own [Tme]/[end, E] simply continue the stream; otherwise it runs
+// solo.
 #ifndef HBFT_CORE_BACKUP_HPP_
 #define HBFT_CORE_BACKUP_HPP_
 
 #include <deque>
 #include <map>
+#include <optional>
 
 #include "core/protocol.hpp"
 
@@ -39,12 +50,17 @@ class BackupNode : public ReplicaNodeBase {
 
   void RunSlice(SimTime until) override;
 
-  // Failure-detector notification (timeout after the channel drained).
+  // Failure-detector notification: this node's upstream (the active replica)
+  // died; its channel drained and the timeout elapsed.
   void OnFailureDetected(SimTime t);
 
-  // Console input arriving after the primary died. Queued until promotion
-  // (the replication invariant forbids locally-sourced interrupts before
-  // then), delivered like any RX interrupt afterwards.
+  // This node's own downstream backup died: stop relaying, flush deferred
+  // upstream acknowledgments, release any wait on the dead node's acks.
+  void OnDownstreamFailureDetected(SimTime t) override;
+
+  // Console input arriving after the active replica died. Queued until
+  // promotion (the replication invariant forbids locally-sourced interrupts
+  // before then), delivered like any RX interrupt afterwards.
   void InjectConsoleRx(char c, SimTime t);
 
   bool promoted() const { return promoted_; }
@@ -53,28 +69,41 @@ class BackupNode : public ReplicaNodeBase {
  private:
   enum class State {
     kRun,
-    kStallTod,   // Mid-epoch, awaiting a forwarded environment value.
-    kAwaitTme,   // P5: epoch done, awaiting [Tme_p].
-    kAwaitEnd,   // P5: clocks synced, awaiting [end, E].
+    kStallTod,        // Mid-epoch, awaiting a forwarded environment value.
+    kAwaitTme,        // P5: epoch done, awaiting [Tme_p].
+    kAwaitEnd,        // P5: clocks synced, awaiting [end, E].
+    kAwaitDownAcks,   // Active, original protocol: P2 ack wait (downstream).
+    kIoAwaitDownAcks, // Active, revised protocol: output commit before I/O.
   };
 
   void OnMessage(const Message& msg, SimTime now) override;
   void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
   void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
 
-  void SendAck(uint64_t seq);
+  // Whether this node still replicates to a live downstream backup.
+  bool replicating_down() const { return down_out_ != nullptr && !down_lost_; }
+
+  void SendAckUp(uint64_t seq);
+  void RelayDownstream(const Message& msg);
+  void ReleaseDeferredAcks();
   void TryAdvanceBoundary();
   void ServeTodRead();
+  void ServeTodLocally();
   void PromoteAtBoundary();
   void PromoteMidEpoch();
+  void BeginDownstreamReprotection(uint64_t keep_tmes);
   void SynthesiseUncertainInterrupts();
-  void SoloBoundary();
+  void ActiveBoundary();
+  void FinishActiveBoundary();
+  void HandleIoInitiation(const GuestIoCommand& io);
+  void CompleteGatedIo();
   void FlushPendingRx();
   uint32_t DeliverForEpoch(uint64_t tme);
 
   State state_ = State::kRun;
   bool promoted_ = false;
-  bool solo_ = false;
+  bool active_ = false;     // Drives real devices, serves environment locally.
+  bool down_lost_ = false;  // Own backup died: no more relaying.
   bool failure_detected_ = false;
   SimTime promotion_time_ = SimTime::Zero();
 
@@ -87,6 +116,22 @@ class BackupNode : public ReplicaNodeBase {
   uint64_t ends_received_ = 0;  // Count of [end, E] messages (E = 0,1,2,...).
   uint64_t boundary_tme_ = 0;
   bool boundary_tme_valid_ = false;
+
+  // Cascaded acknowledgments: upstream sequence numbers whose ack waits for
+  // the corresponding relay's downstream ack (FIFO on both channels, so the
+  // i-th outstanding relay releases the front entry).
+  std::deque<uint64_t> deferred_up_acks_;
+  uint64_t deferred_released_ = 0;  // Relays whose upstream ack went out.
+
+  // Environment values forwarded downstream (continues the dead primary's
+  // numbering after promotion).
+  uint64_t down_env_seq_ = 0;
+
+  // Active-role boundary/IO state (mirrors PrimaryNode).
+  uint64_t active_tme_ = 0;
+  SimTime boundary_started_ = SimTime::Zero();
+  SimTime ack_wait_started_ = SimTime::Zero();
+  std::optional<GuestIoCommand> gated_io_;
 
   // I/O initiations executed (and suppressed) but whose completion has not
   // been delivered: candidates for P7 uncertain interrupts.

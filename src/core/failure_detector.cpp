@@ -2,10 +2,12 @@
 
 namespace hbft {
 
-SimTime FailureDetector::DetectionTime(const Channel& primary_to_backup, SimTime crash_time,
+SimTime FailureDetector::DetectionTime(const Channel& dead_to_survivor, SimTime crash_time,
                                        SimTime timeout) {
-  SimTime drain = primary_to_backup.DrainTime();
-  SimTime base = drain > crash_time ? drain : crash_time;
+  SimTime base = crash_time;
+  if (auto drain = dead_to_survivor.LastPendingArrival(); drain.has_value() && *drain > base) {
+    base = *drain;
+  }
   return base + timeout;
 }
 

@@ -4,8 +4,8 @@
 // executing the backup detects the primary's processor failure only after
 // receiving the last message sent by the primary's hypervisor (as would be
 // the case were timeouts used for failure detection)". This helper computes
-// the detection instant under that assumption: all in-flight messages drain,
-// then a timeout elapses.
+// the detection instant under that assumption: messages still in flight
+// drain, then a timeout elapses.
 #ifndef HBFT_CORE_FAILURE_DETECTOR_HPP_
 #define HBFT_CORE_FAILURE_DETECTOR_HPP_
 
@@ -16,10 +16,16 @@ namespace hbft {
 
 class FailureDetector {
  public:
-  // When the backup becomes certain the primary is gone: after the channel's
-  // last in-flight message arrives (never before the crash itself), plus the
-  // detection timeout.
-  static SimTime DetectionTime(const Channel& primary_to_backup, SimTime crash_time,
+  // When the survivor becomes certain its peer is gone: after the last
+  // message still in flight on the dead node's outbound channel arrives
+  // (never before the crash itself), plus the detection timeout.
+  //
+  // `dead_to_survivor` is the channel of the *current* active pair — from
+  // the crashed node to whichever replica watches it (the next surviving
+  // backup in a chain, or the primary when a backup dies). If nothing is in
+  // flight at the crash, detection counts from the crash instant: a message
+  // that was already delivered must not postpone detection.
+  static SimTime DetectionTime(const Channel& dead_to_survivor, SimTime crash_time,
                                SimTime timeout);
 };
 

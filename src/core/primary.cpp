@@ -5,12 +5,6 @@
 
 namespace hbft {
 
-void PrimaryNode::Phase(FailPhase phase, uint64_t io_seq) {
-  if (phase_hook_) {
-    phase_hook_(phase, epoch_, io_seq);
-  }
-}
-
 void PrimaryNode::RunSlice(SimTime until) {
   while (!dead_ && !halted_ && runnable_ && hv_.clock() < until) {
     if (state_ != State::kRun) {
@@ -44,7 +38,7 @@ void PrimaryNode::RunSlice(SimTime until) {
           msg.epoch = epoch_;
           msg.env_seq = env_seq_++;
           msg.env_value = value;
-          SendToPeer(std::move(msg));
+          SendDown(std::move(msg));
           ++stats_.env_values;
         }
         hv_.CompleteTodRead(value);
@@ -71,7 +65,7 @@ void PrimaryNode::HandleIoInitiation(const GuestIoCommand& io) {
   if (dead_) {
     return;
   }
-  if (!solo_ && replication_.variant == ProtocolVariant::kRevised && !AllAcked()) {
+  if (!solo_ && replication_.variant == ProtocolVariant::kRevised && !AllDownAcked()) {
     // Output commit: the environment must not observe effects that depend on
     // messages the backup has not confirmed (section 4.3).
     state_ = State::kIoAwaitAcks;
@@ -117,13 +111,13 @@ void PrimaryNode::StartBoundary() {
     msg.type = MsgType::kTimeSync;
     msg.epoch = epoch_;
     msg.tod_value = boundary_tme_;
-    SendToPeer(std::move(msg));
+    SendDown(std::move(msg));
   }
   Phase(FailPhase::kAfterSendTme);
   if (dead_) {
     return;
   }
-  if (!solo_ && replication_.variant == ProtocolVariant::kOriginal && !AllAcked()) {
+  if (!solo_ && replication_.variant == ProtocolVariant::kOriginal && !AllDownAcked()) {
     state_ = State::kBoundaryAwaitAcks;
     ack_wait_started_ = hv_.clock();
     runnable_ = false;
@@ -146,7 +140,7 @@ void PrimaryNode::FinishBoundary() {
     Message end;
     end.type = MsgType::kEpochEnd;
     end.epoch = epoch_;
-    SendToPeer(std::move(end));
+    SendDown(std::move(end));
   }
   Phase(FailPhase::kAfterSendEnd);
   if (dead_) {
@@ -166,22 +160,20 @@ void PrimaryNode::OnMessage(const Message& msg, SimTime now) {
   }
   // Clock: the node handles the arrival no earlier than `now`, and pays the
   // (cheap) ack-processing interrupt.
-  if (hv_.clock() < now) {
-    hv_.SetClock(now);
-  }
+  CatchUpClock(now);
   hv_.AdvanceClock(costs_.ack_receive_cpu_cost);
   ++stats_.messages_received;
   HBFT_CHECK(msg.type == MsgType::kAck) << "primary received non-ack message";
   ++stats_.acks_received;
-  if (msg.ack_seq + 1 > acked_count_) {
-    acked_count_ = msg.ack_seq + 1;
+  if (msg.ack_seq + 1 > down_acked_count_) {
+    down_acked_count_ = msg.ack_seq + 1;
   }
-  if (state_ == State::kBoundaryAwaitAcks && AllAcked()) {
+  if (state_ == State::kBoundaryAwaitAcks && AllDownAcked()) {
     stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
     state_ = State::kRun;
     runnable_ = true;
     FinishBoundary();
-  } else if (state_ == State::kIoAwaitAcks && AllAcked()) {
+  } else if (state_ == State::kIoAwaitAcks && AllDownAcked()) {
     CompleteGatedIo();
   }
 }
@@ -192,9 +184,7 @@ void PrimaryNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) 
   GuestIoCommand io = it->second;
   pending_disk_.erase(it);
 
-  if (hv_.clock() < event_time) {
-    hv_.SetClock(event_time);
-  }
+  CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);  // Host interrupt entry.
 
   Disk::Completion completion = disk_->Complete(disk_op_id);
@@ -222,14 +212,12 @@ void PrimaryNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) 
     relay.epoch = epoch_;
     relay.irq_lines = kIrqDisk;
     relay.io = std::move(payload);
-    SendToPeer(std::move(relay));
+    SendDown(std::move(relay));
   }
 }
 
 void PrimaryNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
-  if (hv_.clock() < event_time) {
-    hv_.SetClock(event_time);
-  }
+  CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
 
   IoCompletionPayload payload;
@@ -249,7 +237,7 @@ void PrimaryNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time)
     relay.epoch = epoch_;
     relay.irq_lines = kIrqConsoleTx;
     relay.io = std::move(payload);
-    SendToPeer(std::move(relay));
+    SendDown(std::move(relay));
   }
 }
 
@@ -257,9 +245,7 @@ void PrimaryNode::InjectConsoleRx(char c, SimTime t) {
   if (dead_ || halted_) {
     return;
   }
-  if (hv_.clock() < t) {
-    hv_.SetClock(t);
-  }
+  CatchUpClock(t);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
 
   VirtualInterrupt vi;
@@ -277,18 +263,16 @@ void PrimaryNode::InjectConsoleRx(char c, SimTime t) {
     payload.device_irq = kIrqConsoleRx;
     payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(c));
     relay.io = payload;
-    SendToPeer(std::move(relay));
+    SendDown(std::move(relay));
   }
 }
 
-void PrimaryNode::OnBackupFailureDetected(SimTime t) {
+void PrimaryNode::OnDownstreamFailureDetected(SimTime t) {
   if (dead_ || halted_ || solo_) {
     return;
   }
   solo_ = true;
-  if (hv_.clock() < t) {
-    hv_.SetClock(t);
-  }
+  CatchUpClock(t);
   // Release any wait that depended on the dead backup's acknowledgments.
   if (state_ == State::kBoundaryAwaitAcks) {
     stats_.ack_wait_time += hv_.clock() - ack_wait_started_;

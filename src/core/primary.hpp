@@ -1,7 +1,7 @@
 // The primary replica: rules P1 and P2 of the paper's protocol.
 //
 // The primary runs the guest under its hypervisor, simulates environment
-// instructions against the real environment (forwarding every value to the
+// instructions against the real environment (forwarding every value to its
 // backup), drives the real devices, relays received interrupts as [E, Int]
 // messages, and at each epoch boundary runs P2:
 //
@@ -14,7 +14,9 @@
 // Under the revised protocol (section 4.3) the boundary ack wait is dropped;
 // instead any device interaction blocks until everything sent is acked
 // (output commit), preserving the invariant that nothing the environment can
-// observe depends on state the backup might not reach.
+// observe depends on state the backup might not reach. In a backup chain the
+// first backup defers its acknowledgment until its own backup has
+// acknowledged the relay, so the same wait covers the whole chain.
 #ifndef HBFT_CORE_PRIMARY_HPP_
 #define HBFT_CORE_PRIMARY_HPP_
 
@@ -31,26 +33,17 @@ class PrimaryNode : public ReplicaNodeBase {
 
   void RunSlice(SimTime until) override;
 
-  // Backup-failure notification: n=2 tolerates one fault, and that fault may
-  // be the backup's. The primary stops replicating (no more relays or ack
-  // waits) and continues as an unreplicated machine — the paper's "replacing
-  // the backup is orthogonal" case.
-  void OnBackupFailureDetected(SimTime t);
+  // Backup-failure notification: the fault may hit a backup instead of the
+  // primary. The primary stops replicating (no more relays or ack waits) and
+  // continues as an unreplicated machine — the paper's "replacing the backup
+  // is orthogonal" case.
+  void OnDownstreamFailureDetected(SimTime t) override;
 
   bool solo() const { return solo_; }
 
   // Console input arriving from the environment (remote console): buffered
   // as an RX interrupt and relayed like any device interrupt.
   void InjectConsoleRx(char c, SimTime t);
-
-  // Failure-injection hook, fired at each protocol phase with the current
-  // epoch and the guest I/O sequence number (0 outside I/O phases).
-  void set_phase_hook(std::function<void(FailPhase, uint64_t, uint64_t)> hook) {
-    phase_hook_ = std::move(hook);
-  }
-
-  // World wiring for crash resolution.
-  Channel* outbound_channel() { return out_; }
 
  private:
   enum class State {
@@ -63,7 +56,6 @@ class PrimaryNode : public ReplicaNodeBase {
   void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
   void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
 
-  void Phase(FailPhase phase, uint64_t io_seq = 0);
   void StartBoundary();
   void FinishBoundary();
   void HandleIoInitiation(const GuestIoCommand& io);
@@ -76,7 +68,6 @@ class PrimaryNode : public ReplicaNodeBase {
   std::optional<GuestIoCommand> gated_io_;
   SimTime ack_wait_started_ = SimTime::Zero();
   uint64_t env_seq_ = 0;
-  std::function<void(FailPhase, uint64_t, uint64_t)> phase_hook_;
 };
 
 }  // namespace hbft

@@ -32,7 +32,7 @@ namespace {
 MachineConfig WithHostFirst(MachineConfig config, int node_id) {
   config.trap_mode = TrapMode::kHostFirst;
   // Per-machine hardware nondeterminism (TLB victim choice) is seeded by the
-  // node id — different on primary and backup, as on real hardware.
+  // node id — different on every replica, as on real hardware.
   config.machine_seed = config.machine_seed * 1000003ULL + static_cast<uint64_t>(node_id) + 1;
   return config;
 }
@@ -49,7 +49,7 @@ HypervisorConfig HvConfigFrom(const ReplicationConfig& replication) {
 ReplicaNodeBase::ReplicaNodeBase(int id, const GuestProgram& guest,
                                  const MachineConfig& machine_config,
                                  const ReplicationConfig& replication, const CostModel& costs,
-                                 Disk* disk, Console* console, Channel* out, Channel* in,
+                                 Disk* disk, Console* console, const NodeLinks& links,
                                  EventScheduler* scheduler)
     : id_(id),
       replication_(replication),
@@ -57,8 +57,10 @@ ReplicaNodeBase::ReplicaNodeBase(int id, const GuestProgram& guest,
       hv_(WithHostFirst(machine_config, id), HvConfigFrom(replication), costs),
       disk_(disk),
       console_(console),
-      out_(out),
-      in_(in),
+      up_in_(links.up_in),
+      up_out_(links.up_out),
+      down_out_(links.down_out),
+      down_in_(links.down_in),
       scheduler_(scheduler) {
   HBFT_CHECK(guest.image != nullptr);
   hv_.machine().LoadImage(*guest.image);
@@ -84,20 +86,51 @@ void ReplicaNodeBase::PollIncoming(SimTime now) {
   if (dead_) {
     return;
   }
-  while (auto msg = in_->Receive(now)) {
+  // Merge the two inbound channels by arrival time (upstream first on ties,
+  // deterministically).
+  while (true) {
+    std::optional<SimTime> up = up_in_ != nullptr ? up_in_->NextArrival() : std::nullopt;
+    std::optional<SimTime> down = down_in_ != nullptr ? down_in_->NextArrival() : std::nullopt;
+    Channel* source = nullptr;
+    if (up.has_value() && *up <= now && (!down.has_value() || *up <= *down)) {
+      source = up_in_;
+    } else if (down.has_value() && *down <= now) {
+      source = down_in_;
+    } else {
+      return;
+    }
+    auto msg = source->Receive(now);
+    HBFT_CHECK(msg.has_value());
     OnMessage(*msg, now);
+    if (dead_) {
+      return;
+    }
   }
 }
 
-void ReplicaNodeBase::SendToPeer(Message msg) {
+void ReplicaNodeBase::SendDown(Message msg) {
+  HBFT_CHECK(down_out_ != nullptr);
   hv_.AdvanceClock(costs_.msg_send_cpu_cost);
-  auto arrival = out_->Send(std::move(msg), hv_.clock());
+  auto arrival = down_out_->Send(std::move(msg), hv_.clock());
   if (!arrival.has_value()) {
-    return;  // Channel broken: the message vanishes with the sender.
+    return;  // Channel broken: the message vanishes with the receiver.
   }
   ++stats_.messages_sent;
-  if (schedule_peer_poll_) {
-    schedule_peer_poll_(*arrival);
+  if (schedule_down_poll_) {
+    schedule_down_poll_(*arrival);
+  }
+}
+
+void ReplicaNodeBase::SendUp(Message msg) {
+  HBFT_CHECK(up_out_ != nullptr);
+  hv_.AdvanceClock(costs_.msg_send_cpu_cost);
+  auto arrival = up_out_->Send(std::move(msg), hv_.clock());
+  if (!arrival.has_value()) {
+    return;
+  }
+  ++stats_.messages_sent;
+  if (schedule_up_poll_) {
+    schedule_up_poll_(*arrival);
   }
 }
 

@@ -20,6 +20,15 @@
 // The revised protocol of section 4.3 ("New" in Table 1) drops the ack wait
 // in P2 and instead gates every device interaction on all-acked (output
 // commit): ProtocolVariant::kRevised.
+//
+// Chain extension (beyond the paper's pair): replicas form a chain
+// primary -> backup_1 -> ... -> backup_k. Each interior backup relays the
+// protocol stream it receives to its own backup and defers its upstream
+// acknowledgment until the relay is acknowledged downstream, so the
+// output-commit guarantee holds transitively: nothing the environment can
+// observe depends on state that any surviving backup might not reach. A
+// promoted backup re-protects itself by continuing to replicate to its own
+// backup (rules P1/P2 with itself in the primary role).
 #ifndef HBFT_CORE_PROTOCOL_HPP_
 #define HBFT_CORE_PROTOCOL_HPP_
 
@@ -46,7 +55,7 @@ struct ReplicationConfig {
   ProtocolVariant variant = ProtocolVariant::kOriginal;
   bool tlb_takeover = true;
   // Record a virtual-machine state fingerprint at every epoch boundary on
-  // both replicas (lockstep audit; used by tests, off for benchmarks).
+  // all replicas (lockstep audit; used by tests, off for benchmarks).
   bool audit_lockstep = false;
 };
 
@@ -83,7 +92,8 @@ class NodeActor {
   virtual bool dead() const = 0;
 };
 
-// Protocol phases at which a failure can be injected (primary side).
+// Protocol phases at which a failure can be injected, fired by whichever
+// replica currently drives the devices (the primary, or a promoted backup).
 enum class FailPhase {
   kNone,
   kBeforeSendTme,   // Epoch complete, [Tme_p] not yet sent.
@@ -97,14 +107,24 @@ enum class FailPhase {
 
 const char* FailPhaseName(FailPhase phase);
 
+// A replica's place in the chain: the channels to its neighbours. Every
+// field may be null — the primary has no upstream, the last backup has no
+// downstream, and a pair degenerates to exactly the paper's topology.
+struct NodeLinks {
+  Channel* up_in = nullptr;     // Protocol stream from the upstream replica.
+  Channel* up_out = nullptr;    // Acknowledgments to the upstream replica.
+  Channel* down_out = nullptr;  // Protocol stream to the downstream replica.
+  Channel* down_in = nullptr;   // Acknowledgments from the downstream replica.
+};
+
 // Shared machinery for primary and backup replicas: the hypervisor, channel
 // endpoints, real-device access, and bookkeeping. "Real device" methods are
-// used by the primary from the start and by the backup after promotion.
+// used by the primary from the start and by a backup after promotion.
 class ReplicaNodeBase : public NodeActor {
  public:
   ReplicaNodeBase(int id, const GuestProgram& guest, const MachineConfig& machine_config,
                   const ReplicationConfig& replication, const CostModel& costs, Disk* disk,
-                  Console* console, Channel* out, Channel* in, EventScheduler* scheduler);
+                  Console* console, const NodeLinks& links, EventScheduler* scheduler);
   ~ReplicaNodeBase() override = default;
 
   SimTime clock() const override { return hv_.clock(); }
@@ -115,25 +135,39 @@ class ReplicaNodeBase : public NodeActor {
   Hypervisor& hypervisor() { return hv_; }
   const Hypervisor& hypervisor() const { return hv_; }
   uint64_t epoch() const { return epoch_; }
+  int id() const { return id_; }
 
   // Pending real-device operations (world resolves them at a crash).
   std::vector<uint64_t> PendingDiskOps() const;
 
-  // Wired by the world: delivers queued channel messages to this node.
+  // Wired by the world: delivers queued channel messages to this node,
+  // merging the upstream protocol stream and downstream acknowledgments in
+  // arrival order.
   void PollIncoming(SimTime now);
 
-  // Fail-stop crash: the node stops executing and its outbound channel
-  // breaks; messages already sent still arrive (paper failure model).
+  // Fail-stop crash: the node stops executing and its outbound channels
+  // break; messages already sent still arrive (paper failure model).
   void Kill(SimTime t) {
     dead_ = true;
     runnable_ = false;
-    out_->Break(t);
+    if (up_out_ != nullptr) {
+      up_out_->Break(t);
+    }
+    if (down_out_ != nullptr) {
+      down_out_->Break(t);
+    }
   }
+
+  // The world's notification that this node's downstream backup died (the
+  // failure detector saw its acknowledgments stop). The node stops
+  // replicating downstream and releases any wait on the dead node's acks.
+  virtual void OnDownstreamFailureDetected(SimTime t) = 0;
 
   struct Stats {
     uint64_t messages_sent = 0;
     uint64_t messages_received = 0;
     uint64_t acks_received = 0;
+    uint64_t relays_forwarded = 0;
     uint64_t env_values = 0;
     uint64_t io_issued = 0;
     uint64_t io_suppressed = 0;
@@ -145,14 +179,38 @@ class ReplicaNodeBase : public NodeActor {
   const Stats& stats() const { return stats_; }
 
   // Lockstep audit trail: one VM-state fingerprint per completed epoch
-  // boundary, recorded at the identical instruction-stream point on both
+  // boundary, recorded at the identical instruction-stream point on all
   // replicas (requires ReplicationConfig::audit_lockstep).
   const std::vector<uint64_t>& boundary_fingerprints() const { return boundary_fingerprints_; }
 
+  // Failure-injection hook, fired at each protocol phase of the node that
+  // currently drives the devices, with the current epoch and the guest I/O
+  // sequence number (0 outside I/O phases).
+  void set_phase_hook(std::function<void(FailPhase, uint64_t, uint64_t)> hook) {
+    phase_hook_ = std::move(hook);
+  }
+
+  // World wiring: wakes the neighbour so it polls at a message's arrival.
+  void set_schedule_down_poll(std::function<void(SimTime)> fn) {
+    schedule_down_poll_ = std::move(fn);
+  }
+  void set_schedule_up_poll(std::function<void(SimTime)> fn) {
+    schedule_up_poll_ = std::move(fn);
+  }
+
  protected:
-  // Sends a protocol message to the peer, charging CPU cost and scheduling
-  // the peer's poll at the arrival time.
-  void SendToPeer(Message msg);
+  // Sends a protocol message downstream (primary role), charging CPU cost
+  // and scheduling the downstream node's poll at the arrival time.
+  void SendDown(Message msg);
+
+  // Sends a message upstream (acknowledgments), same accounting.
+  void SendUp(Message msg);
+
+  void Phase(FailPhase phase, uint64_t io_seq = 0) {
+    if (phase_hook_) {
+      phase_hook_(phase, epoch_, io_seq);
+    }
+  }
 
   // Issues a guest I/O command against the real devices; schedules the
   // completion event. Only the active replica calls this.
@@ -165,10 +223,14 @@ class ReplicaNodeBase : public NodeActor {
   // Handles a real console TX latch completion. Pure, as above.
   virtual void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) = 0;
 
-  // Called by subclasses when the peer must be woken; set by the world.
-  std::function<void(SimTime)> schedule_peer_poll_;
-
   uint64_t TodNow() const { return static_cast<uint64_t>(costs_.TodFromTime(hv_.clock())); }
+
+  // The node handles an event no earlier than its wall-clock instant.
+  void CatchUpClock(SimTime t) {
+    if (hv_.clock() < t) {
+      hv_.SetClock(t);
+    }
+  }
 
   int id_;
   ReplicationConfig replication_;
@@ -176,18 +238,26 @@ class ReplicaNodeBase : public NodeActor {
   Hypervisor hv_;
   Disk* disk_;
   Console* console_;
-  Channel* out_;
-  Channel* in_;
+  Channel* up_in_;
+  Channel* up_out_;
+  Channel* down_out_;
+  Channel* down_in_;
   EventScheduler* scheduler_;
+  std::function<void(SimTime)> schedule_down_poll_;
+  std::function<void(SimTime)> schedule_up_poll_;
+  std::function<void(FailPhase, uint64_t, uint64_t)> phase_hook_;
 
   uint64_t epoch_ = 0;
   bool runnable_ = true;
   bool halted_ = false;
   bool dead_ = false;
 
-  // Ack accounting (paper P2/P4): out_->messages_sent() vs acks seen.
-  uint64_t acked_count_ = 0;
-  bool AllAcked() const { return acked_count_ >= out_->messages_sent(); }
+  // Downstream ack accounting (paper P2/P4): down_out_->messages_sent() vs
+  // acks seen on down_in_. Vacuously true without a downstream replica.
+  uint64_t down_acked_count_ = 0;
+  bool AllDownAcked() const {
+    return down_out_ == nullptr || down_acked_count_ >= down_out_->messages_sent();
+  }
 
   // In-flight real-device operations: disk op id -> initiating command.
   std::map<uint64_t, GuestIoCommand> pending_disk_;
@@ -204,12 +274,6 @@ class ReplicaNodeBase : public NodeActor {
  private:
   friend class World;
   virtual void OnMessage(const Message& msg, SimTime now) = 0;
-
- public:
-  // World wiring.
-  void set_schedule_peer_poll(std::function<void(SimTime)> fn) {
-    schedule_peer_poll_ = std::move(fn);
-  }
 };
 
 }  // namespace hbft

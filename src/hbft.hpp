@@ -4,7 +4,11 @@
 //
 //   #include "hbft.hpp"
 //   auto bare = hbft::RunBare(workload);
-//   auto ft   = hbft::RunReplicated(workload, options);
+//   auto ft   = hbft::Scenario::Replicated(workload)
+//                   .Backups(2)
+//                   .Epoch(8192)
+//                   .FailAtTime(hbft::SimTime::Millis(40))
+//                   .Run();
 //
 // The lower layers (machine, hypervisor, protocol engines, devices,
 // channels) are public too and independently usable — see README.md for the

@@ -72,4 +72,11 @@ std::optional<SimTime> Channel::NextArrival() const {
 
 SimTime Channel::DrainTime() const { return last_arrival_; }
 
+std::optional<SimTime> Channel::LastPendingArrival() const {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.back().arrival;
+}
+
 }  // namespace hbft

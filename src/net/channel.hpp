@@ -70,6 +70,11 @@ class Channel {
   // Time after which the receiver can have seen every message ever sent.
   SimTime DrainTime() const;
 
+  // Arrival time of the newest message still in flight (undelivered), if any.
+  // Unlike DrainTime(), an already-delivered history does not push this into
+  // the past-but-later-than-now: an empty queue means nothing is pending.
+  std::optional<SimTime> LastPendingArrival() const;
+
   const LinkModel& link() const { return link_; }
   uint64_t messages_sent() const { return next_seq_; }
   uint64_t bytes_sent() const { return bytes_sent_; }

@@ -1,54 +1,108 @@
 #include "sim/environment_observer.hpp"
 
+#include <functional>
 #include <sstream>
 
 namespace hbft {
 
 namespace {
 
-// Generic structure check: primary items must be reference[0..p); backup
-// items must be reference[j..n) with j <= p (overlap re-driven identically).
+// Chain-structure check: each segment (one replica's operations, in takeover
+// order) must equal a contiguous window of the reference; a window may start
+// anywhere at or before the previous coverage end (overlap = the re-driven
+// operations IO1/IO2 license) but never after it (a gap would mean lost
+// operations), and the final coverage must reach the end of the reference.
+//
+// Window placement can be ambiguous when a segment matches several reference
+// positions, so the check searches placements (latest-start first — minimal
+// overlap) with backtracking; traces are small.
+template <typename Item, typename Eq>
+bool MatchSegments(const std::vector<Item>& reference,
+                   const std::vector<std::vector<Item>>& segments, Eq eq, size_t seg_idx,
+                   size_t cover_end) {
+  const size_t n = reference.size();
+  if (seg_idx == segments.size()) {
+    return cover_end == n;
+  }
+  const std::vector<Item>& items = segments[seg_idx];
+  if (items.empty()) {
+    // This replica never touched the devices (killed while passive, or the
+    // run ended before its takeover did I/O): coverage is unchanged.
+    return MatchSegments(reference, segments, eq, seg_idx + 1, cover_end);
+  }
+  if (items.size() > n) {
+    return false;
+  }
+  size_t latest = cover_end < n - items.size() ? cover_end : n - items.size();
+  for (size_t start = latest + 1; start-- > 0;) {
+    bool match = true;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!eq(items[i], reference[start + i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      size_t end = start + items.size();
+      size_t new_cover = end > cover_end ? end : cover_end;
+      if (MatchSegments(reference, segments, eq, seg_idx + 1, new_cover)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Shared driver: split `observed` by issuer, check issuer interleaving
+// follows the chain order, then match windows against the reference.
 template <typename Item, typename Eq, typename Print>
-ConsistencyResult CheckSplit(const std::vector<Item>& reference,
-                             const std::vector<Item>& primary_items,
-                             const std::vector<Item>& backup_items, Eq eq, Print print) {
+ConsistencyResult CheckChain(const std::vector<Item>& reference, const std::vector<Item>& observed,
+                             const std::vector<int>& issuer_chain,
+                             const std::function<int(const Item&)>& issuer_of, Eq eq, Print print) {
   std::ostringstream detail;
-  size_t n = reference.size();
-  size_t p = primary_items.size();
-  if (p > n) {
-    detail << "primary produced " << p << " operations, reference only " << n;
+
+  // Ordering sanity: once a later replica in the chain has touched the
+  // devices, an earlier one must not (it only goes quiet or dies).
+  size_t furthest = 0;
+  for (const Item& e : observed) {
+    int issuer = issuer_of(e);
+    size_t pos = issuer_chain.size();
+    for (size_t i = 0; i < issuer_chain.size(); ++i) {
+      if (issuer_chain[i] == issuer) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == issuer_chain.size()) {
+      detail << "operation from unknown issuer " << issuer << ": " << print(e);
+      return {false, detail.str()};
+    }
+    if (pos < furthest) {
+      detail << "issuer " << issuer << " operated after its successor took over: " << print(e);
+      return {false, detail.str()};
+    }
+    furthest = pos > furthest ? pos : furthest;
+  }
+
+  std::vector<std::vector<Item>> segments(issuer_chain.size());
+  for (const Item& e : observed) {
+    int issuer = issuer_of(e);
+    for (size_t i = 0; i < issuer_chain.size(); ++i) {
+      if (issuer_chain[i] == issuer) {
+        segments[i].push_back(e);
+        break;
+      }
+    }
+  }
+
+  if (!MatchSegments(reference, segments, eq, 0, 0)) {
+    detail << "observed sequence is not a gap-free overlap chain of the reference ("
+           << reference.size() << " reference operations;";
+    for (size_t i = 0; i < segments.size(); ++i) {
+      detail << " issuer " << issuer_chain[i] << ": " << segments[i].size();
+    }
+    detail << ")";
     return {false, detail.str()};
-  }
-  for (size_t i = 0; i < p; ++i) {
-    if (!eq(primary_items[i], reference[i])) {
-      detail << "primary op " << i << " diverges from reference: got " << print(primary_items[i])
-             << ", want " << print(reference[i]);
-      return {false, detail.str()};
-    }
-  }
-  if (backup_items.empty()) {
-    if (p != n) {
-      detail << "no failover output but primary covered only " << p << " of " << n;
-      return {false, detail.str()};
-    }
-    return {true, ""};
-  }
-  if (backup_items.size() > n) {
-    std::ostringstream d2;
-    d2 << "backup produced " << backup_items.size() << " operations, reference only " << n;
-    return {false, d2.str()};
-  }
-  size_t j = n - backup_items.size();
-  if (j > p) {
-    detail << "gap in coverage: primary stopped at " << p << " but backup resumed at " << j;
-    return {false, detail.str()};
-  }
-  for (size_t i = 0; i < backup_items.size(); ++i) {
-    if (!eq(backup_items[i], reference[j + i])) {
-      detail << "backup op " << i << " (reference index " << (j + i)
-             << ") diverges: got " << print(backup_items[i]) << ", want " << print(reference[j + i]);
-      return {false, detail.str()};
-    }
   }
   return {true, ""};
 }
@@ -67,16 +121,6 @@ std::string DiskOpPrint(const DiskTraceEntry& e) {
   return out.str();
 }
 
-std::vector<DiskTraceEntry> PerformedBy(const std::vector<DiskTraceEntry>& trace, int issuer) {
-  std::vector<DiskTraceEntry> out;
-  for (const DiskTraceEntry& e : trace) {
-    if (e.performed && e.issuer == issuer) {
-      out.push_back(e);
-    }
-  }
-  return out;
-}
-
 std::vector<DiskTraceEntry> Performed(const std::vector<DiskTraceEntry>& trace) {
   std::vector<DiskTraceEntry> out;
   for (const DiskTraceEntry& e : trace) {
@@ -90,38 +134,36 @@ std::vector<DiskTraceEntry> Performed(const std::vector<DiskTraceEntry>& trace) 
 }  // namespace
 
 ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
+                                       const std::vector<DiskTraceEntry>& observed,
+                                       const std::vector<int>& issuer_chain) {
+  std::function<int(const DiskTraceEntry&)> issuer_of = [](const DiskTraceEntry& e) {
+    return e.issuer;
+  };
+  return CheckChain(Performed(reference), Performed(observed), issuer_chain, issuer_of, DiskOpEq,
+                    DiskOpPrint);
+}
+
+ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
+                                          const std::vector<ConsoleTraceEntry>& observed,
+                                          const std::vector<int>& issuer_chain) {
+  std::function<int(const ConsoleTraceEntry&)> issuer_of = [](const ConsoleTraceEntry& e) {
+    return e.issuer;
+  };
+  auto eq = [](const ConsoleTraceEntry& a, const ConsoleTraceEntry& b) { return a.ch == b.ch; };
+  auto print = [](const ConsoleTraceEntry& e) { return std::string(1, e.ch); };
+  return CheckChain(reference, observed, issuer_chain, issuer_of, eq, print);
+}
+
+ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
                                        const std::vector<DiskTraceEntry>& observed, int primary_id,
                                        int backup_id) {
-  // Ordering sanity: every backup operation must come after every primary
-  // operation (the backup only drives devices once promoted).
-  bool seen_backup = false;
-  for (const DiskTraceEntry& e : observed) {
-    if (e.issuer == backup_id) {
-      seen_backup = true;
-    } else if (e.issuer == primary_id && seen_backup) {
-      return {false, "primary operation observed after backup took over"};
-    }
-  }
-  return CheckSplit(Performed(reference), PerformedBy(observed, primary_id),
-                    PerformedBy(observed, backup_id), DiskOpEq, DiskOpPrint);
+  return CheckDiskConsistency(reference, observed, std::vector<int>{primary_id, backup_id});
 }
 
 ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
                                           const std::vector<ConsoleTraceEntry>& observed,
                                           int primary_id, int backup_id) {
-  auto by = [](const std::vector<ConsoleTraceEntry>& trace, int issuer) {
-    std::vector<ConsoleTraceEntry> out;
-    for (const ConsoleTraceEntry& e : trace) {
-      if (e.issuer == issuer) {
-        out.push_back(e);
-      }
-    }
-    return out;
-  };
-  auto eq = [](const ConsoleTraceEntry& a, const ConsoleTraceEntry& b) { return a.ch == b.ch; };
-  auto print = [](const ConsoleTraceEntry& e) { return std::string(1, e.ch); };
-  std::vector<ConsoleTraceEntry> ref_all = reference;
-  return CheckSplit(ref_all, by(observed, primary_id), by(observed, backup_id), eq, print);
+  return CheckConsoleConsistency(reference, observed, std::vector<int>{primary_id, backup_id});
 }
 
 }  // namespace hbft

@@ -14,6 +14,12 @@
 //     overlap (the re-driven window) — every overlap operation repeats the
 //     reference operation exactly, which is precisely the repetition IO1/IO2
 //     license.
+//
+// With a backup chain, the same structure holds per handover: each replica's
+// operations form a contiguous window of the reference sequence, windows
+// appear in takeover order, consecutive windows may overlap (the re-driven
+// operations) but never leave a gap, and together they cover the reference
+// exactly.
 #ifndef HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
 #define HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
 
@@ -30,13 +36,22 @@ struct ConsistencyResult {
   std::string detail;
 };
 
-// Disk-trace check. `primary_id`/`backup_id` identify the replicated run's
-// issuers; the reference trace may use any single issuer.
+// Disk-trace check against a replica chain: `issuer_chain` lists device
+// issuer ids in takeover order (ScenarioResult::issuer_chain()); the
+// reference trace may use any single issuer.
+ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
+                                       const std::vector<DiskTraceEntry>& observed,
+                                       const std::vector<int>& issuer_chain);
+
+// Console-output check with the same windowed-overlap structure.
+ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
+                                          const std::vector<ConsoleTraceEntry>& observed,
+                                          const std::vector<int>& issuer_chain);
+
+// Pair conveniences (a chain of exactly primary -> backup).
 ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
                                        const std::vector<DiskTraceEntry>& observed, int primary_id,
                                        int backup_id);
-
-// Console-output check with the same prefix/suffix-overlap structure.
 ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
                                           const std::vector<ConsoleTraceEntry>& observed,
                                           int primary_id, int backup_id);

@@ -7,21 +7,6 @@ namespace hbft {
 
 namespace {
 
-WorldConfig MakeWorldConfig(const ScenarioOptions& options) {
-  WorldConfig config;
-  config.costs = options.costs;
-  config.replication = options.replication;
-  config.machine.ram_bytes = options.ram_bytes;
-  config.machine.tlb_entries = options.tlb_entries;
-  config.machine.tlb_policy = options.tlb_policy;
-  config.machine.machine_seed = options.seed;
-  config.disk_blocks = options.disk_blocks;
-  config.seed = options.seed;
-  config.disk_faults = options.disk_faults;
-  config.max_time = options.max_time;
-  return config;
-}
-
 void ReadBackGuestState(Machine& machine, ScenarioResult* result) {
   const GuestImageBundle& bundle = GetGuestImage();
   PhysicalMemory& memory = machine.memory();
@@ -32,60 +17,232 @@ void ReadBackGuestState(Machine& machine, ScenarioResult* result) {
   result->ticks = memory.Read32(bundle.ticks_addr);
 }
 
-void FillCommon(World& world, const World::Outcome& outcome, ScenarioResult* result) {
-  result->completed = outcome.completed;
-  result->timed_out = outcome.timed_out;
-  result->deadlocked = outcome.deadlocked;
-  result->completion_time = outcome.completion_time;
-  result->promoted = outcome.promoted;
-  result->promotion_time = outcome.promotion_time;
-  result->crash_time = outcome.crash_time;
-  result->console_output = world.console().output();
-  result->console_trace = world.console().trace();
-  result->disk_trace = world.disk().trace();
-  ReadBackGuestState(world.active_machine(), result);
-}
-
 }  // namespace
 
-ScenarioResult RunBare(const WorkloadSpec& workload, const ScenarioOptions& options) {
-  const GuestImageBundle& bundle = GetGuestImage();
-  World world(bundle.program, MakeWorldConfig(options), /*replicated=*/false);
-  PatchWorkloadParams(&world.bare()->machine().memory(), workload);
-  if (!options.console_input.empty()) {
-    world.InjectConsoleInput(options.console_input, options.console_input_start,
-                             options.console_input_interval);
+const ReplicaNodeBase::Stats& ScenarioResult::primary_stats() const {
+  static const ReplicaNodeBase::Stats kEmpty;
+  return nodes.empty() ? kEmpty : nodes.front().stats;
+}
+
+const ReplicaNodeBase::Stats& ScenarioResult::backup_stats(size_t backup_index) const {
+  static const ReplicaNodeBase::Stats kEmpty;
+  return backup_index + 1 < nodes.size() ? nodes[backup_index + 1].stats : kEmpty;
+}
+
+const Hypervisor::Stats& ScenarioResult::primary_hv_stats() const {
+  static const Hypervisor::Stats kEmpty;
+  return nodes.empty() ? kEmpty : nodes.front().hv_stats;
+}
+
+const Hypervisor::Stats& ScenarioResult::backup_hv_stats(size_t backup_index) const {
+  static const Hypervisor::Stats kEmpty;
+  return backup_index + 1 < nodes.size() ? nodes[backup_index + 1].hv_stats : kEmpty;
+}
+
+const std::vector<uint64_t>& ScenarioResult::primary_boundary_fingerprints() const {
+  static const std::vector<uint64_t> kEmpty;
+  return nodes.empty() ? kEmpty : nodes.front().boundary_fingerprints;
+}
+
+const std::vector<uint64_t>& ScenarioResult::backup_boundary_fingerprints(
+    size_t backup_index) const {
+  static const std::vector<uint64_t> kEmpty;
+  return backup_index + 1 < nodes.size() ? nodes[backup_index + 1].boundary_fingerprints : kEmpty;
+}
+
+std::vector<int> ScenarioResult::issuer_chain() const {
+  if (nodes.empty()) {
+    return {bare_id};
   }
-  World::Outcome outcome = world.Run();
+  std::vector<int> chain;
+  chain.reserve(nodes.size());
+  for (const NodeReport& node : nodes) {
+    chain.push_back(node.id);
+  }
+  return chain;
+}
+
+Scenario::Scenario(const WorkloadSpec& workload, bool replicated)
+    : workload_(workload), replicated_(replicated) {
+  // Scenario-level machine defaults (larger TLB than the raw machine's).
+  machine_.tlb_entries = 64;
+  machine_.tlb_policy = TlbPolicy::kHardwareRandom;
+}
+
+Scenario Scenario::Bare(const WorkloadSpec& workload) { return Scenario(workload, false); }
+
+Scenario Scenario::Replicated(const WorkloadSpec& workload) { return Scenario(workload, true); }
+
+Scenario& Scenario::Backups(int count) {
+  HBFT_CHECK(count >= 1) << "a replicated scenario needs at least one backup";
+  backups_ = count;
+  return *this;
+}
+
+Scenario& Scenario::Epoch(uint64_t epoch_length) {
+  replication_.epoch_length = epoch_length;
+  return *this;
+}
+
+Scenario& Scenario::Variant(ProtocolVariant variant) {
+  replication_.variant = variant;
+  return *this;
+}
+
+Scenario& Scenario::Replication(const ReplicationConfig& replication) {
+  replication_ = replication;
+  return *this;
+}
+
+Scenario& Scenario::TlbTakeover(bool takeover) {
+  replication_.tlb_takeover = takeover;
+  return *this;
+}
+
+Scenario& Scenario::AuditLockstep(bool audit) {
+  replication_.audit_lockstep = audit;
+  return *this;
+}
+
+Scenario& Scenario::Costs(const CostModel& costs) {
+  costs_ = costs;
+  return *this;
+}
+
+Scenario& Scenario::Hardware(const MachineConfig& machine) {
+  machine_ = machine;
+  return *this;
+}
+
+Scenario& Scenario::RamBytes(uint32_t ram_bytes) {
+  machine_.ram_bytes = ram_bytes;
+  return *this;
+}
+
+Scenario& Scenario::Tlb(uint32_t entries, TlbPolicy policy) {
+  machine_.tlb_entries = entries;
+  machine_.tlb_policy = policy;
+  return *this;
+}
+
+Scenario& Scenario::Seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Scenario& Scenario::DiskBlocks(uint32_t blocks) {
+  disk_blocks_ = blocks;
+  return *this;
+}
+
+Scenario& Scenario::DiskFaults(const DiskFaultPlan& faults) {
+  disk_faults_ = faults;
+  return *this;
+}
+
+Scenario& Scenario::MaxTime(SimTime max_time) {
+  max_time_ = max_time;
+  return *this;
+}
+
+Scenario& Scenario::ConsoleInput(std::string text) {
+  console_input_ = std::move(text);
+  return *this;
+}
+
+Scenario& Scenario::ConsoleInput(std::string text, SimTime start, SimTime interval) {
+  console_input_ = std::move(text);
+  console_input_start_ = start;
+  console_input_interval_ = interval;
+  return *this;
+}
+
+Scenario& Scenario::FailAt(const FailurePlan& plan) {
+  HBFT_CHECK(replicated_) << "failure schedules require a replicated scenario";
+  failures_.push_back(plan);
+  return *this;
+}
+
+Scenario& Scenario::FailAtTime(SimTime time, FailurePlan::Target target, int backup_index) {
+  FailurePlan plan;
+  plan.kind = FailurePlan::Kind::kAtTime;
+  plan.time = time;
+  plan.target = target;
+  plan.backup_index = backup_index;
+  return FailAt(plan);
+}
+
+Scenario& Scenario::FailAtPhase(FailPhase phase, uint64_t epoch, FailurePlan::CrashIo crash_io) {
+  FailurePlan plan;
+  plan.kind = FailurePlan::Kind::kAtPhase;
+  plan.phase = phase;
+  plan.phase_epoch = epoch;
+  plan.crash_io = crash_io;
+  return FailAt(plan);
+}
+
+Scenario Scenario::AsBare() const {
+  Scenario bare = *this;
+  bare.replicated_ = false;
+  bare.failures_.clear();
+  return bare;
+}
+
+ScenarioResult Scenario::Run() const {
+  const GuestImageBundle& bundle = GetGuestImage();
+
+  WorldConfig config;
+  config.costs = costs_;
+  config.replication = replication_;
+  config.machine = machine_;
+  config.machine.machine_seed = seed_;
+  config.backups = backups_;
+  config.disk_blocks = disk_blocks_;
+  config.seed = seed_;
+  config.disk_faults = disk_faults_;
+  config.max_time = max_time_;
+
+  World world(bundle.program, config, replicated_);
+  if (replicated_) {
+    // Every replica boots from identical state, including the parameter block.
+    for (size_t i = 0; i < world.replica_count(); ++i) {
+      PatchWorkloadParams(&world.replica(i)->hypervisor().machine().memory(), workload_);
+    }
+    if (!failures_.empty()) {
+      world.SetFailureSchedule(failures_);
+    }
+  } else {
+    PatchWorkloadParams(&world.bare()->machine().memory(), workload_);
+  }
+  if (!console_input_.empty()) {
+    world.InjectConsoleInput(console_input_, console_input_start_, console_input_interval_);
+  }
+
   ScenarioResult result;
-  FillCommon(world, outcome, &result);
+  world.Run(&result);
+  result.console_output = world.console().output();
+  result.console_trace = world.console().trace();
+  result.disk_trace = world.disk().trace();
+  ReadBackGuestState(world.active_machine(), &result);
+
+  for (size_t i = 0; i < world.replica_count(); ++i) {
+    ReplicaNodeBase* replica = world.replica(i);
+    ScenarioResult::NodeReport report;
+    report.id = replica->id();
+    if (i > 0) {
+      auto* b = static_cast<BackupNode*>(replica);
+      report.promoted = b->promoted();
+      report.promotion_time = b->promotion_time();
+    }
+    report.hv_stats = replica->hypervisor().stats();
+    report.stats = replica->stats();
+    report.boundary_fingerprints = replica->boundary_fingerprints();
+    result.nodes.push_back(std::move(report));
+  }
   return result;
 }
 
-ScenarioResult RunReplicated(const WorkloadSpec& workload, const ScenarioOptions& options) {
-  const GuestImageBundle& bundle = GetGuestImage();
-  World world(bundle.program, MakeWorldConfig(options), /*replicated=*/true);
-  // Both replicas boot from identical state, including the parameter block.
-  PatchWorkloadParams(&world.primary()->hypervisor().machine().memory(), workload);
-  PatchWorkloadParams(&world.backup()->hypervisor().machine().memory(), workload);
-  if (options.failure.kind != FailurePlan::Kind::kNone) {
-    world.SetFailurePlan(options.failure);
-  }
-  if (!options.console_input.empty()) {
-    world.InjectConsoleInput(options.console_input, options.console_input_start,
-                             options.console_input_interval);
-  }
-  World::Outcome outcome = world.Run();
-  ScenarioResult result;
-  FillCommon(world, outcome, &result);
-  result.primary_hv_stats = world.primary()->hypervisor().stats();
-  result.backup_hv_stats = world.backup()->hypervisor().stats();
-  result.primary_stats = world.primary()->stats();
-  result.backup_stats = world.backup()->stats();
-  result.primary_boundary_fingerprints = world.primary()->boundary_fingerprints();
-  result.backup_boundary_fingerprints = world.backup()->boundary_fingerprints();
-  return result;
-}
+ScenarioResult RunBare(const WorkloadSpec& workload) { return Scenario::Bare(workload).Run(); }
 
 double NormalizedPerformance(const ScenarioResult& replicated, const ScenarioResult& bare) {
   HBFT_CHECK(bare.completed && replicated.completed);
@@ -93,9 +250,10 @@ double NormalizedPerformance(const ScenarioResult& replicated, const ScenarioRes
   return replicated.completion_time.seconds() / bare.completion_time.seconds();
 }
 
-size_t MatchingBoundaryPrefix(const ScenarioResult& result) {
-  const auto& p = result.primary_boundary_fingerprints;
-  const auto& b = result.backup_boundary_fingerprints;
+size_t MatchingBoundaryPrefix(const ScenarioResult& result, size_t node_a, size_t node_b) {
+  HBFT_CHECK(node_a < result.nodes.size() && node_b < result.nodes.size());
+  const auto& p = result.nodes[node_a].boundary_fingerprints;
+  const auto& b = result.nodes[node_b].boundary_fingerprints;
   size_t n = p.size() < b.size() ? p.size() : b.size();
   for (size_t i = 0; i < n; ++i) {
     if (p[i] != b[i]) {

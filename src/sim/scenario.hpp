@@ -1,9 +1,19 @@
-// High-level scenario runners: the public API most tests, benchmarks, and
-// examples use.
+// High-level scenario API: the composable builder most tests, benchmarks,
+// and examples use.
 //
-//   ScenarioResult bare = RunBare(WorkloadSpec::PaperCpu());
-//   ScenarioResult ft   = RunReplicated(WorkloadSpec::PaperCpu(), options);
+//   ScenarioResult bare = Scenario::Bare(WorkloadSpec::PaperCpu()).Run();
+//   ScenarioResult ft   = Scenario::Replicated(WorkloadSpec::PaperCpu())
+//                             .Backups(2)
+//                             .Epoch(8192)
+//                             .Variant(ProtocolVariant::kRevised)
+//                             .FailAtTime(SimTime::Millis(40))
+//                             .FailAtPhase(FailPhase::kAfterIoIssue)
+//                             .Run();
 //   double np = NormalizedPerformance(ft, bare);   // The paper's N'/N.
+//
+// A failure schedule is an ordered list: each FailAt* event arms only after
+// the previous one fired, so cascading failovers ("kill the primary, then
+// kill the promoted backup") compose naturally.
 #ifndef HBFT_SIM_SCENARIO_HPP_
 #define HBFT_SIM_SCENARIO_HPP_
 
@@ -16,28 +26,17 @@
 
 namespace hbft {
 
-struct ScenarioOptions {
-  ReplicationConfig replication;
-  CostModel costs;
-  uint64_t seed = 42;
-  uint32_t disk_blocks = 128;
-  uint32_t ram_bytes = 4 * 1024 * 1024;
-  uint32_t tlb_entries = 64;
-  TlbPolicy tlb_policy = TlbPolicy::kHardwareRandom;
-  DiskFaultPlan disk_faults;
-  FailurePlan failure;
-  SimTime max_time = SimTime::Seconds(900);
-  std::string console_input;
-  SimTime console_input_start = SimTime::Millis(100);
-  SimTime console_input_interval = SimTime::Millis(20);
-};
-
 struct ScenarioResult {
-  // Run outcome.
+  // Run outcome (filled by World::Run directly).
   bool completed = false;
   bool timed_out = false;
   bool deadlocked = false;
+  bool service_lost = false;  // Every replica crashed: nobody serves.
   SimTime completion_time = SimTime::Zero();
+  bool promoted = false;                       // Any backup took over.
+  SimTime promotion_time = SimTime::Zero();    // First takeover.
+  SimTime crash_time = SimTime::Zero();        // First injected crash.
+  std::vector<SimTime> crash_times;            // Every injected crash, in order.
 
   // Guest-reported results (read back from the surviving machine's memory).
   uint32_t exited_flag = 0;  // 1 = clean exit, 2 = kernel panic.
@@ -51,31 +50,111 @@ struct ScenarioResult {
   std::vector<DiskTraceEntry> disk_trace;
   std::vector<ConsoleTraceEntry> console_trace;
 
-  // Replication.
-  bool promoted = false;
-  SimTime promotion_time = SimTime::Zero();
-  SimTime crash_time = SimTime::Zero();
-  Hypervisor::Stats primary_hv_stats;
-  Hypervisor::Stats backup_hv_stats;
-  ReplicaNodeBase::Stats primary_stats;
-  ReplicaNodeBase::Stats backup_stats;
-  std::vector<uint64_t> primary_boundary_fingerprints;
-  std::vector<uint64_t> backup_boundary_fingerprints;
+  // Replication: one report per replica in chain order (primary first, then
+  // each backup down the chain); empty for bare runs.
+  struct NodeReport {
+    int id = 0;
+    bool promoted = false;
+    SimTime promotion_time = SimTime::Zero();
+    Hypervisor::Stats hv_stats;
+    ReplicaNodeBase::Stats stats;
+    std::vector<uint64_t> boundary_fingerprints;
+  };
+  std::vector<NodeReport> nodes;
+
+  // Pair conveniences over `nodes` (safe empty defaults for bare runs).
+  const ReplicaNodeBase::Stats& primary_stats() const;
+  const ReplicaNodeBase::Stats& backup_stats(size_t backup_index = 0) const;
+  const Hypervisor::Stats& primary_hv_stats() const;
+  const Hypervisor::Stats& backup_hv_stats(size_t backup_index = 0) const;
+  const std::vector<uint64_t>& primary_boundary_fingerprints() const;
+  const std::vector<uint64_t>& backup_boundary_fingerprints(size_t backup_index = 0) const;
+
+  // Device-issuer ids in takeover order, for the chain consistency checks.
+  std::vector<int> issuer_chain() const;
 
   int primary_id = 1;
   int backup_id = 2;
   int bare_id = 0;
 };
 
-ScenarioResult RunBare(const WorkloadSpec& workload, const ScenarioOptions& options = {});
-ScenarioResult RunReplicated(const WorkloadSpec& workload, const ScenarioOptions& options = {});
+// Composable scenario builder. Value-semantic: copies are independent, so a
+// base configuration can fan out into variants.
+class Scenario {
+ public:
+  static Scenario Bare(const WorkloadSpec& workload);
+  static Scenario Replicated(const WorkloadSpec& workload);
+
+  // --- Replication ----------------------------------------------------------
+  Scenario& Backups(int count);  // Chain length: 1 primary + `count` backups.
+  Scenario& Epoch(uint64_t epoch_length);
+  Scenario& Variant(ProtocolVariant variant);
+  Scenario& Replication(const ReplicationConfig& replication);
+  Scenario& TlbTakeover(bool takeover);
+  Scenario& AuditLockstep(bool audit = true);
+
+  // --- Machine & environment ------------------------------------------------
+  Scenario& Costs(const CostModel& costs);
+  Scenario& Hardware(const MachineConfig& machine);  // Folded machine knobs.
+  Scenario& RamBytes(uint32_t ram_bytes);
+  Scenario& Tlb(uint32_t entries, TlbPolicy policy);
+  Scenario& Seed(uint64_t seed);
+  Scenario& DiskBlocks(uint32_t blocks);
+  Scenario& DiskFaults(const DiskFaultPlan& faults);
+  Scenario& MaxTime(SimTime max_time);
+  Scenario& ConsoleInput(std::string text);
+  Scenario& ConsoleInput(std::string text, SimTime start, SimTime interval);
+
+  // --- Failure schedule (ordered; each event arms after the previous) ------
+  Scenario& FailAt(const FailurePlan& plan);
+  Scenario& FailAtTime(SimTime time,
+                       FailurePlan::Target target = FailurePlan::Target::kActive,
+                       int backup_index = 0);
+  Scenario& FailAtPhase(FailPhase phase, uint64_t epoch = 0,
+                        FailurePlan::CrashIo crash_io = FailurePlan::CrashIo::kRandom);
+
+  // The same machine/devices/seed with replication stripped: the reference
+  // run for N'/N and consistency checks.
+  Scenario AsBare() const;
+
+  ScenarioResult Run() const;
+
+  const WorkloadSpec& workload() const { return workload_; }
+  bool replicated() const { return replicated_; }
+  int backups() const { return backups_; }
+  const ReplicationConfig& replication() const { return replication_; }
+  const CostModel& costs() const { return costs_; }
+  const FailureSchedule& failures() const { return failures_; }
+
+ private:
+  Scenario(const WorkloadSpec& workload, bool replicated);
+
+  WorkloadSpec workload_;
+  bool replicated_;
+  ReplicationConfig replication_;
+  CostModel costs_;
+  MachineConfig machine_;
+  int backups_ = 1;
+  uint64_t seed_ = 42;
+  uint32_t disk_blocks_ = 128;
+  DiskFaultPlan disk_faults_;
+  FailureSchedule failures_;
+  SimTime max_time_ = SimTime::Seconds(900);
+  std::string console_input_;
+  SimTime console_input_start_ = SimTime::Millis(100);
+  SimTime console_input_interval_ = SimTime::Millis(20);
+};
+
+// Thin convenience for the ubiquitous default-configuration reference run.
+ScenarioResult RunBare(const WorkloadSpec& workload);
 
 // The paper's figure of merit: N'/N.
 double NormalizedPerformance(const ScenarioResult& replicated, const ScenarioResult& bare);
 
-// Number of leading epoch boundaries at which both replicas' fingerprints
-// agree; HBFT_CHECKs that the compared prefix matches when `require` is set.
-size_t MatchingBoundaryPrefix(const ScenarioResult& result);
+// Number of leading epoch boundaries at which the two nodes' fingerprints
+// agree (chain indices into ScenarioResult::nodes; default: the primary and
+// its first backup).
+size_t MatchingBoundaryPrefix(const ScenarioResult& result, size_t node_a = 0, size_t node_b = 1);
 
 }  // namespace hbft
 

@@ -2,13 +2,13 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "sim/scenario.hpp"
 
 namespace hbft {
 
 namespace {
-constexpr int kPrimaryId = 1;
-constexpr int kBackupId = 2;
 constexpr int kBareId = 0;
+constexpr int kPrimaryId = 1;  // Backups are numbered 2, 3, ... down the chain.
 }  // namespace
 
 World::World(const GuestProgram& guest, const WorldConfig& config, bool replicated)
@@ -23,77 +23,159 @@ World::World(const GuestProgram& guest, const WorldConfig& config, bool replicat
     return;
   }
 
-  chan_pb_ = std::make_unique<Channel>(config.costs.link);
-  chan_bp_ = std::make_unique<Channel>(config.costs.link);
-  primary_ = std::make_unique<PrimaryNode>(kPrimaryId, guest, config.machine, config.replication,
-                                           config.costs, disk_.get(), console_.get(),
-                                           chan_pb_.get(), chan_bp_.get(), this);
-  backup_ = std::make_unique<BackupNode>(kBackupId, guest, config.machine, config.replication,
-                                         config.costs, disk_.get(), console_.get(),
-                                         chan_bp_.get(), chan_pb_.get(), this);
-  primary_->set_schedule_peer_poll([this](SimTime arrival) {
-    ScheduleAt(arrival, [this, arrival] { backup_->PollIncoming(arrival); });
-  });
-  backup_->set_schedule_peer_poll([this](SimTime arrival) {
-    ScheduleAt(arrival, [this, arrival] { primary_->PollIncoming(arrival); });
-  });
+  HBFT_CHECK(config.backups >= 1) << "a replicated world needs at least one backup";
+  const size_t n = static_cast<size_t>(config.backups) + 1;
+
+  // Channel mesh: one FIFO link per direction per adjacent chain pair.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    channels_[{i, i + 1}] = std::make_unique<Channel>(config.costs.link);
+    channels_[{i + 1, i}] = std::make_unique<Channel>(config.costs.link);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    NodeLinks links;
+    if (i > 0) {
+      links.up_in = channel(i - 1, i);
+      links.up_out = channel(i, i - 1);
+    }
+    if (i + 1 < n) {
+      links.down_out = channel(i, i + 1);
+      links.down_in = channel(i + 1, i);
+    }
+    const int id = kPrimaryId + static_cast<int>(i);
+    if (i == 0) {
+      replicas_.push_back(std::make_unique<PrimaryNode>(id, guest, config.machine,
+                                                        config.replication, config.costs,
+                                                        disk_.get(), console_.get(), links, this));
+    } else {
+      replicas_.push_back(std::make_unique<BackupNode>(id, guest, config.machine,
+                                                       config.replication, config.costs,
+                                                       disk_.get(), console_.get(), links, this));
+    }
+  }
+
+  // Poll wiring: a send wakes the receiving neighbour at the arrival time.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    ReplicaNodeBase* up = replicas_[i].get();
+    ReplicaNodeBase* down = replicas_[i + 1].get();
+    up->set_schedule_down_poll([this, down](SimTime arrival) {
+      ScheduleAt(arrival, [down, arrival] { down->PollIncoming(arrival); });
+    });
+    down->set_schedule_up_poll([this, up](SimTime arrival) {
+      ScheduleAt(arrival, [up, arrival] { up->PollIncoming(arrival); });
+    });
+  }
+}
+
+Channel* World::channel(size_t from, size_t to) {
+  auto it = channels_.find({from, to});
+  HBFT_CHECK(it != channels_.end())
+      << "no channel " << from << " -> " << to << " in the mesh";
+  return it->second.get();
+}
+
+PrimaryNode* World::primary() {
+  HBFT_CHECK(!replicas_.empty());
+  return static_cast<PrimaryNode*>(replicas_[0].get());
+}
+
+BackupNode* World::backup(size_t backup_index) {
+  HBFT_CHECK(backup_index + 1 < replicas_.size())
+      << "backup index " << backup_index << " out of range";
+  return static_cast<BackupNode*>(replicas_[backup_index + 1].get());
 }
 
 void World::ScheduleAt(SimTime t, std::function<void()> fn) { queue_.Push(t, std::move(fn)); }
 
-void World::SetFailurePlan(const FailurePlan& plan) {
-  HBFT_CHECK(primary_ != nullptr) << "failure plans require a replicated world";
-  failure_plan_ = plan;
-  if (plan.kind == FailurePlan::Kind::kAtTime && plan.target == FailurePlan::Target::kBackup) {
-    ScheduleAt(plan.time, [this, plan] {
-      if (!failure_fired_ && !backup_->dead() && !backup_->halted()) {
-        failure_fired_ = true;
-        SimTime t = backup_->clock() > plan.time ? backup_->clock() : plan.time;
-        KillBackup(t);
-      }
-    });
+void World::SetFailureSchedule(const FailureSchedule& schedule) {
+  HBFT_CHECK(!replicas_.empty()) << "failure schedules require a replicated world";
+  for (const FailurePlan& plan : schedule) {
+    if (plan.kind == FailurePlan::Kind::kAtPhase) {
+      HBFT_CHECK(plan.target == FailurePlan::Target::kActive)
+          << "phase-based kills target the active replica (standing backups run no "
+             "device phases)";
+    }
+    if (plan.target == FailurePlan::Target::kBackup) {
+      HBFT_CHECK(plan.backup_index >= 0 &&
+                 static_cast<size_t>(plan.backup_index) + 1 < replicas_.size())
+          << "backup index " << plan.backup_index << " out of range";
+    }
+  }
+  schedule_ = schedule;
+  next_failure_ = 0;
+  ArmNextFailure();
+}
+
+void World::ArmNextFailure() {
+  if (next_failure_ >= schedule_.size()) {
     return;
   }
-  HBFT_CHECK(plan.target == FailurePlan::Target::kPrimary || plan.kind == FailurePlan::Kind::kNone)
-      << "backup failures support only time-based injection";
+  const FailurePlan& plan = schedule_[next_failure_];
+  const size_t idx = next_failure_;
   switch (plan.kind) {
     case FailurePlan::Kind::kNone:
-      break;
+      ++next_failure_;
+      ArmNextFailure();
+      return;
     case FailurePlan::Kind::kAtTime:
-      ScheduleAt(plan.time, [this, plan] {
-        if (!failure_fired_ && !primary_->dead() && !primary_->halted()) {
-          failure_fired_ = true;
-          SimTime t = primary_->clock() > plan.time ? primary_->clock() : plan.time;
-          KillPrimary(t);
-        }
-      });
-      break;
+      ScheduleAt(plan.time, [this, idx] { FireTimedFailure(idx); });
+      return;
     case FailurePlan::Kind::kAtPhase:
-      primary_->set_phase_hook([this, plan](FailPhase phase, uint64_t epoch, uint64_t io_seq) {
-        if (failure_fired_ || phase != plan.phase) {
-          return;
-        }
-        bool epoch_match = epoch >= plan.phase_epoch;
-        bool io_match = plan.io_seq == 0 || io_seq == plan.io_seq;
-        if (epoch_match && io_match) {
-          failure_fired_ = true;
-          KillPrimary(primary_->clock());
-        }
-      });
-      break;
+      // Install on every replica: phases fire only on the node that drives
+      // the devices, and the hook checks it is the *current* active node, so
+      // an event armed before a failover lands on the promoted successor.
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        replicas_[i]->set_phase_hook(
+            [this, idx, i](FailPhase phase, uint64_t epoch, uint64_t io_seq) {
+              OnPhaseHook(idx, i, phase, epoch, io_seq);
+            });
+      }
+      return;
   }
 }
 
-void World::KillPrimary(SimTime t) {
-  HBFT_CHECK(primary_ != nullptr);
-  crash_time_ = t;
-  std::vector<uint64_t> in_flight = primary_->PendingDiskOps();
-  primary_->Kill(t);
-  chan_bp_->Break(t);
+void World::OnPhaseHook(size_t schedule_index, size_t replica_index, FailPhase phase,
+                        uint64_t epoch, uint64_t io_seq) {
+  if (schedule_index != next_failure_ || replica_index != active_index_) {
+    return;  // A stale hook, or a node that is not (yet) the active replica.
+  }
+  const FailurePlan& plan = schedule_[schedule_index];
+  if (phase != plan.phase || epoch < plan.phase_epoch ||
+      (plan.io_seq != 0 && io_seq != plan.io_seq)) {
+    return;
+  }
+  ++next_failure_;
+  KillReplica(replica_index, replicas_[replica_index]->clock(), plan.crash_io);
+  ArmNextFailure();
+}
+
+void World::FireTimedFailure(size_t schedule_index) {
+  if (schedule_index != next_failure_) {
+    return;
+  }
+  const FailurePlan& plan = schedule_[schedule_index];
+  size_t victim = plan.target == FailurePlan::Target::kBackup
+                      ? 1 + static_cast<size_t>(plan.backup_index)
+                      : active_index_;
+  ++next_failure_;
+  ReplicaNodeBase* node = replicas_[victim].get();
+  if (!node->dead() && !node->halted()) {
+    SimTime t = node->clock() > plan.time ? node->clock() : plan.time;
+    KillReplica(victim, t, plan.crash_io);
+  }
+  ArmNextFailure();
+}
+
+void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) {
+  ReplicaNodeBase* node = replicas_[index].get();
+  HBFT_CHECK(!node->dead());
+  crash_times_.push_back(t);
+  std::vector<uint64_t> in_flight = node->PendingDiskOps();
+  node->Kill(t);
   // Resolve each in-flight device operation: performed or not (IO2).
   for (uint64_t op : in_flight) {
     bool performed;
-    switch (failure_plan_.crash_io) {
+    switch (crash_io) {
       case FailurePlan::CrashIo::kPerformed:
         performed = true;
         break;
@@ -107,19 +189,37 @@ void World::KillPrimary(SimTime t) {
     }
     disk_->ResolveInFlightAtCrash(op, performed);
   }
-  SimTime detect =
-      FailureDetector::DetectionTime(*chan_pb_, t, config_.costs.failure_detect_timeout);
-  ScheduleAt(detect, [this, detect] { backup_->OnFailureDetected(detect); });
-}
 
-void World::KillBackup(SimTime t) {
-  HBFT_CHECK(backup_ != nullptr);
-  crash_time_ = t;
-  backup_->Kill(t);
-  // The primary notices missing acknowledgments: drain + timeout.
-  SimTime detect =
-      FailureDetector::DetectionTime(*chan_bp_, t, config_.costs.failure_detect_timeout);
-  ScheduleAt(detect, [this, detect] { primary_->OnBackupFailureDetected(detect); });
+  if (index == active_index_) {
+    // The active replica died: the next surviving backup detects the silence
+    // on the protocol stream (drain + timeout) and runs the P6/P7 takeover.
+    const size_t successor = index + 1;
+    if (successor < replicas_.size() && !replicas_[successor]->dead()) {
+      SimTime detect = FailureDetector::DetectionTime(*channel(index, successor), t,
+                                                      config_.costs.failure_detect_timeout);
+      auto* next_node = static_cast<BackupNode*>(replicas_[successor].get());
+      ScheduleAt(detect, [next_node, detect] { next_node->OnFailureDetected(detect); });
+      active_index_ = successor;
+    } else {
+      service_lost_ = true;
+    }
+    return;
+  }
+
+  // A standing backup died: its upstream neighbour notices the missing
+  // acknowledgments and stops replicating to it. Replicas further down the
+  // chain are cut off from the protocol stream — without a state transfer
+  // they can never rejoin, so the chain truncates at the dead node.
+  const size_t upstream = index - 1;
+  SimTime detect = FailureDetector::DetectionTime(*channel(index, upstream), t,
+                                                  config_.costs.failure_detect_timeout);
+  ReplicaNodeBase* up_node = replicas_[upstream].get();
+  ScheduleAt(detect, [up_node, detect] { up_node->OnDownstreamFailureDetected(detect); });
+  for (size_t j = index + 1; j < replicas_.size(); ++j) {
+    if (!replicas_[j]->dead()) {
+      replicas_[j]->Kill(t);
+    }
+  }
 }
 
 void World::InjectConsoleInput(const std::string& text, SimTime start, SimTime interval) {
@@ -129,10 +229,22 @@ void World::InjectConsoleInput(const std::string& text, SimTime start, SimTime i
     ScheduleAt(t, [this, c, t] {
       if (bare_ != nullptr) {
         bare_->InjectConsoleRx(c, t);
-      } else if (primary_ != nullptr && !primary_->dead() && !primary_->halted()) {
-        primary_->InjectConsoleRx(c, t);
-      } else if (backup_ != nullptr) {
-        backup_->InjectConsoleRx(c, t);
+        return;
+      }
+      // Route to the replica responsible for the environment: the active
+      // node, or — between a crash and the promotion — its successor, which
+      // queues the character until it takes over.
+      for (size_t j = active_index_; j < replicas_.size(); ++j) {
+        ReplicaNodeBase* node = replicas_[j].get();
+        if (node->dead() || node->halted()) {
+          continue;
+        }
+        if (j == 0) {
+          static_cast<PrimaryNode*>(node)->InjectConsoleRx(c, t);
+        } else {
+          static_cast<BackupNode*>(node)->InjectConsoleRx(c, t);
+        }
+        return;
       }
     });
   }
@@ -142,41 +254,44 @@ Machine& World::active_machine() {
   if (bare_ != nullptr) {
     return bare_->machine();
   }
-  if (backup_ != nullptr && backup_->promoted()) {
-    return backup_->hypervisor().machine();
-  }
-  return primary_->hypervisor().machine();
+  return replicas_[active_index_]->hypervisor().machine();
 }
 
 NodeActor& World::active_node() {
   if (bare_ != nullptr) {
     return *bare_;
   }
-  if (backup_ != nullptr && backup_->promoted()) {
-    return *backup_;
-  }
-  return *primary_;
+  return *replicas_[active_index_];
 }
 
-World::Outcome World::Run() {
-  Outcome outcome;
-  NodeActor* nodes[3] = {bare_.get(), primary_.get(), backup_.get()};
+void World::Run(ScenarioResult* result) {
+  bool completed = false;
+  bool timed_out = false;
+  bool deadlocked = false;
+
+  std::vector<NodeActor*> nodes;
+  if (bare_ != nullptr) {
+    nodes.push_back(bare_.get());
+  }
+  for (auto& replica : replicas_) {
+    nodes.push_back(replica.get());
+  }
 
   while (true) {
     bool all_done = true;
     for (NodeActor* node : nodes) {
-      if (node != nullptr && !node->halted() && !node->dead()) {
+      if (!node->halted() && !node->dead()) {
         all_done = false;
       }
     }
     if (all_done) {
-      outcome.completed = true;
+      completed = true;
       break;
     }
 
     NodeActor* next = nullptr;
     for (NodeActor* node : nodes) {
-      if (node != nullptr && node->runnable()) {
+      if (node->runnable()) {
         if (next == nullptr || node->clock() < next->clock()) {
           next = node;
         }
@@ -185,7 +300,7 @@ World::Outcome World::Run() {
     SimTime tq = queue_.empty() ? SimTime::Max() : queue_.PeekTime();
 
     if (next != nullptr && next->clock() >= config_.max_time) {
-      outcome.timed_out = true;
+      timed_out = true;
       break;
     }
 
@@ -195,26 +310,35 @@ World::Outcome World::Run() {
     } else if (!queue_.empty()) {
       if (tq > config_.max_time) {
         // Only events beyond the deadline remain and no node can run.
-        outcome.timed_out = next != nullptr;
-        outcome.deadlocked = next == nullptr;
+        timed_out = next != nullptr;
+        deadlocked = next == nullptr;
         break;
       }
       queue_.RunNext();
     } else if (next != nullptr) {
       next->RunSlice(config_.max_time);
     } else {
-      outcome.deadlocked = true;  // No events, nobody runnable, not done.
+      deadlocked = true;  // No events, nobody runnable, not done.
       break;
     }
   }
 
-  outcome.completion_time = active_node().clock();
-  outcome.crash_time = crash_time_;
-  if (backup_ != nullptr) {
-    outcome.promoted = backup_->promoted();
-    outcome.promotion_time = backup_->promotion_time();
+  result->completed = completed && !service_lost_;
+  result->timed_out = timed_out;
+  result->deadlocked = deadlocked;
+  result->service_lost = service_lost_;
+  result->completion_time = active_node().clock();
+  result->crash_times = crash_times_;
+  result->crash_time = crash_times_.empty() ? SimTime::Zero() : crash_times_.front();
+  result->promoted = false;
+  result->promotion_time = SimTime::Zero();
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    auto* b = static_cast<BackupNode*>(replicas_[i].get());
+    if (b->promoted() && !result->promoted) {
+      result->promoted = true;
+      result->promotion_time = b->promotion_time();
+    }
   }
-  return outcome;
 }
 
 }  // namespace hbft

@@ -1,16 +1,27 @@
-// World: deterministic co-simulation of the fault-tolerant pair (or of one
-// bare reference machine), the shared disk, the console, the interconnect,
-// and failure injection.
+// World: deterministic co-simulation of a replica chain (1 primary + k
+// backups, or one bare reference machine), the shared disk, the console, the
+// interconnect mesh, and failure injection.
 //
 // Scheduling is conservative and deterministic: the runnable node with the
 // smallest local clock advances until the next global event time; events tie-
 // break by insertion order. Replica nodes interact only through channels and
 // devices, all of which go through the event queue.
+//
+// Topology: replicas form a chain primary -> backup_1 -> ... -> backup_k,
+// joined by a channel mesh keyed (from, to) — one FIFO link per direction per
+// adjacent pair. Failures are an ordered schedule of fail-stop events; when
+// the active replica dies, the next surviving backup detects it (channel
+// drain + timeout) and runs the P6/P7 takeover, then re-protects itself by
+// relaying to its own backup. A chain with k backups survives k successive
+// active-replica failures.
 #ifndef HBFT_SIM_WORLD_HPP_
 #define HBFT_SIM_WORLD_HPP_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/backup.hpp"
@@ -21,11 +32,17 @@
 
 namespace hbft {
 
+struct ScenarioResult;
+
 struct FailurePlan {
   enum class Kind { kNone, kAtTime, kAtPhase };
-  enum class Target { kPrimary, kBackup };
+  // kActive: whichever replica currently drives the devices — the primary,
+  // or after a failover the most recently promoted backup. kBackup: the
+  // standing backup at `backup_index` (0 = the primary's immediate backup).
+  enum class Target { kActive, kBackup };
   Kind kind = Kind::kNone;
-  Target target = Target::kPrimary;      // Which replica the fault hits.
+  Target target = Target::kActive;
+  int backup_index = 0;                  // Target::kBackup only.
   SimTime time = SimTime::Zero();        // kAtTime.
   FailPhase phase = FailPhase::kNone;    // kAtPhase: protocol point ...
   uint64_t phase_epoch = 0;              // ... in this epoch ...
@@ -37,10 +54,16 @@ struct FailurePlan {
   CrashIo crash_io = CrashIo::kRandom;
 };
 
+// An ordered list of failure events. Event i+1 is armed only after event i
+// has fired, so "kill the primary, then kill the promoted backup" is
+// expressible directly.
+using FailureSchedule = std::vector<FailurePlan>;
+
 struct WorldConfig {
   CostModel costs;
   ReplicationConfig replication;
   MachineConfig machine;
+  int backups = 1;  // Chain length: 1 primary + `backups` backups.
   uint32_t disk_blocks = 128;
   uint64_t seed = 42;
   DiskFaultPlan disk_faults;
@@ -49,7 +72,8 @@ struct WorldConfig {
 
 class World : public EventScheduler {
  public:
-  // `replicated` builds primary+backup; otherwise one bare node.
+  // `replicated` builds the chain of 1 + config.backups replicas; otherwise
+  // one bare node.
   World(const GuestProgram& guest, const WorldConfig& config, bool replicated);
 
   void ScheduleAt(SimTime t, std::function<void()> fn) override;
@@ -57,48 +81,58 @@ class World : public EventScheduler {
     return queue_.empty() ? SimTime::Max() : queue_.PeekTime();
   }
 
-  void SetFailurePlan(const FailurePlan& plan);
+  void SetFailureSchedule(const FailureSchedule& schedule);
   void InjectConsoleInput(const std::string& text, SimTime start, SimTime interval);
 
-  struct Outcome {
-    bool completed = false;
-    bool timed_out = false;
-    bool deadlocked = false;
-    SimTime completion_time = SimTime::Zero();
-    bool promoted = false;
-    SimTime promotion_time = SimTime::Zero();
-    SimTime crash_time = SimTime::Zero();
-  };
-  Outcome Run();
+  // Runs the simulation to quiescence and fills the run-outcome portion of
+  // `result` (completed/timed_out/deadlocked/service_lost, completion and
+  // crash/promotion times) directly — there is no intermediate outcome
+  // struct to drift from ScenarioResult.
+  void Run(ScenarioResult* result);
 
   Disk& disk() { return *disk_; }
   Console& console() { return *console_; }
-  PrimaryNode* primary() { return primary_.get(); }
-  BackupNode* backup() { return backup_.get(); }
+
+  // Node registry.
   BareNode* bare() { return bare_.get(); }
+  size_t replica_count() const { return replicas_.size(); }
+  ReplicaNodeBase* replica(size_t index) { return replicas_[index].get(); }
+  PrimaryNode* primary();
+  BackupNode* backup(size_t backup_index = 0);
+
+  // The channel mesh, keyed (from, to) by chain position.
+  Channel* channel(size_t from, size_t to);
 
   // The machine whose state carries the workload's results: the bare node,
-  // the promoted backup, or the primary.
+  // or the replica currently responsible for the environment.
   Machine& active_machine();
   NodeActor& active_node();
+  size_t active_index() const { return active_index_; }
 
-  void KillPrimary(SimTime t);
-  void KillBackup(SimTime t);
+  // Fail-stop kill of a replica by chain position, resolving its in-flight
+  // device operations per `crash_io` and scheduling failure detection on the
+  // surviving neighbour.
+  void KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io);
 
  private:
+  void ArmNextFailure();
+  void FireTimedFailure(size_t schedule_index);
+  void OnPhaseHook(size_t schedule_index, size_t replica_index, FailPhase phase, uint64_t epoch,
+                   uint64_t io_seq);
+
   WorldConfig config_;
   EventQueue queue_;
   DeterministicRng crash_rng_;
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<Console> console_;
-  std::unique_ptr<Channel> chan_pb_;  // Primary -> backup.
-  std::unique_ptr<Channel> chan_bp_;  // Backup -> primary (acks).
-  std::unique_ptr<PrimaryNode> primary_;
-  std::unique_ptr<BackupNode> backup_;
+  std::map<std::pair<size_t, size_t>, std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<ReplicaNodeBase>> replicas_;
   std::unique_ptr<BareNode> bare_;
-  FailurePlan failure_plan_;
-  bool failure_fired_ = false;
-  SimTime crash_time_ = SimTime::Zero();
+  FailureSchedule schedule_;
+  size_t next_failure_ = 0;
+  std::vector<SimTime> crash_times_;
+  size_t active_index_ = 0;
+  bool service_lost_ = false;
 };
 
 }  // namespace hbft

@@ -45,6 +45,31 @@ expect_field("${drill_out}" "detection")
 run_cli(drill_old_out drill --variant=old --epoch-length=2048)
 expect_field("${drill_old_out}" "promoted[ =:]+yes")
 
+# --- drill --backups=2: cascading failover through a backup chain -----------
+run_cli(cascade_out drill --backups=2 --fail=time-ms=6
+        --fail=phase=after-io-issue,crash-io=not-performed)
+expect_field("${cascade_out}" "takeovers[ =:]+2")
+expect_field("${cascade_out}" "promotion_latency_ms_stage2")
+expect_field("${cascade_out}" "verdict[ =:]+PASS")
+run_cli(cascade_default_out drill --backups=2 --variant=new)
+expect_field("${cascade_default_out}" "takeovers[ =:]+2")
+expect_field("${cascade_default_out}" "verdict[ =:]+PASS")
+
+# --- run --backups=2: chain without failures, N'/N + consistency ------------
+run_cli(chain_run_out run --workload=txnlog --iterations=6 --backups=2)
+expect_field("${chain_run_out}" "replicas[ =:]+3")
+expect_field("${chain_run_out}" "disk_consistency[ =:]+ok")
+
+# --- help + enum discoverability --------------------------------------------
+run_cli(help_out help)
+expect_field("${help_out}" "usage: hbft_cli")
+run_cli(workloads_out --list-workloads)
+expect_field("${workloads_out}" "txnlog")
+expect_field("${workloads_out}" "diskread")
+run_cli(phases_out help --list-phases)
+expect_field("${phases_out}" "after-send-tme")
+expect_field("${phases_out}" "before-io-issue")
+
 # --- bench: JSON artifacts under bench/ -------------------------------------
 run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
 foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json)

@@ -53,11 +53,10 @@ void VerifyFailover(const WorkloadSpec& spec, const ScenarioResult& bare,
   if (spec.kind != WorkloadKind::kTime) {
     EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   }
-  ConsistencyResult disk =
-      CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
   EXPECT_TRUE(disk.ok) << disk.detail;
   ConsistencyResult console =
-      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.primary_id, ft.backup_id);
+      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
   EXPECT_TRUE(console.ok) << console.detail;
 }
 
@@ -102,13 +101,10 @@ TEST_P(FailoverPhaseSweep, TransparentToEnvironment) {
   ScenarioResult bare = RunBare(spec);
   ASSERT_TRUE(bare.completed);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = c.phase;
-  options.failure.phase_epoch = c.epoch;
-  options.failure.crash_io = c.crash_io;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .FailAtPhase(c.phase, c.epoch, c.crash_io)
+                          .Run();
   VerifyFailover(spec, bare, ft);
 }
 
@@ -146,14 +142,11 @@ TEST_P(FailoverPhaseSweepRevised, TransparentToEnvironment) {
   ScenarioResult bare = RunBare(spec);
   ASSERT_TRUE(bare.completed);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.replication.variant = ProtocolVariant::kRevised;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = c.phase;
-  options.failure.phase_epoch = c.epoch;
-  options.failure.crash_io = c.crash_io;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .Variant(ProtocolVariant::kRevised)
+                          .FailAtPhase(c.phase, c.epoch, c.crash_io)
+                          .Run();
   VerifyFailover(spec, bare, ft);
 }
 
@@ -178,17 +171,15 @@ TEST_P(FailoverTimeSweep, TransparentToEnvironment) {
   ASSERT_TRUE(bare.completed);
 
   // Spread kill times over the replicated run's duration.
-  ScenarioOptions probe_options;
-  probe_options.replication.epoch_length = 4096;
-  ScenarioResult probe = RunReplicated(spec, probe_options);
+  ScenarioResult probe = Scenario::Replicated(spec).Epoch(4096).Run();
   ASSERT_TRUE(probe.completed);
 
   int fraction = GetParam();
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.time = SimTime::Picos(probe.completion_time.picos() * fraction / 100);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(4096)
+          .FailAtTime(SimTime::Picos(probe.completion_time.picos() * fraction / 100))
+          .Run();
   // Very late kills can land after the workload halted; transparency then
   // holds trivially without promotion.
   VerifyFailover(spec, bare, ft, /*expect_promoted=*/ft.promoted);
@@ -206,18 +197,17 @@ TEST(Failover, UncertainInterruptsRedriveOutstandingIo) {
   WorkloadSpec spec = TxnSpec(10);
   ScenarioResult bare = RunBare(spec);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(4096)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kNotPerformed)
+          .Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_TRUE(ft.promoted);
   // The interrupted operation was outstanding at promotion: P7 synthesised
   // at least one uncertain interrupt and the driver re-drove the op.
-  EXPECT_GE(ft.backup_stats.uncertain_synthesised, 1u);
-  EXPECT_GE(ft.backup_stats.io_issued, 1u);
+  EXPECT_GE(ft.backup_stats().uncertain_synthesised, 1u);
+  EXPECT_GE(ft.backup_stats().io_issued, 1u);
   VerifyFailover(spec, bare, ft);
 }
 
@@ -225,12 +215,11 @@ TEST(Failover, CrashedWriteThatReachedDiskIsDuplicatedNotLost) {
   WorkloadSpec spec = TxnSpec(10);
   ScenarioResult bare = RunBare(spec);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kPerformed;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(4096)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kPerformed)
+          .Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_TRUE(ft.promoted);
   // The op performed by the dead primary is re-driven by the backup:
@@ -256,14 +245,11 @@ TEST(Failover, FinalDiskStateHasEveryTransaction) {
   WorkloadSpec spec = TxnSpec(records);
   spec.num_blocks = 16;  // One block per record (records < blocks).
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kBeforeSendTme;
-  options.failure.phase_epoch = 4;
-
   ScenarioResult bare = RunBare(spec);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .FailAtPhase(FailPhase::kBeforeSendTme, 4)
+                          .Run();
   ASSERT_TRUE(ft.completed);
   ASSERT_TRUE(ft.promoted);
   VerifyFailover(spec, bare, ft);
@@ -281,15 +267,12 @@ TEST(Failover, FinalDiskStateHasEveryTransaction) {
 TEST(Failover, PromotionTransfersConsoleInput) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kEcho;
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.console_input = "abq";
-  options.console_input_start = SimTime::Millis(100);
-  options.console_input_interval = SimTime::Millis(120);
   // Kill between the first and second characters.
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.time = SimTime::Millis(160);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .ConsoleInput("abq", SimTime::Millis(100), SimTime::Millis(120))
+                          .FailAtTime(SimTime::Millis(160))
+                          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out;
   EXPECT_TRUE(ft.promoted);
   // Both characters echoed: 'a' via the primary (or re-driven), 'b' via the
@@ -304,12 +287,10 @@ TEST(Failover, CpuWorkloadCompletesAcrossFailure) {
   spec.iterations = 4000;
   ScenarioResult bare = RunBare(spec);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 2048;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterSendTme;
-  options.failure.phase_epoch = 50;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(2048)
+                          .FailAtPhase(FailPhase::kAfterSendTme, 50)
+                          .Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_TRUE(ft.promoted);
   EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
@@ -319,11 +300,8 @@ TEST(Failover, BackupAloneIsSlowerThanPairButCompletes) {
   // After promotion the system keeps running with hypervisor overhead but no
   // replication traffic; completion must still happen.
   WorkloadSpec spec = TxnSpec(6);
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.time = SimTime::Millis(5);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec).Epoch(4096).FailAtTime(SimTime::Millis(5)).Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_TRUE(ft.promoted);
   EXPECT_EQ(ft.exited_flag, 1u);
@@ -343,15 +321,16 @@ TEST_P(FailoverWithDeviceFaults, RecordsDurableDespiteEverything) {
   WorkloadSpec spec = TxnSpec(records);
   spec.num_blocks = 8;
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.seed = static_cast<uint64_t>(GetParam()) * 101 + 7;
-  options.disk_faults.uncertain_probability = 0.25;
-  options.disk_faults.performed_when_uncertain = 0.5;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kRandom;
-  ScenarioResult ft = RunReplicated(spec, options);
+  DiskFaultPlan faults;
+  faults.uncertain_probability = 0.25;
+  faults.performed_when_uncertain = 0.5;
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(4096)
+          .Seed(static_cast<uint64_t>(GetParam()) * 101 + 7)
+          .DiskFaults(faults)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kRandom)
+          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
   EXPECT_TRUE(ft.promoted);
@@ -374,25 +353,22 @@ TEST_P(BackupFailureSweep, PrimaryContinuesSolo) {
   ScenarioResult bare = RunBare(spec);
   ASSERT_TRUE(bare.completed);
 
-  ScenarioOptions probe_options;
-  probe_options.replication.epoch_length = 4096;
-  ScenarioResult probe = RunReplicated(spec, probe_options);
+  ScenarioResult probe = Scenario::Replicated(spec).Epoch(4096).Run();
   ASSERT_TRUE(probe.completed);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.target = FailurePlan::Target::kBackup;
-  options.failure.time = SimTime::Picos(probe.completion_time.picos() * GetParam() / 100);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(4096)
+          .FailAtTime(SimTime::Picos(probe.completion_time.picos() * GetParam() / 100),
+                      FailurePlan::Target::kBackup)
+          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   EXPECT_FALSE(ft.promoted);
   EXPECT_EQ(ft.exited_flag, 1u);
   EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   EXPECT_EQ(ft.console_output, bare.console_output);
   // The environment sees exactly the reference sequence, all from the primary.
-  ConsistencyResult disk =
-      CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
+  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
   EXPECT_TRUE(disk.ok) << disk.detail;
 }
 
@@ -402,13 +378,11 @@ TEST(BackupFailure, BothProtocolVariantsSurvive) {
   WorkloadSpec spec = TxnSpec(6);
   ScenarioResult bare = RunBare(spec);
   for (ProtocolVariant variant : {ProtocolVariant::kOriginal, ProtocolVariant::kRevised}) {
-    ScenarioOptions options;
-    options.replication.epoch_length = 2048;
-    options.replication.variant = variant;
-    options.failure.kind = FailurePlan::Kind::kAtTime;
-    options.failure.target = FailurePlan::Target::kBackup;
-    options.failure.time = SimTime::Millis(30);
-    ScenarioResult ft = RunReplicated(spec, options);
+    ScenarioResult ft = Scenario::Replicated(spec)
+                            .Epoch(2048)
+                            .Variant(variant)
+                            .FailAtTime(SimTime::Millis(30), FailurePlan::Target::kBackup)
+                            .Run();
     ASSERT_TRUE(ft.completed) << "variant " << static_cast<int>(variant);
     EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   }
@@ -420,13 +394,11 @@ TEST(BackupFailure, SoloPrimaryIsFasterThanReplicatedPair) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kCpu;
   spec.iterations = 4000;
-  ScenarioOptions options;
-  options.replication.epoch_length = 2048;
-  ScenarioResult paired = RunReplicated(spec, options);
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.target = FailurePlan::Target::kBackup;
-  options.failure.time = SimTime::Millis(10);
-  ScenarioResult solo = RunReplicated(spec, options);
+  ScenarioResult paired = Scenario::Replicated(spec).Epoch(2048).Run();
+  ScenarioResult solo = Scenario::Replicated(spec)
+                            .Epoch(2048)
+                            .FailAtTime(SimTime::Millis(10), FailurePlan::Target::kBackup)
+                            .Run();
   ASSERT_TRUE(paired.completed);
   ASSERT_TRUE(solo.completed);
   EXPECT_LT(solo.completion_time.picos(), paired.completion_time.picos());
@@ -448,16 +420,15 @@ TEST_P(TodStallPromotionSweep, PromotesWhileStalledOnEnvironmentValue) {
   ScenarioResult bare = RunBare(spec);
   ASSERT_TRUE(bare.completed);
 
-  ScenarioOptions probe_options;
-  probe_options.replication.epoch_length = 16384;  // Long epochs: more mid-epoch time.
-  ScenarioResult probe = RunReplicated(spec, probe_options);
+  // Long epochs: more mid-epoch time.
+  ScenarioResult probe = Scenario::Replicated(spec).Epoch(16384).Run();
   ASSERT_TRUE(probe.completed);
 
-  ScenarioOptions options;
-  options.replication.epoch_length = 16384;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.time = SimTime::Picos(probe.completion_time.picos() * GetParam() / 100);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec)
+          .Epoch(16384)
+          .FailAtTime(SimTime::Picos(probe.completion_time.picos() * GetParam() / 100))
+          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   ASSERT_EQ(ft.exited_flag, 1u) << "panic " << ft.panic_code;
   // Exit code 0 == the time sequence stayed monotone across the handover
@@ -472,17 +443,15 @@ INSTANTIATE_TEST_SUITE_P(Fractions, TodStallPromotionSweep, testing::Values(20, 
 
 TEST(Failover, DetectionWaitsForChannelDrain) {
   WorkloadSpec spec = TxnSpec(6);
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterSendEnd;
-  options.failure.phase_epoch = 2;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .FailAtPhase(FailPhase::kAfterSendEnd, 2)
+                          .Run();
   ASSERT_TRUE(ft.completed);
   ASSERT_TRUE(ft.promoted);
   // Promotion cannot precede crash + detection timeout.
   EXPECT_GE(ft.promotion_time.picos(),
-            ft.crash_time.picos() + ScenarioOptions{}.costs.failure_detect_timeout.picos());
+            ft.crash_time.picos() + CostModel{}.failure_detect_timeout.picos());
 }
 
 }  // namespace

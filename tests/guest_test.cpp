@@ -97,10 +97,10 @@ TEST(GuestBare, DriverRetriesUncertainCompletions) {
   spec.kind = WorkloadKind::kDiskWrite;
   spec.iterations = 10;
   spec.num_blocks = 4;
-  ScenarioOptions options;
-  options.disk_faults.uncertain_probability = 0.3;
-  options.disk_faults.performed_when_uncertain = 0.5;
-  ScenarioResult result = RunBare(spec, options);
+  DiskFaultPlan faults;
+  faults.uncertain_probability = 0.3;
+  faults.performed_when_uncertain = 0.5;
+  ScenarioResult result = Scenario::Bare(spec).DiskFaults(faults).Run();
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.exited_flag, 1u) << "panic " << result.panic_code;
   // With retries, the performed operation count can exceed the workload's.
@@ -142,9 +142,7 @@ TEST(GuestBare, TimeMonotonic) {
 TEST(GuestBare, EchoConsoleInput) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kEcho;
-  ScenarioOptions options;
-  options.console_input = "hi!q";
-  ScenarioResult result = RunBare(spec, options);
+  ScenarioResult result = Scenario::Bare(spec).ConsoleInput("hi!q").Run();
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.exited_flag, 1u);
   EXPECT_EQ(result.console_output, "hi!");

@@ -12,11 +12,8 @@ namespace {
 
 double Np(const WorkloadSpec& spec, const ScenarioResult& bare, uint64_t epoch_len,
           ProtocolVariant variant, CostModel costs = {}) {
-  ScenarioOptions options;
-  options.replication.epoch_length = epoch_len;
-  options.replication.variant = variant;
-  options.costs = costs;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      Scenario::Replicated(spec).Epoch(epoch_len).Variant(variant).Costs(costs).Run();
   EXPECT_TRUE(ft.completed);
   return NormalizedPerformance(ft, bare);
 }

@@ -38,13 +38,11 @@ WorkloadSpec DiskAndConsoleSpec() {
 }
 
 TEST(ProtocolDispatch, PrimaryHandlesDiskAndConsoleCompletions) {
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  ScenarioResult ft = RunReplicated(DiskAndConsoleSpec(), options);
+  ScenarioResult ft = Scenario::Replicated(DiskAndConsoleSpec()).Epoch(4096).Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
   // The primary drove real I/O (disk writes + console chars) to completion.
-  EXPECT_GE(ft.primary_stats.io_issued, 6u);
+  EXPECT_GE(ft.primary_stats().io_issued, 6u);
   EXPECT_FALSE(ft.console_output.empty());
 }
 
@@ -52,32 +50,29 @@ TEST(ProtocolDispatch, PromotedBackupHandlesRedrivenCompletions) {
   // Kill the primary with an operation in flight: the promoted backup
   // synthesises the uncertain interrupt (P7), re-drives the op against the
   // real disk, and must then handle the real completion itself.
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kNotPerformed;
-  ScenarioResult ft = RunReplicated(DiskAndConsoleSpec(), options);
+  ScenarioResult ft =
+      Scenario::Replicated(DiskAndConsoleSpec())
+          .Epoch(4096)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kNotPerformed)
+          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   ASSERT_TRUE(ft.promoted);
   ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
-  EXPECT_GE(ft.backup_stats.uncertain_synthesised, 1u);
-  EXPECT_GE(ft.backup_stats.io_issued, 1u);
+  EXPECT_GE(ft.backup_stats().uncertain_synthesised, 1u);
+  EXPECT_GE(ft.backup_stats().io_issued, 1u);
 }
 
 TEST(ProtocolDispatch, SoloPrimaryHandlesCompletionsAfterBackupDies) {
   // The other completion route: the backup dies, the primary drops to solo
   // mode and keeps driving (and completing) real device operations.
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.target = FailurePlan::Target::kBackup;
-  options.failure.time = SimTime::Millis(5);
-  ScenarioResult ft = RunReplicated(DiskAndConsoleSpec(), options);
+  ScenarioResult ft = Scenario::Replicated(DiskAndConsoleSpec())
+                          .Epoch(4096)
+                          .FailAtTime(SimTime::Millis(5), FailurePlan::Target::kBackup)
+                          .Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   EXPECT_FALSE(ft.promoted);
   ASSERT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
-  EXPECT_GE(ft.primary_stats.io_issued, 6u);
+  EXPECT_GE(ft.primary_stats().io_issued, 6u);
 }
 
 TEST(ProtocolDispatch, EveryPhaseKillLeavesCompletionsHandled) {
@@ -85,12 +80,10 @@ TEST(ProtocolDispatch, EveryPhaseKillLeavesCompletionsHandled) {
   // every case the surviving role owns the outstanding completions.
   for (FailPhase phase : {FailPhase::kBeforeIoIssue, FailPhase::kAfterIoIssue}) {
     for (auto crash_io : {FailurePlan::CrashIo::kPerformed, FailurePlan::CrashIo::kNotPerformed}) {
-      ScenarioOptions options;
-      options.replication.epoch_length = 4096;
-      options.failure.kind = FailurePlan::Kind::kAtPhase;
-      options.failure.phase = phase;
-      options.failure.crash_io = crash_io;
-      ScenarioResult ft = RunReplicated(DiskAndConsoleSpec(), options);
+      ScenarioResult ft = Scenario::Replicated(DiskAndConsoleSpec())
+                              .Epoch(4096)
+                              .FailAtPhase(phase, 0, crash_io)
+                              .Run();
       ASSERT_TRUE(ft.completed)
           << FailPhaseName(phase) << " crash_io=" << static_cast<int>(crash_io);
       ASSERT_EQ(ft.exited_flag, 1u) << FailPhaseName(phase);

@@ -13,12 +13,9 @@
 namespace hbft {
 namespace {
 
-ScenarioOptions AuditOptions(uint64_t epoch_len, ProtocolVariant variant) {
-  ScenarioOptions options;
-  options.replication.epoch_length = epoch_len;
-  options.replication.variant = variant;
-  options.replication.audit_lockstep = true;
-  return options;
+Scenario AuditScenario(const WorkloadSpec& spec, uint64_t epoch_len,
+                       ProtocolVariant variant) {
+  return Scenario::Replicated(spec).Epoch(epoch_len).Variant(variant).AuditLockstep();
 }
 
 struct ReplicationCase {
@@ -86,7 +83,7 @@ TEST_P(ReplicationLockstep, MatchesBareAndStaysInLockstep) {
   ASSERT_TRUE(bare.completed);
   ASSERT_EQ(bare.exited_flag, 1u) << "bare panic " << bare.panic_code;
 
-  ScenarioResult ft = RunReplicated(spec, AuditOptions(c.epoch_len, c.variant));
+  ScenarioResult ft = AuditScenario(spec, c.epoch_len, c.variant).Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
   ASSERT_EQ(ft.exited_flag, 1u) << "panic " << ft.panic_code;
   EXPECT_FALSE(ft.promoted);
@@ -100,8 +97,8 @@ TEST_P(ReplicationLockstep, MatchesBareAndStaysInLockstep) {
 
   // Lockstep: every compared epoch-boundary fingerprint matches.
   size_t prefix = MatchingBoundaryPrefix(ft);
-  size_t compared = std::min(ft.primary_boundary_fingerprints.size(),
-                             ft.backup_boundary_fingerprints.size());
+  size_t compared = std::min(ft.primary_boundary_fingerprints().size(),
+                             ft.backup_boundary_fingerprints().size());
   EXPECT_EQ(prefix, compared) << "state diverged at epoch boundary " << prefix;
   EXPECT_GT(compared, 0u);
 
@@ -139,13 +136,12 @@ TEST(Replication, BackupConsumesForwardedTimeValues) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kTime;
   spec.iterations = 25;
-  ScenarioOptions options = AuditOptions(4096, ProtocolVariant::kOriginal);
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = AuditScenario(spec, 4096, ProtocolVariant::kOriginal).Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_EQ(ft.exit_code, 0u) << "backup saw non-monotone time";
   // Boot TOD read + 25 gettime reads, forwarded once each.
-  EXPECT_GE(ft.primary_stats.env_values, 26u);
-  EXPECT_EQ(ft.primary_stats.env_values, ft.backup_stats.env_values);
+  EXPECT_GE(ft.primary_stats().env_values, 26u);
+  EXPECT_EQ(ft.primary_stats().env_values, ft.backup_stats().env_values);
 }
 
 TEST(Replication, BackupSuppressesAllIo) {
@@ -153,10 +149,10 @@ TEST(Replication, BackupSuppressesAllIo) {
   spec.kind = WorkloadKind::kTxnLog;
   spec.iterations = 5;
   spec.num_blocks = 4;
-  ScenarioResult ft = RunReplicated(spec, AuditOptions(4096, ProtocolVariant::kOriginal));
+  ScenarioResult ft = AuditScenario(spec, 4096, ProtocolVariant::kOriginal).Run();
   ASSERT_TRUE(ft.completed);
-  EXPECT_GT(ft.backup_stats.io_suppressed, 0u);
-  EXPECT_EQ(ft.backup_stats.io_issued, 0u);
+  EXPECT_GT(ft.backup_stats().io_suppressed, 0u);
+  EXPECT_EQ(ft.backup_stats().io_issued, 0u);
   for (const auto& entry : ft.disk_trace) {
     EXPECT_EQ(entry.issuer, ft.primary_id);
   }
@@ -169,24 +165,24 @@ TEST(Replication, EpochCountsMatchAcrossReplicas) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kCpu;
   spec.iterations = 2000;
-  ScenarioResult ft = RunReplicated(spec, AuditOptions(2048, ProtocolVariant::kOriginal));
+  ScenarioResult ft = AuditScenario(spec, 2048, ProtocolVariant::kOriginal).Run();
   ASSERT_TRUE(ft.completed);
   // The backup completes exactly the epochs the primary ended ([end,E] per
   // epoch), possibly minus the trailing partial one.
-  EXPECT_LE(ft.backup_stats.epochs, ft.primary_stats.epochs);
-  EXPECT_GE(ft.backup_stats.epochs + 1, ft.primary_stats.epochs);
-  EXPECT_GT(ft.primary_stats.epochs, 10u);
+  EXPECT_LE(ft.backup_stats().epochs, ft.primary_stats().epochs);
+  EXPECT_GE(ft.backup_stats().epochs + 1, ft.primary_stats().epochs);
+  EXPECT_GT(ft.primary_stats().epochs, 10u);
 }
 
 TEST(Replication, OriginalProtocolWaitsForAcksAtBoundaries) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kCpu;
   spec.iterations = 2000;
-  ScenarioResult old_run = RunReplicated(spec, AuditOptions(4096, ProtocolVariant::kOriginal));
-  ScenarioResult new_run = RunReplicated(spec, AuditOptions(4096, ProtocolVariant::kRevised));
+  ScenarioResult old_run = AuditScenario(spec, 4096, ProtocolVariant::kOriginal).Run();
+  ScenarioResult new_run = AuditScenario(spec, 4096, ProtocolVariant::kRevised).Run();
   ASSERT_TRUE(old_run.completed);
   ASSERT_TRUE(new_run.completed);
-  EXPECT_GT(old_run.primary_stats.ack_wait_time.picos(), 0);
+  EXPECT_GT(old_run.primary_stats().ack_wait_time.picos(), 0);
   // Dropping the boundary ack wait must make the run strictly faster.
   EXPECT_LT(new_run.completion_time.picos(), old_run.completion_time.picos());
 }
@@ -197,19 +193,18 @@ TEST(Replication, RevisedProtocolCommitsOutputBeforeIo) {
   spec.iterations = 4;
   spec.num_blocks = 4;
   spec.compute_burst = 10;  // Little compute: acks often outstanding at I/O.
-  ScenarioResult ft = RunReplicated(spec, AuditOptions(8192, ProtocolVariant::kRevised));
+  ScenarioResult ft = AuditScenario(spec, 8192, ProtocolVariant::kRevised).Run();
   ASSERT_TRUE(ft.completed);
   EXPECT_EQ(ft.exited_flag, 1u);
   // All messages the primary sent were eventually acknowledged.
-  EXPECT_EQ(ft.primary_stats.messages_sent, ft.primary_stats.acks_received);
+  EXPECT_EQ(ft.primary_stats().messages_sent, ft.primary_stats().acks_received);
 }
 
 TEST(Replication, ConsoleEchoThroughReplicatedPair) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kEcho;
-  ScenarioOptions options = AuditOptions(4096, ProtocolVariant::kOriginal);
-  options.console_input = "abcq";
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft =
+      AuditScenario(spec, 4096, ProtocolVariant::kOriginal).ConsoleInput("abcq").Run();
   ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out;
   EXPECT_EQ(ft.console_output, "abc");
   EXPECT_EQ(ft.guest_checksum, 3u);

@@ -72,16 +72,15 @@ TEST(Determinism, IdenticalRunsAreBitIdentical) {
   spec.kind = WorkloadKind::kTxnLog;
   spec.iterations = 4;
   spec.num_blocks = 4;
-  ScenarioOptions options;
-  options.replication.epoch_length = 2048;
-  ScenarioResult a = RunReplicated(spec, options);
-  ScenarioResult b = RunReplicated(spec, options);
+  Scenario scenario = Scenario::Replicated(spec).Epoch(2048);
+  ScenarioResult a = scenario.Run();
+  ScenarioResult b = scenario.Run();
   ASSERT_TRUE(a.completed);
   EXPECT_EQ(a.completion_time.picos(), b.completion_time.picos());
   EXPECT_EQ(a.guest_checksum, b.guest_checksum);
   EXPECT_EQ(a.console_output, b.console_output);
   EXPECT_EQ(a.disk_trace.size(), b.disk_trace.size());
-  EXPECT_EQ(a.primary_stats.messages_sent, b.primary_stats.messages_sent);
+  EXPECT_EQ(a.primary_stats().messages_sent, b.primary_stats().messages_sent);
 }
 
 TEST(Determinism, FailoverRunsAreReproducible) {
@@ -89,12 +88,10 @@ TEST(Determinism, FailoverRunsAreReproducible) {
   spec.kind = WorkloadKind::kTxnLog;
   spec.iterations = 6;
   spec.num_blocks = 8;
-  ScenarioOptions options;
-  options.replication.epoch_length = 4096;
-  options.failure.kind = FailurePlan::Kind::kAtTime;
-  options.failure.time = SimTime::Millis(40);
-  ScenarioResult a = RunReplicated(spec, options);
-  ScenarioResult b = RunReplicated(spec, options);
+  Scenario scenario =
+      Scenario::Replicated(spec).Epoch(4096).FailAtTime(SimTime::Millis(40));
+  ScenarioResult a = scenario.Run();
+  ScenarioResult b = scenario.Run();
   ASSERT_TRUE(a.completed);
   EXPECT_EQ(a.promoted, b.promoted);
   EXPECT_EQ(a.promotion_time.picos(), b.promotion_time.picos());
@@ -109,13 +106,12 @@ TEST(Determinism, SeedChangesCrashIoResolution) {
   spec.kind = WorkloadKind::kTxnLog;
   spec.iterations = 6;
   spec.num_blocks = 8;
-  ScenarioOptions options;
-  options.failure.kind = FailurePlan::Kind::kAtPhase;
-  options.failure.phase = FailPhase::kAfterIoIssue;
-  options.failure.crash_io = FailurePlan::CrashIo::kRandom;
-  options.seed = 1;
-  ScenarioResult a1 = RunReplicated(spec, options);
-  ScenarioResult a2 = RunReplicated(spec, options);
+  Scenario scenario =
+      Scenario::Replicated(spec)
+          .Seed(1)
+          .FailAtPhase(FailPhase::kAfterIoIssue, 0, FailurePlan::CrashIo::kRandom);
+  ScenarioResult a1 = scenario.Run();
+  ScenarioResult a2 = scenario.Run();
   EXPECT_EQ(a1.disk_trace.size(), a2.disk_trace.size());
 }
 
@@ -125,9 +121,8 @@ TEST(World, TimeLimitDetectsRunaway) {
   // for console input that never comes -> the run must time out, not hang.
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kEcho;
-  ScenarioOptions options;
-  options.max_time = SimTime::Millis(200);
-  ScenarioResult result = RunReplicated(spec, options);
+  ScenarioResult result =
+      Scenario::Replicated(spec).MaxTime(SimTime::Millis(200)).Run();
   EXPECT_FALSE(result.completed);
   EXPECT_TRUE(result.timed_out || result.deadlocked);
 }
@@ -137,9 +132,7 @@ TEST(World, BareAndReplicatedShareWorkloadResults) {
   spec.kind = WorkloadKind::kCpu;
   spec.iterations = 1500;
   ScenarioResult bare = RunBare(spec);
-  ScenarioOptions options;
-  options.replication.epoch_length = 8192;
-  ScenarioResult ft = RunReplicated(spec, options);
+  ScenarioResult ft = Scenario::Replicated(spec).Epoch(8192).Run();
   ASSERT_TRUE(bare.completed);
   ASSERT_TRUE(ft.completed);
   EXPECT_EQ(bare.guest_checksum, ft.guest_checksum);
