@@ -49,12 +49,10 @@ int main() {
         ++bare_writes;
       }
     }
-    ConsistencyResult disk =
-        CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id, ft.backup_id);
-    ConsistencyResult console =
-        CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.primary_id, ft.backup_id);
+    ConsistencyResult env =
+        CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.primary_id, ft.backup_id);
     bool ok = ft.completed && ft.exited_flag == 1 && ft.guest_checksum == bare.guest_checksum &&
-              disk.ok && console.ok;
+              env.ok;
     if (!ok) {
       ++failures;
     }

@@ -56,19 +56,13 @@ int main() {
   std::printf("\n  -> %zu record(s) legitimately duplicated by the failover window\n\n",
               duplicates);
 
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id,
-                                                ft.backup_id);
-  ConsistencyResult console = CheckConsoleConsistency(bare.console_trace, ft.console_trace,
-                                                      ft.primary_id, ft.backup_id);
-  std::printf("environment consistency: disk %s, console %s\n", disk.ok ? "OK" : "VIOLATED",
-              console.ok ? "OK" : "VIOLATED");
-  if (!disk.ok) {
-    std::printf("  disk: %s\n", disk.detail.c_str());
-  }
-  if (!console.ok) {
-    std::printf("  console: %s\n", console.detail.c_str());
+  ConsistencyResult env =
+      CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.primary_id, ft.backup_id);
+  std::printf("environment consistency (all devices): %s\n", env.ok ? "OK" : "VIOLATED");
+  if (!env.ok) {
+    std::printf("  %s\n", env.detail.c_str());
   }
   std::printf("guest finished with exit code %u after %u/%u records\n", ft.exit_code,
               ft.guest_checksum, workload.iterations);
-  return disk.ok && console.ok && ft.exit_code == 0 ? 0 : 1;
+  return env.ok && ft.exit_code == 0 ? 0 : 1;
 }

@@ -20,12 +20,19 @@ void PrintUsage(std::FILE* out) {
       "       hbft_cli --list-workloads | --list-phases\n"
       "\n"
       "run    Execute one workload and report the outcome.\n"
-      "  --workload=KIND       cpu|diskread|diskwrite|hello|txnlog|echo|heap|time (txnlog)\n"
-      "  --iterations=N        workload operations / records\n"
+      "  --workload=KIND       cpu|diskread|diskwrite|hello|txnlog|echo|heap|time|\n"
+      "                        net-echo (txnlog). net-echo attaches the NIC and\n"
+      "                        echoes injected packets (see --packets).\n"
+      "  --iterations=N        workload operations / records / packets\n"
       "  --mode=M              both|bare|replicated (both: prints N'/N and consistency)\n"
       "  --epoch-length=N      instructions per epoch (4096)\n"
       "  --variant=V           old (P2 ack wait) | new (output commit, section 4.3)\n"
       "  --backups=N           replica chain length: 1 primary + N backups (1)\n"
+      "  --disk-uncertain=P    per-device uncertain-completion probability (0):\n"
+      "  --console-uncertain=P   each completion independently comes back\n"
+      "  --nic-uncertain=P       CHECK_CONDITION-style; drivers retry (IO2)\n"
+      "  --uncertain-performed=P probability an uncertain op actually happened (.5)\n"
+      "  --packets=N           net-echo: packets injected (default: iterations)\n"
       "  --fail=SPEC           append a failure event to the ordered schedule;\n"
       "                        repeatable. SPEC is comma-separated key=value:\n"
       "                          time-ms=X | phase=P[,epoch=N][,io-seq=N]\n"
@@ -53,6 +60,8 @@ void PrintUsage(std::FILE* out) {
       "\n"
       "examples:\n"
       "  hbft_cli run --workload=txnlog --iterations=8 --variant=new\n"
+      "  hbft_cli run --workload=net-echo --iterations=4 --fail-at=after-io-issue\n"
+      "  hbft_cli run --workload=txnlog --disk-uncertain=0.3 --console-uncertain=0.3\n"
       "  hbft_cli drill --variant=new --epoch-length=4096\n"
       "  hbft_cli drill --backups=2 --fail=time-ms=6 --fail=phase=after-io-issue\n"
       "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n",

@@ -119,12 +119,9 @@ int DrillCommand(FlagSet& flags) {
   ReportLine("guest_checksum", std::to_string(ft.guest_checksum) + " (bare " +
                                    std::to_string(bare.guest_checksum) +
                                    (checksum_ok ? ", match)" : ", MISMATCH)"));
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
-  ReportLine("disk_consistency", disk.ok ? "ok" : "FAIL: " + disk.detail);
-  ConsistencyResult console =
-      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
-  ReportLine("console_consistency", console.ok ? "ok" : "FAIL: " + console.detail);
-  ok = ok && disk.ok && console.ok;
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  ReportLine("env_consistency", env.ok ? "ok" : "FAIL: " + env.detail);
+  ok = ok && env.ok;
   ReportLine("verdict", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

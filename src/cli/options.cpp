@@ -15,7 +15,7 @@ bool IsRepeatable(const std::string& key) { return key == "fail"; }
 constexpr WorkloadKind kAllWorkloadKinds[] = {
     WorkloadKind::kCpu,   WorkloadKind::kDiskRead, WorkloadKind::kDiskWrite,
     WorkloadKind::kHello, WorkloadKind::kTxnLog,   WorkloadKind::kEcho,
-    WorkloadKind::kHeap,  WorkloadKind::kTime,
+    WorkloadKind::kHeap,  WorkloadKind::kTime,     WorkloadKind::kNetEcho,
 };
 
 constexpr FailPhase kAllFailPhases[] = {
@@ -118,6 +118,7 @@ std::optional<WorkloadKind> ParseWorkloadKind(const std::string& name) {
   if (name == "disk-read" || name == "read") return WorkloadKind::kDiskRead;
   if (name == "disk-write" || name == "write") return WorkloadKind::kDiskWrite;
   if (name == "txn-log") return WorkloadKind::kTxnLog;
+  if (name == "netecho") return WorkloadKind::kNetEcho;
   return std::nullopt;
 }
 
@@ -139,6 +140,8 @@ const char* WorkloadKindName(WorkloadKind kind) {
       return "heap";
     case WorkloadKind::kTime:
       return "time";
+    case WorkloadKind::kNetEcho:
+      return "net-echo";
   }
   return "unknown";
 }
@@ -327,19 +330,47 @@ bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* descr
   return true;
 }
 
+namespace {
+
+// Shared scenario shaping for the knobs that must match between a replicated
+// run and its bare reference (devices, fault plans, injected input).
+void ApplyEnvironment(const ScenarioFlags& flags, Scenario* scenario) {
+  scenario->DiskFaults(flags.disk_faults)
+      .ConsoleFaults(flags.console_faults)
+      .NicFaults(flags.nic_faults);
+  if (flags.workload.kind == WorkloadKind::kNetEcho) {
+    uint64_t packets = flags.packets != 0 ? flags.packets : flags.workload.iterations;
+    for (uint64_t i = 0; i < packets; ++i) {
+      // Deterministic 12-byte payloads: "pkt-NNNN...." stamped per index.
+      std::vector<uint8_t> payload;
+      char text[16];
+      std::snprintf(text, sizeof(text), "pkt-%04u....", static_cast<unsigned>(i));
+      payload.assign(text, text + 12);
+      scenario->InjectPacket(std::move(payload));
+    }
+  }
+}
+
+}  // namespace
+
 Scenario ScenarioFlags::Replicated() const {
   Scenario scenario = Scenario::Replicated(workload)
                           .Backups(backups)
                           .Epoch(epoch_length)
                           .Variant(variant)
                           .Seed(seed);
+  ApplyEnvironment(*this, &scenario);
   for (const FailurePlan& plan : failures) {
     scenario.FailAt(plan);
   }
   return scenario;
 }
 
-Scenario ScenarioFlags::Bare() const { return Scenario::Bare(workload).Seed(seed); }
+Scenario ScenarioFlags::Bare() const {
+  Scenario scenario = Scenario::Bare(workload).Seed(seed);
+  ApplyEnvironment(*this, &scenario);
+  return scenario;
+}
 
 bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
   std::string workload_name = flags.GetString("workload", "txnlog");
@@ -355,6 +386,8 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
     out->workload.iterations = static_cast<uint32_t>(*v);
   } else if (*kind == WorkloadKind::kTxnLog) {
     out->workload.iterations = 10;
+  } else if (*kind == WorkloadKind::kNetEcho) {
+    out->workload.iterations = 4;
   }
   if (auto v = flags.GetU64("num-blocks")) {
     out->workload.num_blocks = static_cast<uint32_t>(*v);
@@ -381,6 +414,52 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
       return false;
     }
     out->backups = static_cast<int>(*v);
+  }
+
+  // Per-device transient-fault knobs: uncertain-completion probabilities,
+  // plus one shared performed-when-uncertain probability.
+  struct FaultFlag {
+    const char* flag;
+    FaultPlan* plan;
+  };
+  const FaultFlag fault_flags[] = {
+      {"disk-uncertain", &out->disk_faults},
+      {"console-uncertain", &out->console_faults},
+      {"nic-uncertain", &out->nic_faults},
+  };
+  for (const FaultFlag& f : fault_flags) {
+    if (auto v = flags.GetDouble(f.flag)) {
+      if (*v < 0.0 || *v > 1.0) {
+        std::fprintf(stderr, "hbft_cli: --%s expects a probability in [0,1]\n", f.flag);
+        return false;
+      }
+      f.plan->uncertain_probability = *v;
+    }
+  }
+  if (auto v = flags.GetDouble("uncertain-performed")) {
+    if (*v < 0.0 || *v > 1.0) {
+      std::fprintf(stderr, "hbft_cli: --uncertain-performed expects a probability in [0,1]\n");
+      return false;
+    }
+    out->disk_faults.performed_when_uncertain = *v;
+    out->console_faults.performed_when_uncertain = *v;
+    out->nic_faults.performed_when_uncertain = *v;
+  }
+  if (auto v = flags.GetU64("packets")) {
+    if (out->workload.kind != WorkloadKind::kNetEcho) {
+      std::fprintf(stderr, "hbft_cli: --packets applies only to --workload=net-echo\n");
+      return false;
+    }
+    if (*v < out->workload.iterations) {
+      // The guest consumes exactly `iterations` packets; fewer would leave it
+      // blocked in net_recv until max_time.
+      std::fprintf(stderr,
+                   "hbft_cli: --packets=%llu is less than the %u packets the workload "
+                   "consumes (see --iterations)\n",
+                   static_cast<unsigned long long>(*v), out->workload.iterations);
+      return false;
+    }
+    out->packets = *v;
   }
 
   // Legacy single-failure flags: --fail-at=<phase> (with --fail-epoch) or

@@ -64,8 +64,8 @@ void PrintFailPhaseNames(std::FILE* out);
 bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* description);
 
 // Scenario knobs shared by `run` and `drill`: workload selection plus
-// replication, topology, and failure-schedule settings. Returns false after
-// printing the offending flag.
+// replication, topology, device fault plans, and failure-schedule settings.
+// Returns false after printing the offending flag.
 struct ScenarioFlags {
   WorkloadSpec workload;
   int backups = 1;
@@ -75,6 +75,16 @@ struct ScenarioFlags {
   FailureSchedule failures;
   std::string failure_description = "none";
   bool has_failure = false;
+
+  // Per-device transient-fault knobs (--disk-uncertain= etc.), applied to
+  // the replicated run and its bare reference alike so the transparency
+  // checks compare like with like.
+  FaultPlan disk_faults;
+  FaultPlan console_faults;
+  FaultPlan nic_faults;
+
+  // net-echo: packets injected into the run (0 = workload iterations).
+  uint64_t packets = 0;
 
   // Builders carrying every parsed knob.
   Scenario Replicated() const;

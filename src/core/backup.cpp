@@ -168,33 +168,16 @@ void BackupNode::TryAdvanceBoundary() {
 void BackupNode::SynthesiseUncertainInterrupts() {
   // P7: every outstanding operation gets an uncertain completion, forcing the
   // guest driver down its retry path — the environment cannot distinguish
-  // this from a transient device fault.
+  // this from a transient device fault. The owning device model shapes each
+  // completion, so every registered device is covered uniformly.
   for (const auto& [seq, io] : outstanding_io_) {
-    VirtualInterrupt vi;
-    vi.epoch = epoch_;
-    IoCompletionPayload payload;
-    payload.guest_op_seq = seq;
-    payload.result_code = kDiskResultCheckCondition;
-    if (io.kind == GuestIoCommand::Kind::kConsoleTx) {
-      vi.irq_line = kIrqConsoleTx;
-      payload.device_irq = kIrqConsoleTx;
-    } else {
-      vi.irq_line = kIrqDisk;
-      payload.device_irq = kIrqDisk;
-    }
-    vi.io = payload;
-    hv_.BufferInterrupt(vi);
+    VirtualDevice* device = hv_.devices().by_id(io.device_id);
+    HBFT_CHECK(device != nullptr);
+    IoCompletionPayload payload = device->MakeUncertainCompletion(io);
+    // P1 in the primary role when relaying: the downstream backup must see
+    // the same uncertain completions so it retires the same outstanding set.
+    BufferAndRelay(std::move(payload), replicating_down());
     ++stats_.uncertain_synthesised;
-    if (replicating_down()) {
-      // P1 in the primary role: the downstream backup must see the same
-      // uncertain completions so it retires the same outstanding set.
-      Message relay;
-      relay.type = MsgType::kInterrupt;
-      relay.epoch = epoch_;
-      relay.irq_lines = vi.irq_line;
-      relay.io = std::move(*vi.io);
-      SendDown(std::move(relay));
-    }
   }
   outstanding_io_.clear();
 }
@@ -223,7 +206,7 @@ void BackupNode::PromoteAtBoundary() {
     SendDown(std::move(msg));
   }
   SynthesiseUncertainInterrupts();
-  FlushPendingRx();
+  FlushPendingInputs();
   DeliverForEpoch(tme);
   boundary_tme_valid_ = false;
   if (replicating_down()) {
@@ -245,59 +228,35 @@ void BackupNode::PromoteMidEpoch() {
   promotion_time_ = hv_.clock();
   hv_.PurgeBufferedAfter(epoch_);
   deferred_up_acks_.clear();
-  FlushPendingRx();
+  FlushPendingInputs();
   // Outstanding operations get their uncertain interrupts at the end of this
   // (failover) epoch, per P7 — ActiveBoundary handles it.
 }
 
-void BackupNode::FlushPendingRx() {
-  while (!pending_rx_.empty()) {
-    VirtualInterrupt vi;
-    vi.irq_line = kIrqConsoleRx;
-    vi.epoch = epoch_;
-    vi.rx_char = pending_rx_.front();
-    pending_rx_.pop_front();
-    hv_.BufferInterrupt(vi);
-    if (replicating_down()) {
-      Message relay;
-      relay.type = MsgType::kInterrupt;
-      relay.epoch = epoch_;
-      relay.irq_lines = kIrqConsoleRx;
-      IoCompletionPayload payload;  // RX carries its character in result_code.
-      payload.device_irq = kIrqConsoleRx;
-      payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(vi.rx_char));
-      relay.io = payload;
-      SendDown(std::move(relay));
-    }
+void BackupNode::FlushPendingInputs() {
+  while (!pending_inputs_.empty()) {
+    BufferAndRelay(std::move(pending_inputs_.front()), replicating_down());
+    pending_inputs_.pop_front();
   }
 }
 
-void BackupNode::InjectConsoleRx(char c, SimTime t) {
+void BackupNode::InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) {
   if (dead_ || halted_) {
     return;
   }
+  VirtualDevice* dev = hv_.devices().by_id(device);
+  HBFT_CHECK(dev != nullptr);
+  IoCompletionPayload completion;
+  if (!dev->MakeInputCompletion(payload, &completion)) {
+    return;
+  }
   if (!active_) {
-    pending_rx_.push_back(c);
+    pending_inputs_.push_back(std::move(completion));
     return;
   }
   CatchUpClock(t);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqConsoleRx;
-  vi.epoch = epoch_;
-  vi.rx_char = c;
-  hv_.BufferInterrupt(vi);
-  if (replicating_down()) {
-    Message relay;
-    relay.type = MsgType::kInterrupt;
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqConsoleRx;
-    IoCompletionPayload payload;
-    payload.device_irq = kIrqConsoleRx;
-    payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(c));
-    relay.io = payload;
-    SendDown(std::move(relay));
-  }
+  BufferAndRelay(std::move(completion), replicating_down());
 }
 
 void BackupNode::ActiveBoundary() {
@@ -358,7 +317,7 @@ void BackupNode::FinishActiveBoundary() {
   runnable_ = true;
 }
 
-void BackupNode::HandleIoInitiation(const GuestIoCommand& io) {
+void BackupNode::HandleIoInitiation(const IoDescriptor& io) {
   Phase(FailPhase::kBeforeIoIssue, io.guest_op_seq);
   if (dead_) {
     return;
@@ -383,7 +342,7 @@ void BackupNode::HandleIoInitiation(const GuestIoCommand& io) {
 void BackupNode::CompleteGatedIo() {
   HBFT_CHECK(gated_io_.has_value());
   stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
-  GuestIoCommand io = *gated_io_;
+  IoDescriptor io = *gated_io_;
   gated_io_.reset();
   state_ = State::kRun;
   runnable_ = true;
@@ -448,9 +407,6 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
       vi.irq_line = msg.irq_lines;
       vi.epoch = msg.epoch;
       vi.io = msg.io;
-      if (msg.irq_lines == kIrqConsoleRx && msg.io.has_value()) {
-        vi.rx_char = static_cast<char>(msg.io->result_code & 0xFF);
-      }
       hv_.BufferInterrupt(vi);  // P4: buffer for delivery at end of epoch E.
       break;
     }
@@ -534,66 +490,14 @@ void BackupNode::OnDownstreamFailureDetected(SimTime t) {
   }
 }
 
-void BackupNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
+void BackupNode::HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
+                                    SimTime event_time) {
   // Active (promoted) role only: this node now drives the real devices.
   HBFT_CHECK(active_);
-  auto it = pending_disk_.find(disk_op_id);
-  HBFT_CHECK(it != pending_disk_.end());
-  GuestIoCommand io = it->second;
-  pending_disk_.erase(it);
-
+  (void)io;
   CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
-
-  Disk::Completion completion = disk_->Complete(disk_op_id);
-  IoCompletionPayload payload;
-  payload.device_irq = kIrqDisk;
-  payload.guest_op_seq = io.guest_op_seq;
-  payload.result_code = completion.status == DiskStatus::kUncertain ? kDiskResultCheckCondition
-                                                                    : kDiskResultOk;
-  if (io.kind == GuestIoCommand::Kind::kDiskRead && completion.status == DiskStatus::kOk) {
-    payload.has_dma_data = true;
-    payload.dma_guest_paddr = io.dma_paddr;
-    payload.dma_data = completion.data;
-  }
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqDisk;
-  vi.epoch = epoch_;
-  vi.io = payload;
-  hv_.BufferInterrupt(vi);
-
-  if (replicating_down()) {
-    Message relay;  // P1, primary role.
-    relay.type = MsgType::kInterrupt;
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqDisk;
-    relay.io = std::move(payload);
-    SendDown(std::move(relay));
-  }
-}
-
-void BackupNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
-  HBFT_CHECK(active_);
-  CatchUpClock(event_time);
-  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
-  IoCompletionPayload payload;
-  payload.device_irq = kIrqConsoleTx;
-  payload.guest_op_seq = guest_op_seq;
-  payload.result_code = 0;
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqConsoleTx;
-  vi.epoch = epoch_;
-  vi.io = payload;
-  hv_.BufferInterrupt(vi);
-
-  if (replicating_down()) {
-    Message relay;
-    relay.type = MsgType::kInterrupt;
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqConsoleTx;
-    relay.io = std::move(payload);
-    SendDown(std::move(relay));
-  }
+  BufferAndRelay(std::move(payload), replicating_down());  // P1, primary role.
 }
 
 }  // namespace hbft

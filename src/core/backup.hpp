@@ -58,10 +58,11 @@ class BackupNode : public ReplicaNodeBase {
   // upstream acknowledgments, release any wait on the dead node's acks.
   void OnDownstreamFailureDetected(SimTime t) override;
 
-  // Console input arriving after the active replica died. Queued until
-  // promotion (the replication invariant forbids locally-sourced interrupts
-  // before then), delivered like any RX interrupt afterwards.
-  void InjectConsoleRx(char c, SimTime t);
+  // Environment input (console characters, NIC packets) arriving after the
+  // active replica died. Queued until promotion (the replication invariant
+  // forbids locally-sourced interrupts before then), delivered like any
+  // device interrupt afterwards.
+  void InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) override;
 
   bool promoted() const { return promoted_; }
   SimTime promotion_time() const { return promotion_time_; }
@@ -77,8 +78,8 @@ class BackupNode : public ReplicaNodeBase {
   };
 
   void OnMessage(const Message& msg, SimTime now) override;
-  void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
-  void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
+  void HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
+                          SimTime event_time) override;
 
   // Whether this node still replicates to a live downstream backup.
   bool replicating_down() const { return down_out_ != nullptr && !down_lost_; }
@@ -91,13 +92,12 @@ class BackupNode : public ReplicaNodeBase {
   void ServeTodLocally();
   void PromoteAtBoundary();
   void PromoteMidEpoch();
-  void BeginDownstreamReprotection(uint64_t keep_tmes);
   void SynthesiseUncertainInterrupts();
   void ActiveBoundary();
   void FinishActiveBoundary();
-  void HandleIoInitiation(const GuestIoCommand& io);
+  void HandleIoInitiation(const IoDescriptor& io);
   void CompleteGatedIo();
-  void FlushPendingRx();
+  void FlushPendingInputs();
   uint32_t DeliverForEpoch(uint64_t tme);
 
   State state_ = State::kRun;
@@ -131,14 +131,16 @@ class BackupNode : public ReplicaNodeBase {
   uint64_t active_tme_ = 0;
   SimTime boundary_started_ = SimTime::Zero();
   SimTime ack_wait_started_ = SimTime::Zero();
-  std::optional<GuestIoCommand> gated_io_;
+  std::optional<IoDescriptor> gated_io_;
 
   // I/O initiations executed (and suppressed) but whose completion has not
-  // been delivered: candidates for P7 uncertain interrupts.
-  std::map<uint64_t, GuestIoCommand> outstanding_io_;
+  // been delivered: candidates for P7 uncertain interrupts, across every
+  // registered device.
+  std::map<uint64_t, IoDescriptor> outstanding_io_;
 
-  // Console input that arrived between the crash and promotion.
-  std::deque<char> pending_rx_;
+  // Environment input that arrived between the crash and promotion, already
+  // shaped as completions by the owning device models.
+  std::deque<IoCompletionPayload> pending_inputs_;
 };
 
 }  // namespace hbft

@@ -60,7 +60,7 @@ void PrimaryNode::RunSlice(SimTime until) {
   }
 }
 
-void PrimaryNode::HandleIoInitiation(const GuestIoCommand& io) {
+void PrimaryNode::HandleIoInitiation(const IoDescriptor& io) {
   Phase(FailPhase::kBeforeIoIssue, io.guest_op_seq);
   if (dead_) {
     return;
@@ -85,7 +85,7 @@ void PrimaryNode::HandleIoInitiation(const GuestIoCommand& io) {
 void PrimaryNode::CompleteGatedIo() {
   HBFT_CHECK(gated_io_.has_value());
   stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
-  GuestIoCommand io = *gated_io_;
+  IoDescriptor io = *gated_io_;
   gated_io_.reset();
   state_ = State::kRun;
   runnable_ = true;
@@ -178,93 +178,27 @@ void PrimaryNode::OnMessage(const Message& msg, SimTime now) {
   }
 }
 
-void PrimaryNode::HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) {
-  auto it = pending_disk_.find(disk_op_id);
-  HBFT_CHECK(it != pending_disk_.end());
-  GuestIoCommand io = it->second;
-  pending_disk_.erase(it);
-
+void PrimaryNode::HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
+                                     SimTime event_time) {
+  (void)io;
   CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);  // Host interrupt entry.
-
-  Disk::Completion completion = disk_->Complete(disk_op_id);
-
-  IoCompletionPayload payload;
-  payload.device_irq = kIrqDisk;
-  payload.guest_op_seq = io.guest_op_seq;
-  payload.result_code = completion.status == DiskStatus::kUncertain ? kDiskResultCheckCondition
-                                                                    : kDiskResultOk;
-  if (io.kind == GuestIoCommand::Kind::kDiskRead && completion.status == DiskStatus::kOk) {
-    payload.has_dma_data = true;
-    payload.dma_guest_paddr = io.dma_paddr;
-    payload.dma_data = completion.data;
-  }
-
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqDisk;
-  vi.epoch = epoch_;
-  vi.io = payload;
-  hv_.BufferInterrupt(vi);  // P1: buffer for delivery at the end of the epoch.
-
-  if (!solo_) {
-    Message relay;  // P1: send [E, Int] (with the read data: the paper's
-    relay.type = MsgType::kInterrupt;  // "9 messages for an 8K block").
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqDisk;
-    relay.io = std::move(payload);
-    SendDown(std::move(relay));
-  }
+  BufferAndRelay(std::move(payload), /*relay=*/!solo_);
 }
 
-void PrimaryNode::HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) {
-  CatchUpClock(event_time);
-  hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
-
-  IoCompletionPayload payload;
-  payload.device_irq = kIrqConsoleTx;
-  payload.guest_op_seq = guest_op_seq;
-  payload.result_code = 0;
-
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqConsoleTx;
-  vi.epoch = epoch_;
-  vi.io = payload;
-  hv_.BufferInterrupt(vi);
-
-  if (!solo_) {
-    Message relay;
-    relay.type = MsgType::kInterrupt;
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqConsoleTx;
-    relay.io = std::move(payload);
-    SendDown(std::move(relay));
-  }
-}
-
-void PrimaryNode::InjectConsoleRx(char c, SimTime t) {
+void PrimaryNode::InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) {
   if (dead_ || halted_) {
     return;
   }
+  VirtualDevice* dev = hv_.devices().by_id(device);
+  HBFT_CHECK(dev != nullptr);
+  IoCompletionPayload completion;
+  if (!dev->MakeInputCompletion(payload, &completion)) {
+    return;  // The device takes no environment input.
+  }
   CatchUpClock(t);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
-
-  VirtualInterrupt vi;
-  vi.irq_line = kIrqConsoleRx;
-  vi.epoch = epoch_;
-  vi.rx_char = c;
-  hv_.BufferInterrupt(vi);
-
-  if (!solo_) {
-    Message relay;
-    relay.type = MsgType::kInterrupt;
-    relay.epoch = epoch_;
-    relay.irq_lines = kIrqConsoleRx;
-    IoCompletionPayload payload;  // RX carries its character in result_code.
-    payload.device_irq = kIrqConsoleRx;
-    payload.result_code = static_cast<uint32_t>(static_cast<uint8_t>(c));
-    relay.io = payload;
-    SendDown(std::move(relay));
-  }
+  BufferAndRelay(std::move(completion), /*relay=*/!solo_);
 }
 
 void PrimaryNode::OnDownstreamFailureDetected(SimTime t) {

@@ -2,8 +2,8 @@
 //
 // The primary runs the guest under its hypervisor, simulates environment
 // instructions against the real environment (forwarding every value to its
-// backup), drives the real devices, relays received interrupts as [E, Int]
-// messages, and at each epoch boundary runs P2:
+// backup), drives the real devices through the registry, relays received
+// interrupts as [E, Int] messages, and at each epoch boundary runs P2:
 //
 //   - send [Tme_p] (the virtual clock registers);
 //   - original protocol: await acknowledgments for all messages sent;
@@ -41,9 +41,9 @@ class PrimaryNode : public ReplicaNodeBase {
 
   bool solo() const { return solo_; }
 
-  // Console input arriving from the environment (remote console): buffered
-  // as an RX interrupt and relayed like any device interrupt.
-  void InjectConsoleRx(char c, SimTime t);
+  // Environment input (console characters, NIC packets): buffered as a
+  // device interrupt and relayed like any other.
+  void InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) override;
 
  private:
   enum class State {
@@ -53,19 +53,19 @@ class PrimaryNode : public ReplicaNodeBase {
   };
 
   void OnMessage(const Message& msg, SimTime now) override;
-  void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) override;
-  void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) override;
+  void HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
+                          SimTime event_time) override;
 
   void StartBoundary();
   void FinishBoundary();
-  void HandleIoInitiation(const GuestIoCommand& io);
+  void HandleIoInitiation(const IoDescriptor& io);
   void CompleteGatedIo();
 
   State state_ = State::kRun;
   bool solo_ = false;  // Backup lost: replication off, service continues.
   uint64_t boundary_tme_ = 0;
   SimTime boundary_started_ = SimTime::Zero();
-  std::optional<GuestIoCommand> gated_io_;
+  std::optional<IoDescriptor> gated_io_;
   SimTime ack_wait_started_ = SimTime::Zero();
   uint64_t env_seq_ = 0;
 };

@@ -49,14 +49,13 @@ HypervisorConfig HvConfigFrom(const ReplicationConfig& replication) {
 ReplicaNodeBase::ReplicaNodeBase(int id, const GuestProgram& guest,
                                  const MachineConfig& machine_config,
                                  const ReplicationConfig& replication, const CostModel& costs,
-                                 Disk* disk, Console* console, const NodeLinks& links,
+                                 std::unique_ptr<DeviceRegistry> devices, const NodeLinks& links,
                                  EventScheduler* scheduler)
     : id_(id),
       replication_(replication),
       costs_(costs),
-      hv_(WithHostFirst(machine_config, id), HvConfigFrom(replication), costs),
-      disk_(disk),
-      console_(console),
+      hv_(WithHostFirst(machine_config, id), HvConfigFrom(replication), costs,
+          std::move(devices)),
       up_in_(links.up_in),
       up_out_(links.up_out),
       down_out_(links.down_out),
@@ -73,11 +72,11 @@ ReplicaNodeBase::ReplicaNodeBase(int id, const GuestProgram& guest,
   hv_.BeginEpoch();
 }
 
-std::vector<uint64_t> ReplicaNodeBase::PendingDiskOps() const {
-  std::vector<uint64_t> ops;
-  ops.reserve(pending_disk_.size());
-  for (const auto& [op_id, io] : pending_disk_) {
-    ops.push_back(op_id);
+std::vector<PendingRealOp> ReplicaNodeBase::PendingRealOps() const {
+  std::vector<PendingRealOp> ops;
+  ops.reserve(pending_real_.size());
+  for (const auto& [key, io] : pending_real_) {
+    ops.push_back(PendingRealOp{key.first, key.second});
   }
   return ops;
 }
@@ -134,43 +133,49 @@ void ReplicaNodeBase::SendUp(Message msg) {
   }
 }
 
-void ReplicaNodeBase::IssueRealIo(const GuestIoCommand& io) {
+void ReplicaNodeBase::IssueRealIo(const IoDescriptor& io) {
   ++stats_.io_issued;
-  switch (io.kind) {
-    case GuestIoCommand::Kind::kDiskWrite: {
-      uint64_t op = disk_->IssueWrite(io.block, io.write_data, id_);
-      pending_disk_[op] = io;
-      SimTime completion = hv_.clock() + costs_.disk_write_latency;
-      scheduler_->ScheduleAt(completion, [this, op, completion] {
-        if (!dead_ && !halted_) {
-          HandleDiskCompletion(op, completion);
-        }
-      });
-      break;
+  VirtualDevice* device = hv_.devices().by_id(io.device_id);
+  HBFT_CHECK(device != nullptr) << "I/O for unregistered device "
+                                << static_cast<uint32_t>(io.device_id);
+  DeviceBackend* backend = device->backend();
+  HBFT_CHECK(backend != nullptr) << device->name() << " has no backend";
+  DeviceBackend::Issued issued = backend->Issue(io, id_);
+  pending_real_[{io.device_id, issued.op_id}] = io;
+  SimTime completion = hv_.clock() + issued.latency;
+  const DeviceId device_id = io.device_id;
+  const uint64_t op_id = issued.op_id;
+  scheduler_->ScheduleAt(completion, [this, device_id, op_id, completion] {
+    if (!dead_ && !halted_) {
+      OnRealOpComplete(device_id, op_id, completion);
     }
-    case GuestIoCommand::Kind::kDiskRead: {
-      uint64_t op = disk_->IssueRead(io.block, id_);
-      pending_disk_[op] = io;
-      SimTime completion = hv_.clock() + costs_.disk_read_latency;
-      scheduler_->ScheduleAt(completion, [this, op, completion] {
-        if (!dead_ && !halted_) {
-          HandleDiskCompletion(op, completion);
-        }
-      });
-      break;
-    }
-    case GuestIoCommand::Kind::kConsoleTx: {
-      // The character is latched (environment-visible) at issue.
-      console_->Transmit(io.tx_char, id_);
-      uint64_t seq = io.guest_op_seq;
-      SimTime completion = hv_.clock() + costs_.console_tx_latency;
-      scheduler_->ScheduleAt(completion, [this, seq, completion] {
-        if (!dead_ && !halted_) {
-          HandleConsoleTxDone(seq, completion);
-        }
-      });
-      break;
-    }
+  });
+}
+
+void ReplicaNodeBase::OnRealOpComplete(DeviceId device_id, uint64_t op_id, SimTime event_time) {
+  auto it = pending_real_.find({device_id, op_id});
+  HBFT_CHECK(it != pending_real_.end());
+  IoDescriptor io = std::move(it->second);
+  pending_real_.erase(it);
+  DeviceBackend* backend = hv_.devices().by_id(device_id)->backend();
+  IoCompletionPayload payload = backend->Complete(op_id, io);
+  HandleIoCompletion(io, std::move(payload), event_time);
+}
+
+void ReplicaNodeBase::BufferAndRelay(IoCompletionPayload payload, bool relay) {
+  VirtualInterrupt vi;
+  vi.irq_line = payload.device_irq;
+  vi.epoch = epoch_;
+  vi.io = payload;
+  hv_.BufferInterrupt(vi);  // P1: buffer for delivery at the end of the epoch.
+
+  if (relay) {
+    Message msg;  // P1: send [E, Int] (with any read data: the paper's
+    msg.type = MsgType::kInterrupt;  // "9 messages for an 8K block").
+    msg.epoch = epoch_;
+    msg.irq_lines = payload.device_irq;
+    msg.io = std::move(payload);
+    SendDown(std::move(msg));
   }
 }
 

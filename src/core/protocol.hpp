@@ -2,8 +2,8 @@
 //
 // This module is the paper's primary contribution. The protocol rules map to
 // code as follows:
-//   P1 — PrimaryNode::OnDiskCompletion / OnConsoleTxDone / OnConsoleRx:
-//        buffer the interrupt, relay [E, Int] to the backup.
+//   P1 — PrimaryNode::HandleIoCompletion / InjectInput: buffer the
+//        interrupt, relay [E, Int] to the backup.
 //   P2 — PrimaryNode boundary processing: send [Tme_p]; (original variant)
 //        await acknowledgments for everything sent; add timer interrupts
 //        based on Tme_p; deliver buffered interrupts; send [end, E].
@@ -15,11 +15,18 @@
 //        await [end, E], deliver.
 //   P6 — BackupNode::PromoteAtBoundary after the failure detector fires.
 //   P7 — uncertain interrupts synthesised for every outstanding I/O
-//        operation at the end of a failover epoch.
+//        operation at the end of a failover epoch, generically across every
+//        registered device.
 //
 // The revised protocol of section 4.3 ("New" in Table 1) drops the ack wait
 // in P2 and instead gates every device interaction on all-acked (output
 // commit): ProtocolVariant::kRevised.
+//
+// The protocol is stated over the I/O axioms IO1/IO2, not over any concrete
+// device: this layer sees devices only as DeviceId-tagged IoDescriptor
+// initiations and IoCompletionPayload completions, dispatched through the
+// node's DeviceRegistry (devices/virtual_device.hpp). Adding a device never
+// touches core/.
 //
 // Chain extension (beyond the paper's pair): replicas form a chain
 // primary -> backup_1 -> ... -> backup_k. Each interior backup relays the
@@ -35,11 +42,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/time.hpp"
-#include "devices/console.hpp"
-#include "devices/disk.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "net/channel.hpp"
 
@@ -117,14 +125,22 @@ struct NodeLinks {
   Channel* down_in = nullptr;   // Acknowledgments from the downstream replica.
 };
 
-// Shared machinery for primary and backup replicas: the hypervisor, channel
-// endpoints, real-device access, and bookkeeping. "Real device" methods are
-// used by the primary from the start and by a backup after promotion.
+// A real-device operation in flight at a crash, for IO2 resolution.
+struct PendingRealOp {
+  DeviceId device_id = DeviceId::kNone;
+  uint64_t op_id = 0;
+};
+
+// Shared machinery for primary and backup replicas: the hypervisor (which
+// owns the node's DeviceRegistry), channel endpoints, and bookkeeping.
+// "Real device" methods are used by the primary from the start and by a
+// backup after promotion.
 class ReplicaNodeBase : public NodeActor {
  public:
   ReplicaNodeBase(int id, const GuestProgram& guest, const MachineConfig& machine_config,
-                  const ReplicationConfig& replication, const CostModel& costs, Disk* disk,
-                  Console* console, const NodeLinks& links, EventScheduler* scheduler);
+                  const ReplicationConfig& replication, const CostModel& costs,
+                  std::unique_ptr<DeviceRegistry> devices, const NodeLinks& links,
+                  EventScheduler* scheduler);
   ~ReplicaNodeBase() override = default;
 
   SimTime clock() const override { return hv_.clock(); }
@@ -134,11 +150,18 @@ class ReplicaNodeBase : public NodeActor {
 
   Hypervisor& hypervisor() { return hv_; }
   const Hypervisor& hypervisor() const { return hv_; }
+  DeviceRegistry& devices() { return hv_.devices(); }
   uint64_t epoch() const { return epoch_; }
   int id() const { return id_; }
 
   // Pending real-device operations (world resolves them at a crash).
-  std::vector<uint64_t> PendingDiskOps() const;
+  std::vector<PendingRealOp> PendingRealOps() const;
+
+  // Environment input bound for the guest (console characters, NIC
+  // packets), shaped by the owning device model into the one generic
+  // completion path. Role-specific: the active replica buffers and relays;
+  // a standing backup queues until promotion.
+  virtual void InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) = 0;
 
   // Wired by the world: delivers queued channel messages to this node,
   // merging the upstream protocol stream and downstream acknowledgments in
@@ -212,16 +235,23 @@ class ReplicaNodeBase : public NodeActor {
     }
   }
 
-  // Issues a guest I/O command against the real devices; schedules the
-  // completion event. Only the active replica calls this.
-  void IssueRealIo(const GuestIoCommand& io);
+  // Issues a guest I/O command against the real device backend; schedules
+  // the completion event. Only the active replica calls this.
+  void IssueRealIo(const IoDescriptor& io);
 
-  // Handles a real disk completion (primary role or promoted backup). Pure:
-  // every concrete role must say what a completion means for it, so a
-  // completion can never land on a role that has no handler.
-  virtual void HandleDiskCompletion(uint64_t disk_op_id, SimTime event_time) = 0;
-  // Handles a real console TX latch completion. Pure, as above.
-  virtual void HandleConsoleTxDone(uint64_t guest_op_seq, SimTime event_time) = 0;
+  // Handles a real device completion (primary role or promoted backup),
+  // uniformly for every registered device. Pure: every concrete role must
+  // say what a completion means for it, so a completion can never land on a
+  // role that has no handler.
+  virtual void HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
+                                  SimTime event_time) = 0;
+
+  // Buffers `payload` for end-of-epoch delivery and relays it downstream
+  // when `relay` is set: the shared half of P1 both roles call from their
+  // HandleIoCompletion (and P7's synthesis path). Takes the payload by value
+  // so the relay message can steal it — a disk-read completion carries an 8K
+  // block.
+  void BufferAndRelay(IoCompletionPayload payload, bool relay);
 
   uint64_t TodNow() const { return static_cast<uint64_t>(costs_.TodFromTime(hv_.clock())); }
 
@@ -236,8 +266,6 @@ class ReplicaNodeBase : public NodeActor {
   ReplicationConfig replication_;
   CostModel costs_;
   Hypervisor hv_;
-  Disk* disk_;
-  Console* console_;
   Channel* up_in_;
   Channel* up_out_;
   Channel* down_out_;
@@ -259,8 +287,9 @@ class ReplicaNodeBase : public NodeActor {
     return down_out_ == nullptr || down_acked_count_ >= down_out_->messages_sent();
   }
 
-  // In-flight real-device operations: disk op id -> initiating command.
-  std::map<uint64_t, GuestIoCommand> pending_disk_;
+  // In-flight real-device operations: (device, backend op id) -> initiating
+  // descriptor.
+  std::map<std::pair<DeviceId, uint64_t>, IoDescriptor> pending_real_;
 
   Stats stats_;
 
@@ -274,6 +303,10 @@ class ReplicaNodeBase : public NodeActor {
  private:
   friend class World;
   virtual void OnMessage(const Message& msg, SimTime now) = 0;
+
+  // Completion event for a scheduled real operation: completes it at the
+  // backend and hands the payload to the role's HandleIoCompletion.
+  void OnRealOpComplete(DeviceId device_id, uint64_t op_id, SimTime event_time);
 };
 
 }  // namespace hbft

@@ -6,6 +6,15 @@
 // "interaction with the environment": the replication protocol must suppress
 // backup output while the primary lives and allow at most a window of
 // duplicated output across failover.
+//
+// Console (the DeviceBackend) latches each character into the environment at
+// issue and completes the TX latch after a UART character time. Its fault
+// plan mirrors the disk's (IO2): a completion may come back uncertain, in
+// which case the character may or may not have reached the terminal and the
+// guest driver retransmits — the environment tolerates the duplicate.
+// ConsoleDevice (the VirtualDevice) is the per-node register model; console
+// RX input reaches the guest through the same generic completion path as
+// every other device interrupt.
 #ifndef HBFT_DEVICES_CONSOLE_HPP_
 #define HBFT_DEVICES_CONSOLE_HPP_
 
@@ -14,16 +23,31 @@
 #include <string>
 #include <vector>
 
+#include "devices/latched_output.hpp"
+
 namespace hbft {
+
+// Console opcode (IoDescriptor::opcode).
+inline constexpr uint32_t kConsoleOpTx = 1;
+
+// TX result register codes (0 ok, 1 uncertain), shared with the disk's.
+inline constexpr uint32_t kConsoleResultOk = 0;
+inline constexpr uint32_t kConsoleResultUncertain = 1;
 
 struct ConsoleTraceEntry {
   char ch = 0;
   int issuer = 0;
 };
 
-class Console {
+class Console : public LatchedOutputBackend {
  public:
-  // Environment-visible output.
+  explicit Console(uint64_t seed = 0) : LatchedOutputBackend(seed, 0xC0501EULL) {}
+
+  // --- DeviceBackend ---------------------------------------------------------
+  DeviceId device_id() const override { return DeviceId::kConsole; }
+  std::vector<EnvTraceEntry> EnvTrace() const override;
+
+  // Environment-visible output (direct form, used by tests).
   void Transmit(char c, int issuer) {
     output_.push_back(c);
     trace_.push_back(ConsoleTraceEntry{c, issuer});
@@ -45,10 +69,45 @@ class Console {
   const std::string& output() const { return output_; }
   const std::vector<ConsoleTraceEntry>& trace() const { return trace_; }
 
+ protected:
+  void Latch(const IoDescriptor& io, int issuer) override;
+  uint32_t completion_irq() const override;
+  uint32_t accepted_opcode() const override { return kConsoleOpTx; }
+
  private:
   std::string output_;
   std::deque<char> rx_fifo_;
   std::vector<ConsoleTraceEntry> trace_;
+};
+
+// The per-node console register model.
+class ConsoleDevice : public VirtualDevice {
+ public:
+  struct State {
+    uint32_t rx_char = 0;
+    bool rx_ready = false;
+    bool tx_busy = false;
+    uint32_t reg_result = 0;  // TX completion code (0 ok, 1 uncertain).
+  };
+
+  explicit ConsoleDevice(DeviceBackend* backend = nullptr) : VirtualDevice(backend) {}
+
+  DeviceId device_id() const override { return DeviceId::kConsole; }
+  const char* name() const override { return "console"; }
+  uint32_t mmio_base() const override;
+  uint32_t irq_mask() const override;
+
+  StoreResult MmioStore(uint32_t offset, uint32_t value, Machine& machine) override;
+  uint32_t MmioLoad(uint32_t offset) const override;
+  void ApplyCompletion(const IoCompletionPayload& io, Machine& machine) override;
+  IoCompletionPayload MakeUncertainCompletion(const IoDescriptor& io) const override;
+  bool MakeInputCompletion(const std::vector<uint8_t>& payload,
+                           IoCompletionPayload* out) const override;
+
+  const State& state() const { return state_; }
+
+ private:
+  State state_;
 };
 
 }  // namespace hbft

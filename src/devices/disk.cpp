@@ -1,7 +1,11 @@
 #include "devices/disk.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "isa/isa.hpp"
+#include "machine/machine.hpp"
 
 namespace hbft {
 
@@ -36,6 +40,35 @@ uint64_t Disk::IssueRead(uint32_t block, int issuer) {
   uint64_t id = next_op_id_++;
   in_flight_[id] = InFlightOp{false, block, issuer, {}};
   return id;
+}
+
+DeviceBackend::Issued Disk::Issue(const IoDescriptor& io, int issuer) {
+  HBFT_CHECK(io.opcode == kDiskOpRead || io.opcode == kDiskOpWrite)
+      << "bad disk opcode " << io.opcode;
+  Issued issued;
+  if (io.opcode == kDiskOpWrite) {
+    issued.op_id = IssueWrite(io.arg0, io.payload, issuer);
+    issued.latency = write_latency_;
+  } else {
+    issued.op_id = IssueRead(io.arg0, issuer);
+    issued.latency = read_latency_;
+  }
+  return issued;
+}
+
+IoCompletionPayload Disk::Complete(uint64_t op_id, const IoDescriptor& io) {
+  Completion completion = Complete(op_id);
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqDisk;
+  payload.guest_op_seq = io.guest_op_seq;
+  payload.result_code =
+      completion.status == DiskStatus::kUncertain ? kDiskResultCheckCondition : kDiskResultOk;
+  if (io.opcode == kDiskOpRead && completion.status == DiskStatus::kOk) {
+    payload.has_dma_data = true;
+    payload.dma_guest_paddr = io.arg1;
+    payload.dma_data = std::move(completion.data);
+  }
+  return payload;
 }
 
 Disk::Completion Disk::Complete(uint64_t op_id) {
@@ -102,6 +135,118 @@ std::vector<uint8_t> Disk::PeekBlock(uint32_t block) const {
     return it->second;
   }
   return DefaultBlockContent(block);
+}
+
+std::vector<EnvTraceEntry> Disk::EnvTrace() const {
+  std::vector<EnvTraceEntry> out;
+  out.reserve(trace_.size());
+  for (const DiskTraceEntry& e : trace_) {
+    EnvTraceEntry entry;
+    entry.device_id = DeviceId::kDisk;
+    entry.issuer = e.issuer;
+    entry.performed = e.performed;
+    Fnv1aHasher hasher;
+    hasher.UpdateU32(e.is_write ? 1u : 0u);
+    hasher.UpdateU32(e.block);
+    if (e.is_write) {
+      hasher.UpdateU64(e.content_hash);
+    }
+    entry.op_hash = hasher.digest();
+    std::ostringstream label;
+    label << (e.is_write ? "write" : "read") << "(block=" << e.block
+          << ", hash=" << e.content_hash << ")";
+    entry.label = label.str();
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// --- DiskDevice --------------------------------------------------------------
+
+uint32_t DiskDevice::mmio_base() const { return kDiskMmioBase; }
+uint32_t DiskDevice::irq_mask() const { return kIrqDisk; }
+
+VirtualDevice::StoreResult DiskDevice::MmioStore(uint32_t offset, uint32_t value,
+                                                 Machine& machine) {
+  StoreResult result;
+  switch (offset) {
+    case kDiskRegBlock:
+      state_.reg_block = value;
+      break;
+    case kDiskRegCount:
+      state_.reg_count = value;
+      break;
+    case kDiskRegDma:
+      state_.reg_dma = value;
+      break;
+    case kDiskRegIntAck:
+      machine.AckIrq(kIrqDisk);
+      state_.reg_status &= ~(kDiskStatusDone | kDiskStatusCheck);
+      break;
+    case kDiskRegCmd: {
+      HBFT_CHECK(!state_.busy) << "guest issued a disk command while busy";
+      HBFT_CHECK(value == kDiskOpRead || value == kDiskOpWrite) << "bad disk command " << value;
+      state_.busy = true;
+      state_.reg_status = kDiskStatusBusy;
+      result.initiate = true;
+      result.io.device_id = DeviceId::kDisk;
+      result.io.opcode = value;
+      result.io.arg0 = state_.reg_block;
+      result.io.arg1 = state_.reg_dma;
+      if (value == kDiskOpWrite) {
+        // DMA-out snapshot at issue: a deterministic instruction-stream
+        // point, identical at both replicas.
+        result.io.payload.resize(kDiskBlockBytes);
+        machine.memory().ReadBlock(state_.reg_dma, result.io.payload.data(),
+                                   static_cast<uint32_t>(result.io.payload.size()));
+      }
+      break;
+    }
+    default:
+      result.fault = true;
+      break;
+  }
+  return result;
+}
+
+uint32_t DiskDevice::MmioLoad(uint32_t offset) const {
+  switch (offset) {
+    case kDiskRegStatus:
+      return state_.reg_status;
+    case kDiskRegResult:
+      return state_.reg_result;
+    case kDiskRegBlock:
+      return state_.reg_block;
+    case kDiskRegCount:
+      return state_.reg_count;
+    case kDiskRegDma:
+      return state_.reg_dma;
+    default:
+      return 0;
+  }
+}
+
+void DiskDevice::ApplyCompletion(const IoCompletionPayload& io, Machine& machine) {
+  if (io.has_dma_data) {
+    // Virtualised DMA: guest memory changes only here, at a deterministic
+    // point in the instruction stream.
+    HBFT_CHECK_EQ(io.dma_guest_paddr, state_.reg_dma);
+    machine.memory().WriteBlock(state_.reg_dma, io.dma_data.data(),
+                                static_cast<uint32_t>(io.dma_data.size()));
+  }
+  state_.busy = false;
+  state_.reg_status =
+      kDiskStatusDone | (io.result_code == kDiskResultCheckCondition ? kDiskStatusCheck : 0);
+  state_.reg_result = io.result_code;
+  machine.RaiseIrq(kIrqDisk);
+}
+
+IoCompletionPayload DiskDevice::MakeUncertainCompletion(const IoDescriptor& io) const {
+  IoCompletionPayload payload;
+  payload.device_irq = kIrqDisk;
+  payload.guest_op_seq = io.guest_op_seq;
+  payload.result_code = kDiskResultCheckCondition;
+  return payload;
 }
 
 }  // namespace hbft

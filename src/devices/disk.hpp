@@ -1,5 +1,10 @@
 // Dual-ported block disk — the shared SCSI disk of the paper's prototype.
 //
+// Two classes, per the VirtualDevice split:
+//   * Disk — the DeviceBackend: block store, fault plan, environment trace.
+//   * DiskDevice — the per-node VirtualDevice: controller registers, DMA
+//     snapshot at issue, completion application at epoch delivery.
+//
 // The device satisfies the paper's I/O interface axioms:
 //   IO1: an issued-and-performed operation raises a completion interrupt;
 //   IO2: an uncertain completion (SCSI CHECK_CONDITION analogue) means the
@@ -22,10 +27,24 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "devices/virtual_device.hpp"
 
 namespace hbft {
 
 inline constexpr uint32_t kDiskBlockBytes = 8192;  // The paper's 8K blocks.
+
+// Disk opcodes (IoDescriptor::opcode; equal to the guest CMD register values).
+inline constexpr uint32_t kDiskOpRead = 1;
+inline constexpr uint32_t kDiskOpWrite = 2;
+
+// Disk controller status bits (guest-visible).
+inline constexpr uint32_t kDiskStatusBusy = 1u << 0;
+inline constexpr uint32_t kDiskStatusDone = 1u << 1;
+inline constexpr uint32_t kDiskStatusCheck = 1u << 2;
+
+// Result register codes.
+inline constexpr uint32_t kDiskResultOk = 0;
+inline constexpr uint32_t kDiskResultCheckCondition = 1;
 
 enum class DiskStatus : uint32_t {
   kOk = 0,
@@ -43,19 +62,30 @@ struct DiskTraceEntry {
   uint64_t content_hash = 0;  // Hash of written data (writes only).
 };
 
-// Injects transient faults: each completion independently becomes uncertain
-// with probability `uncertain_probability`; when uncertain, the operation was
-// actually performed with probability `performed_when_uncertain`.
-struct DiskFaultPlan {
-  double uncertain_probability = 0.0;
-  double performed_when_uncertain = 0.5;
-};
+// Back-compat name for the generic fault plan (devices/io.hpp).
+using DiskFaultPlan = FaultPlan;
 
-class Disk {
+class Disk : public DeviceBackend {
  public:
   Disk(uint32_t num_blocks, uint64_t seed);
 
-  void set_fault_plan(const DiskFaultPlan& plan) { fault_plan_ = plan; }
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  void set_latencies(SimTime read, SimTime write) {
+    read_latency_ = read;
+    write_latency_ = write;
+  }
+
+  // --- DeviceBackend ---------------------------------------------------------
+  DeviceId device_id() const override { return DeviceId::kDisk; }
+  Issued Issue(const IoDescriptor& io, int issuer) override;
+  IoCompletionPayload Complete(uint64_t op_id, const IoDescriptor& io) override;
+  bool crash_resolvable() const override { return true; }
+  void ResolveAtCrash(uint64_t op_id, bool performed) override {
+    ResolveInFlightAtCrash(op_id, performed);
+  }
+  std::vector<EnvTraceEntry> EnvTrace() const override;
+
+  // --- Typed operations (tests and the generic methods above) ---------------
 
   // Issues an operation on behalf of node `issuer`; returns the op id.
   // Write data is captured at issue time (the DMA snapshot).
@@ -99,11 +129,44 @@ class Disk {
 
   uint32_t num_blocks_;
   DeterministicRng rng_;
-  DiskFaultPlan fault_plan_;
+  FaultPlan fault_plan_;
+  SimTime read_latency_ = SimTime::Zero();
+  SimTime write_latency_ = SimTime::Zero();
   uint64_t next_op_id_ = 1;
   std::unordered_map<uint64_t, InFlightOp> in_flight_;
   std::unordered_map<uint32_t, std::vector<uint8_t>> blocks_;
   std::vector<DiskTraceEntry> trace_;
+};
+
+// The per-node disk controller model.
+class DiskDevice : public VirtualDevice {
+ public:
+  // Guest-visible controller registers; see DiskReg in isa/isa.hpp.
+  struct State {
+    uint32_t reg_block = 0;
+    uint32_t reg_count = 1;
+    uint32_t reg_dma = 0;
+    uint32_t reg_status = 0;
+    uint32_t reg_result = 0;
+    bool busy = false;
+  };
+
+  explicit DiskDevice(DeviceBackend* backend = nullptr) : VirtualDevice(backend) {}
+
+  DeviceId device_id() const override { return DeviceId::kDisk; }
+  const char* name() const override { return "disk"; }
+  uint32_t mmio_base() const override;
+  uint32_t irq_mask() const override;
+
+  StoreResult MmioStore(uint32_t offset, uint32_t value, Machine& machine) override;
+  uint32_t MmioLoad(uint32_t offset) const override;
+  void ApplyCompletion(const IoCompletionPayload& io, Machine& machine) override;
+  IoCompletionPayload MakeUncertainCompletion(const IoDescriptor& io) const override;
+
+  const State& state() const { return state_; }
+
+ private:
+  State state_;
 };
 
 }  // namespace hbft

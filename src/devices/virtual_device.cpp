@@ -1,0 +1,72 @@
+#include "devices/virtual_device.hpp"
+
+#include "common/check.hpp"
+#include "devices/console.hpp"
+#include "devices/disk.hpp"
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+const char* DeviceIdName(DeviceId id) {
+  switch (id) {
+    case DeviceId::kNone:
+      return "none";
+    case DeviceId::kDisk:
+      return "disk";
+    case DeviceId::kConsole:
+      return "console";
+    case DeviceId::kNic:
+      return "nic";
+  }
+  return "unknown";
+}
+
+void DeviceRegistry::Add(std::unique_ptr<VirtualDevice> device) {
+  HBFT_CHECK(device != nullptr);
+  HBFT_CHECK(by_id(device->device_id()) == nullptr)
+      << "duplicate device " << device->name() << " in registry";
+  for (const auto& existing : devices_) {
+    HBFT_CHECK_EQ(existing->irq_mask() & device->irq_mask(), 0u)
+        << "IRQ line collision between " << existing->name() << " and " << device->name();
+    HBFT_CHECK(existing->mmio_base() != device->mmio_base())
+        << "MMIO window collision between " << existing->name() << " and " << device->name();
+  }
+  devices_.push_back(std::move(device));
+}
+
+VirtualDevice* DeviceRegistry::by_id(DeviceId id) const {
+  for (const auto& device : devices_) {
+    if (device->device_id() == id) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+VirtualDevice* DeviceRegistry::by_irq(uint32_t irq_line) const {
+  for (const auto& device : devices_) {
+    if ((device->irq_mask() & irq_line) != 0) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+VirtualDevice* DeviceRegistry::by_mmio(uint32_t paddr) const {
+  for (const auto& device : devices_) {
+    uint32_t base = device->mmio_base();
+    if (paddr >= base && paddr < base + kPageBytes) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DeviceRegistry> CreateDefaultRegistry() {
+  auto registry = std::make_unique<DeviceRegistry>();
+  registry->Add(std::make_unique<DiskDevice>());
+  registry->Add(std::make_unique<ConsoleDevice>());
+  return registry;
+}
+
+}  // namespace hbft

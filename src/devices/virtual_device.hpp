@@ -1,0 +1,144 @@
+// The pluggable device-model API.
+//
+// Two interfaces split a device the same way the paper splits the system:
+//
+//   * VirtualDevice — the PER-NODE, guest-facing register model. It owns one
+//     MMIO page and the virtual register state the hypervisor serves reads
+//     from. Its state changes only at epoch-synchronised points (guest MMIO
+//     stores, completion delivery at epoch boundaries), so it is a pure
+//     function of the virtual-machine history and identical on every
+//     replica. A guest store to the device's "go" register yields an
+//     IoDescriptor initiation, which the replication layer routes (P1/P3).
+//
+//   * DeviceBackend — the SHARED, environment-facing real device. One
+//     instance per world, touched only by the replica that currently drives
+//     the devices. It performs operations, applies the fault plan (IO2's
+//     uncertain completions), records the environment trace the observer
+//     checks, and resolves operations left in flight by a crash.
+//
+// The DeviceRegistry holds a node's VirtualDevice instances and dispatches
+// by MMIO window, IRQ line, or DeviceId. The hypervisor, the replica roles,
+// the bare reference node, and P7's uncertain-interrupt synthesis all
+// iterate the registry instead of naming any concrete device.
+#ifndef HBFT_DEVICES_VIRTUAL_DEVICE_HPP_
+#define HBFT_DEVICES_VIRTUAL_DEVICE_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "devices/io.hpp"
+
+namespace hbft {
+
+class Machine;
+
+// The environment side of a device (shared per world).
+class DeviceBackend {
+ public:
+  virtual ~DeviceBackend() = default;
+
+  virtual DeviceId device_id() const = 0;
+
+  struct Issued {
+    uint64_t op_id = 0;   // Backend-scoped in-flight handle.
+    SimTime latency;      // Virtual time until the completion event.
+  };
+
+  // Starts a real operation on behalf of node `issuer`. Environment-visible
+  // output (console characters, NIC packets) is latched here, at issue.
+  virtual Issued Issue(const IoDescriptor& io, int issuer) = 0;
+
+  // Finishes an in-flight operation, applying the fault plan, and builds the
+  // completion the device model will apply at delivery.
+  virtual IoCompletionPayload Complete(uint64_t op_id, const IoDescriptor& io) = 0;
+
+  // Whether a crash of the issuing node leaves a genuine "may or may not
+  // have been performed" question (IO2). Disk yes; console/NIC output is
+  // latched at issue, so their in-flight completions simply vanish.
+  virtual bool crash_resolvable() const { return false; }
+
+  // Resolves an operation whose issuer crashed before completion.
+  virtual void ResolveAtCrash(uint64_t op_id, bool performed) { (void)op_id, (void)performed; }
+
+  // The device-tagged environment trace for the transparency checker.
+  virtual std::vector<EnvTraceEntry> EnvTrace() const = 0;
+};
+
+// The guest-facing side of a device (one instance per node).
+class VirtualDevice {
+ public:
+  virtual ~VirtualDevice() = default;
+
+  virtual DeviceId device_id() const = 0;
+  virtual const char* name() const = 0;
+  virtual uint32_t mmio_base() const = 0;  // One page starting here.
+  virtual uint32_t irq_mask() const = 0;   // All EIRR lines this device owns.
+
+  struct StoreResult {
+    bool fault = false;     // Store to an unknown register.
+    bool initiate = false;  // The store started an I/O operation.
+    IoDescriptor io;        // Valid when `initiate`; guest_op_seq unassigned.
+  };
+
+  // Guest MMIO access at `offset` within the device window. Stores may
+  // mutate registers, acknowledge interrupts, or initiate I/O; loads are
+  // served from the virtual registers (unknown offsets read 0, as real
+  // controllers' reserved registers do).
+  virtual StoreResult MmioStore(uint32_t offset, uint32_t value, Machine& machine) = 0;
+  virtual uint32_t MmioLoad(uint32_t offset) const = 0;
+
+  // Applies a completion to the guest-visible state: DMA data lands in guest
+  // memory, status/result registers update, the IRQ line rises. Called at a
+  // deterministic instruction-stream point (epoch delivery on replicas,
+  // completion time on the bare reference machine).
+  virtual void ApplyCompletion(const IoCompletionPayload& io, Machine& machine) = 0;
+
+  // P7: the uncertain completion that re-drives an outstanding operation
+  // after failover. The guest driver cannot distinguish it from a transient
+  // device fault and takes its retry path.
+  virtual IoCompletionPayload MakeUncertainCompletion(const IoDescriptor& io) const = 0;
+
+  // Environment input (console characters, NIC packets) shaped as a
+  // completion so one delivery mechanism serves every device. Returns false
+  // for pure output devices.
+  virtual bool MakeInputCompletion(const std::vector<uint8_t>& payload,
+                                   IoCompletionPayload* out) const {
+    (void)payload, (void)out;
+    return false;
+  }
+
+  // The shared backend, null for guest-facing-only instantiations (tests).
+  DeviceBackend* backend() const { return backend_; }
+
+ protected:
+  explicit VirtualDevice(DeviceBackend* backend) : backend_(backend) {}
+
+ private:
+  DeviceBackend* backend_;
+};
+
+// A node's device set, dispatchable by MMIO window, IRQ line, or id.
+class DeviceRegistry {
+ public:
+  void Add(std::unique_ptr<VirtualDevice> device);
+
+  // All lookups return null when nothing matches.
+  VirtualDevice* by_id(DeviceId id) const;
+  VirtualDevice* by_irq(uint32_t irq_line) const;
+  VirtualDevice* by_mmio(uint32_t paddr) const;
+
+  const std::vector<std::unique_ptr<VirtualDevice>>& devices() const { return devices_; }
+
+ private:
+  std::vector<std::unique_ptr<VirtualDevice>> devices_;
+};
+
+// The default two-device registry of the paper's prototype (disk + console)
+// with no backends attached: guest-facing state machines only. Used by the
+// hypervisor when no registry is supplied (unit tests).
+std::unique_ptr<DeviceRegistry> CreateDefaultRegistry();
+
+}  // namespace hbft
+
+#endif  // HBFT_DEVICES_VIRTUAL_DEVICE_HPP_

@@ -8,25 +8,45 @@
 
 namespace hbft {
 
-const GuestImageBundle& GetGuestImage() {
-  static const GuestImageBundle* bundle = [] {
-    auto* b = new GuestImageBundle();
-    std::string source = std::string(kMiniOsKernelSource) + "\n" + kWorkloadsSource;
-    auto result = Assemble(source);
-    HBFT_CHECK(result.ok()) << "guest assembly failed: " << result.error().ToString();
-    b->image = std::move(result).take();
-    b->program.image = &b->image;
-    b->program.entry_pc = b->image.SymbolOrDie("boot");
-    b->program.wait_loop_begin = b->image.SymbolOrDie("__wait_loop");
-    b->program.wait_loop_end = b->image.SymbolOrDie("__wait_loop_end");
-    b->exit_code_addr = b->image.SymbolOrDie("KD_EXIT_CODE");
-    b->exit_checksum_addr = b->image.SymbolOrDie("KD_EXIT_CHECKSUM");
-    b->exited_flag_addr = b->image.SymbolOrDie("KD_EXITED");
-    b->ticks_addr = b->image.SymbolOrDie("KD_TICKS");
-    b->panic_code_addr = b->image.SymbolOrDie("KD_PANIC_CODE");
-    return b;
-  }();
-  return *bundle;
+namespace {
+
+const GuestImageBundle* BuildBundle(GuestImageVariant variant) {
+  auto* b = new GuestImageBundle();
+  std::string kernel = kMiniOsKernelSource;
+  if (variant == GuestImageVariant::kNet) {
+    // Splice the NIC limb into handle_interrupts. The legacy image keeps the
+    // marker as a comment so legacy instruction streams never move.
+    size_t marker = kernel.find(kMiniOsNetIrqHookMarker);
+    HBFT_CHECK(marker != std::string::npos) << "NIC IRQ hook marker missing from MiniOS";
+    kernel.replace(marker, std::string(kMiniOsNetIrqHookMarker).size(),
+                   kMiniOsNetIrqHookSource);
+  }
+  std::string source = kernel + "\n" + kWorkloadsSource;
+  auto result = Assemble(source);
+  HBFT_CHECK(result.ok()) << "guest assembly failed: " << result.error().ToString();
+  b->image = std::move(result).take();
+  b->program.image = &b->image;
+  b->program.entry_pc = b->image.SymbolOrDie("boot");
+  b->program.wait_loop_begin = b->image.SymbolOrDie("__wait_loop");
+  b->program.wait_loop_end = b->image.SymbolOrDie("__wait_loop_end");
+  b->exit_code_addr = b->image.SymbolOrDie("KD_EXIT_CODE");
+  b->exit_checksum_addr = b->image.SymbolOrDie("KD_EXIT_CHECKSUM");
+  b->exited_flag_addr = b->image.SymbolOrDie("KD_EXITED");
+  b->ticks_addr = b->image.SymbolOrDie("KD_TICKS");
+  b->panic_code_addr = b->image.SymbolOrDie("KD_PANIC_CODE");
+  return b;
+}
+
+}  // namespace
+
+const GuestImageBundle& GetGuestImage(GuestImageVariant variant) {
+  // Lazy per variant: legacy-only processes never pay for the net assembly.
+  if (variant == GuestImageVariant::kNet) {
+    static const GuestImageBundle* net = BuildBundle(GuestImageVariant::kNet);
+    return *net;
+  }
+  static const GuestImageBundle* legacy = BuildBundle(GuestImageVariant::kLegacy);
+  return *legacy;
 }
 
 }  // namespace hbft

@@ -7,6 +7,15 @@
 
 namespace hbft {
 
+// kLegacy is the disk+console kernel with the NIC interrupt hook left out:
+// every pre-NIC workload executes exactly the instruction stream it always
+// has (the perf baselines depend on that). kNet splices the NIC service
+// block into the interrupt handler; only net workloads pay for it.
+enum class GuestImageVariant {
+  kLegacy,
+  kNet,
+};
+
 struct GuestImageBundle {
   AssembledImage image;
   GuestProgram program;  // program.image points at this bundle's image.
@@ -19,8 +28,8 @@ struct GuestImageBundle {
   uint32_t panic_code_addr = 0;
 };
 
-// Assembles the guest once per process; the result is immutable.
-const GuestImageBundle& GetGuestImage();
+// Assembles each guest variant once per process; the results are immutable.
+const GuestImageBundle& GetGuestImage(GuestImageVariant variant = GuestImageVariant::kLegacy);
 
 }  // namespace hbft
 

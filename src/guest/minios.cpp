@@ -43,6 +43,11 @@ const char* const kMiniOsKernelSource = R"ASM(
 .equ KD_EXITED,       0x5034
 .equ KD_PANIC_CODE,   0x5038
 .equ KD_RX_RING,      0x5040
+.equ KD_NET_RX_LEN,   0x5054
+.equ KD_NET_RX_AVAIL, 0x5058
+.equ KD_NET_TX_DONE,  0x505C
+.equ KD_NET_TX_RES,   0x5060
+.equ NET_RX_BUF,      0x5400
 
 .equ KSAVE1,          0x5100
 .equ KSAVE2,          0x5200
@@ -318,7 +323,7 @@ hi_contx:
     sw t4, KD_CON_TX_DONE(zero)
 hi_conrx:
     andi t1, t0, 4           ; console RX
-    beqz t1, hi_done
+    beqz t1, hi_next
     li t2, 0xF0001000
     lw t3, 0x04(t2)          ; RX character
     lw t4, KD_RX_WR(zero)
@@ -329,6 +334,8 @@ hi_conrx:
     li t4, 1
     sw t4, KD_RX_AVAIL(zero)
     sw t4, 0x0C(t2)          ; ack RX line only
+hi_next:                     ; net image splices the NIC limb here
+;@NET_IRQ_HOOK@
 hi_done:
     mtcr eirr, t0            ; W1C: clear exactly the bits serviced
     ret
@@ -378,6 +385,12 @@ sc_dispatch:
     beq t0, t1, sys_disk_write
     li t1, 7
     beq t0, t1, sys_getc
+    li t1, 8
+    beq t0, t1, sys_net_init
+    li t1, 9
+    beq t0, t1, sys_net_recv
+    li t1, 10
+    beq t0, t1, sys_net_send
     j panic_bad_syscall
 
 sys_exit:
@@ -531,6 +544,111 @@ panic:
     li a1, 2
     sw a1, KD_EXITED(zero)
     halt
+
+; ============================ NIC driver ====================================
+; Appended after the legacy kernel: reached only via syscalls 8-10, so every
+; pre-existing workload executes the identical instruction stream. The kernel
+; copies packets with physical loads/stores (lwp/swp), so the driver never
+; depends on user TLB entries — the same rule the disk DMA path follows.
+; net_init: wire the NIC MMIO page, zero driver state, point the controller's
+; RX DMA at the kernel bounce buffer, enable reception.
+sys_net_init:
+    li t1, 0xF0002000
+    li t2, 0xF0002013        ; V|W|WIRED identity, like the other MMIO pages
+    tlbi t1, t2
+    sw zero, KD_NET_RX_LEN(zero)
+    sw zero, KD_NET_RX_AVAIL(zero)
+    sw zero, KD_NET_TX_DONE(zero)
+    sw zero, KD_NET_TX_RES(zero)
+    li t2, 0xF0002000
+    li t3, NET_RX_BUF
+    sw t3, 0x10(t2)          ; RX_DMA = kernel bounce buffer
+    li t3, 1
+    sw t3, 0x18(t2)          ; RX_CTRL: enable reception
+    sw zero, 16(k0)
+    j trap_exit_user
+
+; net_recv: a0 = user buffer (word-aligned). Blocks until a packet arrives,
+; copies it out physically, then acknowledges at the device — which may DMA
+; the next queued packet and raise the RX line again.
+sys_net_recv:
+snr_wait:
+    lw t1, KD_NET_RX_AVAIL(zero)
+    bnez t1, snr_copy
+    addi t6, zero, KD_NET_RX_AVAIL
+    call kwait
+    j snr_wait
+snr_copy:
+    sw zero, KD_NET_RX_AVAIL(zero)
+    lw t2, KD_NET_RX_LEN(zero)
+    li t3, NET_RX_BUF
+    mv t4, a0
+    addi t5, t2, 3
+    srli t5, t5, 2           ; whole words
+snr_loop:
+    beqz t5, snr_done
+    lwp t1, 0(t3)
+    swp t1, 0(t4)
+    addi t3, t3, 4
+    addi t4, t4, 4
+    addi t5, t5, -1
+    j snr_loop
+snr_done:
+    li t3, 0xF0002000
+    li t4, 1
+    sw t4, 0x1C(t3)          ; INTACK RX: packet consumed
+    sw t2, 16(k0)            ; return the length
+    j trap_exit_user
+
+; net_send: a0 = buffer, a1 = length. The controller snapshots the payload at
+; issue; wait for TX-done and retransmit on an uncertain completion (IO2 —
+; and exactly what P7's synthesised interrupts exploit at failover).
+sys_net_send:
+    li t1, 100               ; retry bound
+sns_retry:
+    sw zero, KD_NET_TX_DONE(zero)
+    li t2, 0xF0002000
+    sw a0, 4(t2)             ; TX_DMA
+    sw a1, 8(t2)             ; TX_LEN
+    li t3, 1
+    sw t3, 0(t2)             ; TX_CMD: transmit
+    addi t6, zero, KD_NET_TX_DONE
+    call kwait
+    lw t2, KD_NET_TX_RES(zero)
+    beqz t2, sns_ok
+    addi t1, t1, -1
+    bnez t1, sns_retry
+    j panic_io
+sns_ok:
+    sw zero, 16(k0)
+    j trap_exit_user
+)ASM";
+
+const char* const kMiniOsNetIrqHookMarker = ";@NET_IRQ_HOOK@";
+
+// The NIC limb of handle_interrupts, spliced over the marker for the net
+// image only: t0 holds the EIRR snapshot, t1-t5 are scratch (same contract
+// as the disk/console limbs above). RX leaves the device acknowledgment to
+// sys_net_recv — the packet stays latched until the guest consumed it.
+const char* const kMiniOsNetIrqHookSource = R"ASM(
+    andi t1, t0, 16          ; NIC RX
+    beqz t1, hn_tx
+    li t2, 0xF0002000
+    lw t3, 0x14(t2)          ; RX_LEN
+    sw t3, KD_NET_RX_LEN(zero)
+    li t4, 1
+    sw t4, KD_NET_RX_AVAIL(zero)
+hn_tx:
+    andi t1, t0, 32          ; NIC TX done
+    beqz t1, hn_done
+    li t2, 0xF0002000
+    lw t3, 0x20(t2)          ; TX_RESULT (0 ok, 1 uncertain)
+    sw t3, KD_NET_TX_RES(zero)
+    li t4, 2
+    sw t4, 0x1C(t2)          ; ack TX line only at the device
+    li t4, 1
+    sw t4, KD_NET_TX_DONE(zero)
+hn_done:
 )ASM";
 
 }  // namespace hbft

@@ -34,6 +34,14 @@ namespace hbft {
 // assembled by BuildGuestImage in image.hpp).
 extern const char* const kMiniOsKernelSource;
 
+// Net-image variant support: the kernel source carries a comment marker in
+// its interrupt service routine; the net-enabled image replaces it with the
+// NIC service block. The legacy image leaves the comment in place, so every
+// legacy workload's executed instruction stream is bit-for-bit unchanged —
+// the NIC syscalls below are appended code reached only by net workloads.
+extern const char* const kMiniOsNetIrqHookMarker;
+extern const char* const kMiniOsNetIrqHookSource;
+
 // Syscall numbers (guest ABI, passed in t0/r8).
 inline constexpr int kSysExit = 1;
 inline constexpr int kSysPutc = 2;
@@ -42,6 +50,9 @@ inline constexpr int kSysGetTime = 4;
 inline constexpr int kSysDiskRead = 5;
 inline constexpr int kSysDiskWrite = 6;
 inline constexpr int kSysGetc = 7;
+inline constexpr int kSysNetInit = 8;
+inline constexpr int kSysNetRecv = 9;
+inline constexpr int kSysNetSend = 10;
 
 // Param-block field offsets (physical address kParamBlockBase + offset).
 inline constexpr uint32_t kParamBlockBase = 0x4000;

@@ -27,6 +27,8 @@ user_entry:
     beq t1, t2, wl_heap
     li t2, 8
     beq t1, t2, wl_time
+    li t2, 9
+    beq t1, t2, wl_netecho
     li a0, 99                ; unknown workload
     li a1, 0
     j u_exit
@@ -319,6 +321,57 @@ wtm_fail:
     mv a1, s2
     j u_exit
 
+; ---- net echo ---------------------------------------------------------------
+; The three-device workload: receive `iterations` packets over the NIC and,
+; per packet, fold its bytes into the checksum, log it to disk (block i mod
+; nblocks), print a progress digit on the console, and transmit the packet
+; straight back. Requires the NIC device and the net-enabled kernel image.
+wl_netecho:
+    li t0, 8                 ; net_init: wire MMIO, program RX, enable
+    syscall 0
+    lw s0, 0x4008(zero)      ; packets to echo
+    lw s5, 0x4018(zero)      ; num blocks for the packet log
+    li s1, 0                 ; checksum
+    li s2, 0                 ; i
+    beqz s0, wne_done
+wne_loop:
+    li a0, 0x310000          ; receive into the user I/O buffer
+    li t0, 9
+    syscall 0
+    mv s3, a0                ; received length
+    li t1, 0x310000
+    mv t2, s3
+    li t3, 0
+wne_sum:
+    beqz t2, wne_log
+    lbu t4, 0(t1)
+    add t3, t3, t4
+    addi t1, t1, 1
+    addi t2, t2, -1
+    j wne_sum
+wne_log:
+    add s1, s1, t3
+    add s1, s1, s3
+    rem t4, s2, s5           ; log the packet: block = i mod nblocks
+    mv a0, t4
+    li a1, 0x310000
+    li t0, 6                 ; disk write
+    syscall 0
+    li t2, 10                ; progress digit on the console
+    rem t1, s2, t2
+    addi a0, t1, 48
+    call u_putc
+    li a0, 0x310000
+    mv a1, s3
+    li t0, 10                ; net_send: echo the packet back
+    syscall 0
+    addi s2, s2, 1
+    bne s2, s0, wne_loop
+wne_done:
+    li a0, 0
+    mv a1, s1
+    j u_exit
+
 ; ---- strings ----------------------------------------------------------------
 .align 4
 hello_str:
@@ -360,6 +413,14 @@ WorkloadSpec WorkloadSpec::PaperDiskRead(uint32_t ops) {
 WorkloadSpec WorkloadSpec::PaperDiskWrite(uint32_t ops) {
   WorkloadSpec spec = PaperDiskRead(ops);
   spec.kind = WorkloadKind::kDiskWrite;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::NetEcho(uint32_t packets) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kNetEcho;
+  spec.iterations = packets;
+  spec.num_blocks = 16;  // Packet-log block range.
   return spec;
 }
 

@@ -39,6 +39,7 @@ enum class WorkloadKind : uint32_t {
   kEcho = 6,
   kHeap = 7,
   kTime = 8,
+  kNetEcho = 9,
 };
 
 struct WorkloadSpec {
@@ -58,6 +59,8 @@ struct WorkloadSpec {
   // The paper's I/O benchmarks scaled from 2048 to `ops` operations.
   static WorkloadSpec PaperDiskRead(uint32_t ops);
   static WorkloadSpec PaperDiskWrite(uint32_t ops);
+  // Packet echo over the NIC: receive `packets` packets, transmit each back.
+  static WorkloadSpec NetEcho(uint32_t packets);
 };
 
 // Writes the spec into the guest's parameter block.

@@ -21,7 +21,11 @@
 #include "core/primary.hpp"
 #include "core/protocol.hpp"
 #include "devices/console.hpp"
+#include "devices/device_set.hpp"
 #include "devices/disk.hpp"
+#include "devices/io.hpp"
+#include "devices/nic.hpp"
+#include "devices/virtual_device.hpp"
 #include "guest/image.hpp"
 #include "guest/minios.hpp"
 #include "guest/workloads.hpp"

@@ -49,10 +49,11 @@ struct CostModel {
   SimTime msg_receive_cpu_cost = SimTime::MicrosF(35.0);
   SimTime ack_receive_cpu_cost = SimTime::MicrosF(10.0);  // Ack bookkeeping.
 
-  // Devices (paper section 4.2).
+  // Devices (paper section 4.2; the NIC is this reproduction's extension).
   SimTime disk_write_latency = SimTime::Millis(26);
   SimTime disk_read_latency = SimTime::MicrosF(24200.0);
   SimTime console_tx_latency = SimTime::Micros(520);  // ~19200 baud UART char.
+  SimTime nic_tx_latency = SimTime::Micros(120);      // One guest-side frame time.
 
   // Failure detection timeout after the channel drains.
   SimTime failure_detect_timeout = SimTime::Millis(5);

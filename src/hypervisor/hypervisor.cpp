@@ -2,13 +2,13 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
-#include "devices/disk.hpp"
 
 namespace hbft {
 
 Hypervisor::Hypervisor(const MachineConfig& machine_config, const HypervisorConfig& hv_config,
-                       const CostModel& costs)
+                       const CostModel& costs, std::unique_ptr<DeviceRegistry> devices)
     : machine_config_(machine_config), hv_config_(hv_config), costs_(costs),
+      devices_(devices != nullptr ? std::move(devices) : CreateDefaultRegistry()),
       machine_([&] {
         MachineConfig mc = machine_config;
         mc.trap_mode = TrapMode::kHostFirst;
@@ -96,31 +96,12 @@ uint32_t Hypervisor::DeliverEpochInterrupts(
   }
   while (!buffered_.empty() && buffered_.front().epoch <= epoch) {
     const VirtualInterrupt& vi = buffered_.front();
-    if (vi.irq_line == kIrqDisk) {
-      HBFT_CHECK(vi.io.has_value());
-      if (vi.io->has_dma_data) {
-        // Virtualised DMA: guest memory changes only here, at a
-        // deterministic point in the instruction stream.
-        HBFT_CHECK_EQ(vi.io->dma_guest_paddr, vdisk_.reg_dma);
-        machine_.memory().WriteBlock(vdisk_.reg_dma, vi.io->dma_data.data(),
-                                     static_cast<uint32_t>(vi.io->dma_data.size()));
-      }
-      vdisk_.busy = false;
-      vdisk_.reg_status = kDiskStatusDone |
-                          (vi.io->result_code == kDiskResultCheckCondition ? kDiskStatusCheck : 0);
-      vdisk_.reg_result = vi.io->result_code;
-      machine_.RaiseIrq(kIrqDisk);
-    } else if (vi.irq_line == kIrqConsoleTx) {
-      vconsole_.tx_busy = false;
-      vconsole_.reg_result = vi.io.has_value() ? vi.io->result_code : 0;
-      machine_.RaiseIrq(kIrqConsoleTx);
-    } else if (vi.irq_line == kIrqConsoleRx) {
-      vconsole_.rx_char = static_cast<uint32_t>(static_cast<uint8_t>(vi.rx_char));
-      vconsole_.rx_ready = true;
-      machine_.RaiseIrq(kIrqConsoleRx);
-    } else {
-      HBFT_CHECK(false) << "unknown buffered irq line " << vi.irq_line;
-    }
+    // Generic delivery: the owning device model applies the completion
+    // (registers, virtualised DMA, IRQ line) — no per-device cases here.
+    HBFT_CHECK(vi.io.has_value());
+    VirtualDevice* device = devices_->by_irq(vi.irq_line);
+    HBFT_CHECK(device != nullptr) << "no device for buffered irq line " << vi.irq_line;
+    device->ApplyCompletion(*vi.io, machine_);
     if (on_delivered) {
       on_delivered(vi);
     }
@@ -416,141 +397,41 @@ GuestEvent Hypervisor::HandleMmio(uint32_t paddr, const DecodedInstr& instr, uin
   clock_ += costs_.hv_priv_sim_cost;  // I/O instructions are simulated too.
   ++stats_.privileged_simulated;
 
-  if (paddr >= kDiskMmioBase && paddr < kDiskMmioBase + kPageBytes) {
-    uint32_t reg = paddr - kDiskMmioBase;
-    if (is_store) {
-      uint32_t value = cpu.gpr[instr.rd];
-      switch (reg) {
-        case kDiskRegBlock:
-          vdisk_.reg_block = value;
-          break;
-        case kDiskRegCount:
-          vdisk_.reg_count = value;
-          break;
-        case kDiskRegDma:
-          vdisk_.reg_dma = value;
-          break;
-        case kDiskRegIntAck:
-          machine_.AckIrq(kIrqDisk);
-          vdisk_.reg_status &= ~(kDiskStatusDone | kDiskStatusCheck);
-          break;
-        case kDiskRegCmd: {
-          HBFT_CHECK(!vdisk_.busy) << "guest issued a disk command while busy";
-          HBFT_CHECK(value == 1 || value == 2) << "bad disk command " << value;
-          vdisk_.busy = true;
-          vdisk_.reg_status = kDiskStatusBusy;
-          GuestEvent event;
-          event.kind = GuestEvent::Kind::kIoCommand;
-          event.io.kind = value == 1 ? GuestIoCommand::Kind::kDiskRead
-                                     : GuestIoCommand::Kind::kDiskWrite;
-          event.io.guest_op_seq = next_guest_op_seq_++;
-          event.io.block = vdisk_.reg_block;
-          event.io.dma_paddr = vdisk_.reg_dma;
-          if (value == 2) {
-            // DMA-out snapshot at issue: a deterministic instruction-stream
-            // point, identical at both replicas.
-            event.io.write_data.resize(kDiskBlockBytes);
-            machine_.memory().ReadBlock(vdisk_.reg_dma, event.io.write_data.data(),
-                                        static_cast<uint32_t>(event.io.write_data.size()));
-          }
-          pending_ = PendingKind::kIoCommand;
-          pending_instr_ = instr;
-          pending_pc_ = pc;
-          ++stats_.io_commands;
-          return event;
-        }
-        default:
-          ReflectTrap(TrapCause::kProtectionFault, pc, paddr);
-          return none;
-      }
-      RetireSimulatedInstr(pc + 4);
+  VirtualDevice* device = devices_->by_mmio(paddr);
+  if (device == nullptr) {
+    ReflectTrap(TrapCause::kProtectionFault, pc, paddr);
+    return none;
+  }
+  const uint32_t offset = paddr - device->mmio_base();
+
+  if (is_store) {
+    VirtualDevice::StoreResult result =
+        device->MmioStore(offset, cpu.gpr[instr.rd], machine_);
+    if (result.fault) {
+      ReflectTrap(TrapCause::kProtectionFault, pc, paddr);
       return none;
     }
-    // Loads: served from the virtual registers (deterministic).
-    uint32_t value = 0;
-    switch (reg) {
-      case kDiskRegStatus:
-        value = vdisk_.reg_status;
-        break;
-      case kDiskRegResult:
-        value = vdisk_.reg_result;
-        break;
-      case kDiskRegBlock:
-        value = vdisk_.reg_block;
-        break;
-      case kDiskRegCount:
-        value = vdisk_.reg_count;
-        break;
-      case kDiskRegDma:
-        value = vdisk_.reg_dma;
-        break;
-      default:
-        value = 0;
-        break;
+    if (result.initiate) {
+      // Guest-initiated I/O: the replication layer decides whether to drive
+      // the real backend or suppress. The initiating store retires when the
+      // decision is made (CompleteIoCommand).
+      GuestEvent event;
+      event.kind = GuestEvent::Kind::kIoCommand;
+      event.io = std::move(result.io);
+      event.io.guest_op_seq = next_guest_op_seq_++;
+      pending_ = PendingKind::kIoCommand;
+      pending_instr_ = instr;
+      pending_pc_ = pc;
+      ++stats_.io_commands;
+      return event;
     }
-    cpu.set_gpr(instr.rd, value);
     RetireSimulatedInstr(pc + 4);
     return none;
   }
 
-  if (paddr >= kConsoleMmioBase && paddr < kConsoleMmioBase + kPageBytes) {
-    uint32_t reg = paddr - kConsoleMmioBase;
-    if (is_store) {
-      uint32_t value = cpu.gpr[instr.rd];
-      switch (reg) {
-        case kConsoleRegTx: {
-          HBFT_CHECK(!vconsole_.tx_busy) << "guest wrote console TX while busy";
-          vconsole_.tx_busy = true;
-          GuestEvent event;
-          event.kind = GuestEvent::Kind::kIoCommand;
-          event.io.kind = GuestIoCommand::Kind::kConsoleTx;
-          event.io.guest_op_seq = next_guest_op_seq_++;
-          event.io.tx_char = static_cast<char>(value & 0xFF);
-          pending_ = PendingKind::kIoCommand;
-          pending_instr_ = instr;
-          pending_pc_ = pc;
-          ++stats_.io_commands;
-          return event;
-        }
-        case kConsoleRegIntAck:
-          // Bit-selective: bit 0 acknowledges RX (consuming the character),
-          // bit 1 acknowledges TX. A TX-only ack must not drop RX data.
-          if ((value & 1) != 0) {
-            machine_.AckIrq(kIrqConsoleRx);
-            vconsole_.rx_ready = false;
-          }
-          if ((value & 2) != 0) {
-            machine_.AckIrq(kIrqConsoleTx);
-          }
-          break;
-        default:
-          ReflectTrap(TrapCause::kProtectionFault, pc, paddr);
-          return none;
-      }
-      RetireSimulatedInstr(pc + 4);
-      return none;
-    }
-    uint32_t value = 0;
-    switch (reg) {
-      case kConsoleRegRx:
-        value = vconsole_.rx_char;
-        break;
-      case kConsoleRegStatus:
-        value = (vconsole_.rx_ready ? 1u : 0u) | (vconsole_.tx_busy ? 2u : 0u);
-        break;
-      case kConsoleRegResult:
-        value = vconsole_.reg_result;
-        break;
-      default:
-        value = 0;
-        break;
-    }
-    cpu.set_gpr(instr.rd, value);
-    RetireSimulatedInstr(pc + 4);
-    return none;
-  }
-
-  ReflectTrap(TrapCause::kProtectionFault, pc, paddr);
+  // Loads: served from the virtual registers (deterministic).
+  cpu.set_gpr(instr.rd, device->MmioLoad(offset));
+  RetireSimulatedInstr(pc + 4);
   return none;
 }
 

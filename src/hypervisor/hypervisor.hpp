@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "devices/virtual_device.hpp"
 #include "hypervisor/cost_model.hpp"
 #include "hypervisor/virtual_devices.hpp"
 #include "machine/machine.hpp"
@@ -53,13 +54,17 @@ struct GuestEvent {
     kHalted,       // Guest executed HALT at virtual privilege 0.
   };
   Kind kind = Kind::kNone;
-  GuestIoCommand io;  // kIoCommand payload.
+  IoDescriptor io;  // kIoCommand payload.
 };
 
 class Hypervisor {
  public:
+  // The registry holds this node's guest-facing device models; MMIO traps
+  // and epoch-boundary interrupt delivery dispatch through it. When omitted,
+  // the default disk+console registry (no backends) is created — enough for
+  // everything the hypervisor itself does.
   Hypervisor(const MachineConfig& machine_config, const HypervisorConfig& hv_config,
-             const CostModel& costs);
+             const CostModel& costs, std::unique_ptr<DeviceRegistry> devices = nullptr);
 
   // --- Guest execution ------------------------------------------------------
 
@@ -108,8 +113,8 @@ class Hypervisor {
 
   Machine& machine() { return machine_; }
   const Machine& machine() const { return machine_; }
-  const VirtualDiskState& vdisk() const { return vdisk_; }
-  const VirtualConsoleState& vconsole() const { return vconsole_; }
+  DeviceRegistry& devices() { return *devices_; }
+  const DeviceRegistry& devices() const { return *devices_; }
   uint64_t virtual_itmr() const { return virtual_itmr_; }
   bool timer_armed() const { return timer_armed_; }
   const CostModel& costs() const { return costs_; }
@@ -137,7 +142,8 @@ class Hypervisor {
   // Simulates a privileged instruction executed at virtual privilege 0.
   GuestEvent SimulatePrivileged(const MachineExit& exit);
 
-  // Serves a virtual-device MMIO access (paddr within the MMIO window).
+  // Serves a virtual-device MMIO access (paddr within a registered device
+  // window), dispatching to the owning device model.
   GuestEvent HandleMmio(uint32_t paddr, const DecodedInstr& instr, uint32_t pc);
 
   // Walks the guest page table for `vaddr`; returns the PTE or nullopt.
@@ -159,11 +165,10 @@ class Hypervisor {
   MachineConfig machine_config_;
   HypervisorConfig hv_config_;
   CostModel costs_;
+  std::unique_ptr<DeviceRegistry> devices_;
   Machine machine_;
   SimTime clock_ = SimTime::Zero();
 
-  VirtualDiskState vdisk_;
-  VirtualConsoleState vconsole_;
   uint64_t virtual_itmr_ = 0;
   bool timer_armed_ = false;
   uint64_t next_guest_op_seq_ = 1;

@@ -1,67 +1,33 @@
-// Virtual device models maintained by the hypervisor.
+// Hypervisor-side interrupt buffering types.
 //
 // The guest's device registers are fully virtualised: every MMIO access traps
 // (the pages demand privilege 0; the guest runs at 1), and the hypervisor
-// serves reads from this state. Crucially the state changes ONLY at
-// epoch-synchronised points — command register writes by the guest itself and
-// interrupt delivery at epoch boundaries — so register reads are a function
-// of the virtual-machine state and identical on primary and backup. Only
-// genuine environment values (the time-of-day clock) need the paper's
-// value-forwarding mechanism.
+// serves reads from per-node VirtualDevice models (devices/virtual_device.hpp).
+// Device state changes ONLY at epoch-synchronised points — command register
+// writes by the guest itself and interrupt delivery at epoch boundaries — so
+// register reads are a function of the virtual-machine state and identical on
+// primary and backup. Only genuine environment values (the time-of-day clock)
+// need the paper's value-forwarding mechanism.
 #ifndef HBFT_HYPERVISOR_VIRTUAL_DEVICES_HPP_
 #define HBFT_HYPERVISOR_VIRTUAL_DEVICES_HPP_
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
-#include "net/message.hpp"
+#include "devices/io.hpp"
 
 namespace hbft {
 
-// Disk controller status bits (guest-visible).
-inline constexpr uint32_t kDiskStatusBusy = 1u << 0;
-inline constexpr uint32_t kDiskStatusDone = 1u << 1;
-inline constexpr uint32_t kDiskStatusCheck = 1u << 2;
-
-// Result register codes.
-inline constexpr uint32_t kDiskResultOk = 0;
-inline constexpr uint32_t kDiskResultCheckCondition = 1;
-
 // A buffered guest-bound interrupt, queued by the hypervisor until the end of
-// the epoch (rules P1/P4) and then applied to the virtual machine.
+// the epoch (rules P1/P4) and then applied to the virtual machine. Every
+// device interrupt — completions, uncertain completions, environment input
+// such as console characters and NIC packets — carries an IoCompletionPayload
+// and is applied by the owning device model; there are no per-device side
+// channels.
 struct VirtualInterrupt {
   uint32_t irq_line = 0;
   uint64_t epoch = 0;
   std::optional<IoCompletionPayload> io;
-  char rx_char = 0;  // Console RX payload.
-};
-
-// Guest-initiated I/O command, surfaced to the replication layer which
-// decides whether to drive the real device (primary) or suppress (backup).
-struct GuestIoCommand {
-  enum class Kind { kDiskRead, kDiskWrite, kConsoleTx } kind = Kind::kDiskRead;
-  uint64_t guest_op_seq = 0;  // Deterministic initiation counter.
-  uint32_t block = 0;
-  uint32_t dma_paddr = 0;
-  std::vector<uint8_t> write_data;  // Snapshot at issue (disk writes).
-  char tx_char = 0;
-};
-
-struct VirtualDiskState {
-  uint32_t reg_block = 0;
-  uint32_t reg_count = 1;
-  uint32_t reg_dma = 0;
-  uint32_t reg_status = 0;
-  uint32_t reg_result = 0;
-  bool busy = false;
-};
-
-struct VirtualConsoleState {
-  uint32_t rx_char = 0;
-  bool rx_ready = false;
-  bool tx_busy = false;
-  uint32_t reg_result = 0;  // TX completion code (0 ok, 1 uncertain).
 };
 
 }  // namespace hbft

@@ -190,6 +190,8 @@ enum IrqLine : uint32_t {
   kIrqDisk = 1u << 1,
   kIrqConsoleRx = 1u << 2,
   kIrqConsoleTx = 1u << 3,
+  kIrqNicRx = 1u << 4,
+  kIrqNicTx = 1u << 5,
 };
 
 // ---------------------------------------------------------------------------
@@ -236,7 +238,8 @@ struct Pte {
 inline constexpr uint32_t kMmioBase = 0xF0000000;
 inline constexpr uint32_t kDiskMmioBase = 0xF0000000;
 inline constexpr uint32_t kConsoleMmioBase = 0xF0001000;
-inline constexpr uint32_t kMmioLimit = 0xF0002000;
+inline constexpr uint32_t kNicMmioBase = 0xF0002000;
+inline constexpr uint32_t kMmioLimit = 0xF0003000;
 
 inline bool IsMmioAddress(uint32_t phys) { return phys >= kMmioBase && phys < kMmioLimit; }
 
@@ -259,6 +262,22 @@ enum ConsoleReg : uint32_t {
   kConsoleRegIntAck = 0x0C,  // Write 1 to acknowledge console interrupts.
   kConsoleRegResult = 0x10,  // TX completion code: 0 ok, 1 uncertain.
 };
+
+// NIC register offsets (from kNicMmioBase).
+enum NicReg : uint32_t {
+  kNicRegTxCmd = 0x00,      // Write 1 to transmit TX_LEN bytes from TX_DMA.
+  kNicRegTxDma = 0x04,      // Guest-physical TX buffer address.
+  kNicRegTxLen = 0x08,      // TX packet length in bytes.
+  kNicRegStatus = 0x0C,     // Bit0 rx-ready, bit1 tx-busy.
+  kNicRegRxDma = 0x10,      // Guest-physical RX buffer address.
+  kNicRegRxLen = 0x14,      // Length of the delivered RX packet.
+  kNicRegRxCtrl = 0x18,     // Write 1 to enable packet reception.
+  kNicRegIntAck = 0x1C,     // Bit0 acks RX (consumes the packet), bit1 acks TX.
+  kNicRegTxResult = 0x20,   // TX completion code: 0 ok, 1 uncertain.
+};
+
+// The largest packet the NIC delivers into the guest RX buffer.
+inline constexpr uint32_t kNicMaxPacketBytes = 256;
 
 }  // namespace hbft
 

@@ -24,6 +24,8 @@
 #include <optional>
 #include <vector>
 
+#include "devices/io.hpp"
+
 namespace hbft {
 
 enum class MsgType : uint8_t {
@@ -32,16 +34,6 @@ enum class MsgType : uint8_t {
   kTimeSync = 3,
   kEpochEnd = 4,
   kAck = 5,
-};
-
-// Payload describing a virtual I/O completion relayed with an interrupt.
-struct IoCompletionPayload {
-  uint32_t device_irq = 0;     // IrqLine bit for the device.
-  uint64_t guest_op_seq = 0;   // The guest-visible I/O sequence number.
-  uint32_t result_code = 0;    // Virtual device result register value.
-  bool has_dma_data = false;
-  uint32_t dma_guest_paddr = 0;
-  std::vector<uint8_t> dma_data;
 };
 
 struct Message {

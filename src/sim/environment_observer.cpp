@@ -1,6 +1,6 @@
 #include "sim/environment_observer.hpp"
 
-#include <functional>
+#include <set>
 #include <sstream>
 
 namespace hbft {
@@ -16,19 +16,18 @@ namespace {
 // Window placement can be ambiguous when a segment matches several reference
 // positions, so the check searches placements (latest-start first — minimal
 // overlap) with backtracking; traces are small.
-template <typename Item, typename Eq>
-bool MatchSegments(const std::vector<Item>& reference,
-                   const std::vector<std::vector<Item>>& segments, Eq eq, size_t seg_idx,
+bool MatchSegments(const std::vector<EnvTraceEntry>& reference,
+                   const std::vector<std::vector<EnvTraceEntry>>& segments, size_t seg_idx,
                    size_t cover_end) {
   const size_t n = reference.size();
   if (seg_idx == segments.size()) {
     return cover_end == n;
   }
-  const std::vector<Item>& items = segments[seg_idx];
+  const std::vector<EnvTraceEntry>& items = segments[seg_idx];
   if (items.empty()) {
-    // This replica never touched the devices (killed while passive, or the
+    // This replica never touched the device (killed while passive, or the
     // run ended before its takeover did I/O): coverage is unchanged.
-    return MatchSegments(reference, segments, eq, seg_idx + 1, cover_end);
+    return MatchSegments(reference, segments, seg_idx + 1, cover_end);
   }
   if (items.size() > n) {
     return false;
@@ -37,7 +36,7 @@ bool MatchSegments(const std::vector<Item>& reference,
   for (size_t start = latest + 1; start-- > 0;) {
     bool match = true;
     for (size_t i = 0; i < items.size(); ++i) {
-      if (!eq(items[i], reference[start + i])) {
+      if (items[i].op_hash != reference[start + i].op_hash) {
         match = false;
         break;
       }
@@ -45,7 +44,7 @@ bool MatchSegments(const std::vector<Item>& reference,
     if (match) {
       size_t end = start + items.size();
       size_t new_cover = end > cover_end ? end : cover_end;
-      if (MatchSegments(reference, segments, eq, seg_idx + 1, new_cover)) {
+      if (MatchSegments(reference, segments, seg_idx + 1, new_cover)) {
         return true;
       }
     }
@@ -53,50 +52,50 @@ bool MatchSegments(const std::vector<Item>& reference,
   return false;
 }
 
-// Shared driver: split `observed` by issuer, check issuer interleaving
+// Per-device driver: split `observed` by issuer, check issuer interleaving
 // follows the chain order, then match windows against the reference.
-template <typename Item, typename Eq, typename Print>
-ConsistencyResult CheckChain(const std::vector<Item>& reference, const std::vector<Item>& observed,
-                             const std::vector<int>& issuer_chain,
-                             const std::function<int(const Item&)>& issuer_of, Eq eq, Print print) {
+ConsistencyResult CheckDevice(DeviceId device, const std::vector<EnvTraceEntry>& reference,
+                              const std::vector<EnvTraceEntry>& observed,
+                              const std::vector<int>& issuer_chain) {
   std::ostringstream detail;
 
   // Ordering sanity: once a later replica in the chain has touched the
-  // devices, an earlier one must not (it only goes quiet or dies).
+  // device, an earlier one must not (it only goes quiet or dies).
   size_t furthest = 0;
-  for (const Item& e : observed) {
-    int issuer = issuer_of(e);
+  for (const EnvTraceEntry& e : observed) {
     size_t pos = issuer_chain.size();
     for (size_t i = 0; i < issuer_chain.size(); ++i) {
-      if (issuer_chain[i] == issuer) {
+      if (issuer_chain[i] == e.issuer) {
         pos = i;
         break;
       }
     }
     if (pos == issuer_chain.size()) {
-      detail << "operation from unknown issuer " << issuer << ": " << print(e);
+      detail << DeviceIdName(device) << ": operation from unknown issuer " << e.issuer << ": "
+             << e.label;
       return {false, detail.str()};
     }
     if (pos < furthest) {
-      detail << "issuer " << issuer << " operated after its successor took over: " << print(e);
+      detail << DeviceIdName(device) << ": issuer " << e.issuer
+             << " operated after its successor took over: " << e.label;
       return {false, detail.str()};
     }
     furthest = pos > furthest ? pos : furthest;
   }
 
-  std::vector<std::vector<Item>> segments(issuer_chain.size());
-  for (const Item& e : observed) {
-    int issuer = issuer_of(e);
+  std::vector<std::vector<EnvTraceEntry>> segments(issuer_chain.size());
+  for (const EnvTraceEntry& e : observed) {
     for (size_t i = 0; i < issuer_chain.size(); ++i) {
-      if (issuer_chain[i] == issuer) {
+      if (issuer_chain[i] == e.issuer) {
         segments[i].push_back(e);
         break;
       }
     }
   }
 
-  if (!MatchSegments(reference, segments, eq, 0, 0)) {
-    detail << "observed sequence is not a gap-free overlap chain of the reference ("
+  if (!MatchSegments(reference, segments, 0, 0)) {
+    detail << DeviceIdName(device)
+           << ": observed sequence is not a gap-free overlap chain of the reference ("
            << reference.size() << " reference operations;";
     for (size_t i = 0; i < segments.size(); ++i) {
       detail << " issuer " << issuer_chain[i] << ": " << segments[i].size();
@@ -107,24 +106,10 @@ ConsistencyResult CheckChain(const std::vector<Item>& reference, const std::vect
   return {true, ""};
 }
 
-bool DiskOpEq(const DiskTraceEntry& a, const DiskTraceEntry& b) {
-  if (a.is_write != b.is_write || a.block != b.block) {
-    return false;
-  }
-  return !a.is_write || a.content_hash == b.content_hash;
-}
-
-std::string DiskOpPrint(const DiskTraceEntry& e) {
-  std::ostringstream out;
-  out << (e.is_write ? "write" : "read") << "(block=" << e.block << ", hash=" << e.content_hash
-      << ")";
-  return out.str();
-}
-
-std::vector<DiskTraceEntry> Performed(const std::vector<DiskTraceEntry>& trace) {
-  std::vector<DiskTraceEntry> out;
-  for (const DiskTraceEntry& e : trace) {
-    if (e.performed) {
+std::vector<EnvTraceEntry> PerformedOn(DeviceId device, const std::vector<EnvTraceEntry>& trace) {
+  std::vector<EnvTraceEntry> out;
+  for (const EnvTraceEntry& e : trace) {
+    if (e.device_id == device && e.performed) {
       out.push_back(e);
     }
   }
@@ -133,37 +118,32 @@ std::vector<DiskTraceEntry> Performed(const std::vector<DiskTraceEntry>& trace) 
 
 }  // namespace
 
-ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
-                                       const std::vector<DiskTraceEntry>& observed,
-                                       const std::vector<int>& issuer_chain) {
-  std::function<int(const DiskTraceEntry&)> issuer_of = [](const DiskTraceEntry& e) {
-    return e.issuer;
-  };
-  return CheckChain(Performed(reference), Performed(observed), issuer_chain, issuer_of, DiskOpEq,
-                    DiskOpPrint);
+ConsistencyResult CheckEnvConsistency(const std::vector<EnvTraceEntry>& reference,
+                                      const std::vector<EnvTraceEntry>& observed,
+                                      const std::vector<int>& issuer_chain) {
+  // Every device either trace mentions gets its own windowed check; a device
+  // absent from both is vacuously consistent.
+  std::set<DeviceId> devices;
+  for (const EnvTraceEntry& e : reference) {
+    devices.insert(e.device_id);
+  }
+  for (const EnvTraceEntry& e : observed) {
+    devices.insert(e.device_id);
+  }
+  for (DeviceId device : devices) {
+    ConsistencyResult result = CheckDevice(device, PerformedOn(device, reference),
+                                           PerformedOn(device, observed), issuer_chain);
+    if (!result.ok) {
+      return result;
+    }
+  }
+  return {true, ""};
 }
 
-ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
-                                          const std::vector<ConsoleTraceEntry>& observed,
-                                          const std::vector<int>& issuer_chain) {
-  std::function<int(const ConsoleTraceEntry&)> issuer_of = [](const ConsoleTraceEntry& e) {
-    return e.issuer;
-  };
-  auto eq = [](const ConsoleTraceEntry& a, const ConsoleTraceEntry& b) { return a.ch == b.ch; };
-  auto print = [](const ConsoleTraceEntry& e) { return std::string(1, e.ch); };
-  return CheckChain(reference, observed, issuer_chain, issuer_of, eq, print);
-}
-
-ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
-                                       const std::vector<DiskTraceEntry>& observed, int primary_id,
-                                       int backup_id) {
-  return CheckDiskConsistency(reference, observed, std::vector<int>{primary_id, backup_id});
-}
-
-ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
-                                          const std::vector<ConsoleTraceEntry>& observed,
-                                          int primary_id, int backup_id) {
-  return CheckConsoleConsistency(reference, observed, std::vector<int>{primary_id, backup_id});
+ConsistencyResult CheckEnvConsistency(const std::vector<EnvTraceEntry>& reference,
+                                      const std::vector<EnvTraceEntry>& observed, int primary_id,
+                                      int backup_id) {
+  return CheckEnvConsistency(reference, observed, std::vector<int>{primary_id, backup_id});
 }
 
 }  // namespace hbft

@@ -1,4 +1,4 @@
-// Environment consistency checking.
+// Environment consistency checking, device-generically.
 //
 // The paper's correctness criterion: "the environment does not see an
 // anomalous sequence of I/O requests if the primary fails and the backup
@@ -6,9 +6,12 @@
 // what a SINGLE processor could have produced, given that devices may report
 // uncertain completions and drivers therefore repeat operations.
 //
-// Concretely, against a reference (unreplicated) run of the same workload:
+// The criterion is stated per device output channel (disk blocks, console
+// bytes, NIC packets — anything a DeviceBackend traces as EnvTraceEntry
+// records). Concretely, for each device, against a reference (unreplicated)
+// run of the same workload:
 //   * without failover: the observed device trace must equal the reference
-//     trace, and only the primary may have touched the devices;
+//     trace, and only the primary may have touched the device;
 //   * with failover: the primary's operations form a prefix of the reference
 //     sequence, the promoted backup's operations form a suffix, and they
 //     overlap (the re-driven window) — every overlap operation repeats the
@@ -19,15 +22,15 @@
 // operations form a contiguous window of the reference sequence, windows
 // appear in takeover order, consecutive windows may overlap (the re-driven
 // operations) but never leave a gap, and together they cover the reference
-// exactly.
+// exactly. This is the per-device output-commit window: the overlap is
+// bounded by what was in flight at the crash, for every device uniformly.
 #ifndef HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
 #define HBFT_SIM_ENVIRONMENT_OBSERVER_HPP_
 
 #include <string>
 #include <vector>
 
-#include "devices/console.hpp"
-#include "devices/disk.hpp"
+#include "devices/io.hpp"
 
 namespace hbft {
 
@@ -36,25 +39,20 @@ struct ConsistencyResult {
   std::string detail;
 };
 
-// Disk-trace check against a replica chain: `issuer_chain` lists device
-// issuer ids in takeover order (ScenarioResult::issuer_chain()); the
-// reference trace may use any single issuer.
-ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
-                                       const std::vector<DiskTraceEntry>& observed,
-                                       const std::vector<int>& issuer_chain);
+// Device-generic trace check against a replica chain: `issuer_chain` lists
+// device-issuer ids in takeover order (ScenarioResult::issuer_chain()); the
+// reference trace may use any single issuer. The traces are split by
+// DeviceId and each device's windowed-overlap structure is verified
+// independently; unperformed entries are ignored (the environment never saw
+// them).
+ConsistencyResult CheckEnvConsistency(const std::vector<EnvTraceEntry>& reference,
+                                      const std::vector<EnvTraceEntry>& observed,
+                                      const std::vector<int>& issuer_chain);
 
-// Console-output check with the same windowed-overlap structure.
-ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
-                                          const std::vector<ConsoleTraceEntry>& observed,
-                                          const std::vector<int>& issuer_chain);
-
-// Pair conveniences (a chain of exactly primary -> backup).
-ConsistencyResult CheckDiskConsistency(const std::vector<DiskTraceEntry>& reference,
-                                       const std::vector<DiskTraceEntry>& observed, int primary_id,
-                                       int backup_id);
-ConsistencyResult CheckConsoleConsistency(const std::vector<ConsoleTraceEntry>& reference,
-                                          const std::vector<ConsoleTraceEntry>& observed,
-                                          int primary_id, int backup_id);
+// Pair convenience (a chain of exactly primary -> backup).
+ConsistencyResult CheckEnvConsistency(const std::vector<EnvTraceEntry>& reference,
+                                      const std::vector<EnvTraceEntry>& observed, int primary_id,
+                                      int backup_id);
 
 }  // namespace hbft
 

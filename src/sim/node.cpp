@@ -5,20 +5,20 @@
 namespace hbft {
 
 BareNode::BareNode(int id, const GuestProgram& guest, const MachineConfig& machine_config,
-                   const CostModel& costs, Disk* disk, Console* console,
+                   const CostModel& costs, std::unique_ptr<DeviceRegistry> devices,
                    EventScheduler* scheduler)
     : id_(id),
       costs_(costs),
+      devices_(std::move(devices)),
       machine_([&] {
         MachineConfig mc = machine_config;
         mc.trap_mode = TrapMode::kDirect;
         mc.machine_seed = machine_config.machine_seed * 1000003ULL + static_cast<uint64_t>(id);
         return mc;
       }()),
-      disk_(disk),
-      console_(console),
       scheduler_(scheduler) {
   HBFT_CHECK(guest.image != nullptr);
+  HBFT_CHECK(devices_ != nullptr);
   machine_.LoadImage(*guest.image);
   machine_.cpu().pc = guest.entry_pc;
   machine_.cpu().cr[kCrStatus] = 0;  // Real privilege 0, VM off, IE off.
@@ -108,182 +108,63 @@ void BareNode::HandleEnvCr(const MachineExit& exit) {
 
 void BareNode::HandleMmio(const MachineExit& exit) {
   const DecodedInstr& instr = exit.instr;
-  CpuState& cpu = machine_.cpu();
   uint32_t paddr = exit.mmio_paddr;
+  VirtualDevice* device = devices_->by_mmio(paddr);
+  HBFT_CHECK(device != nullptr) << "MMIO access outside device windows";
+  const uint32_t offset = paddr - device->mmio_base();
 
-  if (paddr >= kDiskMmioBase && paddr < kDiskMmioBase + kPageBytes) {
-    uint32_t reg = paddr - kDiskMmioBase;
-    if (exit.mmio_is_store) {
-      uint32_t value = exit.mmio_value;
-      switch (reg) {
-        case kDiskRegBlock:
-          vdisk_.reg_block = value;
-          break;
-        case kDiskRegCount:
-          vdisk_.reg_count = value;
-          break;
-        case kDiskRegDma:
-          vdisk_.reg_dma = value;
-          break;
-        case kDiskRegIntAck:
-          machine_.AckIrq(kIrqDisk);
-          vdisk_.reg_status &= ~(kDiskStatusDone | kDiskStatusCheck);
-          break;
-        case kDiskRegCmd: {
-          HBFT_CHECK(!vdisk_.busy) << "bare guest issued disk command while busy";
-          HBFT_CHECK(value == 1 || value == 2);
-          vdisk_.busy = true;
-          vdisk_.reg_status = kDiskStatusBusy;
-          bool is_write = value == 2;
-          uint64_t op_id;
-          SimTime latency;
-          if (is_write) {
-            std::vector<uint8_t> data(kDiskBlockBytes);
-            machine_.memory().ReadBlock(vdisk_.reg_dma, data.data(), kDiskBlockBytes);
-            op_id = disk_->IssueWrite(vdisk_.reg_block, std::move(data), id_);
-            latency = costs_.disk_write_latency;
-          } else {
-            op_id = disk_->IssueRead(vdisk_.reg_block, id_);
-            latency = costs_.disk_read_latency;
-          }
-          pending_disk_[op_id] = PendingDiskOp{is_write, vdisk_.reg_dma};
-          SimTime completion = clock_ + latency;
-          scheduler_->ScheduleAt(completion, [this, op_id, completion] {
-            if (!halted_) {
-              OnDiskCompletion(op_id, completion);
-            }
-          });
-          break;
+  if (exit.mmio_is_store) {
+    VirtualDevice::StoreResult result = device->MmioStore(offset, exit.mmio_value, machine_);
+    HBFT_CHECK(!result.fault) << "bad " << device->name() << " register store offset " << offset;
+    if (result.initiate) {
+      IoDescriptor io = std::move(result.io);
+      io.guest_op_seq = next_op_seq_++;
+      DeviceBackend* backend = device->backend();
+      HBFT_CHECK(backend != nullptr) << device->name() << " has no backend";
+      DeviceBackend::Issued issued = backend->Issue(io, id_);
+      const DeviceId device_id = io.device_id;
+      const uint64_t op_id = issued.op_id;
+      pending_real_[{device_id, op_id}] = std::move(io);
+      SimTime completion = clock_ + issued.latency;
+      scheduler_->ScheduleAt(completion, [this, device_id, op_id, completion] {
+        if (!halted_) {
+          OnRealOpComplete(device_id, op_id, completion);
         }
-        default:
-          HBFT_CHECK(false) << "bad disk register store offset " << reg;
-      }
-    } else {
-      uint32_t value = 0;
-      switch (reg) {
-        case kDiskRegStatus:
-          value = vdisk_.reg_status;
-          break;
-        case kDiskRegResult:
-          value = vdisk_.reg_result;
-          break;
-        case kDiskRegBlock:
-          value = vdisk_.reg_block;
-          break;
-        case kDiskRegCount:
-          value = vdisk_.reg_count;
-          break;
-        case kDiskRegDma:
-          value = vdisk_.reg_dma;
-          break;
-        default:
-          value = 0;
-          break;
-      }
-      cpu.set_gpr(instr.rd, value);
+      });
     }
-    Retire(exit.pc + 4);
-    return;
-  }
-
-  if (paddr >= kConsoleMmioBase && paddr < kConsoleMmioBase + kPageBytes) {
-    uint32_t reg = paddr - kConsoleMmioBase;
-    if (exit.mmio_is_store) {
-      uint32_t value = exit.mmio_value;
-      switch (reg) {
-        case kConsoleRegTx: {
-          HBFT_CHECK(!vconsole_.tx_busy);
-          vconsole_.tx_busy = true;
-          console_->Transmit(static_cast<char>(value & 0xFF), id_);
-          SimTime completion = clock_ + costs_.console_tx_latency;
-          scheduler_->ScheduleAt(completion, [this, completion] {
-            if (!halted_) {
-              OnConsoleTxDone(completion);
-            }
-          });
-          break;
-        }
-        case kConsoleRegIntAck:
-          if ((value & 1) != 0) {
-            machine_.AckIrq(kIrqConsoleRx);
-            vconsole_.rx_ready = false;
-          }
-          if ((value & 2) != 0) {
-            machine_.AckIrq(kIrqConsoleTx);
-          }
-          break;
-        default:
-          HBFT_CHECK(false) << "bad console register store offset " << reg;
-      }
-    } else {
-      uint32_t value = 0;
-      switch (reg) {
-        case kConsoleRegRx:
-          value = vconsole_.rx_char;
-          break;
-        case kConsoleRegStatus:
-          value = (vconsole_.rx_ready ? 1u : 0u) | (vconsole_.tx_busy ? 2u : 0u);
-          break;
-        case kConsoleRegResult:
-          value = vconsole_.reg_result;
-          break;
-        default:
-          value = 0;
-          break;
-      }
-      cpu.set_gpr(instr.rd, value);
-    }
-    Retire(exit.pc + 4);
-    return;
-  }
-
-  HBFT_CHECK(false) << "MMIO access outside device windows";
-}
-
-void BareNode::OnDiskCompletion(uint64_t op_id, SimTime t) {
-  auto it = pending_disk_.find(op_id);
-  HBFT_CHECK(it != pending_disk_.end());
-  PendingDiskOp op = it->second;
-  pending_disk_.erase(it);
-  if (clock_ < t) {
-    clock_ = t;
-  }
-  Disk::Completion completion = disk_->Complete(op_id);
-  vdisk_.busy = false;
-  if (completion.status == DiskStatus::kUncertain) {
-    vdisk_.reg_status = kDiskStatusDone | kDiskStatusCheck;
-    vdisk_.reg_result = kDiskResultCheckCondition;
   } else {
-    vdisk_.reg_status = kDiskStatusDone;
-    vdisk_.reg_result = kDiskResultOk;
-    if (!op.is_write) {
-      machine_.memory().WriteBlock(op.dma, completion.data.data(),
-                                   static_cast<uint32_t>(completion.data.size()));
-    }
+    machine_.cpu().set_gpr(instr.rd, device->MmioLoad(offset));
   }
-  machine_.RaiseIrq(kIrqDisk);
+  Retire(exit.pc + 4);
 }
 
-void BareNode::OnConsoleTxDone(SimTime t) {
+void BareNode::OnRealOpComplete(DeviceId device_id, uint64_t op_id, SimTime t) {
+  auto it = pending_real_.find({device_id, op_id});
+  HBFT_CHECK(it != pending_real_.end());
+  IoDescriptor io = std::move(it->second);
+  pending_real_.erase(it);
   if (clock_ < t) {
     clock_ = t;
   }
-  vconsole_.tx_busy = false;
-  vconsole_.reg_result = 0;
-  machine_.RaiseIrq(kIrqConsoleTx);
+  VirtualDevice* device = devices_->by_id(device_id);
+  IoCompletionPayload payload = device->backend()->Complete(op_id, io);
+  // Applied immediately: the bare machine has no epoch boundaries.
+  device->ApplyCompletion(payload, machine_);
 }
 
-void BareNode::InjectConsoleRx(char c, SimTime t) {
+void BareNode::InjectInput(DeviceId device_id, const std::vector<uint8_t>& payload, SimTime t) {
   if (halted_) {
     return;
   }
-  if (clock_ < t) {
-    // The device latches asynchronously; the node clock is unaffected, but
-    // the interrupt is visible from `t` (next RunSlice checks pending lines).
+  (void)t;  // The device latches asynchronously; the node clock is unaffected,
+            // but the interrupt is visible from the next RunSlice.
+  VirtualDevice* device = devices_->by_id(device_id);
+  HBFT_CHECK(device != nullptr);
+  IoCompletionPayload completion;
+  if (!device->MakeInputCompletion(payload, &completion)) {
+    return;
   }
-  vconsole_.rx_char = static_cast<uint32_t>(static_cast<uint8_t>(c));
-  vconsole_.rx_ready = true;
-  machine_.RaiseIrq(kIrqConsoleRx);
+  device->ApplyCompletion(completion, machine_);
 }
 
 }  // namespace hbft

@@ -3,23 +3,28 @@
 // Runs the same guest image on a kDirect machine: traps vector straight into
 // MiniOS, privileged instructions execute natively at real privilege 0, and
 // environment instructions / MMIO exit to this node, which implements them
-// against the local devices and clock. Bare runs provide the paper's
-// denominator N in normalized performance N'/N, and the reference
-// environment traces for transparency checking.
+// against the local device registry and clock. Completions are applied by
+// the same per-node VirtualDevice models the hypervisor uses — just
+// immediately at completion time instead of at epoch boundaries. Bare runs
+// provide the paper's denominator N in normalized performance N'/N, and the
+// reference environment traces for transparency checking.
 #ifndef HBFT_SIM_NODE_HPP_
 #define HBFT_SIM_NODE_HPP_
 
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "core/protocol.hpp"
-#include "hypervisor/virtual_devices.hpp"
+#include "devices/virtual_device.hpp"
 
 namespace hbft {
 
 class BareNode : public NodeActor {
  public:
   BareNode(int id, const GuestProgram& guest, const MachineConfig& machine_config,
-           const CostModel& costs, Disk* disk, Console* console, EventScheduler* scheduler);
+           const CostModel& costs, std::unique_ptr<DeviceRegistry> devices,
+           EventScheduler* scheduler);
 
   void RunSlice(SimTime until) override;
   bool runnable() const override { return !halted_; }
@@ -28,13 +33,16 @@ class BareNode : public NodeActor {
   bool dead() const override { return false; }
 
   Machine& machine() { return machine_; }
-  void InjectConsoleRx(char c, SimTime t);
+  DeviceRegistry& devices() { return *devices_; }
+
+  // Environment input (console characters, NIC packets): the device model
+  // applies it immediately — the bare machine takes interrupts as they come.
+  void InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t);
 
  private:
   void HandleEnvCr(const MachineExit& exit);
   void HandleMmio(const MachineExit& exit);
-  void OnDiskCompletion(uint64_t op_id, SimTime t);
-  void OnConsoleTxDone(SimTime t);
+  void OnRealOpComplete(DeviceId device_id, uint64_t op_id, SimTime t);
   void Retire(uint32_t next_pc) {
     machine_.RetireSimulated(next_pc);
     clock_ += costs_.instruction_cost;
@@ -42,24 +50,19 @@ class BareNode : public NodeActor {
 
   int id_;
   CostModel costs_;
+  std::unique_ptr<DeviceRegistry> devices_;
   Machine machine_;
   SimTime clock_ = SimTime::Zero();
-  Disk* disk_;
-  Console* console_;
   EventScheduler* scheduler_;
   bool halted_ = false;
 
-  VirtualDiskState vdisk_;
-  VirtualConsoleState vconsole_;
   uint64_t itmr_value_ = 0;
   bool timer_armed_ = false;
   uint64_t timer_generation_ = 0;
+  uint64_t next_op_seq_ = 1;
 
-  struct PendingDiskOp {
-    bool is_write = false;
-    uint32_t dma = 0;
-  };
-  std::map<uint64_t, PendingDiskOp> pending_disk_;
+  // In-flight real operations: (device, backend op id) -> descriptor.
+  std::map<std::pair<DeviceId, uint64_t>, IoDescriptor> pending_real_;
 };
 
 }  // namespace hbft

@@ -1,6 +1,7 @@
 #include "sim/scenario.hpp"
 
 #include "common/check.hpp"
+#include "devices/device_set.hpp"
 #include "guest/image.hpp"
 
 namespace hbft {
@@ -67,6 +68,10 @@ Scenario::Scenario(const WorkloadSpec& workload, bool replicated)
   // Scenario-level machine defaults (larger TLB than the raw machine's).
   machine_.tlb_entries = 64;
   machine_.tlb_policy = TlbPolicy::kHardwareRandom;
+  // The net-echo workload is meaningless without its device.
+  if (workload.kind == WorkloadKind::kNetEcho) {
+    with_nic_ = true;
+  }
 }
 
 Scenario Scenario::Bare(const WorkloadSpec& workload) { return Scenario(workload, false); }
@@ -135,8 +140,32 @@ Scenario& Scenario::DiskBlocks(uint32_t blocks) {
   return *this;
 }
 
-Scenario& Scenario::DiskFaults(const DiskFaultPlan& faults) {
+Scenario& Scenario::Device(DeviceId id) {
+  switch (id) {
+    case DeviceId::kDisk:
+    case DeviceId::kConsole:
+      break;  // Always attached.
+    case DeviceId::kNic:
+      with_nic_ = true;
+      break;
+    default:
+      HBFT_CHECK(false) << "unknown device id " << static_cast<uint32_t>(id);
+  }
+  return *this;
+}
+
+Scenario& Scenario::DiskFaults(const FaultPlan& faults) {
   disk_faults_ = faults;
+  return *this;
+}
+
+Scenario& Scenario::ConsoleFaults(const FaultPlan& faults) {
+  console_faults_ = faults;
+  return *this;
+}
+
+Scenario& Scenario::NicFaults(const FaultPlan& faults) {
+  nic_faults_ = faults;
   return *this;
 }
 
@@ -154,6 +183,24 @@ Scenario& Scenario::ConsoleInput(std::string text, SimTime start, SimTime interv
   console_input_ = std::move(text);
   console_input_start_ = start;
   console_input_interval_ = interval;
+  return *this;
+}
+
+Scenario& Scenario::InjectPacket(std::vector<uint8_t> payload) {
+  with_nic_ = true;
+  packets_.push_back(PacketInjection{std::move(payload), false, SimTime::Zero()});
+  return *this;
+}
+
+Scenario& Scenario::InjectPacket(std::vector<uint8_t> payload, SimTime t) {
+  with_nic_ = true;
+  packets_.push_back(PacketInjection{std::move(payload), true, t});
+  return *this;
+}
+
+Scenario& Scenario::PacketTiming(SimTime start, SimTime interval) {
+  packet_start_ = start;
+  packet_interval_ = interval;
   return *this;
 }
 
@@ -189,7 +236,12 @@ Scenario Scenario::AsBare() const {
 }
 
 ScenarioResult Scenario::Run() const {
-  const GuestImageBundle& bundle = GetGuestImage();
+  // The net-enabled guest image differs from the legacy one only in its
+  // interrupt-service hook; legacy workloads keep their exact instruction
+  // streams by using the legacy image.
+  const GuestImageBundle& bundle = workload_.kind == WorkloadKind::kNetEcho
+                                       ? GetGuestImage(GuestImageVariant::kNet)
+                                       : GetGuestImage();
 
   WorldConfig config;
   config.costs = costs_;
@@ -200,6 +252,9 @@ ScenarioResult Scenario::Run() const {
   config.disk_blocks = disk_blocks_;
   config.seed = seed_;
   config.disk_faults = disk_faults_;
+  config.console_faults = console_faults_;
+  config.with_nic = with_nic_;
+  config.nic_faults = nic_faults_;
   config.max_time = max_time_;
 
   World world(bundle.program, config, replicated_);
@@ -217,12 +272,23 @@ ScenarioResult Scenario::Run() const {
   if (!console_input_.empty()) {
     world.InjectConsoleInput(console_input_, console_input_start_, console_input_interval_);
   }
+  size_t auto_timed = 0;
+  for (const PacketInjection& packet : packets_) {
+    SimTime t = packet.has_time
+                    ? packet.time
+                    : packet_start_ + packet_interval_ * static_cast<int64_t>(auto_timed++);
+    world.InjectPacket(packet.payload, t);
+  }
 
   ScenarioResult result;
   world.Run(&result);
-  result.console_output = world.console().output();
-  result.console_trace = world.console().trace();
-  result.disk_trace = world.disk().trace();
+  result.console_output = world.devices().console().output();
+  result.console_trace = world.devices().console().trace();
+  result.disk_trace = world.devices().disk().trace();
+  if (world.devices().nic() != nullptr) {
+    result.nic_trace = world.devices().nic()->trace();
+  }
+  result.env_trace = world.devices().EnvTrace();
   ReadBackGuestState(world.active_machine(), &result);
 
   for (size_t i = 0; i < world.replica_count(); ++i) {

@@ -11,6 +11,15 @@
 //                             .Run();
 //   double np = NormalizedPerformance(ft, bare);   // The paper's N'/N.
 //
+// Devices are pluggable: the disk/console pair is always attached, and
+// additional devices join via the builder —
+//
+//   ScenarioResult net = Scenario::Replicated(WorkloadSpec::NetEcho(3))
+//                            .Device(DeviceId::kNic)
+//                            .InjectPacket({'h','i'})
+//                            .FailAtPhase(FailPhase::kAfterIoIssue)
+//                            .Run();
+//
 // A failure schedule is an ordered list: each FailAt* event arms only after
 // the previous one fired, so cascading failovers ("kill the primary, then
 // kill the promoted backup") compose naturally.
@@ -18,8 +27,12 @@
 #define HBFT_SIM_SCENARIO_HPP_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "devices/console.hpp"
+#include "devices/disk.hpp"
+#include "devices/nic.hpp"
 #include "guest/workloads.hpp"
 #include "sim/environment_observer.hpp"
 #include "sim/world.hpp"
@@ -45,10 +58,14 @@ struct ScenarioResult {
   uint32_t panic_code = 0;
   uint32_t ticks = 0;
 
-  // Environment.
+  // Environment. `env_trace` is the device-tagged trace the generalized
+  // consistency checker consumes; the typed traces remain for device-level
+  // assertions (durability, content checks).
   std::string console_output;
+  std::vector<EnvTraceEntry> env_trace;
   std::vector<DiskTraceEntry> disk_trace;
   std::vector<ConsoleTraceEntry> console_trace;
+  std::vector<NicTraceEntry> nic_trace;
 
   // Replication: one report per replica in chain order (primary first, then
   // each backup down the chain); empty for bare runs.
@@ -100,10 +117,25 @@ class Scenario {
   Scenario& Tlb(uint32_t entries, TlbPolicy policy);
   Scenario& Seed(uint64_t seed);
   Scenario& DiskBlocks(uint32_t blocks);
-  Scenario& DiskFaults(const DiskFaultPlan& faults);
   Scenario& MaxTime(SimTime max_time);
+
+  // --- Devices --------------------------------------------------------------
+  // Attaches an optional device to every node's registry (disk and console
+  // are always present; currently only the NIC is optional).
+  Scenario& Device(DeviceId id);
+  Scenario& DiskFaults(const FaultPlan& faults);
+  Scenario& ConsoleFaults(const FaultPlan& faults);
+  Scenario& NicFaults(const FaultPlan& faults);
+
+  // --- Environment input ----------------------------------------------------
   Scenario& ConsoleInput(std::string text);
   Scenario& ConsoleInput(std::string text, SimTime start, SimTime interval);
+  // Queues a packet for injection (implies Device(kNic)). Without an
+  // explicit time, packets space themselves PacketTiming()-style like
+  // console input.
+  Scenario& InjectPacket(std::vector<uint8_t> payload);
+  Scenario& InjectPacket(std::vector<uint8_t> payload, SimTime t);
+  Scenario& PacketTiming(SimTime start, SimTime interval);
 
   // --- Failure schedule (ordered; each event arms after the previous) ------
   Scenario& FailAt(const FailurePlan& plan);
@@ -129,6 +161,12 @@ class Scenario {
  private:
   Scenario(const WorkloadSpec& workload, bool replicated);
 
+  struct PacketInjection {
+    std::vector<uint8_t> payload;
+    bool has_time = false;
+    SimTime time = SimTime::Zero();
+  };
+
   WorkloadSpec workload_;
   bool replicated_;
   ReplicationConfig replication_;
@@ -137,12 +175,18 @@ class Scenario {
   int backups_ = 1;
   uint64_t seed_ = 42;
   uint32_t disk_blocks_ = 128;
-  DiskFaultPlan disk_faults_;
+  bool with_nic_ = false;
+  FaultPlan disk_faults_;
+  FaultPlan console_faults_;
+  FaultPlan nic_faults_;
   FailureSchedule failures_;
   SimTime max_time_ = SimTime::Seconds(900);
   std::string console_input_;
   SimTime console_input_start_ = SimTime::Millis(100);
   SimTime console_input_interval_ = SimTime::Millis(20);
+  std::vector<PacketInjection> packets_;
+  SimTime packet_start_ = SimTime::Millis(100);
+  SimTime packet_interval_ = SimTime::Millis(20);
 };
 
 // Thin convenience for the ubiquitous default-configuration reference run.

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "devices/device_set.hpp"
 #include "sim/scenario.hpp"
 
 namespace hbft {
@@ -11,15 +12,21 @@ constexpr int kBareId = 0;
 constexpr int kPrimaryId = 1;  // Backups are numbered 2, 3, ... down the chain.
 }  // namespace
 
+World::~World() = default;
+
 World::World(const GuestProgram& guest, const WorldConfig& config, bool replicated)
     : config_(config), crash_rng_(config.seed ^ 0xC4A5BEEFULL) {
-  disk_ = std::make_unique<Disk>(config.disk_blocks, config.seed);
-  disk_->set_fault_plan(config.disk_faults);
-  console_ = std::make_unique<Console>();
+  DeviceSetConfig device_config;
+  device_config.disk_blocks = config.disk_blocks;
+  device_config.disk_faults = config.disk_faults;
+  device_config.console_faults = config.console_faults;
+  device_config.with_nic = config.with_nic;
+  device_config.nic_faults = config.nic_faults;
+  devices_ = std::make_unique<DeviceSet>(device_config, config.costs, config.seed);
 
   if (!replicated) {
-    bare_ = std::make_unique<BareNode>(kBareId, guest, config.machine, config.costs, disk_.get(),
-                                       console_.get(), this);
+    bare_ = std::make_unique<BareNode>(kBareId, guest, config.machine, config.costs,
+                                       devices_->BuildRegistry(), this);
     return;
   }
 
@@ -46,11 +53,11 @@ World::World(const GuestProgram& guest, const WorldConfig& config, bool replicat
     if (i == 0) {
       replicas_.push_back(std::make_unique<PrimaryNode>(id, guest, config.machine,
                                                         config.replication, config.costs,
-                                                        disk_.get(), console_.get(), links, this));
+                                                        devices_->BuildRegistry(), links, this));
     } else {
       replicas_.push_back(std::make_unique<BackupNode>(id, guest, config.machine,
                                                        config.replication, config.costs,
-                                                       disk_.get(), console_.get(), links, this));
+                                                       devices_->BuildRegistry(), links, this));
     }
   }
 
@@ -170,24 +177,31 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
   ReplicaNodeBase* node = replicas_[index].get();
   HBFT_CHECK(!node->dead());
   crash_times_.push_back(t);
-  std::vector<uint64_t> in_flight = node->PendingDiskOps();
+  std::vector<PendingRealOp> in_flight = node->PendingRealOps();
   node->Kill(t);
-  // Resolve each in-flight device operation: performed or not (IO2).
-  for (uint64_t op : in_flight) {
-    bool performed;
-    switch (crash_io) {
-      case FailurePlan::CrashIo::kPerformed:
-        performed = true;
-        break;
-      case FailurePlan::CrashIo::kNotPerformed:
-        performed = false;
-        break;
-      case FailurePlan::CrashIo::kRandom:
-      default:
-        performed = crash_rng_.NextBool(0.5);
-        break;
+  // Resolve each in-flight device operation. Only backends that leave a
+  // genuine IO2 question at a crash (the disk) draw a performed/not verdict;
+  // output latched at issue (console, NIC) already reached the environment,
+  // and ResolveAtCrash just retires the vanished completion.
+  for (const PendingRealOp& op : in_flight) {
+    DeviceBackend* backend = devices_->backend(op.device_id);
+    HBFT_CHECK(backend != nullptr);
+    bool performed = false;
+    if (backend->crash_resolvable()) {
+      switch (crash_io) {
+        case FailurePlan::CrashIo::kPerformed:
+          performed = true;
+          break;
+        case FailurePlan::CrashIo::kNotPerformed:
+          performed = false;
+          break;
+        case FailurePlan::CrashIo::kRandom:
+        default:
+          performed = crash_rng_.NextBool(0.5);
+          break;
+      }
     }
-    disk_->ResolveInFlightAtCrash(op, performed);
+    backend->ResolveAtCrash(op.op_id, performed);
   }
 
   if (index == active_index_) {
@@ -222,32 +236,36 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
   }
 }
 
+void World::RouteInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) {
+  if (bare_ != nullptr) {
+    bare_->InjectInput(device, payload, t);
+    return;
+  }
+  // Route to the replica responsible for the environment: the active node,
+  // or — between a crash and the promotion — its successor, which queues the
+  // input until it takes over.
+  for (size_t j = active_index_; j < replicas_.size(); ++j) {
+    ReplicaNodeBase* node = replicas_[j].get();
+    if (node->dead() || node->halted()) {
+      continue;
+    }
+    node->InjectInput(device, payload, t);
+    return;
+  }
+}
+
 void World::InjectConsoleInput(const std::string& text, SimTime start, SimTime interval) {
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     SimTime t = start + interval * static_cast<int64_t>(i);
     ScheduleAt(t, [this, c, t] {
-      if (bare_ != nullptr) {
-        bare_->InjectConsoleRx(c, t);
-        return;
-      }
-      // Route to the replica responsible for the environment: the active
-      // node, or — between a crash and the promotion — its successor, which
-      // queues the character until it takes over.
-      for (size_t j = active_index_; j < replicas_.size(); ++j) {
-        ReplicaNodeBase* node = replicas_[j].get();
-        if (node->dead() || node->halted()) {
-          continue;
-        }
-        if (j == 0) {
-          static_cast<PrimaryNode*>(node)->InjectConsoleRx(c, t);
-        } else {
-          static_cast<BackupNode*>(node)->InjectConsoleRx(c, t);
-        }
-        return;
-      }
+      RouteInput(DeviceId::kConsole, {static_cast<uint8_t>(c)}, t);
     });
   }
+}
+
+void World::InjectPacket(const std::vector<uint8_t>& payload, SimTime t) {
+  ScheduleAt(t, [this, payload, t] { RouteInput(DeviceId::kNic, payload, t); });
 }
 
 Machine& World::active_machine() {

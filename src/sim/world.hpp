@@ -1,11 +1,17 @@
 // World: deterministic co-simulation of a replica chain (1 primary + k
-// backups, or one bare reference machine), the shared disk, the console, the
+// backups, or one bare reference machine), the shared device backends, the
 // interconnect mesh, and failure injection.
 //
 // Scheduling is conservative and deterministic: the runnable node with the
 // smallest local clock advances until the next global event time; events tie-
 // break by insertion order. Replica nodes interact only through channels and
 // devices, all of which go through the event queue.
+//
+// Devices: one shared DeviceSet (the environment side — disk, console,
+// optionally a NIC) feeds a per-node DeviceRegistry of register models. The
+// world itself is device-generic: environment input, crash resolution of
+// in-flight operations, and trace extraction all go through DeviceId-tagged
+// interfaces, never through concrete device types.
 //
 // Topology: replicas form a chain primary -> backup_1 -> ... -> backup_k,
 // joined by a channel mesh keyed (from, to) — one FIFO link per direction per
@@ -32,6 +38,7 @@
 
 namespace hbft {
 
+class DeviceSet;
 struct ScenarioResult;
 
 struct FailurePlan {
@@ -66,7 +73,10 @@ struct WorldConfig {
   int backups = 1;  // Chain length: 1 primary + `backups` backups.
   uint32_t disk_blocks = 128;
   uint64_t seed = 42;
-  DiskFaultPlan disk_faults;
+  FaultPlan disk_faults;
+  FaultPlan console_faults;
+  bool with_nic = false;  // Attach the NIC to every node's registry.
+  FaultPlan nic_faults;
   SimTime max_time = SimTime::Seconds(600);
 };
 
@@ -75,6 +85,7 @@ class World : public EventScheduler {
   // `replicated` builds the chain of 1 + config.backups replicas; otherwise
   // one bare node.
   World(const GuestProgram& guest, const WorldConfig& config, bool replicated);
+  ~World() override;
 
   void ScheduleAt(SimTime t, std::function<void()> fn) override;
   SimTime NextEventTime() const override {
@@ -82,7 +93,11 @@ class World : public EventScheduler {
   }
 
   void SetFailureSchedule(const FailureSchedule& schedule);
+
+  // Environment input, routed to the replica currently responsible for the
+  // environment (or queued by its successor between a crash and promotion).
   void InjectConsoleInput(const std::string& text, SimTime start, SimTime interval);
+  void InjectPacket(const std::vector<uint8_t>& payload, SimTime t);
 
   // Runs the simulation to quiescence and fills the run-outcome portion of
   // `result` (completed/timed_out/deadlocked/service_lost, completion and
@@ -90,8 +105,8 @@ class World : public EventScheduler {
   // struct to drift from ScenarioResult.
   void Run(ScenarioResult* result);
 
-  Disk& disk() { return *disk_; }
-  Console& console() { return *console_; }
+  // The shared device backends (environment side).
+  DeviceSet& devices() { return *devices_; }
 
   // Node registry.
   BareNode* bare() { return bare_.get(); }
@@ -120,11 +135,14 @@ class World : public EventScheduler {
   void OnPhaseHook(size_t schedule_index, size_t replica_index, FailPhase phase, uint64_t epoch,
                    uint64_t io_seq);
 
+  // Routes environment input to the node serving (or about to serve) the
+  // environment.
+  void RouteInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t);
+
   WorldConfig config_;
   EventQueue queue_;
   DeterministicRng crash_rng_;
-  std::unique_ptr<Disk> disk_;
-  std::unique_ptr<Console> console_;
+  std::unique_ptr<DeviceSet> devices_;
   std::map<std::pair<size_t, size_t>, std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<ReplicaNodeBase>> replicas_;
   std::unique_ptr<BareNode> bare_;

@@ -34,11 +34,8 @@ void VerifyAgainstBare(const WorkloadSpec& spec, const ScenarioResult& bare,
   if (spec.kind != WorkloadKind::kTime) {
     EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   }
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
-  EXPECT_TRUE(disk.ok) << disk.detail;
-  ConsistencyResult console =
-      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
-  EXPECT_TRUE(console.ok) << console.detail;
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
 }
 
 // ---------------------------------------------------------------------------

@@ -60,6 +60,28 @@ run_cli(chain_run_out run --workload=txnlog --iterations=6 --backups=2)
 expect_field("${chain_run_out}" "replicas[ =:]+3")
 expect_field("${chain_run_out}" "disk_consistency[ =:]+ok")
 
+# --- net-echo: NIC scenario through the run subcommand -----------------------
+run_cli(net_out run --workload=net-echo --iterations=3)
+expect_field("${net_out}" "workload[ =:]+net-echo")
+expect_field("${net_out}" "completed[ =:]+yes")
+expect_field("${net_out}" "env_consistency[ =:]+ok")
+
+# --- net-echo failover: NIC covered by P6/P7 ---------------------------------
+run_cli(net_fail_out run --workload=net-echo --iterations=3
+        --fail=phase=after-io-issue,crash-io=not-performed)
+expect_field("${net_fail_out}" "promoted[ =:]+yes")
+expect_field("${net_fail_out}" "env_consistency[ =:]+ok")
+
+# --- device fault-plan knobs: retry-after-uncertain on both legacy devices ---
+run_cli(faults_out run --workload=txnlog --iterations=6 --disk-uncertain=0.3
+        --console-uncertain=0.3 --uncertain-performed=0.5 --mode=replicated)
+expect_field("${faults_out}" "completed[ =:]+yes")
+
+# --- net-echo drill: promotion report over the three-device workload ---------
+run_cli(net_drill_out drill --workload=net-echo)
+expect_field("${net_drill_out}" "promoted[ =:]+yes")
+expect_field("${net_drill_out}" "verdict[ =:]+PASS")
+
 # --- help + enum discoverability --------------------------------------------
 run_cli(help_out help)
 expect_field("${help_out}" "usage: hbft_cli")

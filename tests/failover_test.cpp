@@ -53,11 +53,8 @@ void VerifyFailover(const WorkloadSpec& spec, const ScenarioResult& bare,
   if (spec.kind != WorkloadKind::kTime) {
     EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   }
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
-  EXPECT_TRUE(disk.ok) << disk.detail;
-  ConsistencyResult console =
-      CheckConsoleConsistency(bare.console_trace, ft.console_trace, ft.issuer_chain());
-  EXPECT_TRUE(console.ok) << console.detail;
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
 }
 
 // ---------------------------------------------------------------------------
@@ -368,8 +365,8 @@ TEST_P(BackupFailureSweep, PrimaryContinuesSolo) {
   EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
   EXPECT_EQ(ft.console_output, bare.console_output);
   // The environment sees exactly the reference sequence, all from the primary.
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.issuer_chain());
-  EXPECT_TRUE(disk.ok) << disk.detail;
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(Fractions, BackupFailureSweep, testing::Values(5, 30, 60, 90));

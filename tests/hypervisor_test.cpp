@@ -1,8 +1,9 @@
 // Hypervisor tests: privileged-instruction simulation, virtual status
 // mapping, epoch control, interrupt buffering/delivery, TLB takeover, MMIO
-// virtualisation, and cost accounting.
+// virtualisation through the device registry, and cost accounting.
 #include <gtest/gtest.h>
 
+#include "devices/console.hpp"
 #include "devices/disk.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "isa/assembler.hpp"
@@ -26,6 +27,14 @@ struct HvHarness {
     hv->machine().cpu().cr[kCrStatus] = 1;  // Real privilege 1.
     hv->BeginEpoch();
   }
+
+  const DiskDevice::State& vdisk() const {
+    return static_cast<const DiskDevice*>(hv->devices().by_id(DeviceId::kDisk))->state();
+  }
+  const ConsoleDevice::State& vconsole() const {
+    return static_cast<const ConsoleDevice*>(hv->devices().by_id(DeviceId::kConsole))->state();
+  }
+
   AssembledImage image;
   std::unique_ptr<Hypervisor> hv;
 };
@@ -136,13 +145,14 @@ TEST(Hypervisor, MmioVirtualDiskCommandSequence) {
   )");
   GuestEvent event = h.hv->RunGuest(SimTime::Seconds(1));
   ASSERT_EQ(event.kind, GuestEvent::Kind::kIoCommand);
-  EXPECT_EQ(event.io.kind, GuestIoCommand::Kind::kDiskWrite);
-  EXPECT_EQ(event.io.block, 17u);
-  EXPECT_EQ(event.io.dma_paddr, 0x3000u);
+  EXPECT_EQ(event.io.device_id, DeviceId::kDisk);
+  EXPECT_EQ(event.io.opcode, kDiskOpWrite);
+  EXPECT_EQ(event.io.arg0, 17u);       // Block.
+  EXPECT_EQ(event.io.arg1, 0x3000u);   // DMA address.
   EXPECT_EQ(event.io.guest_op_seq, 1u);
-  EXPECT_EQ(event.io.write_data.size(), kDiskBlockBytes);
-  EXPECT_TRUE(h.hv->vdisk().busy);
-  EXPECT_EQ(h.hv->vdisk().reg_status & kDiskStatusBusy, kDiskStatusBusy);
+  EXPECT_EQ(event.io.payload.size(), kDiskBlockBytes);
+  EXPECT_TRUE(h.vdisk().busy);
+  EXPECT_EQ(h.vdisk().reg_status & kDiskStatusBusy, kDiskStatusBusy);
   h.hv->CompleteIoCommand();
   event = h.hv->RunGuest(SimTime::Seconds(1));
   EXPECT_EQ(event.kind, GuestEvent::Kind::kHalted);
@@ -162,8 +172,8 @@ TEST(Hypervisor, DiskWriteSnapshotsDmaBufferAtIssue) {
   )");
   GuestEvent event = h.hv->RunGuest(SimTime::Seconds(1));
   ASSERT_EQ(event.kind, GuestEvent::Kind::kIoCommand);
-  EXPECT_EQ(event.io.write_data[0], 0xCD);
-  EXPECT_EQ(event.io.write_data[1], 0xAB);
+  EXPECT_EQ(event.io.payload[0], 0xCD);
+  EXPECT_EQ(event.io.payload[1], 0xAB);
 }
 
 TEST(Hypervisor, InterruptDeliveryAppliesDmaAndVectors) {
@@ -219,7 +229,7 @@ handler:
   EXPECT_EQ(h.hv->machine().cpu().gpr[4], static_cast<uint32_t>(TrapCause::kInterrupt));
   EXPECT_EQ(h.hv->machine().cpu().gpr[6], kDiskResultOk);
   EXPECT_EQ(h.hv->machine().cpu().gpr[7], 0x99u);
-  EXPECT_FALSE(h.hv->vdisk().busy);
+  EXPECT_FALSE(h.vdisk().busy);
 }
 
 TEST(Hypervisor, TimerInterruptFromTmeComparison) {
@@ -418,8 +428,10 @@ TEST(Hypervisor, ConsoleTxFlowWithUncertainRetrySignal) {
   )");
   GuestEvent event = h.hv->RunGuest(SimTime::Seconds(1));
   ASSERT_EQ(event.kind, GuestEvent::Kind::kIoCommand);
-  EXPECT_EQ(event.io.kind, GuestIoCommand::Kind::kConsoleTx);
-  EXPECT_EQ(event.io.tx_char, 'A');
+  EXPECT_EQ(event.io.device_id, DeviceId::kConsole);
+  EXPECT_EQ(event.io.opcode, kConsoleOpTx);
+  ASSERT_EQ(event.io.payload.size(), 1u);
+  EXPECT_EQ(event.io.payload[0], static_cast<uint8_t>('A'));
   h.hv->CompleteIoCommand();
   event = h.hv->RunGuest(SimTime::Seconds(1));
   EXPECT_EQ(event.kind, GuestEvent::Kind::kHalted);
@@ -437,8 +449,8 @@ TEST(Hypervisor, ConsoleTxFlowWithUncertainRetrySignal) {
   vi.io = payload;
   h.hv->BufferInterrupt(vi);
   h.hv->DeliverEpochInterrupts(0, 0);
-  EXPECT_FALSE(h.hv->vconsole().tx_busy);
-  EXPECT_EQ(h.hv->vconsole().reg_result, kDiskResultCheckCondition);
+  EXPECT_FALSE(h.vconsole().tx_busy);
+  EXPECT_EQ(h.vconsole().reg_result, kConsoleResultUncertain);
 }
 
 TEST(Hypervisor, ConsoleIntAckClearsSelectedLinesOnly) {
@@ -448,19 +460,24 @@ TEST(Hypervisor, ConsoleIntAckClearsSelectedLinesOnly) {
     sw r2, 0x0C(r1)
     halt
   )");
-  // Pre-raise both console lines and mark RX ready.
+  // Pre-raise both console lines and mark RX ready. Console RX rides the
+  // generic completion payload: the character travels in result_code.
   h.hv->machine().RaiseIrq(kIrqConsoleRx | kIrqConsoleTx);
   VirtualInterrupt rx;
   rx.irq_line = kIrqConsoleRx;
   rx.epoch = 0;
-  rx.rx_char = 'z';
+  IoCompletionPayload rx_payload;
+  rx_payload.device_irq = kIrqConsoleRx;
+  rx_payload.result_code = static_cast<uint32_t>('z');
+  rx.io = rx_payload;
   h.hv->BufferInterrupt(rx);
   h.hv->DeliverEpochInterrupts(0, 0);  // Sets rx_ready.
   GuestEvent event = h.hv->RunGuest(SimTime::Seconds(1));
   EXPECT_EQ(event.kind, GuestEvent::Kind::kHalted);
   EXPECT_EQ(h.hv->machine().pending_irqs() & kIrqConsoleTx, 0u);
   EXPECT_NE(h.hv->machine().pending_irqs() & kIrqConsoleRx, 0u) << "RX must stay pending";
-  EXPECT_TRUE(h.hv->vconsole().rx_ready) << "RX data must survive a TX-only ack";
+  EXPECT_TRUE(h.vconsole().rx_ready) << "RX data must survive a TX-only ack";
+  EXPECT_EQ(h.vconsole().rx_char, static_cast<uint32_t>('z'));
 }
 
 TEST(Hypervisor, InstretIsVirtualisedToGuestInstructionCount) {

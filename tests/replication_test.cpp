@@ -103,12 +103,9 @@ TEST_P(ReplicationLockstep, MatchesBareAndStaysInLockstep) {
   EXPECT_GT(compared, 0u);
 
   // The environment saw only the primary, with the reference sequence.
-  ConsistencyResult disk = CheckDiskConsistency(bare.disk_trace, ft.disk_trace, ft.primary_id,
-                                                ft.backup_id);
-  EXPECT_TRUE(disk.ok) << disk.detail;
-  ConsistencyResult console = CheckConsoleConsistency(bare.console_trace, ft.console_trace,
-                                                      ft.primary_id, ft.backup_id);
-  EXPECT_TRUE(console.ok) << console.detail;
+  ConsistencyResult env =
+      CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.primary_id, ft.backup_id);
+  EXPECT_TRUE(env.ok) << env.detail;
   EXPECT_EQ(ft.console_output, bare.console_output);
 }
 
