@@ -4,6 +4,7 @@
 //
 // --quick shrinks the workloads and epoch-length sweep so the artifact shape
 // stays identical while the whole run fits in a smoke test.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -183,6 +184,70 @@ bool EmitFig3(const BenchConfig& cfg, Measurer& m) {
   return WriteJsonFile(cfg.out_dir + "/fig3_io.json", doc);
 }
 
+// Fig 4 variant for the modeled transport: the disk-read workload (chatty —
+// every 8K block is the paper's 9 frames) over the Ethernet link, ideal vs
+// lossy wires. Reports N'/N alongside the per-run transport counters:
+// retransmits, wire discards, queue pressure, bytes on wire, and effective
+// goodput — the lossy rows must show retransmits > 0 and goodput below the
+// ideal wire's.
+bool EmitFig4Lossy(const BenchConfig& cfg, const WorkloadSpec specs[3],
+                   const ScenarioResult bares[3], int* failures) {
+  std::printf("bench: fig4-lossy (ideal vs lossy link, disk-read workload)\n");
+  const double kLossPoints[] = {0.0, 0.02, 0.05};
+  const uint64_t el = 4096;
+  JsonValue rows = JsonValue::Array();
+  double ideal_goodput = 0.0;
+  for (double loss : kLossPoints) {
+    ScenarioResult ft = Scenario::Replicated(specs[2])
+                            .Backups(cfg.backups)
+                            .Epoch(el)
+                            .LinkFaults(LinkFaults::SymmetricLoss(loss))
+                            .Run();
+    const bool measured = ft.completed && ft.exited_flag == 1;
+    if (!measured) {
+      std::fprintf(stderr, "hbft_cli: bench fig4-lossy measurement failed (loss=%g)\n", loss);
+      ++*failures;
+      continue;  // Counters from an aborted run would corrupt the artifact.
+    }
+    double np = NormalizedPerformance(ft, bares[2]);
+    double goodput_mbps = ft.GoodputBps() / 1e6;
+    if (loss == 0.0) {
+      ideal_goodput = goodput_mbps;
+    }
+    // Per-channel counters, summed over the mesh.
+    uint64_t wire_sends = 0, rx_discards = 0, queue_hwm = 0, queue_drops = 0;
+    for (const ScenarioResult::ChannelReport& ch : ft.channels) {
+      wire_sends += ch.counters.wire_sends;
+      rx_discards += ch.counters.rx_duplicates + ch.counters.rx_gaps;
+      queue_hwm = std::max(queue_hwm, ch.counters.queue_high_water);
+      queue_drops += ch.counters.queue_drops;
+    }
+    rows.Push(JsonValue::Object()
+                  .Set("epoch_length", el)
+                  .Set("workload", "diskread")
+                  .Set("link", "ethernet10")
+                  .Set("loss", loss)
+                  .Set("reorder", loss)
+                  .Set("np", MaybeNum(np))
+                  .Set("retransmits", ft.TotalRetransmits())
+                  .Set("wire_sends", wire_sends)
+                  .Set("rx_discards", rx_discards)
+                  .Set("queue_drops", queue_drops)
+                  .Set("queue_high_water", queue_hwm)
+                  .Set("bytes_on_wire", ft.TotalWireBytes())
+                  .Set("bytes_delivered", ft.TotalDeliveredBytes())
+                  .Set("goodput_mbps", goodput_mbps)
+                  .Set("goodput_vs_ideal",
+                       ideal_goodput > 0.0 ? JsonValue(goodput_mbps / ideal_goodput)
+                                           : JsonValue()));
+  }
+  JsonValue doc = JsonValue::Object()
+                      .Set("bench", "fig4_lossy_link")
+                      .Set("quick", cfg.quick)
+                      .Set("rows", std::move(rows));
+  return WriteJsonFile(cfg.out_dir + "/fig4_lossy_link.json", doc);
+}
+
 bool EmitFig4(const BenchConfig& cfg, Measurer& m) {
   std::printf("bench: fig4 (Ethernet 10 vs ATM 155)\n");
   JsonValue rows = JsonValue::Array();
@@ -268,16 +333,22 @@ int BenchCommand(FlagSet& flags) {
   }
 
   Measurer measurer(specs, bares, cfg.backups);
+  int lossy_failures = 0;
   bool ok = EmitTable1(cfg, specs, measurer) && EmitFig2(cfg, bares[0], measurer) &&
-            EmitFig3(cfg, measurer) && EmitFig4(cfg, measurer);
+            EmitFig3(cfg, measurer) && EmitFig4(cfg, measurer) &&
+            EmitFig4Lossy(cfg, specs, bares, &lossy_failures);
+  if (ok && lossy_failures > 0) {
+    std::fprintf(stderr, "hbft_cli: %d fig4-lossy measurement(s) failed\n", lossy_failures);
+    ok = false;
+  }
   if (ok && measurer.failures() > 0) {
     std::fprintf(stderr, "hbft_cli: %d measurement(s) failed (null np in artifacts)\n",
                  measurer.failures());
     ok = false;
   }
   if (ok) {
-    std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, fig4_faster_comm.json "
-                "under %s/\n",
+    std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, fig4_faster_comm.json, "
+                "fig4_lossy_link.json under %s/\n",
                 cfg.out_dir.c_str());
   }
   return ok ? 0 : 1;

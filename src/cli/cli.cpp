@@ -32,6 +32,15 @@ void PrintUsage(std::FILE* out) {
       "  --console-uncertain=P   each completion independently comes back\n"
       "  --nic-uncertain=P       CHECK_CONDITION-style; drivers retry (IO2)\n"
       "  --uncertain-performed=P probability an uncertain op actually happened (.5)\n"
+      "  --loss=P --dup=P --reorder=P  replica-link fault probabilities (0):\n"
+      "                        the protocol stream recovers via go-back-N\n"
+      "                        retransmission driven by the cumulative P4 acks\n"
+      "  --link-queue=N        bounded sender queue; overflow tail-drops (0=inf)\n"
+      "  --rto-ms=X            go-back-N retransmission timeout (2)\n"
+      "  --loss-until-ms=X     confine link faults to a burst ending at X\n"
+      "  --pipeline-depth=W    epochs of unacked run-ahead at P2 boundaries (0 =\n"
+      "                        the paper's strict wait; old variant only)\n"
+      "  --ack-batch=K         backup coalesces K acks into one cumulative ack (1)\n"
       "  --packets=N           net-echo: packets injected (default: iterations)\n"
       "  --fail=SPEC           append a failure event to the ordered schedule;\n"
       "                        repeatable. SPEC is comma-separated key=value:\n"
@@ -64,6 +73,7 @@ void PrintUsage(std::FILE* out) {
       "  hbft_cli run --workload=txnlog --disk-uncertain=0.3 --console-uncertain=0.3\n"
       "  hbft_cli drill --variant=new --epoch-length=4096\n"
       "  hbft_cli drill --backups=2 --fail=time-ms=6 --fail=phase=after-io-issue\n"
+      "  hbft_cli run --workload=net-echo --backups=2 --loss=0.05 --reorder=0.05\n"
       "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n",
       out);
 }

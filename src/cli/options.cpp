@@ -358,7 +358,10 @@ Scenario ScenarioFlags::Replicated() const {
                           .Backups(backups)
                           .Epoch(epoch_length)
                           .Variant(variant)
-                          .Seed(seed);
+                          .Seed(seed)
+                          .LinkFaults(link_faults)
+                          .PipelineDepth(pipeline_depth)
+                          .AckBatch(ack_batch);
   ApplyEnvironment(*this, &scenario);
   for (const FailurePlan& plan : failures) {
     scenario.FailAt(plan);
@@ -445,6 +448,58 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
     out->console_faults.performed_when_uncertain = *v;
     out->nic_faults.performed_when_uncertain = *v;
   }
+  // Interconnect fault knobs: lossy-wire probabilities, bounded sender
+  // queue, retransmission timeout, and an optional burst window.
+  struct LinkProbFlag {
+    const char* flag;
+    double* field;
+  };
+  const LinkProbFlag link_prob_flags[] = {
+      {"loss", &out->link_faults.drop_probability},
+      {"reorder", &out->link_faults.reorder_probability},
+      {"dup", &out->link_faults.duplicate_probability},
+  };
+  for (const LinkProbFlag& f : link_prob_flags) {
+    if (auto v = flags.GetDouble(f.flag)) {
+      if (*v < 0.0 || *v > 1.0) {
+        std::fprintf(stderr, "hbft_cli: --%s expects a probability in [0,1]\n", f.flag);
+        return false;
+      }
+      *f.field = *v;
+    }
+  }
+  if (auto v = flags.GetU64("link-queue")) {
+    if (*v > UINT32_MAX) {
+      std::fprintf(stderr, "hbft_cli: --link-queue is out of range\n");
+      return false;
+    }
+    out->link_faults.sender_queue_limit = static_cast<uint32_t>(*v);
+  }
+  if (auto v = flags.GetDouble("rto-ms")) {
+    if (*v <= 0.0) {
+      std::fprintf(stderr, "hbft_cli: --rto-ms expects a positive duration\n");
+      return false;
+    }
+    out->link_faults.retransmit_timeout = SimTime::Picos(static_cast<int64_t>(*v * 1e9));
+  }
+  if (auto v = flags.GetDouble("loss-until-ms")) {
+    if (*v < 0.0) {
+      std::fprintf(stderr, "hbft_cli: --loss-until-ms expects a non-negative time\n");
+      return false;
+    }
+    out->link_faults.active_until = SimTime::Picos(static_cast<int64_t>(*v * 1e9));
+  }
+  if (auto v = flags.GetU64("pipeline-depth")) {
+    out->pipeline_depth = static_cast<uint32_t>(*v);
+  }
+  if (auto v = flags.GetU64("ack-batch")) {
+    if (*v < 1) {
+      std::fprintf(stderr, "hbft_cli: --ack-batch must be >= 1\n");
+      return false;
+    }
+    out->ack_batch = static_cast<uint32_t>(*v);
+  }
+
   if (auto v = flags.GetU64("packets")) {
     if (out->workload.kind != WorkloadKind::kNetEcho) {
       std::fprintf(stderr, "hbft_cli: --packets applies only to --workload=net-echo\n");

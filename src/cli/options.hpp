@@ -83,6 +83,14 @@ struct ScenarioFlags {
   FaultPlan console_faults;
   FaultPlan nic_faults;
 
+  // Interconnect knobs (--loss/--reorder/--dup/--link-queue/--rto-ms/
+  // --loss-until-ms) and the protocol's transport generalisations
+  // (--pipeline-depth, --ack-batch). Replicated runs only — the bare
+  // reference has no replica channels.
+  LinkFaults link_faults;
+  uint32_t pipeline_depth = 0;
+  uint32_t ack_batch = 1;
+
   // net-echo: packets injected into the run (0 = workload iterations).
   uint64_t packets = 0;
 

@@ -5,6 +5,7 @@
 
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
+#include "perf/report.hpp"
 #include "sim/environment_observer.hpp"
 #include "sim/scenario.hpp"
 
@@ -71,6 +72,25 @@ void ReportReplicationStats(const ScenarioResult& r) {
   }
 }
 
+// Per-channel transport counters, printed when the run exercised the modeled
+// transport (lossy wire, pipelining, or ack batching).
+void ReportTransportStats(const ScenarioResult& r) {
+  ReportLine("link_retransmits", std::to_string(r.TotalRetransmits()));
+  ReportLine("link_wire_bytes", std::to_string(r.TotalWireBytes()));
+  ReportLine("link_delivered_bytes", std::to_string(r.TotalDeliveredBytes()));
+  ReportF("link_goodput_mbps", r.GoodputBps() / 1e6);
+  std::vector<ChannelCounterRow> rows;
+  for (const ScenarioResult::ChannelReport& ch : r.channels) {
+    ChannelCounterRow row;
+    row.label = std::to_string(ch.from) + "->" + std::to_string(ch.to) +
+                (ch.mode == ChannelMode::kOrdered ? " (protocol)" : " (acks)");
+    row.counters = ch.counters;
+    row.run_seconds = r.completion_time.seconds();
+    rows.push_back(std::move(row));
+  }
+  std::fputs(RenderTransportTable(rows).c_str(), stdout);
+}
+
 }  // namespace
 
 int RunCommand(FlagSet& flags) {
@@ -95,6 +115,22 @@ int RunCommand(FlagSet& flags) {
     ReportLine("epoch_length", std::to_string(scenario.epoch_length));
     ReportLine("backups", std::to_string(scenario.backups));
     ReportLine("failure", scenario.failure_description);
+    if (scenario.link_faults.Enabled()) {
+      char link[128];
+      std::snprintf(link, sizeof(link), "loss=%g dup=%g reorder=%g queue=%u rto_ms=%.3f",
+                    scenario.link_faults.drop_probability,
+                    scenario.link_faults.duplicate_probability,
+                    scenario.link_faults.reorder_probability,
+                    scenario.link_faults.sender_queue_limit,
+                    scenario.link_faults.retransmit_timeout.seconds() * 1e3);
+      ReportLine("link_faults", link);
+    }
+    if (scenario.pipeline_depth > 0) {
+      ReportLine("pipeline_depth", std::to_string(scenario.pipeline_depth));
+    }
+    if (scenario.ack_batch > 1) {
+      ReportLine("ack_batch", std::to_string(scenario.ack_batch));
+    }
   }
 
   int rc = 0;
@@ -110,6 +146,10 @@ int RunCommand(FlagSet& flags) {
     ScenarioResult ft = scenario.Replicated().Run();
     ReportOutcome("replicated", ft);
     ReportReplicationStats(ft);
+    if (scenario.link_faults.Enabled() || scenario.pipeline_depth > 0 ||
+        scenario.ack_batch > 1) {
+      ReportTransportStats(ft);
+    }
     if (!ft.completed || ft.exited_flag != 1) {
       rc = 1;
     }

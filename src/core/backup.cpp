@@ -51,6 +51,7 @@ void BackupNode::RunSlice(SimTime until) {
             break;
 
           case GuestEvent::Kind::kHalted:
+            FlushPendingAcks();  // The upstream may still be waiting on these.
             halted_ = true;
             return;
         }
@@ -59,6 +60,7 @@ void BackupNode::RunSlice(SimTime until) {
       case State::kStallTod:
         ServeTodRead();
         if (state_ == State::kStallTod) {
+          FlushPendingAcks();  // Nothing else to do: don't sit on batched acks.
           runnable_ = false;
           return;
         }
@@ -67,6 +69,7 @@ void BackupNode::RunSlice(SimTime until) {
       case State::kAwaitEnd:
         TryAdvanceBoundary();
         if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
+          FlushPendingAcks();
           runnable_ = false;
           return;
         }
@@ -194,6 +197,8 @@ void BackupNode::PromoteAtBoundary() {
   // [end, E] can have arrived — but it is cheap insurance.)
   hv_.PurgeBufferedAfter(epoch_);
   deferred_up_acks_.clear();  // The upstream that expected them is dead.
+  ack_pending_ = false;
+  pending_ack_count_ = 0;
   uint64_t tme = boundary_tme_valid_ ? boundary_tme_ : TodNow();
   if (replicating_down() && !boundary_tme_valid_) {
     // The dead primary never prescribed this boundary: prescribe it for the
@@ -228,6 +233,8 @@ void BackupNode::PromoteMidEpoch() {
   promotion_time_ = hv_.clock();
   hv_.PurgeBufferedAfter(epoch_);
   deferred_up_acks_.clear();
+  ack_pending_ = false;
+  pending_ack_count_ = 0;
   FlushPendingInputs();
   // Outstanding operations get their uncertain interrupts at the end of this
   // (failover) epoch, per P7 — ActiveBoundary handles it.
@@ -279,7 +286,7 @@ void BackupNode::ActiveBoundary() {
     return;
   }
   if (replicating_down() && replication_.variant == ProtocolVariant::kOriginal &&
-      !AllDownAcked()) {
+      !BoundaryAcksSatisfied()) {
     state_ = State::kAwaitDownAcks;
     ack_wait_started_ = hv_.clock();
     runnable_ = false;
@@ -304,6 +311,7 @@ void BackupNode::FinishActiveBoundary() {
     end.type = MsgType::kEpochEnd;
     end.epoch = epoch_;
     SendDown(std::move(end));
+    RecordEpochSentMark();
   }
   Phase(FailPhase::kAfterSendEnd);
   if (dead_) {
@@ -363,12 +371,24 @@ void BackupNode::RelayDownstream(const Message& msg) {
 void BackupNode::ReleaseDeferredAcks() {
   // The i-th relay sent downstream releases the i-th deferred upstream ack
   // (both channels are FIFO, and while this node is passive every downstream
-  // send is a relay).
+  // send is a relay). With ack batching one cumulative ack covers every
+  // release in the batch.
+  const bool coalesce = replication_.ack_batch > 1;
+  bool released = false;
+  uint64_t last = 0;
   while (!deferred_up_acks_.empty() && deferred_released_ < down_acked_count_) {
     uint64_t seq = deferred_up_acks_.front();
     deferred_up_acks_.pop_front();
     ++deferred_released_;
-    SendAckUp(seq);
+    if (coalesce) {
+      released = true;
+      last = seq;
+    } else {
+      SendAckUp(seq);
+    }
+  }
+  if (released) {
+    SendAckUp(last);
   }
 }
 
@@ -383,11 +403,9 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
     hv_.AdvanceClock(costs_.ack_receive_cpu_cost);
     ++stats_.messages_received;
     ++stats_.acks_received;
-    if (msg.ack_seq + 1 > down_acked_count_) {
-      down_acked_count_ = msg.ack_seq + 1;
-    }
+    NoteDownAck(msg.ack_seq);
     ReleaseDeferredAcks();
-    if (state_ == State::kAwaitDownAcks && AllDownAcked()) {
+    if (state_ == State::kAwaitDownAcks && BoundaryAcksSatisfied()) {
       stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
       state_ = State::kRun;
       runnable_ = true;
@@ -435,7 +453,10 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
     }
     deferred_up_acks_.push_back(msg.seq);
   } else {
-    SendAckUp(msg.seq);  // P4.
+    // P4. Boundary messages flush the batch: the sender's P2 wait begins
+    // right after them, and a withheld ack would stall it.
+    MaybeAckUp(msg.seq,
+               msg.type == MsgType::kTimeSync || msg.type == MsgType::kEpochEnd);
   }
 
   // Unblock protocol waits satisfied by this message.
@@ -444,13 +465,54 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
   } else if (state_ == State::kAwaitTme || state_ == State::kAwaitEnd) {
     TryAdvanceBoundary();
   }
+  if (state_ != State::kRun) {
+    // Still parked: no RunSlice flush point will come until the sender makes
+    // progress, and the sender may be waiting on exactly these acks.
+    FlushPendingAcks();
+  }
 }
 
 void BackupNode::SendAckUp(uint64_t seq) {
   Message ack;
   ack.type = MsgType::kAck;
   ack.ack_seq = seq;
+  up_acked_any_ = true;
+  last_up_ack_seq_ = seq;
   SendUp(std::move(ack));
+}
+
+void BackupNode::MaybeAckUp(uint64_t seq, bool force) {
+  if (replication_.ack_batch <= 1) {
+    SendAckUp(seq);
+    return;
+  }
+  ack_pending_ = true;
+  pending_ack_seq_ = seq;
+  ++pending_ack_count_;
+  if (force || pending_ack_count_ >= replication_.ack_batch) {
+    FlushPendingAcks();
+  }
+}
+
+void BackupNode::FlushPendingAcks() {
+  if (!ack_pending_ || dead_) {
+    return;
+  }
+  ack_pending_ = false;
+  pending_ack_count_ = 0;
+  SendAckUp(pending_ack_seq_);
+}
+
+void BackupNode::OnTransportReackNeeded(SimTime now) {
+  // The upstream channel dropped stale frames: repeat the cumulative ack so
+  // a lost final acknowledgment cannot leave the sender retransmitting
+  // forever. Nothing to repeat before the first ack (the sender's own timer
+  // keeps the window moving until one lands).
+  if (dead_ || promoted_ || up_out_ == nullptr || !up_acked_any_) {
+    return;
+  }
+  CatchUpClock(now);
+  SendAckUp(last_up_ack_seq_);
 }
 
 void BackupNode::OnFailureDetected(SimTime t) {
@@ -472,6 +534,9 @@ void BackupNode::OnDownstreamFailureDetected(SimTime t) {
   }
   down_lost_ = true;
   CatchUpClock(t);
+  if (down_out_ != nullptr) {
+    down_out_->AbandonRetransmits();  // Nothing will ever ack the window.
+  }
   // Upstream acknowledgments deferred on the dead node's acks must go out
   // now or the primary stalls forever; one cumulative ack suffices.
   if (!deferred_up_acks_.empty()) {

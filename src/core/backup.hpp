@@ -80,11 +80,16 @@ class BackupNode : public ReplicaNodeBase {
   void OnMessage(const Message& msg, SimTime now) override;
   void HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
                           SimTime event_time) override;
+  void OnTransportReackNeeded(SimTime now) override;
 
   // Whether this node still replicates to a live downstream backup.
   bool replicating_down() const { return down_out_ != nullptr && !down_lost_; }
 
   void SendAckUp(uint64_t seq);
+  // Ack batching (ReplicationConfig::ack_batch): coalesces direct upstream
+  // acks; `force` (boundary messages, blocked-state entry) flushes.
+  void MaybeAckUp(uint64_t seq, bool force);
+  void FlushPendingAcks();
   void RelayDownstream(const Message& msg);
   void ReleaseDeferredAcks();
   void TryAdvanceBoundary();
@@ -122,6 +127,14 @@ class BackupNode : public ReplicaNodeBase {
   // i-th outstanding relay releases the front entry).
   std::deque<uint64_t> deferred_up_acks_;
   uint64_t deferred_released_ = 0;  // Relays whose upstream ack went out.
+
+  // Ack batching state (direct-ack path) and the cumulative high-water mark
+  // actually announced upstream (repeated on transport re-ack requests).
+  bool ack_pending_ = false;
+  uint64_t pending_ack_seq_ = 0;
+  uint32_t pending_ack_count_ = 0;
+  bool up_acked_any_ = false;
+  uint64_t last_up_ack_seq_ = 0;
 
   // Environment values forwarded downstream (continues the dead primary's
   // numbering after promotion).

@@ -11,4 +11,16 @@ SimTime FailureDetector::DetectionTime(const Channel& dead_to_survivor, SimTime 
   return base + timeout;
 }
 
+SimTime FailureDetector::DetectionTime(const Channel& dead_to_survivor, SimTime crash_time,
+                                       SimTime timeout, const LinkFaults& faults) {
+  SimTime detect = DetectionTime(dead_to_survivor, crash_time, timeout);
+  // Allow one repair round first — but only while the faults can still bite:
+  // after a burst window has closed (active_until in the past) the wire is
+  // ideal again and silence means what it always meant.
+  if (faults.Enabled() && crash_time < faults.active_until) {
+    detect += faults.retransmit_timeout;
+  }
+  return detect;
+}
+
 }  // namespace hbft

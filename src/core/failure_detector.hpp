@@ -11,6 +11,7 @@
 
 #include "common/time.hpp"
 #include "net/channel.hpp"
+#include "net/link_faults.hpp"
 
 namespace hbft {
 
@@ -27,6 +28,17 @@ class FailureDetector {
   // that was already delivered must not postpone detection.
   static SimTime DetectionTime(const Channel& dead_to_survivor, SimTime crash_time,
                                SimTime timeout);
+
+  // Loss-calibrated variant: over a faulty link, silence for one detection
+  // timeout is not proof of death — a dropped frame looks identical until
+  // the sender's retransmission would have repaired it. A detector tuned
+  // for a lossy wire therefore waits one extra retransmission round before
+  // declaring the peer crashed, which is exactly what keeps "lossy but
+  // alive" (delayed or dropped acks/relays) from triggering a spurious
+  // promotion inside the paper's detection bound. With faults disabled this
+  // is the plain bound above.
+  static SimTime DetectionTime(const Channel& dead_to_survivor, SimTime crash_time,
+                               SimTime timeout, const LinkFaults& faults);
 };
 
 }  // namespace hbft

@@ -117,7 +117,7 @@ void PrimaryNode::StartBoundary() {
   if (dead_) {
     return;
   }
-  if (!solo_ && replication_.variant == ProtocolVariant::kOriginal && !AllDownAcked()) {
+  if (!solo_ && replication_.variant == ProtocolVariant::kOriginal && !BoundaryAcksSatisfied()) {
     state_ = State::kBoundaryAwaitAcks;
     ack_wait_started_ = hv_.clock();
     runnable_ = false;
@@ -141,6 +141,7 @@ void PrimaryNode::FinishBoundary() {
     end.type = MsgType::kEpochEnd;
     end.epoch = epoch_;
     SendDown(std::move(end));
+    RecordEpochSentMark();
   }
   Phase(FailPhase::kAfterSendEnd);
   if (dead_) {
@@ -165,10 +166,8 @@ void PrimaryNode::OnMessage(const Message& msg, SimTime now) {
   ++stats_.messages_received;
   HBFT_CHECK(msg.type == MsgType::kAck) << "primary received non-ack message";
   ++stats_.acks_received;
-  if (msg.ack_seq + 1 > down_acked_count_) {
-    down_acked_count_ = msg.ack_seq + 1;
-  }
-  if (state_ == State::kBoundaryAwaitAcks && AllDownAcked()) {
+  NoteDownAck(msg.ack_seq);
+  if (state_ == State::kBoundaryAwaitAcks && BoundaryAcksSatisfied()) {
     stats_.ack_wait_time += hv_.clock() - ack_wait_started_;
     state_ = State::kRun;
     runnable_ = true;
@@ -207,6 +206,9 @@ void PrimaryNode::OnDownstreamFailureDetected(SimTime t) {
   }
   solo_ = true;
   CatchUpClock(t);
+  if (down_out_ != nullptr) {
+    down_out_->AbandonRetransmits();  // Nothing will ever ack the window.
+  }
   // Release any wait that depended on the dead backup's acknowledgments.
   if (state_ == State::kBoundaryAwaitAcks) {
     stats_.ack_wait_time += hv_.clock() - ack_wait_started_;

@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 
@@ -96,14 +98,19 @@ void ReplicaNodeBase::PollIncoming(SimTime now) {
     } else if (down.has_value() && *down <= now) {
       source = down_in_;
     } else {
-      return;
+      break;
     }
     auto msg = source->Receive(now);
-    HBFT_CHECK(msg.has_value());
+    if (!msg.has_value()) {
+      continue;  // Lossy link: stale/post-gap frames were consumed and discarded.
+    }
     OnMessage(*msg, now);
     if (dead_) {
       return;
     }
+  }
+  if (up_in_ != nullptr && up_in_->TakeReackRequested()) {
+    OnTransportReackNeeded(now);
   }
 }
 
@@ -117,6 +124,65 @@ void ReplicaNodeBase::SendDown(Message msg) {
   ++stats_.messages_sent;
   if (schedule_down_poll_) {
     schedule_down_poll_(*arrival);
+  }
+  EnsureRetransmitTimer();
+}
+
+void ReplicaNodeBase::EnsureRetransmitTimer() {
+  if (retx_timer_armed_ || down_out_ == nullptr || !down_out_->NeedsRetransmitTimer()) {
+    return;
+  }
+  auto deadline = down_out_->NextRetransmitDeadline();
+  if (!deadline.has_value()) {
+    return;
+  }
+  SimTime at = std::max(*deadline, hv_.clock());
+  retx_timer_armed_ = true;
+  scheduler_->ScheduleAt(at, [this, at] { OnRetransmitTimer(at); });
+}
+
+void ReplicaNodeBase::OnRetransmitTimer(SimTime t) {
+  retx_timer_armed_ = false;
+  if (dead_ || down_out_ == nullptr) {
+    return;
+  }
+  Channel::RetransmitResult result = down_out_->MaybeRetransmit(t);
+  if (result.frames > 0) {
+    ++stats_.retransmit_rounds;
+    if (result.last_arrival.has_value() && schedule_down_poll_) {
+      schedule_down_poll_(*result.last_arrival);
+    }
+  }
+  EnsureRetransmitTimer();  // Re-arm while the unacked window is non-empty.
+}
+
+bool ReplicaNodeBase::BoundaryAcksSatisfied() const {
+  if (down_out_ == nullptr) {
+    return true;
+  }
+  const uint32_t depth = replication_.pipeline_depth;
+  if (depth == 0) {
+    return AllDownAcked();
+  }
+  if (epoch_ < depth) {
+    return true;  // The pipeline has not filled yet.
+  }
+  auto it = epoch_sent_marks_.find(epoch_ - depth);
+  if (it == epoch_sent_marks_.end()) {
+    return AllDownAcked();
+  }
+  return down_acked_count_ >= it->second;
+}
+
+void ReplicaNodeBase::RecordEpochSentMark() {
+  if (down_out_ == nullptr || replication_.pipeline_depth == 0) {
+    return;
+  }
+  epoch_sent_marks_[epoch_] = down_out_->messages_enqueued();
+  // Marks older than the pipeline window can never be consulted again.
+  while (!epoch_sent_marks_.empty() &&
+         epoch_sent_marks_.begin()->first + replication_.pipeline_depth < epoch_) {
+    epoch_sent_marks_.erase(epoch_sent_marks_.begin());
   }
 }
 

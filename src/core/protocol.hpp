@@ -65,6 +65,21 @@ struct ReplicationConfig {
   // Record a virtual-machine state fingerprint at every epoch boundary on
   // all replicas (lockstep audit; used by tests, off for benchmarks).
   bool audit_lockstep = false;
+
+  // Epoch pipelining, generalising the original protocol's P2 ack wait: at
+  // the boundary of epoch E the active replica waits only until everything
+  // sent through epoch E - pipeline_depth is acknowledged, so up to
+  // pipeline_depth epochs of protocol traffic may be in flight while the
+  // guest runs ahead. 0 = the paper's exact rule (wait for everything,
+  // including epoch E's own messages). The revised variant's output-commit
+  // wait is never relaxed — device output still requires all-acked.
+  uint32_t pipeline_depth = 0;
+
+  // Ack batching (backup side): coalesce up to this many P4 acknowledgments
+  // into one cumulative ack. Boundary messages ([Tme_p], [end, E]) and any
+  // transition into a blocked state flush the batch, so no wait in the
+  // protocol can starve. 1 = ack every message (the paper's behaviour).
+  uint32_t ack_batch = 1;
 };
 
 // The guest software to boot: an assembled image plus its interface symbols.
@@ -195,6 +210,7 @@ class ReplicaNodeBase : public NodeActor {
     uint64_t io_issued = 0;
     uint64_t io_suppressed = 0;
     uint64_t uncertain_synthesised = 0;
+    uint64_t retransmit_rounds = 0;  // Go-back-N window re-sends triggered.
     uint64_t epochs = 0;
     SimTime ack_wait_time = SimTime::Zero();
     SimTime boundary_time = SimTime::Zero();  // Total epoch-boundary processing.
@@ -280,12 +296,46 @@ class ReplicaNodeBase : public NodeActor {
   bool halted_ = false;
   bool dead_ = false;
 
-  // Downstream ack accounting (paper P2/P4): down_out_->messages_sent() vs
-  // acks seen on down_in_. Vacuously true without a downstream replica.
+  // Downstream ack accounting (paper P2/P4): down_out_->messages_enqueued()
+  // vs acks seen on down_in_. The comparison is against unique messages
+  // accepted by the channel, never wire sends — retransmissions must not
+  // inflate the ack requirement. Vacuously true without a downstream
+  // replica.
   uint64_t down_acked_count_ = 0;
   bool AllDownAcked() const {
-    return down_out_ == nullptr || down_acked_count_ >= down_out_->messages_sent();
+    return down_out_ == nullptr || down_acked_count_ >= down_out_->messages_enqueued();
   }
+
+  // Records a downstream cumulative ack: advances the ack count and releases
+  // the channel's go-back-N window.
+  void NoteDownAck(uint64_t ack_seq) {
+    if (ack_seq + 1 > down_acked_count_) {
+      down_acked_count_ = ack_seq + 1;
+    }
+    if (down_out_ != nullptr) {
+      down_out_->OnCumulativeAck(down_acked_count_, hv_.clock());
+    }
+  }
+
+  // The pipelined boundary ack rule (see ReplicationConfig::pipeline_depth).
+  // Falls back to the strict all-acked rule when no mark exists for the
+  // window's trailing epoch (e.g. pre-promotion epochs on a promoted
+  // backup) — running ahead is an optimisation, stalling is always safe.
+  bool BoundaryAcksSatisfied() const;
+
+  // Snapshot of messages enqueued downstream through this epoch's [end, E];
+  // the pipelined wait at epoch E compares acks against the mark of epoch
+  // E - pipeline_depth.
+  void RecordEpochSentMark();
+  std::map<uint64_t, uint64_t> epoch_sent_marks_;
+
+  // --- Go-back-N retransmission driver (lossy links only) -------------------
+  // One timer per node covers its downstream channel; the channel itself
+  // decides whether a resend is due. The timer re-arms while the unacked
+  // window is non-empty and dies with the node (or with its downstream).
+  void EnsureRetransmitTimer();
+  void OnRetransmitTimer(SimTime t);
+  bool retx_timer_armed_ = false;
 
   // In-flight real-device operations: (device, backend op id) -> initiating
   // descriptor.
@@ -303,6 +353,11 @@ class ReplicaNodeBase : public NodeActor {
  private:
   friend class World;
   virtual void OnMessage(const Message& msg, SimTime now) = 0;
+
+  // The upstream channel discarded stale/post-gap frames: repeat the
+  // cumulative acknowledgment so a lost final ack cannot wedge the sender's
+  // retransmit window. Only backups (which ack upstream) act on it.
+  virtual void OnTransportReackNeeded(SimTime now) { (void)now; }
 
   // Completion event for a scheduled real operation: completes it at the
   // backend and hands the payload to the role's HandleIoCompletion.

@@ -1,5 +1,6 @@
 #include "net/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -37,30 +38,141 @@ SimTime LinkModel::TransferTime(size_t bytes) const {
   return per_frame_overhead * frames + SimTime::Picos(static_cast<int64_t>(wire_seconds * 1e12));
 }
 
+std::optional<SimTime> Channel::PutOnWire(const Message& msg, SimTime now, bool retransmit) {
+  size_t wire_bytes = msg.WireSize();
+  const bool faulty = faults_.Enabled() && faults_.ActiveAt(now);
+
+  // The sender's transmit ring holds frames still on the wire at `now`
+  // (arrival in the future). Frames that already landed but have not been
+  // polled belong to the receiver and must not occupy the ring — counting
+  // them would let one stale duplicate wedge a small queue forever.
+  auto in_flight_at = [this](SimTime t) {
+    auto first = std::upper_bound(queue_.begin(), queue_.end(), t,
+                                  [](SimTime v, const InFlight& f) { return v < f.arrival; });
+    return static_cast<size_t>(queue_.end() - first);
+  };
+
+  // Bounded sender queue: a full transmit ring tail-drops before the frame
+  // ever reaches the wire (no occupancy charged).
+  if (faulty && faults_.sender_queue_limit > 0 &&
+      in_flight_at(now) >= faults_.sender_queue_limit) {
+    ++counters_.queue_drops;
+    return std::nullopt;
+  }
+
+  ++counters_.wire_sends;
+  if (retransmit) {
+    ++counters_.retransmits;
+  }
+  counters_.bytes_on_wire += wire_bytes;
+  SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + link_.TransferTime(wire_bytes);
+  SimTime send_end = busy_until_;
+  SimTime arrival = send_end + link_.propagation;
+
+  auto insert_sorted = [this](InFlight frame) {
+    auto it = std::upper_bound(
+        queue_.begin(), queue_.end(), frame.arrival,
+        [](SimTime t, const InFlight& f) { return t < f.arrival; });
+    queue_.insert(it, std::move(frame));
+  };
+
+  if (!faulty) {
+    if (!faults_.Enabled()) {
+      // Truly ideal wire: arrivals are monotone because busy_until_ is.
+      HBFT_CHECK(arrival >= last_arrival_);
+      queue_.push_back(InFlight{arrival, send_end, msg});
+    } else {
+      // Clean send on a faultable wire (e.g. after a burst window): an
+      // earlier reordered frame may still be in flight behind this one.
+      insert_sorted(InFlight{arrival, send_end, msg});
+    }
+    last_arrival_ = std::max(last_arrival_, arrival);
+    counters_.queue_high_water =
+        std::max<uint64_t>(counters_.queue_high_water, in_flight_at(now));
+    return arrival;
+  }
+
+  // Loss applies per frame: a k-frame message survives with (1-p)^k.
+  uint32_t frames = link_.FrameCount(wire_bytes);
+  double survive = std::pow(1.0 - faults_.drop_probability, static_cast<double>(frames));
+  if (fault_rng_.NextBool(1.0 - survive)) {
+    ++counters_.link_drops;
+    return arrival;  // The sender saw a normal send; the wire ate it.
+  }
+
+  if (fault_rng_.NextBool(faults_.reorder_probability)) {
+    // Delay by one full-MTU serialisation: later sends overtake this frame.
+    ++counters_.link_reorders;
+    arrival = arrival + link_.TransferTime(link_.mtu_bytes);
+  }
+
+  insert_sorted(InFlight{arrival, send_end, msg});
+  last_arrival_ = std::max(last_arrival_, arrival);
+
+  if (fault_rng_.NextBool(faults_.duplicate_probability)) {
+    ++counters_.link_duplicates;
+    ++counters_.wire_sends;
+    counters_.bytes_on_wire += wire_bytes;
+    SimTime dup_arrival = arrival + link_.per_frame_overhead;
+    insert_sorted(InFlight{dup_arrival, send_end, msg});
+    last_arrival_ = std::max(last_arrival_, dup_arrival);
+  }
+
+  counters_.queue_high_water =
+      std::max<uint64_t>(counters_.queue_high_water, in_flight_at(now));
+  return arrival;
+}
+
 std::optional<SimTime> Channel::Send(Message msg, SimTime now) {
   if (broken_ && now >= break_time_) {
     return std::nullopt;
   }
   msg.seq = next_seq_++;
-  size_t wire_bytes = msg.WireSize();
-  bytes_sent_ += wire_bytes;
-  SimTime start = busy_until_ > now ? busy_until_ : now;
-  busy_until_ = start + link_.TransferTime(wire_bytes);
-  SimTime arrival = busy_until_ + link_.propagation;
-  // FIFO: arrivals are monotone because busy_until_ is.
-  HBFT_CHECK(arrival >= last_arrival_);
-  last_arrival_ = arrival;
-  queue_.push_back(InFlight{arrival, std::move(msg)});
+  ++counters_.messages_enqueued;
+  auto arrival = PutOnWire(msg, now, /*retransmit=*/false);
+  // Ordered channels over a faulty link keep the message until the peer's
+  // cumulative ack covers it; the wire may eat the first copy. The
+  // retransmission clock starts at the frame's serialisation end
+  // (busy_until_): a 9-frame block cannot be acked before it is even on the
+  // wire, and ageing it from the accept instant would guarantee spurious
+  // full-window re-sends for any message larger than timeout x bandwidth.
+  if (mode_ == ChannelMode::kOrdered && faults_.Enabled()) {
+    retransmit_.Track(msg, busy_until_);
+  }
+  if (!arrival.has_value()) {
+    // Sender-queue tail drop: the frame never hit the wire. The sender's
+    // view is a completed send; recovery rides the retransmission path.
+    return busy_until_ + link_.propagation;
+  }
   return arrival;
 }
 
 std::optional<Message> Channel::Receive(SimTime now) {
-  if (queue_.empty() || queue_.front().arrival > now) {
-    return std::nullopt;
+  while (!queue_.empty() && queue_.front().arrival <= now) {
+    InFlight frame = std::move(queue_.front());
+    queue_.pop_front();
+    delivered_high_water_ = std::max(delivered_high_water_, frame.arrival);
+    if (mode_ == ChannelMode::kDatagram) {
+      ++counters_.messages_delivered;
+      counters_.bytes_delivered += frame.msg.WireSize();
+      return std::move(frame.msg);
+    }
+    // Ordered mode: strict in-sequence delivery (go-back-N receiver).
+    if (frame.msg.seq == rx_next_seq_) {
+      ++rx_next_seq_;
+      ++counters_.messages_delivered;
+      counters_.bytes_delivered += frame.msg.WireSize();
+      return std::move(frame.msg);
+    }
+    if (frame.msg.seq < rx_next_seq_) {
+      ++counters_.rx_duplicates;  // Stale copy (retransmit or link duplicate).
+    } else {
+      ++counters_.rx_gaps;  // A frame in between was lost: discard the suffix.
+    }
+    reack_requested_ = true;
   }
-  Message msg = std::move(queue_.front().msg);
-  queue_.pop_front();
-  return msg;
+  return std::nullopt;
 }
 
 std::optional<SimTime> Channel::NextArrival() const {
@@ -70,13 +182,61 @@ std::optional<SimTime> Channel::NextArrival() const {
   return queue_.front().arrival;
 }
 
+void Channel::Break(SimTime t) {
+  broken_ = true;
+  break_time_ = t;
+  // A crashed sender stops mid-byte: frames whose serialisation had not
+  // finished by `t` are truncated on the wire and never arrive. Prune them
+  // so the survivor's drain/occupancy view reflects only what was genuinely
+  // sent — a promoted backup must not inherit phantom in-flight frames.
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [t](const InFlight& f) { return f.send_end > t; }),
+               queue_.end());
+  if (busy_until_ > t) {
+    busy_until_ = t;
+  }
+  // queue_ is arrival-sorted on every insertion path.
+  last_arrival_ = queue_.empty() ? delivered_high_water_
+                                 : std::max(delivered_high_water_, queue_.back().arrival);
+}
+
 SimTime Channel::DrainTime() const { return last_arrival_; }
 
 std::optional<SimTime> Channel::LastPendingArrival() const {
   if (queue_.empty()) {
     return std::nullopt;
   }
-  return queue_.back().arrival;
+  return queue_.back().arrival;  // queue_ is arrival-sorted on every insertion path.
+}
+
+void Channel::OnCumulativeAck(uint64_t acked_count, SimTime now) {
+  retransmit_.Ack(acked_count, now);
+}
+
+Channel::RetransmitResult Channel::MaybeRetransmit(SimTime now) {
+  RetransmitResult result;
+  if (broken_ && now >= break_time_) {
+    return result;
+  }
+  if (mode_ != ChannelMode::kOrdered || !faults_.Enabled() || retransmit_.empty()) {
+    return result;
+  }
+  if (!retransmit_.TimedOut(now, faults_.retransmit_timeout)) {
+    return result;
+  }
+  for (const Message& msg : retransmit_.pending()) {
+    auto arrival = PutOnWire(msg, now, /*retransmit=*/true);
+    if (arrival.has_value()) {
+      result.last_arrival = arrival;
+    }
+    ++result.frames;
+  }
+  // Age the window from the end of the re-sent burst's serialisation — but
+  // never from before `now`: if every resend was tail-dropped by the bounded
+  // sender queue, busy_until_ did not advance, and re-arming the timer at a
+  // stale deadline would spin the event queue at one sim timestamp forever.
+  retransmit_.MarkResent(std::max(busy_until_, now));
+  return result;
 }
 
 }  // namespace hbft

@@ -139,6 +139,11 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
       if (!reader.GetU32(&msg.irq_lines) || !reader.GetU8(&has_io)) {
         return std::nullopt;
       }
+      // The encoder only ever emits 0 or 1: anything else is corruption, and
+      // accepting it would re-serialise differently (a silent misparse).
+      if (has_io > 1) {
+        return std::nullopt;
+      }
       if (has_io != 0) {
         IoCompletionPayload io;
         uint8_t has_dma = 0;
@@ -147,6 +152,9 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
             !reader.GetU32(&io.result_code) || !reader.GetU8(&has_dma) ||
             !reader.GetU32(&io.dma_guest_paddr) || !reader.GetU32(&dma_len)) {
           return std::nullopt;
+        }
+        if (has_dma > 1) {
+          return std::nullopt;  // Non-canonical flag byte: corruption.
         }
         io.has_dma_data = has_dma != 0;
         if (!reader.GetBytes(&io.dma_data, dma_len)) {

@@ -1,0 +1,45 @@
+#include "net/retransmit.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+void RetransmitBuffer::Track(const Message& msg, SimTime sent_at) {
+  if (pending_.empty()) {
+    oldest_sent_at_ = sent_at;
+  } else {
+    HBFT_CHECK(msg.seq > pending_.back().seq) << "retransmit window out of order";
+  }
+  pending_.push_back(msg);
+}
+
+void RetransmitBuffer::Ack(uint64_t acked_count, SimTime now) {
+  bool head_acked = false;
+  while (!pending_.empty() && pending_.front().seq < acked_count) {
+    pending_.pop_front();
+    head_acked = true;
+  }
+  // The window head advanced: restart the survivors' age from the ack —
+  // their own acks are plausibly still in flight behind this one. (Without
+  // this, either the stale head timestamp or an expired sentinel would
+  // re-send the whole window on every partial ack.)
+  if (head_acked && !pending_.empty() && now > oldest_sent_at_) {
+    oldest_sent_at_ = now;
+  }
+}
+
+bool RetransmitBuffer::TimedOut(SimTime now, SimTime timeout) const {
+  if (pending_.empty()) {
+    return false;
+  }
+  return now >= oldest_sent_at_ + timeout;
+}
+
+std::optional<SimTime> RetransmitBuffer::NextDeadline(SimTime timeout) const {
+  if (pending_.empty()) {
+    return std::nullopt;
+  }
+  return oldest_sent_at_ + timeout;
+}
+
+}  // namespace hbft

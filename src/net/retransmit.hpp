@@ -1,0 +1,61 @@
+// Go-back-N sender-side retransmission buffer.
+//
+// An ordered channel over a faulty link keeps a copy of every message it has
+// accepted until the peer's cumulative acknowledgment covers it (the
+// protocol's P4 acks double as transport acks — no second ack stream is
+// introduced). When the oldest unacknowledged message has waited a full
+// retransmission timeout, the whole window is re-sent in order: the receiver
+// discards everything after a gap, so resending the suffix is exactly what
+// go-back-N requires.
+#ifndef HBFT_NET_RETRANSMIT_HPP_
+#define HBFT_NET_RETRANSMIT_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/time.hpp"
+#include "net/message.hpp"
+
+namespace hbft {
+
+class RetransmitBuffer {
+ public:
+  // Records an accepted message (sequence numbers are assigned by the
+  // channel and strictly increasing). `sent_at` is the frame's serialisation
+  // end: a 9-frame disk block occupies the wire for milliseconds, and its
+  // retransmission clock must not start before the first copy could even
+  // have reached the peer.
+  void Track(const Message& msg, SimTime sent_at);
+
+  // Cumulative acknowledgment at time `now`: drops every entry with
+  // seq < acked_count. When the window head advances but entries remain,
+  // their age restarts at `now` — the acks covering them are plausibly in
+  // flight, and expiring them immediately would re-send the whole window on
+  // every partial ack.
+  void Ack(uint64_t acked_count, SimTime now);
+
+  // Whether the window head has waited a full `timeout` by `now` (go-back-N
+  // re-sends all of it, oldest first). The caller re-sends and must then
+  // call MarkResent with the new serialisation end.
+  bool TimedOut(SimTime now, SimTime timeout) const;
+  const std::deque<Message>& pending() const { return pending_; }
+  void MarkResent(SimTime sent_at) { oldest_sent_at_ = sent_at; }
+
+  // Deadline at which the oldest entry (if any) will have timed out.
+  std::optional<SimTime> NextDeadline(SimTime timeout) const;
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+  // Abandons the window (the peer is dead; nothing will ever ack it).
+  void Clear() { pending_.clear(); }
+
+ private:
+  std::deque<Message> pending_;     // Unacked messages, seq order.
+  SimTime oldest_sent_at_ = SimTime::Zero();  // Last (re)send of the window head.
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_NET_RETRANSMIT_HPP_

@@ -1,10 +1,14 @@
 // Plain-text table/series rendering for the benchmark harnesses: every bench
-// binary prints the rows of the paper table/figure it regenerates.
+// binary prints the rows of the paper table/figure it regenerates. Also the
+// shared renderer for per-channel transport counters (retransmits, queue
+// pressure, goodput) used by the lossy-link bench and the CLI reports.
 #ifndef HBFT_PERF_REPORT_HPP_
 #define HBFT_PERF_REPORT_HPP_
 
 #include <string>
 #include <vector>
+
+#include "net/channel.hpp"
 
 namespace hbft {
 
@@ -23,6 +27,18 @@ class TableReporter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// One labelled channel's counters plus the run duration (for goodput).
+struct ChannelCounterRow {
+  std::string label;  // e.g. "0->1 (protocol)".
+  Channel::Counters counters;
+  double run_seconds = 0.0;
+};
+
+// Renders the per-channel transport table: unique messages vs wire sends,
+// retransmits, wire discards, queue high-water, bytes on wire, and effective
+// goodput in Mbit/s.
+std::string RenderTransportTable(const std::vector<ChannelCounterRow>& rows);
 
 }  // namespace hbft
 

@@ -51,6 +51,44 @@ const std::vector<uint64_t>& ScenarioResult::backup_boundary_fingerprints(
   return backup_index + 1 < nodes.size() ? nodes[backup_index + 1].boundary_fingerprints : kEmpty;
 }
 
+uint64_t ScenarioResult::TotalRetransmits() const {
+  uint64_t total = 0;
+  for (const ChannelReport& ch : channels) {
+    total += ch.counters.retransmits;
+  }
+  return total;
+}
+
+uint64_t ScenarioResult::TotalWireBytes() const {
+  uint64_t total = 0;
+  for (const ChannelReport& ch : channels) {
+    total += ch.counters.bytes_on_wire;
+  }
+  return total;
+}
+
+uint64_t ScenarioResult::TotalDeliveredBytes() const {
+  uint64_t total = 0;
+  // Protocol (ordered) channels only: in-order delivery counts each message
+  // exactly once. Datagram ack channels hand every wire copy to the receiver
+  // — useful for liveness, not payload — and would inflate a "goodput"
+  // figure.
+  for (const ChannelReport& ch : channels) {
+    if (ch.mode == ChannelMode::kOrdered) {
+      total += ch.counters.bytes_delivered;
+    }
+  }
+  return total;
+}
+
+double ScenarioResult::GoodputBps() const {
+  double seconds = completion_time.seconds();
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(TotalDeliveredBytes()) * 8.0 / seconds;
+}
+
 std::vector<int> ScenarioResult::issuer_chain() const {
   if (nodes.empty()) {
     return {bare_id};
@@ -106,6 +144,22 @@ Scenario& Scenario::TlbTakeover(bool takeover) {
 
 Scenario& Scenario::AuditLockstep(bool audit) {
   replication_.audit_lockstep = audit;
+  return *this;
+}
+
+Scenario& Scenario::PipelineDepth(uint32_t depth) {
+  replication_.pipeline_depth = depth;
+  return *this;
+}
+
+Scenario& Scenario::AckBatch(uint32_t batch) {
+  HBFT_CHECK(batch >= 1) << "ack batch must be at least 1";
+  replication_.ack_batch = batch;
+  return *this;
+}
+
+Scenario& Scenario::LinkFaults(const ::hbft::LinkFaults& faults) {
+  link_faults_ = faults;
   return *this;
 }
 
@@ -251,6 +305,7 @@ ScenarioResult Scenario::Run() const {
   config.backups = backups_;
   config.disk_blocks = disk_blocks_;
   config.seed = seed_;
+  config.link_faults = link_faults_;
   config.disk_faults = disk_faults_;
   config.console_faults = console_faults_;
   config.with_nic = with_nic_;
@@ -290,6 +345,17 @@ ScenarioResult Scenario::Run() const {
   }
   result.env_trace = world.devices().EnvTrace();
   ReadBackGuestState(world.active_machine(), &result);
+
+  for (size_t i = 0; i + 1 < world.replica_count(); ++i) {
+    for (auto [from, to] : {std::pair<size_t, size_t>{i, i + 1}, {i + 1, i}}) {
+      ScenarioResult::ChannelReport ch;
+      ch.from = from;
+      ch.to = to;
+      ch.mode = world.channel(from, to)->mode();
+      ch.counters = world.channel(from, to)->counters();
+      result.channels.push_back(ch);
+    }
+  }
 
   for (size_t i = 0; i < world.replica_count(); ++i) {
     ReplicaNodeBase* replica = world.replica(i);

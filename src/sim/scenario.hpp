@@ -67,6 +67,24 @@ struct ScenarioResult {
   std::vector<ConsoleTraceEntry> console_trace;
   std::vector<NicTraceEntry> nic_trace;
 
+  // Transport: one report per channel of the mesh, in chain order (for each
+  // adjacent pair: the downstream protocol stream, then the upstream ack
+  // stream); empty for bare runs. Delivered/goodput aggregates count the
+  // ordered protocol channels only (each message exactly once); wire-byte
+  // aggregates count everything, so under loss goodput trails the wire
+  // rate — the gap being retransmissions, duplicates, discards, and acks.
+  struct ChannelReport {
+    size_t from = 0;  // Chain positions (0 = primary).
+    size_t to = 0;
+    ChannelMode mode = ChannelMode::kOrdered;  // Protocol stream vs ack datagrams.
+    Channel::Counters counters;
+  };
+  std::vector<ChannelReport> channels;
+  uint64_t TotalRetransmits() const;
+  uint64_t TotalWireBytes() const;
+  uint64_t TotalDeliveredBytes() const;
+  double GoodputBps() const;  // Delivered bytes / completion time.
+
   // Replication: one report per replica in chain order (primary first, then
   // each backup down the chain); empty for bare runs.
   struct NodeReport {
@@ -109,6 +127,16 @@ class Scenario {
   Scenario& Replication(const ReplicationConfig& replication);
   Scenario& TlbTakeover(bool takeover);
   Scenario& AuditLockstep(bool audit = true);
+  // Epoch pipelining window (0 = the paper's strict boundary ack wait) and
+  // backup-side ack coalescing (1 = ack every message).
+  Scenario& PipelineDepth(uint32_t depth);
+  Scenario& AckBatch(uint32_t batch);
+
+  // --- Interconnect ---------------------------------------------------------
+  // Fault model for every channel of the replica mesh (drop/duplicate/
+  // reorder probabilities, bounded sender queue, retransmission timeout,
+  // optional burst window). Defaults to the ideal wire.
+  Scenario& LinkFaults(const ::hbft::LinkFaults& faults);
 
   // --- Machine & environment ------------------------------------------------
   Scenario& Costs(const CostModel& costs);
@@ -175,6 +203,7 @@ class Scenario {
   int backups_ = 1;
   uint64_t seed_ = 42;
   uint32_t disk_blocks_ = 128;
+  ::hbft::LinkFaults link_faults_;
   bool with_nic_ = false;
   FaultPlan disk_faults_;
   FaultPlan console_faults_;

@@ -33,10 +33,19 @@ World::World(const GuestProgram& guest, const WorldConfig& config, bool replicat
   HBFT_CHECK(config.backups >= 1) << "a replicated world needs at least one backup";
   const size_t n = static_cast<size_t>(config.backups) + 1;
 
-  // Channel mesh: one FIFO link per direction per adjacent chain pair.
+  // Channel mesh: one link per direction per adjacent chain pair. The
+  // downstream (protocol) direction is an ordered go-back-N stream; the
+  // upstream (ack) direction is a datagram best-effort stream — cumulative
+  // acks need no retransmission of their own. Each channel gets an
+  // independent fault-RNG stream derived from the scenario seed so lossy
+  // runs are exactly reproducible.
   for (size_t i = 0; i + 1 < n; ++i) {
-    channels_[{i, i + 1}] = std::make_unique<Channel>(config.costs.link);
-    channels_[{i + 1, i}] = std::make_unique<Channel>(config.costs.link);
+    const uint64_t down_seed = config.seed ^ (0x11F0D1CEULL * (2 * i + 1));
+    const uint64_t up_seed = config.seed ^ (0x11F0D1CEULL * (2 * i + 2));
+    channels_[{i, i + 1}] = std::make_unique<Channel>(
+        config.costs.link, ChannelMode::kOrdered, config.link_faults, down_seed);
+    channels_[{i + 1, i}] = std::make_unique<Channel>(
+        config.costs.link, ChannelMode::kDatagram, config.link_faults, up_seed);
   }
 
   for (size_t i = 0; i < n; ++i) {
@@ -210,7 +219,8 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
     const size_t successor = index + 1;
     if (successor < replicas_.size() && !replicas_[successor]->dead()) {
       SimTime detect = FailureDetector::DetectionTime(*channel(index, successor), t,
-                                                      config_.costs.failure_detect_timeout);
+                                                      config_.costs.failure_detect_timeout,
+                                                      config_.link_faults);
       auto* next_node = static_cast<BackupNode*>(replicas_[successor].get());
       ScheduleAt(detect, [next_node, detect] { next_node->OnFailureDetected(detect); });
       active_index_ = successor;
@@ -226,7 +236,8 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
   // they can never rejoin, so the chain truncates at the dead node.
   const size_t upstream = index - 1;
   SimTime detect = FailureDetector::DetectionTime(*channel(index, upstream), t,
-                                                  config_.costs.failure_detect_timeout);
+                                                  config_.costs.failure_detect_timeout,
+                                                  config_.link_faults);
   ReplicaNodeBase* up_node = replicas_[upstream].get();
   ScheduleAt(detect, [up_node, detect] { up_node->OnDownstreamFailureDetected(detect); });
   for (size_t j = index + 1; j < replicas_.size(); ++j) {

@@ -73,6 +73,11 @@ struct WorldConfig {
   int backups = 1;  // Chain length: 1 primary + `backups` backups.
   uint32_t disk_blocks = 128;
   uint64_t seed = 42;
+  // Interconnect fault model (drop/duplicate/reorder + bounded sender
+  // queue), applied to every channel of the mesh. Protocol-direction
+  // channels run go-back-N recovery on top; ack channels are datagrams.
+  // Default: ideal wire, byte-identical to the fault-free model.
+  LinkFaults link_faults;
   FaultPlan disk_faults;
   FaultPlan console_faults;
   bool with_nic = false;  // Attach the NIC to every node's registry.

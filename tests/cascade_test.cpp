@@ -269,5 +269,82 @@ TEST(FailureDetectorEdge, NothingEverSentCountsFromCrash) {
             (crash + timeout).picos());
 }
 
+// ---------------------------------------------------------------------------
+// FailureDetector under a lossy-but-alive link: loss must not look like a
+// crash, and detection of a real crash stays within the paper's bound plus
+// one retransmission round.
+// ---------------------------------------------------------------------------
+
+TEST(FailureDetectorLossy, LossAwareBoundAddsOneRetransmissionRound) {
+  Channel chan{LinkModel::Ethernet10()};
+  SimTime timeout = SimTime::Millis(5);
+  SimTime crash = SimTime::Millis(7);
+  LinkFaults ideal;  // Disabled faults: the bound is unchanged.
+  EXPECT_EQ(FailureDetector::DetectionTime(chan, crash, timeout, ideal).picos(),
+            (crash + timeout).picos());
+  LinkFaults lossy;
+  lossy.drop_probability = 0.05;
+  lossy.retransmit_timeout = SimTime::Millis(2);
+  EXPECT_EQ(FailureDetector::DetectionTime(chan, crash, timeout, lossy).picos(),
+            (crash + timeout + lossy.retransmit_timeout).picos());
+  // A burst that ended before the crash leaves the wire ideal again: no
+  // retransmission slack.
+  lossy.active_until = SimTime::Millis(3);
+  EXPECT_EQ(FailureDetector::DetectionTime(chan, crash, timeout, lossy).picos(),
+            (crash + timeout).picos());
+}
+
+// A transient loss burst precedes the real primary kill: dropped relays and
+// acks during the burst must not fire a spurious promotion (there is exactly
+// one takeover per injected crash), and the cascade still finishes with the
+// environment consistent.
+TEST(FailureDetectorLossy, LossBurstBeforeRealKillStaysTransparent) {
+  WorkloadSpec spec = TxnSpec(10);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  LinkFaults burst;
+  burst.drop_probability = 0.3;  // Heavy transient loss...
+  burst.reorder_probability = 0.2;
+  burst.active_until = SimTime::Millis(3);  // ...that ends before the kill.
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Backups(2)
+                          .Epoch(4096)
+                          .LinkFaults(burst)
+                          .FailAtTime(SimTime::Millis(6))
+                          .Run();
+  VerifyAgainstBare(spec, bare, ft);
+  ASSERT_EQ(ft.crash_times.size(), 1u);
+  // Exactly the one injected failure promoted anybody: the burst alone did
+  // not register as a crash on any surviving pair.
+  EXPECT_TRUE(ft.nodes[1].promoted);
+  EXPECT_FALSE(ft.nodes[2].promoted);
+  EXPECT_GE(ft.nodes[1].promotion_time.picos(), ft.crash_times[0].picos());
+}
+
+// Detection of a real crash during sustained loss stays within drain +
+// timeout + one retransmission round.
+TEST(FailureDetectorLossy, DetectionBoundHoldsUnderSustainedLoss) {
+  WorkloadSpec spec = TxnSpec(8);
+  LinkFaults lossy;
+  lossy.drop_probability = 0.1;
+  lossy.reorder_probability = 0.05;
+  SimTime kill = SimTime::Millis(5);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .LinkFaults(lossy)
+                          .FailAtTime(kill)
+                          .Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out;
+  ASSERT_TRUE(ft.promoted);
+  CostModel costs;  // Scenario default: the paper-calibrated model.
+  // The channel drained within max_time of the crash; promotion cannot lag
+  // the crash by more than the drain window + timeout + one retransmission
+  // round + the backup's own boundary work. Bound it loosely but finitely:
+  SimTime bound = ft.crash_times[0] + SimTime::Millis(50) + costs.failure_detect_timeout +
+                  lossy.retransmit_timeout;
+  EXPECT_LE(ft.promotion_time.picos(), bound.picos());
+}
+
 }  // namespace
 }  // namespace hbft

@@ -69,6 +69,67 @@ TEST_P(MessageRoundTrip, SerializeDeserialize) {
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip, testing::Range(1, 6));
 
+// Every message kind — including the interrupt variants with and without an
+// I/O payload, and with and without DMA data — must report exactly the size
+// it serialises to: the bandwidth model charges WireSize() for frames the
+// codec would put on a real wire.
+TEST(Message, WireSizeMatchesSerializedSizeForEveryKind) {
+  std::vector<Message> samples;
+  for (int t = 1; t <= 5; ++t) {
+    samples.push_back(SampleMessage(static_cast<MsgType>(t)));
+  }
+  Message no_io = SampleMessage(MsgType::kInterrupt);
+  no_io.io.reset();
+  samples.push_back(no_io);
+  Message empty_dma = SampleMessage(MsgType::kInterrupt);
+  empty_dma.io->has_dma_data = false;
+  empty_dma.io->dma_data.clear();
+  samples.push_back(empty_dma);
+  for (const Message& msg : samples) {
+    EXPECT_EQ(msg.Serialize().size(), msg.WireSize())
+        << "kind " << static_cast<int>(msg.type);
+  }
+}
+
+// Every strict prefix of every kind's encoding must be rejected — no
+// out-of-bounds read, no silent short parse.
+TEST(Message, DeserializeRejectsEveryTruncation) {
+  for (int t = 1; t <= 5; ++t) {
+    Message msg = SampleMessage(static_cast<MsgType>(t));
+    if (msg.io.has_value()) {
+      msg.io->dma_data.resize(48);  // Small payload keeps the sweep fast.
+    }
+    auto bytes = msg.Serialize();
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(len));
+      EXPECT_FALSE(Message::Deserialize(prefix).has_value())
+          << "kind " << t << " accepted a " << len << "-byte prefix of "
+          << bytes.size() << " bytes";
+    }
+    ASSERT_TRUE(Message::Deserialize(bytes).has_value());
+    // Trailing garbage is rejected explicitly, for every kind.
+    bytes.push_back(0);
+    EXPECT_FALSE(Message::Deserialize(bytes).has_value()) << "kind " << t;
+  }
+}
+
+// Non-canonical flag bytes (the encoder only emits 0 or 1) are corruption,
+// not a message: accepting them would re-serialise to different bytes — a
+// silent misparse.
+TEST(Message, DeserializeRejectsNonCanonicalFlagBytes) {
+  auto bytes = SampleMessage(MsgType::kInterrupt).Serialize();
+  const size_t has_io_pos = 1 + 8 + 8 + 4;  // type + seq + epoch + irq_lines.
+  ASSERT_EQ(bytes[has_io_pos], 1u);
+  auto mutated = bytes;
+  mutated[has_io_pos] = 2;
+  EXPECT_FALSE(Message::Deserialize(mutated).has_value());
+  const size_t has_dma_pos = has_io_pos + 1 + 4 + 8 + 4;  // + io header fields.
+  ASSERT_EQ(bytes[has_dma_pos], 1u);
+  mutated = bytes;
+  mutated[has_dma_pos] = 0xFF;
+  EXPECT_FALSE(Message::Deserialize(mutated).has_value());
+}
+
 TEST(Message, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Message::Deserialize({}).has_value());
   EXPECT_FALSE(Message::Deserialize({0xFF, 1, 2, 3}).has_value());
@@ -124,7 +185,8 @@ TEST(Channel, SequenceNumbersAssignedInOrder) {
   channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
   channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
   auto arrival = channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
-  EXPECT_EQ(channel.messages_sent(), 3u);
+  EXPECT_EQ(channel.messages_enqueued(), 3u);
+  EXPECT_EQ(channel.messages_sent(), 3u);  // Ideal wire: one send per message.
   channel.Receive(*arrival);
   channel.Receive(*arrival);
   auto third = channel.Receive(*arrival);
@@ -132,16 +194,100 @@ TEST(Channel, SequenceNumbersAssignedInOrder) {
   EXPECT_EQ(third->seq, 2u);
 }
 
+// Regression (messages_sent/next_seq conflation): retransmissions add wire
+// sends but must not mint new sequence numbers, and the protocol's ack
+// universe (messages_enqueued) must stay put.
+TEST(Channel, RetransmitCountsWireSendsNotSequenceNumbers) {
+  LinkFaults faults;
+  faults.drop_probability = 1e-9;  // Enable the fault machinery, lose nothing.
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*fault_seed=*/7);
+  channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
+  channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
+  EXPECT_EQ(channel.messages_enqueued(), 2u);
+  EXPECT_EQ(channel.messages_sent(), 2u);
+
+  // Nothing acked: the whole window re-sends once the head has aged a full
+  // timeout past its serialisation end.
+  auto result = channel.MaybeRetransmit(SimTime::Millis(5));
+  EXPECT_EQ(result.frames, 2u);
+  EXPECT_EQ(channel.messages_enqueued(), 2u);  // Seq source untouched.
+  EXPECT_EQ(channel.messages_sent(), 4u);      // Wire sends ran ahead.
+  EXPECT_EQ(channel.counters().retransmits, 2u);
+
+  // Retransmitted copies carry the original sequence numbers; the receiver
+  // delivers each message exactly once.
+  SimTime late = SimTime::Seconds(1);
+  auto m0 = channel.Receive(late);
+  auto m1 = channel.Receive(late);
+  ASSERT_TRUE(m0.has_value() && m1.has_value());
+  EXPECT_EQ(m0->seq, 0u);
+  EXPECT_EQ(m1->seq, 1u);
+  EXPECT_FALSE(channel.Receive(late).has_value());  // Duplicates discarded.
+  EXPECT_EQ(channel.counters().rx_duplicates, 2u);
+  EXPECT_TRUE(channel.TakeReackRequested());
+
+  // A cumulative ack empties the window: no further retransmissions.
+  channel.OnCumulativeAck(2, late);
+  EXPECT_FALSE(channel.NeedsRetransmitTimer());
+  EXPECT_EQ(channel.MaybeRetransmit(SimTime::Seconds(2)).frames, 0u);
+}
+
 TEST(Channel, BreakDropsFutureSendsButDeliversInFlight) {
   Channel channel(LinkModel::Ethernet10());
   auto arrival = channel.Send(SampleMessage(MsgType::kTimeSync), SimTime::Zero());
   ASSERT_TRUE(arrival.has_value());
-  channel.Break(SimTime::Micros(1));
-  // Sent before the break: still arrives (the paper's failure assumption).
+  // Break after the frame finished serialising (arrival minus propagation)
+  // but before it arrives: a genuinely-sent frame still lands.
+  channel.Break(*arrival - LinkModel::Ethernet10().propagation);
   EXPECT_TRUE(channel.Receive(*arrival).has_value());
   // Sent after the break: vanishes.
-  EXPECT_FALSE(channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Micros(2)).has_value());
+  EXPECT_FALSE(channel.Send(SampleMessage(MsgType::kEpochEnd), *arrival).has_value());
   EXPECT_EQ(channel.DrainTime(), *arrival);
+}
+
+// Regression (Break/occupancy carryover): a crash mid-serialisation
+// truncates the frame on the wire — it must not arrive, and it must not
+// leave phantom occupancy (busy_until_/DrainTime) behind for whoever
+// consults the channel afterwards (the failure detector, a promoted
+// backup's re-protection path).
+TEST(Channel, BreakMidSerializationTruncatesAndClearsOccupancy) {
+  Channel channel(LinkModel::Ethernet10());
+  SimTime prop = LinkModel::Ethernet10().propagation;
+  // First frame fully serialised; second one queued behind it.
+  auto a1 = channel.Send(SampleMessage(MsgType::kTimeSync), SimTime::Zero());
+  auto a2 = channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
+  ASSERT_TRUE(a1.has_value() && a2.has_value());
+  ASSERT_LT(*a1, *a2);
+  // Crash while frame 2 is still being pushed onto the wire.
+  SimTime crash = *a1 - prop + SimTime::Micros(1);
+  ASSERT_LT(crash, *a2 - prop);
+  channel.Break(crash);
+  // Frame 1 arrives; frame 2 was truncated and never does.
+  EXPECT_TRUE(channel.Receive(*a1).has_value());
+  EXPECT_FALSE(channel.Receive(*a2 + SimTime::Seconds(1)).has_value());
+  // The drain view reflects only what was genuinely sent: no stale
+  // occupancy from the truncated frame.
+  EXPECT_EQ(channel.DrainTime(), *a1);
+  EXPECT_FALSE(channel.LastPendingArrival().has_value());
+}
+
+// A crash with a non-empty queue keeps exactly the fully-serialised prefix.
+TEST(Channel, BreakWithQueuedFramesKeepsSerialisedPrefix) {
+  Channel channel(LinkModel::Ethernet10());
+  SimTime prop = LinkModel::Ethernet10().propagation;
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 4; ++i) {
+    auto a = channel.Send(SampleMessage(MsgType::kEpochEnd), SimTime::Zero());
+    ASSERT_TRUE(a.has_value());
+    arrivals.push_back(*a);
+  }
+  // Crash after the second frame's serialisation completes.
+  channel.Break(arrivals[1] - prop);
+  SimTime late = arrivals[3] + SimTime::Seconds(1);
+  EXPECT_TRUE(channel.Receive(late).has_value());
+  EXPECT_TRUE(channel.Receive(late).has_value());
+  EXPECT_FALSE(channel.Receive(late).has_value());  // Frames 3 and 4 truncated.
+  EXPECT_EQ(channel.DrainTime(), arrivals[1]);
 }
 
 // Property fuzz: deserialisation of arbitrarily mutated bytes must never
@@ -169,8 +315,10 @@ TEST_P(MessageFuzz, MutatedBytesNeverCrashCodec) {
     }
     auto decoded = Message::Deserialize(bytes);
     if (decoded.has_value()) {
-      // Whatever was accepted must round-trip stably.
+      // Whatever was accepted must be canonical: re-serialising reproduces
+      // the accepted bytes exactly (anything else is a silent misparse).
       auto re = decoded->Serialize();
+      EXPECT_EQ(re, bytes);
       EXPECT_EQ(re.size(), decoded->WireSize());
       auto again = Message::Deserialize(re);
       ASSERT_TRUE(again.has_value());

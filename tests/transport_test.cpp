@@ -1,0 +1,488 @@
+// Transport-subsystem tests: the lossy-link model (drop/duplicate/reorder +
+// bounded sender queue), go-back-N retransmission over the protocol's own
+// cumulative acks, ack batching, epoch pipelining, and the per-channel
+// counters — plus the seed matrix that CI runs so transport regressions fail
+// fast under both the ideal and the lossy wire.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/channel.hpp"
+#include "net/link_faults.hpp"
+#include "sim/environment_observer.hpp"
+#include "sim/scenario.hpp"
+
+namespace hbft {
+namespace {
+
+Message Sample(MsgType type) {
+  Message msg;
+  msg.type = type;
+  msg.epoch = 7;
+  return msg;
+}
+
+LinkFaults Lossy(double p) { return LinkFaults::SymmetricLoss(p); }
+
+WorkloadSpec TxnSpec(uint32_t records) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTxnLog;
+  spec.iterations = records;
+  spec.num_blocks = 16;
+  return spec;
+}
+
+WorkloadSpec NetEchoSpec(uint32_t packets) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kNetEcho;
+  spec.iterations = packets;
+  return spec;
+}
+
+void InjectEchoPackets(Scenario* scenario, uint32_t packets) {
+  for (uint32_t i = 0; i < packets; ++i) {
+    std::vector<uint8_t> payload = {'p', 'k', 't', static_cast<uint8_t>('0' + i)};
+    scenario->InjectPacket(std::move(payload));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel-level: the wire faults and the go-back-N machinery.
+// ---------------------------------------------------------------------------
+
+TEST(LossyChannel, DropsAreCountedAndRecoveredByRetransmission) {
+  LinkFaults faults;
+  faults.drop_probability = 0.5;
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/3);
+  const int kMessages = 20;
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(channel.Send(Sample(MsgType::kEpochEnd), t).has_value());
+  }
+  EXPECT_GT(channel.counters().link_drops, 0u);
+
+  // Drive sender timeouts and receiver polls until the stream heals. Each
+  // round acks what arrived in order, as the protocol would.
+  uint64_t delivered = 0;
+  for (int round = 0; round < 200 && delivered < kMessages; ++round) {
+    t += faults.retransmit_timeout;
+    channel.MaybeRetransmit(t);
+    while (auto msg = channel.Receive(t)) {
+      EXPECT_EQ(msg->seq, delivered);  // Strictly in order, no gaps.
+      ++delivered;
+    }
+    channel.OnCumulativeAck(delivered, t);
+  }
+  EXPECT_EQ(delivered, static_cast<uint64_t>(kMessages));
+  EXPECT_GT(channel.counters().retransmits, 0u);
+  EXPECT_GT(channel.messages_sent(), channel.messages_enqueued());
+  EXPECT_FALSE(channel.NeedsRetransmitTimer());  // Window fully acked.
+}
+
+TEST(LossyChannel, PostGapFramesAreDiscardedAndHealedByRetransmit) {
+  // Find a seed where the first of two messages is reorder-delayed past the
+  // second: the receiver must discard the overtaking frame (go-back-N keeps
+  // no out-of-order buffer) and recover it via retransmission, still
+  // delivering strictly in sequence.
+  bool saw_gap = false;
+  for (uint64_t seed = 0; seed < 64 && !saw_gap; ++seed) {
+    LinkFaults faults;
+    faults.reorder_probability = 0.5;
+    Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, seed);
+    channel.Send(Sample(MsgType::kTimeSync), SimTime::Zero());
+    channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero());
+    uint64_t delivered = 0;
+    SimTime t = SimTime::Zero();
+    for (int round = 0; round < 20 && delivered < 2; ++round) {
+      t += faults.retransmit_timeout;
+      channel.MaybeRetransmit(t);
+      while (auto msg = channel.Receive(t)) {
+        EXPECT_EQ(msg->seq, delivered);  // In-order despite the swap.
+        ++delivered;
+      }
+      channel.OnCumulativeAck(delivered, t);
+    }
+    EXPECT_EQ(delivered, 2u) << "seed " << seed;
+    if (channel.counters().rx_gaps > 0) {
+      saw_gap = true;
+    }
+  }
+  EXPECT_TRUE(saw_gap) << "no seed produced an overtaking frame";
+}
+
+TEST(LossyChannel, DuplicatesAreDiscardedAndTriggerReack) {
+  LinkFaults faults;
+  faults.duplicate_probability = 1.0;
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/9);
+  channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero());
+  SimTime late = SimTime::Seconds(1);
+  ASSERT_TRUE(channel.Receive(late).has_value());
+  EXPECT_FALSE(channel.Receive(late).has_value());  // The wire's copy.
+  EXPECT_EQ(channel.counters().link_duplicates, 1u);
+  EXPECT_EQ(channel.counters().rx_duplicates, 1u);
+  EXPECT_TRUE(channel.TakeReackRequested());
+  EXPECT_FALSE(channel.TakeReackRequested());  // One-shot flag.
+}
+
+TEST(LossyChannel, BoundedSenderQueueTailDropsWithBackpressureAccounting) {
+  LinkFaults faults;
+  faults.sender_queue_limit = 2;
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/11);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero()).has_value());
+  }
+  EXPECT_EQ(channel.counters().queue_drops, 4u);
+  EXPECT_EQ(channel.counters().queue_high_water, 2u);
+  // The dropped tail is still in the go-back-N window and recovers once the
+  // in-flight frames drain.
+  SimTime late = SimTime::Seconds(1);
+  uint64_t delivered = 0;
+  while (auto msg = channel.Receive(late)) {
+    ++delivered;
+    (void)msg;
+  }
+  EXPECT_EQ(delivered, 2u);
+  channel.OnCumulativeAck(delivered, late);
+  // The queue keeps refusing more than 2 frames per round, so the window
+  // drains over several retransmission rounds.
+  SimTime t = late;
+  for (int round = 0; round < 10 && delivered < 6; ++round) {
+    t += faults.retransmit_timeout;
+    channel.MaybeRetransmit(t);
+    while (auto msg = channel.Receive(t)) {
+      ++delivered;
+      (void)msg;
+    }
+    channel.OnCumulativeAck(delivered, t);
+  }
+  EXPECT_EQ(delivered, 6u);
+}
+
+TEST(LossyChannel, DatagramModeDeliversWhateverArrives) {
+  LinkFaults faults;
+  faults.duplicate_probability = 1.0;
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kDatagram, faults, /*seed=*/13);
+  channel.Send(Sample(MsgType::kAck), SimTime::Zero());
+  SimTime late = SimTime::Seconds(1);
+  // Both copies are handed to the receiver: acks are idempotent.
+  EXPECT_TRUE(channel.Receive(late).has_value());
+  EXPECT_TRUE(channel.Receive(late).has_value());
+  EXPECT_FALSE(channel.Receive(late).has_value());
+  EXPECT_FALSE(channel.TakeReackRequested());
+}
+
+TEST(LossyChannel, CleanSendAfterBurstToleratesStragglerFromTheBurst) {
+  // A frame reordered during the burst can still be in flight when the
+  // window closes; a clean send landing *before* the straggler must not
+  // violate the ideal wire's monotonicity assumptions.
+  LinkFaults faults;
+  faults.reorder_probability = 1.0;
+  faults.active_until = SimTime::Micros(200);
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/21);
+  // In-window: delayed by ~1 MTU serialisation time.
+  auto a0 = channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero());
+  ASSERT_TRUE(a0.has_value());
+  ASSERT_EQ(channel.counters().link_reorders, 1u);
+  // Out-of-window clean send that overtakes the straggler.
+  auto a1 = channel.Send(Sample(MsgType::kEpochEnd), SimTime::Micros(300));
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_LT(*a1, *a0);
+  // Go-back-N still delivers in sequence: the overtaking frame is a gap
+  // discard, the straggler lands, the overtaker returns via retransmit.
+  EXPECT_FALSE(channel.Receive(*a1).has_value());
+  EXPECT_EQ(channel.counters().rx_gaps, 1u);
+  auto first = channel.Receive(*a0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 0u);
+  channel.OnCumulativeAck(1, *a0);
+  auto retx = channel.MaybeRetransmit(*a0 + faults.retransmit_timeout);
+  EXPECT_EQ(retx.frames, 1u);
+  auto second = channel.Receive(*a0 + SimTime::Seconds(1));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 1u);
+}
+
+TEST(LossyChannel, FaultWindowConfinesTheBurst) {
+  LinkFaults faults;
+  faults.drop_probability = 1.0;
+  faults.active_until = SimTime::Millis(1);
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/17);
+  channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero());  // Inside the burst: lost.
+  EXPECT_EQ(channel.counters().link_drops, 1u);
+  // After the burst the wire is clean again (retransmit carries seq 0).
+  auto result = channel.MaybeRetransmit(SimTime::Millis(3));
+  ASSERT_EQ(result.frames, 1u);
+  auto msg = channel.Receive(SimTime::Seconds(1));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->seq, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level: the protocol over a lossy wire.
+// ---------------------------------------------------------------------------
+
+TEST(LossyScenario, ReplicatedPairSurvivesLossyLinkInLockstep) {
+  WorkloadSpec spec = TxnSpec(8);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+
+  ScenarioResult ft =
+      Scenario::Replicated(spec).Epoch(4096).AuditLockstep().LinkFaults(Lossy(0.05)).Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  EXPECT_EQ(ft.exited_flag, 1u);
+  EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
+  // Zero divergence: every boundary both replicas recorded fingerprints for
+  // matches exactly, loss or no loss.
+  size_t prefix = MatchingBoundaryPrefix(ft);
+  size_t compared = std::min(ft.nodes[0].boundary_fingerprints.size(),
+                             ft.nodes[1].boundary_fingerprints.size());
+  EXPECT_EQ(prefix, compared);
+  EXPECT_GT(compared, 0u);
+  // The wire genuinely misbehaved and the transport genuinely repaired it.
+  EXPECT_GT(ft.TotalRetransmits(), 0u);
+  EXPECT_GT(ft.TotalWireBytes(), ft.TotalDeliveredBytes());
+}
+
+TEST(LossyScenario, SaturatedSenderQueueNeverLivelocksTheTimer) {
+  // Regression: with a one-frame sender queue and heavy dup/reorder, a whole
+  // retransmission round can be tail-dropped (busy_until_ never advances).
+  // The timer must still re-arm strictly later than its fire time, or the
+  // event queue spins at one sim timestamp forever.
+  LinkFaults faults;
+  faults.drop_probability = 0.2;
+  faults.duplicate_probability = 0.5;
+  faults.reorder_probability = 0.3;
+  faults.sender_queue_limit = 1;
+  ScenarioResult ft = Scenario::Replicated(TxnSpec(8))
+                          .Epoch(4096)
+                          .Seed(7)
+                          .LinkFaults(faults)
+                          .MaxTime(SimTime::Seconds(30))
+                          .Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  EXPECT_EQ(ft.exited_flag, 1u);
+  uint64_t queue_drops = 0;
+  for (const ScenarioResult::ChannelReport& ch : ft.channels) {
+    queue_drops += ch.counters.queue_drops;
+  }
+  EXPECT_GT(queue_drops, 0u);  // The backpressure path was genuinely exercised.
+}
+
+TEST(LossyScenario, LossyButAliveNeverPromotes) {
+  // Heavy loss, no failure injection: delayed/dropped traffic alone must not
+  // look like a crash — nobody promotes, the run completes.
+  ScenarioResult ft =
+      Scenario::Replicated(TxnSpec(6)).Epoch(4096).LinkFaults(Lossy(0.15)).Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked;
+  EXPECT_FALSE(ft.promoted);
+  EXPECT_GT(ft.TotalRetransmits(), 0u);
+}
+
+// The acceptance scenario: a three-replica net-echo cascade over a lossy,
+// reordering wire — primary killed, then the promoted backup killed — must
+// finish with the environment clean and the counters showing real transport
+// work.
+TEST(LossyScenario, NetEchoCascadeSurvivesLossAndReorder) {
+  const uint32_t kPackets = 3;
+  WorkloadSpec spec = NetEchoSpec(kPackets);
+
+  Scenario bare_scenario = Scenario::Bare(spec);
+  InjectEchoPackets(&bare_scenario, kPackets);
+  ScenarioResult bare = bare_scenario.Run();
+  ASSERT_TRUE(bare.completed);
+
+  LinkFaults faults;
+  faults.drop_probability = 0.05;
+  faults.reorder_probability = 0.05;
+  Scenario scenario = Scenario::Replicated(spec)
+                          .Backups(2)
+                          .Epoch(4096)
+                          .LinkFaults(faults)
+                          .FailAtTime(SimTime::Millis(4))
+                          .FailAtPhase(FailPhase::kAfterIoIssue, 0,
+                                       FailurePlan::CrashIo::kNotPerformed);
+  InjectEchoPackets(&scenario, kPackets);
+  ScenarioResult ft = scenario.Run();
+
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out << " deadlocked=" << ft.deadlocked
+                            << " service_lost=" << ft.service_lost;
+  EXPECT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
+  EXPECT_EQ(ft.exit_code, bare.exit_code);
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
+  EXPECT_TRUE(ft.nodes[1].promoted);
+  EXPECT_TRUE(ft.nodes[2].promoted);
+  EXPECT_GT(ft.TotalRetransmits(), 0u);
+  EXPECT_GT(ft.TotalWireBytes(), ft.TotalDeliveredBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Ack batching and epoch pipelining.
+// ---------------------------------------------------------------------------
+
+TEST(Transport, AckBatchingCoalescesAcksWithoutChangingTheResult) {
+  // The time workload's dense env-value stream is acked while the backup
+  // runs, which is exactly where coalescing applies (a parked backup must
+  // flush: the sender's P2/output-commit waits cover everything enqueued).
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTime;
+  ScenarioResult strict = Scenario::Replicated(spec).Epoch(4096).Run();
+  ASSERT_TRUE(strict.completed);
+  ScenarioResult batched = Scenario::Replicated(spec).Epoch(4096).AckBatch(8).Run();
+  ASSERT_TRUE(batched.completed) << "timed_out=" << batched.timed_out
+                                 << " deadlocked=" << batched.deadlocked;
+  EXPECT_EQ(batched.exited_flag, 1u);
+  EXPECT_EQ(batched.exit_code, strict.exit_code);
+  // Same protocol stream, materially fewer acks on the wire.
+  EXPECT_EQ(batched.primary_stats().messages_sent, strict.primary_stats().messages_sent);
+  EXPECT_LT(batched.primary_stats().acks_received,
+            strict.primary_stats().acks_received / 2);
+  // Batching must not stall epochs: the run makes the same progress.
+  EXPECT_EQ(batched.primary_stats().epochs, strict.primary_stats().epochs);
+}
+
+TEST(Transport, AckBatchingStaysTransparentOnTxnLog) {
+  // Boundary-dominated workload: batching degenerates gracefully (parked
+  // flushes keep the protocol moving) and changes nothing observable.
+  WorkloadSpec spec = TxnSpec(8);
+  ScenarioResult strict = Scenario::Replicated(spec).Epoch(4096).Run();
+  ASSERT_TRUE(strict.completed);
+  ScenarioResult batched = Scenario::Replicated(spec).Epoch(4096).AckBatch(8).Run();
+  ASSERT_TRUE(batched.completed) << "timed_out=" << batched.timed_out
+                                 << " deadlocked=" << batched.deadlocked;
+  EXPECT_EQ(batched.guest_checksum, strict.guest_checksum);
+  EXPECT_LE(batched.primary_stats().acks_received, strict.primary_stats().acks_received);
+}
+
+TEST(Transport, AckBatchingHoldsUnderTheRevisedVariant) {
+  // Output commit gates I/O on all-acked mid-epoch: the backup must flush
+  // its batch whenever it blocks, or the primary would deadlock.
+  WorkloadSpec spec = TxnSpec(6);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .Variant(ProtocolVariant::kRevised)
+                          .AckBatch(16)
+                          .Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out
+                            << " deadlocked=" << ft.deadlocked;
+  EXPECT_EQ(ft.exited_flag, 1u);
+}
+
+TEST(Transport, EpochPipeliningRunsAheadAndCutsAckWait) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kCpu;
+  spec.iterations = 4000;
+  ScenarioResult strict = Scenario::Replicated(spec).Epoch(2048).Run();
+  ASSERT_TRUE(strict.completed);
+  ScenarioResult piped = Scenario::Replicated(spec).Epoch(2048).PipelineDepth(2).Run();
+  ASSERT_TRUE(piped.completed) << "timed_out=" << piped.timed_out
+                               << " deadlocked=" << piped.deadlocked;
+  EXPECT_EQ(piped.guest_checksum, strict.guest_checksum);
+  // The pipelined primary stopped paying the full boundary round trip.
+  EXPECT_LT(piped.primary_stats().ack_wait_time.picos(),
+            strict.primary_stats().ack_wait_time.picos());
+  EXPECT_LT(piped.completion_time.picos(), strict.completion_time.picos());
+}
+
+TEST(Transport, PipeliningSurvivesFailover) {
+  WorkloadSpec spec = TxnSpec(8);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .PipelineDepth(2)
+                          .FailAtPhase(FailPhase::kAfterSendTme, 2)
+                          .Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out
+                            << " deadlocked=" << ft.deadlocked;
+  EXPECT_TRUE(ft.promoted);
+  EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
+}
+
+TEST(Transport, PipeliningSurvivesFailoverOverLossyLink) {
+  // The risky corner: pipelining widens how far the primary's device outputs
+  // can run ahead of acked state, and a lossy wire maximises the gap the
+  // backup promotes across (dropped relays the dead primary never
+  // retransmitted). The takeover must still present a single-machine
+  // environment: missing completions fall back to P7 re-drives, and disk
+  // re-writes are idempotent.
+  WorkloadSpec spec = TxnSpec(10);
+  ScenarioResult bare = RunBare(spec);
+  ASSERT_TRUE(bare.completed);
+  ScenarioResult ft = Scenario::Replicated(spec)
+                          .Epoch(4096)
+                          .PipelineDepth(2)
+                          .LinkFaults(Lossy(0.1))
+                          .FailAtPhase(FailPhase::kAfterIoIssue, 1,
+                                       FailurePlan::CrashIo::kNotPerformed)
+                          .Run();
+  ASSERT_TRUE(ft.completed) << "timed_out=" << ft.timed_out
+                            << " deadlocked=" << ft.deadlocked;
+  EXPECT_TRUE(ft.promoted);
+  EXPECT_EQ(ft.exited_flag, 1u) << "guest panic " << ft.panic_code;
+  EXPECT_EQ(ft.guest_checksum, bare.guest_checksum);
+  ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
+  EXPECT_TRUE(env.ok) << env.detail;
+}
+
+// ---------------------------------------------------------------------------
+// The CI seed matrix: net-echo pair + txnlog cascade, {ideal, lossy} x seeds.
+// Transport regressions under any wire or seed fail here first.
+// ---------------------------------------------------------------------------
+
+class TransportMatrix : public testing::TestWithParam<int> {};
+
+TEST_P(TransportMatrix, NetEchoAndCascadeCompleteCleanly) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) * 1013 + 42;
+  for (bool lossy : {false, true}) {
+    LinkFaults faults = lossy ? Lossy(0.05) : LinkFaults{};
+
+    // net-echo replicated pair.
+    const uint32_t kPackets = 3;
+    WorkloadSpec net = NetEchoSpec(kPackets);
+    Scenario net_bare = Scenario::Bare(net).Seed(seed);
+    InjectEchoPackets(&net_bare, kPackets);
+    ScenarioResult nb = net_bare.Run();
+    ASSERT_TRUE(nb.completed) << "seed " << seed;
+    Scenario net_ft = Scenario::Replicated(net).Seed(seed).LinkFaults(faults);
+    InjectEchoPackets(&net_ft, kPackets);
+    ScenarioResult nf = net_ft.Run();
+    ASSERT_TRUE(nf.completed) << "seed " << seed << " lossy " << lossy
+                              << " timed_out=" << nf.timed_out
+                              << " deadlocked=" << nf.deadlocked;
+    ConsistencyResult net_env = CheckEnvConsistency(nb.env_trace, nf.env_trace,
+                                                    nf.issuer_chain());
+    EXPECT_TRUE(net_env.ok) << "seed " << seed << " lossy " << lossy << ": " << net_env.detail;
+
+    // txnlog cascade (kill the primary, then the promoted backup).
+    WorkloadSpec txn = TxnSpec(8);
+    ScenarioResult tb = Scenario::Bare(txn).Seed(seed).Run();
+    ASSERT_TRUE(tb.completed) << "seed " << seed;
+    ScenarioResult tf = Scenario::Replicated(txn)
+                            .Backups(2)
+                            .Seed(seed)
+                            .LinkFaults(faults)
+                            .FailAtTime(SimTime::Millis(4))
+                            .FailAtPhase(FailPhase::kAfterIoIssue)
+                            .Run();
+    ASSERT_TRUE(tf.completed) << "seed " << seed << " lossy " << lossy
+                              << " timed_out=" << tf.timed_out
+                              << " deadlocked=" << tf.deadlocked
+                              << " service_lost=" << tf.service_lost;
+    ConsistencyResult txn_env = CheckEnvConsistency(tb.env_trace, tf.env_trace,
+                                                    tf.issuer_chain());
+    EXPECT_TRUE(txn_env.ok) << "seed " << seed << " lossy " << lossy << ": " << txn_env.detail;
+    if (lossy) {
+      EXPECT_GT(nf.TotalRetransmits() + tf.TotalRetransmits(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportMatrix, testing::Range(0, 3));
+
+}  // namespace
+}  // namespace hbft
