@@ -18,9 +18,8 @@ int RunAblation() {
   spec.iterations = 10;
   spec.num_blocks = 16;
 
-  ScenarioResult bare = RunBare(spec);
-  if (!bare.completed) {
-    std::fprintf(stderr, "bare run failed\n");
+  ScenarioResult bare;
+  if (!RunBareChecked(spec, &bare)) {
     return 1;
   }
   size_t bare_writes = 0;

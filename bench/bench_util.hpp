@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "guest/workloads.hpp"
 #include "sim/scenario.hpp"
@@ -28,10 +29,83 @@ inline WorkloadSpec BenchCpuSpec() {
 inline WorkloadSpec BenchReadSpec() { return WorkloadSpec::PaperDiskRead(kIoOperations); }
 inline WorkloadSpec BenchWriteSpec() { return WorkloadSpec::PaperDiskWrite(kIoOperations); }
 
+// Runs the bare reference for `spec` and checks it — the single copy of the
+// run-and-complain sequence every harness used to paste. Returns false (with
+// the standard message on stderr) when the reference run failed.
+inline bool RunBareChecked(const WorkloadSpec& spec, ScenarioResult* out,
+                           const char* label = "bare reference") {
+  *out = RunBare(spec);
+  if (!out->completed || out->exited_flag != 1) {
+    std::fprintf(stderr, "%s run failed\n", label);
+    return false;
+  }
+  return true;
+}
+
 struct NpPoint {
   uint64_t epoch_len = 0;
   double np = 0.0;
 };
+
+// --- Fig 5 (repair): live state-transfer resync cases -----------------------
+//
+// One case = one replicated run with a healthy-chain rejoin at 8 ms: the
+// standing backup streams the snapshot while the chain keeps serving. Swept
+// over memory size (zero-run elision keeps idle RAM nearly free), workload
+// dirty rate (disk DMA re-dirties pages mid-transfer, forcing delta rounds),
+// and the wire (ideal vs 5% loss/reorder: go-back-N pays in retransmits and
+// latency, never correctness).
+struct ResyncCase {
+  const char* group;  // "size" or "dirty".
+  const char* workload;
+  uint32_t ram_mb = 4;
+  double loss = 0.0;
+  WorkloadSpec spec;
+};
+
+inline std::vector<ResyncCase> ResyncBenchCases(bool quick) {
+  WorkloadSpec cpu = WorkloadSpec::PaperCpu();
+  cpu.iterations = 12000;  // ~80 ms: outlives the transfer.
+  WorkloadSpec write_spec = WorkloadSpec::PaperDiskWrite(6);
+  WorkloadSpec read_spec = WorkloadSpec::PaperDiskRead(6);
+
+  std::vector<ResyncCase> cases;
+  const uint32_t sizes[] = {4, 8, 16};
+  for (uint32_t ram_mb : sizes) {
+    cases.push_back(ResyncCase{"size", "cpu", ram_mb, 0.0, cpu});
+    if (quick) {
+      break;  // One size row keeps the smoke-test shape without the sweep.
+    }
+  }
+  struct Dirty {
+    const char* name;
+    const WorkloadSpec* spec;
+  };
+  const Dirty dirty[] = {{"cpu", &cpu}, {"diskwrite", &write_spec}, {"diskread", &read_spec}};
+  for (const Dirty& d : dirty) {
+    for (double loss : {0.0, 0.05}) {
+      cases.push_back(ResyncCase{"dirty", d.name, 4, loss, *d.spec});
+      if (quick && loss > 0.0) {
+        break;
+      }
+    }
+    if (quick && d.spec == &write_spec) {
+      break;  // Quick: cpu (both links) + diskwrite (ideal only).
+    }
+  }
+  return cases;
+}
+
+inline ScenarioResult RunResyncCase(const ResyncCase& c) {
+  Scenario scenario = Scenario::Replicated(c.spec)
+                          .Epoch(4096)
+                          .RamBytes(c.ram_mb * 1024u * 1024u)
+                          .RejoinAtTime(SimTime::Millis(8));
+  if (c.loss > 0.0) {
+    scenario.LinkFaults(LinkFaults::SymmetricLoss(c.loss));
+  }
+  return scenario.Run();
+}
 
 // Runs the workload replicated at `epoch_len` and returns N'/N vs `bare`.
 inline double MeasureNp(const WorkloadSpec& spec, const ScenarioResult& bare, uint64_t epoch_len,

@@ -18,9 +18,8 @@ int RunFig2() {
               kCpuIterations);
 
   WorkloadSpec spec = BenchCpuSpec();
-  ScenarioResult bare = RunBare(spec);
-  if (!bare.completed || bare.exited_flag != 1) {
-    std::fprintf(stderr, "bare reference run failed\n");
+  ScenarioResult bare;
+  if (!RunBareChecked(spec, &bare)) {
     return 1;
   }
   std::printf("bare runtime N = %.4f s (%u clock ticks)\n\n", bare.completion_time.seconds(),

@@ -22,10 +22,10 @@ int RunFig3() {
   WorkloadSpec write_spec = BenchWriteSpec();
   WorkloadSpec read_spec = BenchReadSpec();
 
-  ScenarioResult bare_write = RunBare(write_spec);
-  ScenarioResult bare_read = RunBare(read_spec);
-  if (!bare_write.completed || !bare_read.completed) {
-    std::fprintf(stderr, "bare reference runs failed\n");
+  ScenarioResult bare_write;
+  ScenarioResult bare_read;
+  if (!RunBareChecked(write_spec, &bare_write, "bare write reference") ||
+      !RunBareChecked(read_spec, &bare_read, "bare read reference")) {
     return 1;
   }
   std::printf("bare runtimes: write N = %.4f s, read N = %.4f s\n\n",

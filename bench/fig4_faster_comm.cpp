@@ -32,9 +32,8 @@ int RunFig4() {
 
   std::printf("\nsimulation (measured), CPU workload:\n");
   WorkloadSpec spec = BenchCpuSpec();
-  ScenarioResult bare = RunBare(spec);
-  if (!bare.completed) {
-    std::fprintf(stderr, "bare reference run failed\n");
+  ScenarioResult bare;
+  if (!RunBareChecked(spec, &bare)) {
     return 1;
   }
   TableReporter table({"EL (instr)", "NP Ethernet (sim)", "NP ATM (sim)"});

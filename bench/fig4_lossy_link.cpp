@@ -17,9 +17,8 @@ int RunFig4Lossy() {
   std::printf("=== Figure 4 variant: ideal vs lossy link (disk-read workload) ===\n\n");
 
   WorkloadSpec spec = BenchReadSpec();
-  ScenarioResult bare = RunBare(spec);
-  if (!bare.completed) {
-    std::fprintf(stderr, "bare reference run failed\n");
+  ScenarioResult bare;
+  if (!RunBareChecked(spec, &bare)) {
     return 1;
   }
 

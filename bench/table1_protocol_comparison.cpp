@@ -26,11 +26,12 @@ int RunTable1() {
   WorkloadSpec write_spec = BenchWriteSpec();
   WorkloadSpec read_spec = BenchReadSpec();
 
-  ScenarioResult bare_cpu = RunBare(cpu_spec);
-  ScenarioResult bare_write = RunBare(write_spec);
-  ScenarioResult bare_read = RunBare(read_spec);
-  if (!bare_cpu.completed || !bare_write.completed || !bare_read.completed) {
-    std::fprintf(stderr, "bare reference runs failed\n");
+  ScenarioResult bare_cpu;
+  ScenarioResult bare_write;
+  ScenarioResult bare_read;
+  if (!RunBareChecked(cpu_spec, &bare_cpu, "bare cpu reference") ||
+      !RunBareChecked(write_spec, &bare_write, "bare write reference") ||
+      !RunBareChecked(read_spec, &bare_read, "bare read reference")) {
     return 1;
   }
 

@@ -42,12 +42,20 @@ void PrintUsage(std::FILE* out) {
       "                        the paper's strict wait; old variant only)\n"
       "  --ack-batch=K         backup coalesces K acks into one cumulative ack (1)\n"
       "  --packets=N           net-echo: packets injected (default: iterations)\n"
-      "  --fail=SPEC           append a failure event to the ordered schedule;\n"
+      "  --fail=SPEC           append a failure/repair event to the ordered schedule;\n"
       "                        repeatable. SPEC is comma-separated key=value:\n"
       "                          time-ms=X | phase=P[,epoch=N][,io-seq=N]\n"
       "                          target=active|backup:K   crash-io=random|performed|\n"
       "                          not-performed\n"
-      "                        e.g. --fail=time-ms=40 --fail=phase=after-io-issue\n"
+      "                          rejoin-time-ms=X | rejoin-after-ms=X   spawn a fresh\n"
+      "                            backup below the chain tail (live state transfer)\n"
+      "                          after-resync-ms=X   kill the active replica X ms\n"
+      "                            after the pending rejoin's transfer completes\n"
+      "                        e.g. --fail=time-ms=40 --fail=rejoin-after-ms=20\n"
+      "                             --fail=after-resync-ms=10\n"
+      "  --json                emit one machine-readable JSON document instead of\n"
+      "                        the text report (outcome, replication, transport,\n"
+      "                        resyncs, N'/N + consistency)\n"
       "  --fail-at=PHASE       legacy single-failure flags (see --list-phases);\n"
       "  --fail-epoch=N        they form the first schedule entry\n"
       "  --fail-time-ms=X --fail-target=T --crash-io=C\n"
@@ -58,8 +66,13 @@ void PrintUsage(std::FILE* out) {
       "  epoch 3, plus — cascading mode — one further active-replica kill per\n"
       "  extra backup. Exits 0 iff the environment saw a sequence consistent\n"
       "  with a single machine and the workload result matches bare.\n"
+      "  --repair              after the kills, rejoin a fresh backup (live state\n"
+      "                        transfer) and kill the active replica once more —\n"
+      "                        the report adds resync latency + transferred bytes\n"
+      "  --repair-delay-ms=X   rejoin X ms after the last kill (20)\n"
+      "  --refail-delay-ms=X   re-kill X ms after the resync completes (10)\n"
       "\n"
-      "bench  Regenerate the paper's Table 1 / Fig 2-4 numbers as JSON.\n"
+      "bench  Regenerate the paper's Table 1 / Fig 2-5 numbers as JSON.\n"
       "  --out-dir=DIR         artifact directory (bench)\n"
       "  --quick               small workloads + short sweep (same artifact shape)\n"
       "  --cpu-iterations=N --io-operations=N --backups=N\n"
@@ -74,6 +87,9 @@ void PrintUsage(std::FILE* out) {
       "  hbft_cli drill --variant=new --epoch-length=4096\n"
       "  hbft_cli drill --backups=2 --fail=time-ms=6 --fail=phase=after-io-issue\n"
       "  hbft_cli run --workload=net-echo --backups=2 --loss=0.05 --reorder=0.05\n"
+      "  hbft_cli drill --repair --variant=new\n"
+      "  hbft_cli run --workload=txnlog --iterations=20 --json \\\n"
+      "      --fail=time-ms=40 --fail=rejoin-after-ms=20 --fail=after-resync-ms=10\n"
       "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n",
       out);
 }

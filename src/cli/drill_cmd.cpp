@@ -7,6 +7,11 @@
 // the active replica N times — primary first, then each promoted backup —
 // so a chain of N backups is driven through every takeover it can survive.
 // Explicit schedules come from repeatable --fail= flags.
+//
+// Repair mode (--repair): after the schedule's kills, a fresh replica
+// rejoins via live state transfer, and once the resync completes the (new)
+// active replica is killed too — proving the rejoined backup can take over.
+// The report adds the resync latency and transferred-byte breakdown.
 #include <cstdio>
 #include <string>
 
@@ -20,8 +25,23 @@ namespace cli {
 
 int DrillCommand(FlagSet& flags) {
   ScenarioFlags scenario;
+  const bool repair = flags.Has("repair");
+  const bool user_iterations = flags.Has("iterations");
+  double repair_delay_ms = 20.0;
+  double refail_delay_ms = 10.0;
+  if (auto v = flags.GetDouble("repair-delay-ms")) {
+    repair_delay_ms = *v;
+  }
+  if (auto v = flags.GetDouble("refail-delay-ms")) {
+    refail_delay_ms = *v;
+  }
   if (!ParseScenarioFlags(flags, &scenario) || !flags.Finish()) {
     return 2;
+  }
+  if (repair && !user_iterations && scenario.workload.kind == WorkloadKind::kTxnLog) {
+    // The default workload must outlive the resync (the transfer streams at
+    // link speed while the guest keeps running).
+    scenario.workload.iterations = 40;
   }
   if (!scenario.has_failure) {
     // The drill's whole point is killing the serving replica; default to a
@@ -42,8 +62,28 @@ int DrillCommand(FlagSet& flags) {
     }
     scenario.has_failure = true;
   }
+  if (repair) {
+    // Restore redundancy after the last kill, then prove it: kill the active
+    // replica again once the rejoined backup is online.
+    FailurePlan rejoin;
+    rejoin.kind = FailurePlan::Kind::kRejoin;
+    rejoin.relative = true;
+    rejoin.time = SimTime::Picos(static_cast<int64_t>(repair_delay_ms * 1e9));
+    scenario.failures.push_back(rejoin);
+    FailurePlan refail;
+    refail.kind = FailurePlan::Kind::kAtTime;
+    refail.after_resync = true;
+    refail.time = SimTime::Picos(static_cast<int64_t>(refail_delay_ms * 1e9));
+    scenario.failures.push_back(refail);
+    char repair_desc[96];
+    std::snprintf(repair_desc, sizeof(repair_desc),
+                  "; then rejoin +%g ms; then kill +%g ms after resync", repair_delay_ms,
+                  refail_delay_ms);
+    scenario.failure_description += repair_desc;
+  }
   for (const FailurePlan& plan : scenario.failures) {
-    if (plan.target != FailurePlan::Target::kActive) {
+    if (plan.kind != FailurePlan::Kind::kRejoin &&
+        plan.target != FailurePlan::Target::kActive) {
       std::fprintf(stderr,
                    "hbft_cli: drill kills the serving replica; use run for standing-backup "
                    "failures\n");
@@ -110,6 +150,31 @@ int DrillCommand(FlagSet& flags) {
   }
   ReportLine("takeovers", std::to_string(stage));
 
+  bool repair_ok = true;
+  if (!ft.resyncs.empty()) {
+    // Repair breakdown: transfer latency from rejoin to the joiner coming
+    // online, and what it cost the wire.
+    std::printf("-- repair --\n");
+    size_t resync_stage = 0;
+    for (const ResyncReport& resync : ft.resyncs) {
+      const std::string suffix =
+          resync_stage == 0 ? std::string() : "_" + std::to_string(resync_stage + 1);
+      ReportYesNo("resync_completed" + suffix, resync.completed);
+      repair_ok = repair_ok && resync.completed;
+      if (resync.completed) {
+        ReportF("resync_latency_ms" + suffix, (resync.join_time - resync.start).seconds() * 1e3);
+        ReportF("  resync_cut_ms" + suffix, (resync.cut_time - resync.start).seconds() * 1e3);
+        ReportLine("resync_bytes" + suffix, std::to_string(resync.bytes));
+        ReportLine("  resync_page_chunks" + suffix, std::to_string(resync.page_chunks));
+        ReportLine("  resync_zero_runs" + suffix, std::to_string(resync.zero_run_chunks));
+        ReportLine("  resync_delta_pages" + suffix, std::to_string(resync.delta_pages));
+        ReportLine("  resync_rounds" + suffix, std::to_string(resync.rounds));
+        ReportLine("resync_join_epoch" + suffix, std::to_string(resync.join_epoch));
+      }
+      ++resync_stage;
+    }
+  }
+
   std::printf("-- transparency --\n");
   bool ok = ft.exited_flag == 1;
   ReportLine("guest_exit",
@@ -121,7 +186,7 @@ int DrillCommand(FlagSet& flags) {
                                    (checksum_ok ? ", match)" : ", MISMATCH)"));
   ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace, ft.issuer_chain());
   ReportLine("env_consistency", env.ok ? "ok" : "FAIL: " + env.detail);
-  ok = ok && env.ok;
+  ok = ok && env.ok && repair_ok;
   ReportLine("verdict", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

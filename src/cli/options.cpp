@@ -221,10 +221,23 @@ bool ParseFailTarget(const std::string& value, FailurePlan* plan) {
 
 bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* description) {
   FailurePlan plan;
-  bool has_time = false;
-  bool has_phase = false;
+  int time_keys = 0;    // time-ms / after-resync-ms occurrences.
+  int phase_keys = 0;   // phase occurrences.
+  int rejoin_keys = 0;  // rejoin-time-ms / rejoin-after-ms occurrences.
   bool has_phase_only_key = false;  // epoch= / io-seq= constrain phase kills.
   std::string desc;
+
+  auto parse_ms = [](const std::string& value, const char* key, SimTime* t) {
+    char* end = nullptr;
+    double ms = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "hbft_cli: --fail %s expects a number, got '%s'\n", key,
+                   value.c_str());
+      return false;
+    }
+    *t = SimTime::Picos(static_cast<int64_t>(ms * 1e9));
+    return true;
+  };
 
   size_t pos = 0;
   while (pos <= spec.size()) {
@@ -240,17 +253,34 @@ bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* descr
     std::string value = eq == std::string::npos ? "" : part.substr(eq + 1);
 
     if (key == "time-ms") {
-      char* end = nullptr;
-      double ms = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0') {
-        std::fprintf(stderr, "hbft_cli: --fail time-ms expects a number, got '%s'\n",
-                     value.c_str());
+      if (!parse_ms(value, "time-ms", &plan.time)) {
         return false;
       }
       plan.kind = FailurePlan::Kind::kAtTime;
-      plan.time = SimTime::Picos(static_cast<int64_t>(ms * 1e9));
-      has_time = true;
+      ++time_keys;
       desc = "at-time " + value + " ms" + desc;
+    } else if (key == "rejoin-time-ms" || key == "rejoin-after-ms") {
+      // Repair events: spawn a fresh replica below the chain's tail and
+      // stream it the live state transfer — at an absolute time, or a delay
+      // after the previous schedule event fired.
+      if (!parse_ms(value, key.c_str(), &plan.time)) {
+        return false;
+      }
+      plan.kind = FailurePlan::Kind::kRejoin;
+      plan.relative = key == "rejoin-after-ms";
+      ++rejoin_keys;
+      desc = (plan.relative ? "rejoin +" : "rejoin at ") + value + " ms" + desc;
+    } else if (key == "after-resync-ms") {
+      // Kill the active replica `value` ms after the pending rejoin's state
+      // transfer completes — the fail -> rejoin -> fail drill without
+      // guessing transfer durations.
+      if (!parse_ms(value, "after-resync-ms", &plan.time)) {
+        return false;
+      }
+      plan.kind = FailurePlan::Kind::kAtTime;
+      plan.after_resync = true;
+      ++time_keys;
+      desc = "kill +" + value + " ms after resync" + desc;
     } else if (key == "phase") {
       auto phase = ParseFailPhase(value);
       if (!phase) {
@@ -261,7 +291,7 @@ bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* descr
       }
       plan.kind = FailurePlan::Kind::kAtPhase;
       plan.phase = *phase;
-      has_phase = true;
+      ++phase_keys;
       desc = "at-phase " + value + desc;
     } else if (key == "epoch") {
       char* end = nullptr;
@@ -303,14 +333,25 @@ bool ParseFailSpec(const std::string& spec, FailurePlan* out, std::string* descr
     } else {
       std::fprintf(stderr,
                    "hbft_cli: unknown --fail key '%s' (time-ms, phase, epoch, io-seq, target, "
-                   "crash-io)\n",
+                   "crash-io, rejoin-time-ms, rejoin-after-ms, after-resync-ms)\n",
                    key.c_str());
       return false;
     }
   }
 
-  if (has_time == has_phase) {  // Neither or both.
-    std::fprintf(stderr, "hbft_cli: --fail needs exactly one of time-ms=... or phase=...\n");
+  // Exactly one event key per spec — a repeated or conflicting key would
+  // silently overwrite the earlier one's fields, so it fails loudly instead.
+  if (time_keys + phase_keys + rejoin_keys != 1) {
+    std::fprintf(stderr,
+                 "hbft_cli: --fail needs exactly one of time-ms=..., phase=..., "
+                 "rejoin-time-ms=..., rejoin-after-ms=..., or after-resync-ms=...\n");
+    return false;
+  }
+  const bool has_time = time_keys > 0;
+  const bool has_phase = phase_keys > 0;
+  if (rejoin_keys > 0 && (has_phase_only_key || plan.target != FailurePlan::Target::kActive ||
+                          plan.crash_io != FailurePlan::CrashIo::kRandom)) {
+    std::fprintf(stderr, "hbft_cli: --fail rejoin events take no kill modifiers\n");
     return false;
   }
   if (has_time && has_phase_only_key) {
@@ -592,12 +633,20 @@ bool ParseScenarioFlags(FlagSet& flags, ScenarioFlags* out) {
     out->has_failure = true;
   }
 
+  bool seen_rejoin = false;
   for (const FailurePlan& plan : out->failures) {
     if (plan.target == FailurePlan::Target::kBackup && plan.backup_index >= out->backups) {
       std::fprintf(stderr,
                    "hbft_cli: failure targets backup %d but the chain has only %d backup(s) "
                    "(see --backups)\n",
                    plan.backup_index, out->backups);
+      return false;
+    }
+    seen_rejoin = seen_rejoin || plan.kind == FailurePlan::Kind::kRejoin;
+    if (plan.after_resync && !seen_rejoin) {
+      std::fprintf(stderr,
+                   "hbft_cli: --fail=after-resync-ms needs an earlier rejoin event "
+                   "(rejoin-time-ms / rejoin-after-ms) to wait for\n");
       return false;
     }
   }

@@ -1,9 +1,13 @@
 // `hbft_cli run` — execute one workload bare, replicated, or both, and print
 // a comparison report (the paper's N'/N figure of merit when both ran).
+// With --json the same information is emitted as one machine-readable
+// document on stdout, so CI and scripts consume structured output instead of
+// scraping the text report.
 #include <cstdio>
 #include <string>
 
 #include "cli/commands.hpp"
+#include "cli/json.hpp"
 #include "cli/options.hpp"
 #include "perf/report.hpp"
 #include "sim/environment_observer.hpp"
@@ -91,11 +95,115 @@ void ReportTransportStats(const ScenarioResult& r) {
   std::fputs(RenderTransportTable(rows).c_str(), stdout);
 }
 
+void ReportResyncStats(const ScenarioResult& r) {
+  for (size_t i = 0; i < r.resyncs.size(); ++i) {
+    const ResyncReport& resync = r.resyncs[i];
+    const std::string suffix = i == 0 ? std::string() : "_" + std::to_string(i + 1);
+    ReportYesNo("resync_completed" + suffix, resync.completed);
+    if (!resync.completed) {
+      continue;
+    }
+    ReportF("resync_latency_ms" + suffix, (resync.join_time - resync.start).seconds() * 1e3);
+    ReportLine("resync_bytes" + suffix, std::to_string(resync.bytes));
+    ReportLine("resync_page_chunks" + suffix, std::to_string(resync.page_chunks));
+    ReportLine("resync_delta_pages" + suffix, std::to_string(resync.delta_pages));
+    ReportLine("resync_rounds" + suffix, std::to_string(resync.rounds));
+  }
+}
+
+// --- JSON assembly (run --json) ---------------------------------------------
+
+JsonValue OutcomeJson(const ScenarioResult& r) {
+  JsonValue doc = JsonValue::Object()
+                      .Set("completed", r.completed)
+                      .Set("timed_out", r.timed_out)
+                      .Set("deadlocked", r.deadlocked)
+                      .Set("service_lost", r.service_lost)
+                      .Set("runtime_s", r.completion_time.seconds())
+                      .Set("exited_flag", static_cast<uint64_t>(r.exited_flag))
+                      .Set("exit_code", static_cast<uint64_t>(r.exit_code))
+                      .Set("guest_checksum", static_cast<uint64_t>(r.guest_checksum))
+                      .Set("clock_ticks", static_cast<uint64_t>(r.ticks))
+                      .Set("console_bytes", static_cast<uint64_t>(r.console_output.size()));
+  return doc;
+}
+
+JsonValue ReplicationJson(const ScenarioResult& r) {
+  JsonValue crash_times = JsonValue::Array();
+  for (SimTime t : r.crash_times) {
+    crash_times.Push(t.seconds() * 1e3);
+  }
+  JsonValue nodes = JsonValue::Array();
+  for (const ScenarioResult::NodeReport& node : r.nodes) {
+    nodes.Push(JsonValue::Object()
+                   .Set("id", node.id)
+                   .Set("promoted", node.promoted)
+                   .Set("promotion_time_ms", node.promotion_time.seconds() * 1e3)
+                   .Set("rejoined", node.rejoined)
+                   .Set("joined", node.joined)
+                   .Set("join_epoch", node.join_epoch)
+                   .Set("epochs", node.stats.epochs)
+                   .Set("messages_sent", node.stats.messages_sent)
+                   .Set("acks_received", node.stats.acks_received)
+                   .Set("io_issued", node.stats.io_issued)
+                   .Set("uncertain_synthesised", node.stats.uncertain_synthesised));
+  }
+  JsonValue resyncs = JsonValue::Array();
+  for (const ResyncReport& resync : r.resyncs) {
+    resyncs.Push(JsonValue::Object()
+                     .Set("source", static_cast<uint64_t>(resync.source))
+                     .Set("joined", static_cast<uint64_t>(resync.joined))
+                     .Set("completed", resync.completed)
+                     .Set("start_ms", resync.start.seconds() * 1e3)
+                     .Set("cut_ms", resync.cut_time.seconds() * 1e3)
+                     .Set("join_ms", resync.join_time.seconds() * 1e3)
+                     .Set("latency_ms", (resync.join_time - resync.start).seconds() * 1e3)
+                     .Set("join_epoch", resync.join_epoch)
+                     .Set("bytes", resync.bytes)
+                     .Set("page_chunks", resync.page_chunks)
+                     .Set("zero_run_chunks", resync.zero_run_chunks)
+                     .Set("full_pages", resync.full_pages)
+                     .Set("delta_pages", resync.delta_pages)
+                     .Set("rounds", resync.rounds));
+  }
+  return JsonValue::Object()
+      .Set("replicas", static_cast<uint64_t>(r.nodes.size()))
+      .Set("promoted", r.promoted)
+      .Set("promotion_time_ms", r.promotion_time.seconds() * 1e3)
+      .Set("crash_times_ms", std::move(crash_times))
+      .Set("nodes", std::move(nodes))
+      .Set("resyncs", std::move(resyncs));
+}
+
+JsonValue TransportJson(const ScenarioResult& r) {
+  JsonValue channels = JsonValue::Array();
+  for (const ScenarioResult::ChannelReport& ch : r.channels) {
+    channels.Push(JsonValue::Object()
+                      .Set("from", static_cast<uint64_t>(ch.from))
+                      .Set("to", static_cast<uint64_t>(ch.to))
+                      .Set("mode", ch.mode == ChannelMode::kOrdered ? "protocol" : "acks")
+                      .Set("messages_enqueued", ch.counters.messages_enqueued)
+                      .Set("wire_sends", ch.counters.wire_sends)
+                      .Set("retransmits", ch.counters.retransmits)
+                      .Set("rx_discards", ch.counters.rx_duplicates + ch.counters.rx_gaps)
+                      .Set("queue_drops", ch.counters.queue_drops)
+                      .Set("bytes_on_wire", ch.counters.bytes_on_wire)
+                      .Set("bytes_delivered", ch.counters.bytes_delivered));
+  }
+  return JsonValue::Object()
+      .Set("retransmits", r.TotalRetransmits())
+      .Set("wire_bytes", r.TotalWireBytes())
+      .Set("delivered_bytes", r.TotalDeliveredBytes())
+      .Set("goodput_mbps", r.GoodputBps() / 1e6)
+      .Set("channels", std::move(channels));
+}
+
 }  // namespace
 
 int RunCommand(FlagSet& flags) {
   ScenarioFlags scenario;
   std::string mode = flags.GetString("mode", "both");
+  const bool json = flags.Has("json");
   if (!ParseScenarioFlags(flags, &scenario) || !flags.Finish()) {
     return 2;
   }
@@ -105,6 +213,52 @@ int RunCommand(FlagSet& flags) {
   }
   const bool want_bare = mode != "replicated";
   const bool want_replicated = mode != "bare";
+
+  if (json) {
+    // Machine-readable path: one document on stdout, nothing else.
+    JsonValue doc = JsonValue::Object()
+                        .Set("command", "run")
+                        .Set("workload", WorkloadKindName(scenario.workload.kind))
+                        .Set("iterations", static_cast<uint64_t>(scenario.workload.iterations))
+                        .Set("mode", mode)
+                        .Set("variant", VariantName(scenario.variant))
+                        .Set("epoch_length", scenario.epoch_length)
+                        .Set("backups", scenario.backups)
+                        .Set("seed", scenario.seed)
+                        .Set("failure", scenario.failure_description);
+    int rc = 0;
+    ScenarioResult bare;
+    if (want_bare) {
+      bare = scenario.Bare().Run();
+      doc.Set("bare", OutcomeJson(bare));
+      if (!bare.completed || bare.exited_flag != 1) {
+        rc = 1;
+      }
+    }
+    if (want_replicated) {
+      ScenarioResult ft = scenario.Replicated().Run();
+      JsonValue rep = OutcomeJson(ft);
+      rep.Set("replication", ReplicationJson(ft));
+      rep.Set("transport", TransportJson(ft));
+      doc.Set("replicated", std::move(rep));
+      if (!ft.completed || ft.exited_flag != 1) {
+        rc = 1;
+      }
+      if (want_bare && bare.completed && ft.completed) {
+        ConsistencyResult env = CheckEnvConsistency(bare.env_trace, ft.env_trace,
+                                                    ft.issuer_chain());
+        doc.Set("comparison", JsonValue::Object()
+                                  .Set("normalized_performance", NormalizedPerformance(ft, bare))
+                                  .Set("env_consistency", env.ok)
+                                  .Set("env_consistency_detail", env.ok ? "" : env.detail));
+        if (!env.ok) {
+          rc = 1;
+        }
+      }
+    }
+    std::fputs(doc.Dump().c_str(), stdout);
+    return rc;
+  }
 
   std::printf("== hbft run report ==\n");
   ReportLine("workload", WorkloadKindName(scenario.workload.kind));
@@ -146,6 +300,9 @@ int RunCommand(FlagSet& flags) {
     ScenarioResult ft = scenario.Replicated().Run();
     ReportOutcome("replicated", ft);
     ReportReplicationStats(ft);
+    if (!ft.resyncs.empty()) {
+      ReportResyncStats(ft);
+    }
     if (scenario.link_faults.Enabled() || scenario.pipeline_depth > 0 ||
         scenario.ack_batch > 1) {
       ReportTransportStats(ft);

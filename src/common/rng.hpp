@@ -30,6 +30,11 @@ class DeterministicRng {
   // Creates an independent stream derived from this one (for sub-components).
   DeterministicRng Fork();
 
+  // Raw generator state, exposed so snapshots can clone a stream exactly
+  // (restoring it reproduces the identical draw sequence).
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

@@ -1,0 +1,24 @@
+#include "common/snapshot.hpp"
+
+namespace hbft {
+
+Snapshot CaptureSnapshot(const Snapshotable& source) {
+  Snapshot snapshot;
+  SnapshotWriter writer(&snapshot);
+  WriteSnapshotHeader(writer);
+  source.CaptureState(writer);
+  return snapshot;
+}
+
+bool RestoreSnapshot(const Snapshot& snapshot, Snapshotable* target) {
+  SnapshotReader reader(snapshot);
+  if (!ReadSnapshotHeader(reader)) {
+    return false;
+  }
+  if (!target->RestoreState(reader)) {
+    return false;
+  }
+  return reader.AtEnd();
+}
+
+}  // namespace hbft

@@ -1,5 +1,8 @@
 #include "core/backup.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 
@@ -162,6 +165,7 @@ void BackupNode::TryAdvanceBoundary() {
       hv_.BeginEpoch();
       state_ = State::kRun;
       runnable_ = true;
+      TransferBoundaryHook();
     } else if (failure_detected_) {
       PromoteAtBoundary();
     }
@@ -225,6 +229,7 @@ void BackupNode::PromoteAtBoundary() {
   hv_.BeginEpoch();
   state_ = State::kRun;
   runnable_ = true;
+  TransferBoundaryHook();
 }
 
 void BackupNode::PromoteMidEpoch() {
@@ -248,8 +253,8 @@ void BackupNode::FlushPendingInputs() {
 }
 
 void BackupNode::InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) {
-  if (dead_ || halted_) {
-    return;
+  if (dead_ || halted_ || joining_) {
+    return;  // A joiner never serves the environment; the world routes around it.
   }
   VirtualDevice* dev = hv_.devices().by_id(device);
   HBFT_CHECK(dev != nullptr);
@@ -323,6 +328,7 @@ void BackupNode::FinishActiveBoundary() {
   hv_.BeginEpoch();
   state_ = State::kRun;
   runnable_ = true;
+  TransferBoundaryHook();
 }
 
 void BackupNode::HandleIoInitiation(const IoDescriptor& io) {
@@ -370,13 +376,14 @@ void BackupNode::RelayDownstream(const Message& msg) {
 
 void BackupNode::ReleaseDeferredAcks() {
   // The i-th relay sent downstream releases the i-th deferred upstream ack
-  // (both channels are FIFO, and while this node is passive every downstream
-  // send is a relay). With ack batching one cumulative ack covers every
-  // release in the batch.
+  // (both channels are FIFO, and once this node relays every downstream send
+  // is a relay; `down_ack_base_` discounts the state-transfer chunks that a
+  // rejoin put on the channel first). With ack batching one cumulative ack
+  // covers every release in the batch.
   const bool coalesce = replication_.ack_batch > 1;
   bool released = false;
   uint64_t last = 0;
-  while (!deferred_up_acks_.empty() && deferred_released_ < down_acked_count_) {
+  while (!deferred_up_acks_.empty() && deferred_released_ + down_ack_base_ < down_acked_count_) {
     uint64_t seq = deferred_up_acks_.front();
     deferred_up_acks_.pop_front();
     ++deferred_released_;
@@ -397,6 +404,20 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
     return;
   }
   CatchUpClock(now);
+
+  if (msg.type == MsgType::kStateChunk) {
+    // Live state transfer: only a joining replica consumes chunks, and FIFO
+    // order means everything before the control chunk is a chunk.
+    HBFT_CHECK(joining_) << "state chunk delivered to a non-joining replica";
+    hv_.AdvanceClock(costs_.msg_receive_cpu_cost);
+    ++stats_.messages_received;
+    ApplyStateChunk(msg, now);
+    // Ack immediately (never batched): the source's pre-copy window is paced
+    // by these, and a parked joiner has no boundary to flush a batch at.
+    SendAckUp(msg.seq);
+    return;
+  }
+  HBFT_CHECK(!joining_) << "protocol message reached a replica still joining";
 
   if (msg.type == MsgType::kAck) {
     // Acknowledgment from this node's own downstream backup.
@@ -439,7 +460,8 @@ void BackupNode::OnMessage(const Message& msg, SimTime now) {
       ++ends_received_;
       break;
     case MsgType::kAck:
-      break;  // Handled above.
+    case MsgType::kStateChunk:
+      break;  // Both handled above.
   }
 
   if (replicating_down()) {
@@ -532,6 +554,7 @@ void BackupNode::OnDownstreamFailureDetected(SimTime t) {
   if (dead_ || halted_ || down_lost_) {
     return;
   }
+  AbortStateTransfer();  // No-op unless the dead downstream was mid-join.
   down_lost_ = true;
   CatchUpClock(t);
   if (down_out_ != nullptr) {
@@ -563,6 +586,141 @@ void BackupNode::HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload 
   CatchUpClock(event_time);
   hv_.AdvanceClock(costs_.hv_interrupt_deliver_cost);
   BufferAndRelay(std::move(payload), replicating_down());  // P1, primary role.
+}
+
+void BackupNode::OnDownstreamAttached() {
+  // The previous downstream (if any) is dead and its deferred acks were
+  // flushed when its failure was detected; start clean for the joiner.
+  down_lost_ = false;
+  deferred_up_acks_.clear();
+  deferred_released_ = 0;
+  down_ack_base_ = 0;
+}
+
+void BackupNode::OnStateTransferCut() {
+  // From here every upstream message is relayed to (or, when active, every
+  // environment value is generated for) the joiner: its numbering continues
+  // exactly after the values the snapshot already carries.
+  down_env_seq_ = next_env_seq_ + env_values_.size();
+  deferred_released_ = 0;
+  down_ack_base_ = down_out_->messages_enqueued();
+}
+
+void BackupNode::CaptureResyncNodeState(SnapshotWriter& w) const {
+  w.U64(epoch_);
+  w.U64(next_env_seq_);
+  w.U32(static_cast<uint32_t>(env_values_.size()));
+  for (const Message& msg : env_values_) {
+    w.U64(msg.env_seq);
+    w.U64(msg.env_value);
+  }
+  // Standing source: the joiner mirrors this node's P5 bookkeeping — the
+  // boundary messages received ahead of the cut travel in the snapshot, and
+  // only post-cut messages are relayed. Active source: the joiner's next
+  // [end, E] comes from this node's own boundary and carries E = epoch_.
+  w.U64(active_ ? epoch_ : ends_received_);
+  w.U32(static_cast<uint32_t>(tme_queue_.size()));
+  for (uint64_t tme : tme_queue_) {
+    w.U64(tme);
+  }
+  // Outstanding operations (the joiner's P7 re-drive set on a later
+  // failover): suppressed initiations while standing, real in-flight
+  // operations while active.
+  if (active_) {
+    CaptureOutstandingRealOps(w);
+  } else {
+    w.U32(static_cast<uint32_t>(outstanding_io_.size()));
+    for (const auto& [seq, io] : outstanding_io_) {
+      CaptureIoDescriptor(w, io);
+    }
+  }
+}
+
+void BackupNode::ApplyStateChunk(const Message& msg, SimTime now) {
+  PhysicalMemory& memory = hv_.machine().memory();
+  switch (msg.state_kind) {
+    case StateChunkKind::kPage: {
+      HBFT_CHECK_EQ(msg.state_data.size(), static_cast<size_t>(kPageBytes));
+      HBFT_CHECK(msg.state_page < memory.PageCount());
+      memory.WriteBlock(msg.state_page * kPageBytes, msg.state_data.data(), kPageBytes);
+      break;
+    }
+    case StateChunkKind::kZeroRun: {
+      HBFT_CHECK(msg.state_page_count > 0 &&
+                 msg.state_page + msg.state_page_count <= memory.PageCount());
+      static const std::vector<uint8_t> kZeroPage(kPageBytes, 0);
+      for (uint32_t i = 0; i < msg.state_page_count; ++i) {
+        // Later deltas may re-zero a page sent earlier: write, don't assume.
+        memory.WriteBlock((msg.state_page + i) * kPageBytes, kZeroPage.data(), kPageBytes);
+      }
+      break;
+    }
+    case StateChunkKind::kControl: {
+      SnapshotReader reader(msg.state_data);
+      HBFT_CHECK(ReadSnapshotHeader(reader)) << "resync control snapshot: bad header";
+      HBFT_CHECK(RestoreFromResync(reader)) << "resync control snapshot: malformed";
+      HBFT_CHECK(reader.AtEnd()) << "resync control snapshot: trailing bytes";
+      joining_ = false;
+      joined_ = true;
+      state_ = State::kRun;
+      runnable_ = true;
+      // The restored clock is the source's at the cut; this node handles the
+      // arrival no earlier than now.
+      CatchUpClock(now);
+      join_time_ = hv_.clock();
+      join_epoch_ = epoch_;
+      if (on_joined_) {
+        on_joined_(join_time_, join_epoch_);
+      }
+      break;
+    }
+  }
+}
+
+bool BackupNode::RestoreFromResync(SnapshotReader& r) {
+  if (!hv_.RestoreState(r, /*include_memory=*/false)) {
+    return false;
+  }
+  uint64_t env_count = 0;
+  uint32_t env_count32 = 0;
+  if (!r.U64(&epoch_) || !r.U64(&next_env_seq_) || !r.U32(&env_count32)) {
+    return false;
+  }
+  env_count = env_count32;
+  env_values_.clear();
+  for (uint64_t i = 0; i < env_count; ++i) {
+    Message msg;
+    msg.type = MsgType::kEnvValue;
+    if (!r.U64(&msg.env_seq) || !r.U64(&msg.env_value)) {
+      return false;
+    }
+    env_values_.push_back(std::move(msg));
+  }
+  uint32_t tme_count = 0;
+  if (!r.U64(&ends_received_) || !r.U32(&tme_count)) {
+    return false;
+  }
+  tme_queue_.clear();
+  for (uint32_t i = 0; i < tme_count; ++i) {
+    uint64_t tme = 0;
+    if (!r.U64(&tme)) {
+      return false;
+    }
+    tme_queue_.push_back(tme);
+  }
+  uint32_t outstanding_count = 0;
+  if (!r.U32(&outstanding_count)) {
+    return false;
+  }
+  outstanding_io_.clear();
+  for (uint32_t i = 0; i < outstanding_count; ++i) {
+    IoDescriptor io;
+    if (!RestoreIoDescriptor(r, &io)) {
+      return false;
+    }
+    outstanding_io_[io.guest_op_seq] = std::move(io);
+  }
+  return true;
 }
 
 }  // namespace hbft

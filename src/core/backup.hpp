@@ -67,6 +67,11 @@ class BackupNode : public ReplicaNodeBase {
   bool promoted() const { return promoted_; }
   SimTime promotion_time() const { return promotion_time_; }
 
+  // Ready to adopt a joiner: no downstream, or the old one's failure has
+  // already been detected (a pending detection callback must not land on a
+  // freshly-attached transfer).
+  bool CanAdoptJoiner() const override { return down_out_ == nullptr || down_lost_; }
+
  private:
   enum class State {
     kRun,
@@ -82,8 +87,23 @@ class BackupNode : public ReplicaNodeBase {
                           SimTime event_time) override;
   void OnTransportReackNeeded(SimTime now) override;
 
-  // Whether this node still replicates to a live downstream backup.
-  bool replicating_down() const { return down_out_ != nullptr && !down_lost_; }
+  // Repair. Source side: a standing backup (or promoted active replica)
+  // streams to a joiner attached below it; until the cut it must not treat
+  // the joiner as a protocol downstream (no relays, no deferred acks).
+  // Receiver side: ApplyStateChunk absorbs pages, and the control chunk
+  // restores the full machine + protocol state, completing the join.
+  void CaptureResyncNodeState(SnapshotWriter& w) const override;
+  void OnStateTransferCut() override;
+  void OnDownstreamAttached() override;
+  void ApplyStateChunk(const Message& msg, SimTime now);
+  bool RestoreFromResync(SnapshotReader& r);
+
+  // Whether this node replicates to a live downstream backup. False while a
+  // state transfer is streaming: the joiner cannot consume protocol messages
+  // until it holds the complete snapshot.
+  bool replicating_down() const {
+    return down_out_ != nullptr && !down_lost_ && !transfer_active_;
+  }
 
   void SendAckUp(uint64_t seq);
   // Ack batching (ReplicationConfig::ack_batch): coalesces direct upstream
@@ -124,9 +144,12 @@ class BackupNode : public ReplicaNodeBase {
 
   // Cascaded acknowledgments: upstream sequence numbers whose ack waits for
   // the corresponding relay's downstream ack (FIFO on both channels, so the
-  // i-th outstanding relay releases the front entry).
+  // i-th outstanding relay releases the front entry). After a state
+  // transfer, `down_ack_base_` discounts the chunk messages that precede the
+  // first relay on the (fresh) downstream channel.
   std::deque<uint64_t> deferred_up_acks_;
   uint64_t deferred_released_ = 0;  // Relays whose upstream ack went out.
+  uint64_t down_ack_base_ = 0;      // Downstream enqueue count at the cut.
 
   // Ack batching state (direct-ack path) and the cumulative high-water mark
   // actually announced upstream (repeated on transport re-ack requests).

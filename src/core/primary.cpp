@@ -1,5 +1,8 @@
 #include "core/primary.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 
@@ -153,6 +156,22 @@ void PrimaryNode::FinishBoundary() {
   hv_.BeginEpoch();
   state_ = State::kRun;
   runnable_ = true;
+  TransferBoundaryHook();
+}
+
+void PrimaryNode::OnDownstreamAttached() {
+  // A primary only adopts a joiner once its own backup is gone — with a
+  // live chain, the transfer source is the chain's tail, never the primary.
+  HBFT_CHECK(solo_) << "primary asked to adopt a joiner while still replicating";
+}
+
+void PrimaryNode::CaptureResyncNodeState(SnapshotWriter& w) const {
+  w.U64(epoch_);
+  w.U64(env_seq_);  // The joiner's env-value numbering continues this counter.
+  w.U32(0);         // No queued environment values: the primary generates them.
+  w.U64(epoch_);    // Next [end, E] the joiner will see carries E = epoch_.
+  w.U32(0);         // No queued [Tme_p] values.
+  CaptureOutstandingRealOps(w);
 }
 
 void PrimaryNode::OnMessage(const Message& msg, SimTime now) {
@@ -201,7 +220,19 @@ void PrimaryNode::InjectInput(DeviceId device, const std::vector<uint8_t>& paylo
 }
 
 void PrimaryNode::OnDownstreamFailureDetected(SimTime t) {
-  if (dead_ || halted_ || solo_) {
+  if (dead_ || halted_) {
+    return;
+  }
+  if (transfer_active_) {
+    // The joiner died before the cut: abandon the stream, stay solo.
+    AbortStateTransfer();
+    CatchUpClock(t);
+    if (down_out_ != nullptr) {
+      down_out_->AbandonRetransmits();
+    }
+    return;
+  }
+  if (solo_) {
     return;
   }
   solo_ = true;

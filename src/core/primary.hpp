@@ -41,6 +41,9 @@ class PrimaryNode : public ReplicaNodeBase {
 
   bool solo() const { return solo_; }
 
+  // A primary adopts a joiner only once it knows its backup is gone.
+  bool CanAdoptJoiner() const override { return solo_; }
+
   // Environment input (console characters, NIC packets): buffered as a
   // device interrupt and relayed like any other.
   void InjectInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t) override;
@@ -55,6 +58,12 @@ class PrimaryNode : public ReplicaNodeBase {
   void OnMessage(const Message& msg, SimTime now) override;
   void HandleIoCompletion(const IoDescriptor& io, IoCompletionPayload payload,
                           SimTime event_time) override;
+
+  // Repair (transfer source): a solo primary streams its state to a fresh
+  // joiner and, at the cut, drops solo mode — the joiner is its new backup.
+  void CaptureResyncNodeState(SnapshotWriter& w) const override;
+  void OnStateTransferCut() override { solo_ = false; }
+  void OnDownstreamAttached() override;
 
   void StartBoundary();
   void FinishBoundary();

@@ -1,6 +1,7 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -226,6 +227,155 @@ void ReplicaNodeBase::OnRealOpComplete(DeviceId device_id, uint64_t op_id, SimTi
   DeviceBackend* backend = hv_.devices().by_id(device_id)->backend();
   IoCompletionPayload payload = backend->Complete(op_id, io);
   HandleIoCompletion(io, std::move(payload), event_time);
+}
+
+void ReplicaNodeBase::NoteDownAck(uint64_t ack_seq) {
+  if (ack_seq + 1 > down_acked_count_) {
+    down_acked_count_ = ack_seq + 1;
+  }
+  if (down_out_ != nullptr) {
+    down_out_->OnCumulativeAck(down_acked_count_, hv_.clock());
+  }
+  PumpStateTransfer();
+}
+
+void ReplicaNodeBase::StartAsJoiner() {
+  joining_ = true;
+  runnable_ = false;
+  // The constructor booted the guest image; the transferred pages replace
+  // everything, and untouched pages must read as the source's zeroes.
+  hv_.machine().memory().Fill(0);
+}
+
+void ReplicaNodeBase::AttachJoiningDownstream(Channel* down_out, Channel* down_in, SimTime t) {
+  HBFT_CHECK(down_out != nullptr && down_in != nullptr);
+  HBFT_CHECK(!transfer_active_) << "a transfer is already streaming from this node";
+  down_out_ = down_out;
+  down_in_ = down_in;
+  // Ack bookkeeping restarts with the fresh channel pair: counts against a
+  // dead downstream's channel are meaningless for the new one.
+  down_acked_count_ = 0;
+  epoch_sent_marks_.clear();
+  OnDownstreamAttached();
+  BeginStateTransfer(t);
+}
+
+void ReplicaNodeBase::BeginStateTransfer(SimTime t) {
+  CatchUpClock(t);
+  PhysicalMemory& memory = hv_.machine().memory();
+  memory.BeginTransferTracking();
+  transfer_ = std::make_unique<StateTransferSource>(memory.PageCount(), replication_.resync,
+                                                    hv_.clock());
+  transfer_active_ = true;
+  PumpStateTransfer();
+}
+
+uint64_t ReplicaNodeBase::UnackedDownstream() const {
+  uint64_t enqueued = down_out_->messages_enqueued();
+  return enqueued > down_acked_count_ ? enqueued - down_acked_count_ : 0;
+}
+
+void ReplicaNodeBase::PumpStateTransfer() {
+  if (!transfer_active_ || dead_ || halted_) {
+    return;
+  }
+  while (transfer_->HasPending() && UnackedDownstream() < transfer_->window()) {
+    SendNextStateChunk();
+  }
+}
+
+void ReplicaNodeBase::SendNextStateChunk() {
+  PhysicalMemory& memory = hv_.machine().memory();
+  uint32_t page = transfer_->PopPage();
+  Message msg;
+  msg.type = MsgType::kStateChunk;
+  msg.epoch = epoch_;
+  if (memory.PageIsZero(page)) {
+    // Coalesce the run of consecutive queued zero pages into one chunk.
+    uint32_t count = 1;
+    while (transfer_->HasPending() && transfer_->PeekPage() == page + count &&
+           memory.PageIsZero(transfer_->PeekPage())) {
+      transfer_->PopPage();
+      ++count;
+    }
+    msg.state_kind = StateChunkKind::kZeroRun;
+    msg.state_page = page;
+    msg.state_page_count = count;
+    transfer_->NoteZeroRun(msg.WireSize());
+  } else {
+    msg.state_kind = StateChunkKind::kPage;
+    msg.state_page = page;
+    msg.state_data.resize(kPageBytes);
+    memory.ReadBlock(page * kPageBytes, msg.state_data.data(), kPageBytes);
+    transfer_->NotePageChunk(msg.WireSize());
+  }
+  SendDown(std::move(msg));
+}
+
+void ReplicaNodeBase::AbortStateTransfer() {
+  if (!transfer_active_) {
+    return;
+  }
+  hv_.machine().memory().EndTransferTracking();
+  transfer_active_ = false;
+}
+
+void ReplicaNodeBase::CaptureOutstandingRealOps(SnapshotWriter& w) const {
+  std::vector<const IoDescriptor*> outstanding;
+  outstanding.reserve(pending_real_.size());
+  for (const auto& [key, io] : pending_real_) {
+    outstanding.push_back(&io);
+  }
+  std::sort(outstanding.begin(), outstanding.end(),
+            [](const IoDescriptor* a, const IoDescriptor* b) {
+              return a->guest_op_seq < b->guest_op_seq;
+            });
+  w.U32(static_cast<uint32_t>(outstanding.size()));
+  for (const IoDescriptor* io : outstanding) {
+    CaptureIoDescriptor(w, *io);
+  }
+}
+
+void ReplicaNodeBase::TransferBoundaryHook() {
+  if (!transfer_active_ || dead_ || halted_) {
+    return;
+  }
+  PhysicalMemory& memory = hv_.machine().memory();
+  std::vector<uint32_t> dirty = memory.TakeTransferDirtyPages();
+  if (!transfer_->ReadyToCut(dirty.size())) {
+    transfer_->EnqueueDelta(dirty);
+    PumpStateTransfer();
+    return;
+  }
+
+  // Quiesce + cut: the final dirty pages and the control snapshot leave
+  // before the guest executes another instruction, so the stream up to here
+  // is exactly the machine at the start of epoch `epoch_`. FIFO order makes
+  // every post-cut protocol message land on a fully-restored joiner.
+  transfer_->EnqueueDelta(dirty);
+  while (transfer_->HasPending()) {
+    SendNextStateChunk();
+  }
+  Snapshot control;
+  SnapshotWriter w(&control);
+  WriteSnapshotHeader(w);
+  hv_.CaptureState(w, /*include_memory=*/false);
+  CaptureResyncNodeState(w);
+  Message done;
+  done.type = MsgType::kStateChunk;
+  done.state_kind = StateChunkKind::kControl;
+  done.epoch = epoch_;
+  done.state_data = std::move(control.bytes);
+  transfer_->NoteControl(done.WireSize());
+  SendDown(std::move(done));
+
+  memory.EndTransferTracking();
+  transfer_active_ = false;
+  transfer_->MarkCut(hv_.clock(), epoch_);
+  OnStateTransferCut();
+  if (on_resync_cut_) {
+    on_resync_cut_(hv_.clock(), transfer_->report());
+  }
 }
 
 void ReplicaNodeBase::BufferAndRelay(IoCompletionPayload payload, bool relay) {

@@ -47,7 +47,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/time.hpp"
+#include "core/state_transfer.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "net/channel.hpp"
 
@@ -80,6 +82,10 @@ struct ReplicationConfig {
   // transition into a blocked state flush the batch, so no wait in the
   // protocol can starve. 1 = ack every message (the paper's behaviour).
   uint32_t ack_batch = 1;
+
+  // Live state transfer (repair): pacing window, delta-convergence
+  // threshold, and the pre-copy round cap.
+  StateTransferConfig resync;
 };
 
 // The guest software to boot: an assembled image plus its interface symbols.
@@ -113,6 +119,9 @@ class NodeActor {
   virtual SimTime clock() const = 0;
   virtual bool halted() const = 0;
   virtual bool dead() const = 0;
+  // A replica still receiving a state transfer: parked, but neither halted
+  // nor dead — the world must not wait on it to call a run complete.
+  virtual bool joining() const { return false; }
 };
 
 // Protocol phases at which a failure can be injected, fired by whichever
@@ -162,6 +171,7 @@ class ReplicaNodeBase : public NodeActor {
   bool runnable() const override { return runnable_ && !halted_ && !dead_; }
   bool halted() const override { return halted_; }
   bool dead() const override { return dead_; }
+  bool joining() const override { return joining_; }
 
   Hypervisor& hypervisor() { return hv_; }
   const Hypervisor& hypervisor() const { return hv_; }
@@ -171,6 +181,41 @@ class ReplicaNodeBase : public NodeActor {
 
   // Pending real-device operations (world resolves them at a crash).
   std::vector<PendingRealOp> PendingRealOps() const;
+
+  // --- Repair: live state transfer (world wiring) ---------------------------
+
+  // Source side: adopt a fresh joining downstream — point the node at the
+  // new channel pair, reset downstream ack bookkeeping, and begin the
+  // pre-copy stream. The node keeps executing; replication to the joiner
+  // starts only at the cut.
+  void AttachJoiningDownstream(Channel* down_out, Channel* down_in, SimTime t);
+
+  // Receiver side: park the node in joining mode (memory zeroed, guest
+  // never runs) until the transfer's control chunk restores a complete
+  // machine, at which point it becomes a normal standing backup.
+  void StartAsJoiner();
+
+  bool transfer_active() const { return transfer_active_; }
+  // Non-null from AttachJoiningDownstream on; the report survives the cut.
+  const StateTransferSource* transfer_source() const { return transfer_.get(); }
+
+  // Whether this node can adopt a joiner right now: it must have no
+  // downstream it still believes alive. A node whose downstream died but
+  // whose failure-detection event has not fired yet is NOT ready — attaching
+  // then would race the pending detection callback into the fresh transfer.
+  virtual bool CanAdoptJoiner() const = 0;
+
+  // Joiner-side outcome, for scenario reports.
+  bool joined() const { return joined_; }
+  SimTime join_time() const { return join_time_; }
+  uint64_t join_epoch() const { return join_epoch_; }
+
+  // World callbacks: the source's cut (with its final report) and the
+  // joiner's restore completion (with the epoch it resumes at).
+  void set_on_resync_cut(std::function<void(SimTime, const StateTransferSource::Report&)> fn) {
+    on_resync_cut_ = std::move(fn);
+  }
+  void set_on_joined(std::function<void(SimTime, uint64_t)> fn) { on_joined_ = std::move(fn); }
 
   // Environment input bound for the guest (console characters, NIC
   // packets), shaped by the owning device model into the one generic
@@ -306,16 +351,10 @@ class ReplicaNodeBase : public NodeActor {
     return down_out_ == nullptr || down_acked_count_ >= down_out_->messages_enqueued();
   }
 
-  // Records a downstream cumulative ack: advances the ack count and releases
-  // the channel's go-back-N window.
-  void NoteDownAck(uint64_t ack_seq) {
-    if (ack_seq + 1 > down_acked_count_) {
-      down_acked_count_ = ack_seq + 1;
-    }
-    if (down_out_ != nullptr) {
-      down_out_->OnCumulativeAck(down_acked_count_, hv_.clock());
-    }
-  }
+  // Records a downstream cumulative ack: advances the ack count, releases
+  // the channel's go-back-N window, and lets a paced state transfer send
+  // its next chunks.
+  void NoteDownAck(uint64_t ack_seq);
 
   // The pipelined boundary ack rule (see ReplicationConfig::pipeline_depth).
   // Falls back to the strict all-acked rule when no mark exists for the
@@ -340,6 +379,45 @@ class ReplicaNodeBase : public NodeActor {
   // In-flight real-device operations: (device, backend op id) -> initiating
   // descriptor.
   std::map<std::pair<DeviceId, uint64_t>, IoDescriptor> pending_real_;
+
+  // --- Live state transfer (source side) ------------------------------------
+  // Chunks ride SendDown like protocol messages; pacing compares the
+  // downstream channel's enqueued count against the cumulative acks.
+
+  void BeginStateTransfer(SimTime t);
+  // Sends chunks while the unacked window has room.
+  void PumpStateTransfer();
+  void SendNextStateChunk();
+  // Called at the end of every completed epoch boundary: runs the delta
+  // round, and performs the quiesce + cut once the dirty rate converges.
+  void TransferBoundaryHook();
+  // The joiner died mid-transfer: stop streaming and drop the tracking.
+  void AbortStateTransfer();
+  uint64_t UnackedDownstream() const;
+
+  // Role-specific halves of the transfer. CaptureResyncNodeState writes the
+  // protocol-layer state the joiner needs (epoch, environment-value
+  // numbering, boundary bookkeeping, outstanding operations);
+  // OnStateTransferCut flips the role into replicating to the joiner;
+  // OnDownstreamAttached resets role bookkeeping tied to a previous
+  // (now dead) downstream.
+  virtual void CaptureResyncNodeState(SnapshotWriter& w) const = 0;
+  virtual void OnStateTransferCut() = 0;
+  virtual void OnDownstreamAttached() {}
+
+  // Serialises the in-flight real operations (sorted by guest sequence
+  // number): an active source's contribution to the joiner's outstanding
+  // set — its guest has issued them, and a later P7 would re-drive them.
+  void CaptureOutstandingRealOps(SnapshotWriter& w) const;
+
+  bool joining_ = false;
+  bool transfer_active_ = false;
+  std::unique_ptr<StateTransferSource> transfer_;
+  bool joined_ = false;
+  SimTime join_time_ = SimTime::Zero();
+  uint64_t join_epoch_ = 0;
+  std::function<void(SimTime, const StateTransferSource::Report&)> on_resync_cut_;
+  std::function<void(SimTime, uint64_t)> on_joined_;
 
   Stats stats_;
 

@@ -1,0 +1,38 @@
+#include "core/state_transfer.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+
+StateTransferSource::StateTransferSource(uint32_t page_count, const StateTransferConfig& config,
+                                         SimTime now)
+    : config_(config), queued_(page_count, 1) {
+  HBFT_CHECK_GT(config.window, 0u);
+  report_.start_time = now;
+  report_.full_pages = page_count;
+  for (uint32_t page = 0; page < page_count; ++page) {
+    pending_.push_back(page);
+  }
+}
+
+uint32_t StateTransferSource::PopPage() {
+  HBFT_CHECK(!pending_.empty());
+  uint32_t page = pending_.front();
+  pending_.pop_front();
+  queued_[page] = 0;
+  return page;
+}
+
+void StateTransferSource::EnqueueDelta(const std::vector<uint32_t>& pages) {
+  ++report_.rounds;
+  for (uint32_t page : pages) {
+    if (queued_[page] != 0) {
+      continue;  // Still queued from an earlier round: one send covers both.
+    }
+    queued_[page] = 1;
+    pending_.push_back(page);
+    ++report_.delta_pages;
+  }
+}
+
+}  // namespace hbft

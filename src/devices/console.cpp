@@ -108,4 +108,16 @@ bool ConsoleDevice::MakeInputCompletion(const std::vector<uint8_t>& payload,
   return true;
 }
 
+void ConsoleDevice::CaptureState(SnapshotWriter& w) const {
+  w.U32(state_.rx_char);
+  w.Bool(state_.rx_ready);
+  w.Bool(state_.tx_busy);
+  w.U32(state_.reg_result);
+}
+
+bool ConsoleDevice::RestoreState(SnapshotReader& r) {
+  return r.U32(&state_.rx_char) && r.Bool(&state_.rx_ready) && r.Bool(&state_.tx_busy) &&
+         r.U32(&state_.reg_result);
+}
+
 }  // namespace hbft

@@ -104,6 +104,9 @@ class ConsoleDevice : public VirtualDevice {
   bool MakeInputCompletion(const std::vector<uint8_t>& payload,
                            IoCompletionPayload* out) const override;
 
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
+
   const State& state() const { return state_; }
 
  private:

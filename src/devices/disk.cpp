@@ -249,4 +249,18 @@ IoCompletionPayload DiskDevice::MakeUncertainCompletion(const IoDescriptor& io) 
   return payload;
 }
 
+void DiskDevice::CaptureState(SnapshotWriter& w) const {
+  w.U32(state_.reg_block);
+  w.U32(state_.reg_count);
+  w.U32(state_.reg_dma);
+  w.U32(state_.reg_status);
+  w.U32(state_.reg_result);
+  w.Bool(state_.busy);
+}
+
+bool DiskDevice::RestoreState(SnapshotReader& r) {
+  return r.U32(&state_.reg_block) && r.U32(&state_.reg_count) && r.U32(&state_.reg_dma) &&
+         r.U32(&state_.reg_status) && r.U32(&state_.reg_result) && r.Bool(&state_.busy);
+}
+
 }  // namespace hbft

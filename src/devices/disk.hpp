@@ -163,6 +163,9 @@ class DiskDevice : public VirtualDevice {
   void ApplyCompletion(const IoCompletionPayload& io, Machine& machine) override;
   IoCompletionPayload MakeUncertainCompletion(const IoDescriptor& io) const override;
 
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
+
   const State& state() const { return state_; }
 
  private:

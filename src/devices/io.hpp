@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hpp"
+
 namespace hbft {
 
 // Stable identity of a device class within a node's registry. Values are
@@ -83,6 +85,14 @@ struct EnvTraceEntry {
   uint64_t op_hash = 0;    // Operation identity incl. content.
   std::string label;       // Human-readable form for failure diagnostics.
 };
+
+// Canonical snapshot codecs for the I/O vocabulary, shared by the hypervisor
+// snapshot (buffered interrupts), the node resync payload (outstanding
+// operations), and their fuzz tests. Defined in virtual_device.cpp.
+void CaptureIoDescriptor(SnapshotWriter& w, const IoDescriptor& io);
+bool RestoreIoDescriptor(SnapshotReader& r, IoDescriptor* io);
+void CaptureIoCompletion(SnapshotWriter& w, const IoCompletionPayload& io);
+bool RestoreIoCompletion(SnapshotReader& r, IoCompletionPayload* io);
 
 }  // namespace hbft
 

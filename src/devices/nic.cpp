@@ -141,6 +141,42 @@ IoCompletionPayload NicDevice::MakeUncertainCompletion(const IoDescriptor& io) c
   return payload;
 }
 
+void NicDevice::CaptureState(SnapshotWriter& w) const {
+  w.U32(state_.reg_tx_dma);
+  w.U32(state_.reg_tx_len);
+  w.U32(state_.reg_rx_dma);
+  w.U32(state_.reg_rx_len);
+  w.U32(state_.reg_tx_result);
+  w.Bool(state_.tx_busy);
+  w.Bool(state_.rx_enabled);
+  w.Bool(state_.rx_ready);
+  w.U32(static_cast<uint32_t>(rx_queue_.size()));
+  for (const std::vector<uint8_t>& packet : rx_queue_) {
+    w.Blob(packet);
+  }
+}
+
+bool NicDevice::RestoreState(SnapshotReader& r) {
+  if (!r.U32(&state_.reg_tx_dma) || !r.U32(&state_.reg_tx_len) || !r.U32(&state_.reg_rx_dma) ||
+      !r.U32(&state_.reg_rx_len) || !r.U32(&state_.reg_tx_result) || !r.Bool(&state_.tx_busy) ||
+      !r.Bool(&state_.rx_enabled) || !r.Bool(&state_.rx_ready)) {
+    return false;
+  }
+  uint32_t queued = 0;
+  if (!r.U32(&queued)) {
+    return false;
+  }
+  rx_queue_.clear();
+  for (uint32_t i = 0; i < queued; ++i) {
+    std::vector<uint8_t> packet;
+    if (!r.Blob(&packet)) {
+      return false;
+    }
+    rx_queue_.push_back(std::move(packet));
+  }
+  return true;
+}
+
 bool NicDevice::MakeInputCompletion(const std::vector<uint8_t>& payload,
                                     IoCompletionPayload* out) const {
   HBFT_CHECK(!payload.empty());

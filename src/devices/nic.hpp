@@ -91,6 +91,9 @@ class NicDevice : public VirtualDevice {
   bool MakeInputCompletion(const std::vector<uint8_t>& payload,
                            IoCompletionPayload* out) const override;
 
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
+
   const State& state() const { return state_; }
   size_t queued_rx_packets() const { return rx_queue_.size(); }
 

@@ -21,6 +21,39 @@ const char* DeviceIdName(DeviceId id) {
   return "unknown";
 }
 
+void CaptureIoDescriptor(SnapshotWriter& w, const IoDescriptor& io) {
+  w.U32(static_cast<uint32_t>(io.device_id));
+  w.U64(io.guest_op_seq);
+  w.U32(io.opcode);
+  w.U32(io.arg0);
+  w.U32(io.arg1);
+  w.Blob(io.payload);
+}
+
+bool RestoreIoDescriptor(SnapshotReader& r, IoDescriptor* io) {
+  uint32_t device_id = 0;
+  if (!r.U32(&device_id) || !r.U64(&io->guest_op_seq) || !r.U32(&io->opcode) ||
+      !r.U32(&io->arg0) || !r.U32(&io->arg1) || !r.Blob(&io->payload)) {
+    return false;
+  }
+  io->device_id = static_cast<DeviceId>(device_id);
+  return true;
+}
+
+void CaptureIoCompletion(SnapshotWriter& w, const IoCompletionPayload& io) {
+  w.U32(io.device_irq);
+  w.U64(io.guest_op_seq);
+  w.U32(io.result_code);
+  w.Bool(io.has_dma_data);
+  w.U32(io.dma_guest_paddr);
+  w.Blob(io.dma_data);
+}
+
+bool RestoreIoCompletion(SnapshotReader& r, IoCompletionPayload* io) {
+  return r.U32(&io->device_irq) && r.U64(&io->guest_op_seq) && r.U32(&io->result_code) &&
+         r.Bool(&io->has_dma_data) && r.U32(&io->dma_guest_paddr) && r.Blob(&io->dma_data);
+}
+
 void DeviceRegistry::Add(std::unique_ptr<VirtualDevice> device) {
   HBFT_CHECK(device != nullptr);
   HBFT_CHECK(by_id(device->device_id()) == nullptr)
@@ -60,6 +93,31 @@ VirtualDevice* DeviceRegistry::by_mmio(uint32_t paddr) const {
     }
   }
   return nullptr;
+}
+
+void DeviceRegistry::CaptureState(SnapshotWriter& w) const {
+  w.U32(static_cast<uint32_t>(devices_.size()));
+  for (const auto& device : devices_) {
+    w.U32(static_cast<uint32_t>(device->device_id()));
+    device->CaptureState(w);
+  }
+}
+
+bool DeviceRegistry::RestoreState(SnapshotReader& r) {
+  uint32_t count = 0;
+  if (!r.U32(&count) || count != devices_.size()) {
+    return false;
+  }
+  for (const auto& device : devices_) {
+    uint32_t id = 0;
+    if (!r.U32(&id) || id != static_cast<uint32_t>(device->device_id())) {
+      return false;
+    }
+    if (!device->RestoreState(r)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::unique_ptr<DeviceRegistry> CreateDefaultRegistry() {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "common/time.hpp"
 #include "devices/io.hpp"
 
@@ -65,10 +66,13 @@ class DeviceBackend {
   virtual std::vector<EnvTraceEntry> EnvTrace() const = 0;
 };
 
-// The guest-facing side of a device (one instance per node).
-class VirtualDevice {
+// The guest-facing side of a device (one instance per node). Snapshotable:
+// the register model is part of the virtual-machine state, so it rides in
+// every node snapshot and in the live state transfer that lets a fresh
+// backup rejoin the chain.
+class VirtualDevice : public Snapshotable {
  public:
-  virtual ~VirtualDevice() = default;
+  ~VirtualDevice() override = default;
 
   virtual DeviceId device_id() const = 0;
   virtual const char* name() const = 0;
@@ -119,9 +123,15 @@ class VirtualDevice {
 };
 
 // A node's device set, dispatchable by MMIO window, IRQ line, or id.
-class DeviceRegistry {
+// Snapshotable as one unit: capture tags each device model with its id, and
+// restore walks this registry's devices in order, rejecting any shape
+// mismatch — two registries built by the same DeviceSet always align.
+class DeviceRegistry : public Snapshotable {
  public:
   void Add(std::unique_ptr<VirtualDevice> device);
+
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
 
   // All lookups return null when nothing matches.
   VirtualDevice* by_id(DeviceId id) const;

@@ -114,6 +114,61 @@ uint32_t Hypervisor::DeliverEpochInterrupts(
   return delivered;
 }
 
+void Hypervisor::CaptureState(SnapshotWriter& w, bool include_memory) const {
+  HBFT_CHECK(pending_ == PendingKind::kNone)
+      << "hypervisor state captured mid-decision (pending TOD read or I/O command)";
+  machine_.CaptureState(w, include_memory);
+  w.I64(clock_.picos());
+  w.U64(virtual_itmr_);
+  w.Bool(timer_armed_);
+  w.U64(next_guest_op_seq_);
+  w.Bool(epoch_end_pending_);
+  w.U32(static_cast<uint32_t>(buffered_.size()));
+  for (const VirtualInterrupt& vi : buffered_) {
+    w.U32(vi.irq_line);
+    w.U64(vi.epoch);
+    w.Bool(vi.io.has_value());
+    if (vi.io.has_value()) {
+      CaptureIoCompletion(w, *vi.io);
+    }
+  }
+  devices_->CaptureState(w);
+}
+
+bool Hypervisor::RestoreState(SnapshotReader& r, bool include_memory) {
+  if (!machine_.RestoreState(r, include_memory)) {
+    return false;
+  }
+  int64_t clock_picos = 0;
+  if (!r.I64(&clock_picos) || !r.U64(&virtual_itmr_) || !r.Bool(&timer_armed_) ||
+      !r.U64(&next_guest_op_seq_) || !r.Bool(&epoch_end_pending_)) {
+    return false;
+  }
+  clock_ = SimTime::Picos(clock_picos);
+  uint32_t buffered_count = 0;
+  if (!r.U32(&buffered_count)) {
+    return false;
+  }
+  buffered_.clear();
+  for (uint32_t i = 0; i < buffered_count; ++i) {
+    VirtualInterrupt vi;
+    bool has_io = false;
+    if (!r.U32(&vi.irq_line) || !r.U64(&vi.epoch) || !r.Bool(&has_io)) {
+      return false;
+    }
+    if (has_io) {
+      IoCompletionPayload io;
+      if (!RestoreIoCompletion(r, &io)) {
+        return false;
+      }
+      vi.io = std::move(io);
+    }
+    buffered_.push_back(std::move(vi));
+  }
+  pending_ = PendingKind::kNone;
+  return devices_->RestoreState(r);
+}
+
 std::vector<VirtualInterrupt> Hypervisor::PurgeBufferedAfter(uint64_t epoch) {
   std::vector<VirtualInterrupt> purged;
   std::deque<VirtualInterrupt> kept;

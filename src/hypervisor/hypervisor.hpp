@@ -120,6 +120,19 @@ class Hypervisor {
   const CostModel& costs() const { return costs_; }
   const HypervisorConfig& config() const { return hv_config_; }
 
+  // --- Snapshot --------------------------------------------------------------
+  //
+  // Captures everything the hypervisor virtualises on top of the machine:
+  // the virtual clock, the interval-timer state, the guest-op sequence
+  // counter, the buffered-interrupt queue, and the device register models —
+  // plus the machine itself (with or without RAM; the live state transfer
+  // streams RAM separately as dirty-page chunks). Only capturable at a
+  // decision-free point (no pending TOD read or I/O command): epoch
+  // boundaries qualify, which is where the transfer cuts. Stats are
+  // observability, not state, and are excluded.
+  void CaptureState(SnapshotWriter& w, bool include_memory) const;
+  bool RestoreState(SnapshotReader& r, bool include_memory);
+
   // Statistics for the performance study.
   struct Stats {
     uint64_t privileged_simulated = 0;  // The paper's n_sim.

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/hash.hpp"
+#include "common/snapshot.hpp"
 #include "isa/isa.hpp"
 
 namespace hbft {
@@ -51,6 +52,32 @@ struct CpuState {
       hasher.UpdateU32(cr[idx]);
     }
     return hasher.digest();
+  }
+
+  // Snapshot of the full architected register file (environment registers
+  // included: a restored machine must resume from the exact capture point).
+  void CaptureState(SnapshotWriter& w) const {
+    for (uint32_t r : gpr) {
+      w.U32(r);
+    }
+    for (uint32_t r : cr) {
+      w.U32(r);
+    }
+    w.U32(pc);
+    w.U64(instret);
+  }
+  bool RestoreState(SnapshotReader& r) {
+    for (uint32_t& reg : gpr) {
+      if (!r.U32(&reg)) {
+        return false;
+      }
+    }
+    for (uint32_t& reg : cr) {
+      if (!r.U32(&reg)) {
+        return false;
+      }
+    }
+    return r.U32(&pc) && r.U64(&instret);
   }
 };
 

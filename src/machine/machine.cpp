@@ -101,6 +101,47 @@ uint64_t Machine::Fingerprint() {
   return memory_.Fingerprint() ^ (RegisterFingerprint() * 0x9E3779B97F4A7C15ULL);
 }
 
+void Machine::CaptureState(SnapshotWriter& w, bool include_memory) const {
+  cpu_.CaptureState(w);
+  tlb_.CaptureState(w);
+  w.I64(rctr_);
+  w.Bool(rctr_enabled_);
+  // Idle-loop fast-forward dynamics: skipping is exactly equivalent to
+  // emulation, but capturing them keeps a restored machine's timing (and the
+  // round-trip bytes) identical to the original's. The configured loop
+  // bounds come from the guest program at construction, not the snapshot.
+  w.Bool(idle_observing_);
+  w.Bool(idle_clean_);
+  w.U64(idle_entry_fp_);
+  w.U64(idle_entry_instret_);
+  w.U64(idle_skipped_);
+  w.Bool(include_memory);
+  if (include_memory) {
+    memory_.CaptureState(w);
+  }
+}
+
+bool Machine::RestoreState(SnapshotReader& r, bool include_memory) {
+  if (!cpu_.RestoreState(r) || !tlb_.RestoreState(r)) {
+    return false;
+  }
+  if (!r.I64(&rctr_) || !r.Bool(&rctr_enabled_)) {
+    return false;
+  }
+  if (!r.Bool(&idle_observing_) || !r.Bool(&idle_clean_) || !r.U64(&idle_entry_fp_) ||
+      !r.U64(&idle_entry_instret_) || !r.U64(&idle_skipped_)) {
+    return false;
+  }
+  bool has_memory = false;
+  if (!r.Bool(&has_memory) || has_memory != include_memory) {
+    return false;
+  }
+  if (include_memory && !memory_.RestoreState(r)) {
+    return false;
+  }
+  return true;
+}
+
 Machine::Translation Machine::Translate(uint32_t vaddr, Access access) {
   Translation result;
   uint32_t priv = cpu_.priv();

@@ -134,6 +134,17 @@ class Machine {
   // The recent instructions, oldest first, rendered as "pc: disassembly".
   std::vector<std::string> RecentTrace() const;
 
+  // --- Snapshot (uniform Snapshotable shape, plus a memory-less variant) ----
+  //
+  // Captures the complete virtual-machine state: registers, TLB, recovery
+  // counter, idle-loop dynamics, and (unless `include_memory` is false) all
+  // of RAM. Round-trip is byte-identical: capture, restore into a fresh
+  // machine of the same configuration, capture again — equal bytes. The
+  // memory-less variant backs the live state transfer, which streams RAM
+  // separately as dirty-page chunks.
+  void CaptureState(SnapshotWriter& w, bool include_memory) const;
+  bool RestoreState(SnapshotReader& r, bool include_memory);
+
  private:
   struct Translation {
     bool ok = false;

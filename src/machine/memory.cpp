@@ -1,5 +1,6 @@
 #include "machine/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -21,6 +22,9 @@ void PhysicalMemory::WriteBlock(uint32_t paddr, const uint8_t* data, uint32_t le
   std::memcpy(bytes_.data() + paddr, data, len);
   for (uint32_t page = paddr >> kPageShift; page <= ((paddr + len - 1) >> kPageShift); ++page) {
     dirty_[page] = 1;
+    if (transfer_tracking_) {
+      transfer_dirty_[page] = 1;
+    }
   }
 }
 
@@ -44,6 +48,63 @@ uint64_t PhysicalMemory::Fingerprint() {
     page_hashes_[page] = fresh;
   }
   return combined_;
+}
+
+bool PhysicalMemory::PageIsZero(uint32_t page) const {
+  const uint8_t* begin = bytes_.data() + static_cast<size_t>(page) * kPageBytes;
+  for (uint32_t i = 0; i < kPageBytes; ++i) {
+    if (begin[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PhysicalMemory::Fill(uint8_t value) {
+  std::memset(bytes_.data(), value, bytes_.size());
+  std::fill(dirty_.begin(), dirty_.end(), 1);
+  if (transfer_tracking_) {
+    std::fill(transfer_dirty_.begin(), transfer_dirty_.end(), 1);
+  }
+}
+
+void PhysicalMemory::BeginTransferTracking() {
+  transfer_tracking_ = true;
+  transfer_dirty_.assign(dirty_.size(), 0);
+}
+
+void PhysicalMemory::EndTransferTracking() {
+  transfer_tracking_ = false;
+  transfer_dirty_.clear();
+}
+
+std::vector<uint32_t> PhysicalMemory::TakeTransferDirtyPages() {
+  HBFT_CHECK(transfer_tracking_);
+  std::vector<uint32_t> pages;
+  for (uint32_t page = 0; page < transfer_dirty_.size(); ++page) {
+    if (transfer_dirty_[page] != 0) {
+      transfer_dirty_[page] = 0;
+      pages.push_back(page);
+    }
+  }
+  return pages;
+}
+
+void PhysicalMemory::CaptureState(SnapshotWriter& w) const {
+  w.Blob(bytes_.data(), bytes_.size());
+}
+
+bool PhysicalMemory::RestoreState(SnapshotReader& r) {
+  std::vector<uint8_t> incoming;
+  if (!r.Blob(&incoming) || incoming.size() != bytes_.size()) {
+    return false;
+  }
+  bytes_ = std::move(incoming);
+  std::fill(dirty_.begin(), dirty_.end(), 1);  // Re-hash everything lazily.
+  if (transfer_tracking_) {
+    std::fill(transfer_dirty_.begin(), transfer_dirty_.end(), 1);
+  }
+  return true;
 }
 
 }  // namespace hbft

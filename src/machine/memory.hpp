@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "isa/isa.hpp"
 
 namespace hbft {
 
-class PhysicalMemory {
+class PhysicalMemory : public Snapshotable {
  public:
   explicit PhysicalMemory(uint32_t bytes);
 
@@ -59,13 +60,48 @@ class PhysicalMemory {
   // proportional to pages dirtied since the previous call.
   uint64_t Fingerprint();
 
+  // --- Page view (state transfer) -------------------------------------------
+
+  uint32_t PageCount() const { return static_cast<uint32_t>(dirty_.size()); }
+  bool PageIsZero(uint32_t page) const;
+
+  // Overwrites all of RAM with `value` (a joining replica zeroes its memory
+  // before applying transferred pages). Marks everything dirty.
+  void Fill(uint8_t value);
+
+  // --- Transfer dirty tracking ----------------------------------------------
+  // A second dirty channel, independent of the fingerprint's (which clears
+  // its flags on every Fingerprint call): the state-transfer source needs
+  // "pages dirtied since my last delta round" regardless of who fingerprints
+  // in between. Only one tracker exists per memory; Begin resets it.
+
+  void BeginTransferTracking();
+  void EndTransferTracking();
+  bool transfer_tracking() const { return transfer_tracking_; }
+  // All pages dirtied since the previous call (or since Begin), ascending.
+  std::vector<uint32_t> TakeTransferDirtyPages();
+
+  // --- Snapshotable ----------------------------------------------------------
+  // Canonical image: u32 byte size + raw contents. Restore requires the
+  // identical size (RAM is hardware; a snapshot never resizes it).
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
+
  private:
-  void MarkDirty(uint32_t paddr) { dirty_[paddr >> kPageShift] = 1; }
+  void MarkDirty(uint32_t paddr) {
+    uint32_t page = paddr >> kPageShift;
+    dirty_[page] = 1;
+    if (transfer_tracking_) {
+      transfer_dirty_[page] = 1;
+    }
+  }
 
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> dirty_;        // Per-page dirty flags.
   std::vector<uint64_t> page_hashes_; // Cached per-page hashes.
   uint64_t combined_ = 0;
+  bool transfer_tracking_ = false;
+  std::vector<uint8_t> transfer_dirty_;
 };
 
 }  // namespace hbft

@@ -81,4 +81,36 @@ void Tlb::Reset() {
   next_victim_ = 0;
 }
 
+void Tlb::CaptureState(SnapshotWriter& w) const {
+  w.U32(static_cast<uint32_t>(slots_.size()));
+  for (const Slot& slot : slots_) {
+    w.Bool(slot.valid);
+    w.Bool(slot.wired);
+    w.U32(slot.vpn);
+    w.U32(slot.pte);
+  }
+  w.U32(next_victim_);
+  w.U64(rng_.state());
+  w.U64(lookups_);
+  w.U64(misses_);
+}
+
+bool Tlb::RestoreState(SnapshotReader& r) {
+  uint32_t count = 0;
+  if (!r.U32(&count) || count != slots_.size()) {
+    return false;
+  }
+  for (Slot& slot : slots_) {
+    if (!r.Bool(&slot.valid) || !r.Bool(&slot.wired) || !r.U32(&slot.vpn) || !r.U32(&slot.pte)) {
+      return false;
+    }
+  }
+  uint64_t rng_state = 0;
+  if (!r.U32(&next_victim_) || !r.U64(&rng_state) || !r.U64(&lookups_) || !r.U64(&misses_)) {
+    return false;
+  }
+  rng_.set_state(rng_state);
+  return true;
+}
+
 }  // namespace hbft

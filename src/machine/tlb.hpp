@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "isa/isa.hpp"
 
 namespace hbft {
@@ -23,7 +24,7 @@ enum class TlbPolicy {
   kHardwareRandom,  // Victim drawn from a per-machine seed; replicas diverge.
 };
 
-class Tlb {
+class Tlb : public Snapshotable {
  public:
   Tlb(uint32_t entries, TlbPolicy policy, uint64_t machine_seed);
 
@@ -43,6 +44,13 @@ class Tlb {
   uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
   uint64_t lookups() const { return lookups_; }
   uint64_t misses() const { return misses_; }
+
+  // Snapshot: slot contents plus the replacement state (round-robin cursor
+  // and "hardware" RNG stream), so a restored TLB evicts identically.
+  // Restore requires matching capacity; the policy is construction-time
+  // hardware configuration and is not serialised.
+  void CaptureState(SnapshotWriter& w) const override;
+  bool RestoreState(SnapshotReader& r) override;
 
  private:
   struct Slot {

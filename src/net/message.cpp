@@ -101,6 +101,13 @@ std::vector<uint8_t> Message::Serialize() const {
       }
       break;
     }
+    case MsgType::kStateChunk:
+      PutU8(&out, static_cast<uint8_t>(state_kind));
+      PutU32(&out, state_page);
+      PutU32(&out, state_page_count);
+      PutU32(&out, static_cast<uint32_t>(state_data.size()));
+      out.insert(out.end(), state_data.begin(), state_data.end());
+      break;
   }
   return out;
 }
@@ -112,7 +119,7 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
   if (!reader.GetU8(&type_raw) || !reader.GetU64(&msg.seq) || !reader.GetU64(&msg.epoch)) {
     return std::nullopt;
   }
-  if (type_raw < 1 || type_raw > 5) {
+  if (type_raw < 1 || type_raw > 6) {
     return std::nullopt;
   }
   msg.type = static_cast<MsgType>(type_raw);
@@ -164,6 +171,24 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
       }
       break;
     }
+    case MsgType::kStateChunk: {
+      uint8_t kind = 0;
+      uint32_t data_len = 0;
+      if (!reader.GetU8(&kind) || !reader.GetU32(&msg.state_page) ||
+          !reader.GetU32(&msg.state_page_count) || !reader.GetU32(&data_len)) {
+        return std::nullopt;
+      }
+      // The encoder only emits the three chunk kinds; anything else is
+      // corruption, not a chunk.
+      if (kind > static_cast<uint8_t>(StateChunkKind::kControl)) {
+        return std::nullopt;
+      }
+      msg.state_kind = static_cast<StateChunkKind>(kind);
+      if (!reader.GetBytes(&msg.state_data, data_len)) {
+        return std::nullopt;
+      }
+      break;
+    }
   }
   if (!reader.AtEnd()) {
     return std::nullopt;
@@ -191,6 +216,9 @@ size_t Message::WireSize() const {
       if (io.has_value()) {
         size += 4 + 8 + 4 + 1 + 4 + 4 + io->dma_data.size();
       }
+      break;
+    case MsgType::kStateChunk:
+      size += 1 + 4 + 4 + 4 + state_data.size();
       break;
   }
   return size;

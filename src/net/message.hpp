@@ -13,6 +13,12 @@
 //                 clocks (Tme_b := Tme_p).
 //   kEpochEnd   — rule P2's [end, E].
 //   kAck        — rule P4's acknowledgment, cumulative up to `ack_seq`.
+//   kStateChunk — live state transfer (repair): one piece of the snapshot a
+//                 transfer source streams to a joining replica — a memory
+//                 page, a run of all-zero pages, or the final control
+//                 snapshot whose arrival completes the resync. Rides the
+//                 ordered protocol channel, so FIFO guarantees the whole
+//                 snapshot precedes the first post-cut protocol message.
 //
 // Serialisation exists so the channel can model wire sizes (an 8K disk block
 // fragments into the paper's "9 messages for the data") and so codecs are
@@ -34,6 +40,14 @@ enum class MsgType : uint8_t {
   kTimeSync = 3,
   kEpochEnd = 4,
   kAck = 5,
+  kStateChunk = 6,
+};
+
+// Message::state_kind values for kStateChunk.
+enum class StateChunkKind : uint8_t {
+  kPage = 0,     // One memory page: `state_page`, payload in `state_data`.
+  kZeroRun = 1,  // `state_page_count` all-zero pages starting at `state_page`.
+  kControl = 2,  // The control snapshot (CPU/TLB/hypervisor/devices/protocol).
 };
 
 struct Message {
@@ -52,6 +66,12 @@ struct Message {
 
   // kTimeSync payload (the paper's Tme_p: all clock registers).
   uint64_t tod_value = 0;
+
+  // kStateChunk payload.
+  StateChunkKind state_kind = StateChunkKind::kPage;
+  uint32_t state_page = 0;        // First page index (kPage / kZeroRun).
+  uint32_t state_page_count = 0;  // Run length (kZeroRun).
+  std::vector<uint8_t> state_data;  // Page bytes / serialized control snapshot.
 
   // Serialised wire size in bytes (drives the bandwidth model).
   size_t WireSize() const;

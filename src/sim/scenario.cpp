@@ -51,6 +51,14 @@ const std::vector<uint64_t>& ScenarioResult::backup_boundary_fingerprints(
   return backup_index + 1 < nodes.size() ? nodes[backup_index + 1].boundary_fingerprints : kEmpty;
 }
 
+uint64_t ScenarioResult::TotalResyncBytes() const {
+  uint64_t total = 0;
+  for (const ResyncReport& resync : resyncs) {
+    total += resync.bytes;
+  }
+  return total;
+}
+
 uint64_t ScenarioResult::TotalRetransmits() const {
   uint64_t total = 0;
   for (const ChannelReport& ch : channels) {
@@ -282,6 +290,35 @@ Scenario& Scenario::FailAtPhase(FailPhase phase, uint64_t epoch, FailurePlan::Cr
   return FailAt(plan);
 }
 
+Scenario& Scenario::RejoinAtTime(SimTime time) {
+  FailurePlan plan;
+  plan.kind = FailurePlan::Kind::kRejoin;
+  plan.time = time;
+  return FailAt(plan);
+}
+
+Scenario& Scenario::RejoinAfterFail(SimTime delay) {
+  FailurePlan plan;
+  plan.kind = FailurePlan::Kind::kRejoin;
+  plan.time = delay;
+  plan.relative = true;
+  return FailAt(plan);
+}
+
+Scenario& Scenario::FailAfterResync(SimTime delay, FailurePlan::CrashIo crash_io) {
+  FailurePlan plan;
+  plan.kind = FailurePlan::Kind::kAtTime;
+  plan.time = delay;
+  plan.after_resync = true;
+  plan.crash_io = crash_io;
+  return FailAt(plan);
+}
+
+Scenario& Scenario::Resync(const StateTransferConfig& config) {
+  replication_.resync = config;
+  return *this;
+}
+
 Scenario Scenario::AsBare() const {
   Scenario bare = *this;
   bare.replicated_ = false;
@@ -346,15 +383,16 @@ ScenarioResult Scenario::Run() const {
   result.env_trace = world.devices().EnvTrace();
   ReadBackGuestState(world.active_machine(), &result);
 
-  for (size_t i = 0; i + 1 < world.replica_count(); ++i) {
-    for (auto [from, to] : {std::pair<size_t, size_t>{i, i + 1}, {i + 1, i}}) {
-      ScenarioResult::ChannelReport ch;
-      ch.from = from;
-      ch.to = to;
-      ch.mode = world.channel(from, to)->mode();
-      ch.counters = world.channel(from, to)->counters();
-      result.channels.push_back(ch);
-    }
+  // Every channel of the mesh, in (from, to) key order — identical to the
+  // old adjacent-pair order for construction-time channels, with any rejoin
+  // pairs following their tail's position.
+  for (const auto& [key, ch_ptr] : world.channel_map()) {
+    ScenarioResult::ChannelReport ch;
+    ch.from = key.first;
+    ch.to = key.second;
+    ch.mode = ch_ptr->mode();
+    ch.counters = ch_ptr->counters();
+    result.channels.push_back(ch);
   }
 
   for (size_t i = 0; i < world.replica_count(); ++i) {
@@ -366,10 +404,18 @@ ScenarioResult Scenario::Run() const {
       report.promoted = b->promoted();
       report.promotion_time = b->promotion_time();
     }
+    report.joined = replica->joined();
+    report.join_time = replica->join_time();
+    report.join_epoch = replica->join_epoch();
     report.hv_stats = replica->hypervisor().stats();
     report.stats = replica->stats();
     report.boundary_fingerprints = replica->boundary_fingerprints();
     result.nodes.push_back(std::move(report));
+  }
+  for (const ResyncReport& resync : result.resyncs) {
+    if (resync.joined < result.nodes.size()) {
+      result.nodes[resync.joined].rejoined = true;
+    }
   }
   return result;
 }

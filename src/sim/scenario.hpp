@@ -85,17 +85,27 @@ struct ScenarioResult {
   uint64_t TotalDeliveredBytes() const;
   double GoodputBps() const;  // Delivered bytes / completion time.
 
-  // Replication: one report per replica in chain order (primary first, then
-  // each backup down the chain); empty for bare runs.
+  // Replication: one report per replica in spawn order (primary first, then
+  // each backup down the chain, then any rejoined replicas); empty for bare
+  // runs. A rejoined node's boundary fingerprints start at `join_epoch`, so
+  // lockstep comparison against an original node uses that offset.
   struct NodeReport {
     int id = 0;
     bool promoted = false;
     SimTime promotion_time = SimTime::Zero();
+    bool rejoined = false;   // Spawned by a rejoin event (live state transfer).
+    bool joined = false;     // Transfer completed; entered the chain.
+    SimTime join_time = SimTime::Zero();
+    uint64_t join_epoch = 0;
     Hypervisor::Stats hv_stats;
     ReplicaNodeBase::Stats stats;
     std::vector<uint64_t> boundary_fingerprints;
   };
   std::vector<NodeReport> nodes;
+
+  // Repair: one report per rejoin event, in schedule order.
+  std::vector<ResyncReport> resyncs;
+  uint64_t TotalResyncBytes() const;
 
   // Pair conveniences over `nodes` (safe empty defaults for bare runs).
   const ReplicaNodeBase::Stats& primary_stats() const;
@@ -165,13 +175,24 @@ class Scenario {
   Scenario& InjectPacket(std::vector<uint8_t> payload, SimTime t);
   Scenario& PacketTiming(SimTime start, SimTime interval);
 
-  // --- Failure schedule (ordered; each event arms after the previous) ------
+  // --- Failure/repair schedule (ordered; each event arms after the previous)
   Scenario& FailAt(const FailurePlan& plan);
   Scenario& FailAtTime(SimTime time,
                        FailurePlan::Target target = FailurePlan::Target::kActive,
                        int backup_index = 0);
   Scenario& FailAtPhase(FailPhase phase, uint64_t epoch = 0,
                         FailurePlan::CrashIo crash_io = FailurePlan::CrashIo::kRandom);
+  // Repair events: spawn a fresh replica below the chain's tail and stream
+  // it the live state transfer — at an absolute time, or a delay after the
+  // previous schedule event (typically a kill) fired. FailAfterResync kills
+  // the active replica `delay` after the transfer completes, expressing the
+  // full fail -> rejoin -> fail drill without guessing transfer durations.
+  Scenario& RejoinAtTime(SimTime time);
+  Scenario& RejoinAfterFail(SimTime delay);
+  Scenario& FailAfterResync(SimTime delay,
+                            FailurePlan::CrashIo crash_io = FailurePlan::CrashIo::kRandom);
+  // Live-transfer tuning (pacing window, delta threshold, round cap).
+  Scenario& Resync(const StateTransferConfig& config);
 
   // The same machine/devices/seed with replication stripped: the reference
   // run for N'/N and consistency checks.

@@ -1,5 +1,7 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "devices/device_set.hpp"
@@ -15,7 +17,7 @@ constexpr int kPrimaryId = 1;  // Backups are numbered 2, 3, ... down the chain.
 World::~World() = default;
 
 World::World(const GuestProgram& guest, const WorldConfig& config, bool replicated)
-    : config_(config), crash_rng_(config.seed ^ 0xC4A5BEEFULL) {
+    : config_(config), guest_(guest), crash_rng_(config.seed ^ 0xC4A5BEEFULL) {
   DeviceSetConfig device_config;
   device_config.disk_blocks = config.disk_blocks;
   device_config.disk_faults = config.disk_faults;
@@ -72,15 +74,27 @@ World::World(const GuestProgram& guest, const WorldConfig& config, bool replicat
 
   // Poll wiring: a send wakes the receiving neighbour at the arrival time.
   for (size_t i = 0; i + 1 < n; ++i) {
-    ReplicaNodeBase* up = replicas_[i].get();
-    ReplicaNodeBase* down = replicas_[i + 1].get();
-    up->set_schedule_down_poll([this, down](SimTime arrival) {
-      ScheduleAt(arrival, [down, arrival] { down->PollIncoming(arrival); });
-    });
-    down->set_schedule_up_poll([this, up](SimTime arrival) {
-      ScheduleAt(arrival, [up, arrival] { up->PollIncoming(arrival); });
-    });
+    WireAdjacentPolls(i, i + 1);
   }
+
+  // The initial chain is index-linear; rejoins extend it below the tail.
+  chain_next_.assign(n, kNoChain);
+  chain_prev_.assign(n, kNoChain);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    chain_next_[i] = i + 1;
+    chain_prev_[i + 1] = i;
+  }
+}
+
+void World::WireAdjacentPolls(size_t up_index, size_t down_index) {
+  ReplicaNodeBase* up = replicas_[up_index].get();
+  ReplicaNodeBase* down = replicas_[down_index].get();
+  up->set_schedule_down_poll([this, down](SimTime arrival) {
+    ScheduleAt(arrival, [down, arrival] { down->PollIncoming(arrival); });
+  });
+  down->set_schedule_up_poll([this, up](SimTime arrival) {
+    ScheduleAt(arrival, [up, arrival] { up->PollIncoming(arrival); });
+  });
 }
 
 Channel* World::channel(size_t from, size_t to) {
@@ -105,13 +119,21 @@ void World::ScheduleAt(SimTime t, std::function<void()> fn) { queue_.Push(t, std
 
 void World::SetFailureSchedule(const FailureSchedule& schedule) {
   HBFT_CHECK(!replicas_.empty()) << "failure schedules require a replicated world";
+  bool seen_rejoin = false;
   for (const FailurePlan& plan : schedule) {
+    if (plan.kind == FailurePlan::Kind::kRejoin) {
+      seen_rejoin = true;
+    }
+    if (plan.after_resync) {
+      HBFT_CHECK(seen_rejoin)
+          << "an after-resync kill needs a preceding rejoin event to wait for";
+    }
     if (plan.kind == FailurePlan::Kind::kAtPhase) {
       HBFT_CHECK(plan.target == FailurePlan::Target::kActive)
           << "phase-based kills target the active replica (standing backups run no "
              "device phases)";
     }
-    if (plan.target == FailurePlan::Target::kBackup) {
+    if (plan.kind != FailurePlan::Kind::kRejoin && plan.target == FailurePlan::Target::kBackup) {
       HBFT_CHECK(plan.backup_index >= 0 &&
                  static_cast<size_t>(plan.backup_index) + 1 < replicas_.size())
           << "backup index " << plan.backup_index << " out of range";
@@ -133,9 +155,31 @@ void World::ArmNextFailure() {
       ++next_failure_;
       ArmNextFailure();
       return;
-    case FailurePlan::Kind::kAtTime:
-      ScheduleAt(plan.time, [this, idx] { FireTimedFailure(idx); });
+    case FailurePlan::Kind::kAtTime: {
+      if (plan.after_resync) {
+        if (resync_in_flight_) {
+          // Armed by OnJoined once the pending transfer completes.
+          pending_after_resync_ = true;
+        } else if (!resyncs_.empty() && resyncs_.back().completed) {
+          // The transfer already completed (intervening schedule events can
+          // delay arming past the join): measure the delay from the join.
+          SimTime at = std::max(resyncs_.back().join_time + plan.time, last_event_time_);
+          ScheduleAt(at, [this, idx, at] { FireTimedFailure(idx, at); });
+        }
+        // Otherwise the rejoin was skipped or aborted: redundancy was never
+        // restored, so the kill — and everything scheduled after it — stays
+        // dormant.
+        return;
+      }
+      SimTime at = plan.relative ? last_event_time_ + plan.time : plan.time;
+      ScheduleAt(at, [this, idx, at] { FireTimedFailure(idx, at); });
       return;
+    }
+    case FailurePlan::Kind::kRejoin: {
+      SimTime at = plan.relative ? last_event_time_ + plan.time : plan.time;
+      ScheduleAt(at, [this, idx, at] { FireRejoin(idx, at); });
+      return;
+    }
     case FailurePlan::Kind::kAtPhase:
       // Install on every replica: phases fire only on the node that drives
       // the devices, and the hook checks it is the *current* active node, so
@@ -161,11 +205,13 @@ void World::OnPhaseHook(size_t schedule_index, size_t replica_index, FailPhase p
     return;
   }
   ++next_failure_;
-  KillReplica(replica_index, replicas_[replica_index]->clock(), plan.crash_io);
+  SimTime t = replicas_[replica_index]->clock();
+  last_event_time_ = t;
+  KillReplica(replica_index, t, plan.crash_io);
   ArmNextFailure();
 }
 
-void World::FireTimedFailure(size_t schedule_index) {
+void World::FireTimedFailure(size_t schedule_index, SimTime when) {
   if (schedule_index != next_failure_) {
     return;
   }
@@ -176,10 +222,126 @@ void World::FireTimedFailure(size_t schedule_index) {
   ++next_failure_;
   ReplicaNodeBase* node = replicas_[victim].get();
   if (!node->dead() && !node->halted()) {
-    SimTime t = node->clock() > plan.time ? node->clock() : plan.time;
+    SimTime t = node->clock() > when ? node->clock() : when;
+    last_event_time_ = t;
     KillReplica(victim, t, plan.crash_io);
+  } else {
+    last_event_time_ = when;
   }
   ArmNextFailure();
+}
+
+void World::FireRejoin(size_t schedule_index, SimTime when) {
+  if (schedule_index != next_failure_) {
+    return;
+  }
+  ++next_failure_;
+  last_event_time_ = when;
+  RejoinReplica(when);
+  ArmNextFailure();
+}
+
+void World::RejoinReplica(SimTime t) {
+  HBFT_CHECK(!replicas_.empty()) << "rejoin requires a replicated world";
+  if (service_lost_) {
+    HBFT_INFO("world") << "rejoin skipped: service already lost";
+    return;
+  }
+  // The transfer source is the chain's tail: the last live replica walking
+  // down from the active one.
+  size_t tail = active_index_;
+  for (size_t j = chain_next_[tail]; j != kNoChain; j = chain_next_[j]) {
+    if (!replicas_[j]->dead()) {
+      tail = j;
+    }
+  }
+  ReplicaNodeBase* source = replicas_[tail].get();
+  if (source->dead() || source->halted() || source->joining() || source->transfer_active() ||
+      !source->CanAdoptJoiner()) {
+    // CanAdoptJoiner also covers the window between a downstream's death and
+    // its detection: attaching inside it would race the pending
+    // OnDownstreamFailureDetected callback into the fresh transfer.
+    HBFT_INFO("world") << "rejoin skipped: no eligible transfer source";
+    return;
+  }
+
+  const size_t pos = replicas_.size();
+  // Fresh channel pair with its own fault-RNG streams, salted differently
+  // from the construction-time mesh so rejoin wires never reuse a stream.
+  const uint64_t down_seed = config_.seed ^ (0x5EED2E70ULL * (2 * pos + 1));
+  const uint64_t up_seed = config_.seed ^ (0x5EED2E70ULL * (2 * pos + 2));
+  channels_[{tail, pos}] = std::make_unique<Channel>(config_.costs.link, ChannelMode::kOrdered,
+                                                     config_.link_faults, down_seed);
+  channels_[{pos, tail}] = std::make_unique<Channel>(config_.costs.link, ChannelMode::kDatagram,
+                                                     config_.link_faults, up_seed);
+
+  NodeLinks links;
+  links.up_in = channel(tail, pos);
+  links.up_out = channel(pos, tail);
+  const int id = kPrimaryId + static_cast<int>(pos);
+  auto joiner = std::make_unique<BackupNode>(id, guest_, config_.machine, config_.replication,
+                                             config_.costs, devices_->BuildRegistry(), links,
+                                             this);
+  joiner->StartAsJoiner();
+
+  const size_t resync_index = resyncs_.size();
+  ResyncReport report;
+  report.source = tail;
+  report.joined = pos;
+  report.start = t;
+  resyncs_.push_back(report);
+  resync_in_flight_ = true;
+
+  source->set_on_resync_cut(
+      [this, resync_index](SimTime cut_time, const StateTransferSource::Report& rep) {
+        ResyncReport& r = resyncs_[resync_index];
+        r.cut = true;
+        r.cut_time = cut_time;
+        r.join_epoch = rep.cut_epoch;
+        r.bytes = rep.bytes_sent;
+        r.page_chunks = rep.page_chunks;
+        r.zero_run_chunks = rep.zero_run_chunks;
+        r.full_pages = rep.full_pages;
+        r.delta_pages = rep.delta_pages;
+        r.rounds = rep.rounds;
+      });
+  joiner->set_on_joined([this, resync_index](SimTime join_time, uint64_t join_epoch) {
+    OnJoined(resync_index, join_time, join_epoch);
+  });
+
+  replicas_.push_back(std::move(joiner));
+  chain_next_.push_back(kNoChain);
+  chain_prev_.push_back(tail);
+  chain_next_[tail] = pos;
+  WireAdjacentPolls(tail, pos);
+
+  // An armed phase-based kill must also see the new replica (it fires only
+  // on the active node, which the joiner can eventually become).
+  if (next_failure_ < schedule_.size() &&
+      schedule_[next_failure_].kind == FailurePlan::Kind::kAtPhase) {
+    const size_t idx = next_failure_;
+    replicas_[pos]->set_phase_hook(
+        [this, idx, pos](FailPhase phase, uint64_t epoch, uint64_t io_seq) {
+          OnPhaseHook(idx, pos, phase, epoch, io_seq);
+        });
+  }
+
+  source->AttachJoiningDownstream(channel(tail, pos), channel(pos, tail), t);
+}
+
+void World::OnJoined(size_t resync_index, SimTime t, uint64_t join_epoch) {
+  ResyncReport& report = resyncs_[resync_index];
+  report.completed = true;
+  report.join_time = t;
+  report.join_epoch = join_epoch;
+  resync_in_flight_ = false;
+  if (pending_after_resync_) {
+    pending_after_resync_ = false;
+    HBFT_CHECK(next_failure_ < schedule_.size());
+    const size_t idx = next_failure_;
+    SimTime at = t + schedule_[idx].time;
+    ScheduleAt(at, [this, idx, at] { FireTimedFailure(idx, at); });
+  }
 }
 
 void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) {
@@ -216,8 +378,11 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
   if (index == active_index_) {
     // The active replica died: the next surviving backup detects the silence
     // on the protocol stream (drain + timeout) and runs the P6/P7 takeover.
-    const size_t successor = index + 1;
-    if (successor < replicas_.size() && !replicas_[successor]->dead()) {
+    // A successor still mid-join holds an incomplete snapshot and cannot
+    // take over; it dies with its source, and the service is lost.
+    const size_t successor = chain_next_[index];
+    if (successor != kNoChain && !replicas_[successor]->dead() &&
+        !replicas_[successor]->joining()) {
       SimTime detect = FailureDetector::DetectionTime(*channel(index, successor), t,
                                                       config_.costs.failure_detect_timeout,
                                                       config_.link_faults);
@@ -225,6 +390,11 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
       ScheduleAt(detect, [next_node, detect] { next_node->OnFailureDetected(detect); });
       active_index_ = successor;
     } else {
+      for (size_t j = successor; j != kNoChain; j = chain_next_[j]) {
+        if (!replicas_[j]->dead()) {
+          replicas_[j]->Kill(t);
+        }
+      }
       service_lost_ = true;
     }
     return;
@@ -232,15 +402,17 @@ void World::KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io) 
 
   // A standing backup died: its upstream neighbour notices the missing
   // acknowledgments and stops replicating to it. Replicas further down the
-  // chain are cut off from the protocol stream — without a state transfer
-  // they can never rejoin, so the chain truncates at the dead node.
-  const size_t upstream = index - 1;
+  // chain are cut off from the protocol stream — they can never catch up on
+  // their own, so the chain truncates at the dead node (a later rejoin event
+  // restores redundancy below the new tail).
+  const size_t upstream = chain_prev_[index];
+  HBFT_CHECK(upstream != kNoChain);
   SimTime detect = FailureDetector::DetectionTime(*channel(index, upstream), t,
                                                   config_.costs.failure_detect_timeout,
                                                   config_.link_faults);
   ReplicaNodeBase* up_node = replicas_[upstream].get();
   ScheduleAt(detect, [up_node, detect] { up_node->OnDownstreamFailureDetected(detect); });
-  for (size_t j = index + 1; j < replicas_.size(); ++j) {
+  for (size_t j = chain_next_[index]; j != kNoChain; j = chain_next_[j]) {
     if (!replicas_[j]->dead()) {
       replicas_[j]->Kill(t);
     }
@@ -254,10 +426,11 @@ void World::RouteInput(DeviceId device, const std::vector<uint8_t>& payload, Sim
   }
   // Route to the replica responsible for the environment: the active node,
   // or — between a crash and the promotion — its successor, which queues the
-  // input until it takes over.
-  for (size_t j = active_index_; j < replicas_.size(); ++j) {
+  // input until it takes over. A joiner never serves: it holds no usable
+  // state yet.
+  for (size_t j = active_index_; j != kNoChain; j = chain_next_[j]) {
     ReplicaNodeBase* node = replicas_[j].get();
-    if (node->dead() || node->halted()) {
+    if (node->dead() || node->halted() || node->joining()) {
       continue;
     }
     node->InjectInput(device, payload, t);
@@ -298,34 +471,39 @@ void World::Run(ScenarioResult* result) {
   bool timed_out = false;
   bool deadlocked = false;
 
-  std::vector<NodeActor*> nodes;
-  if (bare_ != nullptr) {
-    nodes.push_back(bare_.get());
-  }
-  for (auto& replica : replicas_) {
-    nodes.push_back(replica.get());
-  }
+  // Nodes are enumerated live: a rejoin event mid-run appends replicas.
+  auto for_each_node = [this](auto&& fn) {
+    if (bare_ != nullptr) {
+      fn(static_cast<NodeActor*>(bare_.get()));
+    }
+    for (auto& replica : replicas_) {
+      fn(static_cast<NodeActor*>(replica.get()));
+    }
+  };
 
   while (true) {
     bool all_done = true;
-    for (NodeActor* node : nodes) {
-      if (!node->halted() && !node->dead()) {
+    for_each_node([&all_done](NodeActor* node) {
+      // A replica still joining blocks on its source, not on the world: if
+      // everything else is done (say the guest halted mid-transfer), the run
+      // is over and the join simply never completed.
+      if (!node->halted() && !node->dead() && !node->joining()) {
         all_done = false;
       }
-    }
+    });
     if (all_done) {
       completed = true;
       break;
     }
 
     NodeActor* next = nullptr;
-    for (NodeActor* node : nodes) {
+    for_each_node([&next](NodeActor* node) {
       if (node->runnable()) {
         if (next == nullptr || node->clock() < next->clock()) {
           next = node;
         }
       }
-    }
+    });
     SimTime tq = queue_.empty() ? SimTime::Max() : queue_.PeekTime();
 
     if (next != nullptr && next->clock() >= config_.max_time) {
@@ -368,6 +546,7 @@ void World::Run(ScenarioResult* result) {
       result->promotion_time = b->promotion_time();
     }
   }
+  result->resyncs = resyncs_;
 }
 
 }  // namespace hbft

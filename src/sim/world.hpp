@@ -42,7 +42,11 @@ class DeviceSet;
 struct ScenarioResult;
 
 struct FailurePlan {
-  enum class Kind { kNone, kAtTime, kAtPhase };
+  // kRejoin is a repair event, not a failure: a fresh replica is spawned,
+  // receives a live state transfer from the chain's tail, and enters the
+  // chain as a standing backup. It shares the schedule so repeated
+  // fail -> rejoin -> fail sequences order naturally.
+  enum class Kind { kNone, kAtTime, kAtPhase, kRejoin };
   // kActive: whichever replica currently drives the devices — the primary,
   // or after a failover the most recently promoted backup. kBackup: the
   // standing backup at `backup_index` (0 = the primary's immediate backup).
@@ -50,10 +54,18 @@ struct FailurePlan {
   Kind kind = Kind::kNone;
   Target target = Target::kActive;
   int backup_index = 0;                  // Target::kBackup only.
-  SimTime time = SimTime::Zero();        // kAtTime.
+  SimTime time = SimTime::Zero();        // kAtTime / kRejoin (see `relative`).
   FailPhase phase = FailPhase::kNone;    // kAtPhase: protocol point ...
   uint64_t phase_epoch = 0;              // ... in this epoch ...
   uint64_t io_seq = 0;                   // ... or at this I/O op (0 = any).
+
+  // `relative`: `time` is a delay measured from the previous schedule
+  // event's fire time rather than an absolute instant. `after_resync` (kills
+  // only): arm this event only once the pending rejoin's state transfer has
+  // completed, `time` after the joiner came online — the natural way to
+  // express "kill the new primary after redundancy is restored".
+  bool relative = false;
+  bool after_resync = false;
 
   // What happens to device operations in flight at the crash (IO2's "may or
   // may not have been performed", made explicit for tests).
@@ -61,10 +73,28 @@ struct FailurePlan {
   CrashIo crash_io = CrashIo::kRandom;
 };
 
-// An ordered list of failure events. Event i+1 is armed only after event i
-// has fired, so "kill the primary, then kill the promoted backup" is
-// expressible directly.
+// An ordered list of failure/repair events. Event i+1 is armed only after
+// event i has fired, so "kill the primary, rejoin a fresh backup, then kill
+// the promoted backup" is expressible directly.
 using FailureSchedule = std::vector<FailurePlan>;
+
+// One live state transfer's outcome, for reports and tests.
+struct ResyncReport {
+  size_t source = 0;   // Chain position that streamed the snapshot.
+  size_t joined = 0;   // Chain position of the new replica.
+  SimTime start = SimTime::Zero();      // Transfer began (pre-copy).
+  SimTime cut_time = SimTime::Zero();   // Source-side quiesce + cut.
+  SimTime join_time = SimTime::Zero();  // Joiner restored; backup online.
+  bool cut = false;        // Source finished streaming.
+  bool completed = false;  // Joiner restored and entered the chain.
+  uint64_t join_epoch = 0;  // The joiner resumed at the start of this epoch.
+  uint64_t bytes = 0;       // Chunk bytes on the protocol stream, incl. control.
+  uint64_t page_chunks = 0;
+  uint64_t zero_run_chunks = 0;
+  uint64_t full_pages = 0;
+  uint64_t delta_pages = 0;
+  uint64_t rounds = 0;
+};
 
 struct WorldConfig {
   CostModel costs;
@@ -120,8 +150,21 @@ class World : public EventScheduler {
   PrimaryNode* primary();
   BackupNode* backup(size_t backup_index = 0);
 
-  // The channel mesh, keyed (from, to) by chain position.
+  // The channel mesh, keyed (from, to) by chain position. Rejoins add pairs
+  // that need not be index-adjacent (the chain may have dead nodes between
+  // the tail and the joiner's slot).
   Channel* channel(size_t from, size_t to);
+  const std::map<std::pair<size_t, size_t>, std::unique_ptr<Channel>>& channel_map() const {
+    return channels_;
+  }
+
+  // Repair: spawn a fresh replica, attach it below the chain's tail, and
+  // start the live state transfer. No-op (with a log) when nobody can serve
+  // as the source. Usually driven by a kRejoin schedule event.
+  void RejoinReplica(SimTime t);
+
+  // Completed and in-flight state transfers, in schedule order.
+  const std::vector<ResyncReport>& resyncs() const { return resyncs_; }
 
   // The machine whose state carries the workload's results: the bare node,
   // or the replica currently responsible for the environment.
@@ -135,16 +178,22 @@ class World : public EventScheduler {
   void KillReplica(size_t index, SimTime t, FailurePlan::CrashIo crash_io);
 
  private:
+  static constexpr size_t kNoChain = static_cast<size_t>(-1);
+
   void ArmNextFailure();
-  void FireTimedFailure(size_t schedule_index);
+  void FireTimedFailure(size_t schedule_index, SimTime when);
+  void FireRejoin(size_t schedule_index, SimTime when);
   void OnPhaseHook(size_t schedule_index, size_t replica_index, FailPhase phase, uint64_t epoch,
                    uint64_t io_seq);
+  void OnJoined(size_t resync_index, SimTime t, uint64_t join_epoch);
+  void WireAdjacentPolls(size_t up_index, size_t down_index);
 
   // Routes environment input to the node serving (or about to serve) the
   // environment.
   void RouteInput(DeviceId device, const std::vector<uint8_t>& payload, SimTime t);
 
   WorldConfig config_;
+  GuestProgram guest_;
   EventQueue queue_;
   DeterministicRng crash_rng_;
   std::unique_ptr<DeviceSet> devices_;
@@ -156,6 +205,18 @@ class World : public EventScheduler {
   std::vector<SimTime> crash_times_;
   size_t active_index_ = 0;
   bool service_lost_ = false;
+
+  // The chain as linked positions (kNoChain = end). Rejoined replicas append
+  // to replicas_ but link below the tail, so neighbours are no longer always
+  // index-adjacent once a mid-chain node has died.
+  std::vector<size_t> chain_next_;
+  std::vector<size_t> chain_prev_;
+
+  // Schedule/repair bookkeeping.
+  SimTime last_event_time_ = SimTime::Zero();
+  bool resync_in_flight_ = false;
+  bool pending_after_resync_ = false;  // Next event armed at resync completion.
+  std::vector<ResyncReport> resyncs_;
 };
 
 }  // namespace hbft

@@ -45,6 +45,22 @@ expect_field("${drill_out}" "detection")
 run_cli(drill_old_out drill --variant=old --epoch-length=2048)
 expect_field("${drill_old_out}" "promoted[ =:]+yes")
 
+# --- drill --repair: kill -> resync (live state transfer) -> kill again -----
+run_cli(repair_out drill --repair)
+expect_field("${repair_out}" "takeovers[ =:]+2")
+expect_field("${repair_out}" "resync_completed[ =:]+yes")
+expect_field("${repair_out}" "resync_latency_ms")
+expect_field("${repair_out}" "resync_bytes")
+expect_field("${repair_out}" "verdict[ =:]+PASS")
+
+# --- run --json: machine-readable report with a fail->rejoin schedule --------
+run_cli(json_out run --workload=txnlog --iterations=12 --json
+        --fail=phase=after-send-tme,epoch=2 --fail=rejoin-after-ms=10)
+expect_field("${json_out}" "\"normalized_performance\"")
+expect_field("${json_out}" "\"env_consistency\": true")
+expect_field("${json_out}" "\"resyncs\"")
+expect_field("${json_out}" "\"completed\": true")
+
 # --- drill --backups=2: cascading failover through a backup chain -----------
 run_cli(cascade_out drill --backups=2 --fail=time-ms=6
         --fail=phase=after-io-issue,crash-io=not-performed)
@@ -94,7 +110,8 @@ expect_field("${phases_out}" "before-io-issue")
 
 # --- bench: JSON artifacts under bench/ -------------------------------------
 run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
-foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json)
+foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json
+        fig4_lossy_link.json fig5_resync.json)
   if(NOT EXISTS ${WORK_DIR}/bench/${artifact})
     message(FATAL_ERROR "bench artifact missing: ${WORK_DIR}/bench/${artifact}\n${bench_out}")
   endif()

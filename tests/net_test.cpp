@@ -40,9 +40,17 @@ Message SampleMessage(MsgType type) {
       msg.io = io;
       break;
     }
+    case MsgType::kStateChunk:
+      msg.state_kind = StateChunkKind::kPage;
+      msg.state_page = 33;
+      msg.state_page_count = 0;
+      msg.state_data.assign(kPageBytes, 0xA5);
+      break;
   }
   return msg;
 }
+
+constexpr int kNumMsgTypes = 6;
 
 class MessageRoundTrip : public testing::TestWithParam<int> {};
 
@@ -65,9 +73,13 @@ TEST_P(MessageRoundTrip, SerializeDeserialize) {
     EXPECT_EQ(decoded->io->dma_data, msg.io->dma_data);
     EXPECT_EQ(decoded->io->guest_op_seq, msg.io->guest_op_seq);
   }
+  EXPECT_EQ(decoded->state_kind, msg.state_kind);
+  EXPECT_EQ(decoded->state_page, msg.state_page);
+  EXPECT_EQ(decoded->state_page_count, msg.state_page_count);
+  EXPECT_EQ(decoded->state_data, msg.state_data);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip, testing::Range(1, 6));
+INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip, testing::Range(1, kNumMsgTypes + 1));
 
 // Every message kind — including the interrupt variants with and without an
 // I/O payload, and with and without DMA data — must report exactly the size
@@ -75,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip, testing::Range(1, 6));
 // codec would put on a real wire.
 TEST(Message, WireSizeMatchesSerializedSizeForEveryKind) {
   std::vector<Message> samples;
-  for (int t = 1; t <= 5; ++t) {
+  for (int t = 1; t <= kNumMsgTypes; ++t) {
     samples.push_back(SampleMessage(static_cast<MsgType>(t)));
   }
   Message no_io = SampleMessage(MsgType::kInterrupt);
@@ -85,6 +97,11 @@ TEST(Message, WireSizeMatchesSerializedSizeForEveryKind) {
   empty_dma.io->has_dma_data = false;
   empty_dma.io->dma_data.clear();
   samples.push_back(empty_dma);
+  Message zero_run = SampleMessage(MsgType::kStateChunk);
+  zero_run.state_kind = StateChunkKind::kZeroRun;
+  zero_run.state_page_count = 17;
+  zero_run.state_data.clear();
+  samples.push_back(zero_run);
   for (const Message& msg : samples) {
     EXPECT_EQ(msg.Serialize().size(), msg.WireSize())
         << "kind " << static_cast<int>(msg.type);
@@ -94,10 +111,13 @@ TEST(Message, WireSizeMatchesSerializedSizeForEveryKind) {
 // Every strict prefix of every kind's encoding must be rejected — no
 // out-of-bounds read, no silent short parse.
 TEST(Message, DeserializeRejectsEveryTruncation) {
-  for (int t = 1; t <= 5; ++t) {
+  for (int t = 1; t <= kNumMsgTypes; ++t) {
     Message msg = SampleMessage(static_cast<MsgType>(t));
     if (msg.io.has_value()) {
       msg.io->dma_data.resize(48);  // Small payload keeps the sweep fast.
+    }
+    if (msg.type == MsgType::kStateChunk) {
+      msg.state_data.resize(48);
     }
     auto bytes = msg.Serialize();
     for (size_t len = 0; len < bytes.size(); ++len) {
@@ -128,6 +148,12 @@ TEST(Message, DeserializeRejectsNonCanonicalFlagBytes) {
   mutated = bytes;
   mutated[has_dma_pos] = 0xFF;
   EXPECT_FALSE(Message::Deserialize(mutated).has_value());
+  // The state-chunk kind byte only takes the three encoder-emitted values.
+  auto chunk = SampleMessage(MsgType::kStateChunk).Serialize();
+  const size_t kind_pos = 1 + 8 + 8;  // type + seq + epoch.
+  ASSERT_EQ(chunk[kind_pos], static_cast<uint8_t>(StateChunkKind::kPage));
+  chunk[kind_pos] = 3;
+  EXPECT_FALSE(Message::Deserialize(chunk).has_value());
 }
 
 TEST(Message, DeserializeRejectsGarbage) {
@@ -299,10 +325,13 @@ class MessageFuzz : public testing::TestWithParam<int> {};
 TEST_P(MessageFuzz, MutatedBytesNeverCrashCodec) {
   DeterministicRng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
   for (int round = 0; round < 500; ++round) {
-    MsgType type = static_cast<MsgType>(1 + rng.NextBelow(5));
+    MsgType type = static_cast<MsgType>(1 + rng.NextBelow(kNumMsgTypes));
     Message msg = SampleMessage(type);
     if (msg.io.has_value()) {
       msg.io->dma_data.resize(rng.NextBelow(64));  // Small payloads for speed.
+    }
+    if (msg.type == MsgType::kStateChunk) {
+      msg.state_data.resize(rng.NextBelow(64));
     }
     auto bytes = msg.Serialize();
     // Mutate 1-4 positions and/or truncate.

@@ -322,6 +322,63 @@ TEST(LossyScenario, NetEchoCascadeSurvivesLossAndReorder) {
 // Ack batching and epoch pipelining.
 // ---------------------------------------------------------------------------
 
+// Counters across Break -> reconnect (the rejoin path replaces a dead pair's
+// channels with a fresh pair): the broken channel's counters survive for
+// reporting, its queue occupancy drains to zero, and its retransmission
+// machinery goes quiet instead of re-sending into the void.
+TEST(Transport, CountersSurviveBreakWithNoPhantomRetransmits) {
+  LinkFaults faults = Lossy(1e-9);  // Fault machinery on, nothing actually lost.
+  Channel channel(LinkModel::Ethernet10(), ChannelMode::kOrdered, faults, /*seed=*/3);
+  auto a1 = channel.Send(Sample(MsgType::kTimeSync), SimTime::Zero());
+  auto a2 = channel.Send(Sample(MsgType::kEpochEnd), SimTime::Zero());
+  ASSERT_TRUE(a1.has_value() && a2.has_value());
+  Channel::Counters before = channel.counters();
+  EXPECT_EQ(before.messages_enqueued, 2u);
+
+  channel.Break(*a2);  // Both frames fully serialised: they still arrive.
+  EXPECT_TRUE(channel.Receive(*a2).has_value());
+  EXPECT_TRUE(channel.Receive(*a2).has_value());
+  EXPECT_FALSE(channel.LastPendingArrival().has_value());  // Occupancy at zero.
+
+  // The dead sender never re-sends: a retransmission timeout far in the
+  // future moves nothing and mints no wire sends.
+  auto retx = channel.MaybeRetransmit(SimTime::Seconds(5));
+  EXPECT_EQ(retx.frames, 0u);
+  Channel::Counters after = channel.counters();
+  EXPECT_EQ(after.messages_enqueued, before.messages_enqueued);
+  EXPECT_EQ(after.wire_sends, before.wire_sends);
+  EXPECT_EQ(after.retransmits, 0u);
+  EXPECT_EQ(after.messages_delivered, 2u);
+}
+
+// Scenario-level: after kill -> rejoin, the dead pair's channel counters are
+// still reported (frozen), and the fresh rejoin pair carries the transfer —
+// queue occupancy on the broken wires returns to zero with no phantom
+// retransmissions inflating the totals.
+TEST(Transport, RejoinReportsFrozenBrokenChannelsAndFreshPair) {
+  ScenarioResult ft = Scenario::Replicated(TxnSpec(16))
+                          .LinkFaults(Lossy(0.02))
+                          .FailAtPhase(FailPhase::kAfterSendTme, 2)
+                          .RejoinAfterFail(SimTime::Millis(10))
+                          .Run();
+  ASSERT_TRUE(ft.completed);
+  ASSERT_EQ(ft.resyncs.size(), 1u);
+  ASSERT_TRUE(ft.resyncs[0].completed);
+  // Mesh: (0,1)+(1,0) from construction, (1,2)+(2,1) from the rejoin.
+  ASSERT_EQ(ft.channels.size(), 4u);
+  const auto* dead_pair = &ft.channels[0];      // 0 -> 1: broken at the kill.
+  const auto* rejoin_pair = &ft.channels[2];    // 1 -> 2: the transfer stream.
+  EXPECT_EQ(dead_pair->from, 0u);
+  EXPECT_EQ(dead_pair->to, 1u);
+  EXPECT_GT(dead_pair->counters.messages_enqueued, 0u);  // History survives.
+  EXPECT_EQ(rejoin_pair->from, 1u);
+  EXPECT_EQ(rejoin_pair->to, 2u);
+  EXPECT_EQ(rejoin_pair->mode, ChannelMode::kOrdered);
+  // The transfer rode the fresh ordered channel: at least the resync bytes.
+  EXPECT_GE(rejoin_pair->counters.bytes_delivered, ft.resyncs[0].bytes);
+  EXPECT_GT(rejoin_pair->counters.messages_delivered, 0u);
+}
+
 TEST(Transport, AckBatchingCoalescesAcksWithoutChangingTheResult) {
   // The time workload's dense env-value stream is acked while the backup
   // runs, which is exactly where coalescing applies (a parked backup must
