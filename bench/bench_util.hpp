@@ -5,11 +5,14 @@
 #ifndef HBFT_BENCH_BENCH_UTIL_HPP_
 #define HBFT_BENCH_BENCH_UTIL_HPP_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "guest/workloads.hpp"
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
 #include "sim/scenario.hpp"
 
 namespace hbft {
@@ -105,6 +108,108 @@ inline ScenarioResult RunResyncCase(const ResyncCase& c) {
     scenario.LinkFaults(LinkFaults::SymmetricLoss(c.loss));
   }
   return scenario.Run();
+}
+
+// --- Fig 6 (this reproduction's extension): interpreter throughput ----------
+//
+// Host-side speed of the two dispatch engines over the same guest work. The
+// kernel mirrors the CPU workload's instruction mix (arithmetic, a word-copy
+// loop, leaf calls) on a bare machine with no embedder in the loop, so the
+// measurement isolates dispatch cost. `instructions` and `checksum` are
+// deterministic (they witness that both engines did identical work); only
+// the host-clock fields vary run to run.
+struct InterpThroughput {
+  uint64_t instructions = 0;
+  uint32_t checksum = 0;       // Guest-computed result (determinism witness).
+  double host_ms = 0.0;
+  double mips = 0.0;
+  TranslationCache::Stats tcache;
+};
+
+inline InterpThroughput MeasureInterpThroughput(InterpMode mode, uint32_t outer_iterations) {
+  char source[2048];
+  std::snprintf(source, sizeof(source), R"(
+    li r1, %u
+    li r2, 0x9E3779B9
+    li r3, 0x2000
+outer:
+    add r2, r2, r1
+    li r4, 16
+copy:
+    slli r5, r4, 2
+    add r6, r3, r5
+    sw r2, 0(r6)
+    lw r7, 0(r6)
+    add r2, r2, r7
+    addi r4, r4, -1
+    bnez r4, copy
+    call leaf
+    xor r2, r2, r9
+    addi r1, r1, -1
+    bnez r1, outer
+    sw r2, 0x1F00(zero)
+    halt
+leaf:
+    slli r9, r2, 3
+    xor r9, r9, r2
+    srli r10, r9, 5
+    add r9, r9, r10
+    ret
+)",
+                static_cast<unsigned>(outer_iterations));
+  auto assembled = Assemble(source);
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "fig6 kernel failed to assemble: %s\n",
+                 assembled.error().ToString().c_str());
+    return {};
+  }
+  MachineConfig config;
+  config.trap_mode = TrapMode::kDirect;
+  config.interp = mode;
+  Machine machine(config);
+  machine.LoadImage(assembled.value());
+  machine.cpu().pc = 0;
+  auto start = std::chrono::steady_clock::now();
+  MachineExit exit = machine.Run(UINT64_MAX);
+  auto stop = std::chrono::steady_clock::now();
+  if (exit.kind != ExitKind::kHalt) {
+    std::fprintf(stderr, "fig6 kernel did not halt (exit kind %d)\n",
+                 static_cast<int>(exit.kind));
+    return {};
+  }
+  InterpThroughput result;
+  result.instructions = machine.cpu().instret;
+  result.checksum = machine.memory().Read32(0x1F00);
+  result.host_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  result.mips = result.host_ms > 0.0
+                    ? static_cast<double>(result.instructions) / (result.host_ms * 1e3)
+                    : 0.0;
+  result.tcache = machine.tcache_stats();
+  return result;
+}
+
+// End-to-end variant: the real CPU workload through the full bare scenario
+// (MiniOS, devices, event loop), timed on the host clock. Simulated results
+// (completion time, checksum) are dispatch-mode invariant; wall_ms is not.
+struct ScenarioThroughput {
+  bool ok = false;
+  double sim_ms = 0.0;         // Deterministic.
+  uint32_t guest_checksum = 0; // Deterministic.
+  double wall_ms = 0.0;        // Host clock.
+};
+
+inline ScenarioThroughput MeasureScenarioThroughput(InterpMode mode, uint32_t iterations) {
+  WorkloadSpec spec = WorkloadSpec::PaperCpu();
+  spec.iterations = iterations;
+  auto start = std::chrono::steady_clock::now();
+  ScenarioResult result = Scenario::Bare(spec).Interp(mode).Run();
+  auto stop = std::chrono::steady_clock::now();
+  ScenarioThroughput out;
+  out.ok = result.completed && result.exited_flag == 1;
+  out.sim_ms = result.completion_time.seconds() * 1e3;
+  out.guest_checksum = result.guest_checksum;
+  out.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return out;
 }
 
 // Runs the workload replicated at `epoch_len` and returns N'/N vs `bare`.

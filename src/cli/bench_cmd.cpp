@@ -318,6 +318,74 @@ bool EmitFig5(const BenchConfig& cfg, int* failures) {
   return WriteBenchDoc(cfg, "fig5_resync", "fig5_resync.json", std::move(rows));
 }
 
+// Fig 6 (this reproduction's extension) — interpreter throughput: the cached
+// (predecoded-superblock) dispatch engine vs the slow fetch-decode path, on
+// a bare-machine CPU kernel (dispatch cost isolated) and on the full CPU
+// workload scenario. `instructions`, `checksum`, and the tcache counters are
+// deterministic and byte-diffed in CI; the host-clock fields (host_ms, mips,
+// wall_ms, speedup) vary by machine and are stripped before diffing
+// (tools/diff_bench.py), which instead enforces a speedup floor.
+bool EmitFig6(const BenchConfig& cfg, int* failures) {
+  std::printf("bench: fig6 (interpreter throughput, slow vs cached dispatch)\n");
+  const uint32_t kernel_iters = cfg.quick ? 20000 : 200000;
+  const uint32_t scenario_iters = cfg.cpu_iterations;
+  JsonValue rows = JsonValue::Array();
+
+  InterpThroughput kernel[2];
+  ScenarioThroughput e2e[2];
+  const InterpMode modes[2] = {InterpMode::kSlow, InterpMode::kCached};
+  const char* mode_names[2] = {"slow", "cached"};
+  for (int i = 0; i < 2; ++i) {
+    kernel[i] = MeasureInterpThroughput(modes[i], kernel_iters);
+    e2e[i] = MeasureScenarioThroughput(modes[i], scenario_iters);
+    if (kernel[i].instructions == 0 || !e2e[i].ok) {
+      std::fprintf(stderr, "hbft_cli: bench fig6 measurement failed (%s)\n", mode_names[i]);
+      ++*failures;
+    }
+  }
+  if (kernel[0].instructions != kernel[1].instructions ||
+      kernel[0].checksum != kernel[1].checksum ||
+      e2e[0].guest_checksum != e2e[1].guest_checksum || e2e[0].sim_ms != e2e[1].sim_ms) {
+    // The engines must do identical guest work or the speedup is meaningless.
+    std::fprintf(stderr, "hbft_cli: bench fig6 dispatch modes diverged\n");
+    ++*failures;
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    JsonValue row = JsonValue::Object()
+                        .Set("workload", "cpu-kernel")
+                        .Set("mode", mode_names[i])
+                        .Set("instructions", kernel[i].instructions)
+                        .Set("checksum", static_cast<uint64_t>(kernel[i].checksum));
+    if (modes[i] == InterpMode::kCached) {
+      const TranslationCache::Stats& tc = kernel[i].tcache;
+      row.Set("tcache_builds", tc.builds)
+          .Set("tcache_hits", tc.hits)
+          .Set("tcache_misses", tc.misses)
+          .Set("tcache_stale", tc.stale);
+    }
+    row.Set("host_ms", kernel[i].host_ms).Set("mips", kernel[i].mips);
+    if (modes[i] == InterpMode::kCached && kernel[i].host_ms > 0.0) {
+      row.Set("speedup", kernel[0].host_ms / kernel[i].host_ms);
+    }
+    rows.Push(std::move(row));
+  }
+  for (int i = 0; i < 2; ++i) {
+    JsonValue row = JsonValue::Object()
+                        .Set("workload", "cpu-e2e")
+                        .Set("mode", mode_names[i])
+                        .Set("iterations", static_cast<uint64_t>(scenario_iters))
+                        .Set("sim_ms", e2e[i].sim_ms)
+                        .Set("guest_checksum", static_cast<uint64_t>(e2e[i].guest_checksum))
+                        .Set("wall_ms", e2e[i].wall_ms);
+    if (modes[i] == InterpMode::kCached && e2e[i].wall_ms > 0.0) {
+      row.Set("speedup", e2e[0].wall_ms / e2e[i].wall_ms);
+    }
+    rows.Push(std::move(row));
+  }
+  return WriteBenchDoc(cfg, "fig6_interp_throughput", "fig6_throughput.json", std::move(rows));
+}
+
 }  // namespace
 
 int BenchCommand(FlagSet& flags) {
@@ -376,16 +444,21 @@ int BenchCommand(FlagSet& flags) {
   Measurer measurer(specs, bares, cfg.backups);
   int lossy_failures = 0;
   int resync_failures = 0;
+  int fig6_failures = 0;
   bool ok = EmitTable1(cfg, specs, measurer) && EmitFig2(cfg, bares[0], measurer) &&
             EmitFig3(cfg, measurer) && EmitFig4(cfg, measurer) &&
             EmitFig4Lossy(cfg, specs, bares, &lossy_failures) &&
-            EmitFig5(cfg, &resync_failures);
+            EmitFig5(cfg, &resync_failures) && EmitFig6(cfg, &fig6_failures);
   if (ok && lossy_failures > 0) {
     std::fprintf(stderr, "hbft_cli: %d fig4-lossy measurement(s) failed\n", lossy_failures);
     ok = false;
   }
   if (ok && resync_failures > 0) {
     std::fprintf(stderr, "hbft_cli: %d fig5 resync measurement(s) failed\n", resync_failures);
+    ok = false;
+  }
+  if (ok && fig6_failures > 0) {
+    std::fprintf(stderr, "hbft_cli: %d fig6 measurement(s) failed\n", fig6_failures);
     ok = false;
   }
   if (ok && measurer.failures() > 0) {
@@ -395,7 +468,7 @@ int BenchCommand(FlagSet& flags) {
   }
   if (ok) {
     std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, fig4_faster_comm.json, "
-                "fig4_lossy_link.json, fig5_resync.json under %s/\n",
+                "fig4_lossy_link.json, fig5_resync.json, fig6_throughput.json under %s/\n",
                 cfg.out_dir.c_str());
   }
   return ok ? 0 : 1;

@@ -71,13 +71,66 @@ constexpr std::array<OpInfo, 50> kOpTable = {{
 
 constexpr size_t kRealOps = kOpTable.size();
 
-const OpInfo* InfoFor(uint8_t opcode) {
-  for (size_t i = 0; i < kRealOps; ++i) {
-    if (static_cast<uint8_t>(kOpTable[i].op) == opcode) {
-      return &kOpTable[i];
-    }
+constexpr bool HasZeroExtendedImm(Opcode op) {
+  switch (op) {
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSltiu:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kLui:
+    case Opcode::kMfcr:
+    case Opcode::kMtcr:
+    case Opcode::kSyscall:
+    case Opcode::kBreak:
+    case Opcode::kProbe:
+      return true;
+    default:
+      return false;
   }
-  return nullptr;
+}
+
+constexpr bool DoesEndSuperblock(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kJal:
+    case Opcode::kJalr:
+    case Opcode::kSyscall:
+    case Opcode::kBreak:
+    case Opcode::kRfi:
+    case Opcode::kMfcr:  // CR reads exit to the embedder for environment CRs.
+    case Opcode::kMtcr:  // CR writes can flip IE/VM/rctr state.
+    case Opcode::kTlbi:
+    case Opcode::kTlbf:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::array<OpTraits, kMaxOpcode + 1>& TraitsTable() {
+  static const std::array<OpTraits, kMaxOpcode + 1> table = [] {
+    std::array<OpTraits, kMaxOpcode + 1> t{};
+    for (const OpInfo& info : kOpTable) {
+      OpTraits& e = t[static_cast<uint8_t>(info.op)];
+      e.valid = true;
+      e.format = info.format;
+      e.privileged = info.privileged;
+      e.zero_extended_imm = HasZeroExtendedImm(info.op);
+      e.ends_superblock = DoesEndSuperblock(info.op);
+      e.mnemonic = info.mnemonic;
+    }
+    return t;
+  }();
+  return table;
 }
 
 int32_t SignExtend(uint32_t value, int bits) {
@@ -87,17 +140,21 @@ int32_t SignExtend(uint32_t value, int bits) {
 
 }  // namespace
 
+const OpTraits& TraitsFor(uint8_t opcode) { return TraitsTable()[opcode & kMaxOpcode]; }
+
 std::optional<InstrFormat> FormatFor(uint8_t opcode) {
-  const OpInfo* info = InfoFor(opcode);
-  if (info == nullptr) {
+  if (opcode > kMaxOpcode) {
     return std::nullopt;
   }
-  return info->format;
+  const OpTraits& traits = TraitsFor(opcode);
+  if (!traits.valid) {
+    return std::nullopt;
+  }
+  return traits.format;
 }
 
 const char* MnemonicFor(Opcode op) {
-  const OpInfo* info = InfoFor(static_cast<uint8_t>(op));
-  return info != nullptr ? info->mnemonic : nullptr;
+  return TraitsFor(static_cast<uint8_t>(op)).mnemonic;
 }
 
 std::optional<Opcode> OpcodeForMnemonic(const std::string& mnemonic) {
@@ -116,9 +173,9 @@ std::optional<Opcode> OpcodeForMnemonic(const std::string& mnemonic) {
 }
 
 bool IsPrivileged(Opcode op) {
-  const OpInfo* info = InfoFor(static_cast<uint8_t>(op));
-  HBFT_CHECK(info != nullptr);
-  return info->privileged;
+  const OpTraits& traits = TraitsFor(static_cast<uint8_t>(op));
+  HBFT_CHECK(traits.valid);
+  return traits.privileged;
 }
 
 uint32_t Encode(const DecodedInstr& instr) {
@@ -163,14 +220,14 @@ uint32_t Encode(const DecodedInstr& instr) {
 
 std::optional<DecodedInstr> Decode(uint32_t word) {
   uint8_t opcode = static_cast<uint8_t>(word >> 26);
-  const OpInfo* info = InfoFor(opcode);
-  if (info == nullptr) {
+  const OpTraits& traits = TraitsFor(opcode);
+  if (!traits.valid) {
     return std::nullopt;
   }
   DecodedInstr instr;
-  instr.op = info->op;
-  instr.format = info->format;
-  switch (info->format) {
+  instr.op = static_cast<Opcode>(opcode);
+  instr.format = traits.format;
+  switch (traits.format) {
     case InstrFormat::kR:
       instr.rd = (word >> 21) & 0x1F;
       instr.rs1 = (word >> 16) & 0x1F;
@@ -180,28 +237,7 @@ std::optional<DecodedInstr> Decode(uint32_t word) {
       instr.rd = (word >> 21) & 0x1F;
       instr.rs1 = (word >> 16) & 0x1F;
       uint32_t imm = word & 0xFFFF;
-      // Logical/compare-unsigned/CR immediates are zero-extended; arithmetic
-      // and memory offsets are sign-extended.
-      switch (instr.op) {
-        case Opcode::kAndi:
-        case Opcode::kOri:
-        case Opcode::kXori:
-        case Opcode::kSltiu:
-        case Opcode::kSlli:
-        case Opcode::kSrli:
-        case Opcode::kSrai:
-        case Opcode::kLui:
-        case Opcode::kMfcr:
-        case Opcode::kMtcr:
-        case Opcode::kSyscall:
-        case Opcode::kBreak:
-        case Opcode::kProbe:
-          instr.imm = static_cast<int32_t>(imm);
-          break;
-        default:
-          instr.imm = SignExtend(imm, 16);
-          break;
-      }
+      instr.imm = traits.zero_extended_imm ? static_cast<int32_t>(imm) : SignExtend(imm, 16);
       break;
     }
     case InstrFormat::kB:

@@ -107,6 +107,26 @@ inline constexpr uint8_t kMaxOpcode = 0x3F;
 
 enum class InstrFormat : uint8_t { kR, kI, kB, kJ };
 
+// Dense per-opcode decode properties, indexed by the 6-bit opcode field: one
+// table load instead of the old linear scan. Shared by the decoder, the
+// interpreter, and the superblock predecoder.
+struct OpTraits {
+  bool valid = false;
+  InstrFormat format = InstrFormat::kR;
+  bool privileged = false;
+  // I-format immediate extension: logical/compare-unsigned/CR immediates are
+  // zero-extended, arithmetic and memory offsets sign-extended.
+  bool zero_extended_imm = false;
+  // Control transfer, trap, or system-state change: predecoded superblocks
+  // end after (never span) these instructions.
+  bool ends_superblock = false;
+  const char* mnemonic = nullptr;
+};
+
+// Traits for an opcode (masked to 6 bits); `valid == false` entries mark
+// illegal instructions.
+const OpTraits& TraitsFor(uint8_t opcode);
+
 // Returns the encoding format for an opcode, or nullopt for invalid opcodes.
 std::optional<InstrFormat> FormatFor(uint8_t opcode);
 

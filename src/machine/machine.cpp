@@ -1,6 +1,8 @@
 #include "machine/machine.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "common/check.hpp"
@@ -17,10 +19,22 @@ bool IsEnvironmentCr(uint32_t cr) { return cr == kCrTod || cr == kCrItmr || cr =
 
 }  // namespace
 
+InterpMode DefaultInterpMode() {
+  static const InterpMode mode = [] {
+    const char* env = std::getenv("HBFT_INTERP");
+    if (env != nullptr && std::strcmp(env, "cached") == 0) {
+      return InterpMode::kCached;
+    }
+    return InterpMode::kSlow;
+  }();
+  return mode;
+}
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       memory_(config.ram_bytes),
-      tlb_(config.tlb_entries, config.tlb_policy, config.machine_seed) {}
+      tlb_(config.tlb_entries, config.tlb_policy, config.machine_seed),
+      tcache_(config.tcache_slots) {}
 
 void Machine::LoadImage(const AssembledImage& image) {
   for (const AssembledSection& section : image.sections) {
@@ -46,6 +60,9 @@ void Machine::ConfigureIdleLoop(uint32_t begin_pc, uint32_t end_pc) {
   idle_begin_ = begin_pc;
   idle_end_ = end_pc;
   idle_configured_ = true;
+  // Superblocks built before the loop was registered may span its boundaries;
+  // the builder clips at them, so force a rebuild.
+  tcache_.InvalidateAll();
 }
 
 void Machine::EnableTrace(size_t depth) {
@@ -139,6 +156,10 @@ bool Machine::RestoreState(SnapshotReader& r, bool include_memory) {
   if (include_memory && !memory_.RestoreState(r)) {
     return false;
   }
+  // The translation cache is derived state: it contributes nothing to the
+  // canonical bytes above and anything predecoded from pre-restore memory is
+  // now wrong. Drop it; blocks rebuild on demand from restored RAM.
+  tcache_.InvalidateAll();
   return true;
 }
 
@@ -232,7 +253,63 @@ bool Machine::DeliverTrap(TrapCause cause, uint32_t pc, uint32_t vaddr, const De
   return true;
 }
 
+Machine::IdleOutcome Machine::IdleCheck(uint64_t max_instructions, uint64_t* executed,
+                                        MachineExit* exit) {
+  // Idle-loop fast-forward: after one observed pure iteration, skip whole
+  // iterations in bulk (bounded by budget and recovery counter).
+  if (idle_configured_ && cpu_.pc == idle_begin_) {
+    uint64_t now_fp = IdleFingerprint();
+    if (idle_observing_ && idle_clean_ && now_fp == idle_entry_fp_) {
+      uint64_t loop_len = cpu_.instret - idle_entry_instret_;
+      if (loop_len > 0) {
+        uint64_t budget_iters = (max_instructions - *executed) / loop_len;
+        uint64_t rctr_iters = std::numeric_limits<uint64_t>::max();
+        if (rctr_enabled_) {
+          int64_t allowance = rctr_ + 1;
+          rctr_iters = allowance <= 0 ? 0 : static_cast<uint64_t>(allowance) / loop_len;
+        }
+        uint64_t k = budget_iters < rctr_iters ? budget_iters : rctr_iters;
+        if (k > 0) {
+          uint64_t skipped = k * loop_len;
+          cpu_.instret += skipped;
+          *executed += skipped;
+          idle_skipped_ += skipped;
+          if (rctr_enabled_) {
+            rctr_ -= static_cast<int64_t>(skipped);
+            if (rctr_ < 0) {
+              // The skip landed exactly on the recovery boundary.
+              idle_observing_ = false;
+              exit->kind = ExitKind::kRecovery;
+              exit->executed = *executed;
+              exit->pc = cpu_.pc;
+              return IdleOutcome::kRecoveryExit;
+            }
+          }
+          // PC unchanged: still at loop head, exactly as if emulated.
+        }
+      }
+      idle_observing_ = false;
+      if (*executed >= max_instructions) {
+        return IdleOutcome::kBudgetExhausted;
+      }
+    } else {
+      idle_observing_ = true;
+      idle_clean_ = true;
+      idle_entry_fp_ = now_fp;
+      idle_entry_instret_ = cpu_.instret;
+    }
+  } else if (idle_observing_ && (cpu_.pc < idle_begin_ || cpu_.pc >= idle_end_)) {
+    idle_observing_ = false;
+  }
+  return IdleOutcome::kProceed;
+}
+
 MachineExit Machine::Run(uint64_t max_instructions) {
+  return config_.interp == InterpMode::kCached ? RunCached(max_instructions)
+                                               : RunSlow(max_instructions);
+}
+
+MachineExit Machine::RunSlow(uint64_t max_instructions) {
   MachineExit exit;
   uint64_t executed = 0;
 
@@ -249,63 +326,33 @@ MachineExit Machine::Run(uint64_t max_instructions) {
     return false;
   };
 
+  // External interrupt delivery (bare machine only; the hypervisor delivers
+  // interrupts explicitly at epoch boundaries). Delivery consumes budget so a
+  // guest that never acknowledges its interrupt cannot hang the host. The
+  // deliverable predicate can only flip to true inside Run via MTCR or RFI
+  // (RaiseIrq happens between Run calls, and trap delivery clears IE), so the
+  // check is hoisted out of the per-instruction loop: it runs at entry and
+  // again after those instructions, with identical delivery points.
+  bool check_irq = true;
+
   while (executed < max_instructions) {
-    // External interrupt delivery (bare machine only; the hypervisor delivers
-    // interrupts explicitly at epoch boundaries). Delivery consumes budget so
-    // a guest that never acknowledges its interrupt cannot hang the host.
-    if (config_.trap_mode == TrapMode::kDirect && pending_irqs() != 0 &&
-        cpu_.interrupts_enabled()) {
-      idle_observing_ = false;
-      ++executed;
-      VectorTrap(TrapCause::kInterrupt, cpu_.pc, 0, 0);
-      continue;
+    if (check_irq) {
+      check_irq = false;
+      if (config_.trap_mode == TrapMode::kDirect && pending_irqs() != 0 &&
+          cpu_.interrupts_enabled()) {
+        idle_observing_ = false;
+        ++executed;
+        VectorTrap(TrapCause::kInterrupt, cpu_.pc, 0, 0);
+        continue;
+      }
     }
 
-    // Idle-loop fast-forward: after one observed pure iteration, skip whole
-    // iterations in bulk (bounded by budget and recovery counter).
-    if (idle_configured_ && cpu_.pc == idle_begin_) {
-      uint64_t now_fp = IdleFingerprint();
-      if (idle_observing_ && idle_clean_ && now_fp == idle_entry_fp_) {
-        uint64_t loop_len = cpu_.instret - idle_entry_instret_;
-        if (loop_len > 0) {
-          uint64_t budget_iters = (max_instructions - executed) / loop_len;
-          uint64_t rctr_iters = std::numeric_limits<uint64_t>::max();
-          if (rctr_enabled_) {
-            int64_t allowance = rctr_ + 1;
-            rctr_iters = allowance <= 0 ? 0 : static_cast<uint64_t>(allowance) / loop_len;
-          }
-          uint64_t k = budget_iters < rctr_iters ? budget_iters : rctr_iters;
-          if (k > 0) {
-            uint64_t skipped = k * loop_len;
-            cpu_.instret += skipped;
-            executed += skipped;
-            idle_skipped_ += skipped;
-            if (rctr_enabled_) {
-              rctr_ -= static_cast<int64_t>(skipped);
-              if (rctr_ < 0) {
-                // The skip landed exactly on the recovery boundary.
-                idle_observing_ = false;
-                exit.kind = ExitKind::kRecovery;
-                exit.executed = executed;
-                exit.pc = cpu_.pc;
-                return exit;
-              }
-            }
-            // PC unchanged: still at loop head, exactly as if emulated.
-          }
-        }
-        idle_observing_ = false;
-        if (executed >= max_instructions) {
-          break;
-        }
-      } else {
-        idle_observing_ = true;
-        idle_clean_ = true;
-        idle_entry_fp_ = now_fp;
-        idle_entry_instret_ = cpu_.instret;
-      }
-    } else if (idle_observing_ && (cpu_.pc < idle_begin_ || cpu_.pc >= idle_end_)) {
-      idle_observing_ = false;
+    IdleOutcome idle = IdleCheck(max_instructions, &executed, &exit);
+    if (idle == IdleOutcome::kRecoveryExit) {
+      return exit;
+    }
+    if (idle == IdleOutcome::kBudgetExhausted) {
+      break;
     }
 
     uint32_t pc = cpu_.pc;
@@ -328,11 +375,7 @@ MachineExit Machine::Run(uint64_t max_instructions) {
     }
     uint32_t word = memory_.Read32(fetch.paddr);
     if (!trace_ring_.empty()) {
-      trace_ring_[trace_next_] = TraceEntry{pc, word};
-      if (++trace_next_ == trace_ring_.size()) {
-        trace_next_ = 0;
-        trace_wrapped_ = true;
-      }
+      RecordTrace(pc, word);
     }
     auto decoded = Decode(word);
     if (!decoded.has_value()) {
@@ -630,6 +673,7 @@ MachineExit Machine::Run(uint64_t max_instructions) {
         }
         cpu_.cr[kCrStatus] = status;
         next_pc = cpu_.cr[kCrEpc];
+        check_irq = true;  // RFI can restore IE with interrupts pending.
         break;
       }
 
@@ -690,6 +734,7 @@ MachineExit Machine::Run(uint64_t max_instructions) {
         } else {
           cpu_.cr[cr] = rs1;
         }
+        check_irq = true;  // A STATUS write can enable pending interrupts.
         break;
       }
 
@@ -743,5 +788,562 @@ MachineExit Machine::Run(uint64_t max_instructions) {
   exit.pc = cpu_.pc;
   return exit;
 }
+
+// ---------------------------------------------------------------------------
+// Cached interpreter: predecoded superblocks through threaded dispatch.
+// ---------------------------------------------------------------------------
+
+MachineExit Machine::RunCached(uint64_t max_instructions) {
+  MachineExit exit;
+  uint64_t executed = 0;
+
+  while (executed < max_instructions) {
+    // Superblock dispatch is the interrupt window: the deliverable predicate
+    // cannot flip to true mid-block (MTCR and RFI end superblocks, RaiseIrq
+    // happens between Run calls, and delivery itself clears IE), so checking
+    // here reproduces the slow path's delivery points exactly.
+    if (config_.trap_mode == TrapMode::kDirect && pending_irqs() != 0 &&
+        cpu_.interrupts_enabled()) {
+      idle_observing_ = false;
+      ++executed;
+      VectorTrap(TrapCause::kInterrupt, cpu_.pc, 0, 0);
+      continue;
+    }
+
+    IdleOutcome idle = IdleCheck(max_instructions, &executed, &exit);
+    if (idle == IdleOutcome::kRecoveryExit) {
+      return exit;
+    }
+    if (idle == IdleOutcome::kBudgetExhausted) {
+      break;
+    }
+
+    const uint32_t pc = cpu_.pc;
+    if ((pc & 3) != 0) {
+      if (!DeliverTrap(TrapCause::kUnalignedAccess, pc, pc, nullptr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+    Translation fetch = Translate(pc, Access::kFetch);
+    if (!fetch.ok) {
+      if (!DeliverTrap(fetch.cause, pc, pc, nullptr, &exit, &executed)) {
+        exit.executed = executed;
+        return exit;
+      }
+      continue;
+    }
+
+    Superblock* block =
+        tcache_.Find(pc, fetch.paddr, memory_.PageVersion(fetch.paddr >> kPageShift));
+    if (block == nullptr) {
+      block = tcache_.Claim(pc, fetch.paddr);
+      BuildSuperblock(memory_, pc, fetch.paddr, idle_configured_, idle_begin_, idle_end_, block);
+      if (!block->valid) {
+        // The entry word itself is undecodable: mirror the slow path (trace
+        // the raw word, then take the illegal-instruction trap).
+        if (!trace_ring_.empty()) {
+          RecordTrace(pc, memory_.Read32(fetch.paddr));
+        }
+        if (!DeliverTrap(TrapCause::kIllegalInstruction, pc, 0, nullptr, &exit, &executed)) {
+          exit.executed = executed;
+          return exit;
+        }
+        continue;
+      }
+    }
+
+    if (ExecuteBlock(*block, max_instructions, &exit, &executed) == BlockOutcome::kReturn) {
+      return exit;
+    }
+  }
+
+  exit.kind = ExitKind::kLimit;
+  exit.executed = executed;
+  exit.pc = cpu_.pc;
+  return exit;
+}
+
+// The dispatch core threads through a dense per-opcode handler table. With
+// GCC/Clang the table holds computed-goto label addresses (one indirect jump
+// per instruction); elsewhere a dense switch over the 6-bit opcode compiles
+// to the same jump table. Handler bodies are shared by both forms. Every
+// real opcode maps to its handler label; the ten memory opcodes share one.
+#if defined(__GNUC__) && !defined(HBFT_NO_COMPUTED_GOTO)
+#define HBFT_THREADED_DISPATCH 1
+#else
+#define HBFT_THREADED_DISPATCH 0
+#endif
+
+#define HBFT_OPCODE_HANDLERS(X)                                                          \
+  X(kAdd, Add) X(kSub, Sub) X(kAnd, And) X(kOr, Or) X(kXor, Xor) X(kSll, Sll)            \
+  X(kSrl, Srl) X(kSra, Sra) X(kSlt, Slt) X(kSltu, Sltu) X(kMul, Mul) X(kDiv, Div)        \
+  X(kRem, Rem) X(kAddi, Addi) X(kAndi, Andi) X(kOri, Ori) X(kXori, Xori)                 \
+  X(kSlti, Slti) X(kSltiu, Sltiu) X(kSlli, Slli) X(kSrli, Srli) X(kSrai, Srai)           \
+  X(kLui, Lui) X(kLw, Mem) X(kLh, Mem) X(kLhu, Mem) X(kLb, Mem) X(kLbu, Mem)             \
+  X(kSw, Mem) X(kSh, Mem) X(kSb, Mem) X(kLwp, Mem) X(kSwp, Mem) X(kBeq, Beq)             \
+  X(kBne, Bne) X(kBlt, Blt) X(kBge, Bge) X(kBltu, Bltu) X(kBgeu, Bgeu) X(kJal, Jal)      \
+  X(kJalr, Jalr) X(kSyscall, Syscall) X(kBreak, Break) X(kRfi, Rfi) X(kMfcr, Mfcr)       \
+  X(kMtcr, Mtcr) X(kTlbi, Tlbi) X(kTlbf, Tlbf) X(kProbe, Probe) X(kHalt, Halt)
+
+Machine::BlockOutcome Machine::ExecuteBlock(const Superblock& block, uint64_t max_instructions,
+                                            MachineExit* exit, uint64_t* executed_io) {
+  uint64_t executed = *executed_io;
+  const PredecodedInstr* code = block.code.data();
+  const size_t count = block.code.size();
+  // VM-enable state cannot change mid-block (MTCR/RFI end superblocks), so
+  // the fetch-lookup crediting condition is loop-invariant.
+  const bool credit_fetch = cpu_.vm_enabled();
+  const bool trace_on = !trace_ring_.empty();
+  BlockOutcome outcome = BlockOutcome::kContinue;
+  size_t index = 0;
+  uint32_t pc = cpu_.pc;
+  const PredecodedInstr* p = nullptr;
+  uint32_t rs1 = 0;
+  uint32_t rs2 = 0;
+  uint32_t imm_u = 0;
+  uint32_t next_pc = 0;
+  bool leave_block = false;
+  TrapCause trap_cause = TrapCause::kNone;
+  uint32_t trap_vaddr = 0;
+
+#if HBFT_THREADED_DISPATCH
+  static const void* jump_table[kMaxOpcode + 1];
+  if (jump_table[0] == nullptr) {
+    for (const void*& entry : jump_table) {
+      entry = &&h_Invalid;
+    }
+#define X(name, handler) jump_table[static_cast<uint8_t>(Opcode::name)] = &&h_##handler;
+    HBFT_OPCODE_HANDLERS(X)
+#undef X
+  }
+#define HBFT_DISPATCH() goto* jump_table[static_cast<uint8_t>(p->instr.op)]
+#else
+#define HBFT_DISPATCH_CASE(name, handler) \
+  case static_cast<uint8_t>(Opcode::name): \
+    goto h_##handler;
+#define HBFT_DISPATCH()                          \
+  switch (static_cast<uint8_t>(p->instr.op)) {   \
+    HBFT_OPCODE_HANDLERS(HBFT_DISPATCH_CASE)     \
+    default:                                     \
+      goto h_Invalid;                            \
+  }
+#endif
+
+front:
+  if (index >= count || executed >= max_instructions) {
+    goto done;
+  }
+  p = &code[index];
+  if (index != 0 && credit_fetch) {
+    // The slow path performs one TLB fetch lookup per instruction — always a
+    // hit after the dispatch translation succeeded, since nothing mid-block
+    // mutates the TLB. The counters are snapshot state, so the lookups this
+    // path skips must still be credited.
+    tlb_.CreditLookups(1);
+  }
+  if (trace_on) {
+    RecordTrace(pc, p->word);
+  }
+  if (p->privileged && cpu_.priv() != 0) {
+    trap_cause = TrapCause::kPrivilegeViolation;
+    trap_vaddr = 0;
+    goto trap;
+  }
+  rs1 = cpu_.gpr[p->instr.rs1];
+  rs2 = cpu_.gpr[p->instr.rs2];
+  imm_u = p->imm_u;
+  next_pc = pc + 4;
+  HBFT_DISPATCH();
+
+h_Add:
+  cpu_.set_gpr(p->instr.rd, rs1 + rs2);
+  goto retire;
+h_Sub:
+  cpu_.set_gpr(p->instr.rd, rs1 - rs2);
+  goto retire;
+h_And:
+  cpu_.set_gpr(p->instr.rd, rs1 & rs2);
+  goto retire;
+h_Or:
+  cpu_.set_gpr(p->instr.rd, rs1 | rs2);
+  goto retire;
+h_Xor:
+  cpu_.set_gpr(p->instr.rd, rs1 ^ rs2);
+  goto retire;
+h_Sll:
+  cpu_.set_gpr(p->instr.rd, rs1 << (rs2 & 31));
+  goto retire;
+h_Srl:
+  cpu_.set_gpr(p->instr.rd, rs1 >> (rs2 & 31));
+  goto retire;
+h_Sra:
+  cpu_.set_gpr(p->instr.rd, static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (rs2 & 31)));
+  goto retire;
+h_Slt:
+  cpu_.set_gpr(p->instr.rd, static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2) ? 1 : 0);
+  goto retire;
+h_Sltu:
+  cpu_.set_gpr(p->instr.rd, rs1 < rs2 ? 1 : 0);
+  goto retire;
+h_Mul:
+  cpu_.set_gpr(p->instr.rd, rs1 * rs2);
+  goto retire;
+h_Div: {
+  if (rs2 == 0) {
+    trap_cause = TrapCause::kDivideByZero;
+    trap_vaddr = 0;
+    goto trap;
+  }
+  int32_t a = static_cast<int32_t>(rs1);
+  int32_t b = static_cast<int32_t>(rs2);
+  // INT_MIN / -1 overflows; define the result as INT_MIN (no trap).
+  int32_t q = (a == std::numeric_limits<int32_t>::min() && b == -1) ? a : a / b;
+  cpu_.set_gpr(p->instr.rd, static_cast<uint32_t>(q));
+  goto retire;
+}
+h_Rem: {
+  if (rs2 == 0) {
+    trap_cause = TrapCause::kDivideByZero;
+    trap_vaddr = 0;
+    goto trap;
+  }
+  int32_t a = static_cast<int32_t>(rs1);
+  int32_t b = static_cast<int32_t>(rs2);
+  int32_t r = (a == std::numeric_limits<int32_t>::min() && b == -1) ? 0 : a % b;
+  cpu_.set_gpr(p->instr.rd, static_cast<uint32_t>(r));
+  goto retire;
+}
+h_Addi:
+  cpu_.set_gpr(p->instr.rd, rs1 + imm_u);
+  goto retire;
+h_Andi:
+  cpu_.set_gpr(p->instr.rd, rs1 & imm_u);
+  goto retire;
+h_Ori:
+  cpu_.set_gpr(p->instr.rd, rs1 | imm_u);
+  goto retire;
+h_Xori:
+  cpu_.set_gpr(p->instr.rd, rs1 ^ imm_u);
+  goto retire;
+h_Slti:
+  cpu_.set_gpr(p->instr.rd, static_cast<int32_t>(rs1) < p->instr.imm ? 1 : 0);
+  goto retire;
+h_Sltiu:
+  cpu_.set_gpr(p->instr.rd, rs1 < imm_u ? 1 : 0);
+  goto retire;
+h_Slli:
+  cpu_.set_gpr(p->instr.rd, rs1 << (imm_u & 31));
+  goto retire;
+h_Srli:
+  cpu_.set_gpr(p->instr.rd, rs1 >> (imm_u & 31));
+  goto retire;
+h_Srai:
+  cpu_.set_gpr(p->instr.rd, static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (imm_u & 31)));
+  goto retire;
+h_Lui:
+  cpu_.set_gpr(p->instr.rd, imm_u << 16);
+  goto retire;
+
+h_Mem: {
+  const uint32_t bytes = p->mem_bytes;
+  uint32_t vaddr = rs1 + imm_u;
+  uint32_t paddr;
+  if ((vaddr & (bytes - 1)) != 0) {
+    trap_cause = TrapCause::kUnalignedAccess;
+    trap_vaddr = vaddr;
+    goto trap;
+  }
+  if (p->mem_physical) {
+    // Privileged physical window (page-table walks); no translation.
+    if (IsMmioAddress(vaddr)) {
+      paddr = vaddr;  // MMIO reachable physically at privilege 0.
+    } else if (!memory_.Contains(vaddr, bytes)) {
+      trap_cause = TrapCause::kProtectionFault;
+      trap_vaddr = vaddr;
+      goto trap;
+    } else {
+      paddr = vaddr;
+    }
+  } else {
+    Translation tr = Translate(vaddr, p->mem_store ? Access::kStore : Access::kLoad);
+    if (!tr.ok) {
+      trap_cause = tr.cause;
+      trap_vaddr = vaddr;
+      goto trap;
+    }
+    paddr = tr.paddr;
+  }
+  if (IsMmioAddress(paddr)) {
+    // kDirect at privilege 0 reaches here; kHostFirst never does (privilege
+    // rule in Translate and the privileged LWP/SWP check).
+    idle_observing_ = false;
+    exit->kind = ExitKind::kMmio;
+    exit->executed = executed;
+    exit->pc = pc;
+    exit->instr = p->instr;
+    exit->instr_valid = true;
+    exit->mmio_paddr = paddr;
+    exit->mmio_is_store = p->mem_store;
+    exit->mmio_bytes = bytes;
+    exit->mmio_value = p->mem_store ? cpu_.gpr[p->instr.rd] : 0;
+    outcome = BlockOutcome::kReturn;
+    goto out;
+  }
+  if (p->mem_store) {
+    idle_clean_ = false;
+    uint32_t data = cpu_.gpr[p->instr.rd];
+    if (bytes == 4) {
+      memory_.Write32(paddr, data);
+    } else if (bytes == 2) {
+      memory_.Write16(paddr, static_cast<uint16_t>(data));
+    } else {
+      memory_.Write8(paddr, static_cast<uint8_t>(data));
+    }
+    if ((paddr >> kPageShift) == block.page) {
+      // The store hit this block's own code page: anything predecoded past
+      // this instruction may be stale, so finish the retire and redispatch
+      // (the bumped page version forces a rebuild from current bytes).
+      leave_block = true;
+    }
+  } else {
+    uint32_t value = 0;
+    switch (p->instr.op) {
+      case Opcode::kLw:
+      case Opcode::kLwp:
+        value = memory_.Read32(paddr);
+        break;
+      case Opcode::kLh:
+        value = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(memory_.Read16(paddr))));
+        break;
+      case Opcode::kLhu:
+        value = memory_.Read16(paddr);
+        break;
+      case Opcode::kLb:
+        value = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(memory_.Read8(paddr))));
+        break;
+      case Opcode::kLbu:
+        value = memory_.Read8(paddr);
+        break;
+      default:
+        HBFT_CHECK(false);
+    }
+    cpu_.set_gpr(p->instr.rd, value);
+  }
+  goto retire;
+}
+
+h_Beq:
+  if (rs1 == rs2) {
+    next_pc = p->target;
+  }
+  goto retire;
+h_Bne:
+  if (rs1 != rs2) {
+    next_pc = p->target;
+  }
+  goto retire;
+h_Blt:
+  if (static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2)) {
+    next_pc = p->target;
+  }
+  goto retire;
+h_Bge:
+  if (static_cast<int32_t>(rs1) >= static_cast<int32_t>(rs2)) {
+    next_pc = p->target;
+  }
+  goto retire;
+h_Bltu:
+  if (rs1 < rs2) {
+    next_pc = p->target;
+  }
+  goto retire;
+h_Bgeu:
+  if (rs1 >= rs2) {
+    next_pc = p->target;
+  }
+  goto retire;
+
+h_Jal:
+  // PA-RISC branch-and-link quirk: privilege in the low link bits.
+  cpu_.set_gpr(p->instr.rd, (pc + 4) | cpu_.priv());
+  next_pc = p->target;
+  goto retire;
+h_Jalr:
+  next_pc = (rs1 + imm_u) & ~3u;  // Low bits masked on use.
+  cpu_.set_gpr(p->instr.rd, (pc + 4) | cpu_.priv());
+  goto retire;
+
+h_Syscall:
+  trap_cause = TrapCause::kSyscall;
+  trap_vaddr = 0;
+  goto trap;
+h_Break:
+  trap_cause = TrapCause::kBreak;
+  trap_vaddr = 0;
+  goto trap;
+
+h_Rfi: {
+  idle_clean_ = false;
+  uint32_t status = cpu_.cr[kCrStatus];
+  uint32_t prev_priv = (status & StatusBits::kPrevPrivMask) >> StatusBits::kPrevPrivShift;
+  bool prev_ie = (status & StatusBits::kPrevIe) != 0;
+  status &= ~(StatusBits::kPrivMask | StatusBits::kIe);
+  status |= prev_priv;
+  if (prev_ie) {
+    status |= StatusBits::kIe;
+  }
+  cpu_.cr[kCrStatus] = status;
+  next_pc = cpu_.cr[kCrEpc];
+  goto retire;
+}
+
+h_Mfcr: {
+  uint32_t cr = imm_u & 0xFF;
+  if (cr >= kNumControlRegs) {
+    trap_cause = TrapCause::kIllegalInstruction;
+    trap_vaddr = 0;
+    goto trap;
+  }
+  if (IsEnvironmentCr(cr)) {
+    idle_observing_ = false;
+    exit->kind = ExitKind::kEnvCr;
+    exit->executed = executed;
+    exit->pc = pc;
+    exit->instr = p->instr;
+    exit->instr_valid = true;
+    outcome = BlockOutcome::kReturn;
+    goto out;
+  }
+  uint32_t value;
+  if (cr == kCrRctr) {
+    value = static_cast<uint32_t>(rctr_);
+  } else if (cr == kCrInstret) {
+    value = static_cast<uint32_t>(cpu_.instret);
+  } else {
+    value = cpu_.cr[cr];
+  }
+  cpu_.set_gpr(p->instr.rd, value);
+  goto retire;
+}
+h_Mtcr: {
+  uint32_t cr = imm_u & 0xFF;
+  if (cr >= kNumControlRegs) {
+    trap_cause = TrapCause::kIllegalInstruction;
+    trap_vaddr = 0;
+    goto trap;
+  }
+  if (IsEnvironmentCr(cr)) {
+    idle_observing_ = false;
+    exit->kind = ExitKind::kEnvCr;
+    exit->executed = executed;
+    exit->pc = pc;
+    exit->instr = p->instr;
+    exit->instr_valid = true;
+    outcome = BlockOutcome::kReturn;
+    goto out;
+  }
+  idle_clean_ = false;
+  if (cr == kCrEirr) {
+    cpu_.cr[kCrEirr] &= ~rs1;  // Write-1-to-clear.
+  } else if (cr == kCrRctr) {
+    rctr_ = static_cast<int64_t>(static_cast<int32_t>(rs1));
+  } else if (cr == kCrInstret) {
+    // Read-only; writes ignored.
+  } else {
+    cpu_.cr[cr] = rs1;
+  }
+  goto retire;
+}
+
+h_Tlbi: {
+  idle_clean_ = false;
+  uint32_t pte = rs2;
+  constexpr uint32_t kWiredBit = 1u << 4;  // Software convention.
+  tlb_.Insert(rs1 >> kPageShift, pte, (pte & kWiredBit) != 0);
+  goto retire;
+}
+h_Tlbf:
+  idle_clean_ = false;
+  tlb_.FlushUnwired();
+  goto retire;
+
+h_Probe: {
+  // Same contract as the slow path: TLB misses trap, other failures yield 0.
+  Translation tr = Translate(rs1, Access::kLoad);
+  if (!tr.ok && tr.cause == TrapCause::kTlbMissLoad) {
+    trap_cause = tr.cause;
+    trap_vaddr = rs1;
+    goto trap;
+  }
+  cpu_.set_gpr(p->instr.rd, tr.ok ? 1 : 0);
+  goto retire;
+}
+
+h_Halt:
+  // HALT retires (the recovery counter still ticks) but its exit outranks a
+  // simultaneous recovery expiry, exactly as the slow path orders it.
+  exit->kind = ExitKind::kHalt;
+  cpu_.pc = next_pc;
+  ++cpu_.instret;
+  ++executed;
+  if (rctr_enabled_) {
+    --rctr_;
+  }
+  exit->executed = executed;
+  exit->pc = pc;
+  outcome = BlockOutcome::kReturn;
+  goto out;
+
+h_Invalid:
+  HBFT_CHECK(false) << "undecodable opcode inside a superblock";
+  goto done;
+
+retire:
+  cpu_.pc = next_pc;
+  ++cpu_.instret;
+  ++executed;
+  if (rctr_enabled_) {
+    --rctr_;
+    if (rctr_ < 0) {
+      exit->kind = ExitKind::kRecovery;
+      exit->executed = executed;
+      exit->pc = cpu_.pc;
+      outcome = BlockOutcome::kReturn;
+      goto out;
+    }
+  }
+  if (leave_block) {
+    goto done;
+  }
+  pc = next_pc;
+  ++index;
+  goto front;
+
+trap:
+  if (!DeliverTrap(trap_cause, pc, trap_vaddr, &p->instr, exit, &executed)) {
+    exit->executed = executed;
+    outcome = BlockOutcome::kReturn;
+    goto out;
+  }
+  outcome = BlockOutcome::kContinue;
+  goto out;
+
+done:
+  outcome = BlockOutcome::kContinue;
+out:
+  *executed_io = executed;
+  return outcome;
+}
+
+#undef HBFT_DISPATCH
+#ifdef HBFT_DISPATCH_CASE
+#undef HBFT_DISPATCH_CASE
+#endif
+#undef HBFT_OPCODE_HANDLERS
+#undef HBFT_THREADED_DISPATCH
 
 }  // namespace hbft

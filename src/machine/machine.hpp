@@ -32,6 +32,7 @@
 #include "isa/isa.hpp"
 #include "machine/cpu.hpp"
 #include "machine/memory.hpp"
+#include "machine/tcache.hpp"
 #include "machine/tlb.hpp"
 
 namespace hbft {
@@ -41,12 +42,28 @@ enum class TrapMode {
   kHostFirst,  // Hypervised: every trap exits to the embedder.
 };
 
+// Two interpreters over identical semantics. kSlow fetches, decodes, and
+// dispatches every instruction; kCached executes predecoded superblocks from
+// the translation cache. Every guest-visible effect — retired counts, the
+// recovery counter, trap and interrupt delivery points, TLB counters,
+// idle-loop dynamics, snapshot bytes — is dispatch-mode invariant
+// (tests/dispatch_diff_test.cpp holds both paths to that contract).
+enum class InterpMode {
+  kSlow,
+  kCached,
+};
+
+// Process-wide default: HBFT_INTERP=cached flips it (read once); else kSlow.
+InterpMode DefaultInterpMode();
+
 struct MachineConfig {
   uint32_t ram_bytes = 4 * 1024 * 1024;
   uint32_t tlb_entries = 32;
   TlbPolicy tlb_policy = TlbPolicy::kHardwareRandom;
   uint64_t machine_seed = 0;  // Seeds per-machine hardware nondeterminism.
   TrapMode trap_mode = TrapMode::kDirect;
+  InterpMode interp = DefaultInterpMode();
+  uint32_t tcache_slots = 2048;  // Superblock slots (rounded up to a power of 2).
 };
 
 enum class ExitKind {
@@ -125,6 +142,10 @@ class Machine {
 
   uint64_t idle_skipped_instructions() const { return idle_skipped_; }
 
+  // Translation-cache observability (kCached; all-zero stats under kSlow).
+  const TranslationCache::Stats& tcache_stats() const { return tcache_.stats(); }
+  uint32_t tcache_capacity() const { return tcache_.capacity(); }
+
   // --- Execution tracing (debugging aid) ------------------------------------
 
   // Keeps a ring buffer of the last `depth` executed instructions (0
@@ -160,10 +181,35 @@ class Machine {
   bool DeliverTrap(TrapCause cause, uint32_t pc, uint32_t vaddr, const DecodedInstr* instr,
                    MachineExit* exit, uint64_t* executed);
 
+  // The two interpreters behind Run(); identical guest-visible semantics.
+  MachineExit RunSlow(uint64_t max_instructions);
+  MachineExit RunCached(uint64_t max_instructions);
+
+  // Idle-loop fast-forward, shared verbatim by both interpreters: the slow
+  // path runs it before every fetch, the cached path before every superblock
+  // dispatch (equivalent because blocks never span the idle boundaries).
+  enum class IdleOutcome { kProceed, kBudgetExhausted, kRecoveryExit };
+  IdleOutcome IdleCheck(uint64_t max_instructions, uint64_t* executed, MachineExit* exit);
+
+  // Executes one superblock. kReturn: `exit` is filled and Run must return;
+  // kContinue: dispatch again at the (updated) PC.
+  enum class BlockOutcome { kContinue, kReturn };
+  BlockOutcome ExecuteBlock(const Superblock& block, uint64_t max_instructions, MachineExit* exit,
+                            uint64_t* executed);
+
+  void RecordTrace(uint32_t pc, uint32_t word) {
+    trace_ring_[trace_next_] = TraceEntry{pc, word};
+    if (++trace_next_ == trace_ring_.size()) {
+      trace_next_ = 0;
+      trace_wrapped_ = true;
+    }
+  }
+
   MachineConfig config_;
   CpuState cpu_;
   PhysicalMemory memory_;
   Tlb tlb_;
+  TranslationCache tcache_;
   int64_t rctr_ = -1;
   bool rctr_enabled_ = false;
 

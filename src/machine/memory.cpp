@@ -14,6 +14,7 @@ PhysicalMemory::PhysicalMemory(uint32_t bytes) {
   bytes_.assign(bytes, 0);
   uint32_t pages = bytes / kPageBytes;
   dirty_.assign(pages, 1);  // Every page starts "dirty" so first Fingerprint hashes all.
+  versions_.assign(pages, 0);
   page_hashes_.assign(pages, 0);
 }
 
@@ -22,6 +23,7 @@ void PhysicalMemory::WriteBlock(uint32_t paddr, const uint8_t* data, uint32_t le
   std::memcpy(bytes_.data() + paddr, data, len);
   for (uint32_t page = paddr >> kPageShift; page <= ((paddr + len - 1) >> kPageShift); ++page) {
     dirty_[page] = 1;
+    ++versions_[page];
     if (transfer_tracking_) {
       transfer_dirty_[page] = 1;
     }
@@ -63,6 +65,9 @@ bool PhysicalMemory::PageIsZero(uint32_t page) const {
 void PhysicalMemory::Fill(uint8_t value) {
   std::memset(bytes_.data(), value, bytes_.size());
   std::fill(dirty_.begin(), dirty_.end(), 1);
+  for (uint32_t& version : versions_) {
+    ++version;
+  }
   if (transfer_tracking_) {
     std::fill(transfer_dirty_.begin(), transfer_dirty_.end(), 1);
   }
@@ -101,6 +106,9 @@ bool PhysicalMemory::RestoreState(SnapshotReader& r) {
   }
   bytes_ = std::move(incoming);
   std::fill(dirty_.begin(), dirty_.end(), 1);  // Re-hash everything lazily.
+  for (uint32_t& version : versions_) {
+    ++version;  // Every page may have changed; stale superblocks must rebuild.
+  }
   if (transfer_tracking_) {
     std::fill(transfer_dirty_.begin(), transfer_dirty_.end(), 1);
   }

@@ -65,6 +65,12 @@ class PhysicalMemory : public Snapshotable {
   uint32_t PageCount() const { return static_cast<uint32_t>(dirty_.size()); }
   bool PageIsZero(uint32_t page) const;
 
+  // Monotonic per-page write counter, bumped by every mutation of the page
+  // (stores, WriteBlock/DMA, Fill, snapshot restore). The translation cache
+  // keys predecoded superblocks on it so guest writes to code pages
+  // invalidate stale blocks. Derived bookkeeping: never serialised.
+  uint32_t PageVersion(uint32_t page) const { return versions_[page]; }
+
   // Overwrites all of RAM with `value` (a joining replica zeroes its memory
   // before applying transferred pages). Marks everything dirty.
   void Fill(uint8_t value);
@@ -91,6 +97,7 @@ class PhysicalMemory : public Snapshotable {
   void MarkDirty(uint32_t paddr) {
     uint32_t page = paddr >> kPageShift;
     dirty_[page] = 1;
+    ++versions_[page];
     if (transfer_tracking_) {
       transfer_dirty_[page] = 1;
     }
@@ -98,6 +105,7 @@ class PhysicalMemory : public Snapshotable {
 
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> dirty_;        // Per-page dirty flags.
+  std::vector<uint32_t> versions_;    // Per-page write counters (see PageVersion).
   std::vector<uint64_t> page_hashes_; // Cached per-page hashes.
   uint64_t combined_ = 0;
   bool transfer_tracking_ = false;

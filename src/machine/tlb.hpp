@@ -45,6 +45,12 @@ class Tlb : public Snapshotable {
   uint64_t lookups() const { return lookups_; }
   uint64_t misses() const { return misses_; }
 
+  // Accounts `n` hitting lookups without searching. The cached interpreter
+  // translates a superblock's fetch once but the slow path looks up every
+  // instruction fetch — and the counters are snapshot state, so the
+  // guaranteed-hit lookups it skips must still be credited.
+  void CreditLookups(uint64_t n) { lookups_ += n; }
+
   // Snapshot: slot contents plus the replacement state (round-robin cursor
   // and "hardware" RNG stream), so a restored TLB evicts identically.
   // Restore requires matching capacity; the policy is construction-time

@@ -192,6 +192,16 @@ Scenario& Scenario::Tlb(uint32_t entries, TlbPolicy policy) {
   return *this;
 }
 
+Scenario& Scenario::Interp(InterpMode mode) {
+  machine_.interp = mode;
+  return *this;
+}
+
+Scenario& Scenario::TcacheSlots(uint32_t slots) {
+  machine_.tcache_slots = slots;
+  return *this;
+}
+
 Scenario& Scenario::Seed(uint64_t seed) {
   seed_ = seed;
   return *this;

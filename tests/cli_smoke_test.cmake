@@ -111,7 +111,7 @@ expect_field("${phases_out}" "before-io-issue")
 # --- bench: JSON artifacts under bench/ -------------------------------------
 run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
 foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json
-        fig4_lossy_link.json fig5_resync.json)
+        fig4_lossy_link.json fig5_resync.json fig6_throughput.json)
   if(NOT EXISTS ${WORK_DIR}/bench/${artifact})
     message(FATAL_ERROR "bench artifact missing: ${WORK_DIR}/bench/${artifact}\n${bench_out}")
   endif()

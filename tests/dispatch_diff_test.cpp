@@ -1,0 +1,446 @@
+// Differential execution: the cached (predecoded-superblock) interpreter
+// against the slow fetch-decode path. The contract under test is total
+// equivalence of guest-visible state — snapshot bytes (registers, memory,
+// TLB incl. its lookup/miss counters, recovery counter, idle-loop dynamics),
+// exit kinds and PCs, trap and interrupt delivery points, and scenario-level
+// results (epoch fingerprints, environment traces, completion times) — over
+// machine-level lockstep runs, whole-scenario runs with failovers and lossy
+// links, self-modifying code, cache-eviction pressure, and snapshot/restore
+// with a warm cache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.hpp"
+#include "isa/assembler.hpp"
+#include "machine/machine.hpp"
+#include "sim/scenario.hpp"
+
+namespace hbft {
+namespace {
+
+MachineConfig ModeConfig(InterpMode mode, uint32_t tcache_slots = 2048) {
+  MachineConfig config;
+  config.trap_mode = TrapMode::kDirect;
+  config.interp = mode;
+  config.tcache_slots = tcache_slots;
+  return config;
+}
+
+std::vector<uint8_t> Capture(const Machine& machine) {
+  Snapshot snap;
+  SnapshotWriter w(&snap);
+  machine.CaptureState(w, /*include_memory=*/true);
+  return snap.bytes;
+}
+
+struct Twins {
+  std::unique_ptr<Machine> slow;
+  std::unique_ptr<Machine> cached;
+};
+
+Twins MakeTwins(const std::string& source, uint32_t tcache_slots = 2048) {
+  auto assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << (assembled.ok() ? "" : assembled.error().ToString());
+  Twins twins;
+  twins.slow = std::make_unique<Machine>(ModeConfig(InterpMode::kSlow));
+  twins.cached = std::make_unique<Machine>(ModeConfig(InterpMode::kCached, tcache_slots));
+  for (Machine* m : {twins.slow.get(), twins.cached.get()}) {
+    m->LoadImage(assembled.value());
+    m->cpu().pc = 0;
+  }
+  return twins;
+}
+
+// Runs both machines through identical slice budgets until both halt (or the
+// step limit trips), asserting identical exits and identical snapshot bytes
+// after every single slice — equivalence at every observable cut, not just
+// at the end.
+void RunLockstep(Machine& slow, Machine& cached, const std::vector<uint64_t>& slices) {
+  bool halted = false;
+  for (int step = 0; step < 10000 && !halted; ++step) {
+    uint64_t budget = slices[step % slices.size()];
+    MachineExit a = slow.Run(budget);
+    MachineExit b = cached.Run(budget);
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << "step " << step;
+    ASSERT_EQ(a.executed, b.executed) << "step " << step;
+    ASSERT_EQ(a.pc, b.pc) << "step " << step;
+    ASSERT_EQ(Capture(slow), Capture(cached)) << "step " << step;
+    halted = a.kind == ExitKind::kHalt;
+  }
+  ASSERT_TRUE(halted) << "lockstep run never reached HALT";
+}
+
+// Slice widths chosen to cut superblocks at every phase: mid-block (1..7),
+// around typical block lengths, and bulk.
+const std::vector<uint64_t> kSlices = {1, 2, 3, 5, 7, 13, 64, 1000};
+
+TEST(DispatchDiff, LockstepAluMemoryLoops) {
+  Twins t = MakeTwins(R"(
+    li r10, 0
+    li r11, 12
+outer:
+    li r12, 5
+inner:
+    mul r13, r11, r12
+    add r10, r10, r13
+    slli r14, r10, 3
+    xor r10, r10, r14
+    srli r14, r10, 5
+    add r10, r10, r14
+    sw r10, 0x800(zero)
+    lh r15, 0x800(zero)
+    lbu r16, 0x801(zero)
+    addi r12, r12, -1
+    bnez r12, inner
+    addi r11, r11, -1
+    bnez r11, outer
+    halt
+  )");
+  RunLockstep(*t.slow, *t.cached, kSlices);
+}
+
+TEST(DispatchDiff, LockstepTrapsResumeIdentically) {
+  // Divide-by-zero faults (epc = faulting pc; the handler skips it) and
+  // syscalls (epc = pc + 4) inside a loop: delivery points and the STATUS
+  // privilege/IE stacking must land identically in both modes.
+  Twins t = MakeTwins(R"(
+    la r1, handler
+    mtcr tvec, r1
+    li r11, 6
+    li r20, 0
+loop:
+    li r3, 0
+    div r4, r11, r3      ; traps, handler skips
+    syscall              ; traps, handler resumes after
+    addi r11, r11, -1
+    bnez r11, loop
+    halt
+handler:
+    mfcr r21, ecause
+    add r20, r20, r21
+    mfcr r22, epc
+    li r23, 11           ; TrapCause::kDivideByZero
+    bne r21, r23, resume
+    addi r22, r22, 4     ; skip the faulting div
+    mtcr epc, r22
+resume:
+    rfi
+  )");
+  // The handler's kDivideByZero constant must track the enum.
+  ASSERT_EQ(static_cast<uint32_t>(TrapCause::kDivideByZero), 11u);
+  RunLockstep(*t.slow, *t.cached, kSlices);
+}
+
+TEST(DispatchDiff, LockstepRecoveryCounterEpochs) {
+  // Epoch-style slicing: with the recovery counter armed, both modes must
+  // exit kRecovery after exactly the same retirement, epoch after epoch —
+  // the property the whole replication protocol rests on. Odd epoch lengths
+  // guarantee boundaries land mid-superblock.
+  Twins t = MakeTwins(R"(
+    li r11, 300
+loop:
+    slli r14, r10, 3
+    xor r10, r10, r14
+    addi r10, r10, 7
+    sw r10, 0x900(zero)
+    lw r15, 0x900(zero)
+    addi r11, r11, -1
+    bnez r11, loop
+    halt
+  )");
+  for (Machine* m : {t.slow.get(), t.cached.get()}) {
+    m->SetRecoveryCounter(61);
+    m->SetRctrEnabled(true);
+  }
+  bool halted = false;
+  for (int epoch = 0; epoch < 200 && !halted; ++epoch) {
+    MachineExit a = t.slow->Run(100000);
+    MachineExit b = t.cached->Run(100000);
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << "epoch " << epoch;
+    ASSERT_EQ(a.pc, b.pc) << "epoch " << epoch;
+    ASSERT_EQ(a.executed, b.executed) << "epoch " << epoch;
+    ASSERT_EQ(Capture(*t.slow), Capture(*t.cached)) << "epoch " << epoch;
+    if (a.kind == ExitKind::kHalt) {
+      halted = true;
+    } else {
+      ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(ExitKind::kRecovery));
+      t.slow->SetRecoveryCounter(61);
+      t.cached->SetRecoveryCounter(61);
+    }
+  }
+  ASSERT_TRUE(halted);
+}
+
+TEST(DispatchDiff, LockstepVirtualMemoryUserMode) {
+  // VM on, user mode, TLB misses handled by the guest: the TLB lookup/miss
+  // counters are snapshot state, so the cached path's fetch-lookup crediting
+  // must reproduce the slow path's counts exactly (snapshot equality below
+  // covers them).
+  Twins t = MakeTwins(R"(
+    la r1, handler
+    mtcr tvec, r1
+    li r2, 0
+wire_loop:
+    slli r3, r2, 12
+    ori r4, r3, 0x1F     ; V|W|X|U|WIRED
+    tlbi r3, r4
+    addi r2, r2, 1
+    li r5, 4
+    bltu r2, r5, wire_loop
+    li r1, 0x98          ; VM | prev_priv=3
+    mtcr status, r1
+    la r2, user
+    mtcr epc, r2
+    rfi
+user:
+    li r10, 40
+uloop:
+    sw r10, 0x2800(zero)
+    lw r11, 0x2800(zero)
+    add r12, r12, r11
+    addi r10, r10, -1
+    bnez r10, uloop
+    syscall              ; back to the kernel to halt
+    halt
+handler:
+    mfcr r5, ecause
+    halt
+  )");
+  RunLockstep(*t.slow, *t.cached, kSlices);
+}
+
+TEST(DispatchDiff, InterruptDeliveryPointsMatch) {
+  // IE starts off with an interrupt already pending; the MTCR that sets IE
+  // is the only place the deliverable predicate flips. The slow path's
+  // hoisted re-check after MTCR and the cached path's dispatch-boundary
+  // check must deliver at the same instruction (same EPC, same state).
+  auto assembled = Assemble(R"(
+    la r1, handler
+    mtcr tvec, r1
+    li r10, 5
+warm:
+    addi r10, r10, -1    ; a few instructions with delivery blocked
+    bnez r10, warm
+    mfcr r2, status
+    ori r2, r2, 4        ; set IE with the interrupt already pending
+    mtcr status, r2
+    addi r11, r11, 1     ; must NOT run before delivery
+    halt
+handler:
+    mfcr r20, epc        ; where delivery interrupted
+    li r9, 42
+    halt
+  )");
+  ASSERT_TRUE(assembled.ok());
+  Machine slow(ModeConfig(InterpMode::kSlow));
+  Machine cached(ModeConfig(InterpMode::kCached));
+  for (Machine* m : {&slow, &cached}) {
+    m->LoadImage(assembled.value());
+    m->cpu().pc = 0;
+    m->RaiseIrq(1);
+    MachineExit exit = m->Run(10000);
+    ASSERT_EQ(static_cast<int>(exit.kind), static_cast<int>(ExitKind::kHalt));
+    EXPECT_EQ(m->cpu().gpr[9], 42u);   // Handler ran...
+    EXPECT_EQ(m->cpu().gpr[11], 0u);   // ...before the post-MTCR instruction.
+  }
+  EXPECT_EQ(slow.cpu().gpr[20], cached.cpu().gpr[20]);  // Same delivery EPC.
+  EXPECT_EQ(Capture(slow), Capture(cached));
+}
+
+// ---------------------------------------------------------------------------
+// Self-modifying code: page-version invalidation.
+// ---------------------------------------------------------------------------
+
+TEST(SelfModifyingCode, PatchedInstructionExecutesNotStaleOne) {
+  // A loop whose body is patched from "addi r1, zero, 111" to
+  // "addi r1, zero, 222" by a store into its own code page, mid-superblock.
+  // The first iteration predecodes (and runs) 111; the store must end the
+  // block and bump the page version so the second iteration rebuilds and
+  // runs 222 — never the stale predecode.
+  auto assembled = Assemble(R"(
+    lw r5, 0x100(zero)   ; the replacement instruction word
+    addi r7, zero, 2
+loop:
+    addi r1, zero, 111   ; patch target
+    addi r6, zero, 0
+    sw r5, 8(zero)       ; overwrite the instruction at `loop` (same page)
+    addi r7, r7, -1
+    bnez r7, loop
+    halt
+  )");
+  ASSERT_TRUE(assembled.ok());
+  ASSERT_EQ(assembled.value().SymbolOrDie("loop"), 8u);
+
+  const uint32_t patched = EncodeI(Opcode::kAddi, /*rd=*/1, /*rs1=*/0, /*imm=*/222);
+  Machine slow(ModeConfig(InterpMode::kSlow));
+  Machine cached(ModeConfig(InterpMode::kCached));
+  for (Machine* m : {&slow, &cached}) {
+    m->LoadImage(assembled.value());
+    m->memory().Write32(0x100, patched);
+    m->cpu().pc = 0;
+    MachineExit exit = m->Run(10000);
+    ASSERT_EQ(static_cast<int>(exit.kind), static_cast<int>(ExitKind::kHalt));
+    EXPECT_EQ(m->cpu().gpr[1], 222u);  // The patched instruction ran.
+  }
+  EXPECT_EQ(Capture(slow), Capture(cached));
+  // The cached run really did detect staleness (rebuilt at least one block
+  // whose page version moved) rather than never caching at all. No hit is
+  // expected: every redispatch in this program follows a code-page store.
+  EXPECT_GE(cached.tcache_stats().stale, 1u);
+  EXPECT_GE(cached.tcache_stats().builds, 4u);
+}
+
+TEST(SelfModifyingCode, EvictionPressureTinyCacheStaysExact) {
+  // One-slot cache: every alternation between blocks evicts the other.
+  // Correctness must not depend on capacity — only speed may.
+  Twins t = MakeTwins(R"(
+    li r11, 40
+loop:
+    addi r10, r10, 3
+    slli r12, r10, 1
+    beqz zero, join      ; unconditional: forces a second block
+join:
+    xor r13, r12, r10
+    addi r11, r11, -1
+    bnez r11, loop
+    halt
+  )",
+                      /*tcache_slots=*/1);
+  EXPECT_EQ(t.cached->tcache_capacity(), 1u);
+  RunLockstep(*t.slow, *t.cached, kSlices);
+  EXPECT_GT(t.cached->tcache_stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot interaction: the cache is derived state, never serialised.
+// ---------------------------------------------------------------------------
+
+TEST(WarmCacheSnapshot, SnapshotIsDispatchModeInvariantAndRestoreContinues) {
+  const char* source = R"(
+    li r11, 120
+loop:
+    addi r10, r10, 7
+    mul r12, r10, r11
+    sw r12, 0xA00(zero)
+    lw r13, 0xA00(zero)
+    addi r11, r11, -1
+    bnez r11, loop
+    halt
+  )";
+  Twins t = MakeTwins(source);
+  // Stop mid-run: the cached machine now has a warm translation cache.
+  MachineExit a = t.slow->Run(100);
+  MachineExit b = t.cached->Run(100);
+  ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(ExitKind::kLimit));
+  ASSERT_EQ(static_cast<int>(b.kind), static_cast<int>(ExitKind::kLimit));
+  ASSERT_GT(t.cached->tcache_stats().builds, 0u);
+
+  // Warm cache leaves no trace in the snapshot: bytes match the slow twin.
+  std::vector<uint8_t> snap_bytes = Capture(*t.cached);
+  ASSERT_EQ(Capture(*t.slow), snap_bytes);
+
+  // Restoring into fresh machines of either mode continues identically.
+  Machine restored_slow(ModeConfig(InterpMode::kSlow));
+  Machine restored_cached(ModeConfig(InterpMode::kCached));
+  Snapshot snap;
+  snap.bytes = snap_bytes;
+  for (Machine* m : {&restored_slow, &restored_cached}) {
+    SnapshotReader r(snap);
+    ASSERT_TRUE(m->RestoreState(r, /*include_memory=*/true));
+  }
+  RunLockstep(restored_slow, restored_cached, kSlices);
+  // And the originals, run onward, agree with each other too.
+  RunLockstep(*t.slow, *t.cached, kSlices);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-scenario differential: replication, failover, lossy links.
+// ---------------------------------------------------------------------------
+
+ScenarioResult RunWith(Scenario scenario, InterpMode mode) {
+  return scenario.Interp(mode).Run();
+}
+
+void ExpectSameScenarioResults(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.completion_time.picos(), b.completion_time.picos());
+  EXPECT_EQ(a.exited_flag, b.exited_flag);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.guest_checksum, b.guest_checksum);
+  EXPECT_EQ(a.console_output, b.console_output);
+  EXPECT_EQ(a.promoted, b.promoted);
+  EXPECT_EQ(a.promotion_time.picos(), b.promotion_time.picos());
+  ASSERT_EQ(a.env_trace.size(), b.env_trace.size());
+  for (size_t i = 0; i < a.env_trace.size(); ++i) {
+    EXPECT_EQ(a.env_trace[i].op_hash, b.env_trace[i].op_hash) << "env op " << i;
+    EXPECT_EQ(a.env_trace[i].performed, b.env_trace[i].performed) << "env op " << i;
+    EXPECT_EQ(static_cast<int>(a.env_trace[i].device_id),
+              static_cast<int>(b.env_trace[i].device_id))
+        << "env op " << i;
+  }
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].boundary_fingerprints, b.nodes[i].boundary_fingerprints)
+        << "node " << i << " epoch fingerprints diverged";
+  }
+}
+
+TEST(ScenarioDiff, CpuBareRun) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kCpu;
+  spec.iterations = 1200;
+  ScenarioResult slow = RunWith(Scenario::Bare(spec), InterpMode::kSlow);
+  ScenarioResult cached = RunWith(Scenario::Bare(spec), InterpMode::kCached);
+  ASSERT_TRUE(slow.completed);
+  ExpectSameScenarioResults(slow, cached);
+}
+
+TEST(ScenarioDiff, DiskReadReplicated) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kDiskRead;
+  spec.iterations = 12;
+  Scenario base = Scenario::Replicated(spec).Epoch(4096);
+  ScenarioResult slow = RunWith(base, InterpMode::kSlow);
+  ScenarioResult cached = RunWith(base, InterpMode::kCached);
+  ASSERT_TRUE(slow.completed);
+  ExpectSameScenarioResults(slow, cached);
+}
+
+TEST(ScenarioDiff, TxnLogFailoverSchedule) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTxnLog;
+  spec.iterations = 8;
+  spec.num_blocks = 8;
+  Scenario base = Scenario::Replicated(spec).Epoch(4096).FailAtTime(SimTime::Millis(40));
+  ScenarioResult slow = RunWith(base, InterpMode::kSlow);
+  ScenarioResult cached = RunWith(base, InterpMode::kCached);
+  ASSERT_TRUE(slow.completed);
+  ASSERT_TRUE(slow.promoted);
+  ExpectSameScenarioResults(slow, cached);
+}
+
+TEST(ScenarioDiff, NetEchoLossyLink) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kNetEcho;
+  spec.iterations = 4;
+  LinkFaults faults;
+  faults.drop_probability = 0.05;
+  Scenario base = Scenario::Replicated(spec).Epoch(4096).LinkFaults(faults);
+  for (uint64_t i = 0; i < spec.iterations; ++i) {
+    char text[16];
+    std::snprintf(text, sizeof(text), "pkt-%04u....", static_cast<unsigned>(i));
+    base.InjectPacket(std::vector<uint8_t>(text, text + 12));
+  }
+  ScenarioResult slow = RunWith(base, InterpMode::kSlow);
+  ScenarioResult cached = RunWith(base, InterpMode::kCached);
+  ASSERT_TRUE(slow.completed);
+  ExpectSameScenarioResults(slow, cached);
+}
+
+}  // namespace
+}  // namespace hbft

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff regenerated bench artifacts against the committed baselines.
+
+The simulation is deterministic, so every artifact except fig6 must match
+byte-for-byte: any diff is a genuine behavior change — either fix it or
+consciously re-baseline. fig6_throughput.json mixes deterministic guest
+results (instruction counts, checksums, tcache counters, simulated time)
+with host-clock measurements (host_ms, mips, wall_ms, speedup) that vary
+run to run and machine to machine; those volatile keys are stripped before
+comparing, and instead the regenerated speedup must clear a floor — the
+translation cache has to actually pay off, not merely not crash.
+
+usage: diff_bench.py <baseline_dir> <regenerated_dir> [--speedup-floor=X]
+"""
+
+import difflib
+import json
+import sys
+from pathlib import Path
+
+VOLATILE_KEYS = {"host_ms", "mips", "wall_ms", "speedup"}
+DEFAULT_SPEEDUP_FLOOR = 2.0
+
+
+def strip_volatile(doc):
+    """Remove host-clock fields from every row of a bench document."""
+    out = dict(doc)
+    out["rows"] = [
+        {k: v for k, v in row.items() if k not in VOLATILE_KEYS}
+        for row in doc.get("rows", [])
+    ]
+    return out
+
+
+def render(doc):
+    return json.dumps(doc, indent=2, sort_keys=True).splitlines(keepends=True)
+
+
+def show_diff(name, baseline_lines, regen_lines):
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            baseline_lines, regen_lines,
+            fromfile=f"bench/{name} (committed)",
+            tofile=f"regen/{name}",
+        )
+    )
+
+
+def check_fig6_speedup(doc, floor):
+    """The regenerated cached rows must beat slow dispatch by `floor`."""
+    ok = True
+    for row in doc.get("rows", []):
+        if row.get("mode") != "cached" or row.get("workload") != "cpu-kernel":
+            continue
+        speedup = row.get("speedup")
+        if speedup is None or speedup < floor:
+            print(
+                f"fig6: cpu-kernel cached speedup {speedup} is below the "
+                f"{floor}x floor — cached dispatch is not paying off",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
+def main(argv):
+    floor = DEFAULT_SPEEDUP_FLOOR
+    dirs = []
+    for arg in argv[1:]:
+        if arg.startswith("--speedup-floor="):
+            floor = float(arg.split("=", 1)[1])
+        else:
+            dirs.append(Path(arg))
+    if len(dirs) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_dir, regen_dir = dirs
+
+    status = 0
+    baselines = sorted(baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"no baseline artifacts under {baseline_dir}", file=sys.stderr)
+        return 2
+    for baseline in baselines:
+        name = baseline.name
+        regen = regen_dir / name
+        if not regen.exists():
+            print(f"missing regenerated artifact: {regen}", file=sys.stderr)
+            status = 1
+            continue
+        if name == "fig6_throughput.json":
+            base_doc = json.loads(baseline.read_text())
+            regen_doc = json.loads(regen.read_text())
+            if strip_volatile(base_doc) != strip_volatile(regen_doc):
+                print(f"bench baseline drift in {name} (deterministic fields):")
+                show_diff(name, render(strip_volatile(base_doc)),
+                          render(strip_volatile(regen_doc)))
+                status = 1
+            if not check_fig6_speedup(regen_doc, floor):
+                status = 1
+        else:
+            base_text = baseline.read_text()
+            regen_text = regen.read_text()
+            if base_text != regen_text:
+                print(f"bench baseline drift in {name}:")
+                show_diff(name, base_text.splitlines(keepends=True),
+                          regen_text.splitlines(keepends=True))
+                status = 1
+    if status == 0:
+        print(f"{len(baselines)} bench artifact(s) match the committed baselines")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
