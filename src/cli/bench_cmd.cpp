@@ -5,6 +5,7 @@
 // --quick shrinks the workloads and epoch-length sweep so the artifact shape
 // stays identical while the whole run fits in a smoke test.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -17,6 +18,7 @@
 #include "cli/commands.hpp"
 #include "cli/json.hpp"
 #include "cli/options.hpp"
+#include "fleet/fleet.hpp"
 #include "perf/models.hpp"
 #include "sim/scenario.hpp"
 
@@ -25,8 +27,16 @@ namespace cli {
 
 namespace {
 
+// Artifact names accepted by --only, in emission order. Each matches the
+// basename of the JSON file it regenerates, so the dev loop reads as
+// `hbft_cli bench --only=fig7_fleet && tools/diff_bench.py bench /tmp/regen`.
+const char* const kArtifacts[] = {"table1",         "fig2_cpu",        "fig3_io",
+                                  "fig4_faster_comm", "fig4_lossy_link", "fig5_resync",
+                                  "fig6_throughput",  "fig7_fleet"};
+
 struct BenchConfig {
   bool quick = false;
+  std::string only;  // Empty = regenerate every artifact.
   std::string out_dir = "bench";
   uint32_t cpu_iterations = 26000;  // ~1/100 of the paper's CPU workload.
   uint32_t io_operations = 64;      // vs the paper's 2048.
@@ -386,12 +396,81 @@ bool EmitFig6(const BenchConfig& cfg, int* failures) {
   return WriteBenchDoc(cfg, "fig6_interp_throughput", "fig6_throughput.json", std::move(rows));
 }
 
+// Fig 7 (this reproduction's extension) — fleet: availability and request
+// latency percentiles for a fleet of protected chains under host failure
+// storms of increasing width. Placement is anti-affinity, so every affected
+// chain loses exactly one replica per storm and must fail over (and repair)
+// without losing service. Everything except `wall_ms` is simulated-time and
+// byte-diffed in CI; diff_bench.py additionally enforces sanity floors
+// (availability <= 1, p50 <= p99 <= p999) on the regenerated rows.
+bool EmitFig7(const BenchConfig& cfg, int* failures) {
+  std::printf("bench: fig7 (fleet availability + latency vs host failure storm)\n");
+  const size_t chains = cfg.quick ? 8 : 32;
+  const size_t hosts = 8;
+  const uint64_t requests = cfg.quick ? 4 : 8;
+  const size_t storm_widths[] = {0, 1, 2, 4};
+  JsonValue rows = JsonValue::Array();
+  for (size_t width : storm_widths) {
+    FleetConfig fc;
+    fc.chains = chains;
+    fc.hosts = hosts;
+    fc.backups = 1;
+    fc.traffic.requests_per_chain = requests;
+    // The storm lands mid-traffic (arrivals start at 100ms, 20ms apart) so
+    // the latency tail actually contains failover-delayed requests.
+    for (size_t h : StormHosts(hosts, width)) {
+      fc.host_failures.push_back(HostFailure{h, SimTime::Millis(120)});
+    }
+    // The per-chain env-consistency check doubles the run for no extra data
+    // here; the fleet tests exercise it.
+    fc.verify = false;
+    auto t0 = std::chrono::steady_clock::now();
+    FleetResult r = Fleet(fc).Run();
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    if (r.chains_lost != 0 || r.chains_completed != chains) {
+      std::fprintf(stderr, "hbft_cli: bench fig7 measurement failed (storm=%zu)\n", width);
+      ++*failures;
+      continue;
+    }
+    rows.Push(JsonValue::Object()
+                  .Set("chains", static_cast<uint64_t>(chains))
+                  .Set("hosts", static_cast<uint64_t>(hosts))
+                  .Set("placement", "anti-affinity")
+                  .Set("hosts_failed", static_cast<uint64_t>(width))
+                  .Set("requests_total", r.requests_total)
+                  .Set("requests_served", r.requests_served)
+                  .Set("availability", r.availability)
+                  .Set("slo_attainment", r.slo_attainment)
+                  .Set("p50_ms", r.latency_ms.p50)
+                  .Set("p99_ms", r.latency_ms.p99)
+                  .Set("p999_ms", r.latency_ms.p999)
+                  .Set("max_ms", r.latency_ms.max)
+                  .Set("failovers", static_cast<uint64_t>(r.failovers))
+                  .Set("repairs", static_cast<uint64_t>(r.repairs))
+                  .Set("fingerprint", r.fingerprint)
+                  .Set("wall_ms", wall_ms));
+  }
+  return WriteBenchDoc(cfg, "fig7_fleet", "fig7_fleet.json", std::move(rows));
+}
+
 }  // namespace
 
 int BenchCommand(FlagSet& flags) {
   BenchConfig cfg;
   cfg.quick = flags.Has("quick");
+  cfg.only = flags.GetString("only", "");
   cfg.out_dir = flags.GetString("out-dir", "bench");
+  if (!cfg.only.empty() &&
+      std::find_if(std::begin(kArtifacts), std::end(kArtifacts),
+                   [&cfg](const char* a) { return cfg.only == a; }) == std::end(kArtifacts)) {
+    std::fprintf(stderr, "hbft_cli: unknown artifact '%s'; valid:", cfg.only.c_str());
+    for (const char* a : kArtifacts) {
+      std::fprintf(stderr, " %s", a);
+    }
+    std::fputc('\n', stderr);
+    return 2;
+  }
   if (cfg.quick) {
     cfg.cpu_iterations = 4000;
     cfg.io_operations = 12;
@@ -423,21 +502,31 @@ int BenchCommand(FlagSet& flags) {
     return 1;
   }
 
+  // `--only` filters the emitter list (the whole point is the fast dev
+  // loop: regenerate one artifact, diff it against the committed baseline).
+  auto want = [&cfg](const char* artifact) { return cfg.only.empty() || cfg.only == artifact; };
+
   // Shared specs and bare references: cpu, write, read (paper section 4
   // workloads at reduced scale — NP is a ratio, scaling preserves shape).
+  // Only the NP artifacts need the bare runs; a filtered fig5/6/7 loop
+  // skips them entirely.
   WorkloadSpec specs[3];
   specs[0] = WorkloadSpec::PaperCpu();
   specs[0].iterations = cfg.cpu_iterations;
   specs[1] = WorkloadSpec::PaperDiskWrite(cfg.io_operations);
   specs[2] = WorkloadSpec::PaperDiskRead(cfg.io_operations);
 
+  const bool needs_bares = want("table1") || want("fig2_cpu") || want("fig3_io") ||
+                           want("fig4_faster_comm") || want("fig4_lossy_link");
   ScenarioResult bares[3];
-  for (int i = 0; i < 3; ++i) {
-    bares[i] = RunBare(specs[i]);
-    if (!bares[i].completed || bares[i].exited_flag != 1) {
-      std::fprintf(stderr, "hbft_cli: bare reference run failed (%s)\n",
-                   WorkloadKindName(specs[i].kind));
-      return 1;
+  if (needs_bares) {
+    for (int i = 0; i < 3; ++i) {
+      bares[i] = RunBare(specs[i]);
+      if (!bares[i].completed || bares[i].exited_flag != 1) {
+        std::fprintf(stderr, "hbft_cli: bare reference run failed (%s)\n",
+                     WorkloadKindName(specs[i].kind));
+        return 1;
+      }
     }
   }
 
@@ -445,10 +534,15 @@ int BenchCommand(FlagSet& flags) {
   int lossy_failures = 0;
   int resync_failures = 0;
   int fig6_failures = 0;
-  bool ok = EmitTable1(cfg, specs, measurer) && EmitFig2(cfg, bares[0], measurer) &&
-            EmitFig3(cfg, measurer) && EmitFig4(cfg, measurer) &&
-            EmitFig4Lossy(cfg, specs, bares, &lossy_failures) &&
-            EmitFig5(cfg, &resync_failures) && EmitFig6(cfg, &fig6_failures);
+  int fig7_failures = 0;
+  bool ok = (!want("table1") || EmitTable1(cfg, specs, measurer)) &&
+            (!want("fig2_cpu") || EmitFig2(cfg, bares[0], measurer)) &&
+            (!want("fig3_io") || EmitFig3(cfg, measurer)) &&
+            (!want("fig4_faster_comm") || EmitFig4(cfg, measurer)) &&
+            (!want("fig4_lossy_link") || EmitFig4Lossy(cfg, specs, bares, &lossy_failures)) &&
+            (!want("fig5_resync") || EmitFig5(cfg, &resync_failures)) &&
+            (!want("fig6_throughput") || EmitFig6(cfg, &fig6_failures)) &&
+            (!want("fig7_fleet") || EmitFig7(cfg, &fig7_failures));
   if (ok && lossy_failures > 0) {
     std::fprintf(stderr, "hbft_cli: %d fig4-lossy measurement(s) failed\n", lossy_failures);
     ok = false;
@@ -461,15 +555,24 @@ int BenchCommand(FlagSet& flags) {
     std::fprintf(stderr, "hbft_cli: %d fig6 measurement(s) failed\n", fig6_failures);
     ok = false;
   }
+  if (ok && fig7_failures > 0) {
+    std::fprintf(stderr, "hbft_cli: %d fig7 fleet measurement(s) failed\n", fig7_failures);
+    ok = false;
+  }
   if (ok && measurer.failures() > 0) {
     std::fprintf(stderr, "hbft_cli: %d measurement(s) failed (null np in artifacts)\n",
                  measurer.failures());
     ok = false;
   }
   if (ok) {
-    std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, fig4_faster_comm.json, "
-                "fig4_lossy_link.json, fig5_resync.json, fig6_throughput.json under %s/\n",
-                cfg.out_dir.c_str());
+    if (cfg.only.empty()) {
+      std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, "
+                  "fig4_faster_comm.json, fig4_lossy_link.json, fig5_resync.json, "
+                  "fig6_throughput.json, fig7_fleet.json under %s/\n",
+                  cfg.out_dir.c_str());
+    } else {
+      std::printf("bench: wrote %s.json under %s/\n", cfg.only.c_str(), cfg.out_dir.c_str());
+    }
   }
   return ok ? 0 : 1;
 }

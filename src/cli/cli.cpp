@@ -16,7 +16,7 @@ void PrintUsage(std::FILE* out) {
   std::fputs(
       "hbft_cli — hypervisor-based fault-tolerance scenario driver\n"
       "\n"
-      "usage: hbft_cli <run|drill|bench|help> [flags]\n"
+      "usage: hbft_cli <run|drill|bench|fleet|help> [flags]\n"
       "       hbft_cli --list-workloads | --list-phases\n"
       "\n"
       "run    Execute one workload and report the outcome.\n"
@@ -75,10 +75,36 @@ void PrintUsage(std::FILE* out) {
       "  --repair-delay-ms=X   rejoin X ms after the last kill (20)\n"
       "  --refail-delay-ms=X   re-kill X ms after the resync completes (10)\n"
       "\n"
-      "bench  Regenerate the paper's Table 1 / Fig 2-5 numbers as JSON.\n"
+      "bench  Regenerate the paper's Table 1 / Fig 2-4 numbers plus this\n"
+      "       reproduction's fig5-7 extensions as JSON artifacts.\n"
       "  --out-dir=DIR         artifact directory (bench)\n"
       "  --quick               small workloads + short sweep (same artifact shape)\n"
+      "  --only=ARTIFACT       regenerate one artifact: table1, fig2_cpu,\n"
+      "                        fig3_io, fig4_faster_comm, fig4_lossy_link,\n"
+      "                        fig5_resync, fig6_throughput, fig7_fleet\n"
       "  --cpu-iterations=N --io-operations=N --backups=N\n"
+      "\n"
+      "fleet  Co-simulate many protected chains across simulated hosts.\n"
+      "  --chains=N            protected chains (8); each is 1 primary + backups\n"
+      "  --hosts=M             simulated hosts replicas are placed on (4)\n"
+      "  --backups=N           backups per chain (1)\n"
+      "  --placement=P         round-robin | anti-affinity (anti-affinity: a host\n"
+      "                        failure kills at most one replica per chain)\n"
+      "  --requests=N          open-loop requests per chain (8)\n"
+      "  --rate=R              requests/second per chain (overrides --interval-ms)\n"
+      "  --interval-ms=X       open-loop inter-arrival gap (20)\n"
+      "  --slo-ms=X            request latency SLO for attainment (50)\n"
+      "  --fail=SPEC           host-K,time-ms=X (one host) or\n"
+      "                        host-storm,hosts=N,time-ms=X (N hosts, evenly\n"
+      "                        spread, all at X); repeatable\n"
+      "  --repair-delay-ms=X   replica death -> replacement request (20)\n"
+      "  --repair-concurrency=N  inbound state transfers admitted per host (1);\n"
+      "                        excess repairs queue FIFO per host\n"
+      "  --no-verify           skip the per-chain env-consistency check against\n"
+      "                        a bare reference run (the check doubles runtime)\n"
+      "  --quantum-ms=X --repair-retry-ms=X --start-ms=X --payload-bytes=B\n"
+      "  --epoch-length=N --seed=N --max-time-ms=X\n"
+      "  --json                machine-readable fleet report\n"
       "\n"
       "help   Print this text. With --list-workloads or --list-phases, print\n"
       "       the valid enum names one per line (machine-readable).\n"
@@ -93,7 +119,9 @@ void PrintUsage(std::FILE* out) {
       "  hbft_cli drill --repair --variant=new\n"
       "  hbft_cli run --workload=txnlog --iterations=20 --json \\\n"
       "      --fail=time-ms=40 --fail=rejoin-after-ms=20 --fail=after-resync-ms=10\n"
-      "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n",
+      "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n"
+      "  hbft_cli fleet --chains=64 --hosts=8 --fail=host-storm,hosts=1,time-ms=60\n"
+      "  hbft_cli fleet --chains=16 --hosts=4 --placement=round-robin --json\n",
       out);
 }
 
@@ -154,6 +182,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "bench") {
     return BenchCommand(flags);
+  }
+  if (command == "fleet") {
+    return FleetCommand(flags);
   }
   std::fprintf(stderr, "hbft_cli: unknown command '%s'\n\n", command.c_str());
   PrintUsage(stderr);

@@ -14,6 +14,7 @@ namespace cli {
 int RunCommand(FlagSet& flags);
 int DrillCommand(FlagSet& flags);
 int BenchCommand(FlagSet& flags);
+int FleetCommand(FlagSet& flags);
 
 // Report line helpers: aligned "key : value" rows, greppable by the smoke
 // test and stable for transcripts in README.md.

@@ -1,0 +1,257 @@
+// `hbft_cli fleet`: many protected chains across simulated hosts — placement,
+// host failure storms, bounded repair, and open-loop traffic measurement.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/json.hpp"
+#include "cli/options.hpp"
+#include "fleet/fleet.hpp"
+
+namespace hbft {
+namespace cli {
+
+namespace {
+
+// Parses one `--fail=SPEC` for the fleet:
+//   host-K,time-ms=X                 one host fails at X
+//   host-storm,hosts=N,time-ms=X     N hosts fail at X, evenly spread
+// Appends the resulting failures to `out`.
+bool ParseHostFailSpec(const std::string& spec, size_t fleet_hosts,
+                       std::vector<HostFailure>* out) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : spec) {
+    if (c == ',') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  if (parts.empty()) {
+    std::fprintf(stderr, "hbft_cli: empty --fail spec\n");
+    return false;
+  }
+
+  bool storm = false;
+  size_t host = 0;
+  size_t storm_hosts = 1;
+  double time_ms = -1.0;
+  const std::string& head = parts[0];
+  if (head == "host-storm") {
+    storm = true;
+  } else if (head.rfind("host-", 0) == 0) {
+    char* end = nullptr;
+    host = static_cast<size_t>(std::strtoull(head.c_str() + 5, &end, 10));
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "hbft_cli: bad host in --fail=%s\n", spec.c_str());
+      return false;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "hbft_cli: fleet --fail wants host-K or host-storm, got '%s'\n", head.c_str());
+    return false;
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "hbft_cli: bad --fail part '%s'\n", part.c_str());
+      return false;
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "time-ms") {
+      time_ms = std::atof(value.c_str());
+    } else if (key == "hosts" && storm) {
+      storm_hosts = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "hbft_cli: bad --fail part '%s'\n", part.c_str());
+      return false;
+    }
+  }
+  if (time_ms < 0.0) {
+    std::fprintf(stderr, "hbft_cli: --fail=%s needs time-ms\n", spec.c_str());
+    return false;
+  }
+  const SimTime t = SimTime::MicrosF(time_ms * 1e3);
+  if (storm) {
+    for (size_t h : StormHosts(fleet_hosts, storm_hosts)) {
+      out->push_back(HostFailure{h, t});
+    }
+  } else {
+    if (host >= fleet_hosts) {
+      std::fprintf(stderr, "hbft_cli: --fail host %zu out of range (hosts=%zu)\n", host,
+                   fleet_hosts);
+      return false;
+    }
+    out->push_back(HostFailure{host, t});
+  }
+  return true;
+}
+
+JsonValue LatencyJson(const LatencySummary& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", s.count);
+  out.Set("mean_ms", s.mean);
+  out.Set("p50_ms", s.p50);
+  out.Set("p90_ms", s.p90);
+  out.Set("p99_ms", s.p99);
+  out.Set("p999_ms", s.p999);
+  out.Set("max_ms", s.max);
+  return out;
+}
+
+}  // namespace
+
+int FleetCommand(FlagSet& flags) {
+  FleetConfig config;
+  config.chains = flags.GetU64("chains").value_or(8);
+  config.hosts = flags.GetU64("hosts").value_or(4);
+  config.backups = static_cast<int>(flags.GetU64("backups").value_or(1));
+  config.seed = flags.GetU64("seed").value_or(42);
+  config.epoch_length = flags.GetU64("epoch-length").value_or(0);
+  config.traffic.requests_per_chain = flags.GetU64("requests").value_or(8);
+  config.traffic.payload_bytes =
+      static_cast<uint32_t>(flags.GetU64("payload-bytes").value_or(32));
+  config.traffic.start = SimTime::MicrosF(flags.GetDouble("start-ms").value_or(100.0) * 1e3);
+  if (auto rate = flags.GetDouble("rate")) {
+    if (*rate <= 0.0) {
+      std::fprintf(stderr, "hbft_cli: --rate must be positive\n");
+      return 2;
+    }
+    config.traffic.interval = SimTime::MicrosF(1e6 / *rate);
+  } else {
+    config.traffic.interval =
+        SimTime::MicrosF(flags.GetDouble("interval-ms").value_or(20.0) * 1e3);
+  }
+  config.slo = SimTime::MicrosF(flags.GetDouble("slo-ms").value_or(50.0) * 1e3);
+  config.repair_delay =
+      SimTime::MicrosF(flags.GetDouble("repair-delay-ms").value_or(20.0) * 1e3);
+  config.repair_retry =
+      SimTime::MicrosF(flags.GetDouble("repair-retry-ms").value_or(10.0) * 1e3);
+  config.repair_concurrency = flags.GetU64("repair-concurrency").value_or(1);
+  config.quantum = SimTime::MicrosF(flags.GetDouble("quantum-ms").value_or(10.0) * 1e3);
+  if (auto max_ms = flags.GetDouble("max-time-ms")) {
+    config.max_time = SimTime::MicrosF(*max_ms * 1e3);
+  }
+  config.verify = !flags.Has("no-verify");
+
+  const std::string placement_name = flags.GetString("placement", "anti-affinity");
+  if (!ParsePlacementPolicy(placement_name, &config.placement)) {
+    std::fprintf(stderr, "hbft_cli: unknown placement '%s' (round-robin|anti-affinity)\n",
+                 placement_name.c_str());
+    return 2;
+  }
+  for (const std::string& spec : flags.GetList("fail")) {
+    if (!ParseHostFailSpec(spec, config.hosts, &config.host_failures)) {
+      return 2;
+    }
+  }
+  const bool as_json = flags.Has("json");
+  if (!flags.Finish()) {
+    return 2;
+  }
+
+  Fleet fleet(config);
+  FleetResult result = fleet.Run();
+
+  const bool healthy = result.chains_lost == 0 && result.all_env_consistent &&
+                       result.chains_completed == result.chains.size();
+
+  if (as_json) {
+    JsonValue doc = JsonValue::Object();
+    JsonValue cfg = JsonValue::Object();
+    cfg.Set("chains", static_cast<uint64_t>(config.chains));
+    cfg.Set("hosts", static_cast<uint64_t>(config.hosts));
+    cfg.Set("backups", config.backups);
+    cfg.Set("placement", PlacementPolicyName(config.placement));
+    cfg.Set("requests_per_chain", config.traffic.requests_per_chain);
+    cfg.Set("interval_ms", config.traffic.interval.seconds() * 1e3);
+    cfg.Set("slo_ms", config.slo.seconds() * 1e3);
+    cfg.Set("repair_concurrency", static_cast<uint64_t>(config.repair_concurrency));
+    cfg.Set("seed", config.seed);
+    cfg.Set("verify", config.verify);
+    doc.Set("config", std::move(cfg));
+
+    doc.Set("requests_total", result.requests_total);
+    doc.Set("requests_served", result.requests_served);
+    doc.Set("requests_within_slo", result.requests_within_slo);
+    doc.Set("availability", result.availability);
+    doc.Set("slo_attainment", result.slo_attainment);
+    doc.Set("latency", LatencyJson(result.latency_ms));
+    doc.Set("chains_completed", static_cast<uint64_t>(result.chains_completed));
+    doc.Set("chains_lost", static_cast<uint64_t>(result.chains_lost));
+    doc.Set("hosts_failed", static_cast<uint64_t>(result.hosts_failed));
+    doc.Set("failovers", static_cast<uint64_t>(result.failovers));
+    doc.Set("repairs", static_cast<uint64_t>(result.repairs));
+    doc.Set("all_env_consistent", result.all_env_consistent);
+    doc.Set("makespan_ms", result.makespan.seconds() * 1e3);
+    doc.Set("fingerprint", result.fingerprint);
+    doc.Set("healthy", healthy);
+
+    JsonValue chains = JsonValue::Array();
+    for (const FleetChainReport& chain : result.chains) {
+      JsonValue c = JsonValue::Object();
+      c.Set("chain", static_cast<uint64_t>(chain.chain));
+      c.Set("completed", chain.completed);
+      c.Set("service_lost", chain.service_lost);
+      c.Set("failovers", static_cast<uint64_t>(chain.failovers));
+      c.Set("repairs", static_cast<uint64_t>(chain.repairs));
+      c.Set("replicas_lost", static_cast<uint64_t>(chain.replicas_lost));
+      c.Set("requests_served", chain.requests_served);
+      c.Set("availability", chain.availability);
+      c.Set("env_consistent", chain.env_consistent);
+      chains.Push(std::move(c));
+    }
+    doc.Set("chains", std::move(chains));
+
+    JsonValue hosts = JsonValue::Array();
+    for (const FleetHostReport& host : result.hosts) {
+      JsonValue h = JsonValue::Object();
+      h.Set("host", static_cast<uint64_t>(host.host));
+      h.Set("failed", host.failed);
+      h.Set("replicas_killed", static_cast<uint64_t>(host.replicas_killed));
+      h.Set("repairs_hosted", static_cast<uint64_t>(host.repairs_hosted));
+      h.Set("repair_queue_peak", static_cast<uint64_t>(host.repair_queue_peak));
+      hosts.Push(std::move(h));
+    }
+    doc.Set("hosts", std::move(hosts));
+    std::fputs(doc.Dump().c_str(), stdout);
+    return healthy ? 0 : 1;
+  }
+
+  std::printf("fleet: %zu chains x %d replicas on %zu hosts (%s), %llu req/chain\n",
+              config.chains, config.backups + 1, config.hosts,
+              PlacementPolicyName(config.placement),
+              static_cast<unsigned long long>(config.traffic.requests_per_chain));
+  ReportLine("chains completed",
+             std::to_string(result.chains_completed) + "/" + std::to_string(config.chains));
+  ReportLine("chains lost", std::to_string(result.chains_lost));
+  ReportLine("hosts failed", std::to_string(result.hosts_failed));
+  ReportLine("failovers", std::to_string(result.failovers));
+  ReportLine("repairs", std::to_string(result.repairs));
+  ReportLine("requests served", std::to_string(result.requests_served) + "/" +
+                                    std::to_string(result.requests_total));
+  ReportF("availability", result.availability);
+  ReportF("slo attainment", result.slo_attainment);
+  ReportF("latency p50", result.latency_ms.p50, " ms");
+  ReportF("latency p99", result.latency_ms.p99, " ms");
+  ReportF("latency p99.9", result.latency_ms.p999, " ms");
+  ReportF("latency max", result.latency_ms.max, " ms");
+  if (config.verify) {
+    ReportYesNo("env consistent", result.all_env_consistent);
+  }
+  ReportF("makespan", result.makespan.seconds() * 1e3, " ms");
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx", static_cast<unsigned long long>(result.fingerprint));
+  ReportLine("fingerprint", fp);
+  ReportYesNo("healthy", healthy);
+  return healthy ? 0 : 1;
+}
+
+}  // namespace cli
+}  // namespace hbft

@@ -207,6 +207,7 @@ void ReplicaNodeBase::IssueRealIo(const IoDescriptor& io) {
                                 << static_cast<uint32_t>(io.device_id);
   DeviceBackend* backend = device->backend();
   HBFT_CHECK(backend != nullptr) << device->name() << " has no backend";
+  backend->SetIssueClock(hv_.clock());
   DeviceBackend::Issued issued = backend->Issue(io, id_);
   pending_real_[{io.device_id, issued.op_id}] = io;
   SimTime completion = hv_.clock() + issued.latency;

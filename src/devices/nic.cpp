@@ -10,7 +10,7 @@
 namespace hbft {
 
 void Nic::Latch(const IoDescriptor& io, int issuer) {
-  trace_.push_back(NicTraceEntry{io.payload, issuer});
+  trace_.push_back(NicTraceEntry{io.payload, issuer, issue_clock()});
 }
 
 uint32_t Nic::completion_irq() const { return kIrqNicTx; }

@@ -38,10 +38,14 @@ inline constexpr uint32_t kNicOpTx = 1;
 inline constexpr uint32_t kNicResultOk = 0;
 inline constexpr uint32_t kNicResultUncertain = 1;
 
-// One transmitted (environment-visible) packet.
+// One transmitted (environment-visible) packet. `time` is the issuing node's
+// virtual clock at the latch (zero when the issuer never set its clock, e.g.
+// backend-only unit tests) — the commit instant the fleet's request-latency
+// measurements are taken against.
 struct NicTraceEntry {
   std::vector<uint8_t> bytes;
   int issuer = 0;
+  SimTime time = SimTime::Zero();
 };
 
 class Nic : public LatchedOutputBackend {

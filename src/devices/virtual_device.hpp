@@ -50,6 +50,13 @@ class DeviceBackend {
   // output (console characters, NIC packets) is latched here, at issue.
   virtual Issued Issue(const IoDescriptor& io, int issuer) = 0;
 
+  // The issuing node's virtual clock, set immediately before each Issue call
+  // so backends can stamp their environment traces with the latch time (the
+  // fleet's per-request latency measurements read NIC trace timestamps).
+  // Purely observational: no backend behaviour depends on it.
+  void SetIssueClock(SimTime t) { issue_clock_ = t; }
+  SimTime issue_clock() const { return issue_clock_; }
+
   // Finishes an in-flight operation, applying the fault plan, and builds the
   // completion the device model will apply at delivery.
   virtual IoCompletionPayload Complete(uint64_t op_id, const IoDescriptor& io) = 0;
@@ -64,6 +71,9 @@ class DeviceBackend {
 
   // The device-tagged environment trace for the transparency checker.
   virtual std::vector<EnvTraceEntry> EnvTrace() const = 0;
+
+ private:
+  SimTime issue_clock_ = SimTime::Zero();
 };
 
 // The guest-facing side of a device (one instance per node). Snapshotable:

@@ -1,0 +1,79 @@
+// Replica placement for a fleet of protected chains across simulated hosts.
+//
+// The paper's availability argument assumes a single failure takes out at
+// most one replica of a protected pair (section 2: the primary and backup
+// run on *distinct* processors precisely so one hardware fault cannot kill
+// both). At fleet scale that assumption is a scheduling property, not a
+// given: a placement that co-locates a chain's primary and backup converts
+// one host failure into an unrecoverable double failure for that chain.
+//
+// Two policies:
+//  - kRoundRobin: a single global cursor deals replicas out chain-major.
+//    Cheap and balanced, but blind to chain membership — whenever the host
+//    count is smaller than a chain's replica count (and at repair time, when
+//    the cursor happens to land on a host the chain already occupies) a
+//    chain ends up with two replicas on one host.
+//  - kAntiAffinity: each replica goes to the least-loaded host *not already
+//    holding a replica of the same chain* (ties break toward the lowest host
+//    id). One host failure then kills at most one replica per chain — the
+//    paper's single-failure assumption, restored per chain by construction.
+//    When every host already holds a chain replica (hosts < chain width) it
+//    falls back to least-loaded rather than failing.
+//
+// All choices are pure functions of the call sequence — no RNG — so fleet
+// runs with equal seeds place identically.
+#ifndef HBFT_FLEET_PLACEMENT_HPP_
+#define HBFT_FLEET_PLACEMENT_HPP_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hbft {
+
+enum class PlacementPolicy { kRoundRobin, kAntiAffinity };
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Parses "round-robin"/"rr" or "anti-affinity"/"aa"; returns false on
+// anything else.
+bool ParsePlacementPolicy(const std::string& text, PlacementPolicy* out);
+
+class Placement {
+ public:
+  Placement(PlacementPolicy policy, size_t hosts);
+
+  // Hosts for a new chain's replicas, position 0 = primary. Call once per
+  // chain, in chain order.
+  std::vector<size_t> AssignChain(size_t replicas);
+
+  // Host for a replacement replica of a chain whose live replicas occupy
+  // `occupied` (host ids, duplicates allowed). Failed hosts (`host_up[h]` ==
+  // false) are never picked by either policy; at least one host must be up.
+  // Updates load accounting (the caller releases on abandonment).
+  size_t PickRepairHost(const std::vector<size_t>& occupied, const std::vector<bool>& host_up);
+
+  // A replica on `host` died; its slot no longer counts against the host.
+  void ReleaseReplica(size_t host);
+
+  size_t hosts() const { return hosts_; }
+  PlacementPolicy policy() const { return policy_; }
+  const std::vector<size_t>& load() const { return load_; }
+
+ private:
+  size_t PickLeastLoaded(const std::vector<size_t>& avoid, const std::vector<bool>* host_up);
+
+  PlacementPolicy policy_;
+  size_t hosts_;
+  std::vector<size_t> load_;  // Live replicas per host.
+  size_t cursor_ = 0;         // Round-robin only.
+};
+
+// The deterministic spread used by `--fail=host-storm,hosts=N`: N distinct
+// host ids evenly strided across [0, hosts), lowest first — evenly spaced so
+// a storm exercises concurrent failovers across the fleet rather than one
+// corner of it.
+std::vector<size_t> StormHosts(size_t hosts, size_t count);
+
+}  // namespace hbft
+
+#endif  // HBFT_FLEET_PLACEMENT_HPP_

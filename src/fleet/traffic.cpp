@@ -1,0 +1,72 @@
+#include "fleet/traffic.hpp"
+
+#include "common/check.hpp"
+#include "isa/isa.hpp"
+
+namespace hbft {
+
+namespace {
+constexpr uint32_t kHeaderBytes = 10;  // 'F' 'Q' chain[4] seq[4].
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(uint32_t chain, uint32_t seq, uint32_t payload_bytes) {
+  if (payload_bytes < kHeaderBytes) {
+    payload_bytes = kHeaderBytes;
+  }
+  HBFT_CHECK_LE(payload_bytes, kNicMaxPacketBytes);
+  std::vector<uint8_t> out(payload_bytes);
+  out[0] = 'F';
+  out[1] = 'Q';
+  for (int i = 0; i < 4; ++i) {
+    out[2 + i] = static_cast<uint8_t>(chain >> (8 * i));
+    out[6 + i] = static_cast<uint8_t>(seq >> (8 * i));
+  }
+  // Deterministic filler keyed off the header, so equal-length requests
+  // never collide byte-wise.
+  for (uint32_t i = kHeaderBytes; i < payload_bytes; ++i) {
+    out[i] = static_cast<uint8_t>((chain * 131u + seq * 31u + i) & 0xFF);
+  }
+  return out;
+}
+
+SimTime RequestArrival(const TrafficConfig& traffic, uint64_t seq) {
+  return traffic.start + traffic.interval * static_cast<int64_t>(seq);
+}
+
+std::vector<RequestOutcome> MatchRequests(uint32_t chain, const TrafficConfig& traffic,
+                                          const std::vector<NicTraceEntry>& tx_trace) {
+  std::vector<RequestOutcome> out;
+  out.reserve(traffic.requests_per_chain);
+  for (uint64_t seq = 0; seq < traffic.requests_per_chain; ++seq) {
+    RequestOutcome r;
+    r.seq = seq;
+    r.arrival = RequestArrival(traffic, seq);
+    out.push_back(r);
+  }
+  for (const NicTraceEntry& entry : tx_trace) {
+    // Decode the header back rather than re-encoding every candidate: the
+    // trace can hold duplicates (P7 redrive) and, in principle, non-request
+    // traffic.
+    if (entry.bytes.size() < kHeaderBytes || entry.bytes[0] != 'F' || entry.bytes[1] != 'Q') {
+      continue;
+    }
+    uint32_t got_chain = 0;
+    uint32_t got_seq = 0;
+    for (int i = 0; i < 4; ++i) {
+      got_chain |= static_cast<uint32_t>(entry.bytes[2 + i]) << (8 * i);
+      got_seq |= static_cast<uint32_t>(entry.bytes[6 + i]) << (8 * i);
+    }
+    if (got_chain != chain || got_seq >= out.size() || out[got_seq].served) {
+      continue;
+    }
+    RequestOutcome& r = out[got_seq];
+    if (entry.bytes != EncodeRequest(chain, got_seq, static_cast<uint32_t>(entry.bytes.size()))) {
+      continue;  // Header matched but the body did not: not this request.
+    }
+    r.served = true;
+    r.latency = entry.time > r.arrival ? entry.time - r.arrival : SimTime::Zero();
+  }
+  return out;
+}
+
+}  // namespace hbft

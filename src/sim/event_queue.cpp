@@ -4,20 +4,39 @@
 
 namespace hbft {
 
-void EventQueue::Push(SimTime time, std::function<void()> fn) {
-  heap_.push(Event{time, next_seq_++, std::move(fn)});
+void EventQueue::Push(uint32_t partition, SimTime time, std::function<void()> fn) {
+  Partition& p = partitions_[partition];
+  p.heap.push(Event{time, p.next_seq++, std::move(fn)});
+  ++size_;
 }
 
-SimTime EventQueue::PeekTime() const {
-  HBFT_CHECK(!heap_.empty());
-  return heap_.top().time;
+std::map<uint32_t, EventQueue::Partition>::const_iterator EventQueue::NextPartition() const {
+  HBFT_CHECK(size_ > 0);
+  auto best = partitions_.end();
+  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+    if (it->second.heap.empty()) {
+      continue;
+    }
+    // Strictly-earlier wins; an equal timestamp keeps the earlier iterator,
+    // which is the lower partition id (rule 2 of the pop order).
+    if (best == partitions_.end() || it->second.heap.top().time < best->second.heap.top().time) {
+      best = it;
+    }
+  }
+  HBFT_CHECK(best != partitions_.end());
+  return best;
 }
+
+SimTime EventQueue::PeekTime() const { return NextPartition()->second.heap.top().time; }
+
+uint32_t EventQueue::PeekPartition() const { return NextPartition()->first; }
 
 void EventQueue::RunNext() {
-  HBFT_CHECK(!heap_.empty());
+  auto it = partitions_.find(NextPartition()->first);
   // Copy out before popping: the handler may push new events.
-  std::function<void()> fn = heap_.top().fn;
-  heap_.pop();
+  std::function<void()> fn = it->second.heap.top().fn;
+  it->second.heap.pop();
+  --size_;
   fn();
 }
 

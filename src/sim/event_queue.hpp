@@ -1,13 +1,27 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue, partitionable by host.
 //
-// Events are ordered by (time, insertion sequence); the sequence tie-break
-// makes every run bit-for-bit reproducible regardless of how many events
-// share a timestamp.
+// The queue is a set of independent partitions (one heap each). A World uses
+// the default partition 0 for everything; a Fleet gives every simulated host
+// its own partition, which is the structure that later lets host partitions
+// drain on separate OS threads — each partition is internally ordered, and
+// only the cross-partition merge below needs coordination.
+//
+// Pop order is total and documented, so every run is bit-for-bit
+// reproducible regardless of how many events share a timestamp:
+//   1. earliest event time first;
+//   2. ties across partitions break toward the LOWEST partition id;
+//   3. ties within a partition pop in insertion order.
+// With a single partition this degenerates to the classic (time, insertion
+// sequence) order. Cross-partition events (e.g. a repair admission on host B
+// caused by a resync completion on host A) must therefore carry explicit
+// timestamps assigned by deterministic rules — never "now" on some host's
+// local clock — for rule 1 to mean the same thing on every run.
 #ifndef HBFT_SIM_EVENT_QUEUE_HPP_
 #define HBFT_SIM_EVENT_QUEUE_HPP_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <vector>
 
@@ -17,19 +31,25 @@ namespace hbft {
 
 class EventQueue {
  public:
-  void Push(SimTime time, std::function<void()> fn);
+  // Partition 0: the single-queue (per-world) form.
+  void Push(SimTime time, std::function<void()> fn) { Push(0, time, std::move(fn)); }
+  // Explicit partition (fleet: one per host).
+  void Push(uint32_t partition, SimTime time, std::function<void()> fn);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  // The next event under the documented pop order.
   SimTime PeekTime() const;
+  uint32_t PeekPartition() const;
 
-  // Pops and runs the earliest event.
+  // Pops and runs the earliest event (ties: lowest partition id, then
+  // insertion order within the partition).
   void RunNext();
 
  private:
   struct Event {
     SimTime time;
-    uint64_t seq;
+    uint64_t seq;  // Per-partition insertion sequence.
     std::function<void()> fn;
   };
   struct Later {
@@ -40,9 +60,17 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Partition {
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+    uint64_t next_seq = 0;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  uint64_t next_seq_ = 0;
+  // Returns the partition the next pop comes from (documented order).
+  std::map<uint32_t, Partition>::const_iterator NextPartition() const;
+
+  // Ordered by partition id: the map order is the rule-2 tie-break.
+  std::map<uint32_t, Partition> partitions_;
+  size_t size_ = 0;
 };
 
 }  // namespace hbft

@@ -121,6 +121,7 @@ void BareNode::HandleMmio(const MachineExit& exit) {
       io.guest_op_seq = next_op_seq_++;
       DeviceBackend* backend = device->backend();
       HBFT_CHECK(backend != nullptr) << device->name() << " has no backend";
+      backend->SetIssueClock(clock_);
       DeviceBackend::Issued issued = backend->Issue(io, id_);
       const DeviceId device_id = io.device_id;
       const uint64_t op_id = issued.op_id;

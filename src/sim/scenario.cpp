@@ -337,6 +337,14 @@ Scenario Scenario::AsBare() const {
 }
 
 ScenarioResult Scenario::Run() const {
+  std::unique_ptr<World> world = BuildWorld();
+  ScenarioResult result;
+  world->Run(&result);
+  CollectResult(*world, &result);
+  return result;
+}
+
+std::unique_ptr<World> Scenario::BuildWorld() const {
   // The net-enabled guest image differs from the legacy one only in its
   // interrupt-service hook; legacy workloads keep their exact instruction
   // streams by using the legacy image.
@@ -359,31 +367,33 @@ ScenarioResult Scenario::Run() const {
   config.nic_faults = nic_faults_;
   config.max_time = max_time_;
 
-  World world(bundle.program, config, replicated_);
+  auto world = std::make_unique<World>(bundle.program, config, replicated_);
   if (replicated_) {
     // Every replica boots from identical state, including the parameter block.
-    for (size_t i = 0; i < world.replica_count(); ++i) {
-      PatchWorkloadParams(&world.replica(i)->hypervisor().machine().memory(), workload_);
+    for (size_t i = 0; i < world->replica_count(); ++i) {
+      PatchWorkloadParams(&world->replica(i)->hypervisor().machine().memory(), workload_);
     }
     if (!failures_.empty()) {
-      world.SetFailureSchedule(failures_);
+      world->SetFailureSchedule(failures_);
     }
   } else {
-    PatchWorkloadParams(&world.bare()->machine().memory(), workload_);
+    PatchWorkloadParams(&world->bare()->machine().memory(), workload_);
   }
   if (!console_input_.empty()) {
-    world.InjectConsoleInput(console_input_, console_input_start_, console_input_interval_);
+    world->InjectConsoleInput(console_input_, console_input_start_, console_input_interval_);
   }
   size_t auto_timed = 0;
   for (const PacketInjection& packet : packets_) {
     SimTime t = packet.has_time
                     ? packet.time
                     : packet_start_ + packet_interval_ * static_cast<int64_t>(auto_timed++);
-    world.InjectPacket(packet.payload, t);
+    world->InjectPacket(packet.payload, t);
   }
+  return world;
+}
 
-  ScenarioResult result;
-  world.Run(&result);
+void Scenario::CollectResult(World& world, ScenarioResult* out) const {
+  ScenarioResult& result = *out;
   result.console_output = world.devices().console().output();
   result.console_trace = world.devices().console().trace();
   result.disk_trace = world.devices().disk().trace();
@@ -427,7 +437,6 @@ ScenarioResult Scenario::Run() const {
       result.nodes[resync.joined].rejoined = true;
     }
   }
-  return result;
 }
 
 ScenarioResult RunBare(const WorkloadSpec& workload) { return Scenario::Bare(workload).Run(); }

@@ -26,6 +26,7 @@
 #ifndef HBFT_SIM_SCENARIO_HPP_
 #define HBFT_SIM_SCENARIO_HPP_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -204,6 +205,16 @@ class Scenario {
   Scenario AsBare() const;
 
   ScenarioResult Run() const;
+
+  // The two halves of Run(), exposed so a caller can drive the world
+  // incrementally (World::RunLoop) and interleave many worlds — the fleet's
+  // lockstep co-simulation. `BuildWorld` performs everything up to (not
+  // including) the run itself: construction, workload parameter patching,
+  // failure schedule, console/packet injection. `CollectResult` extracts the
+  // post-run report; call it only after World::Finish filled `result`'s run
+  // fields. Run() == BuildWorld() + World::Run + CollectResult().
+  std::unique_ptr<World> BuildWorld() const;
+  void CollectResult(World& world, ScenarioResult* result) const;
 
   const WorkloadSpec& workload() const { return workload_; }
   bool replicated() const { return replicated_; }

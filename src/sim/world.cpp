@@ -241,11 +241,11 @@ void World::FireRejoin(size_t schedule_index, SimTime when) {
   ArmNextFailure();
 }
 
-void World::RejoinReplica(SimTime t) {
+size_t World::RejoinReplica(SimTime t) {
   HBFT_CHECK(!replicas_.empty()) << "rejoin requires a replicated world";
   if (service_lost_) {
     HBFT_INFO("world") << "rejoin skipped: service already lost";
-    return;
+    return npos;
   }
   // The transfer source is the chain's tail: the last live replica walking
   // down from the active one.
@@ -262,7 +262,7 @@ void World::RejoinReplica(SimTime t) {
     // its detection: attaching inside it would race the pending
     // OnDownstreamFailureDetected callback into the fresh transfer.
     HBFT_INFO("world") << "rejoin skipped: no eligible transfer source";
-    return;
+    return npos;
   }
 
   const size_t pos = replicas_.size();
@@ -327,6 +327,7 @@ void World::RejoinReplica(SimTime t) {
   }
 
   source->AttachJoiningDownstream(channel(tail, pos), channel(pos, tail), t);
+  return pos;
 }
 
 void World::OnJoined(size_t resync_index, SimTime t, uint64_t join_epoch) {
@@ -335,6 +336,9 @@ void World::OnJoined(size_t resync_index, SimTime t, uint64_t join_epoch) {
   report.join_time = t;
   report.join_epoch = join_epoch;
   resync_in_flight_ = false;
+  if (on_resync_done_) {
+    on_resync_done_(resync_index, t);
+  }
   if (pending_after_resync_) {
     pending_after_resync_ = false;
     HBFT_CHECK(next_failure_ < schedule_.size());
@@ -467,9 +471,14 @@ NodeActor& World::active_node() {
 }
 
 void World::Run(ScenarioResult* result) {
-  bool completed = false;
-  bool timed_out = false;
-  bool deadlocked = false;
+  RunLoop(SimTime::Max());
+  Finish(result);
+}
+
+bool World::RunLoop(SimTime limit) {
+  if (run_finished_) {
+    return false;
+  }
 
   // Nodes are enumerated live: a rejoin event mid-run appends replicas.
   auto for_each_node = [this](auto&& fn) {
@@ -492,7 +501,7 @@ void World::Run(ScenarioResult* result) {
       }
     });
     if (all_done) {
-      completed = true;
+      run_completed_ = true;
       break;
     }
 
@@ -506,33 +515,52 @@ void World::Run(ScenarioResult* result) {
     });
     SimTime tq = queue_.empty() ? SimTime::Max() : queue_.PeekTime();
 
+    // Co-simulation pause: the next actionable instant is at or past the
+    // caller's limit, so hand control back without finishing the run. With
+    // limit == Max this never triggers and the loop is the classic Run.
+    if (limit < SimTime::Max()) {
+      SimTime tn = next != nullptr ? next->clock() : SimTime::Max();
+      SimTime actionable = tn < tq ? tn : tq;
+      if (actionable >= limit) {
+        return true;
+      }
+    }
+
     if (next != nullptr && next->clock() >= config_.max_time) {
-      timed_out = true;
+      run_timed_out_ = true;
       break;
     }
 
     if (next != nullptr && next->clock() < tq) {
       SimTime horizon = tq < config_.max_time ? tq : config_.max_time;
+      if (horizon > limit) {
+        horizon = limit;
+      }
       next->RunSlice(horizon);
     } else if (!queue_.empty()) {
       if (tq > config_.max_time) {
         // Only events beyond the deadline remain and no node can run.
-        timed_out = next != nullptr;
-        deadlocked = next == nullptr;
+        run_timed_out_ = next != nullptr;
+        run_deadlocked_ = next == nullptr;
         break;
       }
       queue_.RunNext();
     } else if (next != nullptr) {
-      next->RunSlice(config_.max_time);
+      SimTime horizon = config_.max_time < limit ? config_.max_time : limit;
+      next->RunSlice(horizon);
     } else {
-      deadlocked = true;  // No events, nobody runnable, not done.
+      run_deadlocked_ = true;  // No events, nobody runnable, not done.
       break;
     }
   }
+  run_finished_ = true;
+  return false;
+}
 
-  result->completed = completed && !service_lost_;
-  result->timed_out = timed_out;
-  result->deadlocked = deadlocked;
+void World::Finish(ScenarioResult* result) {
+  result->completed = run_completed_ && !service_lost_;
+  result->timed_out = run_timed_out_;
+  result->deadlocked = run_deadlocked_;
   result->service_lost = service_lost_;
   result->completion_time = active_node().clock();
   result->crash_times = crash_times_;

@@ -137,8 +137,21 @@ class World : public EventScheduler {
   // Runs the simulation to quiescence and fills the run-outcome portion of
   // `result` (completed/timed_out/deadlocked/service_lost, completion and
   // crash/promotion times) directly — there is no intermediate outcome
-  // struct to drift from ScenarioResult.
+  // struct to drift from ScenarioResult. Equivalent to RunLoop(SimTime::Max())
+  // followed by Finish(result).
   void Run(ScenarioResult* result);
+
+  // Resumable form, for co-simulation (the fleet drives many worlds in
+  // lockstep): advances nodes and events until the next actionable instant is
+  // at or past `limit`, every node is finished, or nothing can make progress.
+  // Repeated calls with non-decreasing limits reproduce exactly the schedule
+  // a single Run would have taken (node slicing is horizon-invariant).
+  // Returns true while the world can still make progress on a later call.
+  bool RunLoop(SimTime limit);
+  // Fills the run-outcome portion of `result` after the last RunLoop call.
+  void Finish(ScenarioResult* result);
+  bool finished() const { return run_finished_; }
+  bool service_lost() const { return service_lost_; }
 
   // The shared device backends (environment side).
   DeviceSet& devices() { return *devices_; }
@@ -160,11 +173,20 @@ class World : public EventScheduler {
 
   // Repair: spawn a fresh replica, attach it below the chain's tail, and
   // start the live state transfer. No-op (with a log) when nobody can serve
-  // as the source. Usually driven by a kRejoin schedule event.
-  void RejoinReplica(SimTime t);
+  // as the source. Usually driven by a kRejoin schedule event. Returns the
+  // chain position of the new replica, or npos when the rejoin was skipped.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t RejoinReplica(SimTime t);
 
   // Completed and in-flight state transfers, in schedule order.
   const std::vector<ResyncReport>& resyncs() const { return resyncs_; }
+
+  // Fleet hook: fires when a live state transfer completes (the joiner is a
+  // standing backup), with the join time — the instant a per-host repair
+  // slot frees.
+  void set_on_resync_done(std::function<void(size_t resync_index, SimTime t)> fn) {
+    on_resync_done_ = std::move(fn);
+  }
 
   // The machine whose state carries the workload's results: the bare node,
   // or the replica currently responsible for the environment.
@@ -205,6 +227,14 @@ class World : public EventScheduler {
   std::vector<SimTime> crash_times_;
   size_t active_index_ = 0;
   bool service_lost_ = false;
+
+  // Resumable run-loop outcome state (set by RunLoop, read by Finish).
+  bool run_finished_ = false;
+  bool run_completed_ = false;
+  bool run_timed_out_ = false;
+  bool run_deadlocked_ = false;
+
+  std::function<void(size_t, SimTime)> on_resync_done_;
 
   // The chain as linked positions (kNoChain = end). Rejoined replicas append
   // to replicas_ but link below the tail, so neighbours are no longer always

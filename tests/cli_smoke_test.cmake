@@ -108,10 +108,21 @@ run_cli(phases_out help --list-phases)
 expect_field("${phases_out}" "after-send-tme")
 expect_field("${phases_out}" "before-io-issue")
 
+# --- fleet: chains across hosts, host failure, failover + repair ------------
+run_cli(fleet_out fleet --chains=4 --hosts=4 --requests=3 --fail=host-0,time-ms=120)
+expect_field("${fleet_out}" "chains completed[ =:]+4/4")
+expect_field("${fleet_out}" "chains lost[ =:]+0")
+expect_field("${fleet_out}" "env consistent[ =:]+yes")
+expect_field("${fleet_out}" "healthy[ =:]+yes")
+run_cli(fleet_json_out fleet --chains=2 --hosts=2 --requests=2 --no-verify --json)
+expect_field("${fleet_json_out}" "\"availability\"")
+expect_field("${fleet_json_out}" "\"fingerprint\"")
+expect_field("${fleet_json_out}" "\"healthy\": true")
+
 # --- bench: JSON artifacts under bench/ -------------------------------------
 run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
 foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json
-        fig4_lossy_link.json fig5_resync.json fig6_throughput.json)
+        fig4_lossy_link.json fig5_resync.json fig6_throughput.json fig7_fleet.json)
   if(NOT EXISTS ${WORK_DIR}/bench/${artifact})
     message(FATAL_ERROR "bench artifact missing: ${WORK_DIR}/bench/${artifact}\n${bench_out}")
   endif()
@@ -119,6 +130,15 @@ endforeach()
 file(READ ${WORK_DIR}/bench/table1.json table1)
 if(NOT table1 MATCHES "\"workload\"" OR NOT table1 MATCHES "\"np\"")
   message(FATAL_ERROR "table1.json missing expected keys:\n${table1}")
+endif()
+
+# --- bench --only: single-artifact regeneration ------------------------------
+run_cli(only_out bench --quick --only=fig7_fleet --out-dir=${WORK_DIR}/bench-only)
+if(NOT EXISTS ${WORK_DIR}/bench-only/fig7_fleet.json)
+  message(FATAL_ERROR "bench --only=fig7_fleet wrote no artifact\n${only_out}")
+endif()
+if(EXISTS ${WORK_DIR}/bench-only/table1.json)
+  message(FATAL_ERROR "bench --only=fig7_fleet also wrote table1.json")
 endif()
 
 message(STATUS "cli smoke test passed")

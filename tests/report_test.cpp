@@ -1,0 +1,101 @@
+// perf/report helper tests: exact nearest-rank percentiles on small samples
+// and time-based availability from outage windows — the fleet's measurement
+// arithmetic, checked against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/report.hpp"
+
+namespace hbft {
+namespace {
+
+TEST(Percentile, NearestRankOnSmallSamples) {
+  // Nearest-rank: rank = ceil(pct/100 * N), 1-indexed. For {1,2,3,4}:
+  // p50 -> rank 2, p75 -> rank 3, p76 -> rank 4, p100 -> rank 4.
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 75.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 76.0), 4.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 100.0), 4.0);
+  // Rank clamps to [1, N]: pct 0 is the minimum, pct > 100 the maximum.
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(s, 0.0), 1.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> s = {7.5};
+  for (double pct : {0.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(PercentileNearestRank(s, pct), 7.5);
+  }
+}
+
+TEST(Percentile, SummarizeEmptySamples) {
+  LatencySummary summary = SummarizeLatencies({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p50, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p999, 0.0);
+  EXPECT_DOUBLE_EQ(summary.max, 0.0);
+}
+
+TEST(Percentile, SummarizeOrderStatistics) {
+  // 1..100 shuffled (reverse order): sorting is the summary's job.
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  LatencySummary summary = SummarizeLatencies(std::move(samples));
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p90, 90.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
+  EXPECT_DOUBLE_EQ(summary.p999, 100.0);  // ceil(0.999*100) = 100.
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  // The invariant diff_bench.py enforces on fig7.
+  EXPECT_LE(summary.p50, summary.p99);
+  EXPECT_LE(summary.p99, summary.p999);
+}
+
+TEST(Availability, MergesOverlapsAndClipsToDuration) {
+  // [10,20] and [15,30] merge to [10,30]; [40,50] clips to [40,45].
+  std::vector<OutageWindow> windows = {
+      {SimTime::Micros(40), SimTime::Micros(50)},
+      {SimTime::Micros(10), SimTime::Micros(20)},
+      {SimTime::Micros(15), SimTime::Micros(30)},
+  };
+  EXPECT_EQ(MergedOutageTime(windows, SimTime::Micros(45)), SimTime::Micros(25));
+  EXPECT_NEAR(AvailabilityFromOutages(windows, SimTime::Micros(45)), 1.0 - 25.0 / 45.0, 1e-12);
+}
+
+TEST(Availability, BackToBackWindowsDoNotDoubleCount) {
+  std::vector<OutageWindow> windows = {
+      {SimTime::Micros(0), SimTime::Micros(10)},
+      {SimTime::Micros(10), SimTime::Micros(20)},
+      {SimTime::Micros(0), SimTime::Micros(20)},  // Fully contained.
+  };
+  EXPECT_EQ(MergedOutageTime(windows, SimTime::Micros(100)), SimTime::Micros(20));
+  EXPECT_NEAR(AvailabilityFromOutages(windows, SimTime::Micros(100)), 0.8, 1e-12);
+}
+
+TEST(Availability, EdgeCases) {
+  // No outages: fully available.
+  EXPECT_DOUBLE_EQ(AvailabilityFromOutages({}, SimTime::Millis(5)), 1.0);
+  // Outage covering the whole run: zero.
+  EXPECT_DOUBLE_EQ(AvailabilityFromOutages({{SimTime::Zero(), SimTime::Millis(5)}},
+                                           SimTime::Millis(5)),
+                   0.0);
+  // A window entirely past the measured duration contributes nothing.
+  EXPECT_DOUBLE_EQ(AvailabilityFromOutages({{SimTime::Millis(8), SimTime::Millis(9)}},
+                                           SimTime::Millis(5)),
+                   1.0);
+  // Degenerate empty duration: available iff there was no outage at all.
+  EXPECT_DOUBLE_EQ(AvailabilityFromOutages({}, SimTime::Zero()), 1.0);
+  EXPECT_DOUBLE_EQ(AvailabilityFromOutages({{SimTime::Zero(), SimTime::Zero()}},
+                                           SimTime::Zero()),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace hbft

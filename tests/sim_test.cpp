@@ -37,6 +37,68 @@ TEST(EventQueue, HandlersMayPushEvents) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, EqualTimesAcrossPartitionsPopInPartitionOrder) {
+  // Rule 2 of the documented pop order: time ties across partitions break
+  // toward the lowest partition id, regardless of insertion order.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(3, SimTime::Micros(10), [&] { order.push_back(3); });
+  queue.Push(1, SimTime::Micros(10), [&] { order.push_back(1); });
+  queue.Push(0, SimTime::Micros(10), [&] { order.push_back(0); });
+  queue.Push(2, SimTime::Micros(10), [&] { order.push_back(2); });
+  EXPECT_EQ(queue.PeekTime(), SimTime::Micros(10));
+  EXPECT_EQ(queue.PeekPartition(), 0u);
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EarlierTimeBeatsLowerPartitionId) {
+  // Rule 1 dominates rule 2: a later event in partition 0 must not jump
+  // ahead of an earlier event in a high-numbered partition.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(0, SimTime::Micros(20), [&] { order.push_back(0); });
+  queue.Push(7, SimTime::Micros(5), [&] { order.push_back(7); });
+  EXPECT_EQ(queue.PeekPartition(), 7u);
+  queue.RunNext();
+  queue.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{7, 0}));
+}
+
+TEST(EventQueue, InsertionOrderWithinPartitionUnderCrossPartitionTies) {
+  // Rules 2 and 3 together: at one timestamp, all of partition 0's events
+  // pop (in insertion order) before any of partition 1's.
+  EventQueue queue;
+  std::vector<std::string> order;
+  queue.Push(1, SimTime::Micros(10), [&] { order.push_back("p1-a"); });
+  queue.Push(0, SimTime::Micros(10), [&] { order.push_back("p0-a"); });
+  queue.Push(1, SimTime::Micros(10), [&] { order.push_back("p1-b"); });
+  queue.Push(0, SimTime::Micros(10), [&] { order.push_back("p0-b"); });
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"p0-a", "p0-b", "p1-a", "p1-b"}));
+}
+
+TEST(EventQueue, HandlersMayPushIntoOtherPartitions) {
+  // A partition-0 handler scheduling work on partition 2 at the same time:
+  // the cross-partition event still runs this instant, after partition 0
+  // drains (rule 2), not at some later pop.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(0, SimTime::Micros(1), [&] {
+    order.push_back(1);
+    queue.Push(2, SimTime::Micros(1), [&] { order.push_back(2); });
+  });
+  queue.Push(0, SimTime::Micros(1), [&] { order.push_back(3); });
+  while (!queue.empty()) {
+    queue.RunNext();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
 TEST(SimTimeArithmetic, UnitsAndConversions) {
   EXPECT_EQ(SimTime::Micros(1).nanos(), 1000);
   EXPECT_EQ(SimTime::Millis(26).micros(), 26000);

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
 """Diff regenerated bench artifacts against the committed baselines.
 
-The simulation is deterministic, so every artifact except fig6 must match
-byte-for-byte: any diff is a genuine behavior change — either fix it or
-consciously re-baseline. fig6_throughput.json mixes deterministic guest
-results (instruction counts, checksums, tcache counters, simulated time)
-with host-clock measurements (host_ms, mips, wall_ms, speedup) that vary
-run to run and machine to machine; those volatile keys are stripped before
-comparing, and instead the regenerated speedup must clear a floor — the
-translation cache has to actually pay off, not merely not crash.
+The simulation is deterministic, so every artifact except fig6 and fig7 must
+match byte-for-byte: any diff is a genuine behavior change — either fix it
+or consciously re-baseline. fig6_throughput.json and fig7_fleet.json mix
+deterministic simulated results (instruction counts, checksums, latency
+percentiles, availability) with host-clock measurements (host_ms, mips,
+wall_ms, speedup) that vary run to run and machine to machine; those
+volatile keys are stripped before comparing. On top of the byte diff the
+regenerated artifacts must clear sanity checks: fig6's cached dispatch has
+to beat slow dispatch by a floor, and fig7's rows must be internally
+coherent (availability <= 1.0, p50 <= p99 <= p999) — a fleet that reports
+102% availability or inverted percentiles is broken even if it matches a
+broken baseline.
 
-usage: diff_bench.py <baseline_dir> <regenerated_dir> [--speedup-floor=X]
+usage: diff_bench.py <baseline_dir> <regenerated_dir>
+                     [--speedup-floor=X] [--only=NAME]
+
+--only=NAME restricts the diff to one artifact (e.g. --only=fig7_fleet.json
+or just --only=fig7_fleet), pairing with `hbft_cli bench --only=...` for a
+fast regenerate-one/diff-one dev loop.
 """
 
 import difflib
@@ -20,6 +29,10 @@ from pathlib import Path
 
 VOLATILE_KEYS = {"host_ms", "mips", "wall_ms", "speedup"}
 DEFAULT_SPEEDUP_FLOOR = 2.0
+
+# Artifacts that carry host-clock fields and get the strip-then-diff
+# treatment instead of the plain byte comparison.
+VOLATILE_ARTIFACTS = {"fig6_throughput.json", "fig7_fleet.json"}
 
 
 def strip_volatile(doc):
@@ -63,12 +76,41 @@ def check_fig6_speedup(doc, floor):
     return ok
 
 
+def check_fig7_sanity(doc):
+    """Every fleet row must be internally coherent, baseline or not."""
+    ok = True
+    for row in doc.get("rows", []):
+        tag = f"fig7 row (hosts_failed={row.get('hosts_failed')})"
+        avail = row.get("availability")
+        if avail is None or not (0.0 <= avail <= 1.0):
+            print(f"{tag}: availability {avail} outside [0, 1]", file=sys.stderr)
+            ok = False
+        p50, p99, p999 = (row.get(k) for k in ("p50_ms", "p99_ms", "p999_ms"))
+        if None in (p50, p99, p999) or not (p50 <= p99 <= p999):
+            print(
+                f"{tag}: percentiles not monotone (p50={p50}, p99={p99}, "
+                f"p999={p999})",
+                file=sys.stderr,
+            )
+            ok = False
+        served, total = row.get("requests_served"), row.get("requests_total")
+        if served is None or total is None or served > total:
+            print(f"{tag}: served {served} exceeds total {total}", file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main(argv):
     floor = DEFAULT_SPEEDUP_FLOOR
+    only = None
     dirs = []
     for arg in argv[1:]:
         if arg.startswith("--speedup-floor="):
             floor = float(arg.split("=", 1)[1])
+        elif arg.startswith("--only="):
+            only = arg.split("=", 1)[1]
+            if not only.endswith(".json"):
+                only += ".json"
         else:
             dirs.append(Path(arg))
     if len(dirs) != 2:
@@ -78,6 +120,11 @@ def main(argv):
 
     status = 0
     baselines = sorted(baseline_dir.glob("*.json"))
+    if only is not None:
+        baselines = [b for b in baselines if b.name == only]
+        if not baselines:
+            print(f"no baseline named {only} under {baseline_dir}", file=sys.stderr)
+            return 2
     if not baselines:
         print(f"no baseline artifacts under {baseline_dir}", file=sys.stderr)
         return 2
@@ -88,7 +135,7 @@ def main(argv):
             print(f"missing regenerated artifact: {regen}", file=sys.stderr)
             status = 1
             continue
-        if name == "fig6_throughput.json":
+        if name in VOLATILE_ARTIFACTS:
             base_doc = json.loads(baseline.read_text())
             regen_doc = json.loads(regen.read_text())
             if strip_volatile(base_doc) != strip_volatile(regen_doc):
@@ -96,7 +143,9 @@ def main(argv):
                 show_diff(name, render(strip_volatile(base_doc)),
                           render(strip_volatile(regen_doc)))
                 status = 1
-            if not check_fig6_speedup(regen_doc, floor):
+            if name == "fig6_throughput.json" and not check_fig6_speedup(regen_doc, floor):
+                status = 1
+            if name == "fig7_fleet.json" and not check_fig7_sanity(regen_doc):
                 status = 1
         else:
             base_text = baseline.read_text()
