@@ -16,7 +16,7 @@ void PrintUsage(std::FILE* out) {
   std::fputs(
       "hbft_cli — hypervisor-based fault-tolerance scenario driver\n"
       "\n"
-      "usage: hbft_cli <run|drill|bench|fleet|help> [flags]\n"
+      "usage: hbft_cli <run|drill|bench|fleet|serve|help> [flags]\n"
       "       hbft_cli --list-workloads | --list-phases\n"
       "\n"
       "run    Execute one workload and report the outcome.\n"
@@ -106,6 +106,24 @@ void PrintUsage(std::FILE* out) {
       "  --epoch-length=N --seed=N --max-time-ms=X\n"
       "  --json                machine-readable fleet report\n"
       "\n"
+      "serve  Run a protected guest behind a real TCP listener: client requests\n"
+      "       become NIC RX packets, guest echoes are released at output commit.\n"
+      "  --port=P              client listener port (7070); 127.0.0.1 only\n"
+      "  --role=R              single (whole chain in-process, default) |\n"
+      "                        primary | backup (multi-process: the replication\n"
+      "                        stream runs over a real TCP connection and the\n"
+      "                        backup promotes when the primary process dies)\n"
+      "  --repl-port=P         replication transport port (7071)\n"
+      "  --peer=HOST           backup: the primary's host (127.0.0.1)\n"
+      "  --backup-wait-ms=X    primary: wait for a backup before going solo;\n"
+      "                        backup: keep redialing the primary (3000)\n"
+      "  --duration-ms=X       stop after X ms of serving (0 = until a signal)\n"
+      "  --max-requests=N      stop after N committed responses (0 = unbounded)\n"
+      "  --backups=N           single role: chain length (1)\n"
+      "  --fail=SPEC           single role: in-process failure schedule, as in run\n"
+      "  --epoch-length=N --seed=N\n"
+      "  --json                machine-readable session report on stdout\n"
+      "\n"
       "help   Print this text. With --list-workloads or --list-phases, print\n"
       "       the valid enum names one per line (machine-readable).\n"
       "\n"
@@ -121,7 +139,10 @@ void PrintUsage(std::FILE* out) {
       "      --fail=time-ms=40 --fail=rejoin-after-ms=20 --fail=after-resync-ms=10\n"
       "  hbft_cli bench --quick --out-dir=/tmp/hbft-bench\n"
       "  hbft_cli fleet --chains=64 --hosts=8 --fail=host-storm,hosts=1,time-ms=60\n"
-      "  hbft_cli fleet --chains=16 --hosts=4 --placement=round-robin --json\n",
+      "  hbft_cli fleet --chains=16 --hosts=4 --placement=round-robin --json\n"
+      "  hbft_cli serve --port=7070 --duration-ms=2000 --fail=time-ms=500 --json\n"
+      "  hbft_cli serve --role=primary --port=7070 --repl-port=7071 &\n"
+      "  hbft_cli serve --role=backup --port=7070 --repl-port=7071\n",
       out);
 }
 
@@ -185,6 +206,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "fleet") {
     return FleetCommand(flags);
+  }
+  if (command == "serve") {
+    return ServeCommand(flags);
   }
   std::fprintf(stderr, "hbft_cli: unknown command '%s'\n\n", command.c_str());
   PrintUsage(stderr);

@@ -15,6 +15,7 @@ int RunCommand(FlagSet& flags);
 int DrillCommand(FlagSet& flags);
 int BenchCommand(FlagSet& flags);
 int FleetCommand(FlagSet& flags);
+int ServeCommand(FlagSet& flags);
 
 // Report line helpers: aligned "key : value" rows, greppable by the smoke
 // test and stable for transcripts in README.md.

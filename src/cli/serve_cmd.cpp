@@ -1,0 +1,181 @@
+// `hbft_cli serve` — front a protected guest with a real TCP listener, in
+// one process (the simulated chain) or two (--role=primary / --role=backup
+// with the replication stream over a real socket). The final report mirrors
+// `run --json`'s shape: an outcome block plus per-channel transport counters.
+#include <cstdio>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "cli/json.hpp"
+#include "cli/options.hpp"
+#include "serve/server.hpp"
+
+namespace hbft {
+namespace cli {
+
+namespace {
+
+JsonValue ServeJson(const serve::ServeConfig& config, const serve::ServeReport& report) {
+  JsonValue channels = JsonValue::Array();
+  for (const serve::ServeReport::ChannelReport& ch : report.channels) {
+    channels.Push(JsonValue::Object()
+                      .Set("name", ch.name)
+                      .Set("mode", ch.mode)
+                      .Set("messages_enqueued", ch.counters.messages_enqueued)
+                      .Set("wire_sends", ch.counters.wire_sends)
+                      .Set("retransmits", ch.counters.retransmits)
+                      .Set("rx_discards", ch.counters.rx_duplicates + ch.counters.rx_gaps)
+                      .Set("queue_drops", ch.counters.queue_drops)
+                      .Set("wire_decode_errors", ch.counters.wire_decode_errors)
+                      .Set("bytes_on_wire", ch.counters.bytes_on_wire)
+                      .Set("bytes_delivered", ch.counters.bytes_delivered));
+  }
+  return JsonValue::Object()
+      .Set("command", "serve")
+      .Set("role", report.role)
+      .Set("workload", "net-echo")
+      .Set("port", static_cast<uint64_t>(config.port))
+      .Set("epoch_length", config.epoch_length)
+      .Set("seed", config.seed)
+      .Set("completed", report.ok)
+      .Set("stop_reason", report.stop_reason)
+      .Set("runtime_s", report.runtime_s)
+      .Set("connections", report.connections)
+      .Set("requests", report.requests)
+      .Set("responses", report.responses)
+      .Set("responses_unroutable", report.responses_unroutable)
+      .Set("rejected_frames", report.rejected_frames)
+      .Set("client_bytes_in", report.client_bytes_in)
+      .Set("client_bytes_out", report.client_bytes_out)
+      .Set("failovers", report.failovers)
+      .Set("promoted", report.promoted)
+      .Set("solo", report.solo)
+      .Set("promotion_time_ms", report.promotion_latency_ms)
+      .Set("repl_bytes_in", report.repl_bytes_in)
+      .Set("repl_bytes_out", report.repl_bytes_out)
+      .Set("epochs", report.epochs)
+      .Set("messages_sent", report.messages_sent)
+      .Set("acks_received", report.acks_received)
+      .Set("uncertain_synthesised", report.uncertain_synthesised)
+      .Set("channels", std::move(channels));
+}
+
+void PrintServeReport(const serve::ServeReport& report) {
+  std::printf("== hbft serve report ==\n");
+  ReportLine("role", report.role);
+  ReportYesNo("completed", report.ok);
+  ReportLine("stop_reason", report.stop_reason);
+  ReportF("runtime_s", report.runtime_s);
+  ReportLine("connections", std::to_string(report.connections));
+  ReportLine("requests", std::to_string(report.requests));
+  ReportLine("responses", std::to_string(report.responses));
+  if (report.rejected_frames > 0) {
+    ReportLine("rejected_frames", std::to_string(report.rejected_frames));
+  }
+  ReportLine("client_bytes_in", std::to_string(report.client_bytes_in));
+  ReportLine("client_bytes_out", std::to_string(report.client_bytes_out));
+  ReportLine("failovers", std::to_string(report.failovers));
+  ReportYesNo("promoted", report.promoted);
+  if (report.promoted) {
+    ReportF("promotion_time_ms", report.promotion_latency_ms);
+  }
+  if (report.solo) {
+    ReportYesNo("solo", true);
+  }
+  ReportLine("epochs", std::to_string(report.epochs));
+  ReportLine("messages_sent", std::to_string(report.messages_sent));
+  ReportLine("acks_received", std::to_string(report.acks_received));
+  if (report.repl_bytes_in + report.repl_bytes_out > 0) {
+    ReportLine("repl_bytes_in", std::to_string(report.repl_bytes_in));
+    ReportLine("repl_bytes_out", std::to_string(report.repl_bytes_out));
+  }
+  for (const serve::ServeReport::ChannelReport& ch : report.channels) {
+    ReportLine("channel " + ch.name + " (" + ch.mode + ")",
+               "sent=" + std::to_string(ch.counters.wire_sends) +
+                   " retx=" + std::to_string(ch.counters.retransmits) +
+                   " bytes=" + std::to_string(ch.counters.bytes_on_wire));
+  }
+}
+
+}  // namespace
+
+int ServeCommand(FlagSet& flags) {
+  serve::ServeConfig config;
+  const bool json = flags.Has("json");
+
+  std::string role = flags.GetString("role", "single");
+  if (role == "single") {
+    config.role = serve::ServeRole::kSingle;
+  } else if (role == "primary") {
+    config.role = serve::ServeRole::kPrimary;
+  } else if (role == "backup") {
+    config.role = serve::ServeRole::kBackup;
+  } else {
+    std::fprintf(stderr, "hbft_cli: unknown --role '%s' (single, primary, backup)\n",
+                 role.c_str());
+    return 2;
+  }
+
+  config.port = static_cast<uint16_t>(flags.GetU64("port").value_or(7070));
+  config.repl_port = static_cast<uint16_t>(flags.GetU64("repl-port").value_or(7071));
+  config.peer_host = flags.GetString("peer", "127.0.0.1");
+  config.seed = flags.GetU64("seed").value_or(42);
+  config.epoch_length = flags.GetU64("epoch-length").value_or(4096);
+  config.backups = static_cast<int>(flags.GetU64("backups").value_or(1));
+  config.duration_ms = flags.GetU64("duration-ms").value_or(0);
+  config.max_requests = flags.GetU64("max-requests").value_or(0);
+  config.backup_wait_ms = flags.GetU64("backup-wait-ms").value_or(3000);
+
+  if (flags.Has("variant")) {
+    std::string variant = flags.GetString("variant", "new");
+    if (variant != "new") {
+      // Responses are released at the NIC TX latch, which only the revised
+      // protocol gates on all-acked; under the original variant (especially
+      // pipelined) a released response could outrun the backup's state.
+      std::fprintf(stderr,
+                   "hbft_cli: serve requires --variant=new — output commit at the socket "
+                   "boundary is the serving contract (see docs/PROTOCOL.md)\n");
+      return 2;
+    }
+  }
+
+  for (const std::string& spec : flags.GetList("fail")) {
+    FailurePlan plan;
+    std::string description;
+    if (!ParseFailSpec(spec, &plan, &description)) {
+      return 2;
+    }
+    config.failures.push_back(plan);
+    config.failure_description =
+        config.failure_description == "none" ? description
+                                             : config.failure_description + "; " + description;
+  }
+  if (!config.failures.empty() && config.role != serve::ServeRole::kSingle) {
+    std::fprintf(stderr,
+                 "hbft_cli: --fail applies to --role=single only (multi-process failures "
+                 "are real: kill the primary process)\n");
+    return 2;
+  }
+  if (!flags.Finish()) {
+    return 2;
+  }
+  if (config.backups < 1) {
+    std::fprintf(stderr, "hbft_cli: --backups must be at least 1\n");
+    return 2;
+  }
+
+  serve::ServeReport report;
+  int rc = RunServe(config, &report);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "hbft_cli: serve failed: %s\n", report.error.c_str());
+  }
+  if (json) {
+    std::fputs(ServeJson(config, report).Dump().c_str(), stdout);
+  } else {
+    PrintServeReport(report);
+  }
+  return rc;
+}
+
+}  // namespace cli
+}  // namespace hbft

@@ -11,6 +11,9 @@ namespace hbft {
 
 void Nic::Latch(const IoDescriptor& io, int issuer) {
   trace_.push_back(NicTraceEntry{io.payload, issuer, issue_clock()});
+  if (on_latch_) {
+    on_latch_(trace_.back());
+  }
 }
 
 uint32_t Nic::completion_irq() const { return kIrqNicTx; }

@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "devices/latched_output.hpp"
@@ -58,6 +60,12 @@ class Nic : public LatchedOutputBackend {
 
   const std::vector<NicTraceEntry>& trace() const { return trace_; }
 
+  // Serve-frontend hook: fires at every TX latch with the entry just
+  // appended. Under the revised protocol a latch is already gated on
+  // all-acked, so the callback instant IS the output-commit instant — the
+  // earliest moment a reply may leave for a real client.
+  void set_on_latch(std::function<void(const NicTraceEntry&)> fn) { on_latch_ = std::move(fn); }
+
  protected:
   void Latch(const IoDescriptor& io, int issuer) override;
   uint32_t completion_irq() const override;
@@ -65,6 +73,7 @@ class Nic : public LatchedOutputBackend {
 
  private:
   std::vector<NicTraceEntry> trace_;
+  std::function<void(const NicTraceEntry&)> on_latch_;
 };
 
 // The per-node NIC register model.

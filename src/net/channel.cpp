@@ -40,6 +40,25 @@ SimTime LinkModel::TransferTime(size_t bytes) const {
 
 std::optional<SimTime> Channel::PutOnWire(const Message& msg, SimTime now, bool retransmit) {
   size_t wire_bytes = msg.WireSize();
+
+  if (wire_sink_) {
+    // Socket transport: the frame leaves the process as canonical bytes.
+    // Sender-side occupancy is still charged so protocol pacing matches the
+    // modelled link; delivery happens when the peer process reads the frame
+    // off its socket and injects it via InjectWireFrame.
+    ++counters_.wire_sends;
+    if (retransmit) {
+      ++counters_.retransmits;
+    }
+    counters_.bytes_on_wire += wire_bytes;
+    SimTime start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + link_.TransferTime(wire_bytes);
+    if (!wire_sink_(msg.Serialize())) {
+      ++counters_.link_drops;  // Peer connection down: the wire ate it.
+    }
+    return busy_until_ + link_.propagation;
+  }
+
   const bool faulty = faults_.Enabled() && faults_.ActiveAt(now);
 
   // The sender's transmit ring holds frames still on the wire at `now`
@@ -137,7 +156,7 @@ std::optional<SimTime> Channel::Send(Message msg, SimTime now) {
   // (busy_until_): a 9-frame block cannot be acked before it is even on the
   // wire, and ageing it from the accept instant would guarantee spurious
   // full-window re-sends for any message larger than timeout x bandwidth.
-  if (mode_ == ChannelMode::kOrdered && faults_.Enabled()) {
+  if (mode_ == ChannelMode::kOrdered && (faults_.Enabled() || wire_bound())) {
     retransmit_.Track(msg, busy_until_);
   }
   if (!arrival.has_value()) {
@@ -209,6 +228,26 @@ std::optional<SimTime> Channel::LastPendingArrival() const {
   return queue_.back().arrival;  // queue_ is arrival-sorted on every insertion path.
 }
 
+bool Channel::InjectWireFrame(const std::vector<uint8_t>& bytes, SimTime now) {
+  if (broken_ && now >= break_time_) {
+    return false;
+  }
+  std::optional<Message> msg = Message::Deserialize(bytes);
+  if (!msg.has_value()) {
+    ++counters_.wire_decode_errors;
+    return false;
+  }
+  // A frame whose bytes reached us finished serialising at the sender, so
+  // send_end == arrival: Break(t) keeps every frame received before the
+  // crash was detected, exactly the paper's failure model. Arrivals off one
+  // TCP stream are monotone; clamp anyway so a coarse wall clock can never
+  // violate the queue's sorted invariant.
+  SimTime arrival = now > last_arrival_ ? now : last_arrival_;
+  queue_.push_back(InFlight{arrival, arrival, std::move(*msg)});
+  last_arrival_ = arrival;
+  return true;
+}
+
 void Channel::OnCumulativeAck(uint64_t acked_count, SimTime now) {
   retransmit_.Ack(acked_count, now);
 }
@@ -218,7 +257,8 @@ Channel::RetransmitResult Channel::MaybeRetransmit(SimTime now) {
   if (broken_ && now >= break_time_) {
     return result;
   }
-  if (mode_ != ChannelMode::kOrdered || !faults_.Enabled() || retransmit_.empty()) {
+  if (mode_ != ChannelMode::kOrdered || (!faults_.Enabled() && !wire_bound()) ||
+      retransmit_.empty()) {
     return result;
   }
   if (!retransmit_.TimedOut(now, faults_.retransmit_timeout)) {

@@ -33,7 +33,9 @@
 #define HBFT_NET_CHANNEL_HPP_
 
 #include <deque>
+#include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -96,6 +98,7 @@ class Channel {
     uint64_t messages_delivered = 0; // In-order deliveries to the receiver.
     uint64_t bytes_on_wire = 0;      // Incl. retransmits and duplicates.
     uint64_t bytes_delivered = 0;    // Goodput bytes.
+    uint64_t wire_decode_errors = 0; // Socket transport: undecodable frames.
   };
 
   // Enqueues a message at time `now`; returns its arrival time at the
@@ -145,9 +148,12 @@ class Channel {
   };
   RetransmitResult MaybeRetransmit(SimTime now);
 
-  // Whether the sender should keep a retransmission timer armed.
+  // Whether the sender should keep a retransmission timer armed. Wire-bound
+  // channels always track the window: TCP cannot lose bytes, but the peer
+  // connection can die with frames unacked.
   bool NeedsRetransmitTimer() const {
-    return mode_ == ChannelMode::kOrdered && faults_.Enabled() && !retransmit_.empty();
+    return mode_ == ChannelMode::kOrdered && (faults_.Enabled() || wire_bound()) &&
+           !retransmit_.empty();
   }
   SimTime retransmit_timeout() const { return faults_.retransmit_timeout; }
   std::optional<SimTime> NextRetransmitDeadline() const {
@@ -156,6 +162,30 @@ class Channel {
 
   // The peer is dead: nothing will ever ack the window, stop re-sending.
   void AbandonRetransmits() { retransmit_.Clear(); }
+
+  // --- Socket (wire) transport ----------------------------------------------
+  // Multi-process serve mode: the channel endpoints live in different OS
+  // processes joined by a real TCP connection, and the go-back-N framing,
+  // cumulative acks, and retransmit buffer run unchanged on top of it.
+  //
+  // Sender side: BindWireSink reroutes every frame the link model would put
+  // on the simulated wire out through `sink` as the message's canonical
+  // serialized bytes (the caller length-prefixes them onto the stream). The
+  // local delivery queue is bypassed; occupancy is still charged so pacing
+  // matches the modelled link. A sink returning false (peer connection down)
+  // counts as a link drop — recovery rides the ordinary retransmission path
+  // until the failure detector declares the peer dead.
+  //
+  // Receiver side: InjectWireFrame enters a frame read off the socket into
+  // the delivery queue at `now`, so Receive() runs the identical ordered
+  // dedup/gap/re-ack machinery against it. Undecodable bytes are counted and
+  // refused. Truncation semantics carry over from Break(): a frame whose
+  // bytes never completely arrived (partial TCP write at peer death) is held
+  // by the stream dissector and never injected — no phantom delivery.
+  using WireSink = std::function<bool(const std::vector<uint8_t>&)>;
+  void BindWireSink(WireSink sink) { wire_sink_ = std::move(sink); }
+  bool wire_bound() const { return static_cast<bool>(wire_sink_); }
+  bool InjectWireFrame(const std::vector<uint8_t>& bytes, SimTime now);
 
   // True once per stale/post-gap discard batch: the receiver should repeat
   // its cumulative acknowledgment so a lost final ack cannot wedge the
@@ -194,6 +224,7 @@ class Channel {
   LinkModel link_;
   ChannelMode mode_;
   LinkFaults faults_;
+  WireSink wire_sink_;
   DeterministicRng fault_rng_;
   std::deque<InFlight> queue_;
   RetransmitBuffer retransmit_;

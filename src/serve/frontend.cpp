@@ -1,0 +1,134 @@
+#include "serve/frontend.hpp"
+
+#include <poll.h>
+
+namespace hbft {
+namespace serve {
+
+Frontend::~Frontend() {
+  CloseListener();
+  // FrameStream destructors close the connection fds.
+}
+
+bool Frontend::OpenListener(std::string* error) {
+  if (listen_fd_ >= 0) {
+    return true;
+  }
+  listen_fd_ = TcpListen(port_, error);
+  return listen_fd_ >= 0;
+}
+
+void Frontend::CloseListener() {
+  if (listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Frontend::CollectFds(std::vector<pollfd>* fds) const {
+  if (listen_fd_ >= 0) {
+    fds->push_back(pollfd{listen_fd_, POLLIN, 0});
+  }
+  for (const auto& [fd, stream] : conns_) {
+    short events = POLLIN;
+    if (stream->HasPendingWrites()) {
+      events |= POLLOUT;
+    }
+    fds->push_back(pollfd{fd, events, 0});
+  }
+}
+
+void Frontend::Pump(const RequestHandler& on_request) {
+  if (listen_fd_ >= 0) {
+    while (true) {
+      int fd = TcpAccept(listen_fd_);
+      if (fd < 0) {
+        break;
+      }
+      ++stats_.connections_accepted;
+      conns_[fd] = std::make_unique<FrameStream>(fd, kMaxClientFrameBytes);
+    }
+  }
+
+  std::vector<int> doomed;
+  for (auto& [fd, stream] : conns_) {
+    uint64_t before = stream->bytes_in();
+    bool alive = stream->ReadAvailable();
+    stats_.bytes_in += stream->bytes_in() - before;
+    while (true) {
+      std::optional<std::vector<uint8_t>> body = stream->NextFrame();
+      if (!body.has_value()) {
+        break;
+      }
+      std::optional<ClientFrame> frame = ClientFrame::Deserialize(*body);
+      if (!frame.has_value() || frame->type != kFrameRequest) {
+        ++stats_.rejected_frames;
+        alive = false;  // Protocol violation: drop the connection.
+        break;
+      }
+      ++stats_.requests;
+      routes_[frame->client_id] = fd;
+      on_request(*frame);
+    }
+    if (stream->corrupt()) {
+      ++stats_.rejected_frames;
+      alive = false;
+    }
+    if (!alive) {
+      doomed.push_back(fd);
+    }
+  }
+  for (int fd : doomed) {
+    CloseConnection(fd);
+  }
+}
+
+void Frontend::SendResponse(uint64_t client_id, uint64_t seq, const std::vector<uint8_t>& payload) {
+  auto route = routes_.find(client_id);
+  if (route == routes_.end()) {
+    ++stats_.responses_unroutable;
+    return;
+  }
+  auto conn = conns_.find(route->second);
+  if (conn == conns_.end()) {
+    ++stats_.responses_unroutable;
+    return;
+  }
+  ClientFrame frame;
+  frame.type = kFrameResponse;
+  frame.client_id = client_id;
+  frame.seq = seq;
+  frame.payload = payload;
+  conn->second->QueueFrame(frame.Serialize());
+  ++stats_.responses;
+}
+
+void Frontend::FlushAll() {
+  std::vector<int> doomed;
+  for (auto& [fd, stream] : conns_) {
+    uint64_t before = stream->bytes_out();
+    bool alive = stream->Flush();
+    stats_.bytes_out += stream->bytes_out() - before;
+    if (!alive) {
+      doomed.push_back(fd);
+    }
+  }
+  for (int fd : doomed) {
+    CloseConnection(fd);
+  }
+}
+
+void Frontend::CloseConnection(int fd) {
+  conns_.erase(fd);  // Destructor closes the socket.
+  ++stats_.connections_closed;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second == fd) {
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace hbft

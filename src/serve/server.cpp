@@ -1,0 +1,472 @@
+#include "serve/server.hpp"
+
+#include <csignal>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <poll.h>
+
+#include "devices/device_set.hpp"
+#include "serve/frontend.hpp"
+#include "serve/node_host.hpp"
+#include "serve/sockets.hpp"
+#include "serve/wire.hpp"
+#include "sim/realtime_pump.hpp"
+#include "sim/scenario.hpp"
+
+namespace hbft {
+namespace serve {
+
+namespace {
+
+// The guest halts after `iterations` packets; a serving session ends on a
+// signal or budget instead, so the count is effectively infinite.
+constexpr uint32_t kServeForever = 1000000000u;
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnStopSignal(int) { g_stop = 1; }
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  // A client or peer vanishing mid-write must surface as a write error on
+  // that socket, not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fputs("hbft_serve: ", stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  va_end(args);
+}
+
+// Releases one committed response: the NIC TX latch fires only once the
+// revised protocol's output-commit wait is satisfied, so by construction the
+// backup has acknowledged everything this response depends on.
+void AttachLatchRelease(Nic* nic, Frontend* frontend, uint64_t* released) {
+  nic->set_on_latch([frontend, released](const NicTraceEntry& entry) {
+    std::optional<NicRequest> req = DecodeNicPacket(entry.bytes);
+    if (!req.has_value()) {
+      return;  // Not client traffic (nothing else transmits today).
+    }
+    frontend->SendResponse(req->client_id, req->seq, req->payload);
+    ++*released;
+  });
+}
+
+NodeHostConfig MakeHostConfig(const ServeConfig& config, HostRole role) {
+  NodeHostConfig hc;
+  hc.role = role;
+  hc.seed = config.seed;
+  hc.replication.epoch_length = config.epoch_length;
+  // Output commit is the serving contract (see server.hpp); the original
+  // variant's boundary-ack rule does not provide it per-response.
+  hc.replication.variant = ProtocolVariant::kRevised;
+  hc.machine.tlb_entries = 64;
+  hc.machine.tlb_policy = TlbPolicy::kHardwareRandom;
+  hc.workload = WorkloadSpec::NetEcho(kServeForever);
+  // TCP does not drop frames, but a peer that dies leaves the go-back-N
+  // window unacked; a generous timer keeps retransmit probes from racing
+  // the 5 ms failure detector while still bounding recovery.
+  hc.link_faults.retransmit_timeout = SimTime::Millis(50);
+  return hc;
+}
+
+// Drains the replication socket: complete frames are injected into the
+// inbound channel at `now`; EOF/reset/corruption is the peer's death.
+// Returns false once the connection is gone (after OnPeerDead fired).
+bool PumpRepl(FrameStream* repl, NodeHost* host, SimTime now, uint64_t* failovers) {
+  if (repl == nullptr || !repl->open()) {
+    return false;
+  }
+  bool alive = repl->ReadAvailable();
+  while (true) {
+    std::optional<std::vector<uint8_t>> frame = repl->NextFrame();
+    if (!frame.has_value()) {
+      break;
+    }
+    host->OnPeerFrame(*frame, now);
+  }
+  if (repl->corrupt()) {
+    alive = false;
+  }
+  if (!alive) {
+    if (repl->truncated_bytes() > 0) {
+      // The peer died mid-write: the partial frame is held by the dissector
+      // and never delivered — Channel::Break truncation semantics at the
+      // socket boundary.
+      Note("peer died mid-frame (%zu truncated bytes discarded)", repl->truncated_bytes());
+    }
+    repl->Close();
+    host->OnPeerDead(now);
+    ++*failovers;
+    Note("replication peer lost at t=%.3f ms", now.seconds() * 1e3);
+    return false;
+  }
+  return true;
+}
+
+struct StopCheck {
+  const ServeConfig* config;
+  const uint64_t* released;
+  std::string reason;
+
+  // Returns true when the session should end, recording why.
+  bool Due(SimTime now, bool halted, bool dead) {
+    if (g_stop != 0) {
+      reason = "signal";
+    } else if (config->duration_ms > 0 && now >= SimTime::Millis(config->duration_ms)) {
+      reason = "duration";
+    } else if (config->max_requests > 0 && *released >= config->max_requests) {
+      reason = "max-requests";
+    } else if (halted) {
+      reason = "guest-halt";
+    } else if (dead) {
+      reason = "node-dead";
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
+void FillChannelReport(ServeReport* report, const std::string& name, const std::string& mode,
+                       const Channel& channel) {
+  ServeReport::ChannelReport row;
+  row.name = name;
+  row.mode = mode;
+  row.counters = channel.counters();
+  report->channels.push_back(std::move(row));
+}
+
+void FillFrontendReport(const Frontend& frontend, ServeReport* report) {
+  const Frontend::Stats& fs = frontend.stats();
+  report->connections = fs.connections_accepted;
+  report->requests = fs.requests;
+  report->responses = fs.responses;
+  report->responses_unroutable = fs.responses_unroutable;
+  report->rejected_frames = fs.rejected_frames;
+  report->client_bytes_in = fs.bytes_in;
+  report->client_bytes_out = fs.bytes_out;
+}
+
+void FillNodeReport(const ReplicaNodeBase& node, ServeReport* report) {
+  const ReplicaNodeBase::Stats& stats = node.stats();
+  report->epochs = stats.epochs;
+  report->messages_sent = stats.messages_sent;
+  report->acks_received = stats.acks_received;
+  report->uncertain_synthesised = stats.uncertain_synthesised;
+}
+
+// --- kSingle: whole chain in-process, real clients only ---------------------
+
+int RunSingle(const ServeConfig& config, ServeReport* report) {
+  Scenario scenario =
+      Scenario::Replicated(WorkloadSpec::NetEcho(kServeForever))
+          .Backups(config.backups)
+          .Variant(ProtocolVariant::kRevised)
+          .Epoch(config.epoch_length)
+          .Seed(config.seed)
+          .MaxTime(SimTime::Seconds(100000));
+  for (const FailurePlan& plan : config.failures) {
+    scenario.FailAt(plan);
+  }
+  std::unique_ptr<World> world = scenario.BuildWorld();
+
+  Frontend frontend(config.port);
+  std::string error;
+  if (!frontend.OpenListener(&error)) {
+    report->error = "client listener: " + error;
+    return 1;
+  }
+  Note("listening on 127.0.0.1:%u (single-process chain, %d backup%s)", config.port,
+       config.backups, config.backups == 1 ? "" : "s");
+
+  uint64_t released = 0;
+  AttachLatchRelease(world->devices().nic(), &frontend, &released);
+
+  RealtimePump pump;
+  StopCheck stop{&config, &released, ""};
+  while (true) {
+    std::vector<pollfd> fds;
+    frontend.CollectFds(&fds);
+    pump.Poll(fds.data(), fds.size(), SimTime::Millis(2));
+    SimTime now = pump.Now();
+
+    frontend.Pump([&world, now](const ClientFrame& frame) {
+      NicRequest req{frame.client_id, frame.seq, frame.payload};
+      world->InjectPacket(EncodeNicRequest(req), now);
+    });
+    bool more = world->RunLoop(pump.Now());
+    frontend.FlushAll();
+
+    if (!more && world->finished()) {
+      stop.reason = world->service_lost() ? "service-lost" : "guest-halt";
+      break;
+    }
+    if (stop.Due(now, false, false)) {
+      break;
+    }
+  }
+  frontend.FlushAll();
+
+  report->stop_reason = stop.reason;
+  report->runtime_s = pump.Now().seconds();
+  FillFrontendReport(frontend, report);
+  ScenarioResult outcome;
+  world->Finish(&outcome);
+  report->failovers = outcome.crash_times.size();
+  report->promoted = outcome.promoted;
+  if (outcome.promoted && !outcome.crash_times.empty()) {
+    report->promotion_latency_ms =
+        (outcome.promotion_time - outcome.crash_times.front()).seconds() * 1e3;
+  }
+  if (world->replica_count() > 0) {
+    FillNodeReport(*world->replica(0), report);
+  }
+  for (const auto& [key, channel] : world->channel_map()) {
+    FillChannelReport(report,
+                      "r" + std::to_string(key.first) + "->r" + std::to_string(key.second),
+                      channel->mode() == ChannelMode::kOrdered ? "protocol" : "acks", *channel);
+  }
+  report->ok = stop.reason != "service-lost" && stop.reason != "node-dead";
+  return report->ok ? 0 : 1;
+}
+
+// --- Shared multi-process serve loop ----------------------------------------
+
+// Drives one NodeHost plus the client frontend and the replication stream.
+// The primary enters with the frontend already listening; a backup enters
+// with it closed and opens it at promotion.
+void HostServeLoop(const ServeConfig& config, NodeHost* host, Frontend* frontend,
+                   FrameStream* repl, RealtimePump* pump, uint64_t* released,
+                   ServeReport* report) {
+  StopCheck stop{&config, released, ""};
+  SimTime peer_died = SimTime::Zero();
+  bool promotion_noted = false;
+
+  while (true) {
+    std::vector<pollfd> fds;
+    frontend->CollectFds(&fds);
+    if (repl != nullptr && repl->open()) {
+      short events = POLLIN;
+      if (repl->HasPendingWrites()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{repl->fd(), events, 0});
+    }
+    // Wake for the next scheduled sim event (a disk completion, a failure
+    // detector verdict) even with silent sockets.
+    SimTime now = pump->Now();
+    SimTime next_event = host->NextEventTime();
+    SimTime wait = next_event == SimTime::Max() ? SimTime::Millis(50)
+                   : next_event > now           ? next_event - now
+                                                : SimTime::Millis(1);
+    pump->Poll(fds.data(), fds.size(), wait);
+    now = pump->Now();
+
+    if (repl != nullptr && repl->open()) {
+      bool was_lost = host->peer_lost();
+      if (!PumpRepl(repl, host, now, &report->failovers) && !was_lost) {
+        peer_died = now;
+      }
+    }
+
+    if (frontend->listening()) {
+      frontend->Pump([host, now](const ClientFrame& frame) {
+        NicRequest req{frame.client_id, frame.seq, frame.payload};
+        host->InjectPacket(EncodeNicRequest(req), now);
+      });
+    }
+
+    host->Advance(pump->Now());
+
+    // A backup that just promoted takes over the client port. Retried every
+    // loop until the bind lands (the dead primary's socket may take an
+    // instant to evaporate even with SO_REUSEADDR).
+    BackupNode* backup = host->backup();
+    if (backup != nullptr && backup->promoted()) {
+      if (!promotion_noted) {
+        promotion_noted = true;
+        report->promoted = true;
+        report->promotion_latency_ms = (backup->promotion_time() - peer_died).seconds() * 1e3;
+        Note("promoted at t=%.3f ms (%.3f ms after peer loss)",
+             backup->promotion_time().seconds() * 1e3, report->promotion_latency_ms);
+      }
+      if (!frontend->listening()) {
+        std::string error;
+        if (frontend->OpenListener(&error)) {
+          Note("took over client port 127.0.0.1:%u", frontend->port());
+        }
+      }
+    }
+
+    frontend->FlushAll();
+    if (repl != nullptr && repl->open()) {
+      repl->Flush();
+    }
+
+    if (stop.Due(now, host->node().halted(), host->node().dead())) {
+      break;
+    }
+  }
+  frontend->FlushAll();
+
+  report->stop_reason = stop.reason;
+  report->runtime_s = pump->Now().seconds();
+  if (repl != nullptr) {
+    report->repl_bytes_in = repl->bytes_in();
+    report->repl_bytes_out = repl->bytes_out();
+  }
+  FillFrontendReport(*frontend, report);
+  FillNodeReport(host->node(), report);
+  const bool is_primary = host->role() == HostRole::kPrimary;
+  FillChannelReport(report, is_primary ? "primary->backup" : "backup->primary",
+                    is_primary ? "protocol" : "acks", host->wire_out());
+  FillChannelReport(report, is_primary ? "backup->primary" : "primary->backup",
+                    is_primary ? "acks" : "protocol", host->wire_in());
+  report->ok = stop.reason != "node-dead";
+}
+
+// --- kPrimary ----------------------------------------------------------------
+
+int RunPrimary(const ServeConfig& config, ServeReport* report) {
+  std::string error;
+  int repl_listen = TcpListen(config.repl_port, &error);
+  if (repl_listen < 0) {
+    report->error = "repl listener: " + error;
+    return 1;
+  }
+
+  RealtimePump pump;
+  NodeHost host(MakeHostConfig(config, HostRole::kPrimary));
+
+  // Hold the guest until the backup is attached (or the wait expires): every
+  // protocol message must ship through the wire from the first epoch, or the
+  // two replicas would silently diverge.
+  Note("waiting up to %llu ms for a backup on 127.0.0.1:%u",
+       static_cast<unsigned long long>(config.backup_wait_ms), config.repl_port);
+  std::unique_ptr<FrameStream> repl;
+  const SimTime wait_deadline = SimTime::Millis(config.backup_wait_ms);
+  while (g_stop == 0 && pump.Now() < wait_deadline) {
+    int fd = TcpAccept(repl_listen);
+    if (fd >= 0) {
+      repl = std::make_unique<FrameStream>(fd, kMaxReplFrameBytes);
+      break;
+    }
+    pollfd p{repl_listen, POLLIN, 0};
+    pump.Poll(&p, 1, SimTime::Millis(50));
+  }
+  CloseFd(repl_listen);  // One backup per session; rejoin-over-wire is future work.
+  if (g_stop != 0) {
+    report->stop_reason = "signal";
+    report->runtime_s = pump.Now().seconds();
+    report->ok = true;
+    return 0;
+  }
+
+  if (repl != nullptr) {
+    FrameStream* stream = repl.get();
+    host.BindWireSink([stream](const std::vector<uint8_t>& bytes) {
+      if (!stream->open()) {
+        return false;
+      }
+      stream->QueueFrame(bytes);
+      return stream->Flush();
+    });
+    Note("backup connected; replication active");
+  } else {
+    // No backup came: run unprotected, via the same failure-detection path a
+    // mid-session backup loss takes (the primary's OnDownstreamFailureDetected
+    // releases every ack wait).
+    host.OnPeerDead(pump.Now());
+    Note("no backup within %llu ms; running solo",
+         static_cast<unsigned long long>(config.backup_wait_ms));
+  }
+
+  Frontend frontend(config.port);
+  if (!frontend.OpenListener(&error)) {
+    report->error = "client listener: " + error;
+    return 1;
+  }
+  Note("listening on 127.0.0.1:%u (primary)", config.port);
+
+  uint64_t released = 0;
+  AttachLatchRelease(host.nic(), &frontend, &released);
+  HostServeLoop(config, &host, &frontend, repl.get(), &pump, &released, report);
+  report->solo = host.primary()->solo();
+  return report->ok ? 0 : 1;
+}
+
+// --- kBackup -----------------------------------------------------------------
+
+int RunBackup(const ServeConfig& config, ServeReport* report) {
+  RealtimePump pump;
+  std::string error;
+  int fd = -1;
+  const SimTime dial_deadline = SimTime::Millis(config.backup_wait_ms);
+  while (g_stop == 0) {
+    fd = TcpConnect(config.peer_host, config.repl_port, 250, &error);
+    if (fd >= 0) {
+      break;
+    }
+    if (pump.Now() >= dial_deadline) {
+      report->error = "could not reach primary at " + config.peer_host + ":" +
+                      std::to_string(config.repl_port) + ": " + error;
+      return 1;
+    }
+    pump.Poll(nullptr, 0, SimTime::Millis(100));
+  }
+  if (g_stop != 0) {
+    report->stop_reason = "signal";
+    report->ok = true;
+    return 0;
+  }
+
+  NodeHost host(MakeHostConfig(config, HostRole::kBackup));
+  auto repl = std::make_unique<FrameStream>(fd, kMaxReplFrameBytes);
+  FrameStream* stream = repl.get();
+  host.BindWireSink([stream](const std::vector<uint8_t>& bytes) {
+    if (!stream->open()) {
+      return false;
+    }
+    stream->QueueFrame(bytes);
+    return stream->Flush();
+  });
+  Note("connected to primary at %s:%u; standing by", config.peer_host.c_str(),
+       config.repl_port);
+
+  // The client listener stays closed until promotion: the primary serves.
+  Frontend frontend(config.port);
+  uint64_t released = 0;
+  AttachLatchRelease(host.nic(), &frontend, &released);
+  HostServeLoop(config, &host, &frontend, repl.get(), &pump, &released, report);
+  return report->ok ? 0 : 1;
+}
+
+}  // namespace
+
+int RunServe(const ServeConfig& config, ServeReport* report) {
+  InstallSignalHandlers();
+  switch (config.role) {
+    case ServeRole::kSingle:
+      report->role = "single";
+      return RunSingle(config, report);
+    case ServeRole::kPrimary:
+      report->role = "primary";
+      return RunPrimary(config, report);
+    case ServeRole::kBackup:
+      report->role = "backup";
+      return RunBackup(config, report);
+  }
+  report->error = "unknown role";
+  return 2;
+}
+
+}  // namespace serve
+}  // namespace hbft

@@ -1,0 +1,107 @@
+// The serve subsystem's session driver: a protected guest behind a real TCP
+// listener.
+//
+// Three roles:
+//   kSingle  — the whole replica chain lives in this process (a World, as in
+//              the simulation); only the client frontend is real TCP. The
+//              --fail schedule can kill the in-process primary mid-session
+//              to demonstrate failover under live traffic.
+//   kPrimary — this process hosts the primary replica (NodeHost). It accepts
+//              the backup's replication connection on --repl-port, bridges
+//              the protocol stream over it, and serves clients on --port.
+//              If no backup arrives within --backup-wait-ms it runs solo.
+//   kBackup  — this process hosts the standing backup. It dials the
+//              primary's repl port, consumes the protocol stream, and on the
+//              primary's death (socket EOF -> failure detector -> P6/P7)
+//              promotes and takes over the client port (SO_REUSEADDR rebind;
+//              clients reconnect and resend unacknowledged requests).
+//
+// Request path and output commit: a client request frame becomes a NIC RX
+// completion; the guest echoes the packet (after logging it to disk), and
+// the echo's TX latch — which the revised protocol gates on every relayed
+// message being acknowledged — is the instant the response is released to
+// the client socket. A response a client holds therefore proves the backup
+// can reproduce the state that generated it: kill -9 the primary and every
+// acknowledged write survives the promotion. This is why serve refuses the
+// original protocol variant: its boundary-ack rule makes the guarantee
+// epoch-granular, and with pipelining it would not hold at all.
+#ifndef HBFT_SERVE_SERVER_HPP_
+#define HBFT_SERVE_SERVER_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sim/world.hpp"
+
+namespace hbft {
+namespace serve {
+
+enum class ServeRole { kSingle, kPrimary, kBackup };
+
+struct ServeConfig {
+  ServeRole role = ServeRole::kSingle;
+  uint16_t port = 7070;       // Client listener.
+  uint16_t repl_port = 7071;  // Replication transport (multi-process roles).
+  std::string peer_host = "127.0.0.1";
+  uint64_t seed = 42;
+  uint64_t epoch_length = 4096;
+  int backups = 1;  // Chain length for kSingle.
+  // Session bounds; 0 = unbounded (run until a signal).
+  uint64_t duration_ms = 0;
+  uint64_t max_requests = 0;
+  // kPrimary: how long to hold the guest for a backup before going solo.
+  // kBackup: how long to keep redialing the primary before giving up.
+  uint64_t backup_wait_ms = 3000;
+  // kSingle only: in-process failure schedule (--fail specs).
+  FailureSchedule failures;
+  std::string failure_description = "none";
+};
+
+struct ServeReport {
+  bool ok = false;
+  std::string error;
+  std::string role;
+  std::string stop_reason;  // "signal", "duration", "max-requests", "guest-halt", "service-lost"
+  double runtime_s = 0.0;
+
+  // Client-side traffic.
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t responses_unroutable = 0;
+  uint64_t rejected_frames = 0;
+  uint64_t client_bytes_in = 0;
+  uint64_t client_bytes_out = 0;
+
+  // Replication.
+  uint64_t failovers = 0;  // Peer/active-replica deaths observed.
+  bool promoted = false;
+  bool solo = false;
+  double promotion_latency_ms = 0.0;  // Peer death -> promotion complete.
+  uint64_t repl_bytes_in = 0;
+  uint64_t repl_bytes_out = 0;
+
+  // Protocol counters of the hosted (or first) replica.
+  uint64_t epochs = 0;
+  uint64_t messages_sent = 0;
+  uint64_t acks_received = 0;
+  uint64_t uncertain_synthesised = 0;
+
+  struct ChannelReport {
+    std::string name;  // e.g. "primary->backup"
+    std::string mode;  // "protocol" | "acks"
+    Channel::Counters counters;
+  };
+  std::vector<ChannelReport> channels;
+};
+
+// Runs one serve session to completion (signal, duration, request budget, or
+// guest halt). Returns the process exit code; `report` is always filled.
+int RunServe(const ServeConfig& config, ServeReport* report);
+
+}  // namespace serve
+}  // namespace hbft
+
+#endif  // HBFT_SERVE_SERVER_HPP_

@@ -1,0 +1,199 @@
+#include "serve/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hbft {
+namespace serve {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool ResolveV4(const std::string& host, in_addr* out) {
+  if (host.empty() || host == "localhost") {
+    return inet_pton(AF_INET, "127.0.0.1", out) == 1;
+  }
+  return inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+}  // namespace
+
+int TcpListen(uint16_t port, std::string* error) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (!SetNonBlocking(fd)) {
+    *error = "fcntl O_NONBLOCK failed";
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int TcpAccept(int listen_fd) {
+  int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    return -1;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  return fd;
+}
+
+int TcpConnect(const std::string& host, uint16_t port, int timeout_ms, std::string* error) {
+  in_addr ip{};
+  if (!ResolveV4(host, &ip)) {
+    *error = "unresolvable host (IPv4 literal or 'localhost' expected): " + host;
+    return -1;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (!SetNonBlocking(fd)) {
+    *error = "fcntl O_NONBLOCK failed";
+    close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr = ip;
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      *error = std::string("connect: ") + std::strerror(errno);
+      close(fd);
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc = poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      *error = rc == 0 ? "connect timed out" : std::string("poll: ") + std::strerror(errno);
+      close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      *error = std::string("connect: ") + std::strerror(soerr != 0 ? soerr : errno);
+      close(fd);
+      return -1;
+    }
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) {
+    close(fd);
+  }
+}
+
+bool FrameStream::ReadAvailable() {
+  if (fd_ < 0) {
+    return false;
+  }
+  uint8_t buf[16384];
+  while (true) {
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_in_ += static_cast<uint64_t>(n);
+      reader_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return false;  // EOF: peer closed (or died).
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // ECONNRESET and friends: the connection is gone.
+  }
+}
+
+void FrameStream::QueueFrame(const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> framed = FrameBytes(body);
+  // Compact the consumed prefix occasionally so the buffer cannot grow
+  // without bound across a long session.
+  if (write_offset_ > 0 && write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+  } else if (write_offset_ > 65536) {
+    write_buffer_.erase(write_buffer_.begin(),
+                        write_buffer_.begin() + static_cast<long>(write_offset_));
+    write_offset_ = 0;
+  }
+  write_buffer_.insert(write_buffer_.end(), framed.begin(), framed.end());
+}
+
+bool FrameStream::Flush() {
+  if (fd_ < 0) {
+    return false;
+  }
+  while (write_offset_ < write_buffer_.size()) {
+    ssize_t n = write(fd_, write_buffer_.data() + write_offset_,
+                      write_buffer_.size() - write_offset_);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      bytes_out_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;  // Socket buffer full: try again next loop.
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void FrameStream::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace hbft

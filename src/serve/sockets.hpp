@@ -1,0 +1,88 @@
+// Thin non-blocking POSIX TCP helpers for the serving frontend and the
+// multi-process replication transport.
+//
+// Everything here is plain BSD sockets: listeners bind with SO_REUSEADDR so
+// a promoted backup can take over a just-dead primary's client port without
+// waiting out TIME_WAIT, streams are non-blocking with TCP_NODELAY (protocol
+// frames are small and latency-sensitive), and all buffering is explicit so
+// a single poll() loop can drive every connection without threads.
+//
+// FrameStream pairs a socket with the serve::FrameReader length-prefix
+// dissector: reads drain into the dissector, writes queue until the socket
+// accepts them. A peer that dies mid-write leaves a partial frame in the
+// dissector which is held and never delivered — the socket-transport
+// analogue of Channel::Break truncating a mid-serialisation frame.
+#ifndef HBFT_SERVE_SOCKETS_HPP_
+#define HBFT_SERVE_SOCKETS_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace hbft {
+namespace serve {
+
+// Returns a non-blocking listening fd bound to 127.0.0.1:port (SO_REUSEADDR
+// set), or -1 with `error` filled.
+int TcpListen(uint16_t port, std::string* error);
+
+// Accepts one pending connection as a non-blocking, TCP_NODELAY fd; -1 when
+// none is pending (or on error).
+int TcpAccept(int listen_fd);
+
+// Connects to host:port, waiting up to timeout_ms for the handshake.
+// Returns a non-blocking, TCP_NODELAY fd, or -1 with `error` filled.
+int TcpConnect(const std::string& host, uint16_t port, int timeout_ms, std::string* error);
+
+void CloseFd(int fd);
+
+// One framed TCP connection: buffered non-blocking reads and writes.
+class FrameStream {
+ public:
+  FrameStream(int fd, uint32_t max_frame_bytes) : fd_(fd), reader_(max_frame_bytes) {}
+  ~FrameStream() { Close(); }
+  FrameStream(const FrameStream&) = delete;
+  FrameStream& operator=(const FrameStream&) = delete;
+
+  int fd() const { return fd_; }
+  bool open() const { return fd_ >= 0; }
+
+  // Drains whatever the socket has into the frame dissector. Returns false
+  // on EOF or a hard error: the connection is dead and any buffered partial
+  // frame is truncated-write residue that will never become a frame.
+  bool ReadAvailable();
+
+  // Next complete frame body, if one has fully arrived.
+  std::optional<std::vector<uint8_t>> NextFrame() { return reader_.Next(); }
+  bool corrupt() const { return reader_.corrupt(); }
+  size_t truncated_bytes() const { return reader_.BufferedBytes(); }
+
+  // Queues body as one length-prefixed frame; call Flush() to push bytes out.
+  void QueueFrame(const std::vector<uint8_t>& body);
+
+  // Writes as much queued data as the socket accepts without blocking.
+  // Returns false on a hard error (peer reset).
+  bool Flush();
+  bool HasPendingWrites() const { return write_offset_ < write_buffer_.size(); }
+
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+  std::vector<uint8_t> write_buffer_;
+  size_t write_offset_ = 0;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+};
+
+}  // namespace serve
+}  // namespace hbft
+
+#endif  // HBFT_SERVE_SOCKETS_HPP_

@@ -1,0 +1,146 @@
+#include "serve/wire.hpp"
+
+#include "common/check.hpp"
+
+namespace hbft {
+namespace serve {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = v << 8 | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ClientFrame::Serialize() const {
+  HBFT_CHECK_LE(payload.size(), kMaxRequestPayload);
+  std::vector<uint8_t> out;
+  out.reserve(kClientFrameHeaderBytes + payload.size());
+  out.push_back(type);
+  out.push_back(flags);
+  PutU64(&out, client_id);
+  PutU64(&out, seq);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<ClientFrame> ClientFrame::Deserialize(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kClientFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  ClientFrame frame;
+  frame.type = bytes[0];
+  frame.flags = bytes[1];
+  if (frame.type != kFrameRequest && frame.type != kFrameResponse) {
+    return std::nullopt;
+  }
+  if ((frame.flags & ~kFlagResend) != 0) {
+    return std::nullopt;  // Undefined flag bits: non-canonical.
+  }
+  frame.client_id = GetU64(&bytes[2]);
+  frame.seq = GetU64(&bytes[10]);
+  uint32_t payload_len = GetU32(&bytes[18]);
+  if (payload_len > kMaxRequestPayload) {
+    return std::nullopt;
+  }
+  // The announced payload must account for every remaining byte: trailing
+  // garbage and truncated payloads are both rejected.
+  if (bytes.size() != kClientFrameHeaderBytes + payload_len) {
+    return std::nullopt;
+  }
+  frame.payload.assign(bytes.begin() + kClientFrameHeaderBytes, bytes.end());
+  return frame;
+}
+
+std::vector<uint8_t> FrameBytes(const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeFrame(const ClientFrame& frame) { return FrameBytes(frame.Serialize()); }
+
+void FrameReader::Feed(const uint8_t* data, size_t n) {
+  if (corrupt_) {
+    return;  // The stream lost framing; nothing after that is trustworthy.
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<std::vector<uint8_t>> FrameReader::Next() {
+  if (corrupt_ || buffer_.size() < 4) {
+    return std::nullopt;
+  }
+  uint8_t len_bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    len_bytes[i] = buffer_[static_cast<size_t>(i)];
+  }
+  uint32_t body_len = GetU32(len_bytes);
+  if (body_len > max_frame_bytes_) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4u + body_len) {
+    return std::nullopt;  // Incomplete frame: held, never delivered.
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
+  std::vector<uint8_t> body(buffer_.begin(), buffer_.begin() + body_len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + body_len);
+  return body;
+}
+
+std::vector<uint8_t> EncodeNicRequest(const NicRequest& request) {
+  HBFT_CHECK_LE(request.payload.size(), kMaxRequestPayload);
+  std::vector<uint8_t> out;
+  out.reserve(kNicRequestHeaderBytes + request.payload.size());
+  out.push_back('S');
+  out.push_back('V');
+  PutU64(&out, request.client_id);
+  PutU64(&out, request.seq);
+  out.insert(out.end(), request.payload.begin(), request.payload.end());
+  return out;
+}
+
+std::optional<NicRequest> DecodeNicPacket(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kNicRequestHeaderBytes ||
+      bytes.size() > kNicRequestHeaderBytes + kMaxRequestPayload) {
+    return std::nullopt;
+  }
+  if (bytes[0] != 'S' || bytes[1] != 'V') {
+    return std::nullopt;
+  }
+  NicRequest request;
+  request.client_id = GetU64(&bytes[2]);
+  request.seq = GetU64(&bytes[10]);
+  request.payload.assign(bytes.begin() + kNicRequestHeaderBytes, bytes.end());
+  return request;
+}
+
+}  // namespace serve
+}  // namespace hbft

@@ -1,0 +1,52 @@
+// RealtimePump: the bridge between wall-clock socket readiness and the
+// deterministic event-queue time base.
+//
+// The whole simulation orders itself by SimTime; serving real clients means
+// external events (bytes arriving on a TCP socket, a peer process dying)
+// happen at wall-clock instants instead. The pump anchors a monotonic wall
+// epoch at construction and maps elapsed wall time 1:1 onto SimTime, so a
+// serve loop alternates:
+//
+//   pump.Poll(fds, wait)            — sleep until sockets are ready
+//   t = pump.Now()                  — one injection instant per iteration
+//   inject socket events at t       — InjectWireFrame / InjectInput(t)
+//   world.RunLoop(t) / host.Advance(t) — deterministic catch-up to t
+//
+// Everything that happened on the wire since the last iteration is injected
+// at the same SimTime t, and the simulation then advances deterministically
+// to t: given the sequence of (t, injected events) pairs, the run is exactly
+// reproducible — wall time only decides where the sequence gets cut. Now()
+// is monotone (never re-reads an earlier instant) so injection points can
+// never violate channel arrival ordering.
+#ifndef HBFT_SIM_REALTIME_PUMP_HPP_
+#define HBFT_SIM_REALTIME_PUMP_HPP_
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/time.hpp"
+
+struct pollfd;
+
+namespace hbft {
+
+class RealtimePump {
+ public:
+  RealtimePump() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Wall-clock elapsed since construction as SimTime, clamped monotone.
+  SimTime Now();
+
+  // ppoll(2) with a SimTime wait bound (floored at 50 µs so a zero-ish
+  // bound cannot busy-spin). Returns poll's result; 0 fds is a plain
+  // sleep. EINTR reads as 0 (the loop just re-evaluates).
+  int Poll(pollfd* fds, size_t nfds, SimTime max_wait);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  SimTime last_ = SimTime::Zero();
+};
+
+}  // namespace hbft
+
+#endif  // HBFT_SIM_REALTIME_PUMP_HPP_

@@ -132,6 +132,30 @@ if(NOT table1 MATCHES "\"workload\"" OR NOT table1 MATCHES "\"np\"")
   message(FATAL_ERROR "table1.json missing expected keys:\n${table1}")
 endif()
 
+# --- serve: help text, flag validation, and a short sessionless run ---------
+run_cli(help_out help)
+expect_field("${help_out}" "serve")
+expect_field("${help_out}" "--repl-port")
+expect_field("${help_out}" "--backup-wait-ms")
+
+# serve refuses the original variant: output commit at the socket boundary
+# is the serving contract.
+execute_process(COMMAND ${HBFT_CLI} serve --variant=old --port=1
+                ERROR_VARIABLE variant_err RESULT_VARIABLE variant_rc)
+if(variant_rc EQUAL 0)
+  message(FATAL_ERROR "serve --variant=old unexpectedly succeeded")
+endif()
+if(NOT variant_err MATCHES "output commit")
+  message(FATAL_ERROR "serve --variant=old missing contract message:\n${variant_err}")
+endif()
+
+# A short clientless session exits cleanly with a complete JSON report.
+run_cli(serve_out serve --port=28471 --duration-ms=400 --json)
+expect_field("${serve_out}" "\"command\": \"serve\"")
+expect_field("${serve_out}" "\"stop_reason\": \"duration\"")
+expect_field("${serve_out}" "\"completed\": true")
+expect_field("${serve_out}" "\"channels\"")
+
 # --- bench --only: single-artifact regeneration ------------------------------
 run_cli(only_out bench --quick --only=fig7_fleet --out-dir=${WORK_DIR}/bench-only)
 if(NOT EXISTS ${WORK_DIR}/bench-only/fig7_fleet.json)

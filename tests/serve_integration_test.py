@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Integration test for `hbft_cli serve`: real sockets, real processes.
+
+Usage: serve_integration_test.py <path-to-hbft_cli>
+
+Three phases:
+  1. Single-process serve: a client commits writes through the full
+     simulated chain and every echo matches.
+  2. Single-process failover (--fail=time-ms=...): the primary replica is
+     killed in-simulation mid-traffic; the backup promotes and the session
+     report says so; the client loses nothing.
+  3. Multi-process: --role=primary and --role=backup processes joined by a
+     real TCP replication link. The primary is SIGKILLed mid-traffic; the
+     backup detects the dead socket, promotes via the failure detector,
+     rebinds the client port, and the client finishes with zero lost
+     acknowledged writes.
+
+The test is its own client (tools/serve_client.py is imported), so the
+acknowledged-write ledger lives in-process and the assertions are exact.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools"))
+from serve_client import ServeClient  # noqa: E402
+
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def fail(msg):
+    print("FAIL:", msg)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def wait_listening(port, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=0.5).close()
+            return True
+        except OSError:
+            time.sleep(0.1)
+    return False
+
+
+def finish(proc, timeout_s, name):
+    try:
+        out, err = proc.communicate(timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, err = proc.communicate()
+        fail("%s did not exit in %ss; stderr:\n%s" % (name, timeout_s, err))
+    return out, err
+
+
+def parse_report(out, err, name):
+    try:
+        return json.loads(out)
+    except ValueError:
+        fail("%s produced unparseable JSON: %r\nstderr:\n%s" % (name, out[:500], err))
+
+
+def phase_single(cli):
+    port = free_port()
+    server = subprocess.Popen(
+        [cli, "serve", "--port=%d" % port, "--duration-ms=30000", "--max-requests=20", "--json"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    check(wait_listening(port, 10), "single: server never listened")
+
+    client = ServeClient("127.0.0.1", port, client_id=101)
+    ok = client.run(20, 25.0, window=4)
+    client.close()
+    s = client.summary()
+    check(ok, "single: client only got %d/20 acks" % s["acked"])
+    check(s["mismatches"] == 0, "single: %d echo mismatches" % s["mismatches"])
+
+    out, err = finish(server, 30, "single server")
+    report = parse_report(out, err, "single server")
+    check(report["completed"], "single: report not completed: %s" % report)
+    check(report["stop_reason"] == "max-requests",
+          "single: stop_reason %s" % report["stop_reason"])
+    check(report["requests"] >= 20, "single: report requests %d" % report["requests"])
+    check(report["responses"] >= 20, "single: report responses %d" % report["responses"])
+    check(report["role"] == "single", "single: role %s" % report["role"])
+    print("phase 1 (single-process): OK —", s)
+
+
+def phase_single_failover(cli):
+    port = free_port()
+    server = subprocess.Popen(
+        # The failure must land before the request stream can complete (40
+        # requests take >2 s of sim time), or the server stops at
+        # --max-requests with failovers=0. Early is safe: a failover before
+        # the first request just means the promoted backup serves them all.
+        [cli, "serve", "--port=%d" % port, "--duration-ms=60000", "--max-requests=40",
+         "--fail=time-ms=400", "--json"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    check(wait_listening(port, 10), "single-failover: server never listened")
+
+    client = ServeClient("127.0.0.1", port, client_id=102)
+    ok = client.run(40, 50.0, window=4)
+    client.close()
+    s = client.summary()
+    check(ok, "single-failover: client only got %d/40 acks" % s["acked"])
+    check(s["mismatches"] == 0, "single-failover: %d echo mismatches" % s["mismatches"])
+
+    out, err = finish(server, 30, "single-failover server")
+    report = parse_report(out, err, "single-failover server")
+    check(report["completed"], "single-failover: not completed: %s" % report)
+    check(report["failovers"] == 1, "single-failover: failovers %d" % report["failovers"])
+    check(report["promoted"], "single-failover: backup never promoted")
+    check(report["promotion_time_ms"] > 0,
+          "single-failover: promotion_time_ms %s" % report["promotion_time_ms"])
+    print("phase 2 (in-process failover): OK —", s)
+
+
+def phase_multiprocess_kill9(cli):
+    port = free_port()
+    repl_port = free_port()
+    common = ["--port=%d" % port, "--repl-port=%d" % repl_port,
+              "--duration-ms=120000", "--json"]
+    primary = subprocess.Popen([cli, "serve", "--role=primary"] + common,
+                               stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    backup = subprocess.Popen([cli, "serve", "--role=backup"] + common,
+                              stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    check(wait_listening(port, 15), "multi: primary never listened")
+
+    # Kill the primary — the REAL process, with SIGKILL — once 10 writes
+    # have been acknowledged, so the failure lands mid-traffic.
+    state = {"killed": False}
+
+    def maybe_kill(c):
+        if not state["killed"] and len(c.acked) >= 10:
+            state["killed"] = True
+            os.kill(primary.pid, signal.SIGKILL)
+            print("killed primary (pid %d) after %d acks" % (primary.pid, len(c.acked)))
+
+    client = ServeClient("127.0.0.1", port, client_id=103)
+    ok = client.run(50, 90.0, window=4, on_progress=maybe_kill)
+    client.close()
+    s = client.summary()
+    check(state["killed"], "multi: kill hook never fired (only %d acks)" % s["acked"])
+    check(ok, "multi: client only got %d/50 acks after the kill" % s["acked"])
+    check(s["mismatches"] == 0, "multi: %d echo mismatches" % s["mismatches"])
+    check(s["reconnects"] >= 1, "multi: client finished without reconnecting?")
+
+    primary.wait(timeout=10)
+    backup.send_signal(signal.SIGTERM)
+    out, err = finish(backup, 30, "backup")
+    check(backup.returncode == 0, "multi: backup exited %d:\n%s" % (backup.returncode, err))
+    report = parse_report(out, err, "backup")
+    check(report["promoted"], "multi: backup report says not promoted:\n%s" % err)
+    check(report["failovers"] == 1, "multi: failovers %d" % report["failovers"])
+    check(report["promotion_time_ms"] > 0,
+          "multi: promotion_time_ms %s" % report["promotion_time_ms"])
+    check(report["requests"] > 0, "multi: promoted backup served no requests")
+    check(report["stop_reason"] == "signal", "multi: stop_reason %s" % report["stop_reason"])
+    check("promoted" in err, "multi: no promotion note on backup stderr:\n%s" % err)
+    print("phase 3 (kill -9 failover): OK —", s,
+          "promotion_time_ms=%.1f" % report["promotion_time_ms"])
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_integration_test.py <hbft_cli>")
+    cli = sys.argv[1]
+    phase_single(cli)
+    phase_single_failover(cli)
+    phase_multiprocess_kill9(cli)
+    print("serve_integration_test: all phases passed")
+
+
+if __name__ == "__main__":
+    main()
