@@ -424,9 +424,11 @@ bool EmitFig7(const BenchConfig& cfg, int* failures) {
     // The per-chain env-consistency check doubles the run for no extra data
     // here; the fleet tests exercise it.
     fc.verify = false;
+    // hbft-lint: allow(wall-clock) — host-side bench timing, never feeds the simulation.
     auto t0 = std::chrono::steady_clock::now();
     FleetResult r = Fleet(fc).Run();
     double wall_ms =
+        // hbft-lint: allow(wall-clock) — host-side bench timing, never feeds the simulation.
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
     if (r.chains_lost != 0 || r.chains_completed != chains) {
       std::fprintf(stderr, "hbft_cli: bench fig7 measurement failed (storm=%zu)\n", width);

@@ -42,9 +42,9 @@ class CheckMessageBuilder {
   }
 
  private:
-  const char* file_;
-  int line_;
-  const char* expr_;
+  const char* file_ = nullptr;
+  int line_ = 0;
+  const char* expr_ = nullptr;
   std::ostringstream stream_;
 };
 

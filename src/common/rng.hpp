@@ -36,7 +36,7 @@ class DeterministicRng {
   void set_state(uint64_t state) { state_ = state; }
 
  private:
-  uint64_t state_;
+  uint64_t state_ = 0;
 };
 
 }  // namespace hbft

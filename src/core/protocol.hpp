@@ -323,15 +323,15 @@ class ReplicaNodeBase : public NodeActor {
     }
   }
 
-  int id_;
+  int id_ = 0;
   ReplicationConfig replication_;
   CostModel costs_;
   Hypervisor hv_;
-  Channel* up_in_;
-  Channel* up_out_;
-  Channel* down_out_;
-  Channel* down_in_;
-  EventScheduler* scheduler_;
+  Channel* up_in_ = nullptr;
+  Channel* up_out_ = nullptr;
+  Channel* down_out_ = nullptr;
+  Channel* down_in_ = nullptr;
+  EventScheduler* scheduler_ = nullptr;
   std::function<void(SimTime)> schedule_down_poll_;
   std::function<void(SimTime)> schedule_up_poll_;
   std::function<void(FailPhase, uint64_t, uint64_t)> phase_hook_;

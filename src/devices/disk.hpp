@@ -23,7 +23,7 @@
 #define HBFT_DEVICES_DISK_HPP_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -127,14 +127,14 @@ class Disk : public DeviceBackend {
   std::vector<uint8_t> DefaultBlockContent(uint32_t block) const;
   void ApplyWrite(uint32_t block, const std::vector<uint8_t>& data);
 
-  uint32_t num_blocks_;
+  uint32_t num_blocks_ = 0;
   DeterministicRng rng_;
   FaultPlan fault_plan_;
   SimTime read_latency_ = SimTime::Zero();
   SimTime write_latency_ = SimTime::Zero();
   uint64_t next_op_id_ = 1;
-  std::unordered_map<uint64_t, InFlightOp> in_flight_;
-  std::unordered_map<uint32_t, std::vector<uint8_t>> blocks_;
+  std::map<uint64_t, InFlightOp> in_flight_;
+  std::map<uint32_t, std::vector<uint8_t>> blocks_;
   std::vector<DiskTraceEntry> trace_;
 };
 

@@ -13,7 +13,7 @@
 #define HBFT_DEVICES_LATCHED_OUTPUT_HPP_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "common/rng.hpp"
 #include "devices/virtual_device.hpp"
@@ -51,7 +51,7 @@ class LatchedOutputBackend : public DeviceBackend {
   FaultPlan fault_plan_;
   SimTime tx_latency_ = SimTime::Zero();
   uint64_t next_op_id_ = 1;
-  std::unordered_map<uint64_t, uint32_t> in_flight_result_;  // op id -> result code.
+  std::map<uint64_t, uint32_t> in_flight_result_;  // op id -> result code.
 };
 
 }  // namespace hbft

@@ -62,8 +62,8 @@ class Placement {
  private:
   size_t PickLeastLoaded(const std::vector<size_t>& avoid, const std::vector<bool>* host_up);
 
-  PlacementPolicy policy_;
-  size_t hosts_;
+  PlacementPolicy policy_ = PlacementPolicy::kAntiAffinity;
+  size_t hosts_ = 0;
   std::vector<size_t> load_;  // Live replicas per host.
   size_t cursor_ = 0;         // Round-robin only.
 };

@@ -175,9 +175,10 @@ class Hypervisor {
   uint32_t VirtualStatusFromReal(uint32_t real) const;
   uint32_t RealStatusFromVirtual(uint32_t virt) const;
 
+  // hbft-lint: derived-state — construction-time config; identical on every replica.
   MachineConfig machine_config_;
-  HypervisorConfig hv_config_;
-  CostModel costs_;
+  HypervisorConfig hv_config_;  // hbft-lint: derived-state — construction-time config; identical on every replica.
+  CostModel costs_;  // hbft-lint: derived-state — construction-time config; identical on every replica.
   std::unique_ptr<DeviceRegistry> devices_;
   Machine machine_;
   SimTime clock_ = SimTime::Zero();
@@ -190,10 +191,12 @@ class Hypervisor {
   bool epoch_end_pending_ = false;
 
   PendingKind pending_ = PendingKind::kNone;
+  // hbft-lint: derived-state — capture asserts pending_ == kNone, so the
+  // decision scratch below never spans a snapshot boundary.
   DecodedInstr pending_instr_;
-  uint32_t pending_pc_ = 0;
+  uint32_t pending_pc_ = 0;  // hbft-lint: derived-state — see pending_instr_ above.
 
-  Stats stats_;
+  Stats stats_;  // hbft-lint: derived-state — diagnostic counters, not replicated guest state.
 };
 
 }  // namespace hbft

@@ -159,6 +159,7 @@ const char* MnemonicFor(Opcode op) {
 
 std::optional<Opcode> OpcodeForMnemonic(const std::string& mnemonic) {
   static const auto* map = [] {
+    // hbft-lint: allow(unordered-container) — lookup-only mnemonic table; never iterated.
     auto* m = new std::unordered_map<std::string, Opcode>();
     for (size_t i = 0; i < kRealOps; ++i) {
       (*m)[kOpTable[i].mnemonic] = kOpTable[i].op;

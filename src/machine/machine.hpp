@@ -205,7 +205,7 @@ class Machine {
     }
   }
 
-  MachineConfig config_;
+  MachineConfig config_;  // hbft-lint: derived-state — construction-time config; identical on every replica.
   CpuState cpu_;
   PhysicalMemory memory_;
   Tlb tlb_;
@@ -214,9 +214,11 @@ class Machine {
   bool rctr_enabled_ = false;
 
   // Idle-loop fast-forward state.
+  // hbft-lint: derived-state — idle-loop bounds come from the guest program at
+  // construction, not the snapshot (see Machine::CaptureState).
   uint32_t idle_begin_ = 0;
-  uint32_t idle_end_ = 0;
-  bool idle_configured_ = false;
+  uint32_t idle_end_ = 0;  // hbft-lint: derived-state — see idle_begin_ above.
+  bool idle_configured_ = false;  // hbft-lint: derived-state — see idle_begin_ above.
   bool idle_observing_ = false;
   bool idle_clean_ = false;
   uint64_t idle_entry_fp_ = 0;
@@ -228,9 +230,10 @@ class Machine {
     uint32_t pc = 0;
     uint32_t word = 0;
   };
+  // hbft-lint: derived-state — post-mortem debug ring; never read by execution.
   std::vector<TraceEntry> trace_ring_;
-  size_t trace_next_ = 0;
-  bool trace_wrapped_ = false;
+  size_t trace_next_ = 0;  // hbft-lint: derived-state — see trace_ring_ above.
+  bool trace_wrapped_ = false;  // hbft-lint: derived-state — see trace_ring_ above.
 
   uint64_t RegisterFingerprint() const { return cpu_.Fingerprint(); }
 

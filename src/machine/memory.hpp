@@ -106,8 +106,9 @@ class PhysicalMemory : public Snapshotable {
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> dirty_;        // Per-page dirty flags.
   std::vector<uint32_t> versions_;    // Per-page write counters (see PageVersion).
+  // hbft-lint: derived-state — hash cache, rebuilt lazily from bytes_/versions_.
   std::vector<uint64_t> page_hashes_; // Cached per-page hashes.
-  uint64_t combined_ = 0;
+  uint64_t combined_ = 0;  // hbft-lint: derived-state — see page_hashes_ above.
   bool transfer_tracking_ = false;
   std::vector<uint8_t> transfer_dirty_;
 };

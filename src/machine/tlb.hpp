@@ -69,7 +69,7 @@ class Tlb : public Snapshotable {
   uint32_t PickVictim();
 
   std::vector<Slot> slots_;
-  TlbPolicy policy_;
+  TlbPolicy policy_;  // hbft-lint: derived-state — construction-time config; identical on every replica.
   DeterministicRng rng_;
   uint32_t next_victim_ = 0;
   uint64_t lookups_ = 0;

@@ -80,7 +80,7 @@ class Frontend {
  private:
   void CloseConnection(int fd);
 
-  uint16_t port_;
+  uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::map<int, std::unique_ptr<FrameStream>> conns_;
   // client_id -> fd of the newest connection that spoke for it.

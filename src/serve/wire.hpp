@@ -96,7 +96,7 @@ class FrameReader {
   size_t BufferedBytes() const { return buffer_.size(); }
 
  private:
-  uint32_t max_frame_bytes_;
+  uint32_t max_frame_bytes_ = 0;
   std::deque<uint8_t> buffer_;
   bool corrupt_ = false;
 };

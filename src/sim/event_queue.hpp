@@ -49,7 +49,7 @@ class EventQueue {
  private:
   struct Event {
     SimTime time;
-    uint64_t seq;  // Per-partition insertion sequence.
+    uint64_t seq = 0;  // Per-partition insertion sequence.
     std::function<void()> fn;
   };
   struct Later {

@@ -48,12 +48,12 @@ class BareNode : public NodeActor {
     clock_ += costs_.instruction_cost;
   }
 
-  int id_;
+  int id_ = 0;
   CostModel costs_;
   std::unique_ptr<DeviceRegistry> devices_;
   Machine machine_;
   SimTime clock_ = SimTime::Zero();
-  EventScheduler* scheduler_;
+  EventScheduler* scheduler_ = nullptr;
   bool halted_ = false;
 
   uint64_t itmr_value_ = 0;

@@ -4,6 +4,9 @@
 
 #include "sim/realtime_pump.hpp"
 
+// hbft-lint: allow-file(wall-clock) — this layer IS the wall-clock boundary;
+// everything downstream of Now() stays deterministic.
+
 #include <cerrno>
 #include <ctime>
 #include <poll.h>

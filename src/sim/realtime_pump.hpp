@@ -18,6 +18,9 @@
 // reproducible — wall time only decides where the sequence gets cut. Now()
 // is monotone (never re-reads an earlier instant) so injection points can
 // never violate channel arrival ordering.
+//
+// hbft-lint: allow-file(wall-clock) — this layer IS the wall-clock boundary;
+// everything downstream of Now() stays deterministic.
 #ifndef HBFT_SIM_REALTIME_PUMP_HPP_
 #define HBFT_SIM_REALTIME_PUMP_HPP_
 

@@ -233,7 +233,7 @@ class Scenario {
   };
 
   WorkloadSpec workload_;
-  bool replicated_;
+  bool replicated_ = false;
   ReplicationConfig replication_;
   CostModel costs_;
   MachineConfig machine_;

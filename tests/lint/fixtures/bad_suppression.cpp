@@ -1,0 +1,14 @@
+// Fixture: bad-suppression rule. Annotations must name a real rule and
+// carry a reason; anything else is itself a violation (a typo'd suppression
+// that silently suppresses nothing is worse than none).
+#include <cstdint>
+
+namespace fixture {
+
+// hbft-lint: allow(wall-clok) — typo'd rule name.  VIOLATION: bad-suppression
+uint64_t A() { return 1; }
+
+// hbft-lint: allow(wall-clock)
+uint64_t B() { return 2; }  // reasonless allow above: VIOLATION: bad-suppression
+
+}  // namespace fixture

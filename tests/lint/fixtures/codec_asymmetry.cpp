@@ -1,0 +1,40 @@
+// Fixture: codec-symmetry rule. Two broken pairs: a width mismatch (writes
+// U64 where the reader expects U32) and a count mismatch (a trailing field
+// the reader never consumes).
+#include <cstdint>
+
+namespace fixture {
+
+class SnapshotWriter;
+class SnapshotReader;
+
+class WidthSkew {
+ public:
+  void Serialize(SnapshotWriter& w) const {
+    w.U32(head_);
+    w.U64(body_);  // VIOLATION: codec-symmetry (reader uses U32)
+  }
+  bool Deserialize(SnapshotReader& r) {
+    uint32_t narrowed = 0;
+    return r.U32(&head_) && r.U32(&narrowed);
+  }
+
+ private:
+  uint32_t head_ = 0;
+  uint64_t body_ = 0;
+};
+
+class CountSkew {
+ public:
+  void EncodeHeader(SnapshotWriter& w) const {
+    w.U32(kind_);
+    w.U32(flags_);  // VIOLATION: codec-symmetry (reader stops after kind_)
+  }
+  bool DecodeHeader(SnapshotReader& r) { return r.U32(&kind_); }
+
+ private:
+  uint32_t kind_ = 0;
+  uint32_t flags_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: ambient-rand rule. Non-seeded randomness is banned inside the
+// deterministic tree; every draw must come from a DeterministicRng stream.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int LibcDraw() {
+  return rand();  // VIOLATION: ambient-rand
+}
+
+unsigned HardwareDraw() {
+  std::random_device rd;  // VIOLATION: ambient-rand
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: pointer-keyed rule. Ordered containers keyed by pointer value
+// (and std::hash over pointers) leak allocation addresses into iteration
+// and comparison order.
+#include <cstddef>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+class Node {};
+
+class Roster {
+ private:
+  std::map<Node*, int> ranks_;   // VIOLATION: pointer-keyed
+  std::set<Node*> members_;      // VIOLATION: pointer-keyed
+};
+
+inline size_t AddressHash(void* p) {
+  return std::hash<void*>{}(p);  // VIOLATION: pointer-keyed
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: unordered-container rule. Declaring std::unordered_* is flagged
+// even without iteration — iteration order is address-seeded, and a later
+// change can start iterating without revisiting the declaration.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class OpIndex {
+ public:
+  void Add(const std::string& name, uint32_t op) { ops_[name] = op; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ops_;  // VIOLATION: unordered-container
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: unordered-iteration rule. The declaration below is suppressed as
+// lookup-only, but iterating it must still fire: lookup-only means lookup
+// only. Both range-for and explicit begin() iteration are covered.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class SeqTable {
+ public:
+  std::vector<uint64_t> Drain() {
+    std::vector<uint64_t> out;
+    for (const auto& [id, seq] : table_) {  // VIOLATION: unordered-iteration
+      out.push_back(seq);
+    }
+    auto it = table_.begin();  // VIOLATION: unordered-iteration
+    (void)it;
+    return out;
+  }
+
+ private:
+  // hbft-lint: allow(unordered-container) — fixture: pretend lookup-only.
+  std::unordered_map<uint64_t, uint64_t> table_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: wall-clock rule. Each marked line must produce a [wall-clock]
+// violation when linted without suppressions.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+int64_t NowNanos() {
+  auto t = std::chrono::steady_clock::now();  // VIOLATION: wall-clock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch()).count();
+}
+
+int64_t Today() {
+  return static_cast<int64_t>(time(nullptr));  // VIOLATION: wall-clock
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: snapshot-field rule. `forgotten_` is mutable state that neither
+// CaptureState nor RestoreState ever touches — the live-transfer corruption
+// class. `cache_` is excluded the sanctioned way.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class SnapshotWriter;
+class SnapshotReader;
+
+class Counter {
+ public:
+  void CaptureState(SnapshotWriter& w) const {
+    w.U64(ticks_);
+    w.U32(step_);
+  }
+  bool RestoreState(SnapshotReader& r) {
+    if (!r.U64(&ticks_) || !r.U32(&step_)) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  uint64_t ticks_ = 0;
+  uint32_t step_ = 0;
+  uint32_t forgotten_ = 0;  // VIOLATION: snapshot-field
+  // hbft-lint: derived-state — rebuilt lazily from ticks_; never replicated.
+  std::vector<uint64_t> cache_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: every suppression form, used correctly. This file must lint
+// clean: same-line allow, line-above allow, whole-file allow-file, and the
+// derived-state member annotation.
+//
+// hbft-lint: allow-file(unordered-container) — fixture: lookup-only tables.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+inline int64_t PaceNanos() {
+  auto t = std::chrono::steady_clock::now();  // hbft-lint: allow(wall-clock) — fixture: pacing layer.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch()).count();
+}
+
+inline int JitterSeed() {
+  // hbft-lint: allow(ambient-rand) — fixture: never feeds the simulation.
+  return rand();
+}
+
+class SnapshotWriter;
+class SnapshotReader;
+
+class Clean {
+ public:
+  void CaptureState(SnapshotWriter& w) const { w.U64(ticks_); }
+  bool RestoreState(SnapshotReader& r) { return r.U64(&ticks_); }
+
+ private:
+  uint64_t ticks_ = 0;
+  // hbft-lint: derived-state — rebuilt on first use; never replicated.
+  uint64_t memo_ = 0;
+  std::unordered_map<uint64_t, uint64_t> lookup_;  // hbft-lint: derived-state — covered by allow-file above; lookup-only.
+};
+
+}  // namespace fixture
