@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -30,9 +31,9 @@ namespace {
 // Artifact names accepted by --only, in emission order. Each matches the
 // basename of the JSON file it regenerates, so the dev loop reads as
 // `hbft_cli bench --only=fig7_fleet && tools/diff_bench.py bench /tmp/regen`.
-const char* const kArtifacts[] = {"table1",         "fig2_cpu",        "fig3_io",
+const char* const kArtifacts[] = {"table1",           "fig2_cpu",        "fig3_io",
                                   "fig4_faster_comm", "fig4_lossy_link", "fig5_resync",
-                                  "fig6_throughput",  "fig7_fleet"};
+                                  "fig6_throughput",  "fig7_fleet",      "fig8_parallel"};
 
 struct BenchConfig {
   bool quick = false;
@@ -456,6 +457,90 @@ bool EmitFig7(const BenchConfig& cfg, int* failures) {
   return WriteBenchDoc(cfg, "fig7_fleet", "fig7_fleet.json", std::move(rows));
 }
 
+// Fig 8 (this reproduction's extension) — parallel fleet rounds: the fig7
+// storm scenario at increasing --threads, proving the headline guarantee
+// (bit-identical fingerprints at every thread count — the emitter fails the
+// bench if they diverge) and recording the wall-clock scaling. The
+// deterministic fields (availability, fingerprint, request counts) are
+// byte-diffed in CI; wall_ms / speedup / host_cpus are host-dependent and
+// stripped by tools/diff_bench.py, which instead enforces the speedup floor
+// (>= 2x at 4 threads on the large row) whenever the regenerating machine
+// actually has >= 4 CPUs (host_cpus says so).
+bool EmitFig8(const BenchConfig& cfg, int* failures) {
+  std::printf("bench: fig8 (parallel fleet rounds, wall-clock scaling)\n");
+  struct FleetCase {
+    const char* name;
+    size_t chains;
+    size_t hosts;
+    size_t storm;
+  };
+  const FleetCase cases[] = {
+      {"small", cfg.quick ? size_t{4} : size_t{64}, cfg.quick ? size_t{4} : size_t{8}, 1},
+      {"large", cfg.quick ? size_t{8} : size_t{256}, cfg.quick ? size_t{8} : size_t{32},
+       cfg.quick ? size_t{2} : size_t{4}},
+  };
+  const uint64_t host_cpus = std::thread::hardware_concurrency();
+  JsonValue rows = JsonValue::Array();
+  for (const FleetCase& fleet_case : cases) {
+    double serial_wall_ms = 0.0;
+    uint64_t serial_fingerprint = 0;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      FleetConfig fc;
+      fc.chains = fleet_case.chains;
+      fc.hosts = fleet_case.hosts;
+      fc.backups = 1;
+      fc.traffic.requests_per_chain = cfg.quick ? 4 : 8;
+      for (size_t h : StormHosts(fleet_case.hosts, fleet_case.storm)) {
+        fc.host_failures.push_back(HostFailure{h, SimTime::Millis(120)});
+      }
+      fc.verify = false;
+      fc.threads = threads;
+      // hbft-lint: allow(wall-clock) — host-side bench timing, never feeds the simulation.
+      auto t0 = std::chrono::steady_clock::now();
+      FleetResult r = Fleet(fc).Run();
+      double wall_ms =
+          // hbft-lint: allow(wall-clock) — host-side bench timing, never feeds the simulation.
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+      if (r.chains_lost != 0 || r.chains_completed != fleet_case.chains) {
+        std::fprintf(stderr, "hbft_cli: bench fig8 measurement failed (%s, threads=%zu)\n",
+                     fleet_case.name, threads);
+        ++*failures;
+        continue;
+      }
+      if (threads == 1) {
+        serial_wall_ms = wall_ms;
+        serial_fingerprint = r.fingerprint;
+      } else if (r.fingerprint != serial_fingerprint) {
+        // The whole artifact is meaningless if parallelism moved a result.
+        std::fprintf(stderr,
+                     "hbft_cli: bench fig8 fingerprint diverged (%s, threads=%zu): "
+                     "%016llx vs %016llx\n",
+                     fleet_case.name, threads,
+                     static_cast<unsigned long long>(r.fingerprint),
+                     static_cast<unsigned long long>(serial_fingerprint));
+        ++*failures;
+        continue;
+      }
+      rows.Push(JsonValue::Object()
+                    .Set("case", fleet_case.name)
+                    .Set("chains", static_cast<uint64_t>(fleet_case.chains))
+                    .Set("hosts", static_cast<uint64_t>(fleet_case.hosts))
+                    .Set("hosts_failed", static_cast<uint64_t>(fleet_case.storm))
+                    .Set("threads", static_cast<uint64_t>(threads))
+                    .Set("requests_total", r.requests_total)
+                    .Set("requests_served", r.requests_served)
+                    .Set("availability", r.availability)
+                    .Set("failovers", static_cast<uint64_t>(r.failovers))
+                    .Set("repairs", static_cast<uint64_t>(r.repairs))
+                    .Set("fingerprint", r.fingerprint)
+                    .Set("wall_ms", wall_ms)
+                    .Set("speedup", wall_ms > 0.0 ? serial_wall_ms / wall_ms : 1.0)
+                    .Set("host_cpus", host_cpus));
+    }
+  }
+  return WriteBenchDoc(cfg, "fig8_parallel_fleet", "fig8_parallel.json", std::move(rows));
+}
+
 }  // namespace
 
 int BenchCommand(FlagSet& flags) {
@@ -463,15 +548,29 @@ int BenchCommand(FlagSet& flags) {
   cfg.quick = flags.Has("quick");
   cfg.only = flags.GetString("only", "");
   cfg.out_dir = flags.GetString("out-dir", "bench");
-  if (!cfg.only.empty() &&
-      std::find_if(std::begin(kArtifacts), std::end(kArtifacts),
-                   [&cfg](const char* a) { return cfg.only == a; }) == std::end(kArtifacts)) {
-    std::fprintf(stderr, "hbft_cli: unknown artifact '%s'; valid:", cfg.only.c_str());
+  if (!cfg.only.empty()) {
+    // Accept a unique prefix too (`--only=fig8` for fig8_parallel) — the
+    // flag exists for the dev loop, where nobody wants to type full names.
+    std::vector<const char*> matches;
     for (const char* a : kArtifacts) {
-      std::fprintf(stderr, " %s", a);
+      if (cfg.only == a) {
+        matches.assign(1, a);
+        break;
+      }
+      if (std::string(a).rfind(cfg.only, 0) == 0) {
+        matches.push_back(a);
+      }
     }
-    std::fputc('\n', stderr);
-    return 2;
+    if (matches.size() != 1) {
+      std::fprintf(stderr, "hbft_cli: %s artifact '%s'; valid:",
+                   matches.empty() ? "unknown" : "ambiguous", cfg.only.c_str());
+      for (const char* a : kArtifacts) {
+        std::fprintf(stderr, " %s", a);
+      }
+      std::fputc('\n', stderr);
+      return 2;
+    }
+    cfg.only = matches[0];
   }
   if (cfg.quick) {
     cfg.cpu_iterations = 4000;
@@ -537,6 +636,7 @@ int BenchCommand(FlagSet& flags) {
   int resync_failures = 0;
   int fig6_failures = 0;
   int fig7_failures = 0;
+  int fig8_failures = 0;
   bool ok = (!want("table1") || EmitTable1(cfg, specs, measurer)) &&
             (!want("fig2_cpu") || EmitFig2(cfg, bares[0], measurer)) &&
             (!want("fig3_io") || EmitFig3(cfg, measurer)) &&
@@ -544,7 +644,8 @@ int BenchCommand(FlagSet& flags) {
             (!want("fig4_lossy_link") || EmitFig4Lossy(cfg, specs, bares, &lossy_failures)) &&
             (!want("fig5_resync") || EmitFig5(cfg, &resync_failures)) &&
             (!want("fig6_throughput") || EmitFig6(cfg, &fig6_failures)) &&
-            (!want("fig7_fleet") || EmitFig7(cfg, &fig7_failures));
+            (!want("fig7_fleet") || EmitFig7(cfg, &fig7_failures)) &&
+            (!want("fig8_parallel") || EmitFig8(cfg, &fig8_failures));
   if (ok && lossy_failures > 0) {
     std::fprintf(stderr, "hbft_cli: %d fig4-lossy measurement(s) failed\n", lossy_failures);
     ok = false;
@@ -561,6 +662,10 @@ int BenchCommand(FlagSet& flags) {
     std::fprintf(stderr, "hbft_cli: %d fig7 fleet measurement(s) failed\n", fig7_failures);
     ok = false;
   }
+  if (ok && fig8_failures > 0) {
+    std::fprintf(stderr, "hbft_cli: %d fig8 parallel measurement(s) failed\n", fig8_failures);
+    ok = false;
+  }
   if (ok && measurer.failures() > 0) {
     std::fprintf(stderr, "hbft_cli: %d measurement(s) failed (null np in artifacts)\n",
                  measurer.failures());
@@ -570,7 +675,7 @@ int BenchCommand(FlagSet& flags) {
     if (cfg.only.empty()) {
       std::printf("bench: wrote table1.json, fig2_cpu.json, fig3_io.json, "
                   "fig4_faster_comm.json, fig4_lossy_link.json, fig5_resync.json, "
-                  "fig6_throughput.json, fig7_fleet.json under %s/\n",
+                  "fig6_throughput.json, fig7_fleet.json, fig8_parallel.json under %s/\n",
                   cfg.out_dir.c_str());
     } else {
       std::printf("bench: wrote %s.json under %s/\n", cfg.only.c_str(), cfg.out_dir.c_str());

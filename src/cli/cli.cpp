@@ -81,7 +81,8 @@ void PrintUsage(std::FILE* out) {
       "  --quick               small workloads + short sweep (same artifact shape)\n"
       "  --only=ARTIFACT       regenerate one artifact: table1, fig2_cpu,\n"
       "                        fig3_io, fig4_faster_comm, fig4_lossy_link,\n"
-      "                        fig5_resync, fig6_throughput, fig7_fleet\n"
+      "                        fig5_resync, fig6_throughput, fig7_fleet,\n"
+      "                        fig8_parallel (prefixes like fig8 work too)\n"
       "  --cpu-iterations=N --io-operations=N --backups=N\n"
       "\n"
       "fleet  Co-simulate many protected chains across simulated hosts.\n"
@@ -102,6 +103,9 @@ void PrintUsage(std::FILE* out) {
       "                        excess repairs queue FIFO per host\n"
       "  --no-verify           skip the per-chain env-consistency check against\n"
       "                        a bare reference run (the check doubles runtime)\n"
+      "  --threads=N           worker threads for round slices (1); results are\n"
+      "                        bit-identical at any N (chains shard by id, all\n"
+      "                        cross-chain state changes at the round barrier)\n"
       "  --quantum-ms=X --repair-retry-ms=X --start-ms=X --payload-bytes=B\n"
       "  --epoch-length=N --seed=N --max-time-ms=X\n"
       "  --json                machine-readable fleet report\n"

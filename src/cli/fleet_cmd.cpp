@@ -139,6 +139,11 @@ int FleetCommand(FlagSet& flags) {
     config.max_time = SimTime::MicrosF(*max_ms * 1e3);
   }
   config.verify = !flags.Has("no-verify");
+  config.threads = flags.GetU64("threads").value_or(1);
+  if (config.threads == 0) {
+    std::fprintf(stderr, "hbft_cli: --threads must be >= 1\n");
+    return 2;
+  }
 
   const std::string placement_name = flags.GetString("placement", "anti-affinity");
   if (!ParsePlacementPolicy(placement_name, &config.placement)) {
@@ -175,6 +180,7 @@ int FleetCommand(FlagSet& flags) {
     cfg.Set("repair_concurrency", static_cast<uint64_t>(config.repair_concurrency));
     cfg.Set("seed", config.seed);
     cfg.Set("verify", config.verify);
+    cfg.Set("threads", static_cast<uint64_t>(config.threads));
     doc.Set("config", std::move(cfg));
 
     doc.Set("requests_total", result.requests_total);

@@ -6,6 +6,12 @@ namespace hbft {
 
 namespace {
 LogLevel g_level = LogLevel::kNone;
+// The per-thread capture sink. Presentation-only: captured lines are text
+// already past the level filter; they never feed simulation state, snapshots,
+// or result fingerprints, so per-thread routing cannot perturb determinism.
+// hbft-lint: allow(thread-state) — presentation-only log sink, flushed at the
+// fleet round barrier in chain-id order; never feeds Snapshotable state.
+thread_local std::vector<std::string>* t_capture = nullptr;
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
@@ -13,9 +19,27 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
 void LogLine(LogLevel level, const std::string& line) {
-  if (static_cast<int>(g_level) >= static_cast<int>(level)) {
+  if (static_cast<int>(g_level) < static_cast<int>(level)) {
+    return;
+  }
+  if (t_capture != nullptr) {
+    t_capture->push_back(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+ScopedLogCapture::ScopedLogCapture(std::vector<std::string>* sink) : previous_(t_capture) {
+  t_capture = sink;
+}
+
+ScopedLogCapture::~ScopedLogCapture() { t_capture = previous_; }
+
+void EmitCapturedLogLines(std::vector<std::string>* lines) {
+  for (const std::string& line : *lines) {
     std::fprintf(stderr, "%s\n", line.c_str());
   }
+  lines->clear();
 }
 
 }  // namespace hbft

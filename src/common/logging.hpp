@@ -2,13 +2,21 @@
 //
 // The simulator is a library; logging exists for debugging protocol traces
 // (primary/backup message flow, epoch boundaries, failover) and is enabled
-// per-run via SetLogLevel. Not thread-safe by design: the simulation is
-// single-threaded and deterministic.
+// per-run via SetLogLevel. A single simulation world is single-threaded and
+// deterministic; the parallel fleet runs one world per worker thread, so a
+// worker installs a ScopedLogCapture and its lines buffer thread-locally
+// instead of racing on stderr. The fleet flushes the buffers at the round
+// barrier in chain-id order, which makes the interleaved output
+// deterministic at any thread count (and identical to the serial order,
+// since the serial fleet advances chains in id order too). Lines buffered
+// when a HBFT_CHECK aborts the process are lost — captures are a
+// presentation vehicle, not a durability one.
 #ifndef HBFT_COMMON_LOGGING_HPP_
 #define HBFT_COMMON_LOGGING_HPP_
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace hbft {
 
@@ -19,9 +27,28 @@ enum class LogLevel {
   kTrace = 3,
 };
 
+// Process-wide; set once at startup, before any worker threads run.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 void LogLine(LogLevel level, const std::string& line);
+
+// While alive, lines this thread logs (at an enabled level) append to *sink
+// instead of writing to stderr. Nests: the previous sink is restored on
+// destruction. The sink must outlive the capture.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(std::vector<std::string>* sink);
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+ private:
+  std::vector<std::string>* previous_;
+};
+
+// Writes captured lines to stderr in order and clears the buffer. Call from
+// one thread at a time (the fleet calls it at the round barrier).
+void EmitCapturedLogLines(std::vector<std::string>* lines);
 
 namespace internal {
 

@@ -10,12 +10,15 @@
 namespace hbft {
 
 Fleet::Fleet(const FleetConfig& config)
-    : config_(config), placement_(config.placement, config.hosts) {
+    : config_(config),
+      placement_(config.placement, config.hosts),
+      pool_(config.threads) {  // WorkerPool itself rejects threads == 0.
   HBFT_CHECK_GT(config_.chains, 0u);
   HBFT_CHECK_GT(config_.hosts, 0u);
   HBFT_CHECK_GE(config_.backups, 1);
   HBFT_CHECK(config_.quantum > SimTime::Zero());
   HBFT_CHECK_GE(config_.repair_concurrency, 1u);
+  HBFT_CHECK_GE(config_.threads, 1u);
   hosts_.resize(config_.hosts);
   for (size_t h = 0; h < config_.hosts; ++h) {
     hosts_[h].report.host = h;
@@ -45,17 +48,26 @@ void Fleet::BuildChains() {
     }
     chains_.emplace_back(scenario);
     ChainState& chain = chains_.back();
-    chain.world = scenario.BuildWorld();
-    const size_t chain_id = c;
-    chain.world->set_on_resync_done([this, chain_id](size_t resync_index, SimTime t) {
-      OnResyncDone(chain_id, resync_index, t);
-    });
     std::vector<size_t> assigned =
         placement_.AssignChain(static_cast<size_t>(config_.backups) + 1);
     for (size_t r = 0; r < assigned.size(); ++r) {
       chain.live.push_back(LiveReplica{r, assigned[r], false});
     }
   }
+  // World construction is pure per-chain (the scenario carries everything a
+  // world needs), so it shards across the pool. All stateful sequencing —
+  // placement assignment above, the resync callback's fleet-state effects —
+  // stays out of worker context: the callback only appends to the chain's
+  // own buffer, drained at the round barrier in chain-id order.
+  pool_.Run(chains_.size(), [this](size_t c) {
+    ChainState& chain = chains_[c];
+    ScopedLogCapture capture(&chain.log_lines);
+    chain.world = chain.scenario.BuildWorld();
+    chain.world->set_on_resync_done([this, c](size_t resync_index, SimTime t) {
+      chains_[c].pending_resyncs.push_back(PendingResync{resync_index, t});
+    });
+  });
+  DrainChainBuffers();
 }
 
 void Fleet::ScheduleHostFailures() {
@@ -99,15 +111,35 @@ void Fleet::RunLockstep() {
       limit = fleet_queue_.PeekTime();
     }
     horizon_ = limit;
-    for (ChainState& chain : chains_) {
+    // Fan the round's slices out to the pool. Worker context: each shard
+    // touches only its own chain's World and buffers — resync completions
+    // and log lines land in per-chain vectors, never in fleet state.
+    pool_.Run(chains_.size(), [this, limit](size_t c) {
+      ChainState& chain = chains_[c];
+      ScopedLogCapture capture(&chain.log_lines);
       if (!chain.world->finished()) {
         chain.world->RunLoop(limit);
       }
-    }
+    });
+    // Barrier: buffered effects re-enter in chain-id order (the order the
+    // serial loop produced them in), then the fleet events at the horizon
+    // fire single-threaded in the documented partition pop order.
+    DrainChainBuffers();
     while (!fleet_queue_.empty() && fleet_queue_.PeekTime() <= limit) {
       fleet_queue_.RunNext();
     }
     cursor = limit;
+  }
+}
+
+void Fleet::DrainChainBuffers() {
+  for (size_t c = 0; c < chains_.size(); ++c) {
+    ChainState& chain = chains_[c];
+    EmitCapturedLogLines(&chain.log_lines);
+    for (const PendingResync& pending : chain.pending_resyncs) {
+      OnResyncDone(c, pending.resync_index, pending.time);
+    }
+    chain.pending_resyncs.clear();
   }
 }
 
@@ -286,7 +318,8 @@ void Fleet::OnResyncDone(size_t chain_id, size_t resync_index, SimTime t) {
     const size_t next_chain = h.repair_queue.front();
     h.repair_queue.pop_front();
     // Admission happens through the host's partition at the clamped instant:
-    // this callback fires inside a world slice, mid-round.
+    // the completion was observed mid-slice (and buffered), so t may precede
+    // the horizon the barrier drain is running at.
     PushHostEvent(host, t, [this, host, next_chain] {
       HostState& hh = hosts_[host];
       if (!hh.up) {
@@ -312,17 +345,44 @@ FleetResult Fleet::Collect() {
   FleetResult result;
   result.availability = 0.0;  // Accumulated below, then averaged.
   std::vector<double> latencies_ms;
-  std::vector<ScenarioResult> chain_results;
-  chain_results.reserve(chains_.size());
+  std::vector<ScenarioResult> chain_results(chains_.size());
+  std::vector<std::vector<RequestOutcome>> chain_outcomes(chains_.size());
+  // Per-chain verify verdicts as bytes: vector<bool> packs bits, which is
+  // not safe for concurrent per-element writes.
+  std::vector<uint8_t> env_ok(chains_.size(), 1);
 
-  // Makespan first: lost chains count their outage until the fleet's end.
-  SimTime makespan = SimTime::Zero();
-  for (ChainState& chain : chains_) {
-    ScenarioResult r;
+  // Phase 1, on the pool: everything per-chain — finishing the world,
+  // collecting its result, matching its request trace, and (under --verify)
+  // running the bare reference twin, the dominant cost. Worker context: a
+  // shard writes only its own chain's slots; resync completions triggered by
+  // Finish buffer per-chain exactly as in the lockstep rounds.
+  pool_.Run(chains_.size(), [&](size_t c) {
+    ChainState& chain = chains_[c];
+    ScopedLogCapture capture(&chain.log_lines);
+    ScenarioResult& r = chain_results[c];
     chain.world->Finish(&r);
     chain.scenario.CollectResult(*chain.world, &r);
+    chain_outcomes[c] =
+        MatchRequests(static_cast<uint32_t>(c), config_.traffic, r.nic_trace);
+    if (config_.verify && r.completed && r.exited_flag == 1) {
+      ScenarioResult bare = chain.scenario.AsBare().Run();
+      ConsistencyResult consistency =
+          CheckEnvConsistency(bare.env_trace, r.env_trace, r.issuer_chain());
+      env_ok[c] = consistency.ok ? 1 : 0;
+      if (!consistency.ok) {
+        HBFT_INFO("fleet") << "chain " << c << " env inconsistency: " << consistency.detail;
+      }
+    }
+  });
+  // Barrier: flush worker logs and apply Finish-triggered resync completions
+  // (chain.repairs must be final before the reports below read it).
+  DrainChainBuffers();
+
+  // Phase 2, single-threaded in chain-id order: every cross-chain fold.
+  // Makespan first: lost chains count their outage until the fleet's end.
+  SimTime makespan = SimTime::Zero();
+  for (const ScenarioResult& r : chain_results) {
     makespan = std::max(makespan, r.completion_time);
-    chain_results.push_back(std::move(r));
   }
   result.makespan = makespan;
 
@@ -362,10 +422,8 @@ FleetResult Fleet::Collect() {
     }
     report.availability = AvailabilityFromOutages(windows, makespan);
 
-    // Request outcomes from the chain's NIC TX trace.
-    std::vector<RequestOutcome> outcomes = MatchRequests(static_cast<uint32_t>(c),
-                                                         config_.traffic, r.nic_trace);
-    for (const RequestOutcome& outcome : outcomes) {
+    // Request outcomes matched from the chain's NIC TX trace in phase 1.
+    for (const RequestOutcome& outcome : chain_outcomes[c]) {
       ++result.requests_total;
       if (!outcome.served) {
         continue;
@@ -379,13 +437,7 @@ FleetResult Fleet::Collect() {
     }
 
     if (config_.verify && report.completed) {
-      ScenarioResult bare = chain.scenario.AsBare().Run();
-      ConsistencyResult consistency =
-          CheckEnvConsistency(bare.env_trace, r.env_trace, r.issuer_chain());
-      report.env_consistent = consistency.ok;
-      if (!consistency.ok) {
-        HBFT_INFO("fleet") << "chain " << c << " env inconsistency: " << consistency.detail;
-      }
+      report.env_consistent = env_ok[c] != 0;
     }
 
     result.availability += report.availability;

@@ -7,8 +7,8 @@
 // drives cross-chain events — host failure storms, repair placement, and
 // bounded per-host repair admission — through its own partitioned EventQueue
 // with one partition per host, so equal-time events across hosts pop in the
-// documented partition order and a future multi-threaded fleet can run host
-// partitions concurrently without changing results.
+// documented partition order regardless of which worker thread last touched
+// which world.
 //
 // Lockstep protocol: time is divided into rounds; a round's horizon is the
 // earlier of the next fleet event and the next quantum boundary. Every world
@@ -17,11 +17,21 @@
 // admissions) against worlds whose state is exactly the single-run state at
 // that instant — World::RunLoop's pause is horizon-invariant, so a chain
 // that never interacts with a fleet event produces byte-identical results to
-// a standalone Scenario::Run. Callbacks that fire inside a world's slice
-// (resync completion freeing a repair slot) schedule follow-up events
-// clamped to the current horizon, which is itself a deterministic function
-// of the configuration — cross-partition timestamps never depend on the
-// order worlds happen to be advanced in.
+// a standalone Scenario::Run.
+//
+// Parallel rounds (FleetConfig::threads): chains are independent Worlds
+// between horizons, so a round's slices fan out across a fixed WorkerPool —
+// chains sharded statically by id, never work-stealing — and everything
+// cross-chain happens single-threaded at the barrier. The worker-context
+// rule is absolute: during a slice a worker touches only its own chain's
+// World and per-chain buffers. The one world→fleet callback that fires
+// mid-slice (resync completion freeing a repair slot) appends to a per-chain
+// buffer; the barrier drains the buffers in chain-id order and only then
+// mutates hosts_/placement_ and schedules follow-up events clamped to the
+// horizon — which is itself a deterministic function of the configuration.
+// The serial fleet advances chains in id order, so the chain-id-ordered
+// drain reproduces the serial event sequence exactly: fingerprints are
+// bit-identical at any thread count, and threads=1 spawns no threads at all.
 //
 // Repairs: a replica death schedules a replacement request repair_delay
 // later. The placement policy picks the target host (anti-affinity avoids
@@ -46,6 +56,7 @@
 
 #include "fleet/placement.hpp"
 #include "fleet/traffic.hpp"
+#include "fleet/worker_pool.hpp"
 #include "perf/report.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/scenario.hpp"
@@ -83,6 +94,11 @@ struct FleetConfig {
   SimTime quantum = SimTime::Millis(10);  // Lockstep rounding quantum.
   SimTime max_time = SimTime::Seconds(900);
   uint64_t epoch_length = 0;  // 0 = the scenario default.
+
+  // Worker threads for round slices (and world build / result collection).
+  // 1 = the serial path, with no threads spawned; any K produces the same
+  // result fingerprint (see "Parallel rounds" above).
+  size_t threads = 1;
 };
 
 struct FleetChainReport {
@@ -145,6 +161,13 @@ class Fleet {
     bool joining = false;  // Mid state-transfer; not a standing backup yet.
   };
 
+  // A resync completion observed inside a world's slice, buffered until the
+  // round barrier (worker context must not touch fleet state).
+  struct PendingResync {
+    size_t resync_index = 0;
+    SimTime time = SimTime::Zero();
+  };
+
   struct ChainState {
     Scenario scenario;  // Kept for the bare verification twin.
     std::unique_ptr<World> world;
@@ -153,6 +176,9 @@ class Fleet {
     size_t failovers = 0;
     size_t repairs = 0;
     size_t replicas_lost = 0;
+    // Worker-writable buffers, drained at the barrier in chain-id order.
+    std::vector<PendingResync> pending_resyncs;
+    std::vector<std::string> log_lines;
     explicit ChainState(Scenario s) : scenario(std::move(s)) {}
   };
 
@@ -167,6 +193,11 @@ class Fleet {
   void ScheduleHostFailures();
   void RunLockstep();
   FleetResult Collect();
+
+  // The barrier drain: flushes every chain's captured log lines and applies
+  // its buffered resync completions, in chain-id order — the single place
+  // worker-buffered effects re-enter single-threaded fleet state.
+  void DrainChainBuffers();
 
   // Pushes a fleet event into the host's partition, clamped to the current
   // round horizon so callbacks firing mid-slice stay deterministic.
@@ -183,6 +214,7 @@ class Fleet {
 
   FleetConfig config_;
   Placement placement_;
+  WorkerPool pool_;         // Round-slice workers; threads=1 spawns none.
   EventQueue fleet_queue_;  // Partition = host id.
   std::vector<ChainState> chains_;
   std::vector<HostState> hosts_;

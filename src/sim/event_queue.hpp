@@ -2,9 +2,11 @@
 //
 // The queue is a set of independent partitions (one heap each). A World uses
 // the default partition 0 for everything; a Fleet gives every simulated host
-// its own partition, which is the structure that later lets host partitions
-// drain on separate OS threads — each partition is internally ordered, and
-// only the cross-partition merge below needs coordination.
+// its own partition. This is the seam the parallel fleet (FleetConfig::
+// threads) builds on: worker threads advance per-chain worlds between round
+// horizons, while this queue is drained single-threaded at the barrier — the
+// documented pop order below is what makes that drain identical no matter
+// which worker finished when.
 //
 // Pop order is total and documented, so every run is bit-for-bit
 // reproducible regardless of how many events share a timestamp:

@@ -183,7 +183,10 @@ class World : public EventScheduler {
 
   // Fleet hook: fires when a live state transfer completes (the joiner is a
   // standing backup), with the join time — the instant a per-host repair
-  // slot frees.
+  // slot frees. The callback runs inside RunLoop/Finish, which the parallel
+  // fleet executes on a worker thread: it must only touch per-chain state
+  // (the fleet buffers the completion and applies its cross-chain effects at
+  // the round barrier).
   void set_on_resync_done(std::function<void(size_t resync_index, SimTime t)> fn) {
     on_resync_done_ = std::move(fn);
   }

@@ -119,10 +119,26 @@ expect_field("${fleet_json_out}" "\"availability\"")
 expect_field("${fleet_json_out}" "\"fingerprint\"")
 expect_field("${fleet_json_out}" "\"healthy\": true")
 
+# Parallel rounds keep the text report byte-identical to the serial path.
+run_cli(fleet_serial_out fleet --chains=4 --hosts=4 --requests=3 --fail=host-0,time-ms=120)
+run_cli(fleet_par_out fleet --chains=4 --hosts=4 --requests=3 --fail=host-0,time-ms=120 --threads=4)
+if(NOT fleet_par_out STREQUAL fleet_serial_out)
+  message(FATAL_ERROR "fleet --threads=4 report differs from serial:\n--- serial ---\n${fleet_serial_out}\n--- threads=4 ---\n${fleet_par_out}")
+endif()
+execute_process(COMMAND ${HBFT_CLI} fleet --chains=2 --hosts=2 --threads=0
+                ERROR_VARIABLE threads_err RESULT_VARIABLE threads_rc OUTPUT_QUIET)
+if(threads_rc EQUAL 0)
+  message(FATAL_ERROR "fleet --threads=0 unexpectedly succeeded")
+endif()
+if(NOT threads_err MATCHES "--threads must be >= 1")
+  message(FATAL_ERROR "fleet --threads=0 missing validation message:\n${threads_err}")
+endif()
+
 # --- bench: JSON artifacts under bench/ -------------------------------------
 run_cli(bench_out bench --quick --out-dir=${WORK_DIR}/bench)
 foreach(artifact table1.json fig2_cpu.json fig3_io.json fig4_faster_comm.json
-        fig4_lossy_link.json fig5_resync.json fig6_throughput.json fig7_fleet.json)
+        fig4_lossy_link.json fig5_resync.json fig6_throughput.json fig7_fleet.json
+        fig8_parallel.json)
   if(NOT EXISTS ${WORK_DIR}/bench/${artifact})
     message(FATAL_ERROR "bench artifact missing: ${WORK_DIR}/bench/${artifact}\n${bench_out}")
   endif()
@@ -163,6 +179,15 @@ if(NOT EXISTS ${WORK_DIR}/bench-only/fig7_fleet.json)
 endif()
 if(EXISTS ${WORK_DIR}/bench-only/table1.json)
   message(FATAL_ERROR "bench --only=fig7_fleet also wrote table1.json")
+endif()
+
+# Unique prefixes resolve too: --only=fig8 selects fig8_parallel.
+run_cli(only8_out bench --quick --only=fig8 --out-dir=${WORK_DIR}/bench-only8)
+if(NOT EXISTS ${WORK_DIR}/bench-only8/fig8_parallel.json)
+  message(FATAL_ERROR "bench --only=fig8 wrote no artifact\n${only8_out}")
+endif()
+if(EXISTS ${WORK_DIR}/bench-only8/fig7_fleet.json)
+  message(FATAL_ERROR "bench --only=fig8 also wrote fig7_fleet.json")
 endif()
 
 message(STATUS "cli smoke test passed")

@@ -5,12 +5,15 @@
 // acceptance storm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "fleet/fleet.hpp"
 #include "fleet/placement.hpp"
 #include "fleet/traffic.hpp"
+#include "fleet/worker_pool.hpp"
 
 namespace hbft {
 namespace {
@@ -231,6 +234,129 @@ TEST(Fleet, StormAcceptance256Chains32Hosts) {
     killed += host.replicas_killed;
   }
   EXPECT_EQ(killed, 64u);
+}
+
+// --- WorkerPool: the deterministic sharding contract -----------------------
+
+TEST(WorkerPool, SingleThreadRunsEveryIndexInOrder) {
+  WorkerPool pool(1);
+  std::vector<size_t> order;
+  pool.Run(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, ShardingCoversEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  const size_t kCount = 37;  // Deliberately not a multiple of the pool size.
+  // One slot per index: each is written by exactly one worker (the static
+  // shard i % threads), so plain stores are race-free by construction.
+  std::vector<int> hits(kCount, 0);
+  for (int round = 0; round < 3; ++round) {  // The pool is reusable.
+    std::fill(hits.begin(), hits.end(), 0);
+    pool.Run(kCount, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(WorkerPool, RunWithZeroOrFewerItemsThanThreadsIsFine) {
+  WorkerPool pool(8);
+  pool.Run(0, [](size_t) { FAIL() << "no index to run"; });
+  std::vector<int> hits(3, 0);
+  pool.Run(3, [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+// --- Parallel rounds: serial/parallel equivalence --------------------------
+
+// The nastiest barrier-interaction schedule: a mid-traffic two-host storm
+// forces concurrent failovers and queued repairs, then a second host failure
+// lands while those repairs' state transfers are still in flight — killing a
+// rejoining-during-round joiner and forcing re-requests. Env verification
+// stays on so every completed chain is also checked against its bare twin.
+FleetConfig ParallelStormFleet() {
+  FleetConfig config;
+  config.chains = 16;
+  config.hosts = 8;
+  config.traffic.requests_per_chain = 6;
+  config.verify = true;
+  for (size_t h : StormHosts(8, 2)) {
+    config.host_failures.push_back(HostFailure{h, SimTime::Millis(120)});
+  }
+  config.host_failures.push_back(HostFailure{1, SimTime::Millis(145)});
+  return config;
+}
+
+TEST(Fleet, ParallelThreadsProduceIdenticalResults) {
+  FleetConfig config = ParallelStormFleet();
+  config.threads = 1;
+  const FleetResult serial = Fleet(config).Run();
+  // The schedule actually exercises the hard paths at the baseline.
+  ASSERT_GT(serial.failovers, 0u);
+  ASSERT_GT(serial.repairs, 0u);
+  ASSERT_EQ(serial.hosts_failed, 3u);
+
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    FleetConfig parallel_config = ParallelStormFleet();
+    parallel_config.threads = threads;
+    const FleetResult parallel = Fleet(parallel_config).Run();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint);
+    EXPECT_EQ(parallel.requests_total, serial.requests_total);
+    EXPECT_EQ(parallel.requests_served, serial.requests_served);
+    EXPECT_EQ(parallel.requests_within_slo, serial.requests_within_slo);
+    EXPECT_DOUBLE_EQ(parallel.availability, serial.availability);
+    EXPECT_DOUBLE_EQ(parallel.latency_ms.p50, serial.latency_ms.p50);
+    EXPECT_DOUBLE_EQ(parallel.latency_ms.p99, serial.latency_ms.p99);
+    EXPECT_DOUBLE_EQ(parallel.latency_ms.p999, serial.latency_ms.p999);
+    EXPECT_DOUBLE_EQ(parallel.latency_ms.max, serial.latency_ms.max);
+    EXPECT_EQ(parallel.makespan, serial.makespan);
+    EXPECT_EQ(parallel.failovers, serial.failovers);
+    EXPECT_EQ(parallel.repairs, serial.repairs);
+    EXPECT_EQ(parallel.chains_completed, serial.chains_completed);
+    EXPECT_EQ(parallel.chains_lost, serial.chains_lost);
+    EXPECT_EQ(parallel.all_env_consistent, serial.all_env_consistent);
+
+    ASSERT_EQ(parallel.chains.size(), serial.chains.size());
+    for (size_t c = 0; c < serial.chains.size(); ++c) {
+      const FleetChainReport& s = serial.chains[c];
+      const FleetChainReport& p = parallel.chains[c];
+      EXPECT_EQ(p.completed, s.completed) << "chain " << c;
+      EXPECT_EQ(p.service_lost, s.service_lost) << "chain " << c;
+      EXPECT_EQ(p.guest_checksum, s.guest_checksum) << "chain " << c;
+      EXPECT_EQ(p.failovers, s.failovers) << "chain " << c;
+      EXPECT_EQ(p.repairs, s.repairs) << "chain " << c;
+      EXPECT_EQ(p.replicas_lost, s.replicas_lost) << "chain " << c;
+      EXPECT_EQ(p.requests_served, s.requests_served) << "chain " << c;
+      EXPECT_DOUBLE_EQ(p.availability, s.availability) << "chain " << c;
+      EXPECT_EQ(p.env_consistent, s.env_consistent) << "chain " << c;
+      EXPECT_EQ(p.completion_time, s.completion_time) << "chain " << c;
+    }
+    ASSERT_EQ(parallel.hosts.size(), serial.hosts.size());
+    for (size_t h = 0; h < serial.hosts.size(); ++h) {
+      EXPECT_EQ(parallel.hosts[h].failed, serial.hosts[h].failed) << "host " << h;
+      EXPECT_EQ(parallel.hosts[h].replicas_killed, serial.hosts[h].replicas_killed)
+          << "host " << h;
+      EXPECT_EQ(parallel.hosts[h].repairs_hosted, serial.hosts[h].repairs_hosted)
+          << "host " << h;
+      EXPECT_EQ(parallel.hosts[h].repair_queue_peak, serial.hosts[h].repair_queue_peak)
+          << "host " << h;
+    }
+  }
+}
+
+TEST(Fleet, ThreadCountBeyondChainCountStillMatches) {
+  FleetConfig config = SmallFleet();  // 2 chains.
+  config.verify = false;
+  config.host_failures.push_back(HostFailure{0, SimTime::Millis(120)});
+  config.threads = 1;
+  const FleetResult serial = Fleet(config).Run();
+  config.threads = 8;  // More workers than chains: most shards are empty.
+  const FleetResult parallel = Fleet(config).Run();
+  EXPECT_EQ(parallel.fingerprint, serial.fingerprint);
+  EXPECT_EQ(parallel.makespan, serial.makespan);
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// Fixture: detached-thread rule. A detached thread outlives every round
+// barrier and can never be joined deterministically.
+// hbft-lint: allow-file(thread-spawn) — fixture isolates the detach rule.
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();  // VIOLATION: detached-thread
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: thread-id rule. A thread id is assigned by the host scheduler;
+// branching on it (or folding it into anything observable) breaks lockstep.
+#include <thread>
+
+namespace fixture {
+
+bool AmFirstWorker() {
+  return std::this_thread::get_id() == std::thread::id();  // VIOLATION: thread-id
+}
+
+}  // namespace fixture

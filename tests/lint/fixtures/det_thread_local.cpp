@@ -1,0 +1,27 @@
+// Fixture: thread-state rule. thread_local is per-thread state; the
+// declaration alone is flagged, and a thread_local name referenced inside a
+// Capture*/Restore*/Serialize/Deserialize body is flagged again even when
+// the declaration carries an allow — per-thread values must never reach
+// Snapshotable bytes or fingerprints.
+#include <cstdint>
+
+namespace fixture {
+
+thread_local uint64_t t_scratch = 0;  // VIOLATION: thread-state (declaration)
+
+// hbft-lint: allow(thread-state) — fixture: allowed decl, misused below.
+thread_local uint64_t t_counter = 0;
+
+struct Writer {
+  void U64(uint64_t) {}
+};
+
+struct Snapshotted {
+  uint64_t epoch = 0;
+  void CaptureState(Writer& w) const {
+    w.U64(epoch);
+    w.U64(t_counter);  // VIOLATION: thread-state (codec reachability)
+  }
+};
+
+}  // namespace fixture

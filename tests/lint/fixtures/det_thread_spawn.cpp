@@ -1,0 +1,22 @@
+// Fixture: thread-spawn rule. Thread creation belongs to fleet/worker_pool
+// (which carries a reasoned allow-file); anywhere else it is unsharded,
+// unbarriered parallelism. std::thread::hardware_concurrency is exempt —
+// it is a host-capability query, not a spawn.
+#include <thread>
+
+namespace fixture {
+
+void SpawnAdHoc() {
+  std::thread worker([] {});  // VIOLATION: thread-spawn
+  worker.join();
+}
+
+void SpawnJThread() {
+  std::jthread worker([] {});  // VIOLATION: thread-spawn
+}
+
+unsigned HostCpus() {
+  return std::thread::hardware_concurrency();  // OK: capability query
+}
+
+}  // namespace fixture

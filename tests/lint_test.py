@@ -81,6 +81,25 @@ class FixtureViolations(unittest.TestCase):
     def test_bad_suppression(self):
         self.assert_rule("bad_suppression.cpp", "bad-suppression", [8, 11])
 
+    def test_thread_id(self):
+        self.assert_rule("det_thread_id.cpp", "thread-id", [8])
+
+    def test_thread_spawn(self):
+        # Two spawns flagged; std::thread::hardware_concurrency (line 19)
+        # must not be — it is a capability query, not thread creation.
+        self.assert_rule("det_thread_spawn.cpp", "thread-spawn", [10, 15])
+
+    def test_detached_thread(self):
+        # The fixture's std::thread decl carries a reasoned allow-file so
+        # only the detach itself fires.
+        self.assert_rule("det_detached_thread.cpp", "detached-thread", [10])
+
+    def test_thread_local_state(self):
+        # Line 10: the bare declaration. Line 23: an *allowed* thread_local
+        # referenced inside CaptureState — codec reachability re-flags it
+        # despite the allow on the declaration.
+        self.assert_rule("det_thread_local.cpp", "thread-state", [10, 23])
+
 
 class Suppressions(unittest.TestCase):
     """Every annotation form silences its rule (and only with a reason)."""

@@ -1,25 +1,29 @@
 #!/usr/bin/env python3
 """Diff regenerated bench artifacts against the committed baselines.
 
-The simulation is deterministic, so every artifact except fig6 and fig7 must
-match byte-for-byte: any diff is a genuine behavior change — either fix it
-or consciously re-baseline. fig6_throughput.json and fig7_fleet.json mix
-deterministic simulated results (instruction counts, checksums, latency
-percentiles, availability) with host-clock measurements (host_ms, mips,
-wall_ms, speedup) that vary run to run and machine to machine; those
+The simulation is deterministic, so every artifact except fig6, fig7, and
+fig8 must match byte-for-byte: any diff is a genuine behavior change —
+either fix it or consciously re-baseline. fig6_throughput.json,
+fig7_fleet.json, and fig8_parallel.json mix deterministic simulated results
+(instruction counts, checksums, latency percentiles, availability,
+fingerprints) with host-dependent measurements (host_ms, mips, wall_ms,
+speedup, host_cpus) that vary run to run and machine to machine; those
 volatile keys are stripped before comparing. On top of the byte diff the
 regenerated artifacts must clear sanity checks: fig6's cached dispatch has
-to beat slow dispatch by a floor, and fig7's rows must be internally
-coherent (availability <= 1.0, p50 <= p99 <= p999) — a fleet that reports
-102% availability or inverted percentiles is broken even if it matches a
-broken baseline.
+to beat slow dispatch by a floor, fig7's rows must be internally coherent
+(availability <= 1.0, p50 <= p99 <= p999), and fig8's rows must carry
+identical deterministic results at every thread count — plus, when the
+regenerating machine actually has >= 4 CPUs, a >= 2x wall-clock speedup at
+4 threads on the large case (on fewer CPUs the floor is skipped with a loud
+warning, because parallel speedup is unmeasurable there, but the
+determinism identity is enforced everywhere).
 
 usage: diff_bench.py <baseline_dir> <regenerated_dir>
                      [--speedup-floor=X] [--only=NAME]
 
 --only=NAME restricts the diff to one artifact (e.g. --only=fig7_fleet.json
-or just --only=fig7_fleet), pairing with `hbft_cli bench --only=...` for a
-fast regenerate-one/diff-one dev loop.
+or a unique prefix like --only=fig8), pairing with `hbft_cli bench
+--only=...` for a fast regenerate-one/diff-one dev loop.
 """
 
 import difflib
@@ -27,12 +31,23 @@ import json
 import sys
 from pathlib import Path
 
-VOLATILE_KEYS = {"host_ms", "mips", "wall_ms", "speedup"}
+VOLATILE_KEYS = {"host_ms", "mips", "wall_ms", "speedup", "host_cpus"}
 DEFAULT_SPEEDUP_FLOOR = 2.0
 
-# Artifacts that carry host-clock fields and get the strip-then-diff
+# Artifacts that carry host-dependent fields and get the strip-then-diff
 # treatment instead of the plain byte comparison.
-VOLATILE_ARTIFACTS = {"fig6_throughput.json", "fig7_fleet.json"}
+VOLATILE_ARTIFACTS = {
+    "fig6_throughput.json",
+    "fig7_fleet.json",
+    "fig8_parallel.json",
+}
+
+# Deterministic per-row fields of fig8 that must be identical across thread
+# counts within a case — the headline guarantee of the parallel fleet.
+FIG8_DETERMINISTIC_KEYS = (
+    "fingerprint", "availability", "requests_total", "requests_served",
+    "failovers", "repairs",
+)
 
 
 def strip_volatile(doc):
@@ -100,6 +115,61 @@ def check_fig7_sanity(doc):
     return ok
 
 
+def check_fig8_parallel(doc, floor):
+    """Cross-thread determinism identity, plus the scaling floor when the
+    regenerating host has enough CPUs to make the measurement meaningful."""
+    ok = True
+    by_case = {}
+    for row in doc.get("rows", []):
+        by_case.setdefault(row.get("case"), []).append(row)
+    for case, rows in sorted(by_case.items()):
+        serial = [r for r in rows if r.get("threads") == 1]
+        if len(serial) != 1:
+            print(f"fig8 case {case}: expected exactly one threads=1 row, "
+                  f"got {len(serial)}", file=sys.stderr)
+            ok = False
+            continue
+        base = serial[0]
+        for row in rows:
+            for key in FIG8_DETERMINISTIC_KEYS:
+                if row.get(key) != base.get(key):
+                    print(
+                        f"fig8 case {case}: threads={row.get('threads')} "
+                        f"{key} {row.get(key)} diverges from the serial "
+                        f"run's {base.get(key)} — parallel rounds changed "
+                        f"a deterministic result",
+                        file=sys.stderr,
+                    )
+                    ok = False
+    floor_rows = [r for r in doc.get("rows", [])
+                  if r.get("case") == "large" and r.get("threads") == 4]
+    if not floor_rows:
+        print("fig8: no large/threads=4 row to hold the speedup floor "
+              "against", file=sys.stderr)
+        ok = False
+    for row in floor_rows:
+        cpus = row.get("host_cpus") or 0
+        if cpus < 4:
+            print(
+                f"fig8: WARNING — regenerating host has only {cpus} CPU(s); "
+                f"skipping the {floor}x speedup floor (determinism identity "
+                f"was still enforced). Re-run on a >= 4 CPU machine to "
+                f"measure scaling.",
+                file=sys.stderr,
+            )
+            continue
+        speedup = row.get("speedup")
+        if speedup is None or speedup < floor:
+            print(
+                f"fig8: large-case speedup at 4 threads is {speedup}, below "
+                f"the {floor}x floor on a {cpus}-CPU host — parallel rounds "
+                f"are not paying off",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
 def main(argv):
     floor = DEFAULT_SPEEDUP_FLOOR
     only = None
@@ -109,8 +179,6 @@ def main(argv):
             floor = float(arg.split("=", 1)[1])
         elif arg.startswith("--only="):
             only = arg.split("=", 1)[1]
-            if not only.endswith(".json"):
-                only += ".json"
         else:
             dirs.append(Path(arg))
     if len(dirs) != 2:
@@ -121,9 +189,13 @@ def main(argv):
     status = 0
     baselines = sorted(baseline_dir.glob("*.json"))
     if only is not None:
-        baselines = [b for b in baselines if b.name == only]
+        # Exact name (with or without .json) wins; otherwise any unique-enough
+        # prefix works, mirroring `hbft_cli bench --only=...`.
+        exact = [b for b in baselines
+                 if b.name == only or b.name == f"{only}.json"]
+        baselines = exact or [b for b in baselines if b.name.startswith(only)]
         if not baselines:
-            print(f"no baseline named {only} under {baseline_dir}", file=sys.stderr)
+            print(f"no baseline matching {only} under {baseline_dir}", file=sys.stderr)
             return 2
     if not baselines:
         print(f"no baseline artifacts under {baseline_dir}", file=sys.stderr)
@@ -146,6 +218,8 @@ def main(argv):
             if name == "fig6_throughput.json" and not check_fig6_speedup(regen_doc, floor):
                 status = 1
             if name == "fig7_fleet.json" and not check_fig7_sanity(regen_doc):
+                status = 1
+            if name == "fig8_parallel.json" and not check_fig8_parallel(regen_doc, floor):
                 status = 1
         else:
             base_text = baseline.read_text()

@@ -31,6 +31,23 @@ This tool turns both into build-time failures. Three checks:
        pointer-keyed        std::map/std::set keyed on a pointer type, or
                             std::hash over a pointer (address order leaks
                             into iteration/comparison)
+       thread-id            std::this_thread::get_id (a scheduling-dependent
+                            value; nothing deterministic may branch on it)
+       thread-spawn         std::thread/std::jthread creation outside the
+                            fleet's WorkerPool (fleet/worker_pool.*, which
+                            carries a reasoned allow-file) — parallelism in
+                            src/ goes through the pool's static sharding +
+                            round barrier or not at all
+                            (std::thread::hardware_concurrency is a plain
+                            host query and does not trip the rule)
+       detached-thread      .detach() — a detached thread outlives every
+                            barrier and cannot be joined deterministically
+       thread-state         thread_local declarations; additionally flags a
+                            thread_local name referenced inside a
+                            Capture*/Restore*/Serialize/Deserialize body
+                            (per-thread state must never feed snapshots or
+                            fingerprints; the logging capture sink carries
+                            the one reasoned allow)
 
   2. snapshot completeness (snapshot-field) — for every class implementing
      `Snapshotable` (or declaring the CaptureState/RestoreState pair), diff
@@ -80,6 +97,10 @@ RULES = {
     "unordered-container": "std::unordered_* declared (address-seeded iteration order)",
     "unordered-iteration": "iteration over an unordered container",
     "pointer-keyed": "container keyed or hashed by pointer value (address order)",
+    "thread-id": "std::this_thread::get_id (scheduling-dependent value)",
+    "thread-spawn": "thread creation outside the fleet worker pool",
+    "detached-thread": "detached thread (outlives every deterministic barrier)",
+    "thread-state": "thread_local state (must never feed snapshots/fingerprints)",
     "snapshot-field": "data member never touched by Capture*/Restore* methods",
     "codec-symmetry": "Serialize/Deserialize (or Capture/Restore) field sequences differ",
     "bad-suppression": "malformed hbft-lint annotation",
@@ -261,6 +282,19 @@ DETERMINISM_PATTERNS = [
      "pointer-keyed ordered container"),
     ("pointer-keyed", re.compile(r"\bstd::hash\s*<[^>]*\*\s*>"),
      "pointer-value hashing"),
+    ("thread-id", re.compile(r"\bthis_thread\s*::\s*get_id\b"),
+     "scheduling-dependent thread id"),
+    # std::thread::hardware_concurrency is a plain host-capability query
+    # (bench metadata) and std::thread::id a value type, not creation: the
+    # lookahead exempts both.
+    ("thread-spawn",
+     re.compile(r"\bstd\s*::\s*(?:jthread\b|"
+                r"thread\b(?!\s*::\s*(?:hardware_concurrency|id)\b))"),
+     "thread creation outside fleet/worker_pool"),
+    ("detached-thread", re.compile(r"\.\s*detach\s*\(\s*\)"),
+     "detached thread"),
+    ("thread-state", re.compile(r"\bthread_local\b"),
+     "thread_local state"),
 ]
 
 UNORDERED_DECL_RE = re.compile(
@@ -319,6 +353,40 @@ def check_determinism(path, code, suppress, violations, raw_text):
                 f"iteration over unordered container `{name}` "
                 "(order is address-seeded; use an ordered container or "
                 "sort a copy by a deterministic key)"))
+
+
+THREAD_LOCAL_NAME_RE = re.compile(
+    r"\bthread_local\b[^;={]*?([A-Za-z_]\w*)\s*(?:\{[^}]*\}|=[^;]*)?;")
+CODEC_FN_HEAD_RE = re.compile(
+    r"\b((?:Capture|Restore|Serialize|Deserialize)\w*)\s*\(")
+
+
+def check_thread_state_codec(path, code, suppress, violations):
+    """thread_local names referenced inside Capture*/Restore*/Serialize/
+    Deserialize bodies: per-thread state leaking into Snapshotable bytes or
+    fingerprint folds. Flagged even when the declaration itself carries an
+    allow(thread-state) — the allow covers the variable's existence, not its
+    reachability from snapshot/codec paths."""
+    names = {m.group(1) for m in THREAD_LOCAL_NAME_RE.finditer(code)}
+    if not names:
+        return
+    for m in CODEC_FN_HEAD_RE.finditer(code):
+        # Locate the body's opening brace; a `;` first means a declaration.
+        brace = code.find("{", m.end())
+        semi = code.find(";", m.end())
+        if brace == -1 or (semi != -1 and semi < brace):
+            continue
+        body_end = match_brace(code, brace)
+        for name in names:
+            for ref in re.finditer(r"\b" + re.escape(name) + r"\b",
+                                   code[brace:body_end]):
+                line = line_of(code, brace + ref.start())
+                if suppress.allows("thread-state", line):
+                    continue
+                violations.append(Violation(
+                    path, line, "thread-state",
+                    f"thread_local `{name}` referenced inside "
+                    f"snapshot/codec function `{m.group(1)}`"))
 
 
 # ---------------------------------------------------------------------------
@@ -967,6 +1035,7 @@ def main(argv=None):
         suppress = Suppressions(path, comments, violations)
         lexed.append((path, code, suppress))
         check_determinism(path, code, suppress, violations, raw)
+        check_thread_state_codec(path, code, suppress, violations)
         check_codec_symmetry(path, code, suppress, violations)
     check_snapshot_completeness(lexed, violations)
 
